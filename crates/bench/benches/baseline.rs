@@ -1,0 +1,94 @@
+//! Framework vs the pure-unimodular baseline (§5's comparison):
+//!
+//! * cost: for matrix-expressible pipelines, the general framework's
+//!   sequence machinery vs the baseline's single-matrix composition, and
+//!   ReversePermute vs Unimodular for the interchange both can express
+//!   ("it is preferable to use ReversePermute because … matrix
+//!   computations are avoided");
+//! * expressiveness is asserted (not timed): Parallelize/Block/Coalesce/
+//!   Interleave produce dependence-set or size changes no matrix can.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use irlt_bench::{random_deps, stencil, unimodular_chain};
+use irlt_core::{Template, TransformSeq};
+use irlt_ir::Expr;
+use irlt_unimodular::{IntMatrix, UnimodularTransform};
+use std::hint::black_box;
+
+/// The baseline cannot express the non-matrix templates: their output
+/// arity or entry structure is unreachable by any `n×n` matrix map.
+fn assert_inexpressible() {
+    let deps = random_deps(3, 4, 1);
+    // Block changes the arity (3 → 6): no 3×3 matrix does that.
+    let block = Template::block(3, 0, 2, vec![Expr::var("b"); 3]).expect("valid");
+    assert_ne!(block.map_dep_set(&deps).arity(), deps.arity());
+    // Coalesce shrinks it.
+    let coal = Template::coalesce(3, 0, 1).expect("valid");
+    assert_ne!(coal.map_dep_set(&deps).arity(), deps.arity());
+    // Parallelize keeps arity but is not linear: it fixes 0 ↦ 0 while
+    // sending both +1 and −1 into the same symmetric entry — impossible
+    // for an invertible matrix map.
+    let par = Template::parallelize(vec![true, false, false]);
+    let plus = par.map_dep_set(&irlt_dependence::DepSet::from_distances(&[&[1, 0, 0]]));
+    let minus = par.map_dep_set(&irlt_dependence::DepSet::from_distances(&[&[-1, 0, 0]]));
+    assert_eq!(plus, minus);
+}
+
+fn composition_cost(c: &mut Criterion) {
+    assert_inexpressible();
+    let deps = random_deps(4, 32, 3);
+    let len = 64;
+    let seq = unimodular_chain(4, len, 5);
+    // The baseline composes the same chain into one matrix by products.
+    let mut baseline = UnimodularTransform::identity(4);
+    for step in seq.steps() {
+        if let irlt_core::Step::Builtin(Template::Unimodular { matrix }) = step {
+            baseline = baseline
+                .then(&UnimodularTransform::new(matrix.clone()).expect("unimodular"));
+        }
+    }
+
+    let mut g = c.benchmark_group("baseline/compose_and_test_L64");
+    g.bench_function("framework_sequence", |b| {
+        b.iter(|| black_box(seq.map_deps(black_box(&deps)).is_legal()))
+    });
+    g.bench_function("framework_fused", |b| {
+        let fused = seq.fuse();
+        b.iter(|| black_box(fused.map_deps(black_box(&deps)).is_legal()))
+    });
+    g.bench_function("unimodular_baseline", |b| {
+        b.iter(|| black_box(baseline.is_legal(black_box(&deps))))
+    });
+    g.finish();
+}
+
+/// Interchange two ways: ReversePermute (mask + permutation on vectors,
+/// names reused) vs Unimodular (matrix work + FM scanning).
+fn interchange_two_ways(c: &mut Criterion) {
+    let nest = stencil();
+    let deps = random_deps(2, 32, 13);
+    let rp = TransformSeq::new(2)
+        .reverse_permute(vec![false, false], vec![1, 0])
+        .expect("valid");
+    let uni = TransformSeq::new(2)
+        .unimodular(IntMatrix::interchange(2, 0, 1))
+        .expect("unimodular");
+
+    let mut g = c.benchmark_group("baseline/interchange");
+    g.bench_function("reverse_permute/depmap", |b| {
+        b.iter(|| black_box(rp.map_deps(black_box(&deps))))
+    });
+    g.bench_function("unimodular/depmap", |b| {
+        b.iter(|| black_box(uni.map_deps(black_box(&deps))))
+    });
+    g.bench_function("reverse_permute/codegen", |b| {
+        b.iter(|| black_box(rp.apply(black_box(&nest)).expect("legal")))
+    });
+    g.bench_function("unimodular/codegen", |b| {
+        b.iter(|| black_box(uni.apply(black_box(&nest)).expect("legal")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, composition_cost, interchange_two_ways);
+criterion_main!(benches);

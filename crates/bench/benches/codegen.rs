@@ -1,0 +1,87 @@
+//! Code-generation cost per template (the Tables 3–4 machinery) and for
+//! the full Appendix A pipeline — the paper's point that the loop nest
+//! "only needs to be updated when code generation is finally requested".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use irlt_bench::{figure7_sequence, matmul, stencil};
+use irlt_core::{Template, TransformSeq};
+use irlt_ir::Expr;
+use irlt_unimodular::IntMatrix;
+use std::hint::black_box;
+
+fn per_template(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codegen/template");
+    let nest2 = stencil();
+    let nest3 = matmul();
+
+    let cases: Vec<(&str, Template, &irlt_ir::LoopNest)> = vec![
+        (
+            "reverse_permute",
+            Template::reverse_permute(vec![true, false], vec![1, 0]).expect("valid"),
+            &nest2,
+        ),
+        ("parallelize", Template::parallelize(vec![true, false]), &nest2),
+        (
+            "block3",
+            Template::block(3, 0, 2, vec![Expr::var("b"); 3]).expect("valid"),
+            &nest3,
+        ),
+        ("coalesce", Template::coalesce(3, 0, 2).expect("valid"), &nest3),
+        (
+            "interleave",
+            Template::interleave(3, 0, 1, vec![Expr::int(4), Expr::int(2)]).expect("valid"),
+            &nest3,
+        ),
+        (
+            "unimodular_skew_swap",
+            Template::unimodular(
+                IntMatrix::interchange(2, 0, 1).mul(&IntMatrix::skew(2, 0, 1, 1)),
+            )
+            .expect("unimodular"),
+            &nest2,
+        ),
+    ];
+    for (name, t, nest) in cases {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(t.apply_to(black_box(nest)).expect("legal")))
+        });
+    }
+    g.finish();
+}
+
+fn figure7_pipeline(c: &mut Criterion) {
+    let nest = matmul();
+    let seq = figure7_sequence();
+    c.bench_function("codegen/figure7_pipeline", |b| {
+        b.iter(|| black_box(seq.apply(black_box(&nest)).expect("legal")))
+    });
+}
+
+/// Fourier–Motzkin scanning cost as unimodular complexity grows.
+fn fm_scanning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codegen/fm");
+    let nest = matmul();
+    for (label, m) in [
+        ("identity", IntMatrix::identity(3)),
+        ("interchange", IntMatrix::interchange(3, 0, 2)),
+        (
+            "double_skew",
+            IntMatrix::skew(3, 0, 2, 1).mul(&IntMatrix::skew(3, 1, 2, 1)),
+        ),
+        (
+            "skew_swap_rev",
+            IntMatrix::reversal(3, 1)
+                .mul(&IntMatrix::interchange(3, 0, 1))
+                .mul(&IntMatrix::skew(3, 0, 2, 2)),
+        ),
+    ] {
+        let seq = TransformSeq::new(3).unimodular(m).expect("unimodular");
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(seq.apply(black_box(&nest)).expect("legal")))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, per_template, figure7_pipeline, fm_scanning);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Composition and fusion: sequence concatenation is O(1) amortized per
+//! step; the paper's peephole ("the concatenated sequence can be reduced
+//! in length … whenever possible") trades one fusion pass for much
+//! cheaper dependence mapping afterwards. This is the fusion ablation of
+//! EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use irlt_bench::{random_deps, unimodular_chain};
+use std::hint::black_box;
+
+fn build_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("composition/build");
+    for len in [8usize, 32, 128] {
+        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
+            b.iter(|| black_box(unimodular_chain(4, len, 3)))
+        });
+    }
+    g.finish();
+}
+
+fn fuse_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("composition/fuse");
+    for len in [8usize, 32, 128] {
+        let seq = unimodular_chain(4, len, 3);
+        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| black_box(seq.fuse()))
+        });
+    }
+    g.finish();
+}
+
+/// The ablation: map a dependence set through an L-step chain, unfused vs
+/// fused-once. The unfused cost grows linearly with L; the fused sequence
+/// is a single matrix application regardless of L.
+fn depmap_fused_vs_unfused(c: &mut Criterion) {
+    let deps = random_deps(4, 32, 9);
+    for len in [8usize, 32, 128] {
+        let seq = unimodular_chain(4, len, 3);
+        let fused = seq.fuse();
+        assert_eq!(fused.len(), 1);
+        let mut g = c.benchmark_group(format!("composition/depmap_L{len}"));
+        g.bench_function("unfused", |b| {
+            b.iter(|| black_box(seq.map_deps(black_box(&deps))))
+        });
+        g.bench_function("fused", |b| {
+            b.iter(|| black_box(fused.map_deps(black_box(&deps))))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, build_chain, fuse_chain, depmap_fused_vs_unfused);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Dependence-vector mapping throughput (Table 2's rules), including the
+//! `2^(j−i+1)` expansion of `Block` — the structural reason it "cannot be
+//! represented by a matrix" also shows up as cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use irlt_bench::random_deps;
+use irlt_core::Template;
+use irlt_ir::Expr;
+use irlt_unimodular::IntMatrix;
+use std::hint::black_box;
+
+fn per_template(c: &mut Criterion) {
+    let mut g = c.benchmark_group("depmap/template");
+    let deps = random_deps(4, 64, 17);
+    let cases: Vec<(&str, Template)> = vec![
+        (
+            "unimodular",
+            Template::unimodular(
+                IntMatrix::skew(4, 0, 3, 1).mul(&IntMatrix::interchange(4, 1, 2)),
+            )
+            .expect("unimodular"),
+        ),
+        (
+            "reverse_permute",
+            Template::reverse_permute(vec![true, false, true, false], vec![3, 1, 0, 2])
+                .expect("valid"),
+        ),
+        ("parallelize", Template::parallelize(vec![true, false, true, false])),
+        (
+            "block_1loop",
+            Template::block(4, 1, 1, vec![Expr::var("b")]).expect("valid"),
+        ),
+        ("coalesce", Template::coalesce(4, 1, 3).expect("valid")),
+        (
+            "interleave",
+            Template::interleave(4, 2, 3, vec![Expr::int(2), Expr::int(2)]).expect("valid"),
+        ),
+    ];
+    for (name, t) in cases {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(t.map_dep_set(black_box(&deps))))
+        });
+    }
+    g.finish();
+}
+
+/// Block's expansion factor: widening the blocked range multiplies the
+/// output set (up to 2^(j−i+1) per vector).
+fn block_expansion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("depmap/block_range");
+    let deps = random_deps(5, 32, 23);
+    for width in [1usize, 2, 3, 4, 5] {
+        let t = Template::block(5, 0, width - 1, vec![Expr::var("b"); width]).expect("valid");
+        g.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, _| {
+            b.iter(|| black_box(t.map_dep_set(black_box(&deps))))
+        });
+    }
+    g.finish();
+}
+
+/// Summary-direction expansion (§3.1's precision recommendation).
+fn summary_expansion(c: &mut Criterion) {
+    let deps = random_deps(5, 64, 29);
+    c.bench_function("depmap/expand_summaries", |b| {
+        b.iter(|| black_box(deps.expand_summaries()))
+    });
+}
+
+criterion_group!(benches, per_template, block_expansion, summary_expansion);
+criterion_main!(benches);

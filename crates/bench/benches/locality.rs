@@ -1,0 +1,99 @@
+//! Locality studies on the cache simulator: tiled vs untiled matmul and
+//! interchanged vs original stencil walks. Criterion measures the
+//! simulation throughput; the *miss-rate shape* (who wins, by how much)
+//! is asserted here and reported in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use irlt_bench::matmul;
+use irlt_cachesim::{simulate_nest, AddressMap, CacheConfig, Order};
+use irlt_core::TransformSeq;
+use irlt_ir::{parse_nest, Expr};
+use std::hint::black_box;
+
+fn map_for_matmul(n: u64) -> AddressMap {
+    let mut map = AddressMap::new(Order::ColMajor, 8);
+    for a in ["A", "B", "C"] {
+        map.declare(a, &[n, n]);
+    }
+    map
+}
+
+const CFG: CacheConfig = CacheConfig { size_bytes: 4 * 1024, line_bytes: 64, associativity: 4 };
+
+fn matmul_tiling(c: &mut Criterion) {
+    let nest = matmul();
+    let n: i64 = 24;
+    let map = map_for_matmul(n as u64);
+
+    // Assert the experiment's shape before timing it: tiling must win.
+    let base = simulate_nest(&nest, &[("n", n)], &map, CFG).expect("simulates");
+    let tiled_nest = TransformSeq::new(3)
+        .block(0, 2, vec![Expr::int(8); 3])
+        .expect("valid")
+        .apply(&nest)
+        .expect("legal");
+    let tiled = simulate_nest(&tiled_nest, &[("n", n)], &map, CFG).expect("simulates");
+    assert!(
+        tiled.stats.misses * 2 < base.stats.misses,
+        "tiling should at least halve misses: {} vs {}",
+        tiled.stats,
+        base.stats
+    );
+
+    let mut g = c.benchmark_group("locality/matmul");
+    g.sample_size(10);
+    g.bench_function("untiled", |b| {
+        b.iter(|| black_box(simulate_nest(&nest, &[("n", n)], &map, CFG).expect("simulates")))
+    });
+    for bs in [4i64, 8] {
+        let t = TransformSeq::new(3)
+            .block(0, 2, vec![Expr::int(bs); 3])
+            .expect("valid")
+            .apply(&nest)
+            .expect("legal");
+        g.bench_with_input(BenchmarkId::new("tiled", bs), &bs, |b, _| {
+            b.iter(|| black_box(simulate_nest(&t, &[("n", n)], &map, CFG).expect("simulates")))
+        });
+    }
+    g.finish();
+}
+
+fn stencil_walk_order(c: &mut Criterion) {
+    // Column-major array walked row-wise vs column-wise: interchange
+    // repairs the stride.
+    let bad = parse_nest(
+        "do i = 1, n\n do j = 1, n\n  s(1) = s(1) + a(i, j)\n enddo\nenddo",
+    )
+    .expect("parses");
+    let good = TransformSeq::new(2)
+        .reverse_permute(vec![false, false], vec![1, 0])
+        .expect("valid")
+        .apply(&bad)
+        .expect("legal");
+    let n: i64 = 96;
+    let mut map = AddressMap::new(Order::ColMajor, 8);
+    map.declare("a", &[n as u64, n as u64]);
+    map.declare("s", &[1]);
+
+    let r_bad = simulate_nest(&bad, &[("n", n)], &map, CFG).expect("simulates");
+    let r_good = simulate_nest(&good, &[("n", n)], &map, CFG).expect("simulates");
+    assert!(
+        r_good.stats.misses * 4 < r_bad.stats.misses,
+        "interchange should cut misses ≥4×: {} vs {}",
+        r_good.stats,
+        r_bad.stats
+    );
+
+    let mut g = c.benchmark_group("locality/stencil_walk");
+    g.sample_size(10);
+    g.bench_function("row_walk_of_colmajor", |b| {
+        b.iter(|| black_box(simulate_nest(&bad, &[("n", n)], &map, CFG).expect("simulates")))
+    });
+    g.bench_function("interchanged", |b| {
+        b.iter(|| black_box(simulate_nest(&good, &[("n", n)], &map, CFG).expect("simulates")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, matmul_tiling, stencil_walk_order);
+criterion_main!(benches);

@@ -1,0 +1,166 @@
+//! # irlt-bench — shared workload generators for the benchmark harness
+//!
+//! The Criterion benches (one per study in EXPERIMENTS.md) pull their
+//! inputs from here: paper kernels, random dependence sets, random deep
+//! nests, and standard transformation sequences.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use irlt_core::TransformSeq;
+use irlt_dependence::{DepElem, DepSet, DepVector, Dir};
+use irlt_ir::{parse_nest, Expr, Loop, LoopNest, Stmt};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The Fig. 1(a) five-point stencil.
+pub fn stencil() -> LoopNest {
+    parse_nest(
+        "do i = 2, n - 1\n do j = 2, n - 1\n  a(i, j) = (a(i, j) + a(i - 1, j) + a(i, j - 1) + a(i + 1, j) + a(i, j + 1)) / 5\n enddo\nenddo",
+    )
+    .expect("stencil parses")
+}
+
+/// The Fig. 6 matrix multiply.
+pub fn matmul() -> LoopNest {
+    parse_nest(
+        "do i = 1, n\n do j = 1, n\n  do k = 1, n\n   A(i, j) = A(i, j) + B(i, k) * C(k, j)\n  enddo\n enddo\nenddo",
+    )
+    .expect("matmul parses")
+}
+
+/// A rectangular nest of the given depth with bounds `1..n_k` and a
+/// simple recurrence body carried by the outermost loop.
+pub fn rectangular(depth: usize) -> LoopNest {
+    let names: Vec<String> = (0..depth).map(|k| format!("x{k}")).collect();
+    let loops: Vec<Loop> = names
+        .iter()
+        .enumerate()
+        .map(|(k, v)| Loop::new(v.as_str(), Expr::int(1), Expr::var(format!("n{k}"))))
+        .collect();
+    let subs: Vec<Expr> = names.iter().map(|v| Expr::var(v.as_str())).collect();
+    let mut shifted = subs.clone();
+    shifted[0] = Expr::sub(shifted[0].clone(), Expr::int(1));
+    let body = vec![Stmt::array(
+        "A",
+        subs,
+        Expr::read("A", shifted) + Expr::int(1),
+    )];
+    LoopNest::new(loops, body)
+}
+
+/// A random dependence set of `count` vectors over `depth` loops, with a
+/// mix of distances and directions, biased lexicographically positive.
+pub fn random_deps(depth: usize, count: usize, seed: u64) -> DepSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set = DepSet::new();
+    let mut guard = 0;
+    while set.len() < count {
+        guard += 1;
+        assert!(guard < 100 * count, "generator stuck");
+        let mut elems: Vec<DepElem> = Vec::with_capacity(depth);
+        let lead = rng.gen_range(0..depth);
+        for k in 0..depth {
+            let e = if k < lead {
+                DepElem::ZERO
+            } else if k == lead {
+                // Strictly positive leader keeps the set legal.
+                if rng.gen_bool(0.5) {
+                    DepElem::Dist(rng.gen_range(1..4))
+                } else {
+                    DepElem::POS
+                }
+            } else {
+                match rng.gen_range(0..6) {
+                    0 => DepElem::Dist(rng.gen_range(-3..4)),
+                    1 => DepElem::POS,
+                    2 => DepElem::NEG,
+                    3 => DepElem::Dir(Dir::NonNeg),
+                    4 => DepElem::Dir(Dir::NonZero),
+                    _ => DepElem::ANY,
+                }
+            };
+            elems.push(e);
+        }
+        set.insert(DepVector::new(elems)).expect("uniform arity");
+    }
+    set
+}
+
+/// A chain of `len` random unimodular steps on an `n`-deep nest
+/// (interchange / reversal / skew) — the paper's "arbitrarily complex
+/// sequence of template instantiations".
+pub fn unimodular_chain(n: usize, len: usize, seed: u64) -> TransformSeq {
+    use irlt_unimodular::IntMatrix;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seq = TransformSeq::new(n);
+    for _ in 0..len {
+        let a = rng.gen_range(0..n);
+        let b = (a + rng.gen_range(1..n)) % n;
+        let m = match rng.gen_range(0..3) {
+            0 => IntMatrix::interchange(n, a, b),
+            1 => IntMatrix::reversal(n, a),
+            _ => IntMatrix::skew(n, a.min(b), a.max(b), rng.gen_range(-2..3)),
+        };
+        seq = seq.unimodular(m).expect("chained");
+    }
+    seq
+}
+
+/// The paper's Appendix A five-template pipeline over symbolic tile sizes.
+pub fn figure7_sequence() -> TransformSeq {
+    let b = |s: &str| Expr::var(s);
+    TransformSeq::new(3)
+        .reverse_permute(vec![false; 3], vec![2, 0, 1])
+        .expect("valid")
+        .block(0, 2, vec![b("bj"), b("bk"), b("bi")])
+        .expect("valid")
+        .parallelize(vec![true, false, true, false, false, false])
+        .expect("valid")
+        .reverse_permute(vec![false; 6], vec![0, 2, 1, 3, 4, 5])
+        .expect("valid")
+        .coalesce(0, 1)
+        .expect("valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irlt_dependence::analyze_dependences;
+
+    #[test]
+    fn generators_are_consistent() {
+        assert_eq!(stencil().depth(), 2);
+        assert_eq!(matmul().depth(), 3);
+        for d in 2..6 {
+            let nest = rectangular(d);
+            assert_eq!(nest.depth(), d);
+            nest.validate().expect("valid nest");
+            assert!(analyze_dependences(&nest).is_legal());
+        }
+    }
+
+    #[test]
+    fn random_deps_legal_and_sized() {
+        for seed in 0..5 {
+            let d = random_deps(4, 16, seed);
+            assert_eq!(d.len(), 16);
+            assert!(d.is_legal(), "{d}");
+        }
+    }
+
+    #[test]
+    fn chains_chain() {
+        let seq = unimodular_chain(4, 32, 7);
+        assert_eq!(seq.len(), 32);
+        assert_eq!(seq.output_size(), 4);
+        assert_eq!(seq.fuse().len(), 1);
+    }
+
+    #[test]
+    fn figure7_sequence_shape() {
+        let seq = figure7_sequence();
+        assert_eq!(seq.len(), 5);
+        assert_eq!(seq.output_size(), 5);
+    }
+}

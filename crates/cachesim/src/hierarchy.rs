@@ -1,0 +1,161 @@
+//! A two-level inclusive cache hierarchy.
+//!
+//! Locality studies often want to see *where* a transformation's benefit
+//! lands: tiling for L1 can leave L2 behaviour unchanged, and vice versa.
+//! [`Hierarchy`] replays one address stream through an L1 and, on L1
+//! misses only, an L2, and reports both counters plus a simple weighted
+//! cost (hit/miss latencies).
+
+use crate::cache::{Cache, CacheConfig, CacheStats};
+use std::fmt;
+
+/// Latency weights for the cost model (cycles, arbitrary units).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Latencies {
+    /// Cost of an L1 hit.
+    pub l1_hit: u64,
+    /// Additional cost of an L1 miss that hits in L2.
+    pub l2_hit: u64,
+    /// Additional cost of an L2 miss (memory access).
+    pub memory: u64,
+}
+
+impl Default for Latencies {
+    fn default() -> Self {
+        // Conventional ballpark ratios: 4 / 12 / 100.
+        Latencies { l1_hit: 4, l2_hit: 12, memory: 100 }
+    }
+}
+
+/// A two-level hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use irlt_cachesim::{CacheConfig, Hierarchy, Latencies};
+///
+/// let mut h = Hierarchy::new(CacheConfig::l1(), CacheConfig::l2(), Latencies::default());
+/// h.access(0);
+/// h.access(8); // same L1 line
+/// assert_eq!(h.l1().hits, 1);
+/// assert_eq!(h.l2().accesses, 1); // only the first (missing) access reached L2
+/// ```
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    l1: Cache,
+    l2: Cache,
+    latencies: Latencies,
+}
+
+impl Hierarchy {
+    /// Creates an empty hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent cache geometry.
+    pub fn new(l1: CacheConfig, l2: CacheConfig, latencies: Latencies) -> Hierarchy {
+        Hierarchy { l1: Cache::new(l1), l2: Cache::new(l2), latencies }
+    }
+
+    /// Accesses one byte address through the hierarchy.
+    pub fn access(&mut self, addr: u64) {
+        if !self.l1.access(addr) {
+            self.l2.access(addr);
+        }
+    }
+
+    /// L1 counters.
+    pub fn l1(&self) -> CacheStats {
+        self.l1.stats()
+    }
+
+    /// L2 counters (accessed only on L1 misses).
+    pub fn l2(&self) -> CacheStats {
+        self.l2.stats()
+    }
+
+    /// Weighted total cost under the configured latencies.
+    pub fn cost(&self) -> u64 {
+        let l1 = self.l1.stats();
+        let l2 = self.l2.stats();
+        l1.accesses * self.latencies.l1_hit
+            + l2.accesses * self.latencies.l2_hit
+            + l2.misses * self.latencies.memory
+    }
+
+    /// Clears contents and counters.
+    pub fn reset(&mut self) {
+        self.l1.reset();
+        self.l2.reset();
+    }
+}
+
+impl fmt::Display for Hierarchy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "L1: {} | L2: {} | cost {}",
+            self.l1.stats(),
+            self.l2.stats(),
+            self.cost()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Hierarchy {
+        Hierarchy::new(
+            CacheConfig { size_bytes: 128, line_bytes: 32, associativity: 2 },
+            CacheConfig { size_bytes: 512, line_bytes: 32, associativity: 4 },
+            Latencies::default(),
+        )
+    }
+
+    #[test]
+    fn l2_sees_only_l1_misses() {
+        let mut h = tiny();
+        h.access(0);
+        h.access(8);
+        h.access(16);
+        assert_eq!(h.l1().accesses, 3);
+        assert_eq!(h.l1().misses, 1);
+        assert_eq!(h.l2().accesses, 1);
+    }
+
+    #[test]
+    fn l2_catches_l1_capacity_misses() {
+        let mut h = tiny();
+        // Stream 8 lines (L1 holds 4, L2 holds 16), then re-touch the first:
+        // L1 misses, L2 hits.
+        for k in 0..8u64 {
+            h.access(k * 32);
+        }
+        h.access(0);
+        assert_eq!(h.l1().misses, 9);
+        assert_eq!(h.l2().accesses, 9);
+        assert_eq!(h.l2().hits, 1);
+    }
+
+    #[test]
+    fn cost_model_weights() {
+        let mut h = tiny();
+        h.access(0); // L1 miss, L2 miss
+        h.access(0); // L1 hit
+        // cost = 2·l1_hit + 1·l2_hit + 1·memory = 8 + 12 + 100.
+        assert_eq!(h.cost(), 120);
+        assert!(h.to_string().contains("cost 120"));
+    }
+
+    #[test]
+    fn reset_clears_both_levels() {
+        let mut h = tiny();
+        h.access(0);
+        h.reset();
+        assert_eq!(h.l1().accesses, 0);
+        assert_eq!(h.l2().accesses, 0);
+        assert_eq!(h.cost(), 0);
+    }
+}

@@ -1,0 +1,403 @@
+//! The matrix representation of loop bound expressions (§4.3, Fig. 5).
+//!
+//! "To efficiently transform the loop bound expressions through each
+//! template instantiation in a transformation sequence, we use a
+//! matrix-based representation … three matrices, `LB`, `UB`, `STEP` …
+//! shape `(1…n) × (0…n)`, entry `(i, j)` only defined when `i > j`."
+//!
+//! * The `(i, 0)` entry holds the loop-invariant part — "an arbitrary
+//!   expression that is only evaluated at run-time";
+//! * the `(i, j)` entry (for `j ≥ 1`) holds the constant integer
+//!   coefficient of index variable `j`, when `type(i, j) ⊑ linear`;
+//! * if `type(i, j) = nonlinear`, the `(i, j)` entry is zero and the terms
+//!   involving variable `j` are folded into the `(i, 0)` entry;
+//! * `max`/`min` bounds store *lists* of values, one per inequality.
+//!
+//! This structure carries exactly the information the legality test's type
+//! predicates need, without ever touching the loop body.
+
+use irlt_ir::{classify_bound, BoundSide, Expr, ExprType, LoopNest, Symbol};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One inequality's worth of a bound row: constant coefficients over the
+/// index variables plus the invariant/nonlinear remainder.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MatrixEntry {
+    /// Coefficient of each index variable (position = loop level). Zero for
+    /// variables the term does not involve linearly.
+    pub coeffs: Vec<i64>,
+    /// The `(i, 0)` slot: invariant terms plus any terms folded here
+    /// because they are nonlinear in some index variable.
+    pub invariant: Expr,
+    /// Index variables that occur *nonlinearly* (their coefficient reads 0
+    /// and their terms live in `invariant`).
+    pub nonlinear_in: BTreeSet<Symbol>,
+}
+
+impl MatrixEntry {
+    fn from_expr(expr: &Expr, indices: &[Symbol]) -> MatrixEntry {
+        // Decompose into additive terms (constants fold; atoms keep their
+        // coefficients) mirroring Expr::simplify's normalization.
+        let simplified = expr.simplify();
+        let mut coeffs = vec![0i64; indices.len()];
+        let mut invariant = Expr::int(0);
+        let mut nonlinear_in = BTreeSet::new();
+        let mut pending: Vec<(Expr, i64)> = vec![(simplified, 1)];
+        while let Some((e, mult)) = pending.pop() {
+            match e {
+                Expr::Add(a, b) => {
+                    pending.push((*a, mult));
+                    pending.push((*b, mult));
+                }
+                Expr::Sub(a, b) => {
+                    pending.push((*a, mult));
+                    pending.push((*b, -mult));
+                }
+                Expr::Neg(a) => pending.push((*a, -mult)),
+                Expr::Mul(a, b) if a.as_const().is_some() => {
+                    pending.push((*b, mult * a.as_const().expect("const")));
+                }
+                Expr::Mul(a, b) if b.as_const().is_some() => {
+                    pending.push((*a, mult * b.as_const().expect("const")));
+                }
+                Expr::Var(ref v) if indices.contains(v) => {
+                    let pos = indices.iter().position(|x| x == v).expect("contained");
+                    coeffs[pos] += mult;
+                }
+                atom => {
+                    for v in atom.free_vars() {
+                        if indices.contains(&v) {
+                            nonlinear_in.insert(v);
+                        }
+                    }
+                    invariant = Expr::add(invariant, Expr::mul(Expr::int(mult), atom));
+                }
+            }
+        }
+        MatrixEntry { coeffs, invariant: invariant.simplify(), nonlinear_in }
+    }
+}
+
+/// One row of a bound matrix: a list of [`MatrixEntry`] inequalities
+/// (singleton unless the bound is a splittable `max`/`min`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BoundRow {
+    /// The inequalities.
+    pub terms: Vec<MatrixEntry>,
+    /// The original expression (kept for exact type queries and
+    /// re-rendering).
+    pub expr: Expr,
+}
+
+/// The `LB`/`UB`/`STEP` matrices of one loop nest.
+///
+/// # Examples
+///
+/// ```
+/// use irlt_core::BoundsMatrices;
+/// use irlt_ir::{parse_nest, BoundSide, ExprType, Symbol};
+///
+/// let nest = parse_nest(
+///     "do i = max(n, 3), 100, 2\n  do j = 1, min(2*i, 512)\n    a(i, j) = 0\n  enddo\nenddo",
+/// )?;
+/// let m = BoundsMatrices::from_nest(&nest);
+/// // Fig. 5: type(u2, i) = linear.
+/// assert_eq!(m.entry_type(BoundSide::Upper, 1, &Symbol::new("i")), ExprType::Linear);
+/// // The (2, i) coefficient list for UB is <2, 0> (one per inequality).
+/// let coeffs: Vec<i64> = m.upper(1).terms.iter().map(|t| t.coeffs[0]).collect();
+/// assert_eq!(coeffs, [2, 0]);
+/// # Ok::<(), irlt_ir::ParseError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BoundsMatrices {
+    names: Vec<Symbol>,
+    steps_positive: Vec<bool>,
+    lb: Vec<BoundRow>,
+    ub: Vec<BoundRow>,
+    step: Vec<BoundRow>,
+}
+
+impl BoundsMatrices {
+    /// Builds the matrices for a nest.
+    pub fn from_nest(nest: &LoopNest) -> BoundsMatrices {
+        let names = nest.index_vars();
+        let steps_positive: Vec<bool> = nest
+            .loops()
+            .iter()
+            .map(|l| l.step.as_const().is_none_or(|s| s > 0))
+            .collect();
+        let mut lb = Vec::with_capacity(nest.depth());
+        let mut ub = Vec::with_capacity(nest.depth());
+        let mut step = Vec::with_capacity(nest.depth());
+        for (k, l) in nest.loops().iter().enumerate() {
+            lb.push(build_row(&l.lower, BoundSide::Lower, steps_positive[k], &names));
+            ub.push(build_row(&l.upper, BoundSide::Upper, steps_positive[k], &names));
+            step.push(build_row(&l.step, BoundSide::Step, steps_positive[k], &names));
+        }
+        BoundsMatrices { names, steps_positive, lb, ub, step }
+    }
+
+    /// Index-variable names, outermost first.
+    pub fn names(&self) -> &[Symbol] {
+        &self.names
+    }
+
+    /// Nest depth.
+    pub fn depth(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The `LB` row for loop `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn lower(&self, k: usize) -> &BoundRow {
+        &self.lb[k]
+    }
+
+    /// The `UB` row for loop `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn upper(&self, k: usize) -> &BoundRow {
+        &self.ub[k]
+    }
+
+    /// The `STEP` row for loop `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn step(&self, k: usize) -> &BoundRow {
+        &self.step[k]
+    }
+
+    /// The paper's `type(expr, x)` query evaluated from the stored bound
+    /// (with the `max`/`min` special case applied).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn entry_type(&self, side: BoundSide, row: usize, wrt: &Symbol) -> ExprType {
+        let r = match side {
+            BoundSide::Lower => &self.lb[row],
+            BoundSide::Upper => &self.ub[row],
+            BoundSide::Step => &self.step[row],
+        };
+        classify_bound(&r.expr, side, self.steps_positive[row], wrt, &self.names)
+    }
+
+    /// Renders one matrix in the style of Fig. 5: one row per loop, the
+    /// `(i, 0)` invariant column first, then coefficient columns for the
+    /// *outer* variables (entries `(i, j)` with `i > j`); lists appear as
+    /// `<a, b>`.
+    pub fn render(&self, side: BoundSide) -> String {
+        let rows = match side {
+            BoundSide::Lower => &self.lb,
+            BoundSide::Upper => &self.ub,
+            BoundSide::Step => &self.step,
+        };
+        let title = match side {
+            BoundSide::Lower => "LB",
+            BoundSide::Upper => "UB",
+            BoundSide::Step => "STEP",
+        };
+        let mut cells: Vec<Vec<String>> = Vec::with_capacity(self.depth());
+        for (i, row) in rows.iter().enumerate() {
+            let mut line = Vec::with_capacity(self.depth() + 1);
+            line.push(render_list(row.terms.iter().map(|t| t.invariant.to_string())));
+            for j in 0..self.depth() {
+                if j >= i {
+                    line.push(".".to_string());
+                } else {
+                    line.push(render_list(
+                        row.terms.iter().map(|t| t.coeffs[j].to_string()),
+                    ));
+                }
+            }
+            cells.push(line);
+        }
+        let ncols = self.depth() + 1;
+        let widths: Vec<usize> = (0..ncols)
+            .map(|c| cells.iter().map(|r| r[c].len()).max().unwrap_or(1))
+            .collect();
+        let mut out = String::new();
+        for (i, line) in cells.iter().enumerate() {
+            let prefix =
+                if i == 0 { format!("{title:>4} = [ ") } else { "       [ ".to_string() };
+            out.push_str(&prefix);
+            for (c, cell) in line.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("{cell:>width$}", width = widths[c]));
+            }
+            out.push_str(" ]\n");
+        }
+        out
+    }
+}
+
+fn build_row(expr: &Expr, side: BoundSide, step_positive: bool, names: &[Symbol]) -> BoundRow {
+    let splittable = matches!(
+        (side, step_positive, expr),
+        (BoundSide::Lower, true, Expr::Max(_))
+            | (BoundSide::Upper, true, Expr::Min(_))
+            | (BoundSide::Lower, false, Expr::Min(_))
+            | (BoundSide::Upper, false, Expr::Max(_))
+    );
+    let terms: Vec<MatrixEntry> = if splittable {
+        match expr {
+            Expr::Max(items) | Expr::Min(items) => {
+                items.iter().map(|e| MatrixEntry::from_expr(e, names)).collect()
+            }
+            _ => unreachable!("splittable implies min/max"),
+        }
+    } else {
+        vec![MatrixEntry::from_expr(expr, names)]
+    };
+    BoundRow { terms, expr: expr.clone() }
+}
+
+fn render_list(items: impl Iterator<Item = String>) -> String {
+    let v: Vec<String> = items.collect();
+    if v.len() == 1 {
+        v.into_iter().next().expect("one")
+    } else {
+        format!("<{}>", v.join(", "))
+    }
+}
+
+impl fmt::Display for BoundsMatrices {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            self.render(BoundSide::Lower),
+            self.render(BoundSide::Upper),
+            self.render(BoundSide::Step)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irlt_ir::Parser;
+
+    /// The Fig. 5 nest:
+    /// ```text
+    /// do i = max(n, 3), 100, 2
+    ///   do j = 1, min(2*i, 512), 1
+    ///     do k = sqrt(i)/2, 2*j, i
+    /// ```
+    fn figure5() -> LoopNest {
+        Parser::new(
+            "do i = max(n, 3), 100, 2\n do j = 1, min(2*i, 512)\n  do k = sqrt(i)/2, 2*j, i\n   a(i, j, k) = 0\n  enddo\n enddo\nenddo",
+        )
+        .parse_nest()
+        .unwrap()
+    }
+
+    #[test]
+    fn figure5_lb_entries() {
+        let m = BoundsMatrices::from_nest(&figure5());
+        // LB row 1: max<n, 3> in the invariant column.
+        let row = m.lower(0);
+        assert_eq!(row.terms.len(), 2);
+        assert_eq!(row.terms[0].invariant.to_string(), "n");
+        assert_eq!(row.terms[1].invariant.to_string(), "3");
+        // LB row 2: constant 1.
+        assert_eq!(m.lower(1).terms[0].invariant, Expr::int(1));
+        // LB row 3: sqrt(i)/2 — nonlinear in i, folded into the invariant
+        // column with a zero coefficient.
+        let row = m.lower(2);
+        assert_eq!(row.terms[0].coeffs, vec![0, 0, 0]);
+        assert_eq!(row.terms[0].invariant.to_string(), "sqrt(i) / 2");
+        assert!(row.terms[0].nonlinear_in.contains(&Symbol::new("i")));
+    }
+
+    #[test]
+    fn figure5_ub_entries() {
+        let m = BoundsMatrices::from_nest(&figure5());
+        // UB row 2: min(2·i, 512) → coefficient list <2, 0> on i,
+        // invariant list <0, 512>.
+        let row = m.upper(1);
+        assert_eq!(row.terms.len(), 2);
+        assert_eq!(row.terms[0].coeffs[0], 2);
+        assert_eq!(row.terms[0].invariant, Expr::int(0));
+        assert_eq!(row.terms[1].coeffs[0], 0);
+        assert_eq!(row.terms[1].invariant, Expr::int(512));
+        // UB row 3: 2·j.
+        assert_eq!(m.upper(2).terms[0].coeffs, vec![0, 2, 0]);
+    }
+
+    #[test]
+    fn figure5_step_entries() {
+        let m = BoundsMatrices::from_nest(&figure5());
+        assert_eq!(m.step(0).terms[0].invariant, Expr::int(2));
+        assert_eq!(m.step(1).terms[0].invariant, Expr::int(1));
+        // s3 = i: coefficient 1 on i.
+        assert_eq!(m.step(2).terms[0].coeffs, vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn figure5_type_tags() {
+        let m = BoundsMatrices::from_nest(&figure5());
+        let (i, j) = (Symbol::new("i"), Symbol::new("j"));
+        // The paper's annotations:
+        assert_eq!(m.entry_type(BoundSide::Upper, 1, &i), ExprType::Linear);
+        assert_eq!(m.entry_type(BoundSide::Lower, 2, &i), ExprType::Nonlinear);
+        assert_eq!(m.entry_type(BoundSide::Upper, 2, &j), ExprType::Linear);
+        assert_eq!(m.entry_type(BoundSide::Step, 2, &i), ExprType::Linear);
+        // "type = invar or const, in all other cases."
+        assert_eq!(m.entry_type(BoundSide::Lower, 1, &i), ExprType::Const);
+        assert_eq!(m.entry_type(BoundSide::Lower, 0, &i), ExprType::Invar);
+        assert_eq!(m.entry_type(BoundSide::Upper, 0, &i), ExprType::Const);
+    }
+
+    #[test]
+    fn render_shape() {
+        let m = BoundsMatrices::from_nest(&figure5());
+        let text = m.render(BoundSide::Lower);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("LB"));
+        assert!(lines[0].contains("<n, 3>"), "{text}");
+        assert!(lines[2].contains("sqrt(i) / 2"), "{text}");
+        // Upper-triangular cells are dots.
+        assert!(lines[0].contains('.'));
+        let ub = m.render(BoundSide::Upper);
+        assert!(ub.contains("<0, 512>"), "{ub}");
+        assert!(ub.contains("<2, 0>"), "{ub}");
+    }
+
+    #[test]
+    fn mixed_linear_nonlinear_row() {
+        // 2·i + sqrt(i): coefficient 2 recorded, sqrt(i) folded.
+        let nest = Parser::new(
+            "do i = 1, n\n do j = 2*i + sqrt(i), n\n  a(i, j) = 0\n enddo\nenddo",
+        )
+        .parse_nest()
+        .unwrap();
+        let m = BoundsMatrices::from_nest(&nest);
+        let row = m.lower(1);
+        assert_eq!(row.terms[0].coeffs[0], 2);
+        assert_eq!(row.terms[0].invariant.to_string(), "sqrt(i)");
+        assert!(row.terms[0].nonlinear_in.contains(&Symbol::new("i")));
+        assert_eq!(
+            m.entry_type(BoundSide::Lower, 1, &Symbol::new("i")),
+            ExprType::Nonlinear
+        );
+    }
+
+    #[test]
+    fn display_concatenates_three_matrices() {
+        let m = BoundsMatrices::from_nest(&figure5());
+        let s = m.to_string();
+        assert!(s.contains("LB") && s.contains("UB") && s.contains("STEP"));
+    }
+}

@@ -1,0 +1,219 @@
+//! A catalog of classical loop transformations expressed as template
+//! instantiations — the paper's point that interchange, reversal,
+//! permutation, skewing, parallelization, strip-mining, blocking,
+//! coalescing, and interleaving, historically "defined in isolation",
+//! all arise from the small kernel set.
+
+use crate::sequence::{SequenceError, TransformSeq};
+use crate::template::{Template, TemplateError};
+use irlt_ir::Expr;
+use irlt_unimodular::IntMatrix;
+
+/// Loop interchange of loops `a` and `b` as a `ReversePermute`
+/// (the paper's preferred engine: no matrix work, names reused).
+///
+/// # Errors
+///
+/// Returns [`TemplateError::BadRange`] if `a` or `b` is out of range.
+pub fn interchange(n: usize, a: usize, b: usize) -> Result<Template, TemplateError> {
+    if a >= n || b >= n {
+        return Err(TemplateError::BadRange { i: a.min(b), j: a.max(b), n });
+    }
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.swap(a, b);
+    Template::reverse_permute(vec![false; n], perm)
+}
+
+/// Loop interchange as a `Unimodular` instantiation (for nests whose
+/// bounds are linear but not invariant, e.g. triangular — Fig. 4(a)).
+///
+/// # Errors
+///
+/// Returns [`TemplateError::BadRange`] if `a` or `b` is out of range.
+pub fn interchange_unimodular(n: usize, a: usize, b: usize) -> Result<Template, TemplateError> {
+    if a >= n || b >= n {
+        return Err(TemplateError::BadRange { i: a.min(b), j: a.max(b), n });
+    }
+    Template::unimodular(IntMatrix::interchange(n, a, b))
+}
+
+/// Reversal of loop `k` as a `ReversePermute` (works for symbolic steps).
+///
+/// # Errors
+///
+/// Returns [`TemplateError::BadRange`] if `k` is out of range.
+pub fn reversal(n: usize, k: usize) -> Result<Template, TemplateError> {
+    if k >= n {
+        return Err(TemplateError::BadRange { i: k, j: k, n });
+    }
+    let mut rev = vec![false; n];
+    rev[k] = true;
+    Template::reverse_permute(rev, (0..n).collect())
+}
+
+/// General loop permutation (`perm[k]` = new position of loop `k`).
+///
+/// # Errors
+///
+/// Returns [`TemplateError::NotAPermutation`] for an invalid map.
+pub fn permute(perm: Vec<usize>) -> Result<Template, TemplateError> {
+    let n = perm.len();
+    Template::reverse_permute(vec![false; n], perm)
+}
+
+/// Loop skewing: `x_dst' = x_dst + factor · x_src` as a `Unimodular`.
+///
+/// # Errors
+///
+/// Returns [`TemplateError::BadRange`] for invalid loop indices.
+pub fn skew(n: usize, src: usize, dst: usize, factor: i64) -> Result<Template, TemplateError> {
+    if src >= n || dst >= n || src == dst {
+        return Err(TemplateError::BadRange { i: src.min(dst), j: src.max(dst), n });
+    }
+    Template::unimodular(IntMatrix::skew(n, src, dst, factor))
+}
+
+/// Strip-mining of loop `k` with the given strip size: `Block` on the
+/// single-loop range (`Blocking can be viewed as a combination of strip
+/// mining and interchanging`).
+///
+/// # Errors
+///
+/// Returns [`TemplateError::BadRange`] if `k` is out of range.
+pub fn strip_mine(n: usize, k: usize, size: Expr) -> Result<Template, TemplateError> {
+    Template::block(n, k, k, vec![size])
+}
+
+/// Tiling of the loops `i..=j` — an alias for `Block`.
+///
+/// # Errors
+///
+/// See [`Template::block`].
+pub fn tile(n: usize, i: usize, j: usize, sizes: Vec<Expr>) -> Result<Template, TemplateError> {
+    Template::block(n, i, j, sizes)
+}
+
+/// Parallelization of a single loop.
+///
+/// # Errors
+///
+/// Returns [`TemplateError::BadRange`] if `k` is out of range.
+pub fn parallelize_loop(n: usize, k: usize) -> Result<Template, TemplateError> {
+    if k >= n {
+        return Err(TemplateError::BadRange { i: k, j: k, n });
+    }
+    let mut flags = vec![false; n];
+    flags[k] = true;
+    Ok(Template::parallelize(flags))
+}
+
+/// The classical *wavefront* (hyperplane) transformation for a 2-deep
+/// nest: skew the inner loop by the outer, interchange, and parallelize
+/// the (now dependence-free) inner loop — Lamport's hyperplane method as
+/// a three-template sequence.
+///
+/// # Errors
+///
+/// Never fails for `n = 2` construction; returns [`SequenceError`] only if
+/// an internal instantiation is invalid (which would be a bug).
+pub fn wavefront2() -> Result<TransformSeq, SequenceError> {
+    TransformSeq::new(2)
+        .unimodular(IntMatrix::skew(2, 0, 1, 1))?
+        .unimodular(IntMatrix::interchange(2, 0, 1))?
+        .parallelize(vec![false, true])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irlt_dependence::{DepSet, DepVector};
+    use irlt_ir::parse_nest;
+
+    #[test]
+    fn interchange_is_reverse_permute() {
+        let t = interchange(3, 0, 2).unwrap();
+        match t {
+            Template::ReversePermute { ref rev, ref perm } => {
+                assert_eq!(rev, &vec![false; 3]);
+                assert_eq!(perm.as_slice(), &[2, 1, 0]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(interchange(2, 0, 5).is_err());
+    }
+
+    #[test]
+    fn reversal_flips_one_mask_bit() {
+        let t = reversal(3, 1).unwrap();
+        match t {
+            Template::ReversePermute { ref rev, ref perm } => {
+                assert_eq!(rev, &vec![false, true, false]);
+                assert!(perm.is_identity());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strip_mine_is_single_loop_block() {
+        let t = strip_mine(3, 1, Expr::int(64)).unwrap();
+        assert_eq!(t.output_size(), 4);
+        assert_eq!(t.name(), "Block");
+    }
+
+    #[test]
+    fn wavefront_makes_stencil_inner_parallel() {
+        // Fig. 1 stencil: skew+interchange leaves deps (1,1) and (1,0);
+        // the inner loop then carries nothing, so pardo is legal.
+        let nest = parse_nest(
+            "do i = 2, n - 1\n do j = 2, n - 1\n  a(i, j) = a(i - 1, j) + a(i, j - 1)\n enddo\nenddo",
+        )
+        .unwrap();
+        let deps = DepSet::from_distances(&[&[1, 0], &[0, 1]]);
+        let t = wavefront2().unwrap();
+        assert!(t.is_legal(&nest, &deps).is_legal());
+        let out = t.apply(&nest).unwrap();
+        assert!(!out.level(0).kind.is_parallel());
+        assert!(out.level(1).kind.is_parallel());
+        // Without the skew, parallelizing the inner loop is illegal.
+        let bare = TransformSeq::new(2).parallelize(vec![false, true]).unwrap();
+        assert!(!bare.is_legal(&nest, &deps).is_legal());
+    }
+
+    #[test]
+    fn skew_maps_dependences() {
+        let t = skew(2, 0, 1, 1).unwrap();
+        let d = t.map_dep_vector(&DepVector::distances(&[1, -1]));
+        assert_eq!(d, vec![DepVector::distances(&[1, 0])]);
+        assert!(skew(2, 1, 1, 1).is_err());
+    }
+
+    #[test]
+    fn parallelize_loop_builds_flags() {
+        let t = parallelize_loop(3, 2).unwrap();
+        match t {
+            Template::Parallelize { ref parflag } => {
+                assert_eq!(parflag, &vec![false, false, true]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parallelize_loop(3, 3).is_err());
+    }
+
+    #[test]
+    fn permute_and_tile_aliases() {
+        assert!(permute(vec![1, 2, 0]).is_ok());
+        assert!(permute(vec![1, 1, 0]).is_err());
+        let t = tile(2, 0, 1, vec![Expr::int(8), Expr::int(8)]).unwrap();
+        assert_eq!(t.output_size(), 4);
+    }
+
+    #[test]
+    fn interchange_unimodular_handles_triangular() {
+        let nest = parse_nest("do i = 1, n\n do j = 1, i\n  a(i, j) = 0\n enddo\nenddo").unwrap();
+        let via_matrix = interchange_unimodular(2, 0, 1).unwrap();
+        assert!(via_matrix.check_preconditions(&nest).is_ok());
+        let via_rp = interchange(2, 0, 1).unwrap();
+        assert!(via_rp.check_preconditions(&nest).is_err());
+    }
+}

@@ -1,0 +1,339 @@
+//! `Block(n, i, j, bsize)` code generation (Table 4).
+//!
+//! Blocking (tiling) the contiguous loops `i..=j` produces *block loops*
+//! `x'_i … x'_j` that step between tiles, followed by *element loops*
+//! `x_i … x_j` (original names) that step inside one tile, clipped by the
+//! original bounds. The paper "takes special care to bound the iteration
+//! space so that only tiles with some work are created": a block loop's
+//! bound is the original bound evaluated at the tile corner that
+//! extremizes it (the `x_min[k,h]` / `x_max[k,h]` substitution), so
+//! trapezoidal spaces are tiled tightly rather than boxed.
+
+use super::derived_name;
+use irlt_ir::{bound_linear_terms, BoundSide, Expr, Loop, LoopNest, Symbol};
+
+/// Applies the transformation. Preconditions are assumed checked (linear
+/// bounds inside the range, constant steps, invariant block sizes).
+pub(super) fn apply(i: usize, j: usize, bsize: &[Expr], nest: &LoopNest) -> LoopNest {
+    let n = nest.depth();
+    let indices = nest.index_vars();
+
+    // Fresh names for the block loops.
+    let mut block_names: Vec<Symbol> = Vec::with_capacity(j - i + 1);
+    for k in i..=j {
+        block_names.push(derived_name(&nest.level(k).var, nest, &block_names));
+    }
+    let bsize_of = |k: usize| &bsize[k - i];
+    let block_var = |k: usize| Expr::var(block_names[k - i].clone());
+
+    let mut loops: Vec<Loop> = Vec::with_capacity(n + (j - i + 1));
+    loops.extend(nest.loops()[..i].iter().cloned());
+
+    // Block loops.
+    for k in i..=j {
+        let l = nest.level(k);
+        let step = l.step.as_const().expect("precondition: const step");
+        // Substitute each already-blocked variable x_h by the tile corner
+        // that extremizes the bound.
+        let lower = substitute_corner(
+            &l.lower,
+            BoundSide::Lower,
+            step > 0,
+            i,
+            k,
+            nest,
+            &indices,
+            &block_names,
+            bsize,
+        );
+        let upper = substitute_corner(
+            &l.upper,
+            BoundSide::Upper,
+            step > 0,
+            i,
+            k,
+            nest,
+            &indices,
+            &block_names,
+            bsize,
+        );
+        loops.push(Loop {
+            var: block_names[k - i].clone(),
+            lower,
+            upper,
+            step: Expr::mul(l.step.clone(), bsize_of(k).clone()).simplify(),
+            kind: l.kind,
+        });
+    }
+
+    // Element loops (original index variables, clipped to the tile ∩ the
+    // original bounds).
+    for k in i..=j {
+        let l = nest.level(k);
+        let step = l.step.as_const().expect("precondition: const step");
+        let tile_end = Expr::add(
+            block_var(k),
+            Expr::mul(
+                l.step.clone(),
+                Expr::sub(bsize_of(k).clone(), Expr::int(1)),
+            ),
+        )
+        .simplify();
+        // When the original bound does not involve blocked variables, the
+        // tile grid is anchored at it, so the max/min with the tile origin
+        // is redundant (the paper prints `j = jj, min(n, jj+bj−1)`).
+        let origin_invariant = (i..k).all(|h| !l.lower.mentions(&indices[h]));
+        let (lower, upper) = if step > 0 {
+            let lo = if origin_invariant {
+                block_var(k)
+            } else {
+                Expr::max2(block_var(k), l.lower.clone())
+            };
+            (lo, Expr::min2(l.upper.clone(), tile_end))
+        } else {
+            let lo = if origin_invariant {
+                block_var(k)
+            } else {
+                Expr::min2(block_var(k), l.lower.clone())
+            };
+            (lo, Expr::max2(l.upper.clone(), tile_end))
+        };
+        loops.push(Loop {
+            var: l.var.clone(),
+            lower,
+            upper,
+            step: l.step.clone(),
+            kind: l.kind,
+        });
+    }
+
+    loops.extend(nest.loops()[j + 1..].iter().cloned());
+    LoopNest::with_inits(loops, nest.inits().to_vec(), nest.body().to_vec())
+}
+
+/// Rewrites a blocked-range bound for use as a *block-loop* bound: every
+/// blocked variable `x_h` (`i ≤ h < k`) is replaced by the tile corner
+/// extremizing the bound — `x'_h + s_h·(bsize[h]−1)` when the coefficient
+/// of `x_h` works against the bound's side, `x'_h` otherwise.
+#[allow(clippy::too_many_arguments)]
+fn substitute_corner(
+    bound: &Expr,
+    side: BoundSide,
+    step_positive: bool,
+    i: usize,
+    k: usize,
+    nest: &LoopNest,
+    indices: &[Symbol],
+    block_names: &[Symbol],
+    bsize: &[Expr],
+) -> Expr {
+    // Linearity is required (and guaranteed by the precondition) only in
+    // the *blocked-range* variables; outer variables may appear arbitrarily
+    // (e.g. the nonlinear decode of a previously coalesced loop) and are
+    // simply part of the invariant remainder here.
+    let range_vars = &indices[i..k];
+    if range_vars.is_empty() {
+        return bound.simplify();
+    }
+    let terms = bound_linear_terms(bound, side, step_positive, range_vars)
+        .expect("precondition: linear bound within blocked range");
+    let result = bound.substitute(&|v: &Symbol| {
+        let h = indices[i..k].iter().position(|x| x == v)? + i;
+        // Which extreme of the bound does the block loop need over the
+        // tile? The *start* bound (Lower field) must cover every tile
+        // column: the minimal start for ascending loops, the maximal for
+        // descending; the *end* bound symmetrically. From that, the tile
+        // corner per variable follows from the coefficient sign.
+        let bound_wants_max = match side {
+            BoundSide::Lower => !step_positive,
+            BoundSide::Upper => step_positive,
+            BoundSide::Step => false,
+        };
+        let want_max = terms.iter().any(|t| {
+            let c = t.coeff(v);
+            c != 0 && ((c > 0) == bound_wants_max)
+        });
+        // The tile of loop h spans x'_h … x'_h + s_h·(b_h − 1): the far
+        // corner is the maximum only for positive steps.
+        let s_h = nest.level(h).step.as_const().expect("precondition: const step");
+        let far_is_max = s_h > 0;
+        let base = Expr::var(block_names[h - i].clone());
+        Some(if want_max == far_is_max {
+            Expr::add(
+                base,
+                Expr::mul(
+                    nest.level(h).step.clone(),
+                    Expr::sub(bsize[h - i].clone(), Expr::int(1)),
+                ),
+            )
+            .simplify()
+        } else {
+            base
+        })
+    });
+    result.simplify()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::template::Template;
+    use irlt_ir::{parse_nest, Expr};
+
+    #[test]
+    fn rectangular_matmul_block_figure7() {
+        // The Fig. 7 Block step: after ReversePermute the nest is
+        // (j, k, i), all 1..n; blocking all three with [bj, bk, bi].
+        let nest = parse_nest(
+            "do j = 1, n\n do k = 1, n\n  do i = 1, n\n   A(i, j) = A(i, j) + B(i, k) * C(k, j)\n  enddo\n enddo\nenddo",
+        )
+        .unwrap();
+        let t = Template::block(
+            3,
+            0,
+            2,
+            vec![Expr::var("bj"), Expr::var("bk"), Expr::var("bi")],
+        )
+        .unwrap();
+        let out = t.apply_to(&nest).unwrap();
+        assert_eq!(out.depth(), 6);
+        let text = out.to_string();
+        assert!(text.contains("do jj = 1, n, bj"), "{text}");
+        assert!(text.contains("do kk = 1, n, bk"), "{text}");
+        assert!(text.contains("do ii = 1, n, bi"), "{text}");
+        assert!(text.contains("do j = jj, min(n, jj + bj - 1), 1"), "{text}");
+        assert!(text.contains("do k = kk, min(n, kk + bk - 1), 1"), "{text}");
+        assert!(text.contains("do i = ii, min(n, ii + bi - 1), 1"), "{text}");
+        assert!(out.inits().is_empty());
+    }
+
+    #[test]
+    fn triangular_block_is_tight() {
+        // do i = 1, n; do j = 1, i — blocking both: the jj loop's upper
+        // bound must reach the tile's largest i (ii + b − 1), giving tiles
+        // only where work exists.
+        let nest = parse_nest("do i = 1, n\n do j = 1, i\n  a(i, j) = 0\n enddo\nenddo").unwrap();
+        let t = Template::block(2, 0, 1, vec![Expr::var("b"), Expr::var("b")]).unwrap();
+        let out = t.apply_to(&nest).unwrap();
+        let text = out.to_string();
+        assert!(text.contains("do ii = 1, n, b"), "{text}");
+        // u'_jj = i evaluated at the tile's max i: ii + b − 1.
+        assert!(text.contains("do jj = 1, ii + b - 1, b"), "{text}");
+        // Element loop j clipped by the real bound i.
+        assert!(text.contains("do j = jj, min(i, jj + b - 1), 1"), "{text}");
+        assert!(text.contains("do i = ii, min(n, ii + b - 1), 1"), "{text}");
+    }
+
+    #[test]
+    fn decreasing_bound_uses_far_corner_for_lower() {
+        // do i = 1, n; do j = n - i + 1, n: lower bound of j decreases in
+        // i, so the jj block loop must start at the tile's smallest bound:
+        // n − (ii + b − 1) + 1.
+        let nest =
+            parse_nest("do i = 1, n\n do j = n - i + 1, n\n  a(i, j) = 0\n enddo\nenddo").unwrap();
+        let t = Template::block(2, 0, 1, vec![Expr::var("b"), Expr::var("b")]).unwrap();
+        let out = t.apply_to(&nest).unwrap();
+        let text = out.to_string();
+        assert!(text.contains("do jj = n - ii - b + 2, n, b"), "{text}");
+        // Element loop keeps the true (per-i) lower bound.
+        assert!(
+            text.contains("do j = max(jj, n - i + 1), min(n, jj + b - 1), 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn partial_range_block() {
+        // Strip-mine only the middle loop of three.
+        let nest = parse_nest(
+            "do i = 1, n\n do j = 1, m\n  do k = 1, p\n   a(i, j, k) = 0\n  enddo\n enddo\nenddo",
+        )
+        .unwrap();
+        let t = Template::block(3, 1, 1, vec![Expr::int(32)]).unwrap();
+        let out = t.apply_to(&nest).unwrap();
+        assert_eq!(out.depth(), 4);
+        let vars: Vec<&str> = out.loops().iter().map(|l| l.var.as_str()).collect();
+        assert_eq!(vars, ["i", "jj", "j", "k"]);
+        assert_eq!(out.level(1).step, Expr::int(32));
+        assert_eq!(out.level(2).to_string(), "do j = jj, min(m, jj + 31), 1");
+    }
+
+    #[test]
+    fn pardo_kind_propagates_to_both_levels() {
+        let nest = parse_nest("pardo i = 1, n\n a(i) = 0\nenddo").unwrap();
+        let t = Template::block(1, 0, 0, vec![Expr::int(8)]).unwrap();
+        let out = t.apply_to(&nest).unwrap();
+        assert!(out.level(0).kind.is_parallel());
+        assert!(out.level(1).kind.is_parallel());
+    }
+
+    #[test]
+    fn block_after_coalesce_nonlinear_outer_bound() {
+        // Found by proptest: strip-mining a loop whose bounds reference a
+        // coalesced loop's (nonlinear) decode expression must work — the
+        // nonlinearity is in an *outer* variable, not in the blocked range.
+        let nest = parse_nest(
+            "do i = 1, 3\n do j = 1, 3\n  do k = 1, 3\n   A(i - 1) = A(i) + B(j - k)\n  enddo\n enddo\nenddo",
+        )
+        .unwrap();
+        let seq = crate::TransformSeq::new(3)
+            .block(2, 2, vec![Expr::int(3)])
+            .unwrap()
+            .coalesce(0, 2)
+            .unwrap()
+            .block(1, 1, vec![Expr::int(2)])
+            .unwrap();
+        let out = seq.apply(&nest).unwrap();
+        assert_eq!(out.depth(), 3);
+    }
+
+    #[test]
+    fn negative_step_trapezoid_block_is_sound() {
+        // Both loops descend; the inner bound depends on the outer. The
+        // corner choice must account for the negative step (the tile's far
+        // corner is its MINIMUM), or tiles get clipped away.
+        let nest = parse_nest(
+            "do i = 9, 1, -1\n do j = i, 1, -1\n  a(i, j) = a(i, j) + 1\n enddo\nenddo",
+        )
+        .unwrap();
+        let t = Template::block(2, 0, 1, vec![Expr::int(3), Expr::int(3)]).unwrap();
+        let out = t.apply_to(&nest).unwrap();
+        let r = irlt_interp::check_equivalence(&nest, &out, &[], 7).unwrap();
+        assert!(r.is_equivalent(), "{r}\n{out}");
+        assert_eq!(r.original_iterations, r.transformed_iterations, "{out}");
+
+        // Ascending outer, descending inner with |step| = 2 and an
+        // outer-dependent start bound: the element loop's stride phase is
+        // anchored at that start, so no tile clipping can be exact — the
+        // precondition must reject it.
+        let nest = parse_nest(
+            "do i = 1, 9\n do j = i, 1, -2\n  a(i, j) = a(i, j) + 1\n enddo\nenddo",
+        )
+        .unwrap();
+        let t = Template::block(2, 0, 1, vec![Expr::int(4), Expr::int(2)]).unwrap();
+        assert!(matches!(
+            t.apply_to(&nest),
+            Err(crate::ApplyError::Precond(crate::PrecondError::TypeViolation { .. }))
+        ));
+        // With an invariant start bound the same shape blocks fine.
+        let nest = parse_nest(
+            "do i = 1, 9\n do j = 9, i, -2\n  a(i, j) = a(i, j) + 1\n enddo\nenddo",
+        )
+        .unwrap();
+        let out = t.apply_to(&nest).unwrap();
+        let r = irlt_interp::check_equivalence(&nest, &out, &[], 11).unwrap();
+        assert!(r.is_equivalent(), "{r}\n{out}");
+        assert_eq!(r.original_iterations, r.transformed_iterations, "{out}");
+    }
+
+    #[test]
+    fn negative_step_block() {
+        // do i = n, 1, -1 blocked by 4: block loop steps −4; element loop
+        // runs i = ii down to max(ii − 3, 1).
+        let nest = parse_nest("do i = n, 1, -1\n a(i) = 0\nenddo").unwrap();
+        let t = Template::block(1, 0, 0, vec![Expr::int(4)]).unwrap();
+        let out = t.apply_to(&nest).unwrap();
+        let text = out.to_string();
+        assert!(text.contains("do ii = n, 1, -4"), "{text}");
+        assert!(text.contains("do i = ii, max(1, ii - 3), -1"), "{text}");
+    }
+}

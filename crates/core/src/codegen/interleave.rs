@@ -1,0 +1,132 @@
+//! `Interleave(n, i, j, isize)` code generation (Table 3).
+//!
+//! Interleaving is the strided sibling of `Block`: the outer new loops
+//! select an *interleave class* `0 … isize[k]−1`, and the inner loops
+//! (original names) stride through that class:
+//!
+//! ```text
+//! loop x'_k = 0, isize[k] − 1, 1
+//! …
+//! loop x_k  = l_k + x'_k · s_k,  u_k,  isize[k] · s_k
+//! ```
+//!
+//! "In the Block transformation, every block is a set of contiguous
+//! iterations in the original loop, while in the Interleave transformation,
+//! a block consists of non-contiguous iterations from the original loop."
+
+use super::derived_name;
+use irlt_ir::{Expr, Loop, LoopNest, Symbol};
+
+/// Applies the transformation. Preconditions are assumed checked.
+pub(super) fn apply(i: usize, j: usize, isize_: &[Expr], nest: &LoopNest) -> LoopNest {
+    let n = nest.depth();
+    let mut class_names: Vec<Symbol> = Vec::with_capacity(j - i + 1);
+    for k in i..=j {
+        class_names.push(derived_name(&nest.level(k).var, nest, &class_names));
+    }
+
+    let mut loops: Vec<Loop> = Vec::with_capacity(n + (j - i + 1));
+    loops.extend(nest.loops()[..i].iter().cloned());
+    // Class-selector loops.
+    for k in i..=j {
+        loops.push(Loop {
+            var: class_names[k - i].clone(),
+            lower: Expr::int(0),
+            upper: Expr::sub(isize_[k - i].clone(), Expr::int(1)).simplify(),
+            step: Expr::int(1),
+            kind: nest.level(k).kind,
+        });
+    }
+    // Strided element loops.
+    for k in i..=j {
+        let l = nest.level(k);
+        loops.push(Loop {
+            var: l.var.clone(),
+            lower: Expr::add(
+                l.lower.clone(),
+                Expr::mul(Expr::var(class_names[k - i].clone()), l.step.clone()),
+            )
+            .simplify(),
+            upper: l.upper.clone(),
+            step: Expr::mul(isize_[k - i].clone(), l.step.clone()).simplify(),
+            kind: l.kind,
+        });
+    }
+    loops.extend(nest.loops()[j + 1..].iter().cloned());
+    LoopNest::with_inits(loops, nest.inits().to_vec(), nest.body().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::template::Template;
+    use irlt_ir::{parse_nest, Expr};
+
+    #[test]
+    fn single_loop_interleave() {
+        let nest = parse_nest("do i = 1, n\n a(i) = 0\nenddo").unwrap();
+        let t = Template::interleave(1, 0, 0, vec![Expr::int(4)]).unwrap();
+        let out = t.apply_to(&nest).unwrap();
+        assert_eq!(out.depth(), 2);
+        let text = out.to_string();
+        assert!(text.contains("do ii = 0, 3, 1"), "{text}");
+        assert!(text.contains("do i = ii + 1, n, 4"), "{text}");
+        assert!(out.inits().is_empty());
+    }
+
+    #[test]
+    fn interleave_covers_exactly_the_original_space() {
+        // Enumerate (class, element) pairs and confirm each original i in
+        // 1..=10 appears exactly once.
+        let nest = parse_nest("do i = 1, 10\n a(i) = 0\nenddo").unwrap();
+        let t = Template::interleave(1, 0, 0, vec![Expr::int(3)]).unwrap();
+        let out = t.apply_to(&nest).unwrap();
+        let mut seen = Vec::new();
+        for class in 0..=2_i64 {
+            let env = |s: &irlt_ir::Symbol| (s.as_str() == "ii").then_some(class);
+            let nf = |_: &irlt_ir::Symbol, _: &[i64]| None;
+            let lo = out.level(1).lower.eval_scalar(&env, &nf).unwrap();
+            let hi = out.level(1).upper.eval_scalar(&env, &nf).unwrap();
+            let st = out.level(1).step.eval_scalar(&env, &nf).unwrap();
+            let mut x = lo;
+            while x <= hi {
+                seen.push(x);
+                x += st;
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (1..=10).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn range_interleave_layout() {
+        let nest = parse_nest(
+            "do i = 1, n\n do j = 1, m\n  do k = 1, p\n   a(i, j, k) = 0\n  enddo\n enddo\nenddo",
+        )
+        .unwrap();
+        let t = Template::interleave(3, 1, 2, vec![Expr::var("fj"), Expr::var("fk")]).unwrap();
+        let out = t.apply_to(&nest).unwrap();
+        let vars: Vec<&str> = out.loops().iter().map(|l| l.var.as_str()).collect();
+        assert_eq!(vars, ["i", "jj", "kk", "j", "k"]);
+        assert_eq!(out.level(1).upper.to_string(), "fj - 1");
+        assert_eq!(out.level(3).to_string(), "do j = jj + 1, m, fj");
+    }
+
+    #[test]
+    fn strided_loop_interleave() {
+        // Original step 2: element loop steps isize·2 and starts at
+        // l + class·2.
+        let nest = parse_nest("do i = 0, n, 2\n a(i) = 0\nenddo").unwrap();
+        let t = Template::interleave(1, 0, 0, vec![Expr::int(4)]).unwrap();
+        let out = t.apply_to(&nest).unwrap();
+        assert_eq!(out.level(1).to_string(), "do i = 2*ii, n, 8");
+    }
+
+    #[test]
+    fn pardo_kind_propagates() {
+        let nest = parse_nest("pardo i = 1, n\n a(i) = 0\nenddo").unwrap();
+        let t = Template::interleave(1, 0, 0, vec![Expr::int(2)]).unwrap();
+        let out = t.apply_to(&nest).unwrap();
+        assert!(out.level(0).kind.is_parallel());
+        assert!(out.level(1).kind.is_parallel());
+    }
+}

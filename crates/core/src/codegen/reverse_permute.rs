@@ -1,0 +1,169 @@
+//! `ReversePermute(n, rev, perm)` code generation (Table 3).
+//!
+//! Reversals happen first, then the permutation moves loop `k` to position
+//! `perm[k]`. Bounds move verbatim (the preconditions guarantee invariance
+//! across every reordered pair), index-variable names are reused, no
+//! initialization statements are created, and — unlike `Unimodular` —
+//! "step expressions are not normalized to ±1", so symbolic strides
+//! survive.
+
+use super::{abs_expr, sgn_expr};
+use crate::template::Permutation;
+use irlt_ir::{Expr, Loop, LoopNest};
+
+/// Applies the transformation. Preconditions are assumed checked.
+pub(super) fn apply(rev: &[bool], perm: &Permutation, nest: &LoopNest) -> LoopNest {
+    let n = nest.depth();
+    let mut slots: Vec<Option<Loop>> = vec![None; n];
+    for k in 0..n {
+        let l = nest.level(k).clone();
+        let l = if rev[k] { reverse_loop(l) } else { l };
+        let slot = &mut slots[perm.new_position(k)];
+        debug_assert!(slot.is_none());
+        *slot = Some(l);
+    }
+    let loops = slots.into_iter().map(|l| l.expect("perm is total")).collect();
+    LoopNest::with_inits(loops, nest.inits().to_vec(), nest.body().to_vec())
+}
+
+/// Reverses one loop: the new loop starts at the *last* iterate of the
+/// original and steps by `−s` back to the original lower bound:
+///
+/// ```text
+/// do x = u − sgn(s)·mod(abs(u − l), abs(s)),  l,  −s
+/// ```
+///
+/// For `|s| = 1` the `mod` folds away and this is the familiar
+/// `do x = u, l, −1`. The formula works for negative and symbolic steps,
+/// folding whenever the step (and the span) are compile-time constants.
+fn reverse_loop(l: Loop) -> Loop {
+    let span = Expr::sub(l.upper.clone(), l.lower.clone()).simplify();
+    let offset = match l.step.as_const() {
+        Some(s) => {
+            // sgn(s)·(|span| mod |s|): with constant step the mod argument
+            // keeps its symbolic form but |s| and sgn(s) fold.
+            let m = Expr::modulo(mul_sgn(&span, s.signum()), Expr::int(s.abs()));
+            mul_sgn(&m, s.signum())
+        }
+        None => Expr::mul(
+            sgn_expr(&l.step),
+            Expr::modulo(abs_expr(&span), abs_expr(&l.step)),
+        ),
+    };
+    let new_lower = Expr::sub(l.upper.clone(), offset).simplify();
+    Loop {
+        var: l.var,
+        lower: new_lower,
+        upper: l.lower,
+        step: Expr::neg(l.step).simplify(),
+        kind: l.kind,
+    }
+}
+
+/// `e · sgn` for a known sign, avoiding `abs` calls on symbolic spans:
+/// `sgn(s)·span = |span|` modulo-compatible form when the span's sign
+/// matches the step's (a nonempty loop guarantees `sgn(span) = sgn(s)`).
+fn mul_sgn(e: &Expr, sgn: i64) -> Expr {
+    match sgn {
+        1 => e.clone(),
+        -1 => Expr::neg(e.clone()).simplify(),
+        _ => Expr::int(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::template::Template;
+    use irlt_ir::{parse_nest, Expr};
+
+    #[test]
+    fn unit_step_reversal() {
+        let nest = parse_nest("do i = 1, n\n a(i) = i\nenddo").unwrap();
+        let t = Template::reverse_permute(vec![true], vec![0]).unwrap();
+        let out = t.apply_to(&nest).unwrap();
+        assert_eq!(out.level(0).to_string(), "do i = n, 1, -1");
+        assert!(out.inits().is_empty());
+    }
+
+    #[test]
+    fn constant_step_reversal_lands_on_last_iterate() {
+        // do i = 1, 10, 3 visits 1,4,7,10 → reversed: 10,7,4,1.
+        let nest = parse_nest("do i = 1, 10, 3\n a(i) = i\nenddo").unwrap();
+        let t = Template::reverse_permute(vec![true], vec![0]).unwrap();
+        let out = t.apply_to(&nest).unwrap();
+        assert_eq!(out.level(0).to_string(), "do i = 10, 1, -3");
+        // do i = 1, 11, 3 visits 1,4,7,10 → reversed starts at 10, not 11.
+        let nest = parse_nest("do i = 1, 11, 3\n a(i) = i\nenddo").unwrap();
+        let out = t.apply_to(&nest).unwrap();
+        assert_eq!(out.level(0).to_string(), "do i = 10, 1, -3");
+    }
+
+    #[test]
+    fn negative_step_reversal() {
+        // do i = 10, 2, -4 visits 10,6,2 → reversed: 2,6,10.
+        let nest = parse_nest("do i = 10, 2, -4\n a(i) = i\nenddo").unwrap();
+        let t = Template::reverse_permute(vec![true], vec![0]).unwrap();
+        let out = t.apply_to(&nest).unwrap();
+        assert_eq!(out.level(0).to_string(), "do i = 2, 10, 4");
+        // Non-exact span: do i = 10, 1, -4 also visits 10,6,2.
+        let nest = parse_nest("do i = 10, 1, -4\n a(i) = i\nenddo").unwrap();
+        let out = t.apply_to(&nest).unwrap();
+        assert_eq!(out.level(0).to_string(), "do i = 2, 10, 4");
+    }
+
+    #[test]
+    fn symbolic_span_constant_step() {
+        let nest = parse_nest("do i = 1, n, 2\n a(i) = i\nenddo").unwrap();
+        let t = Template::reverse_permute(vec![true], vec![0]).unwrap();
+        let out = t.apply_to(&nest).unwrap();
+        assert_eq!(
+            out.level(0).to_string(),
+            "do i = n - (n - 1) mod 2, 1, -2"
+        );
+    }
+
+    #[test]
+    fn symbolic_step_reversal() {
+        // The headline ReversePermute feature: reversal with unknown stride.
+        let nest = parse_nest("do i = 1, n, s\n a(i) = i\nenddo").unwrap();
+        let t = Template::reverse_permute(vec![true], vec![0]).unwrap();
+        let out = t.apply_to(&nest).unwrap();
+        let text = out.level(0).to_string();
+        assert_eq!(text, "do i = n - sgn(s)*(abs(n - 1) mod abs(s)), 1, -s");
+    }
+
+    #[test]
+    fn permutation_moves_bounds_verbatim() {
+        let nest = parse_nest(
+            "do i = 1, n\n do j = 1, m, 2\n  do k = 1, p\n   a(i, j, k) = 0\n  enddo\n enddo\nenddo",
+        )
+        .unwrap();
+        // i→2, j→0, k→1 (paper Fig. 7 first step uses perm=[3 1 2] 1-based).
+        let t = Template::reverse_permute(vec![false; 3], vec![2, 0, 1]).unwrap();
+        let out = t.apply_to(&nest).unwrap();
+        let vars: Vec<&str> =
+            out.loops().iter().map(|l| l.var.as_str()).collect();
+        assert_eq!(vars, ["j", "k", "i"]);
+        assert_eq!(out.level(0).step, Expr::int(2));
+        assert_eq!(out.level(2).upper.to_string(), "n");
+    }
+
+    #[test]
+    fn reverse_and_permute_combine() {
+        let nest =
+            parse_nest("do i = 1, n\n do j = 1, m\n  a(i, j) = 0\n enddo\nenddo").unwrap();
+        let t = Template::reverse_permute(vec![false, true], vec![1, 0]).unwrap();
+        let out = t.apply_to(&nest).unwrap();
+        assert_eq!(out.level(0).to_string(), "do j = m, 1, -1");
+        assert_eq!(out.level(1).to_string(), "do i = 1, n, 1");
+    }
+
+    #[test]
+    fn pardo_loops_preserved() {
+        let nest = parse_nest("pardo i = 1, n\n do j = 1, m\n  a(i, j) = 0\n enddo\nenddo").unwrap();
+        let t = Template::reverse_permute(vec![true, false], vec![1, 0]).unwrap();
+        let out = t.apply_to(&nest).unwrap();
+        assert_eq!(out.level(1).to_string(), "pardo i = n, 1, -1");
+        assert_eq!(out.level(0).to_string(), "do j = 1, m, 1");
+    }
+}

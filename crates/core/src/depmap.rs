@@ -1,0 +1,412 @@
+//! Dependence-vector mapping rules (Table 2).
+//!
+//! Each kernel template maps an input dependence vector set `D` to an
+//! output set `D'`. All templates except `Block` and `Interleave` map one
+//! vector to one vector; those two may map a vector to as many as
+//! `2^(j−i+1)` vectors — "this is one reason why they cannot be
+//! represented by a matrix".
+//!
+//! Every rule here is *consistent* (Definition 3.4): it never loses a
+//! dependence between execution instances. Consistency is verified
+//! empirically against the interpreter in the integration test suite.
+
+use crate::template::Template;
+use irlt_dependence::{DepElem, DepSet, DepVector};
+use irlt_unimodular::map_dep_vector as unimodular_map;
+
+impl Template {
+    /// Maps one dependence vector per the Table 2 rule for this template.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d.len() != self.input_size()`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use irlt_core::Template;
+    /// use irlt_dependence::DepVector;
+    ///
+    /// // Interchange of (1,−1) is (−1,1): Fig. 2(b)'s illegal result.
+    /// let t = Template::reverse_permute(vec![false, false], vec![1, 0])?;
+    /// let out = t.map_dep_vector(&DepVector::distances(&[1, -1]));
+    /// assert_eq!(out, vec![DepVector::distances(&[-1, 1])]);
+    /// # Ok::<(), irlt_core::TemplateError>(())
+    /// ```
+    pub fn map_dep_vector(&self, d: &DepVector) -> Vec<DepVector> {
+        assert_eq!(d.len(), self.input_size(), "dependence vector arity mismatch");
+        match self {
+            Template::Unimodular { matrix } => unimodular_map(matrix, d),
+            Template::ReversePermute { rev, perm } => {
+                vec![d.reverse_masked(rev).permute(perm.as_slice())]
+            }
+            Template::Parallelize { parflag } => {
+                // parmap(d_k) makes the entry symmetric: a pardo loop's
+                // iterations execute in arbitrary order, so the dependence
+                // difference may appear with either sign. parmap(0) = 0;
+                // otherwise S(d') = S(d) ∪ −S(d), most precisely
+                // d.merge(d.reverse()).
+                vec![DepVector::new(
+                    d.elems()
+                        .iter()
+                        .zip(parflag)
+                        .map(|(&e, &par)| if par { parmap(e) } else { e })
+                        .collect(),
+                )]
+            }
+            Template::Block { i, j, .. } => {
+                // d ↦ (d_1…d_{i−1}, block parts i..j, element parts i..j,
+                // d_{j+1}…d_n), with (d'_k, d''_k) ∈ blockmap(d_k).
+                split_range_map(d, *i, *j, blockmap)
+            }
+            Template::Coalesce { i, j, .. } => {
+                let mut elems: Vec<DepElem> = Vec::with_capacity(self.output_size());
+                elems.extend_from_slice(&d.elems()[..*i]);
+                elems.push(mergedirs(&d.elems()[*i..=*j]));
+                elems.extend_from_slice(&d.elems()[*j + 1..]);
+                vec![DepVector::new(elems)]
+            }
+            Template::Interleave { i, j, .. } => split_range_map(d, *i, *j, imap),
+        }
+    }
+
+    /// Maps a whole dependence set (union of per-vector images).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set arity differs from `self.input_size()`.
+    pub fn map_dep_set(&self, deps: &DepSet) -> DepSet {
+        let mut out = DepSet::new();
+        for v in deps {
+            for m in self.map_dep_vector(v) {
+                out.insert(m).expect("uniform output arity");
+            }
+        }
+        out
+    }
+}
+
+/// Table 2 `parmap`: the most precise entry covering `S(d) ∪ −S(d)`.
+pub fn parmap(e: DepElem) -> DepElem {
+    e.merge(e.reverse())
+}
+
+/// Table 2 `blockmap(d_k)`: pairs `(block distance, element distance)`.
+///
+/// ```text
+/// blockmap(d_k) = {(0, 0)}                      if d_k = 0
+///                 {(*, *)}                      if d_k = *
+///                 {(0, d_k), (d_k, *)}          if d_k = 1 or −1
+///                 {(0, d_k), (dir(d_k), *)}     otherwise
+/// ```
+pub fn blockmap(e: DepElem) -> Vec<(DepElem, DepElem)> {
+    match e {
+        DepElem::Dist(0) => vec![(DepElem::ZERO, DepElem::ZERO)],
+        DepElem::Dir(irlt_dependence::Dir::Any) => vec![(DepElem::ANY, DepElem::ANY)],
+        DepElem::Dist(1) | DepElem::Dist(-1) => {
+            vec![(DepElem::ZERO, e), (e, DepElem::ANY)]
+        }
+        other => vec![(DepElem::ZERO, other), (other.dir(), DepElem::ANY)],
+    }
+}
+
+/// Table 2 `imap(d_k)`: interleaved blocks are non-contiguous, so any
+/// nonzero difference can land in any (class, element) combination.
+///
+/// ```text
+/// imap(d_k) = {(0, 0)}  if d_k = 0
+///             {(*, *)}  otherwise
+/// ```
+pub fn imap(e: DepElem) -> Vec<(DepElem, DepElem)> {
+    match e {
+        DepElem::Dist(0) => vec![(DepElem::ZERO, DepElem::ZERO)],
+        _ => vec![(DepElem::ANY, DepElem::ANY)],
+    }
+}
+
+/// Table 2 `mergedirs`: the combined entry for a coalesced range. The
+/// coalesced loop's iteration difference takes the *lexicographic* sign of
+/// the sub-vector (the linearized index is dominated by the first nonzero
+/// component), so the result covers exactly the sign classes the sub-vector
+/// admits. Pairwise examples from the paper: `mergedirs(+, −) = +`.
+pub fn mergedirs(elems: &[DepElem]) -> DepElem {
+    let sub = DepVector::new(elems.to_vec());
+    let neg = sub.can_be_lex_negative();
+    let zero = sub.can_be_zero();
+    let pos = sub.can_be_lex_positive();
+    // An exact merged distance survives only for the all-zero sub-vector.
+    if !neg && !pos && zero {
+        return DepElem::ZERO;
+    }
+    DepElem::from_sign_classes(neg, zero, pos)
+}
+
+fn split_range_map(
+    d: &DepVector,
+    i: usize,
+    j: usize,
+    rule: fn(DepElem) -> Vec<(DepElem, DepElem)>,
+) -> Vec<DepVector> {
+    // Cartesian product of the per-entry pair choices over the range.
+    let choices: Vec<Vec<(DepElem, DepElem)>> =
+        d.elems()[i..=j].iter().map(|&e| rule(e)).collect();
+    let mut combos: Vec<Vec<(DepElem, DepElem)>> = vec![Vec::with_capacity(j - i + 1)];
+    for options in &choices {
+        let mut next = Vec::with_capacity(combos.len() * options.len());
+        for prefix in &combos {
+            for &opt in options {
+                let mut row = prefix.clone();
+                row.push(opt);
+                next.push(row);
+            }
+        }
+        combos = next;
+    }
+    combos
+        .into_iter()
+        .map(|pairs| {
+            let mut elems: Vec<DepElem> =
+                Vec::with_capacity(d.len() + (j - i + 1));
+            elems.extend_from_slice(&d.elems()[..i]);
+            elems.extend(pairs.iter().map(|&(b, _)| b));
+            elems.extend(pairs.iter().map(|&(_, e)| e));
+            elems.extend_from_slice(&d.elems()[j + 1..]);
+            DepVector::new(elems)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irlt_dependence::Dir;
+    use irlt_ir::Expr;
+
+    fn dist(values: &[i64]) -> DepVector {
+        DepVector::distances(values)
+    }
+
+    #[test]
+    fn reverse_permute_figure2() {
+        // Fig. 2: D = {(1,−1), (+,0)}. Interchange alone is illegal —
+        // it creates the lexicographically negative (−1,1).
+        let interchange = Template::reverse_permute(vec![false, false], vec![1, 0]).unwrap();
+        let d = DepSet::from_vectors(vec![
+            dist(&[1, -1]),
+            DepVector::new(vec![DepElem::POS, DepElem::ZERO]),
+        ])
+        .unwrap();
+        let out = interchange.map_dep_set(&d);
+        assert!(!out.is_legal());
+        assert!(out.vectors().contains(&dist(&[-1, 1])));
+        // Fig. 2(c): reversing loop j first makes the interchange legal:
+        // D' = {(1,1), (0,+)}.
+        let rev_then_swap = Template::reverse_permute(vec![false, true], vec![1, 0]).unwrap();
+        let out = rev_then_swap.map_dep_set(&d);
+        assert!(out.is_legal());
+        assert!(out.vectors().contains(&dist(&[1, 1])));
+        assert!(out
+            .vectors()
+            .contains(&DepVector::new(vec![DepElem::ZERO, DepElem::POS])));
+    }
+
+    #[test]
+    fn parmap_symmetry() {
+        assert_eq!(parmap(DepElem::ZERO), DepElem::ZERO);
+        assert_eq!(parmap(DepElem::Dist(3)), DepElem::Dir(Dir::NonZero));
+        assert_eq!(parmap(DepElem::POS), DepElem::Dir(Dir::NonZero));
+        assert_eq!(parmap(DepElem::Dir(Dir::NonNeg)), DepElem::ANY);
+        assert_eq!(parmap(DepElem::ANY), DepElem::ANY);
+    }
+
+    #[test]
+    fn parallelize_legality_semantics() {
+        // A dependence carried by a parallelized loop becomes illegal…
+        let t = Template::parallelize(vec![true, false]);
+        let d = DepSet::from_distances(&[&[1, 0]]);
+        assert!(!t.map_dep_set(&d).is_legal());
+        // … but an inner parallel loop under a sequential carrier is fine.
+        let t = Template::parallelize(vec![false, true]);
+        let d = DepSet::from_distances(&[&[1, -2]]);
+        assert!(t.map_dep_set(&d).is_legal());
+        // Parallelizing a loop with only 0 entries is fine.
+        let t = Template::parallelize(vec![true]);
+        let d = DepSet::from_distances(&[&[0]]);
+        assert!(t.map_dep_set(&d).is_legal());
+    }
+
+    #[test]
+    fn blockmap_table2_rows() {
+        assert_eq!(blockmap(DepElem::ZERO), vec![(DepElem::ZERO, DepElem::ZERO)]);
+        assert_eq!(blockmap(DepElem::ANY), vec![(DepElem::ANY, DepElem::ANY)]);
+        assert_eq!(
+            blockmap(DepElem::Dist(1)),
+            vec![(DepElem::ZERO, DepElem::Dist(1)), (DepElem::Dist(1), DepElem::ANY)]
+        );
+        assert_eq!(
+            blockmap(DepElem::Dist(-1)),
+            vec![
+                (DepElem::ZERO, DepElem::Dist(-1)),
+                (DepElem::Dist(-1), DepElem::ANY)
+            ]
+        );
+        // Distance 5: block part is only the *direction* (a 5-element jump
+        // may stay in the block or cross into the next).
+        assert_eq!(
+            blockmap(DepElem::Dist(5)),
+            vec![(DepElem::ZERO, DepElem::Dist(5)), (DepElem::POS, DepElem::ANY)]
+        );
+        assert_eq!(
+            blockmap(DepElem::Dir(Dir::NonNeg)),
+            vec![
+                (DepElem::ZERO, DepElem::Dir(Dir::NonNeg)),
+                (DepElem::Dir(Dir::NonNeg), DepElem::ANY)
+            ]
+        );
+    }
+
+    #[test]
+    fn block_vector_expansion_count() {
+        // Blocking both loops of (1,1): 2 choices per entry → 4 vectors.
+        let t = Template::block(2, 0, 1, vec![Expr::var("b1"), Expr::var("b2")]).unwrap();
+        let out = t.map_dep_vector(&dist(&[1, 1]));
+        assert_eq!(out.len(), 4);
+        for v in &out {
+            assert_eq!(v.len(), 4);
+        }
+        // Zero entries don't multiply.
+        let out = t.map_dep_vector(&dist(&[0, 0]));
+        assert_eq!(out, vec![dist(&[0, 0, 0, 0])]);
+    }
+
+    #[test]
+    fn block_layout_outer_then_inner() {
+        // Block loops 1..=2 of a 3-nest: layout (d0, B1, B2, e1, e2).
+        let t = Template::block(3, 1, 2, vec![Expr::var("b"), Expr::var("b")]).unwrap();
+        let out = t.map_dep_vector(&dist(&[7, 0, 0]));
+        assert_eq!(out, vec![dist(&[7, 0, 0, 0, 0])]);
+        let out = t.map_dep_vector(&DepVector::new(vec![
+            DepElem::Dist(2),
+            DepElem::ZERO,
+            DepElem::Dist(1),
+        ]));
+        // (2, {(0,0)}, {(0,1),(1,*)}) → two vectors.
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&DepVector::new(vec![
+            DepElem::Dist(2),
+            DepElem::ZERO,
+            DepElem::ZERO,
+            DepElem::ZERO,
+            DepElem::Dist(1),
+        ])));
+        assert!(out.contains(&DepVector::new(vec![
+            DepElem::Dist(2),
+            DepElem::ZERO,
+            DepElem::Dist(1),
+            DepElem::ZERO,
+            DepElem::ANY,
+        ])));
+    }
+
+    #[test]
+    fn block_figure7_matmul_step() {
+        // Fig. 7: after ReversePermute, D = {(=,+,=), (=,=,+)}… the paper
+        // lists for Block(6, …) the mapped vectors (=,=,=,=,+,=) and
+        // (=,+,=,=,*,=). Blocking all three loops of (0,1,0):
+        let t = Template::block(
+            3,
+            0,
+            2,
+            vec![Expr::var("bj"), Expr::var("bk"), Expr::var("bi")],
+        )
+        .unwrap();
+        let out = t.map_dep_vector(&dist(&[0, 1, 0]));
+        assert_eq!(out.len(), 2);
+        let a = DepVector::new(vec![
+            DepElem::ZERO,
+            DepElem::ZERO,
+            DepElem::ZERO,
+            DepElem::ZERO,
+            DepElem::Dist(1),
+            DepElem::ZERO,
+        ]);
+        let b = DepVector::new(vec![
+            DepElem::ZERO,
+            DepElem::Dist(1),
+            DepElem::ZERO,
+            DepElem::ZERO,
+            DepElem::ANY,
+            DepElem::ZERO,
+        ]);
+        assert!(out.contains(&a), "{out:?}");
+        assert!(out.contains(&b), "{out:?}");
+        assert_eq!(out[0].paper_str(), "(=,=,=,=,1,=)");
+        assert_eq!(out[1].paper_str(), "(=,1,=,=,*,=)");
+    }
+
+    #[test]
+    fn mergedirs_semantics() {
+        // Paper's example: mergedirs(+, −) = + (lex order dominated by the
+        // first nonzero).
+        assert_eq!(mergedirs(&[DepElem::POS, DepElem::NEG]), DepElem::POS);
+        assert_eq!(mergedirs(&[DepElem::ZERO, DepElem::POS]), DepElem::POS);
+        assert_eq!(mergedirs(&[DepElem::ZERO, DepElem::ZERO]), DepElem::ZERO);
+        assert_eq!(mergedirs(&[DepElem::NEG, DepElem::POS]), DepElem::NEG);
+        assert_eq!(
+            mergedirs(&[DepElem::Dir(Dir::NonNeg), DepElem::ZERO]),
+            DepElem::Dir(Dir::NonNeg)
+        );
+        // (*, +): the zero tuple is impossible (second entry > 0), so ≠.
+        assert_eq!(mergedirs(&[DepElem::ANY, DepElem::POS]), DepElem::Dir(Dir::NonZero));
+        // Distances collapse to their lex sign.
+        assert_eq!(mergedirs(&[DepElem::Dist(2), DepElem::Dist(-7)]), DepElem::POS);
+    }
+
+    #[test]
+    fn coalesce_mapping() {
+        let t = Template::coalesce(3, 1, 2).unwrap();
+        let out = t.map_dep_vector(&dist(&[4, 0, -2]));
+        assert_eq!(out, vec![DepVector::new(vec![DepElem::Dist(4), DepElem::NEG])]);
+        assert_eq!(out[0].len(), 2);
+        // Coalescing a legal set can stay legal.
+        let t = Template::coalesce(2, 0, 1).unwrap();
+        let d = DepSet::from_distances(&[&[0, 1], &[1, -1]]);
+        let out = t.map_dep_set(&d);
+        assert!(out.is_legal());
+    }
+
+    #[test]
+    fn imap_semantics() {
+        assert_eq!(imap(DepElem::ZERO), vec![(DepElem::ZERO, DepElem::ZERO)]);
+        assert_eq!(imap(DepElem::Dist(1)), vec![(DepElem::ANY, DepElem::ANY)]);
+        assert_eq!(imap(DepElem::POS), vec![(DepElem::ANY, DepElem::ANY)]);
+    }
+
+    #[test]
+    fn interleave_mapping() {
+        let t = Template::interleave(2, 1, 1, vec![Expr::int(4)]).unwrap();
+        let out = t.map_dep_vector(&dist(&[1, 0]));
+        assert_eq!(out, vec![dist(&[1, 0, 0])]);
+        let out = t.map_dep_vector(&dist(&[0, 2]));
+        assert_eq!(
+            out,
+            vec![DepVector::new(vec![DepElem::ZERO, DepElem::ANY, DepElem::ANY])]
+        );
+        // Interleaving a carried loop is illegal (unlike blocking it).
+        let d = DepSet::from_distances(&[&[0, 2]]);
+        assert!(!t.map_dep_set(&d).is_legal());
+    }
+
+    #[test]
+    fn unimodular_delegates() {
+        let m = irlt_unimodular::IntMatrix::interchange(2, 0, 1);
+        let t = Template::unimodular(m).unwrap();
+        assert_eq!(t.map_dep_vector(&dist(&[1, -1])), vec![dist(&[-1, 1])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        Template::parallelize(vec![true]).map_dep_vector(&dist(&[1, 2]));
+    }
+}

@@ -1,0 +1,505 @@
+//! Loop-bounds preconditions (the first column of Tables 3 and 4).
+//!
+//! "A transformation may be applied to a given loop nest only if these
+//! expressions satisfy the preconditions for applying this transformation."
+//! The preconditions are lattice predicates `type(expr, x) ⊑ V` over the
+//! bound-expression types of §4.1; unlike the dependence test, they must
+//! hold **for each individual template instantiation** in a sequence.
+
+use crate::template::Template;
+use irlt_ir::{classify, classify_bound, BoundSide, Expr, ExprType, LoopNest, Symbol};
+use std::fmt;
+
+/// A violated precondition (or structural mismatch).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PrecondError {
+    /// The template's `n` differs from the nest depth.
+    DepthMismatch {
+        /// Template input size.
+        expected: usize,
+        /// Nest depth.
+        found: usize,
+    },
+    /// A `type(expr, x) ⊑ V` predicate failed.
+    TypeViolation {
+        /// Template name.
+        template: &'static str,
+        /// 0-based level whose bound is at fault.
+        level: usize,
+        /// Which bound.
+        side: BoundSide,
+        /// The variable the type was taken with respect to.
+        wrt: Symbol,
+        /// The lattice bound required by the table.
+        required: ExprType,
+        /// The actual type.
+        found: ExprType,
+    },
+    /// A step that must be a compile-time constant is not.
+    NonConstStep {
+        /// Template name.
+        template: &'static str,
+        /// 0-based level.
+        level: usize,
+    },
+    /// A block-size / interleave-factor expression references a loop index.
+    SizeNotInvariant {
+        /// Template name.
+        template: &'static str,
+        /// Position within the size vector.
+        pos: usize,
+        /// The offending index variable.
+        var: Symbol,
+    },
+    /// The `Unimodular` backend transforms sequential nests only (use
+    /// `ReversePermute`/`Parallelize` to reorder parallel loops).
+    ParallelLoop {
+        /// 0-based level of the `pardo` loop.
+        level: usize,
+    },
+}
+
+impl fmt::Display for PrecondError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrecondError::DepthMismatch { expected, found } => {
+                write!(f, "template expects a {expected}-deep nest, found {found}")
+            }
+            PrecondError::TypeViolation { template, level, side, wrt, required, found } => {
+                write!(
+                    f,
+                    "{template}: type({side:?} bound of loop {level}, {wrt}) = {found} ⋢ {required}"
+                )
+            }
+            PrecondError::NonConstStep { template, level } => {
+                write!(f, "{template}: step of loop {level} is not a compile-time constant")
+            }
+            PrecondError::SizeNotInvariant { template, pos, var } => {
+                write!(f, "{template}: size expression {pos} references loop index `{var}`")
+            }
+            PrecondError::ParallelLoop { level } => {
+                write!(f, "Unimodular: loop {level} is pardo (sequential nests only)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PrecondError {}
+
+impl Template {
+    /// Checks this instantiation's loop-bounds preconditions against a
+    /// nest (Tables 3–4).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated precondition.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use irlt_core::Template;
+    /// use irlt_ir::Parser;
+    ///
+    /// // Fig. 4(c): sparse matmul — loop k's bounds are nonlinear in j, so
+    /// // Unimodular cannot move j past k, but ReversePermute may move
+    /// // loop i innermost (bounds of k are invariant in i).
+    /// let nest = Parser::new(
+    ///     "do i = 1, n\n do j = 1, n\n  do k = colstr(j), colstr(j + 1) - 1\n   a(i, j) = a(i, j) + b(i, rowidx(k)) * c(k)\n  enddo\n enddo\nenddo",
+    /// ).with_function("colstr").with_function("rowidx").parse_nest()?;
+    /// let uni = Template::unimodular(irlt_unimodular::IntMatrix::interchange(3, 1, 2))?;
+    /// assert!(uni.check_preconditions(&nest).is_err());
+    /// let rp = Template::reverse_permute(vec![false; 3], vec![2, 0, 1])?;
+    /// assert!(rp.check_preconditions(&nest).is_ok());
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn check_preconditions(&self, nest: &LoopNest) -> Result<(), PrecondError> {
+        let n = nest.depth();
+        if n != self.input_size() {
+            return Err(PrecondError::DepthMismatch { expected: self.input_size(), found: n });
+        }
+        let indices = nest.index_vars();
+        match self {
+            Template::Unimodular { .. } => {
+                if let Some(level) = nest.loops().iter().position(|l| l.kind.is_parallel()) {
+                    return Err(PrecondError::ParallelLoop { level });
+                }
+                // ∀ i < j: type(l_j, x_i) ⊑ linear ∧ type(u_j, x_i) ⊑ linear
+                //          ∧ type(s_j, ·) ⊑ const.
+                for (j, l) in nest.loops().iter().enumerate() {
+                    if l.step.as_const().is_none() {
+                        return Err(PrecondError::NonConstStep {
+                            template: "Unimodular",
+                            level: j,
+                        });
+                    }
+                    let step_pos = l.step.as_const().expect("just checked") > 0;
+                    for wrt in &indices[..j] {
+                        require(
+                            "Unimodular",
+                            j,
+                            BoundSide::Lower,
+                            &l.lower,
+                            step_pos,
+                            wrt,
+                            &indices,
+                            ExprType::Linear,
+                        )?;
+                        require(
+                            "Unimodular",
+                            j,
+                            BoundSide::Upper,
+                            &l.upper,
+                            step_pos,
+                            wrt,
+                            &indices,
+                            ExprType::Linear,
+                        )?;
+                    }
+                }
+                Ok(())
+            }
+            Template::ReversePermute { perm, .. } => {
+                // Invariance is required exactly across *reordered* pairs:
+                // ∀ i < j with perm[i] > perm[j], the bounds of loop j must
+                // not depend on x_i.
+                for j in 0..n {
+                    for i in 0..j {
+                        if perm.new_position(i) > perm.new_position(j) {
+                            let l = nest.level(j);
+                            for (side, e) in [
+                                (BoundSide::Lower, &l.lower),
+                                (BoundSide::Upper, &l.upper),
+                                (BoundSide::Step, &l.step),
+                            ] {
+                                let found = classify(e, &indices[i], &indices);
+                                if found > ExprType::Invar {
+                                    return Err(PrecondError::TypeViolation {
+                                        template: "ReversePermute",
+                                        level: j,
+                                        side,
+                                        wrt: indices[i].clone(),
+                                        required: ExprType::Invar,
+                                        found,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Template::Parallelize { .. } => Ok(()),
+            Template::Block { i, j, bsize, .. } => {
+                range_linear_preconditions("Block", nest, &indices, *i, *j)?;
+                check_sizes_invariant("Block", bsize, &indices)?;
+                Ok(())
+            }
+            Template::Coalesce { i, j, .. } => {
+                // ∀ i ≤ k < m ≤ j: bounds of loop m invariant in x_k
+                // (the coalesced range must be rectangular internally).
+                for m in *i..=*j {
+                    for k in *i..m {
+                        let l = nest.level(m);
+                        for (side, e) in [
+                            (BoundSide::Lower, &l.lower),
+                            (BoundSide::Upper, &l.upper),
+                            (BoundSide::Step, &l.step),
+                        ] {
+                            let found = classify(e, &indices[k], &indices);
+                            if found > ExprType::Invar {
+                                return Err(PrecondError::TypeViolation {
+                                    template: "Coalesce",
+                                    level: m,
+                                    side,
+                                    wrt: indices[k].clone(),
+                                    required: ExprType::Invar,
+                                    found,
+                                });
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Template::Interleave { i, j, isize_, .. } => {
+                range_linear_preconditions("Interleave", nest, &indices, *i, *j)?;
+                check_sizes_invariant("Interleave", isize_, &indices)?;
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Shared `Block`/`Interleave` precondition: within the range,
+/// `type(l_m, x_k) ⊑ linear`, `type(u_m, x_k) ⊑ linear`,
+/// `type(s_m, ·) ⊑ const`.
+fn range_linear_preconditions(
+    template: &'static str,
+    nest: &LoopNest,
+    indices: &[Symbol],
+    i: usize,
+    j: usize,
+) -> Result<(), PrecondError> {
+    for m in i..=j {
+        let l = nest.level(m);
+        let Some(step) = l.step.as_const() else {
+            return Err(PrecondError::NonConstStep { template, level: m });
+        };
+        let step_pos = step > 0;
+        for k in i..m {
+            // A non-unit-magnitude step makes the loop's *start* bound a
+            // phase anchor: if it varied with another blocked variable, the
+            // tile-clipped element loop would restart off-phase. Require
+            // invariance then; unit steps only need linearity.
+            let lower_req =
+                if step.abs() == 1 { ExprType::Linear } else { ExprType::Invar };
+            require(template, m, BoundSide::Lower, &l.lower, step_pos, &indices[k], indices, lower_req)?;
+            require(template, m, BoundSide::Upper, &l.upper, step_pos, &indices[k], indices, ExprType::Linear)?;
+        }
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn require(
+    template: &'static str,
+    level: usize,
+    side: BoundSide,
+    expr: &Expr,
+    step_positive: bool,
+    wrt: &Symbol,
+    indices: &[Symbol],
+    required: ExprType,
+) -> Result<(), PrecondError> {
+    let found = classify_bound(expr, side, step_positive, wrt, indices);
+    if found > required {
+        Err(PrecondError::TypeViolation {
+            template,
+            level,
+            side,
+            wrt: wrt.clone(),
+            required,
+            found,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+fn check_sizes_invariant(
+    template: &'static str,
+    sizes: &[Expr],
+    indices: &[Symbol],
+) -> Result<(), PrecondError> {
+    for (pos, e) in sizes.iter().enumerate() {
+        for v in indices {
+            if e.mentions(v) {
+                return Err(PrecondError::SizeNotInvariant {
+                    template,
+                    pos,
+                    var: v.clone(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irlt_ir::{parse_nest, Parser};
+    use irlt_unimodular::IntMatrix;
+
+    fn triangular() -> LoopNest {
+        parse_nest("do i = 1, n\n do j = 1, i\n  a(i, j) = 0\n enddo\nenddo").unwrap()
+    }
+
+    fn sparse_matmul() -> LoopNest {
+        Parser::new(
+            "do i = 1, n\n do j = 1, n\n  do k = colstr(j), colstr(j + 1) - 1\n   a(i, j) = a(i, j) + b(i, rowidx(k)) * c(k)\n  enddo\n enddo\nenddo",
+        )
+        .with_function("colstr")
+        .with_function("rowidx")
+        .parse_nest()
+        .unwrap()
+    }
+
+    #[test]
+    fn unimodular_accepts_triangular() {
+        // Fig. 4(a): triangular bounds are linear — Unimodular legal.
+        let t = Template::unimodular(IntMatrix::interchange(2, 0, 1)).unwrap();
+        assert!(t.check_preconditions(&triangular()).is_ok());
+    }
+
+    #[test]
+    fn unimodular_rejects_nonlinear_figure4c() {
+        let t = Template::unimodular(IntMatrix::interchange(3, 1, 2)).unwrap();
+        let err = t.check_preconditions(&sparse_matmul()).unwrap_err();
+        assert!(matches!(
+            err,
+            PrecondError::TypeViolation { template: "Unimodular", level: 2, found: ExprType::Nonlinear, .. }
+        ));
+    }
+
+    #[test]
+    fn reverse_permute_allows_innermost_i_figure4c() {
+        // Moving loop i to the innermost position: bounds of j and k are
+        // invariant in i, so the precondition holds.
+        let t = Template::reverse_permute(vec![false; 3], vec![2, 0, 1]).unwrap();
+        assert!(t.check_preconditions(&sparse_matmul()).is_ok());
+    }
+
+    #[test]
+    fn reverse_permute_rejects_swapping_j_and_k() {
+        // Moving k before j would need k's bounds invariant in j — they are
+        // nonlinear in j.
+        let t = Template::reverse_permute(vec![false; 3], vec![0, 2, 1]).unwrap();
+        let err = t.check_preconditions(&sparse_matmul()).unwrap_err();
+        assert!(matches!(
+            err,
+            PrecondError::TypeViolation { template: "ReversePermute", level: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn reverse_permute_triangular_interchange_rejected() {
+        // Triangular bounds are linear but NOT invariant: ReversePermute's
+        // stronger precondition rejects the interchange Unimodular allows.
+        let t = Template::reverse_permute(vec![false, false], vec![1, 0]).unwrap();
+        assert!(t.check_preconditions(&triangular()).is_err());
+        let u = Template::unimodular(IntMatrix::interchange(2, 0, 1)).unwrap();
+        assert!(u.check_preconditions(&triangular()).is_ok());
+    }
+
+    #[test]
+    fn reverse_permute_pure_reversal_needs_no_invariance() {
+        // rev-only (identity permutation) has no reordered pairs.
+        let t = Template::reverse_permute(vec![true, true], vec![0, 1]).unwrap();
+        assert!(t.check_preconditions(&triangular()).is_ok());
+    }
+
+    #[test]
+    fn reverse_permute_allows_symbolic_steps() {
+        // "step expressions are not normalized to ±1" — symbolic step ok.
+        let nest = parse_nest("do i = 1, n, s\n do j = 1, m\n  a(i, j) = 0\n enddo\nenddo").unwrap();
+        let t = Template::reverse_permute(vec![true, false], vec![1, 0]).unwrap();
+        assert!(t.check_preconditions(&nest).is_ok());
+        // Unimodular requires constant steps.
+        let u = Template::unimodular(IntMatrix::interchange(2, 0, 1)).unwrap();
+        assert!(matches!(
+            u.check_preconditions(&nest),
+            Err(PrecondError::NonConstStep { level: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn parallelize_has_no_preconditions() {
+        let t = Template::parallelize(vec![true, false, true]);
+        assert!(t.check_preconditions(&sparse_matmul()).is_ok());
+    }
+
+    #[test]
+    fn block_triangular_allowed() {
+        // Table 4 allows linear bounds inside the blocked range
+        // (trapezoidal tiles).
+        let t = Template::block(2, 0, 1, vec![Expr::var("b1"), Expr::var("b2")]).unwrap();
+        assert!(t.check_preconditions(&triangular()).is_ok());
+    }
+
+    #[test]
+    fn block_rejects_nonlinear_range() {
+        let t = Template::block(3, 1, 2, vec![Expr::var("b1"), Expr::var("b2")]).unwrap();
+        assert!(t.check_preconditions(&sparse_matmul()).is_err());
+        // Blocking only the i loop (invariant in the range) is fine.
+        let t = Template::block(3, 0, 0, vec![Expr::var("b1")]).unwrap();
+        assert!(t.check_preconditions(&sparse_matmul()).is_ok());
+    }
+
+    #[test]
+    fn block_size_must_be_invariant() {
+        let t = Template::block(2, 0, 1, vec![Expr::var("b"), Expr::var("i")]).unwrap();
+        assert!(matches!(
+            t.check_preconditions(&triangular()),
+            Err(PrecondError::SizeNotInvariant { template: "Block", pos: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn coalesce_requires_rectangular_range() {
+        let t = Template::coalesce(2, 0, 1).unwrap();
+        assert!(t.check_preconditions(&triangular()).is_err());
+        let rect = parse_nest("do i = 1, n\n do j = 1, m\n  a(i, j) = 0\n enddo\nenddo").unwrap();
+        assert!(t.check_preconditions(&rect).is_ok());
+    }
+
+    #[test]
+    fn coalesce_outer_dependence_allowed() {
+        // Bounds may depend on loops *outside* the coalesced range.
+        let nest =
+            parse_nest("do i = 1, n\n do j = 1, i\n  do k = 1, i\n   a(i, j, k) = 0\n  enddo\n enddo\nenddo")
+                .unwrap();
+        let t = Template::coalesce(3, 1, 2).unwrap();
+        assert!(t.check_preconditions(&nest).is_ok());
+    }
+
+    #[test]
+    fn interleave_preconditions() {
+        // Linear bounds inside the range are fine (like Block).
+        let t = Template::interleave(2, 0, 1, vec![Expr::int(2), Expr::int(2)]).unwrap();
+        assert!(t.check_preconditions(&triangular()).is_ok());
+        // Nonlinear range rejected.
+        let t = Template::interleave(3, 1, 2, vec![Expr::int(2), Expr::int(2)]).unwrap();
+        assert!(t.check_preconditions(&sparse_matmul()).is_err());
+        // Interleave factor referencing an index variable rejected.
+        let t = Template::interleave(2, 1, 1, vec![Expr::var("i")]).unwrap();
+        assert!(matches!(
+            t.check_preconditions(&triangular()),
+            Err(PrecondError::SizeNotInvariant { template: "Interleave", .. })
+        ));
+        // Symbolic step in the range rejected.
+        let nest =
+            parse_nest("do i = 1, n, s\n do j = 1, m\n  a(i, j) = 0\n enddo\nenddo").unwrap();
+        let t = Template::interleave(2, 0, 0, vec![Expr::int(2)]).unwrap();
+        assert!(matches!(
+            t.check_preconditions(&nest),
+            Err(PrecondError::NonConstStep { template: "Interleave", level: 0 })
+        ));
+    }
+
+    #[test]
+    fn depth_mismatch_detected() {
+        let t = Template::parallelize(vec![true]);
+        assert_eq!(
+            t.check_preconditions(&triangular()),
+            Err(PrecondError::DepthMismatch { expected: 1, found: 2 })
+        );
+    }
+
+    #[test]
+    fn unimodular_rejects_pardo() {
+        let nest = parse_nest("pardo i = 1, n\n a(i) = 0\nenddo").unwrap();
+        let t = Template::unimodular(IntMatrix::identity(1)).unwrap();
+        assert_eq!(
+            t.check_preconditions(&nest),
+            Err(PrecondError::ParallelLoop { level: 0 })
+        );
+        // ReversePermute transforms parallel loops fine.
+        let rp = Template::reverse_permute(vec![true], vec![0]).unwrap();
+        assert!(rp.check_preconditions(&nest).is_ok());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = PrecondError::TypeViolation {
+            template: "Unimodular",
+            level: 2,
+            side: BoundSide::Lower,
+            wrt: Symbol::new("j"),
+            required: ExprType::Linear,
+            found: ExprType::Nonlinear,
+        };
+        let s = e.to_string();
+        assert!(s.contains("Unimodular") && s.contains("nonlinear"));
+    }
+}

@@ -1,0 +1,893 @@
+//! Classical data-dependence analysis over a [`LoopNest`].
+//!
+//! The paper assumes "the original set of dependence vectors for a perfect
+//! loop nest is computed using standard data dependence analysis
+//! techniques" and cites Banerjee, Wolfe, Maydan–Hennessy–Lam, and
+//! Goff–Kennedy–Tseng. This module implements those standard techniques
+//! from scratch so the framework runs end-to-end from source text:
+//!
+//! * **ZIV** — dimensions without index variables refute or pass trivially;
+//! * **strong SIV** — equal-coefficient single-index dimensions force an
+//!   exact distance;
+//! * **MIV** — everything else is tested per *direction vector* (the
+//!   `<`/`=`/`>` hierarchy of Wolfe) with the **GCD** test and **Banerjee**
+//!   extreme-value bounds under the direction constraints;
+//! * non-affine subscripts (including indirect accesses like
+//!   `B(rowidx(k))`) fall back to the conservative set of all
+//!   lexicographically positive direction vectors.
+//!
+//! Results are *index-space* differences converted to *iteration-space*
+//! dependence distances using the loop steps (exact for constant steps,
+//! conservative otherwise). Only lexicographically positive vectors are
+//! emitted: a lexicographically negative candidate for the ordered pair
+//! (A, B) reappears as a positive one for (B, A), and the all-zero vector
+//! (a loop-independent dependence) does not constrain iteration reordering.
+
+use crate::set::DepSet;
+use crate::vector::{DepElem, DepVector};
+use irlt_ir::{linear_form, AccessKind, ArrayRef, Expr, LinearForm, LoopNest, Symbol};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The kind of a dependence, by source/sink access kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DepKind {
+    /// Write → read (true dependence).
+    Flow,
+    /// Read → write.
+    Anti,
+    /// Write → write.
+    Output,
+}
+
+impl fmt::Display for DepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DepKind::Flow => "flow",
+            DepKind::Anti => "anti",
+            DepKind::Output => "output",
+        })
+    }
+}
+
+/// One discovered dependence: kind, array, and the dependence vector.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dependence {
+    /// Flow, anti, or output.
+    pub kind: DepKind,
+    /// The array both accesses touch.
+    pub array: Symbol,
+    /// Iteration-space dependence vector (lexicographically positive).
+    pub vector: DepVector,
+}
+
+impl fmt::Display for Dependence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} dependence on {}: {}", self.kind, self.array, self.vector)
+    }
+}
+
+/// Computes the dependence set of a nest (vectors only).
+///
+/// # Examples
+///
+/// ```
+/// use irlt_ir::parse_nest;
+/// use irlt_dependence::{analyze_dependences, DepVector};
+///
+/// // Fig. 1(a): five-point stencil. Flow dependences (1,0) and (0,1),
+/// // anti dependences (1,0) and (0,1) from the i+1/j+1 reads.
+/// let nest = parse_nest(
+///     "do i = 2, n - 1\n  do j = 2, n - 1\n    a(i, j) = (a(i, j) + a(i - 1, j) + a(i, j - 1) + a(i + 1, j) + a(i, j + 1)) / 5\n  enddo\nenddo",
+/// ).unwrap();
+/// let deps = analyze_dependences(&nest);
+/// assert!(deps.vectors().contains(&DepVector::distances(&[1, 0])));
+/// assert!(deps.vectors().contains(&DepVector::distances(&[0, 1])));
+/// assert!(deps.is_legal());
+/// ```
+pub fn analyze_dependences(nest: &LoopNest) -> DepSet {
+    let mut set = DepSet::new();
+    for dep in analyze_dependences_detailed(nest) {
+        set.insert(dep.vector).expect("uniform arity from one nest");
+    }
+    set
+}
+
+/// Computes all dependences of a nest with kind and array attribution.
+pub fn analyze_dependences_detailed(nest: &LoopNest) -> Vec<Dependence> {
+    let indices = nest.index_vars();
+    let bounds: Vec<IndexRange> = nest
+        .loops()
+        .iter()
+        .map(|l| {
+            let (a, b) = (l.lower.as_const(), l.upper.as_const());
+            // A descending loop (`do i = 100, 1, -1`) still ranges over
+            // [min, max] as a set of index values.
+            match (a, b) {
+                (Some(x), Some(y)) => IndexRange { lo: Some(x.min(y)), hi: Some(x.max(y)) },
+                _ => IndexRange { lo: a, hi: b },
+            }
+        })
+        .collect();
+    let steps: Vec<Option<i64>> = nest.loops().iter().map(|l| l.step.as_const()).collect();
+
+    // Group references by array.
+    let mut by_array: BTreeMap<Symbol, Vec<(ArrayRef, AccessKind)>> = BTreeMap::new();
+    for stmt in nest.body() {
+        for (r, kind) in stmt.array_refs() {
+            by_array.entry(r.array.clone()).or_default().push((r.clone(), kind));
+        }
+    }
+
+    let mut out: Vec<Dependence> = Vec::new();
+    for (array, refs) in &by_array {
+        for (ia, (ra, ka)) in refs.iter().enumerate() {
+            for (ib, (rb, kb)) in refs.iter().enumerate() {
+                // At least one write; consider every ordered pair once
+                // (including a ref against itself for write-write), and let
+                // the lex-positivity filter pick the true source.
+                if *ka != AccessKind::Write && *kb != AccessKind::Write {
+                    continue;
+                }
+                // For the self-pair, analyze once (ia == ib only when the
+                // same occurrence is compared with itself).
+                if ia > ib && ra == rb && ka == kb {
+                    continue;
+                }
+                let kind = match (ka, kb) {
+                    (AccessKind::Write, AccessKind::Read) => DepKind::Flow,
+                    (AccessKind::Read, AccessKind::Write) => DepKind::Anti,
+                    (AccessKind::Write, AccessKind::Write) => DepKind::Output,
+                    _ => unreachable!("one side is a write"),
+                };
+                for vector in pair_dependences(ra, rb, &indices, &bounds, &steps) {
+                    let dep = Dependence { kind, array: array.clone(), vector };
+                    if !out.contains(&dep) {
+                        out.push(dep);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A (possibly half-open) constant range of an index variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct IndexRange {
+    lo: Option<i64>,
+    hi: Option<i64>,
+}
+
+impl IndexRange {
+    fn finite(self) -> Option<(i64, i64)> {
+        match (self.lo, self.hi) {
+            (Some(l), Some(h)) => Some((l, h)),
+            _ => None,
+        }
+    }
+}
+
+/// Dependence vectors for one ordered pair of references (index-value space
+/// converted to iteration space). Only lexicographically positive vectors
+/// are returned.
+fn pair_dependences(
+    src: &ArrayRef,
+    dst: &ArrayRef,
+    indices: &[Symbol],
+    bounds: &[IndexRange],
+    steps: &[Option<i64>],
+) -> Vec<DepVector> {
+    let n = indices.len();
+    if src.subscripts.len() != dst.subscripts.len() {
+        // Dimension mismatch (e.g. linearized vs. not): be conservative.
+        return conservative_vectors(n);
+    }
+    // Extract one linear equation per dimension:
+    //   Σ a_k·s_k − Σ b_k·t_k = c   where s = source iter, t = sink iter.
+    let mut dims: Vec<DimEquation> = Vec::with_capacity(src.subscripts.len());
+    for (es, ed) in src.subscripts.iter().zip(&dst.subscripts) {
+        match (linear_form(es, indices), linear_form(ed, indices)) {
+            (Some(fs), Some(fd)) => {
+                // c = rest_d − rest_s must be a compile-time constant to
+                // constrain anything; a symbolic difference that folds to 0
+                // (identical invariant parts) is the common case.
+                let diff = Expr::sub(fd.rest.clone(), fs.rest.clone());
+                match diff.as_const() {
+                    Some(c) => dims.push(DimEquation::linear(&fs, &fd, c, indices)),
+                    None => dims.push(DimEquation::Unknown),
+                }
+            }
+            _ => dims.push(DimEquation::Unknown),
+        }
+    }
+    if dims.iter().all(|d| matches!(d, DimEquation::Unknown)) {
+        return conservative_vectors(n);
+    }
+
+    // Per-index forced distances from strong-SIV dimensions; `None` entry
+    // means unconstrained-by-SIV.
+    let mut forced: Vec<Option<i64>> = vec![None; n];
+    let mut equations: Vec<(Vec<i64>, Vec<i64>, i64)> = Vec::new();
+    for dim in &dims {
+        match dim {
+            DimEquation::Unknown => {}
+            DimEquation::Ziv { c } => {
+                if *c != 0 {
+                    return Vec::new(); // constant subscripts differ: no dep
+                }
+            }
+            DimEquation::StrongSiv { index, coeff, c } => {
+                // a·s_k − a·t_k = c  ⇒  d_k = t_k − s_k = −c/a.
+                if c % coeff != 0 {
+                    return Vec::new();
+                }
+                let d = -(c / coeff);
+                match forced[*index] {
+                    Some(prev) if prev != d => return Vec::new(),
+                    _ => forced[*index] = Some(d),
+                }
+            }
+            DimEquation::General { a, b, c } => {
+                equations.push((a.clone(), b.clone(), *c));
+            }
+        }
+    }
+
+    // Enumerate sign-definite direction assignments (<, =, >) for every
+    // index that is not forced to an exact distance. Sign-definite
+    // candidates make the lexicographic filter exact: a candidate that is
+    // lexicographically negative for this ordered pair is exactly the
+    // mirror of a positive one for the swapped pair, and the all-zero
+    // candidate is a loop-independent dependence that does not constrain
+    // iteration reordering.
+    let mut result: Vec<DepVector> = Vec::new();
+    let mut theta: Vec<Theta> = vec![Theta::Free; n];
+    enumerate_thetas(0, n, &forced, &mut theta, &equations, bounds, &mut |assignment| {
+        if let Some(v) = vector_from_assignment(assignment, &forced, steps) {
+            if !v.can_be_lex_negative() && !v.can_be_zero() && !result.contains(&v) {
+                result.push(v);
+            }
+        }
+    });
+    summarize(result)
+}
+
+/// Merges sign-definite siblings back into summary entries to keep the set
+/// small: whenever two vectors agree everywhere except one position and the
+/// union of that position's value sets is exactly expressible as a single
+/// entry, they are replaced by the merged vector (`{0,+} ↦ ≥`,
+/// `{−,+} ↦ ≠`, …). Iterates to a fixed point; `Tuples` of the result
+/// equals `Tuples` of the input because only exact merges are performed.
+fn summarize(mut vectors: Vec<DepVector>) -> Vec<DepVector> {
+    loop {
+        let mut merged: Option<(usize, usize, DepVector)> = None;
+        'scan: for i in 0..vectors.len() {
+            for j in (i + 1)..vectors.len() {
+                let (vi, vj) = (&vectors[i], &vectors[j]);
+                let diff: Vec<usize> = (0..vi.len())
+                    .filter(|&k| vi.elems()[k] != vj.elems()[k])
+                    .collect();
+                if let [k] = diff[..] {
+                    if let Some(m) = merge_exact(vi.elems()[k], vj.elems()[k]) {
+                        let mut elems = vi.elems().to_vec();
+                        elems[k] = m;
+                        merged = Some((i, j, DepVector::new(elems)));
+                        break 'scan;
+                    }
+                }
+            }
+        }
+        match merged {
+            Some((i, j, nv)) => {
+                vectors.remove(j);
+                vectors.remove(i);
+                if !vectors.contains(&nv) {
+                    vectors.push(nv);
+                }
+            }
+            None => return vectors,
+        }
+    }
+}
+
+/// Merges two entries only when the result's value set is *exactly* the
+/// union of the inputs' (no over-approximation).
+fn merge_exact(a: DepElem, b: DepElem) -> Option<DepElem> {
+    let m = a.merge(b);
+    if m.is_distance() {
+        return Some(m);
+    }
+    // `m` is a direction: its positive/negative classes are full half-lines,
+    // so each class it covers must already be fully covered by a direction
+    // input (a single distance like `2` cannot supply the whole class).
+    let covers = |e: DepElem, pos: bool| {
+        matches!(e, DepElem::Dir(_)) && if pos { e.can_pos() } else { e.can_neg() }
+    };
+    let pos_ok = !m.can_pos() || covers(a, true) || covers(b, true);
+    let neg_ok = !m.can_neg() || covers(a, false) || covers(b, false);
+    (pos_ok && neg_ok).then_some(m)
+}
+
+/// Direction constraint on `d_k = t_k − s_k` during enumeration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Theta {
+    /// `d_k > 0` (sink iteration later in this loop).
+    Lt,
+    /// `d_k = 0`.
+    Eq,
+    /// `d_k < 0`.
+    Gt,
+    /// Unconstrained (the entry is forced to an exact distance instead).
+    Free,
+}
+
+#[derive(Clone, Debug)]
+enum DimEquation {
+    /// No index variables on either side: feasible iff `c == 0`.
+    Ziv { c: i64 },
+    /// One index `k`, equal nonzero coefficient on both sides.
+    StrongSiv { index: usize, coeff: i64, c: i64 },
+    /// The general multi-index case `Σ a_k s_k − Σ b_k t_k = c`.
+    General { a: Vec<i64>, b: Vec<i64>, c: i64 },
+    /// Non-affine or symbolically-offset dimension: no information.
+    Unknown,
+}
+
+impl DimEquation {
+    fn linear(fs: &LinearForm, fd: &LinearForm, c: i64, indices: &[Symbol]) -> DimEquation {
+        let a: Vec<i64> = indices.iter().map(|v| fs.coeff(v)).collect();
+        let b: Vec<i64> = indices.iter().map(|v| fd.coeff(v)).collect();
+        let nz_a: Vec<usize> = (0..a.len()).filter(|&k| a[k] != 0).collect();
+        let nz_b: Vec<usize> = (0..b.len()).filter(|&k| b[k] != 0).collect();
+        if nz_a.is_empty() && nz_b.is_empty() {
+            DimEquation::Ziv { c }
+        } else if nz_a.len() == 1 && nz_b.len() == 1 && nz_a[0] == nz_b[0]
+            && a[nz_a[0]] == b[nz_b[0]]
+        {
+            DimEquation::StrongSiv { index: nz_a[0], coeff: a[nz_a[0]], c }
+        } else {
+            DimEquation::General { a, b, c }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate_thetas(
+    k: usize,
+    n: usize,
+    forced: &[Option<i64>],
+    theta: &mut Vec<Theta>,
+    equations: &[(Vec<i64>, Vec<i64>, i64)],
+    bounds: &[IndexRange],
+    emit: &mut dyn FnMut(&[Theta]),
+) {
+    if k == n {
+        if equations
+            .iter()
+            .all(|(a, b, c)| equation_feasible(a, b, *c, theta, forced, bounds))
+        {
+            emit(theta);
+        }
+        return;
+    }
+    if forced[k].is_some() {
+        theta[k] = Theta::Free;
+        enumerate_thetas(k + 1, n, forced, theta, equations, bounds, emit);
+        return;
+    }
+    for t in [Theta::Lt, Theta::Eq, Theta::Gt] {
+        theta[k] = t;
+        enumerate_thetas(k + 1, n, forced, theta, equations, bounds, emit);
+    }
+    theta[k] = Theta::Free;
+}
+
+/// GCD + Banerjee feasibility of one equation under a direction assignment.
+fn equation_feasible(
+    a: &[i64],
+    b: &[i64],
+    c: i64,
+    theta: &[Theta],
+    forced: &[Option<i64>],
+    bounds: &[IndexRange],
+) -> bool {
+    // Fold forced distances into the constant: with t_k = s_k + d_k,
+    //   a_k s_k − b_k t_k = (a_k − b_k) s_k − b_k d_k.
+    let mut c_eff = c;
+    // GCD accumulator over remaining free coefficients.
+    let mut g: i64 = 0;
+    // Banerjee extreme values.
+    let mut lo = Ext::Finite(0);
+    let mut hi = Ext::Finite(0);
+    for k in 0..theta.len() {
+        let (ak, bk) = (a[k], b[k]);
+        if ak == 0 && bk == 0 {
+            continue;
+        }
+        if let Some(d) = forced[k] {
+            // Contribution (a_k − b_k)·s_k − b_k·d over s_k ∈ I_k.
+            c_eff += bk * d;
+            let coeff = ak - bk;
+            g = gcd(g, coeff.abs());
+            let (tl, th) = scaled_range(coeff, bounds[k]);
+            lo = lo.add(tl);
+            hi = hi.add(th);
+            continue;
+        }
+        match theta[k] {
+            Theta::Eq => {
+                let coeff = ak - bk;
+                g = gcd(g, coeff.abs());
+                let (tl, th) = scaled_range(coeff, bounds[k]);
+                lo = lo.add(tl);
+                hi = hi.add(th);
+            }
+            Theta::Lt | Theta::Gt | Theta::Free => {
+                g = gcd(g, ak.abs());
+                g = gcd(g, bk.abs());
+                let rel = match theta[k] {
+                    Theta::Lt => Rel::SinkLater,
+                    Theta::Gt => Rel::SinkEarlier,
+                    _ => Rel::None,
+                };
+                match pair_term_range(ak, bk, bounds[k], rel) {
+                    Some((tl, th)) => {
+                        lo = lo.add(tl);
+                        hi = hi.add(th);
+                    }
+                    None => return false, // direction infeasible in bounds
+                }
+            }
+        }
+    }
+    if g == 0 {
+        if c_eff != 0 {
+            return false;
+        }
+    } else if c_eff % g != 0 {
+        return false;
+    }
+    lo.le_const(c_eff) && hi.ge_const(c_eff)
+}
+
+/// Extended integer with ±∞ for Banerjee accumulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Ext {
+    NegInf,
+    Finite(i64),
+    PosInf,
+}
+
+impl Ext {
+    fn add(self, other: Ext) -> Ext {
+        match (self, other) {
+            (Ext::Finite(x), Ext::Finite(y)) => Ext::Finite(x.saturating_add(y)),
+            (Ext::NegInf, Ext::PosInf) | (Ext::PosInf, Ext::NegInf) => {
+                unreachable!("mixed infinities are never summed: lo adds lo, hi adds hi")
+            }
+            (Ext::NegInf, _) | (_, Ext::NegInf) => Ext::NegInf,
+            (Ext::PosInf, _) | (_, Ext::PosInf) => Ext::PosInf,
+        }
+    }
+
+    fn le_const(self, c: i64) -> bool {
+        match self {
+            Ext::NegInf => true,
+            Ext::Finite(x) => x <= c,
+            Ext::PosInf => false,
+        }
+    }
+
+    fn ge_const(self, c: i64) -> bool {
+        match self {
+            Ext::NegInf => false,
+            Ext::Finite(x) => x >= c,
+            Ext::PosInf => true,
+        }
+    }
+}
+
+/// Range of `coeff · x` for `x` in the (possibly half-open) index range.
+fn scaled_range(coeff: i64, r: IndexRange) -> (Ext, Ext) {
+    if coeff == 0 {
+        return (Ext::Finite(0), Ext::Finite(0));
+    }
+    let lo = r.lo.map(Ext::Finite).unwrap_or(Ext::NegInf);
+    let hi = r.hi.map(Ext::Finite).unwrap_or(Ext::PosInf);
+    let scale = |e: Ext| match e {
+        Ext::Finite(v) => Ext::Finite(coeff.saturating_mul(v)),
+        inf => inf,
+    };
+    let (a, b) = (scale(lo), scale(hi));
+    if coeff > 0 {
+        (a, b)
+    } else {
+        let flip = |e: Ext| match e {
+            Ext::NegInf => Ext::PosInf,
+            Ext::PosInf => Ext::NegInf,
+            f => f,
+        };
+        (flip(b), flip(a))
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Rel {
+    /// `t = s + δ, δ ≥ 1` (sink iteration strictly later).
+    SinkLater,
+    /// `t = s − δ, δ ≥ 1`.
+    SinkEarlier,
+    /// Unrelated.
+    None,
+}
+
+/// Range of `a·s − b·t` for `s, t` in range `r` under relation `rel`.
+/// Returns `None` when the relation is infeasible within the range
+/// (e.g. `t > s` in a single-point range).
+fn pair_term_range(a: i64, b: i64, r: IndexRange, rel: Rel) -> Option<(Ext, Ext)> {
+    match r.finite() {
+        Some((l, u)) => {
+            if l > u {
+                return None;
+            }
+            let vertices: Vec<(i64, i64)> = match rel {
+                Rel::None => vec![(l, l), (l, u), (u, l), (u, u)],
+                Rel::SinkLater => {
+                    if u < l + 1 {
+                        return None;
+                    }
+                    vec![(l, l + 1), (l, u), (u - 1, u)]
+                }
+                Rel::SinkEarlier => {
+                    if u < l + 1 {
+                        return None;
+                    }
+                    vec![(l + 1, l), (u, l), (u, u - 1)]
+                }
+            };
+            let vals: Vec<i64> = vertices
+                .iter()
+                .map(|&(s, t)| a.saturating_mul(s).saturating_sub(b.saturating_mul(t)))
+                .collect();
+            let lo = *vals.iter().min().expect("nonempty");
+            let hi = *vals.iter().max().expect("nonempty");
+            Some((Ext::Finite(lo), Ext::Finite(hi)))
+        }
+        None => {
+            // Unbounded index range: no pruning from this term unless both
+            // coefficients vanish.
+            if a == 0 && b == 0 {
+                Some((Ext::Finite(0), Ext::Finite(0)))
+            } else {
+                Some((Ext::NegInf, Ext::PosInf))
+            }
+        }
+    }
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Builds the iteration-space dependence vector for one feasible direction
+/// assignment, converting index-space distances through the loop steps.
+/// Returns `None` when a forced distance is incompatible with the step.
+fn vector_from_assignment(
+    theta: &[Theta],
+    forced: &[Option<i64>],
+    steps: &[Option<i64>],
+) -> Option<DepVector> {
+    let mut elems = Vec::with_capacity(theta.len());
+    for k in 0..theta.len() {
+        let idx_elem = match forced[k] {
+            Some(d) => DepElem::Dist(d),
+            None => match theta[k] {
+                Theta::Lt => DepElem::POS,
+                Theta::Eq => DepElem::ZERO,
+                Theta::Gt => DepElem::NEG,
+                Theta::Free => DepElem::ANY,
+            },
+        };
+        elems.push(index_to_iteration(idx_elem, steps[k])?);
+    }
+    Some(DepVector::new(elems))
+}
+
+/// Converts an index-space difference to an iteration-space one for a loop
+/// with the given (constant, if known) step.
+fn index_to_iteration(e: DepElem, step: Option<i64>) -> Option<DepElem> {
+    match step {
+        Some(1) => Some(e),
+        Some(s) if s != 0 => match e {
+            DepElem::Dist(d) => {
+                if d % s != 0 {
+                    None // accesses can never meet across iterations
+                } else {
+                    Some(DepElem::Dist(d / s))
+                }
+            }
+            DepElem::Dir(_) => {
+                Some(if s > 0 { e } else { e.reverse() })
+            }
+        },
+        // Symbolic or zero step: sign of the iteration difference unknown.
+        _ => Some(match e {
+            DepElem::Dist(0) => DepElem::ZERO,
+            _ => DepElem::ANY,
+        }),
+    }
+}
+
+/// All lexicographically positive direction vectors, summarized: one vector
+/// per leading-zero prefix length.
+fn conservative_vectors(n: usize) -> Vec<DepVector> {
+    let mut out = Vec::with_capacity(n);
+    for lead in 0..n {
+        let mut elems = vec![DepElem::ZERO; lead];
+        elems.push(DepElem::POS);
+        elems.extend(std::iter::repeat_n(DepElem::ANY, n - lead - 1));
+        out.push(DepVector::new(elems));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irlt_dependence_dir_import::Dir;
+    use irlt_ir::parse_nest;
+
+    mod irlt_dependence_dir_import {
+        pub use crate::vector::Dir;
+    }
+
+    fn vecs(src: &str) -> DepSet {
+        analyze_dependences(&parse_nest(src).unwrap())
+    }
+
+    #[test]
+    fn stencil_figure1a_distances() {
+        let d = vecs(
+            "do i = 2, n - 1\n do j = 2, n - 1\n  a(i, j) = (a(i, j) + a(i - 1, j) + a(i, j - 1) + a(i + 1, j) + a(i, j + 1)) / 5\n enddo\nenddo",
+        );
+        // Flow deps (1,0), (0,1) from the i−1 / j−1 reads; anti deps (1,0),
+        // (0,1) from the i+1 / j+1 reads. As a vector set: {(1,0), (0,1)}.
+        assert_eq!(d.len(), 2);
+        assert!(d.vectors().contains(&DepVector::distances(&[1, 0])));
+        assert!(d.vectors().contains(&DepVector::distances(&[0, 1])));
+    }
+
+    #[test]
+    fn stencil_kinds() {
+        let nest = parse_nest(
+            "do i = 2, n - 1\n a(i) = a(i - 1) + a(i + 1)\nenddo",
+        )
+        .unwrap();
+        let deps = analyze_dependences_detailed(&nest);
+        let kinds: Vec<(DepKind, DepVector)> =
+            deps.iter().map(|d| (d.kind, d.vector.clone())).collect();
+        assert!(kinds.contains(&(DepKind::Flow, DepVector::distances(&[1]))));
+        assert!(kinds.contains(&(DepKind::Anti, DepVector::distances(&[1]))));
+        // No output dependence: each element written once.
+        assert!(!deps.iter().any(|d| d.kind == DepKind::Output));
+    }
+
+    #[test]
+    fn matmul_reduction_dependences() {
+        // A(i,j) accumulated over k: flow/anti/output on A with d = (0,0,+).
+        let d = vecs(
+            "do i = 1, n\n do j = 1, n\n  do k = 1, n\n   A(i, j) = A(i, j) + B(i, k) * C(k, j)\n  enddo\n enddo\nenddo",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(
+            d.vectors()[0],
+            DepVector::new(vec![DepElem::ZERO, DepElem::ZERO, DepElem::POS])
+        );
+    }
+
+    #[test]
+    fn independent_writes_no_dependences() {
+        let d = vecs("do i = 1, n\n do j = 1, n\n  a(i, j) = b(i) + c(j)\n enddo\nenddo");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn output_dependence_from_repeated_write() {
+        // a(i) written for every j: output dep (0,+).
+        let d = vecs("do i = 1, n\n do j = 1, n\n  a(i) = j\n enddo\nenddo");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.vectors()[0], DepVector::new(vec![DepElem::ZERO, DepElem::POS]));
+    }
+
+    #[test]
+    fn ziv_refutation() {
+        // a(1) vs a(2): never the same element.
+        let d = vecs("do i = 1, n\n a(1) = a(2) + 1\nenddo");
+        // a(1)=… reads a(2): no flow between them; but a(1) written every
+        // iteration: output dep (+). And the write/read of *different*
+        // elements gives nothing.
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.vectors()[0], DepVector::new(vec![DepElem::POS]));
+    }
+
+    #[test]
+    fn gcd_refutation() {
+        // a(2i) vs a(2i+1): even vs odd elements, never equal.
+        let d = vecs("do i = 1, n\n a(2*i) = a(2*i + 1) + 1\nenddo");
+        // Output dep of a(2i) with itself forces d=0 → dropped; read/write
+        // pair refuted by GCD. Nothing remains.
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn strong_siv_exact_distance() {
+        let d = vecs("do i = 1, 100\n a(i + 5) = a(i) + 1\nenddo");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.vectors()[0], DepVector::distances(&[5]));
+    }
+
+    #[test]
+    fn banerjee_bounds_refutation() {
+        // a(i) vs a(i+200) in i ∈ [1,100]: distance 200 exceeds the range,
+        // strong SIV forces d=200 but bounds make it impossible… strong SIV
+        // doesn't check bounds, so use an MIV-shaped pair instead:
+        // a(2*i) vs a(i+300) with i ∈ [1,100]: 2s = t+300 needs s ≥ 151.
+        let d = vecs("do i = 1, 100\n a(2*i) = a(i + 300) + 1\nenddo");
+        assert!(d.is_empty(), "got {d}");
+    }
+
+    #[test]
+    fn coupled_miv_direction() {
+        // a(i+j) = a(i+j-1): many (s,t) pairs; expect direction vectors.
+        let d = vecs("do i = 1, 10\n do j = 1, 10\n  a(i + j) = a(i + j - 1) + 1\n enddo\nenddo");
+        assert!(!d.is_empty());
+        assert!(d.is_legal());
+        // (0, 1) shift must be admitted.
+        assert!(d.contains_tuple(&[0, 1]), "{d}");
+        // (1, -1): same element via i+1, j-1 ⇒ tuple (1,-1) admitted after
+        // accounting for the −1 offset… the offset makes it (1, 0):
+        assert!(d.contains_tuple(&[1, 0]), "{d}");
+    }
+
+    #[test]
+    fn nonlinear_subscript_conservative() {
+        // Indirect write: x(idx(i)) = …; conservative vectors expected.
+        let d = vecs("do i = 1, n\n x(idx(i)) = x(idx(i)) + 1\nenddo");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.vectors()[0], DepVector::new(vec![DepElem::POS]));
+    }
+
+    #[test]
+    fn nonlinear_two_deep_conservative() {
+        let d = vecs("do i = 1, n\n do j = 1, n\n  x(idx(i, j)) = 0\n enddo\nenddo");
+        assert_eq!(d.len(), 2);
+        assert!(d
+            .vectors()
+            .contains(&DepVector::new(vec![DepElem::POS, DepElem::ANY])));
+        assert!(d
+            .vectors()
+            .contains(&DepVector::new(vec![DepElem::ZERO, DepElem::POS])));
+    }
+
+    #[test]
+    fn symbolic_offset_is_conservative_but_sound() {
+        // a(i) vs a(i+m): unknown symbolic offset m.
+        let d = vecs("do i = 1, n\n a(i) = a(i + m) + 1\nenddo");
+        // Sound: must admit every distance the offset could produce.
+        assert!(d.contains_tuple(&[1]));
+        assert!(d.contains_tuple(&[7]));
+    }
+
+    #[test]
+    fn non_unit_step_divisibility() {
+        // step 2, read offset 3: index distance 3 not divisible by 2 ⇒ the
+        // accesses interleave without meeting.
+        let d = vecs("do i = 1, 100, 2\n a(i) = a(i - 3) + 1\nenddo");
+        assert!(d.is_empty(), "got {d}");
+        // offset 4: iteration distance 2.
+        let d = vecs("do i = 1, 100, 2\n a(i) = a(i - 4) + 1\nenddo");
+        assert_eq!(d.vectors(), [DepVector::distances(&[2])]);
+    }
+
+    #[test]
+    fn negative_step_flips_direction() {
+        // Descending loop: a(i) = a(i+1): sink reads element written by the
+        // *previous* iteration (i+1 visited earlier) ⇒ flow dep, iteration
+        // distance +1.
+        let d = vecs("do i = 100, 1, -1\n a(i) = a(i + 1) + 1\nenddo");
+        assert!(d.contains_tuple(&[1]), "{d}");
+        assert!(d.is_legal());
+    }
+
+    #[test]
+    fn triangular_nest_analyzed() {
+        let d = vecs("do i = 1, n\n do j = 1, i\n  a(i, j) = a(i - 1, j) + 1\n enddo\nenddo");
+        assert_eq!(d.vectors(), [DepVector::distances(&[1, 0])]);
+    }
+
+    #[test]
+    fn figure2_loop_nest() {
+        // Fig. 2(a): a(i,j) = b(j); b(j) = a(i−1, j+1) — two statements.
+        // D = {(1,−1), (0,+)}: flow a → use with distance (1,−1); b is
+        // written and read in the same iteration (loop-independent, not a
+        // vector) and anti-dep of b across i iterations gives (0,+)… in our
+        // single-statement-pair analysis, b(j) read then written across i:
+        // (+, 0) with j equal — the paper reports (0,+) for the b accesses
+        // ordered read-before-write *within* i… we reproduce the a-array
+        // distance exactly.
+        let d = vecs(
+            "do i = 2, n - 1\n do j = 2, n - 1\n  a(i, j) = b(j)\n  b(j) = a(i - 1, j + 1)\n enddo\nenddo",
+        );
+        assert!(d.vectors().contains(&DepVector::distances(&[1, -1])), "{d}");
+        assert!(d.is_legal());
+    }
+
+    #[test]
+    fn conservative_vectors_shape() {
+        let v = conservative_vectors(3);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0].to_string(), "(+, *, *)");
+        assert_eq!(v[1].to_string(), "(0, +, *)");
+        assert_eq!(v[2].to_string(), "(0, 0, +)");
+        assert!(v.iter().all(|d| !d.can_be_lex_negative()));
+    }
+
+    #[test]
+    fn summarize_merges_exact_siblings_only() {
+        // {(0,−),(0,0),(0,+)} merges to {(0,*)}.
+        let merged = summarize(vec![
+            DepVector::new(vec![DepElem::ZERO, DepElem::NEG]),
+            DepVector::new(vec![DepElem::ZERO, DepElem::ZERO]),
+            DepVector::new(vec![DepElem::ZERO, DepElem::POS]),
+        ]);
+        assert_eq!(merged, vec![DepVector::new(vec![DepElem::ZERO, DepElem::ANY])]);
+        // {(0,2),(0,0)} must NOT merge (2 is a point, not a half-line).
+        let kept = summarize(vec![
+            DepVector::new(vec![DepElem::ZERO, DepElem::Dist(2)]),
+            DepVector::new(vec![DepElem::ZERO, DepElem::ZERO]),
+        ]);
+        assert_eq!(kept.len(), 2);
+        // Vectors differing in two positions never merge.
+        let kept = summarize(vec![
+            DepVector::new(vec![DepElem::POS, DepElem::NEG]),
+            DepVector::new(vec![DepElem::NEG, DepElem::POS]),
+        ]);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn merge_exact_rules() {
+        assert_eq!(merge_exact(DepElem::ZERO, DepElem::POS), Some(DepElem::Dir(Dir::NonNeg)));
+        assert_eq!(merge_exact(DepElem::NEG, DepElem::POS), Some(DepElem::Dir(Dir::NonZero)));
+        assert_eq!(merge_exact(DepElem::Dist(1), DepElem::POS), Some(DepElem::POS));
+        assert_eq!(merge_exact(DepElem::Dist(2), DepElem::ZERO), None);
+        assert_eq!(merge_exact(DepElem::Dist(1), DepElem::Dist(2)), None);
+        assert_eq!(merge_exact(DepElem::Dist(3), DepElem::Dist(3)), Some(DepElem::Dist(3)));
+    }
+
+    #[test]
+    fn gcd_helper() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(7, 0), 7);
+        assert_eq!(gcd(-12, 18), 6);
+        assert_eq!(gcd(0, 0), 0);
+    }
+
+    #[test]
+    fn index_to_iteration_conversion() {
+        assert_eq!(index_to_iteration(DepElem::Dist(4), Some(2)), Some(DepElem::Dist(2)));
+        assert_eq!(index_to_iteration(DepElem::Dist(3), Some(2)), None);
+        assert_eq!(index_to_iteration(DepElem::Dist(4), Some(-2)), Some(DepElem::Dist(-2)));
+        assert_eq!(index_to_iteration(DepElem::POS, Some(-1)), Some(DepElem::NEG));
+        assert_eq!(index_to_iteration(DepElem::POS, None), Some(DepElem::ANY));
+        assert_eq!(index_to_iteration(DepElem::ZERO, None), Some(DepElem::ZERO));
+    }
+}

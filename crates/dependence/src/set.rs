@@ -1,0 +1,416 @@
+//! Sets of dependence vectors and the summary-expansion pass.
+//!
+//! `Tuples(D)` is the union of the tuple sets of the members, and the
+//! framework's dependence legality test is: *the transformed `D` must admit
+//! no lexicographically negative tuple* (§3.2).
+
+use crate::vector::{DepElem, DepVector, Dir};
+use std::fmt;
+
+/// A set of dependence vectors for one loop nest, all of the same arity.
+///
+/// # Examples
+///
+/// ```
+/// use irlt_dependence::{DepSet, DepVector};
+///
+/// let d = DepSet::from_vectors(vec![
+///     DepVector::distances(&[1, -1]),
+///     DepVector::distances(&[0, 1]),
+/// ]).unwrap();
+/// assert!(d.is_legal()); // no lexicographically negative tuple
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct DepSet {
+    vectors: Vec<DepVector>,
+}
+
+impl DepSet {
+    /// The empty set (a nest with no cross-iteration dependences).
+    pub fn new() -> DepSet {
+        DepSet::default()
+    }
+
+    /// Builds a set, checking that all vectors have equal arity and
+    /// dropping exact duplicates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArityMismatch`] if two vectors have different lengths.
+    pub fn from_vectors(vectors: Vec<DepVector>) -> Result<DepSet, ArityMismatch> {
+        let mut set = DepSet::new();
+        for v in vectors {
+            set.insert(v)?;
+        }
+        Ok(set)
+    }
+
+    /// Convenience constructor from distance tuples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have unequal lengths.
+    pub fn from_distances(rows: &[&[i64]]) -> DepSet {
+        DepSet::from_vectors(rows.iter().map(|r| DepVector::distances(r)).collect())
+            .expect("uniform arity")
+    }
+
+    /// Inserts a vector (ignored if an exact duplicate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArityMismatch`] if the arity differs from existing members.
+    pub fn insert(&mut self, v: DepVector) -> Result<(), ArityMismatch> {
+        if let Some(first) = self.vectors.first() {
+            if first.len() != v.len() {
+                return Err(ArityMismatch { expected: first.len(), found: v.len() });
+            }
+        }
+        if !self.vectors.contains(&v) {
+            self.vectors.push(v);
+        }
+        Ok(())
+    }
+
+    /// The member vectors.
+    pub fn vectors(&self) -> &[DepVector] {
+        &self.vectors
+    }
+
+    /// Number of member vectors.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// True if there are no member vectors.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Arity of the member vectors (`None` when empty).
+    pub fn arity(&self) -> Option<usize> {
+        self.vectors.first().map(DepVector::len)
+    }
+
+    /// Iterates over the member vectors.
+    pub fn iter(&self) -> std::slice::Iter<'_, DepVector> {
+        self.vectors.iter()
+    }
+
+    /// Membership of a tuple in `Tuples(D)` (union over members).
+    pub fn contains_tuple(&self, tuple: &[i64]) -> bool {
+        self.vectors.iter().any(|v| v.contains_tuple(tuple))
+    }
+
+    /// The framework's dependence legality test: `Tuples(D)` contains no
+    /// lexicographically negative tuple.
+    pub fn is_legal(&self) -> bool {
+        !self.vectors.iter().any(DepVector::can_be_lex_negative)
+    }
+
+    /// The members that admit a lexicographically negative tuple (the
+    /// witnesses reported when a transformation is rejected).
+    pub fn lex_negative_witnesses(&self) -> Vec<&DepVector> {
+        self.vectors.iter().filter(|v| v.can_be_lex_negative()).collect()
+    }
+
+    /// Expands every summary direction (`≥ ≤ ≠ *`) into the equivalent set
+    /// of vectors containing only distances `0` and directions `+`/`−`
+    /// (recommended by §3.1 "to obtain the best precision possible").
+    ///
+    /// Each summary entry triples the worst case:
+    /// `* ↦ {−, 0, +}`, `≥ ↦ {0, +}`, `≤ ↦ {−, 0}`, `≠ ↦ {−, +}`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use irlt_dependence::{DepElem, DepSet, DepVector, Dir};
+    ///
+    /// let d = DepSet::from_vectors(vec![DepVector::new(vec![
+    ///     DepElem::Dir(Dir::NonNeg),
+    ///     DepElem::Dist(1),
+    /// ])]).unwrap();
+    /// let e = d.expand_summaries();
+    /// assert_eq!(e.len(), 2); // (0,1) and (+,1)
+    /// ```
+    pub fn expand_summaries(&self) -> DepSet {
+        let mut out = DepSet::new();
+        for v in &self.vectors {
+            let choices: Vec<Vec<DepElem>> = v
+                .elems()
+                .iter()
+                .map(|e| match e {
+                    DepElem::Dir(Dir::NonNeg) => vec![DepElem::ZERO, DepElem::POS],
+                    DepElem::Dir(Dir::NonPos) => vec![DepElem::NEG, DepElem::ZERO],
+                    DepElem::Dir(Dir::NonZero) => vec![DepElem::NEG, DepElem::POS],
+                    DepElem::Dir(Dir::Any) => {
+                        vec![DepElem::NEG, DepElem::ZERO, DepElem::POS]
+                    }
+                    other => vec![*other],
+                })
+                .collect();
+            let mut acc: Vec<Vec<DepElem>> = vec![Vec::with_capacity(v.len())];
+            for options in &choices {
+                let mut next = Vec::with_capacity(acc.len() * options.len());
+                for prefix in &acc {
+                    for opt in options {
+                        let mut row = prefix.clone();
+                        row.push(*opt);
+                        next.push(row);
+                    }
+                }
+                acc = next;
+            }
+            for row in acc {
+                self_insert_infallible(&mut out, DepVector::new(row));
+            }
+        }
+        out
+    }
+
+    /// For each loop level, can that loop be made `pardo` *on its own*
+    /// (leaving every other loop sequential)?
+    ///
+    /// Loop `k` is parallelizable iff making its entry sign-symmetric
+    /// (iterations may execute in any relative order, so `S(d_k)` becomes
+    /// `S(d_k) ∪ −S(d_k)`) leaves every vector lexicographically
+    /// non-negative — the same rule the framework's `Parallelize` template
+    /// applies (Table 2's `parmap`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use irlt_dependence::DepSet;
+    ///
+    /// // The k-carried matmul reduction: i and j parallelize, k does not.
+    /// let d = DepSet::from_distances(&[&[0, 0, 1]]);
+    /// assert_eq!(d.parallelizable_loops(), vec![true, true, false]);
+    /// ```
+    pub fn parallelizable_loops(&self) -> Vec<bool> {
+        let Some(n) = self.arity() else {
+            return Vec::new();
+        };
+        (0..n)
+            .map(|k| {
+                self.vectors.iter().all(|v| {
+                    let mut elems = v.elems().to_vec();
+                    elems[k] = elems[k].merge(elems[k].reverse());
+                    !DepVector::new(elems).can_be_lex_negative()
+                })
+            })
+            .collect()
+    }
+
+    /// The levels that carry at least one dependence (possibly — for
+    /// imprecise vectors every possible carrier counts).
+    pub fn carrying_levels(&self) -> Vec<usize> {
+        let mut levels: Vec<usize> = Vec::new();
+        for v in &self.vectors {
+            for p in v.possible_carried_levels() {
+                if !levels.contains(&p) {
+                    levels.push(p);
+                }
+            }
+        }
+        levels.sort_unstable();
+        levels
+    }
+
+    /// Removes members whose tuple set is covered by another member.
+    pub fn normalize(&self) -> DepSet {
+        let mut out = DepSet::new();
+        'outer: for (i, v) in self.vectors.iter().enumerate() {
+            for (j, w) in self.vectors.iter().enumerate() {
+                if i != j && v.subsumed_by(w) && !(w.subsumed_by(v) && i < j) {
+                    continue 'outer;
+                }
+            }
+            self_insert_infallible(&mut out, v.clone());
+        }
+        out
+    }
+}
+
+fn self_insert_infallible(set: &mut DepSet, v: DepVector) {
+    set.insert(v).expect("uniform arity by construction");
+}
+
+impl fmt::Display for DepSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, v) in self.vectors.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<DepVector> for DepSet {
+    /// # Panics
+    ///
+    /// Panics on arity mismatch; use [`DepSet::from_vectors`] to handle the
+    /// error.
+    fn from_iter<T: IntoIterator<Item = DepVector>>(iter: T) -> Self {
+        DepSet::from_vectors(iter.into_iter().collect()).expect("uniform arity")
+    }
+}
+
+impl<'a> IntoIterator for &'a DepSet {
+    type Item = &'a DepVector;
+    type IntoIter = std::slice::Iter<'a, DepVector>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Two dependence vectors of different arity were mixed in one set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArityMismatch {
+    /// Arity of the existing members.
+    pub expected: usize,
+    /// Arity of the offending vector.
+    pub found: usize,
+}
+
+impl fmt::Display for ArityMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dependence vector arity mismatch: expected {}, found {}",
+            self.expected, self.found
+        )
+    }
+}
+
+impl std::error::Error for ArityMismatch {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_dropped() {
+        let d = DepSet::from_distances(&[&[1, 0], &[1, 0], &[0, 1]]);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let mut d = DepSet::new();
+        d.insert(DepVector::distances(&[1, 0])).unwrap();
+        let err = d.insert(DepVector::distances(&[1])).unwrap_err();
+        assert_eq!(err, ArityMismatch { expected: 2, found: 1 });
+        assert!(err.to_string().contains("expected 2"));
+    }
+
+    #[test]
+    fn legality_over_members() {
+        let legal = DepSet::from_distances(&[&[1, -5], &[0, 2]]);
+        assert!(legal.is_legal());
+        assert!(legal.lex_negative_witnesses().is_empty());
+        let illegal = DepSet::from_distances(&[&[1, -5], &[0, -1]]);
+        assert!(!illegal.is_legal());
+        let w = illegal.lex_negative_witnesses();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0], &DepVector::distances(&[0, -1]));
+    }
+
+    #[test]
+    fn empty_set_is_legal() {
+        assert!(DepSet::new().is_legal());
+        assert!(DepSet::new().is_empty());
+        assert_eq!(DepSet::new().arity(), None);
+    }
+
+    #[test]
+    fn expansion_eliminates_summaries() {
+        let d = DepSet::from_vectors(vec![DepVector::new(vec![
+            DepElem::ANY,
+            DepElem::Dir(Dir::NonZero),
+        ])])
+        .unwrap();
+        let e = d.expand_summaries();
+        assert_eq!(e.len(), 6); // 3 × 2
+        for v in e.iter() {
+            assert!(v.elems().iter().all(|x| !x.is_summary()));
+        }
+        // The expansion covers exactly the same tuples.
+        for x in -2..=2 {
+            for y in -2..=2 {
+                assert_eq!(
+                    d.contains_tuple(&[x, y]),
+                    e.contains_tuple(&[x, y]),
+                    "({x},{y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_preserves_legality_verdict() {
+        let d = DepSet::from_vectors(vec![DepVector::new(vec![
+            DepElem::Dir(Dir::NonNeg),
+            DepElem::NEG,
+        ])])
+        .unwrap();
+        let e = d.expand_summaries();
+        assert_eq!(d.is_legal(), e.is_legal());
+        assert!(!d.is_legal());
+    }
+
+    #[test]
+    fn normalize_removes_subsumed() {
+        let d = DepSet::from_vectors(vec![
+            DepVector::new(vec![DepElem::Dist(1)]),
+            DepVector::new(vec![DepElem::POS]),
+            DepVector::new(vec![DepElem::NEG]),
+        ])
+        .unwrap();
+        let n = d.normalize();
+        assert_eq!(n.len(), 2);
+        assert!(n.vectors().contains(&DepVector::new(vec![DepElem::POS])));
+        assert!(n.vectors().contains(&DepVector::new(vec![DepElem::NEG])));
+    }
+
+    #[test]
+    fn normalize_keeps_one_of_equals() {
+        let d = DepSet::from_vectors(vec![
+            DepVector::new(vec![DepElem::POS]),
+            DepVector::new(vec![DepElem::POS]),
+        ])
+        .unwrap();
+        assert_eq!(d.len(), 1); // deduped at insert
+        assert_eq!(d.normalize().len(), 1);
+    }
+
+    #[test]
+    fn parallelizable_loops_matmul() {
+        let d = DepSet::from_distances(&[&[0, 0, 1]]);
+        assert_eq!(d.parallelizable_loops(), vec![true, true, false]);
+        let d = DepSet::from_distances(&[&[1, 0], &[0, 1]]);
+        assert_eq!(d.parallelizable_loops(), vec![false, false]);
+        // Outer-carried dependence frees the inner loop.
+        let d = DepSet::from_distances(&[&[1, -2]]);
+        assert_eq!(d.parallelizable_loops(), vec![false, true]);
+        assert!(DepSet::new().parallelizable_loops().is_empty());
+    }
+
+    #[test]
+    fn carrying_levels_union() {
+        let d = DepSet::from_vectors(vec![
+            DepVector::distances(&[0, 1]),
+            DepVector::new(vec![DepElem::Dir(Dir::NonNeg), DepElem::POS]),
+        ])
+        .unwrap();
+        assert_eq!(d.carrying_levels(), vec![0, 1]);
+    }
+
+    #[test]
+    fn display() {
+        let d = DepSet::from_distances(&[&[1, -1], &[0, 1]]);
+        assert_eq!(d.to_string(), "{(1, -1), (0, 1)}");
+    }
+}

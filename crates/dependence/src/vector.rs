@@ -1,0 +1,687 @@
+//! Dependence vectors (paper §3.1).
+//!
+//! A dependence vector for a nest of size `n` is an `n`-tuple
+//! `d = (d_1, …, d_n)` where each entry is either a *distance* (an exact
+//! integer) or one of the six *direction* values
+//! `+  −  ⁺₀ (non-negative)  ⁻₀ (non-positive)  ± (non-zero)  * (any)`.
+//! `S(d_k)` denotes the set of integers an entry stands for, and
+//! `Tuples(d) = S(d_1) × … × S(d_n)`.
+
+use std::fmt;
+
+/// One of the six direction values of Definition 3.1.
+///
+/// A zero distance is represented as [`DepElem::Dist`]`(0)`, not as a
+/// direction (the paper: "we do not represent an `=` direction … because it
+/// is equivalent to a zero distance").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dir {
+    /// `+` — strictly positive.
+    Pos,
+    /// `−` — strictly negative.
+    Neg,
+    /// `⁺₀` / `≥` — non-negative (a *summary* value).
+    NonNeg,
+    /// `⁻₀` / `≤` — non-positive (a *summary* value).
+    NonPos,
+    /// `±` / `≠` — non-zero (a *summary* value).
+    NonZero,
+    /// `*` — any integer (a *summary* value).
+    Any,
+}
+
+impl Dir {
+    /// All six direction values.
+    pub const ALL: [Dir; 6] = [Dir::Pos, Dir::Neg, Dir::NonNeg, Dir::NonPos, Dir::NonZero, Dir::Any];
+
+    /// True for the four *summary* values (`≥ ≤ ≠ *`) that stand for more
+    /// than one sign class; the paper recommends expanding them away for
+    /// maximum precision.
+    pub fn is_summary(self) -> bool {
+        matches!(self, Dir::NonNeg | Dir::NonPos | Dir::NonZero | Dir::Any)
+    }
+}
+
+/// One entry of a dependence vector: an exact distance or a direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DepElem {
+    /// An exact integer distance.
+    Dist(i64),
+    /// A direction value (imprecise: "used when the exact dependence
+    /// distance is unknown").
+    Dir(Dir),
+}
+
+impl DepElem {
+    /// The zero distance (the paper's `=`).
+    pub const ZERO: DepElem = DepElem::Dist(0);
+    /// Shorthand for `Dir(Pos)`.
+    pub const POS: DepElem = DepElem::Dir(Dir::Pos);
+    /// Shorthand for `Dir(Neg)`.
+    pub const NEG: DepElem = DepElem::Dir(Dir::Neg);
+    /// Shorthand for `Dir(Any)`.
+    pub const ANY: DepElem = DepElem::Dir(Dir::Any);
+
+    /// Membership in `S(d_k)`: does the entry admit integer `x`?
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use irlt_dependence::{DepElem, Dir};
+    ///
+    /// assert!(DepElem::Dist(3).contains(3));
+    /// assert!(!DepElem::Dist(3).contains(2));
+    /// assert!(DepElem::Dir(Dir::NonNeg).contains(0));
+    /// assert!(!DepElem::Dir(Dir::Pos).contains(0));
+    /// ```
+    pub fn contains(self, x: i64) -> bool {
+        match self {
+            DepElem::Dist(y) => x == y,
+            DepElem::Dir(Dir::Pos) => x > 0,
+            DepElem::Dir(Dir::Neg) => x < 0,
+            DepElem::Dir(Dir::NonNeg) => x >= 0,
+            DepElem::Dir(Dir::NonPos) => x <= 0,
+            DepElem::Dir(Dir::NonZero) => x != 0,
+            DepElem::Dir(Dir::Any) => true,
+        }
+    }
+
+    /// Can the entry take the value zero?
+    pub fn can_zero(self) -> bool {
+        self.contains(0)
+    }
+
+    /// Can the entry take a strictly positive value?
+    pub fn can_pos(self) -> bool {
+        match self {
+            DepElem::Dist(y) => y > 0,
+            DepElem::Dir(d) => !matches!(d, Dir::Neg | Dir::NonPos),
+        }
+    }
+
+    /// Can the entry take a strictly negative value?
+    pub fn can_neg(self) -> bool {
+        match self {
+            DepElem::Dist(y) => y < 0,
+            DepElem::Dir(d) => !matches!(d, Dir::Pos | Dir::NonNeg),
+        }
+    }
+
+    /// True if `S(self)` is a singleton (an exact distance).
+    pub fn is_distance(self) -> bool {
+        matches!(self, DepElem::Dist(_))
+    }
+
+    /// True if the entry is a summary direction (`≥ ≤ ≠ *`).
+    pub fn is_summary(self) -> bool {
+        matches!(self, DepElem::Dir(d) if d.is_summary())
+    }
+
+    /// The entry's *direction abstraction* `dir(d_k)` (used by the `Block`
+    /// mapping rule): distances collapse to their sign, directions stay.
+    pub fn dir(self) -> DepElem {
+        match self {
+            DepElem::Dist(y) if y > 0 => DepElem::POS,
+            DepElem::Dist(y) if y < 0 => DepElem::NEG,
+            other => other,
+        }
+    }
+
+    /// Table 2's `reverse(d_k)`: negate the set of values.
+    ///
+    /// ```text
+    /// d_k         | y | + | − | ≥ | ≤ | ≠ | *
+    /// reverse(d_k)| −y| − | + | ≤ | ≥ | ≠ | *
+    /// ```
+    pub fn reverse(self) -> DepElem {
+        match self {
+            DepElem::Dist(y) => DepElem::Dist(-y),
+            DepElem::Dir(Dir::Pos) => DepElem::NEG,
+            DepElem::Dir(Dir::Neg) => DepElem::POS,
+            DepElem::Dir(Dir::NonNeg) => DepElem::Dir(Dir::NonPos),
+            DepElem::Dir(Dir::NonPos) => DepElem::Dir(Dir::NonNeg),
+            d @ DepElem::Dir(Dir::NonZero) | d @ DepElem::Dir(Dir::Any) => d,
+        }
+    }
+
+    /// Least upper bound of two entries in the (sign-class) lattice: the
+    /// most precise entry whose value set contains both.
+    ///
+    /// Exact distances are preserved when equal; otherwise the result is
+    /// the smallest direction covering both sign classes. This is the
+    /// pairwise step of the `Coalesce` rule's `mergedirs` (Table 2).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use irlt_dependence::{DepElem, Dir};
+    ///
+    /// assert_eq!(DepElem::Dist(2).merge(DepElem::Dist(2)), DepElem::Dist(2));
+    /// assert_eq!(
+    ///     DepElem::Dir(Dir::Pos).merge(DepElem::Dist(0)),
+    ///     DepElem::Dir(Dir::NonNeg)
+    /// );
+    /// assert_eq!(
+    ///     DepElem::Dir(Dir::Pos).merge(DepElem::Dir(Dir::Neg)),
+    ///     DepElem::Dir(Dir::NonZero)
+    /// );
+    /// ```
+    pub fn merge(self, other: DepElem) -> DepElem {
+        if self == other {
+            return self;
+        }
+        let neg = self.can_neg() || other.can_neg();
+        let zero = self.can_zero() || other.can_zero();
+        let pos = self.can_pos() || other.can_pos();
+        DepElem::from_sign_classes(neg, zero, pos)
+    }
+
+    /// Builds the most precise entry covering the given sign classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all three flags are false (the empty set is not a
+    /// dependence entry).
+    pub fn from_sign_classes(neg: bool, zero: bool, pos: bool) -> DepElem {
+        match (neg, zero, pos) {
+            (false, false, false) => panic!("empty sign-class set"),
+            (true, false, false) => DepElem::NEG,
+            (false, true, false) => DepElem::ZERO,
+            (false, false, true) => DepElem::POS,
+            (true, true, false) => DepElem::Dir(Dir::NonPos),
+            (false, true, true) => DepElem::Dir(Dir::NonNeg),
+            (true, false, true) => DepElem::Dir(Dir::NonZero),
+            (true, true, true) => DepElem::ANY,
+        }
+    }
+
+    /// Is `S(self) ⊆ S(other)`?
+    pub fn subsumed_by(self, other: DepElem) -> bool {
+        match (self, other) {
+            (DepElem::Dist(a), b) => b.contains(a),
+            (DepElem::Dir(_), DepElem::Dist(_)) => false,
+            (a @ DepElem::Dir(_), b @ DepElem::Dir(_)) => {
+                // Compare by sign classes: a set is included iff its sign
+                // classes are.
+                (!a.can_neg() || b.can_neg())
+                    && (!a.can_zero() || b.can_zero())
+                    && (!a.can_pos() || b.can_pos())
+            }
+        }
+    }
+
+    /// Renders in the appendix's compact notation: `=` for the zero
+    /// distance, signed integers for other distances, `+ − ≥ ≤ ≠ *` for
+    /// directions (ASCII: `+ - >= <= != *`).
+    pub fn paper_str(self) -> String {
+        match self {
+            DepElem::Dist(0) => "=".to_string(),
+            DepElem::Dist(y) => y.to_string(),
+            DepElem::Dir(Dir::Pos) => "+".to_string(),
+            DepElem::Dir(Dir::Neg) => "-".to_string(),
+            DepElem::Dir(Dir::NonNeg) => ">=".to_string(),
+            DepElem::Dir(Dir::NonPos) => "<=".to_string(),
+            DepElem::Dir(Dir::NonZero) => "!=".to_string(),
+            DepElem::Dir(Dir::Any) => "*".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for DepElem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DepElem::Dist(y) => write!(f, "{y}"),
+            DepElem::Dir(Dir::Pos) => f.write_str("+"),
+            DepElem::Dir(Dir::Neg) => f.write_str("-"),
+            DepElem::Dir(Dir::NonNeg) => f.write_str(">="),
+            DepElem::Dir(Dir::NonPos) => f.write_str("<="),
+            DepElem::Dir(Dir::NonZero) => f.write_str("!="),
+            DepElem::Dir(Dir::Any) => f.write_str("*"),
+        }
+    }
+}
+
+impl From<i64> for DepElem {
+    fn from(y: i64) -> Self {
+        DepElem::Dist(y)
+    }
+}
+
+impl From<Dir> for DepElem {
+    fn from(d: Dir) -> Self {
+        DepElem::Dir(d)
+    }
+}
+
+/// A dependence vector: one [`DepElem`] per loop, outermost first.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DepVector(pub Vec<DepElem>);
+
+impl DepVector {
+    /// Creates a vector from entries.
+    pub fn new(elems: Vec<DepElem>) -> DepVector {
+        DepVector(elems)
+    }
+
+    /// Creates a pure-distance vector.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use irlt_dependence::DepVector;
+    ///
+    /// let d = DepVector::distances(&[1, -1]);
+    /// assert_eq!(d.to_string(), "(1, -1)");
+    /// ```
+    pub fn distances(values: &[i64]) -> DepVector {
+        DepVector(values.iter().map(|&v| DepElem::Dist(v)).collect())
+    }
+
+    /// Number of entries (the nest size `n`).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the vector has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The entries.
+    pub fn elems(&self) -> &[DepElem] {
+        &self.0
+    }
+
+    /// Membership of an integer tuple in `Tuples(d)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tuple.len() != self.len()`.
+    pub fn contains_tuple(&self, tuple: &[i64]) -> bool {
+        assert_eq!(tuple.len(), self.len(), "tuple arity mismatch");
+        self.0.iter().zip(tuple).all(|(e, &x)| e.contains(x))
+    }
+
+    /// Does `Tuples(d)` contain a **lexicographically negative** tuple
+    /// (Definition 3.2: first nonzero element negative)?
+    ///
+    /// Entries are independent (a Cartesian product), so this holds iff for
+    /// some position `k`, entries `1..k` can all be zero and entry `k` can
+    /// be negative.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use irlt_dependence::{DepElem, DepVector, Dir};
+    ///
+    /// // (−1, 1): lexicographically negative outright.
+    /// assert!(DepVector::distances(&[-1, 1]).can_be_lex_negative());
+    /// // (0, +): always positive.
+    /// assert!(!DepVector::new(vec![DepElem::ZERO, DepElem::POS]).can_be_lex_negative());
+    /// // (≥, −): 0 then negative is admissible.
+    /// assert!(DepVector::new(vec![DepElem::Dir(Dir::NonNeg), DepElem::NEG])
+    ///     .can_be_lex_negative());
+    /// ```
+    pub fn can_be_lex_negative(&self) -> bool {
+        for e in &self.0 {
+            if e.can_neg() {
+                return true;
+            }
+            if !e.can_zero() {
+                // This entry is forced strictly positive; every tuple is
+                // lexicographically positive from here on.
+                return false;
+            }
+        }
+        false
+    }
+
+    /// Does `Tuples(d)` contain a lexicographically positive tuple?
+    pub fn can_be_lex_positive(&self) -> bool {
+        for e in &self.0 {
+            if e.can_pos() {
+                return true;
+            }
+            if !e.can_zero() {
+                return false;
+            }
+        }
+        false
+    }
+
+    /// Is every tuple of `Tuples(d)` lexicographically positive?
+    /// (Equivalently: the vector admits neither the zero tuple nor any
+    /// lexicographically negative tuple.)
+    pub fn always_lex_positive(&self) -> bool {
+        !self.can_be_lex_negative() && !self.can_be_zero()
+    }
+
+    /// Can the vector be the all-zero tuple?
+    pub fn can_be_zero(&self) -> bool {
+        self.0.iter().all(|e| e.can_zero())
+    }
+
+    /// Componentwise [`DepElem::reverse`] where `mask[k]` is true.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask.len() != self.len()`.
+    pub fn reverse_masked(&self, mask: &[bool]) -> DepVector {
+        assert_eq!(mask.len(), self.len(), "mask arity mismatch");
+        DepVector(
+            self.0
+                .iter()
+                .zip(mask)
+                .map(|(e, &rev)| if rev { e.reverse() } else { *e })
+                .collect(),
+        )
+    }
+
+    /// Applies a permutation: entry `k` of the result is
+    /// `self[inverse_perm[k]]`; i.e. `perm[i]` gives the new position of
+    /// old entry `i` (the paper's `d'_{perm[k]} = d_k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..self.len()`.
+    pub fn permute(&self, perm: &[usize]) -> DepVector {
+        assert_eq!(perm.len(), self.len(), "permutation arity mismatch");
+        let mut out = vec![None; self.len()];
+        for (old, &new) in perm.iter().enumerate() {
+            assert!(out[new].is_none(), "perm is not a permutation");
+            out[new] = Some(self.0[old]);
+        }
+        DepVector(out.into_iter().map(|e| e.expect("perm is total")).collect())
+    }
+
+    /// Is `Tuples(self) ⊆ Tuples(other)` componentwise?
+    pub fn subsumed_by(&self, other: &DepVector) -> bool {
+        self.len() == other.len()
+            && self.0.iter().zip(&other.0).all(|(a, b)| a.subsumed_by(*b))
+    }
+
+    /// The levels that could *carry* this dependence, in the
+    /// Allen–Kennedy sense the paper's related-work section builds on:
+    /// level `p` is possible iff entries `1..p` can all be zero and entry
+    /// `p` can be positive. A vector that can be entirely zero may also be
+    /// loop-independent (not carried by any level).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use irlt_dependence::{DepElem, DepVector, Dir};
+    ///
+    /// assert_eq!(DepVector::distances(&[0, 2]).possible_carried_levels(), vec![1]);
+    /// // (≥, +): carried at level 0 (if the first entry is positive) or
+    /// // level 1 (if it is zero).
+    /// let v = DepVector::new(vec![DepElem::Dir(Dir::NonNeg), DepElem::POS]);
+    /// assert_eq!(v.possible_carried_levels(), vec![0, 1]);
+    /// ```
+    pub fn possible_carried_levels(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (p, e) in self.0.iter().enumerate() {
+            if e.can_pos() {
+                out.push(p);
+            }
+            if !e.can_zero() {
+                break;
+            }
+        }
+        out
+    }
+
+    /// The single level that *definitely* carries this dependence, when
+    /// the vector pins it down: entries before are exactly zero and the
+    /// entry at the level is strictly positive. `None` for imprecise or
+    /// loop-independent vectors.
+    pub fn carried_level(&self) -> Option<usize> {
+        for (p, e) in self.0.iter().enumerate() {
+            if e == &DepElem::ZERO {
+                continue;
+            }
+            return (e.can_pos() && !e.can_zero() && !e.can_neg()).then_some(p);
+        }
+        None
+    }
+
+    /// Renders in the appendix's compact notation, e.g. `(=,=,+)`.
+    pub fn paper_str(&self) -> String {
+        let inner: Vec<String> = self.0.iter().map(|e| e.paper_str()).collect();
+        format!("({})", inner.join(","))
+    }
+}
+
+impl fmt::Display for DepVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (k, e) in self.0.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<DepElem> for DepVector {
+    fn from_iter<T: IntoIterator<Item = DepElem>>(iter: T) -> Self {
+        DepVector(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership_semantics() {
+        for x in -3..=3 {
+            assert_eq!(DepElem::Dist(2).contains(x), x == 2);
+            assert_eq!(DepElem::POS.contains(x), x > 0);
+            assert_eq!(DepElem::NEG.contains(x), x < 0);
+            assert_eq!(DepElem::Dir(Dir::NonNeg).contains(x), x >= 0);
+            assert_eq!(DepElem::Dir(Dir::NonPos).contains(x), x <= 0);
+            assert_eq!(DepElem::Dir(Dir::NonZero).contains(x), x != 0);
+            assert!(DepElem::ANY.contains(x));
+        }
+    }
+
+    #[test]
+    fn sign_class_queries_agree_with_membership() {
+        let all = [
+            DepElem::Dist(-2),
+            DepElem::Dist(0),
+            DepElem::Dist(5),
+            DepElem::POS,
+            DepElem::NEG,
+            DepElem::Dir(Dir::NonNeg),
+            DepElem::Dir(Dir::NonPos),
+            DepElem::Dir(Dir::NonZero),
+            DepElem::ANY,
+        ];
+        for e in all {
+            assert_eq!(e.can_zero(), e.contains(0), "{e}");
+            assert_eq!(e.can_pos(), (1..100).any(|x| e.contains(x)), "{e}");
+            assert_eq!(e.can_neg(), (-100..0).any(|x| e.contains(x)), "{e}");
+        }
+    }
+
+    #[test]
+    fn reverse_negates_value_sets() {
+        let all = [
+            DepElem::Dist(-2),
+            DepElem::Dist(0),
+            DepElem::Dist(5),
+            DepElem::POS,
+            DepElem::NEG,
+            DepElem::Dir(Dir::NonNeg),
+            DepElem::Dir(Dir::NonPos),
+            DepElem::Dir(Dir::NonZero),
+            DepElem::ANY,
+        ];
+        for e in all {
+            let r = e.reverse();
+            for x in -10..=10 {
+                assert_eq!(r.contains(x), e.contains(-x), "{e} reversed at {x}");
+            }
+            assert_eq!(r.reverse(), e, "involution");
+        }
+    }
+
+    #[test]
+    fn dir_abstraction() {
+        assert_eq!(DepElem::Dist(7).dir(), DepElem::POS);
+        assert_eq!(DepElem::Dist(-7).dir(), DepElem::NEG);
+        assert_eq!(DepElem::Dist(0).dir(), DepElem::ZERO);
+        assert_eq!(DepElem::ANY.dir(), DepElem::ANY);
+    }
+
+    #[test]
+    fn merge_is_lub() {
+        assert_eq!(DepElem::Dist(1).merge(DepElem::Dist(2)), DepElem::POS);
+        assert_eq!(DepElem::Dist(-1).merge(DepElem::Dist(0)), DepElem::Dir(Dir::NonPos));
+        assert_eq!(DepElem::Dist(3).merge(DepElem::Dist(3)), DepElem::Dist(3));
+        assert_eq!(DepElem::POS.merge(DepElem::ZERO), DepElem::Dir(Dir::NonNeg));
+        assert_eq!(DepElem::NEG.merge(DepElem::POS), DepElem::Dir(Dir::NonZero));
+        assert_eq!(DepElem::Dir(Dir::NonNeg).merge(DepElem::NEG), DepElem::ANY);
+        // Merge result always subsumes both inputs.
+        let all = [DepElem::Dist(-1), DepElem::ZERO, DepElem::Dist(2), DepElem::POS, DepElem::NEG, DepElem::ANY];
+        for a in all {
+            for b in all {
+                let m = a.merge(b);
+                assert!(a.subsumed_by(m) && b.subsumed_by(m), "{a} {b} {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn subsumption() {
+        assert!(DepElem::Dist(1).subsumed_by(DepElem::POS));
+        assert!(!DepElem::POS.subsumed_by(DepElem::Dist(1)));
+        assert!(DepElem::POS.subsumed_by(DepElem::Dir(Dir::NonNeg)));
+        assert!(!DepElem::Dir(Dir::NonNeg).subsumed_by(DepElem::POS));
+        assert!(DepElem::Dir(Dir::NonZero).subsumed_by(DepElem::ANY));
+    }
+
+    #[test]
+    fn lex_negative_paper_figure2() {
+        // Fig. 2: original D = {(1,−1), (0,+)} is legal (no lex-negative
+        // tuple); interchanging gives (−1,1) which is lex-negative.
+        assert!(!DepVector::distances(&[1, -1]).can_be_lex_negative());
+        assert!(!DepVector::new(vec![DepElem::ZERO, DepElem::POS]).can_be_lex_negative());
+        assert!(DepVector::distances(&[-1, 1]).can_be_lex_negative());
+        // After reversing loop j then interchanging: (1,1) and (+,0) — legal.
+        assert!(!DepVector::distances(&[1, 1]).can_be_lex_negative());
+        assert!(!DepVector::new(vec![DepElem::POS, DepElem::ZERO]).can_be_lex_negative());
+    }
+
+    #[test]
+    fn lex_negative_with_summaries() {
+        // (*, 1): '*' admits −1, so lex-negative possible.
+        assert!(DepVector::new(vec![DepElem::ANY, DepElem::Dist(1)]).can_be_lex_negative());
+        // (+, *): first entry forced positive.
+        assert!(!DepVector::new(vec![DepElem::POS, DepElem::ANY]).can_be_lex_negative());
+        // (0, ≤): can be (0, −1).
+        assert!(DepVector::new(vec![DepElem::ZERO, DepElem::Dir(Dir::NonPos)])
+            .can_be_lex_negative());
+        // All-zero vector is not lexicographically negative.
+        assert!(!DepVector::distances(&[0, 0]).can_be_lex_negative());
+        assert!(DepVector::distances(&[0, 0]).can_be_zero());
+    }
+
+    #[test]
+    fn lex_positive_queries() {
+        assert!(DepVector::distances(&[0, 1]).can_be_lex_positive());
+        assert!(DepVector::distances(&[0, 1]).always_lex_positive());
+        assert!(!DepVector::distances(&[0, 0]).always_lex_positive());
+        let v = DepVector::new(vec![DepElem::Dir(Dir::NonNeg)]);
+        assert!(v.can_be_lex_positive());
+        assert!(!v.always_lex_positive()); // admits 0
+        assert!(!DepVector::distances(&[-1]).can_be_lex_positive());
+    }
+
+    #[test]
+    fn brute_force_lex_agreement() {
+        // Compare the O(n) tests against enumeration over a box.
+        let entries = [
+            DepElem::Dist(-1),
+            DepElem::ZERO,
+            DepElem::Dist(1),
+            DepElem::POS,
+            DepElem::NEG,
+            DepElem::Dir(Dir::NonNeg),
+            DepElem::Dir(Dir::NonPos),
+            DepElem::Dir(Dir::NonZero),
+            DepElem::ANY,
+        ];
+        for &a in &entries {
+            for &b in &entries {
+                let v = DepVector::new(vec![a, b]);
+                let mut neg = false;
+                let mut pos = false;
+                for x in -3..=3_i64 {
+                    for y in -3..=3_i64 {
+                        if v.contains_tuple(&[x, y]) {
+                            let lex_neg = x < 0 || (x == 0 && y < 0);
+                            let lex_pos = x > 0 || (x == 0 && y > 0);
+                            neg |= lex_neg;
+                            pos |= lex_pos;
+                        }
+                    }
+                }
+                assert_eq!(v.can_be_lex_negative(), neg, "{v}");
+                assert_eq!(v.can_be_lex_positive(), pos, "{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn permute_moves_entries() {
+        // perm[i] = new position of old entry i.
+        let v = DepVector::distances(&[1, 2, 3]);
+        // Move entry 0 to position 2, entry 1 to 0, entry 2 to 1.
+        let p = v.permute(&[2, 0, 1]);
+        assert_eq!(p, DepVector::distances(&[2, 3, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn permute_rejects_non_permutation() {
+        DepVector::distances(&[1, 2]).permute(&[0, 0]);
+    }
+
+    #[test]
+    fn reverse_masked() {
+        let v = DepVector::new(vec![DepElem::Dist(1), DepElem::POS]);
+        let r = v.reverse_masked(&[false, true]);
+        assert_eq!(r, DepVector::new(vec![DepElem::Dist(1), DepElem::NEG]));
+    }
+
+    #[test]
+    fn carried_level_precise_and_imprecise() {
+        assert_eq!(DepVector::distances(&[0, 3]).carried_level(), Some(1));
+        assert_eq!(DepVector::distances(&[2, -1]).carried_level(), Some(0));
+        assert_eq!(
+            DepVector::new(vec![DepElem::POS, DepElem::ANY]).carried_level(),
+            Some(0)
+        );
+        // Imprecise leader: could be level 0 or 1.
+        let v = DepVector::new(vec![DepElem::Dir(Dir::NonNeg), DepElem::POS]);
+        assert_eq!(v.carried_level(), None);
+        assert_eq!(v.possible_carried_levels(), vec![0, 1]);
+        // Loop-independent.
+        assert_eq!(DepVector::distances(&[0, 0]).carried_level(), None);
+        assert!(DepVector::distances(&[0, 0]).possible_carried_levels().is_empty());
+    }
+
+    #[test]
+    fn display_and_paper_notation() {
+        let v = DepVector::new(vec![DepElem::ZERO, DepElem::POS, DepElem::Dist(-2)]);
+        assert_eq!(v.to_string(), "(0, +, -2)");
+        assert_eq!(v.paper_str(), "(=,+,-2)");
+        let v = DepVector::new(vec![DepElem::Dir(Dir::NonZero), DepElem::ANY]);
+        assert_eq!(v.to_string(), "(!=, *)");
+        assert_eq!(v.paper_str(), "(!=,*)");
+    }
+}

@@ -1,0 +1,701 @@
+//! The loop-nest interpreter.
+//!
+//! Executes a [`LoopNest`] over concrete parameter values and a [`Memory`],
+//! producing the final memory plus (optionally) an execution trace of
+//! iterations and memory accesses. `pardo` loops may be driven in forward,
+//! reverse, or deterministically-shuffled order — a transformed program is
+//! only correct if *any* such order yields the same result, which is
+//! exactly what the differential tests exploit.
+
+use crate::memory::Memory;
+use irlt_ir::{EvalError, Expr, LoopNest, Stmt, Symbol, Target};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A user-supplied interpretation for an opaque function (`colstr`,
+/// `rowidx`, …).
+pub type UserFn = Arc<dyn Fn(&[i64]) -> i64 + Send + Sync>;
+
+/// Iteration order used for `pardo` loops.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PardoOrder {
+    /// Same order as a sequential loop.
+    #[default]
+    Forward,
+    /// Reversed.
+    Reverse,
+    /// Deterministic shuffle from the given seed.
+    Shuffled(u64),
+}
+
+/// What to record while executing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TraceLevel {
+    /// Record nothing (fastest).
+    #[default]
+    None,
+    /// Record one event per *memory access*.
+    Accesses,
+}
+
+/// One recorded memory access.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccessEvent {
+    /// Global sequence number (execution order).
+    pub time: usize,
+    /// Array accessed.
+    pub array: Symbol,
+    /// Concrete subscripts.
+    pub indices: Vec<i64>,
+    /// True for a write.
+    pub is_write: bool,
+    /// Values of the *observed variables* at this access (by default the
+    /// nest's index variables, in nest order) — for a transformed nest this
+    /// includes rebound original indices, letting traces from different
+    /// shapes be compared in the original iteration space.
+    pub observed: Vec<i64>,
+}
+
+/// Interpreter configuration and entry point.
+///
+/// # Examples
+///
+/// ```
+/// use irlt_interp::{Executor, Memory};
+/// use irlt_ir::parse_nest;
+///
+/// let nest = parse_nest("do i = 1, n\n  s(0) = s(0) + i\nenddo")?;
+/// let mut ex = Executor::new();
+/// ex.set_param("n", 10);
+/// let result = ex.run(&nest, Memory::new())?;
+/// assert_eq!(result.memory.get(&"s".into(), &[0]), Some(55));
+/// assert_eq!(result.iterations, 10);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone)]
+pub struct Executor {
+    // NOTE: manual Debug below (user functions are opaque).
+    params: BTreeMap<Symbol, i64>,
+    functions: BTreeMap<Symbol, UserFn>,
+    pardo_order: PardoOrder,
+    trace_level: TraceLevel,
+    observe: Option<Vec<Symbol>>,
+    observe_ordinals: bool,
+    max_iterations: usize,
+}
+
+impl fmt::Debug for Executor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Executor")
+            .field("params", &self.params)
+            .field("functions", &self.functions.keys().collect::<Vec<_>>())
+            .field("pardo_order", &self.pardo_order)
+            .field("trace_level", &self.trace_level)
+            .field("max_iterations", &self.max_iterations)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::new()
+    }
+}
+
+impl Executor {
+    /// A fresh executor: forward `pardo` order, no tracing, 10M-iteration
+    /// safety cap.
+    pub fn new() -> Executor {
+        Executor {
+            params: BTreeMap::new(),
+            functions: BTreeMap::new(),
+            pardo_order: PardoOrder::Forward,
+            trace_level: TraceLevel::None,
+            observe: None,
+            observe_ordinals: false,
+            max_iterations: 10_000_000,
+        }
+    }
+
+    /// Binds a loop-invariant parameter (`n`, block sizes, …).
+    pub fn set_param(&mut self, name: impl Into<Symbol>, value: i64) -> &mut Executor {
+        self.params.insert(name.into(), value);
+        self
+    }
+
+    /// Supplies an interpretation for an opaque function appearing in
+    /// bounds or bodies (the paper's `colstr(j)`-style run-time
+    /// expressions). Built-ins `abs`, `sgn`, `sqrt` are always available;
+    /// user functions shadow them.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use irlt_interp::{Executor, Memory};
+    /// use irlt_ir::Parser;
+    /// use std::sync::Arc;
+    ///
+    /// let nest = Parser::new("do k = colstr(1), colstr(2) - 1\n  a(k) = k\nenddo")
+    ///     .with_function("colstr")
+    ///     .parse_nest()?;
+    /// let mut ex = Executor::new();
+    /// ex.set_function("colstr", Arc::new(|args: &[i64]| 3 * args[0]));
+    /// let r = ex.run(&nest, Memory::new())?;
+    /// assert_eq!(r.iterations, 3); // k = 3, 4, 5
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn set_function(&mut self, name: impl Into<Symbol>, f: UserFn) -> &mut Executor {
+        self.functions.insert(name.into(), f);
+        self
+    }
+
+    /// Sets the `pardo` iteration order.
+    pub fn pardo_order(&mut self, order: PardoOrder) -> &mut Executor {
+        self.pardo_order = order;
+        self
+    }
+
+    /// Enables access tracing.
+    pub fn trace(&mut self, level: TraceLevel) -> &mut Executor {
+        self.trace_level = level;
+        self
+    }
+
+    /// Chooses which variables each [`AccessEvent`] snapshots (defaults to
+    /// the executed nest's own index variables). Pass the *original* nest's
+    /// indices to compare traces across a transformation.
+    pub fn observe(&mut self, vars: Vec<Symbol>) -> &mut Executor {
+        self.observe = Some(vars);
+        self
+    }
+
+    /// When enabled, observed *loop variables* are snapshotted as
+    /// **iteration ordinals** — the 0-based position of the current value
+    /// in the loop's value sequence, `(x − lower)/step` — rather than raw
+    /// index values. Dependence vectors are defined over iteration numbers
+    /// (Definition 3.3), so this is the right space for comparing observed
+    /// dependences against `Tuples(D)`. Variables that are not loop indices
+    /// of the executed nest still report raw values.
+    pub fn observe_iteration_numbers(&mut self) -> &mut Executor {
+        self.observe_ordinals = true;
+        self
+    }
+
+    /// Sets the iteration safety cap.
+    pub fn max_iterations(&mut self, cap: usize) -> &mut Executor {
+        self.max_iterations = cap;
+        self
+    }
+
+    /// Runs a nest to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] on unbound parameters, zero steps, arithmetic
+    /// faults, or when the iteration cap is exceeded.
+    pub fn run(&self, nest: &LoopNest, memory: Memory) -> Result<ExecResult, ExecError> {
+        let observed = self.observe.clone().unwrap_or_else(|| nest.index_vars());
+        let mut state = RunState {
+            scalars: self.params.clone(),
+            functions: self.functions.clone(),
+            ordinals: BTreeMap::new(),
+            memory,
+            trace: Vec::new(),
+            time: 0,
+            iterations: 0,
+            cap: self.max_iterations,
+            trace_level: self.trace_level,
+            pardo_order: self.pardo_order,
+            observed,
+            observe_ordinals: self.observe_ordinals,
+        };
+        state.run_level(nest, 0)?;
+        Ok(ExecResult {
+            memory: state.memory,
+            trace: state.trace,
+            iterations: state.iterations,
+        })
+    }
+}
+
+/// Result of one execution.
+#[derive(Clone, Debug)]
+pub struct ExecResult {
+    /// Final memory.
+    pub memory: Memory,
+    /// Access trace (empty unless tracing enabled).
+    pub trace: Vec<AccessEvent>,
+    /// Number of innermost iterations executed.
+    pub iterations: usize,
+}
+
+/// An execution failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// Expression evaluation failed (unbound variable, unknown function,
+    /// division by zero, array read in a bound).
+    Eval(EvalError),
+    /// A step evaluated to zero at run time.
+    ZeroStep {
+        /// The loop variable.
+        var: Symbol,
+    },
+    /// The iteration safety cap was exceeded.
+    TooManyIterations {
+        /// The configured cap.
+        cap: usize,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Eval(e) => write!(f, "{e}"),
+            ExecError::ZeroStep { var } => write!(f, "loop `{var}` has zero step at run time"),
+            ExecError::TooManyIterations { cap } => {
+                write!(f, "iteration cap of {cap} exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<EvalError> for ExecError {
+    fn from(e: EvalError) -> Self {
+        ExecError::Eval(e)
+    }
+}
+
+struct RunState {
+    scalars: BTreeMap<Symbol, i64>,
+    functions: BTreeMap<Symbol, UserFn>,
+    /// Iteration ordinal of each currently-active loop variable.
+    ordinals: BTreeMap<Symbol, i64>,
+    memory: Memory,
+    trace: Vec<AccessEvent>,
+    time: usize,
+    iterations: usize,
+    cap: usize,
+    trace_level: TraceLevel,
+    pardo_order: PardoOrder,
+    observed: Vec<Symbol>,
+    observe_ordinals: bool,
+}
+
+impl RunState {
+    fn run_level(&mut self, nest: &LoopNest, level: usize) -> Result<(), ExecError> {
+        if level == nest.depth() {
+            self.iterations += 1;
+            if self.iterations > self.cap {
+                return Err(ExecError::TooManyIterations { cap: self.cap });
+            }
+            for stmt in nest.inits().iter().chain(nest.body()) {
+                self.execute(stmt)?;
+            }
+            return Ok(());
+        }
+        let l = nest.level(level);
+        let lo = self.eval_scalar(&l.lower)?;
+        let hi = self.eval_scalar(&l.upper)?;
+        let step = self.eval_scalar(&l.step)?;
+        if step == 0 {
+            return Err(ExecError::ZeroStep { var: l.var.clone() });
+        }
+        let mut values: Vec<i64> = Vec::new();
+        let mut x = lo;
+        while (step > 0 && x <= hi) || (step < 0 && x >= hi) {
+            values.push(x);
+            x += step;
+        }
+        if l.kind.is_parallel() {
+            match self.pardo_order {
+                PardoOrder::Forward => {}
+                PardoOrder::Reverse => values.reverse(),
+                PardoOrder::Shuffled(seed) => shuffle(&mut values, seed ^ level as u64),
+            }
+        }
+        for v in values {
+            self.scalars.insert(l.var.clone(), v);
+            // The ordinal is order-independent: position of v in the
+            // unshuffled sequence.
+            self.ordinals.insert(l.var.clone(), (v - lo) / step);
+            self.run_level(nest, level + 1)?;
+        }
+        self.scalars.remove(&l.var);
+        self.ordinals.remove(&l.var);
+        Ok(())
+    }
+
+    fn execute(&mut self, stmt: &Stmt) -> Result<(), ExecError> {
+        match stmt {
+            Stmt::Guarded { cond, then } => {
+                if self.eval(cond)? != 0 {
+                    self.execute(then)?;
+                }
+                Ok(())
+            }
+            Stmt::Assign { target, value } => {
+                let v = self.eval(value)?;
+                match target {
+                    Target::Scalar(name) => {
+                        self.scalars.insert(name.clone(), v);
+                    }
+                    Target::Array(r) => {
+                        let mut idx = Vec::with_capacity(r.subscripts.len());
+                        for s in &r.subscripts {
+                            idx.push(self.eval(s)?);
+                        }
+                        self.record(&r.array, &idx, true);
+                        self.memory.write(&r.array, &idx, v);
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Full expression evaluation, including array reads.
+    fn eval(&mut self, e: &Expr) -> Result<i64, ExecError> {
+        match e {
+            Expr::ArrayRead(r) => {
+                let mut idx = Vec::with_capacity(r.subscripts.len());
+                for s in &r.subscripts {
+                    idx.push(self.eval(s)?);
+                }
+                self.record(&r.array, &idx, false);
+                Ok(self.memory.read(&r.array, &idx))
+            }
+            Expr::Add(a, b) => Ok(self.eval(a)?.wrapping_add(self.eval(b)?)),
+            Expr::Sub(a, b) => Ok(self.eval(a)?.wrapping_sub(self.eval(b)?)),
+            Expr::Mul(a, b) => Ok(self.eval(a)?.wrapping_mul(self.eval(b)?)),
+            Expr::Neg(a) => Ok(self.eval(a)?.wrapping_neg()),
+            Expr::FloorDiv(a, b) => {
+                let d = self.eval(b)?;
+                if d == 0 {
+                    return Err(EvalError::DivisionByZero.into());
+                }
+                Ok(irlt_ir::floor_div_i64(self.eval(a)?, d))
+            }
+            Expr::CeilDiv(a, b) => {
+                let d = self.eval(b)?;
+                if d == 0 {
+                    return Err(EvalError::DivisionByZero.into());
+                }
+                Ok(irlt_ir::ceil_div_i64(self.eval(a)?, d))
+            }
+            Expr::Mod(a, b) => {
+                let d = self.eval(b)?;
+                if d == 0 {
+                    return Err(EvalError::DivisionByZero.into());
+                }
+                Ok(irlt_ir::mod_floor_i64(self.eval(a)?, d))
+            }
+            Expr::Min(items) => {
+                let mut best = i64::MAX;
+                for x in items {
+                    best = best.min(self.eval(x)?);
+                }
+                Ok(best)
+            }
+            Expr::Max(items) => {
+                let mut best = i64::MIN;
+                for x in items {
+                    best = best.max(self.eval(x)?);
+                }
+                Ok(best)
+            }
+            Expr::Call(name, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a)?);
+                }
+                self.call(name, &vals)
+                    .ok_or_else(|| EvalError::UnknownFunction(name.clone()).into())
+            }
+            // Scalar leaves delegate to the pure evaluator.
+            other => {
+                let scalars = &self.scalars;
+                let functions = &self.functions;
+                other
+                    .eval_scalar(&|s| scalars.get(s).copied(), &|name, args| {
+                        functions
+                            .get(name)
+                            .map(|f| f(args))
+                            .or_else(|| builtin(name, args))
+                    })
+                    .map_err(ExecError::from)
+            }
+        }
+    }
+
+    fn call(&self, name: &Symbol, args: &[i64]) -> Option<i64> {
+        self.functions.get(name).map(|f| f(args)).or_else(|| builtin(name, args))
+    }
+
+    /// Pure scalar evaluation (loop bounds; array reads are IR-invalid
+    /// there and surface as errors).
+    fn eval_scalar(&self, e: &Expr) -> Result<i64, ExecError> {
+        let scalars = &self.scalars;
+        let functions = &self.functions;
+        e.eval_scalar(&|s| scalars.get(s).copied(), &|name, args| {
+            functions.get(name).map(|f| f(args)).or_else(|| builtin(name, args))
+        })
+        .map_err(ExecError::from)
+    }
+
+    fn record(&mut self, array: &Symbol, indices: &[i64], is_write: bool) {
+        self.time += 1;
+        if self.trace_level == TraceLevel::Accesses {
+            let observed = self
+                .observed
+                .iter()
+                .map(|v| {
+                    if self.observe_ordinals {
+                        if let Some(&o) = self.ordinals.get(v) {
+                            return o;
+                        }
+                    }
+                    self.scalars.get(v).copied().unwrap_or(i64::MIN)
+                })
+                .collect();
+            self.trace.push(AccessEvent {
+                time: self.time,
+                array: array.clone(),
+                indices: indices.to_vec(),
+                is_write,
+                observed,
+            });
+        }
+    }
+}
+
+/// Built-in opaque functions: `abs`, `sgn`, `sqrt` (integer square root of
+/// the absolute value — matches the paper's `sqrt(i)/2` bound usage), and
+/// `idx`-style helpers are *not* built in (they are arrays).
+fn builtin(name: &Symbol, args: &[i64]) -> Option<i64> {
+    match (name.as_str(), args) {
+        ("abs", [x]) => Some(x.abs()),
+        ("sgn", [x]) => Some(x.signum()),
+        ("sqrt", [x]) => Some(isqrt(x.unsigned_abs())),
+        _ => None,
+    }
+}
+
+fn isqrt(x: u64) -> i64 {
+    let mut r = (x as f64).sqrt() as u64;
+    while (r + 1) * (r + 1) <= x {
+        r += 1;
+    }
+    while r * r > x {
+        r -= 1;
+    }
+    r as i64
+}
+
+/// Deterministic Fisher–Yates with an xorshift generator.
+fn shuffle(values: &mut [i64], seed: u64) {
+    let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    for i in (1..values.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        values.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irlt_ir::parse_nest;
+
+    fn run(src: &str, params: &[(&str, i64)]) -> ExecResult {
+        let nest = parse_nest(src).unwrap();
+        let mut ex = Executor::new();
+        for &(k, v) in params {
+            ex.set_param(k, v);
+        }
+        ex.run(&nest, Memory::new()).unwrap()
+    }
+
+    #[test]
+    fn sum_loop() {
+        let r = run("do i = 1, n\n s(0) = s(0) + i\nenddo", &[("n", 100)]);
+        assert_eq!(r.memory.get(&"s".into(), &[0]), Some(5050));
+        assert_eq!(r.iterations, 100);
+    }
+
+    #[test]
+    fn triangular_counts() {
+        let r = run(
+            "do i = 1, n\n do j = 1, i\n  c(0) = c(0) + 1\n enddo\nenddo",
+            &[("n", 10)],
+        );
+        assert_eq!(r.memory.get(&"c".into(), &[0]), Some(55));
+    }
+
+    #[test]
+    fn negative_step_and_bounds() {
+        let r = run("do i = 10, 1, -3\n a(i) = i\nenddo", &[]);
+        // Visits 10, 7, 4, 1.
+        assert_eq!(r.iterations, 4);
+        assert_eq!(r.memory.get(&"a".into(), &[7]), Some(7));
+        assert_eq!(r.memory.get(&"a".into(), &[8]), None);
+    }
+
+    #[test]
+    fn empty_loop_executes_nothing() {
+        let r = run("do i = 5, 1\n a(i) = 1\nenddo", &[]);
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn min_max_bounds_evaluate() {
+        let r = run(
+            "do i = max(n, 3), min(m, 20), 2\n c(0) = c(0) + 1\nenddo",
+            &[("n", 1), ("m", 9)],
+        );
+        // i = 3, 5, 7, 9.
+        assert_eq!(r.memory.get(&"c".into(), &[0]), Some(4));
+    }
+
+    #[test]
+    fn inits_rebind_indices() {
+        // A hand-built transformed nest: ii scans, i = 11 - ii.
+        let nest = parse_nest("do ii = 1, 10\n i = 11 - ii\n a(i) = i\nenddo").unwrap();
+        let r = Executor::new().run(&nest, Memory::new()).unwrap();
+        assert_eq!(r.memory.get(&"a".into(), &[1]), Some(1));
+        assert_eq!(r.memory.get(&"a".into(), &[10]), Some(10));
+    }
+
+    #[test]
+    fn indirect_subscripts() {
+        let mut m = Memory::new();
+        for i in 1..=5 {
+            m.set("idx", &[i], 6 - i);
+        }
+        let nest = parse_nest("do i = 1, 5\n a(idx(i)) = i\nenddo").unwrap();
+        let r = Executor::new().run(&nest, m).unwrap();
+        assert_eq!(r.memory.get(&"a".into(), &[5]), Some(1));
+        assert_eq!(r.memory.get(&"a".into(), &[1]), Some(5));
+    }
+
+    #[test]
+    fn builtins() {
+        let r = run("do i = 1, 1\n a(0) = sqrt(17) + abs(0 - 4) + sgn(0 - 9)\nenddo", &[]);
+        assert_eq!(r.memory.get(&"a".into(), &[0]), Some(4 + 4 - 1));
+    }
+
+    #[test]
+    fn unbound_parameter_reported() {
+        let nest = parse_nest("do i = 1, n\n a(i) = 0\nenddo").unwrap();
+        let err = Executor::new().run(&nest, Memory::new()).unwrap_err();
+        assert!(matches!(err, ExecError::Eval(EvalError::UnboundVariable(ref v)) if v == "n"));
+    }
+
+    #[test]
+    fn zero_step_reported() {
+        let nest = parse_nest("do i = 1, 10, s\n a(i) = 0\nenddo").unwrap();
+        let mut ex = Executor::new();
+        ex.set_param("s", 0);
+        assert_eq!(
+            ex.run(&nest, Memory::new()).unwrap_err(),
+            ExecError::ZeroStep { var: Symbol::new("i") }
+        );
+    }
+
+    #[test]
+    fn iteration_cap_enforced() {
+        let nest = parse_nest("do i = 1, 1000\n a(i) = 0\nenddo").unwrap();
+        let mut ex = Executor::new();
+        ex.max_iterations(10);
+        assert_eq!(
+            ex.run(&nest, Memory::new()).unwrap_err(),
+            ExecError::TooManyIterations { cap: 10 }
+        );
+    }
+
+    #[test]
+    fn pardo_orders_permute_iterations() {
+        let src = "pardo i = 1, 5\n a(0) = a(0)*10 + i\nenddo";
+        let nest = parse_nest(src).unwrap();
+        let fwd = Executor::new().run(&nest, Memory::new()).unwrap();
+        assert_eq!(fwd.memory.get(&"a".into(), &[0]), Some(12345));
+        let mut ex = Executor::new();
+        ex.pardo_order(PardoOrder::Reverse);
+        let rev = ex.run(&nest, Memory::new()).unwrap();
+        assert_eq!(rev.memory.get(&"a".into(), &[0]), Some(54321));
+        let mut ex = Executor::new();
+        ex.pardo_order(PardoOrder::Shuffled(99));
+        let shuf = ex.run(&nest, Memory::new()).unwrap();
+        // A permutation of 1..=5 (sum of digits invariant under base-10
+        // accumulation only if it is a permutation).
+        let v = shuf.memory.get(&"a".into(), &[0]).unwrap();
+        let mut digits: Vec<i64> = v.to_string().bytes().map(|b| i64::from(b - b'0')).collect();
+        digits.sort_unstable();
+        assert_eq!(digits, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn do_loops_ignore_pardo_order() {
+        let src = "do i = 1, 5\n a(0) = a(0)*10 + i\nenddo";
+        let nest = parse_nest(src).unwrap();
+        let mut ex = Executor::new();
+        ex.pardo_order(PardoOrder::Reverse);
+        let r = ex.run(&nest, Memory::new()).unwrap();
+        assert_eq!(r.memory.get(&"a".into(), &[0]), Some(12345));
+    }
+
+    #[test]
+    fn guarded_statements_execute_conditionally() {
+        let mut m = Memory::new();
+        for i in 1..=6 {
+            m.set("mask", &[i], i % 2);
+        }
+        let nest = parse_nest("do i = 1, 6\n if (mask(i)) a(i) = i\nenddo").unwrap();
+        let r = Executor::new().run(&nest, m).unwrap();
+        assert_eq!(r.memory.get(&"a".into(), &[1]), Some(1));
+        assert_eq!(r.memory.get(&"a".into(), &[2]), None);
+        assert_eq!(r.memory.get(&"a".into(), &[5]), Some(5));
+    }
+
+    #[test]
+    fn trace_records_accesses_in_order() {
+        let src = "do i = 1, 2\n a(i) = a(i - 1) + 1\nenddo";
+        let nest = parse_nest(src).unwrap();
+        let mut ex = Executor::new();
+        ex.trace(TraceLevel::Accesses);
+        let r = ex.run(&nest, Memory::new()).unwrap();
+        assert_eq!(r.trace.len(), 4); // 2 iterations × (1 read + 1 write)
+        assert!(!r.trace[0].is_write); // RHS read first
+        assert!(r.trace[1].is_write);
+        assert_eq!(r.trace[0].indices, vec![0]);
+        assert_eq!(r.trace[1].indices, vec![1]);
+        assert_eq!(r.trace[0].observed, vec![1]); // i = 1
+        assert!(r.trace[0].time < r.trace[1].time);
+    }
+
+    #[test]
+    fn observed_variables_can_be_overridden() {
+        // Observe the rebound original variable instead of the new index.
+        let nest = parse_nest("do ii = 1, 3\n i = 4 - ii\n a(i) = 0\nenddo").unwrap();
+        let mut ex = Executor::new();
+        ex.trace(TraceLevel::Accesses).observe(vec![Symbol::new("i")]);
+        let r = ex.run(&nest, Memory::new()).unwrap();
+        let observed: Vec<i64> = r.trace.iter().map(|e| e.observed[0]).collect();
+        assert_eq!(observed, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn isqrt_exact() {
+        for x in 0..2000u64 {
+            let r = isqrt(x) as u64;
+            assert!(r * r <= x && (r + 1) * (r + 1) > x, "x={x}");
+        }
+    }
+}

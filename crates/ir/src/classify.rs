@@ -1,0 +1,493 @@
+//! The paper's bound-expression *type lattice* and linear-form extraction.
+//!
+//! Section 4.1 defines, for a bound expression `expr_j` and an index
+//! variable `x_i`,
+//!
+//! ```text
+//! type(expr_j, x_i) = const      if expr_j is a compile-time constant
+//!                     invar      if expr_j is invariant in x_i
+//!                     linear     if expr_j is linear in x_i and the
+//!                                coefficient of x_i is a compile-time constant
+//!                     nonlinear  otherwise
+//! ```
+//!
+//! with the total order `const ⊑ invar ⊑ linear ⊑ nonlinear`. Template
+//! preconditions are predicates of the form `type(expr, x) ⊑ V`.
+//!
+//! This module also extracts full *linear forms*
+//! `expr = Σ c_k · x_k + rest` (integer constant coefficients over the index
+//! variables, loop-invariant remainder), which is what the `LB`/`UB`/`STEP`
+//! coefficient matrices of Fig. 5 store, and implements the paper's special
+//! case: a `max` lower bound / `min` upper bound whose terms are each linear
+//! is itself treated as linear (each term a separate inequality).
+
+use crate::expr::Expr;
+use crate::symbol::Symbol;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A point in the bound-expression type lattice
+/// `const ⊑ invar ⊑ linear ⊑ nonlinear`.
+///
+/// The derived `Ord` *is* the lattice order, so
+/// `ty <= ExprType::Linear` spells the paper's `type(e, x) ⊑ linear`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ExprType {
+    /// Compile-time integer constant.
+    Const,
+    /// Invariant in the queried variable (may involve other symbols).
+    Invar,
+    /// Linear in the queried variable with a compile-time constant
+    /// coefficient.
+    Linear,
+    /// Anything else.
+    Nonlinear,
+}
+
+impl fmt::Display for ExprType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ExprType::Const => "const",
+            ExprType::Invar => "invar",
+            ExprType::Linear => "linear",
+            ExprType::Nonlinear => "nonlinear",
+        })
+    }
+}
+
+/// A linear form `Σ c_k · x_k + rest` over a designated set of index
+/// variables.
+///
+/// `coeffs` maps index variables to their (compile-time constant) integer
+/// coefficients; variables with zero coefficient are omitted. `rest` is an
+/// arbitrary expression that mentions none of the index variables (it may
+/// mention parameters like `n`, or even opaque calls — the "(i, 0) entry"
+/// of the paper's matrices).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinearForm {
+    /// Coefficients of the index variables (zero entries omitted).
+    pub coeffs: BTreeMap<Symbol, i64>,
+    /// Loop-invariant remainder.
+    pub rest: Expr,
+}
+
+impl LinearForm {
+    /// The zero form.
+    pub fn zero() -> LinearForm {
+        LinearForm { coeffs: BTreeMap::new(), rest: Expr::int(0) }
+    }
+
+    /// A pure-remainder form (no index variables).
+    pub fn invariant(rest: Expr) -> LinearForm {
+        LinearForm { coeffs: BTreeMap::new(), rest }
+    }
+
+    /// Coefficient of `var` (zero if absent).
+    pub fn coeff(&self, var: &Symbol) -> i64 {
+        self.coeffs.get(var).copied().unwrap_or(0)
+    }
+
+    /// True if no index variable appears with a nonzero coefficient.
+    pub fn is_invariant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// True if the form is the compile-time constant `rest` with no index
+    /// variables, i.e. fully constant iff `rest` folds to a literal.
+    pub fn as_const(&self) -> Option<i64> {
+        if self.coeffs.is_empty() {
+            self.rest.as_const()
+        } else {
+            None
+        }
+    }
+
+    fn add(mut self, other: LinearForm) -> LinearForm {
+        for (v, c) in other.coeffs {
+            let e = self.coeffs.entry(v).or_insert(0);
+            *e += c;
+        }
+        self.coeffs.retain(|_, c| *c != 0);
+        LinearForm { coeffs: self.coeffs, rest: Expr::add(self.rest, other.rest) }
+    }
+
+    /// Multiplies every coefficient and the remainder by a constant.
+    pub fn scale(mut self, k: i64) -> LinearForm {
+        if k == 0 {
+            return LinearForm::zero();
+        }
+        for c in self.coeffs.values_mut() {
+            *c *= k;
+        }
+        LinearForm { coeffs: self.coeffs, rest: Expr::mul(Expr::int(k), self.rest) }
+    }
+
+    /// Rebuilds the expression `Σ c_k · x_k + rest`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use irlt_ir::{linear_form, Expr, Symbol};
+    ///
+    /// let indices = [Symbol::new("i"), Symbol::new("j")];
+    /// let e = Expr::var("i") * Expr::int(2) + Expr::var("n") - Expr::var("j");
+    /// let form = linear_form(&e, &indices).unwrap();
+    /// assert_eq!(form.coeff(&Symbol::new("i")), 2);
+    /// assert_eq!(form.coeff(&Symbol::new("j")), -1);
+    /// assert_eq!(form.to_expr().to_string(), "2*i - j + n");
+    /// ```
+    pub fn to_expr(&self) -> Expr {
+        let mut acc = Expr::int(0);
+        for (v, c) in &self.coeffs {
+            acc = Expr::add(acc, Expr::mul(Expr::int(*c), Expr::var(v.clone())));
+        }
+        Expr::add(acc, self.rest.clone())
+    }
+}
+
+/// Extracts the linear form of `expr` over `indices`, or `None` if `expr`
+/// is not linear (with compile-time constant coefficients) in them.
+///
+/// `min`/`max` nodes that mention index variables are *not* linear forms —
+/// use [`bound_linear_terms`] for the paper's multi-inequality special case.
+pub fn linear_form(expr: &Expr, indices: &[Symbol]) -> Option<LinearForm> {
+    match expr {
+        Expr::Const(v) => Some(LinearForm::invariant(Expr::int(*v))),
+        Expr::Var(s) => {
+            if indices.contains(s) {
+                let mut coeffs = BTreeMap::new();
+                coeffs.insert(s.clone(), 1);
+                Some(LinearForm { coeffs, rest: Expr::int(0) })
+            } else {
+                Some(LinearForm::invariant(expr.clone()))
+            }
+        }
+        Expr::Add(a, b) => Some(linear_form(a, indices)?.add(linear_form(b, indices)?)),
+        Expr::Sub(a, b) => {
+            Some(linear_form(a, indices)?.add(linear_form(b, indices)?.scale(-1)))
+        }
+        Expr::Neg(a) => Some(linear_form(a, indices)?.scale(-1)),
+        Expr::Mul(a, b) => {
+            let fa = linear_form(a, indices)?;
+            let fb = linear_form(b, indices)?;
+            match (fa.as_const(), fb.as_const()) {
+                (Some(k), _) => Some(fb.scale(k)),
+                (_, Some(k)) => Some(fa.scale(k)),
+                // invariant · invariant stays invariant; anything else would
+                // give a non-constant coefficient (the paper calls n*i
+                // nonlinear in i).
+                _ if fa.is_invariant() && fb.is_invariant() => {
+                    Some(LinearForm::invariant(expr.clone()))
+                }
+                _ => None,
+            }
+        }
+        Expr::FloorDiv(a, b) | Expr::CeilDiv(a, b) | Expr::Mod(a, b) => {
+            let fa = linear_form(a, indices)?;
+            let fb = linear_form(b, indices)?;
+            if fa.is_invariant() && fb.is_invariant() {
+                Some(LinearForm::invariant(expr.clone()))
+            } else {
+                None
+            }
+        }
+        Expr::Min(items) | Expr::Max(items) => {
+            if items.iter().all(|e| {
+                linear_form(e, indices).map(|f| f.is_invariant()).unwrap_or(false)
+            }) {
+                Some(LinearForm::invariant(expr.clone()))
+            } else {
+                None
+            }
+        }
+        Expr::Call(_, args) => {
+            if args.iter().all(|e| {
+                linear_form(e, indices).map(|f| f.is_invariant()).unwrap_or(false)
+            }) {
+                Some(LinearForm::invariant(expr.clone()))
+            } else {
+                None
+            }
+        }
+        Expr::ArrayRead(_) => None,
+    }
+}
+
+/// Which bound of a loop an expression is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BoundSide {
+    /// Lower bound `l_k`.
+    Lower,
+    /// Upper bound `u_k`.
+    Upper,
+    /// Step `s_k`.
+    Step,
+}
+
+/// The paper's special case (§4.1): a bound that is a `max` (lower bound,
+/// positive step) or `min` (upper bound, positive step) of individually
+/// linear terms is treated as a *list* of linear inequalities. With a
+/// negative step the roles of `min` and `max` swap.
+///
+/// Returns one [`LinearForm`] per inequality, or `None` if the bound is not
+/// linear under this interpretation. A plain linear bound yields a single
+/// form.
+pub fn bound_linear_terms(
+    expr: &Expr,
+    side: BoundSide,
+    step_positive: bool,
+    indices: &[Symbol],
+) -> Option<Vec<LinearForm>> {
+    let splittable = match (side, step_positive) {
+        (BoundSide::Lower, true) | (BoundSide::Upper, false) => {
+            matches!(expr, Expr::Max(_))
+        }
+        (BoundSide::Upper, true) | (BoundSide::Lower, false) => {
+            matches!(expr, Expr::Min(_))
+        }
+        (BoundSide::Step, _) => false,
+    };
+    if splittable {
+        let items = match expr {
+            Expr::Min(items) | Expr::Max(items) => items,
+            _ => unreachable!("splittable implies min/max"),
+        };
+        items.iter().map(|e| linear_form(e, indices)).collect()
+    } else {
+        linear_form(expr, indices).map(|f| vec![f])
+    }
+}
+
+/// Computes the paper's `type(expr, wrt)` given the full set of nest index
+/// variables.
+///
+/// `indices` must contain every index variable of the nest (so that, e.g.,
+/// `j` in a bound of loop `k` is recognized as an index rather than a
+/// parameter). `wrt` is the variable the query is about and need not be in
+/// `indices` — but typically is.
+///
+/// # Examples
+///
+/// ```
+/// use irlt_ir::{classify, Expr, ExprType, Symbol};
+///
+/// let indices = [Symbol::new("i"), Symbol::new("j")];
+/// let i = Symbol::new("i");
+/// assert_eq!(classify(&Expr::int(4), &i, &indices), ExprType::Const);
+/// assert_eq!(classify(&Expr::var("n"), &i, &indices), ExprType::Invar);
+/// let lin = Expr::var("i") + Expr::int(512);
+/// assert_eq!(classify(&lin, &i, &indices), ExprType::Linear);
+/// let nl = Expr::call("sqrt", vec![Expr::var("i")]);
+/// assert_eq!(classify(&nl, &i, &indices), ExprType::Nonlinear);
+/// ```
+pub fn classify(expr: &Expr, wrt: &Symbol, indices: &[Symbol]) -> ExprType {
+    if let Some(form) = linear_form(expr, indices) {
+        if form.coeff(wrt) != 0 {
+            return ExprType::Linear;
+        }
+        if form.as_const().is_some() {
+            return ExprType::Const;
+        }
+        return ExprType::Invar;
+    }
+    // Not globally linear. It can still be invariant (or const) in `wrt` if
+    // it never mentions `wrt`; e.g. `sqrt(i)/2` is nonlinear in `i` but
+    // invariant in `j`.
+    if !expr.mentions(wrt) {
+        if expr.free_vars().is_empty() && expr.as_const().is_some() {
+            ExprType::Const
+        } else {
+            ExprType::Invar
+        }
+    } else {
+        ExprType::Nonlinear
+    }
+}
+
+/// Classifies a bound with the min/max special case applied: the type is
+/// the join of the term types when the bound may be split into inequalities.
+pub fn classify_bound(
+    expr: &Expr,
+    side: BoundSide,
+    step_positive: bool,
+    wrt: &Symbol,
+    indices: &[Symbol],
+) -> ExprType {
+    match bound_linear_terms(expr, side, step_positive, indices) {
+        Some(forms) => {
+            let mut ty = ExprType::Const;
+            for f in &forms {
+                let t = if f.coeff(wrt) != 0 {
+                    ExprType::Linear
+                } else if f.as_const().is_some() {
+                    ExprType::Const
+                } else {
+                    ExprType::Invar
+                };
+                ty = ty.max(t);
+            }
+            ty
+        }
+        None => classify(expr, wrt, indices),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(name: &str) -> Expr {
+        Expr::var(name)
+    }
+
+    fn sym(name: &str) -> Symbol {
+        Symbol::new(name)
+    }
+
+    fn ij() -> Vec<Symbol> {
+        vec![sym("i"), sym("j")]
+    }
+
+    #[test]
+    fn lattice_order_matches_paper() {
+        assert!(ExprType::Const < ExprType::Invar);
+        assert!(ExprType::Invar < ExprType::Linear);
+        assert!(ExprType::Linear < ExprType::Nonlinear);
+        // `type(e, x) ⊑ linear` accepts const/invar/linear.
+        assert!(ExprType::Const <= ExprType::Linear);
+        assert!(ExprType::Nonlinear > ExprType::Linear);
+    }
+
+    #[test]
+    fn linear_form_basic() {
+        let e = v("i") * Expr::int(3) - v("j") + v("n") + Expr::int(2);
+        let f = linear_form(&e, &ij()).unwrap();
+        assert_eq!(f.coeff(&sym("i")), 3);
+        assert_eq!(f.coeff(&sym("j")), -1);
+        assert_eq!(f.rest.to_string(), "n + 2");
+    }
+
+    #[test]
+    fn linear_form_cancellation_drops_zero_coeffs() {
+        let e = v("i") - v("i") + v("j");
+        let f = linear_form(&e, &ij()).unwrap();
+        assert_eq!(f.coeff(&sym("i")), 0);
+        assert_eq!(f.coeff(&sym("j")), 1);
+        assert!(!f.coeffs.contains_key(&sym("i")));
+    }
+
+    #[test]
+    fn linear_form_rejects_index_products() {
+        assert!(linear_form(&(v("i") * v("j")), &ij()).is_none());
+        // Invariant coefficient (n·i): the paper requires a compile-time
+        // constant coefficient, so this is not linear.
+        assert!(linear_form(&(v("n") * v("i")), &ij()).is_none());
+        // But invariant·invariant is fine.
+        let f = linear_form(&(v("n") * v("m")), &ij()).unwrap();
+        assert!(f.is_invariant());
+    }
+
+    #[test]
+    fn linear_form_division_of_invariants_ok() {
+        let e = Expr::FloorDiv(Box::new(v("n")), Box::new(Expr::int(2)));
+        let f = linear_form(&e, &ij()).unwrap();
+        assert!(f.is_invariant());
+        let e = Expr::FloorDiv(Box::new(v("i")), Box::new(Expr::int(2)));
+        assert!(linear_form(&e, &ij()).is_none());
+    }
+
+    #[test]
+    fn linear_form_array_read_is_nonlinear() {
+        assert!(linear_form(&Expr::read("A", vec![v("i")]), &ij()).is_none());
+    }
+
+    #[test]
+    fn linear_form_roundtrip() {
+        let e = Expr::int(2) * v("i") + v("n") - v("j");
+        let f = linear_form(&e, &ij()).unwrap();
+        let g = linear_form(&f.to_expr(), &ij()).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn scale_zero_is_zero_form() {
+        let f = linear_form(&(v("i") + v("n")), &ij()).unwrap().scale(0);
+        assert_eq!(f, LinearForm::zero());
+    }
+
+    #[test]
+    fn classify_paper_figure5_types() {
+        // Fig. 5:  do i = max(n,3), 100, 2
+        //            do j = 1, min(2·i, 512), 1
+        //              do k = sqrt(i)/2, 2·j, i
+        let indices = vec![sym("i"), sym("j"), sym("k")];
+        let (i, j) = (sym("i"), sym("j"));
+        // u2 = min(2·i, 512): linear in i (the special case splits the min).
+        let u2 = Expr::min2(Expr::int(2) * v("i"), Expr::int(512));
+        assert_eq!(classify_bound(&u2, BoundSide::Upper, true, &i, &indices), ExprType::Linear);
+        // l3 = sqrt(i)/2: nonlinear in i …
+        let l3 = Expr::floor_div(Expr::call("sqrt", vec![v("i")]), Expr::int(2));
+        assert_eq!(classify(&l3, &i, &indices), ExprType::Nonlinear);
+        // … but invariant in j.
+        assert_eq!(classify(&l3, &j, &indices), ExprType::Invar);
+        // u3 = 2·j: linear in j.
+        let u3 = Expr::int(2) * v("j");
+        assert_eq!(classify(&u3, &j, &indices), ExprType::Linear);
+        // s3 = i: linear in i.
+        assert_eq!(classify(&v("i"), &i, &indices), ExprType::Linear);
+        // A literal: const in everything.
+        assert_eq!(classify(&Expr::int(100), &i, &indices), ExprType::Const);
+    }
+
+    #[test]
+    fn classify_sparse_matmul_nonlinear_bound() {
+        // Fig. 4(c): do k = colstr(j), colstr(j+1)-1 — nonlinear in j,
+        // invariant in i.
+        let indices = vec![sym("i"), sym("j"), sym("k")];
+        let lk = Expr::call("colstr", vec![v("j")]);
+        assert_eq!(classify(&lk, &sym("j"), &indices), ExprType::Nonlinear);
+        assert_eq!(classify(&lk, &sym("i"), &indices), ExprType::Invar);
+    }
+
+    #[test]
+    fn bound_splitting_depends_on_side_and_step_sign() {
+        let indices = ij();
+        let maxb = Expr::max2(v("n"), v("i") + Expr::int(1));
+        // max as a lower bound with positive step: splits.
+        let forms =
+            bound_linear_terms(&maxb, BoundSide::Lower, true, &indices).unwrap();
+        assert_eq!(forms.len(), 2);
+        // max as an upper bound with positive step: does NOT split; the max
+        // mentions i, so the bound is nonlinear as a whole.
+        assert!(bound_linear_terms(&maxb, BoundSide::Upper, true, &indices).is_none());
+        // … unless the step is negative, in which case max-as-upper splits.
+        let forms =
+            bound_linear_terms(&maxb, BoundSide::Upper, false, &indices).unwrap();
+        assert_eq!(forms.len(), 2);
+    }
+
+    #[test]
+    fn classify_bound_join_over_terms() {
+        let indices = ij();
+        let b = Expr::max2(Expr::int(3), v("n"));
+        assert_eq!(
+            classify_bound(&b, BoundSide::Lower, true, &sym("i"), &indices),
+            ExprType::Invar
+        );
+        let b = Expr::max2(Expr::int(3), v("i"));
+        assert_eq!(
+            classify_bound(&b, BoundSide::Lower, true, &sym("i"), &indices),
+            ExprType::Linear
+        );
+    }
+
+    #[test]
+    fn step_bounds_never_split() {
+        let indices = ij();
+        let s = Expr::max2(v("i"), Expr::int(2));
+        assert_eq!(
+            classify_bound(&s, BoundSide::Step, true, &sym("i"), &indices),
+            ExprType::Nonlinear
+        );
+    }
+}

@@ -1,0 +1,265 @@
+//! C code emission.
+//!
+//! A transformed [`LoopNest`] is only useful to a downstream compiler if
+//! it can leave the framework; this backend prints a nest as compilable
+//! C: `for` loops (Fortran's inclusive bounds and arbitrary step
+//! directions handled), `pardo` as `#pragma omp parallel for`, arrays as
+//! macro-mapped accesses, and the mini-language's `min`/`max`/floor
+//! division as portable helpers.
+
+use crate::expr::Expr;
+use crate::nest::{LoopKind, LoopNest};
+use crate::stmt::{Stmt, Target};
+use std::fmt::Write as _;
+
+/// Options for C emission.
+#[derive(Clone, Debug)]
+pub struct CEmitOptions {
+    /// Emit `#pragma omp parallel for` above `pardo` loops.
+    pub openmp: bool,
+    /// The integer type used for indices and values.
+    pub int_type: &'static str,
+}
+
+impl Default for CEmitOptions {
+    fn default() -> Self {
+        CEmitOptions { openmp: true, int_type: "long" }
+    }
+}
+
+/// Emits a nest as a C function body (the caller provides declarations
+/// for arrays, parameters, and the helper macros from
+/// [`c_prelude`]).
+///
+/// # Examples
+///
+/// ```
+/// use irlt_ir::{emit_c, parse_nest, CEmitOptions};
+///
+/// let nest = parse_nest("pardo i = 1, n\n  a(i) = a(i) + 1\nenddo")?;
+/// let c = emit_c(&nest, &CEmitOptions::default());
+/// assert!(c.contains("#pragma omp parallel for"));
+/// assert!(c.contains("for (long i = 1; i <= n; i += 1)"));
+/// assert!(c.contains("A_a(i) = A_a(i) + 1;"));
+/// # Ok::<(), irlt_ir::ParseError>(())
+/// ```
+pub fn emit_c(nest: &LoopNest, options: &CEmitOptions) -> String {
+    let mut out = String::new();
+    let n = nest.depth();
+    for (k, l) in nest.loops().iter().enumerate() {
+        let indent = "  ".repeat(k);
+        if options.openmp && l.kind == LoopKind::ParDo {
+            let _ = writeln!(out, "{indent}#pragma omp parallel for");
+        }
+        let var = &l.var;
+        let init = c_expr(&l.lower);
+        let step = c_expr(&l.step);
+        // The step's sign decides the comparison; emit a sign-dispatching
+        // condition only when the sign is not statically known.
+        let cond = match l.step.as_const() {
+            Some(s) if s > 0 => format!("{var} <= {}", c_expr(&l.upper)),
+            Some(_) => format!("{var} >= {}", c_expr(&l.upper)),
+            None => format!(
+                "({step}) > 0 ? {var} <= {} : {var} >= {}",
+                c_expr(&l.upper),
+                c_expr(&l.upper)
+            ),
+        };
+        let _ = writeln!(
+            out,
+            "{indent}for ({} {var} = {init}; {cond}; {var} += {step}) {{",
+            options.int_type
+        );
+    }
+    let body_indent = "  ".repeat(n);
+    for s in nest.inits() {
+        debug_assert!(
+            matches!(s, Stmt::Assign { .. }),
+            "generated inits are plain assignments"
+        );
+        let _ = writeln!(out, "{body_indent}{} {};", options.int_type, c_stmt(s));
+    }
+    for s in nest.body() {
+        let _ = writeln!(out, "{body_indent}{};", c_stmt(s));
+    }
+    for k in (0..n).rev() {
+        let _ = writeln!(out, "{}}}", "  ".repeat(k));
+    }
+    out
+}
+
+/// The helper macros the emitted code relies on: floor division/modulo
+/// with Fortran-style semantics and variadic-free `MIN2`…`MIN4` /
+/// `MAX2`…`MAX4`. Include once per translation unit.
+pub fn c_prelude() -> &'static str {
+    r#"#define FDIV(a, b) ((a) / (b) - (((a) % (b) != 0) && (((a) < 0) != ((b) < 0))))
+#define FMOD(a, b) ((a) - (b) * FDIV(a, b))
+#define CDIV(a, b) (-FDIV(-(a), b))
+#define MIN2(a, b) ((a) < (b) ? (a) : (b))
+#define MAX2(a, b) ((a) > (b) ? (a) : (b))
+#define MIN3(a, b, c) MIN2(a, MIN2(b, c))
+#define MAX3(a, b, c) MAX2(a, MAX2(b, c))
+#define MIN4(a, b, c, d) MIN2(MIN2(a, b), MIN2(c, d))
+#define MAX4(a, b, c, d) MAX2(MAX2(a, b), MAX2(c, d))
+"#
+}
+
+fn c_stmt(s: &Stmt) -> String {
+    match s {
+        Stmt::Assign { target, value } => match target {
+            Target::Scalar(v) => format!("{v} = {}", c_expr(value)),
+            Target::Array(r) => {
+                format!("{} = {}", c_array(&r.array, &r.subscripts), c_expr(value))
+            }
+        },
+        Stmt::Guarded { cond, then } => {
+            format!("if ({}) {}", c_expr(cond), c_stmt(then))
+        }
+    }
+}
+
+fn c_array(name: &crate::symbol::Symbol, subs: &[Expr]) -> String {
+    // Arrays map through a user-provided macro `A_<name>(i, j, …)` so the
+    // caller controls layout and base offsets.
+    let args: Vec<String> = subs.iter().map(c_expr).collect();
+    format!("A_{name}({})", args.join(", "))
+}
+
+fn c_expr(e: &Expr) -> String {
+    c_prec(e, 0)
+}
+
+fn c_prec(e: &Expr, parent: u8) -> String {
+    let (text, prec) = match e {
+        Expr::Const(v) => (format!("{v}"), 10),
+        Expr::Var(s) => (format!("{s}"), 10),
+        Expr::Add(a, b) => (format!("{} + {}", c_prec(a, 1), c_prec(b, 2)), 1),
+        Expr::Sub(a, b) => (format!("{} - {}", c_prec(a, 1), c_prec(b, 2)), 1),
+        Expr::Mul(a, b) => (format!("{} * {}", c_prec(a, 2), c_prec(b, 3)), 2),
+        Expr::Neg(a) => (format!("-{}", c_prec(a, 3)), 3),
+        Expr::FloorDiv(a, b) => (format!("FDIV({}, {})", c_expr(a), c_expr(b)), 10),
+        Expr::CeilDiv(a, b) => (format!("CDIV({}, {})", c_expr(a), c_expr(b)), 10),
+        Expr::Mod(a, b) => (format!("FMOD({}, {})", c_expr(a), c_expr(b)), 10),
+        Expr::Min(items) => (c_minmax("MIN", items), 10),
+        Expr::Max(items) => (c_minmax("MAX", items), 10),
+        Expr::Call(name, args) => {
+            let rendered: Vec<String> = args.iter().map(c_expr).collect();
+            (format!("{name}({})", rendered.join(", ")), 10)
+        }
+        Expr::ArrayRead(r) => (c_array(&r.array, &r.subscripts), 10),
+    };
+    if prec < parent {
+        format!("({text})")
+    } else {
+        text
+    }
+}
+
+fn c_minmax(which: &str, items: &[Expr]) -> String {
+    // MINk/MAXk macros exist for k ≤ 4; nest beyond that.
+    match items.len() {
+        0 => unreachable!("min/max of zero operands is unconstructible"),
+        1 => c_expr(&items[0]),
+        k @ 2..=4 => {
+            let rendered: Vec<String> = items.iter().map(c_expr).collect();
+            format!("{which}{k}({})", rendered.join(", "))
+        }
+        _ => {
+            let head: Vec<String> = items[..3].iter().map(c_expr).collect();
+            let rest = c_minmax(which, &items[3..]);
+            format!("{which}4({}, {rest})", head.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_nest;
+
+    #[test]
+    fn simple_nest() {
+        let nest = parse_nest("do i = 1, n\n do j = 1, i\n  a(i, j) = b(j) + 2\n enddo\nenddo")
+            .unwrap();
+        let c = emit_c(&nest, &CEmitOptions::default());
+        assert!(c.contains("for (long i = 1; i <= n; i += 1) {"), "{c}");
+        assert!(c.contains("for (long j = 1; j <= i; j += 1) {"), "{c}");
+        assert!(c.contains("A_a(i, j) = A_b(j) + 2;"), "{c}");
+        assert_eq!(c.matches('{').count(), c.matches('}').count());
+    }
+
+    #[test]
+    fn pardo_gets_pragma_unless_disabled() {
+        let nest = parse_nest("pardo i = 1, n\n a(i) = 0\nenddo").unwrap();
+        let c = emit_c(&nest, &CEmitOptions::default());
+        assert!(c.contains("#pragma omp parallel for"), "{c}");
+        let plain = emit_c(&nest, &CEmitOptions { openmp: false, ..Default::default() });
+        assert!(!plain.contains("#pragma"), "{plain}");
+    }
+
+    #[test]
+    fn negative_and_symbolic_steps() {
+        let nest = parse_nest("do i = n, 1, -2\n a(i) = i\nenddo").unwrap();
+        let c = emit_c(&nest, &CEmitOptions::default());
+        assert!(c.contains("i >= 1; i += -2"), "{c}");
+        let nest = parse_nest("do i = 1, n, s\n a(i) = i\nenddo").unwrap();
+        let c = emit_c(&nest, &CEmitOptions::default());
+        assert!(c.contains("(s) > 0 ? i <= n : i >= n"), "{c}");
+    }
+
+    #[test]
+    fn inits_become_declarations() {
+        let nest = parse_nest("do ii = 1, n\n i = 11 - ii\n a(i) = i\nenddo").unwrap();
+        // parse puts `i = …` in the body; build a nest with real inits.
+        let with_inits = crate::nest::LoopNest::with_inits(
+            nest.loops().to_vec(),
+            vec![crate::stmt::Stmt::scalar(
+                "i",
+                Expr::int(11) - Expr::var("ii"),
+            )],
+            vec![crate::stmt::Stmt::array("a", vec![Expr::var("i")], Expr::var("i"))],
+        );
+        let c = emit_c(&with_inits, &CEmitOptions::default());
+        assert!(c.contains("long i = 11 - ii;"), "{c}");
+    }
+
+    #[test]
+    fn min_max_and_division_render_as_macros() {
+        let nest = parse_nest(
+            "do i = max(2, m - 1), min(n, 100)\n a(i) = a(i / 2) + i mod 3\nenddo",
+        )
+        .unwrap();
+        let c = emit_c(&nest, &CEmitOptions::default());
+        assert!(c.contains("MAX2(2, m - 1)"), "{c}");
+        assert!(c.contains("MIN2(n, 100)"), "{c}");
+        assert!(c.contains("FDIV(i, 2)"), "{c}");
+        assert!(c.contains("FMOD(i, 3)"), "{c}");
+        assert!(c_prelude().contains("#define FDIV"));
+    }
+
+    #[test]
+    fn wide_minmax_nests_macros() {
+        let items: Vec<Expr> = (1..=6).map(Expr::int).collect();
+        // Build Min of 6 distinct non-const-foldable items via variables.
+        let vars: Vec<Expr> = (0..6).map(|k| Expr::var(format!("v{k}"))).collect();
+        drop(items);
+        let e = Expr::Min(vars);
+        let c = c_expr(&e);
+        assert!(c.starts_with("MIN4("), "{c}");
+        assert!(c.contains("MIN3("), "{c}");
+    }
+
+    #[test]
+    fn precedence_parenthesization() {
+        let e = Expr::Mul(
+            Box::new(Expr::Add(Box::new(Expr::var("a")), Box::new(Expr::var("b")))),
+            Box::new(Expr::var("c")),
+        );
+        assert_eq!(c_expr(&e), "(a + b) * c");
+        let e = Expr::Sub(
+            Box::new(Expr::var("a")),
+            Box::new(Expr::Sub(Box::new(Expr::var("b")), Box::new(Expr::var("c")))),
+        );
+        assert_eq!(c_expr(&e), "a - (b - c)");
+    }
+}

@@ -1,0 +1,64 @@
+//! # irlt-ir — loop-nest intermediate representation
+//!
+//! The IR layer of **irlt**, a reproduction of Sarkar & Thekkath,
+//! *"A General Framework for Iteration-Reordering Loop Transformations"*
+//! (PLDI 1992). Everything the framework manipulates lives here:
+//!
+//! * [`Expr`] — symbolic integer expressions (bounds, steps, subscripts,
+//!   right-hand sides), with floor-division semantics, `min`/`max`, and
+//!   opaque run-time calls;
+//! * [`Stmt`] / [`Target`] — scalar and array assignments;
+//! * [`Loop`] / [`LoopNest`] — perfect `do`/`pardo` nests with generated
+//!   initialization statements;
+//! * [`classify`] / [`ExprType`] — the paper's bound-expression type
+//!   lattice `const ⊑ invar ⊑ linear ⊑ nonlinear` (§4.1) and linear-form
+//!   extraction used by the `LB`/`UB`/`STEP` matrices;
+//! * [`parse_nest`] / [`Parser`] — a parser for the paper's concrete
+//!   syntax, with a matching pretty-printer on [`LoopNest`];
+//! * [`emit_c`] — a C (+OpenMP) backend so transformed nests can leave
+//!   the framework.
+//!
+//! # Examples
+//!
+//! ```
+//! use irlt_ir::{parse_nest, classify, ExprType, Symbol};
+//!
+//! let nest = parse_nest(
+//!     "do i = 1, n\n  do j = 1, i\n    a(i, j) = a(i, j - 1) + 1\n  enddo\nenddo",
+//! )?;
+//! assert_eq!(nest.depth(), 2);
+//!
+//! // The triangular upper bound `i` of loop j is linear in i.
+//! let indices = nest.index_vars();
+//! let ty = classify(&nest.level(1).upper, &Symbol::new("i"), &indices);
+//! assert_eq!(ty, ExprType::Linear);
+//! # Ok::<(), irlt_ir::ParseError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classify;
+mod emit_c;
+mod expr;
+mod nest;
+mod parser;
+mod stmt;
+mod symbol;
+
+pub use classify::{
+    bound_linear_terms, classify, classify_bound, BoundSide, ExprType, LinearForm,
+};
+pub use expr::{
+    ceil_div_i64, floor_div_i64, mod_floor_i64, ArrayRef, EvalError, Expr,
+};
+pub use emit_c::{c_prelude, emit_c, CEmitOptions};
+pub use nest::{Loop, LoopKind, LoopNest, ValidateError};
+pub use parser::{parse_expr, parse_nest, ParseError, Parser};
+pub use stmt::{AccessKind, Stmt, Target};
+pub use symbol::Symbol;
+
+/// Extracts the [`LinearForm`] of an expression over the given index
+/// variables (re-exported free function; see [`classify`] for the type
+/// query).
+pub use classify::linear_form;

@@ -1,0 +1,307 @@
+//! Statements in a loop-nest body.
+//!
+//! The framework only reorders *iterations*; the loop body travels through a
+//! transformation unchanged (except for prepended initialization statements
+//! that rebind old index variables). The statement language is therefore
+//! small: scalar and array assignments.
+
+use crate::expr::{ArrayRef, Expr};
+use crate::symbol::Symbol;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The left-hand side of an assignment.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// A scalar variable, e.g. `tmp = …` or a generated `i = jj - ii`.
+    Scalar(Symbol),
+    /// An array element, e.g. `A(i, j) = …`.
+    Array(ArrayRef),
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Target::Scalar(s) => write!(f, "{s}"),
+            Target::Array(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+/// A statement in a loop body.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Stmt {
+    /// `target = value`.
+    Assign {
+        /// Assignment destination.
+        target: Target,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `if (cond) stmt` — the guard of Fig. 2(a). The condition is an
+    /// integer expression; nonzero means "taken".
+    Guarded {
+        /// The guard condition.
+        cond: Expr,
+        /// The guarded statement.
+        then: Box<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// Scalar assignment `name = value`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use irlt_ir::{Expr, Stmt};
+    ///
+    /// let s = Stmt::scalar("i", Expr::var("jj") - Expr::var("ii"));
+    /// assert_eq!(s.to_string(), "i = jj - ii");
+    /// ```
+    pub fn scalar(name: impl Into<Symbol>, value: Expr) -> Stmt {
+        Stmt::Assign { target: Target::Scalar(name.into()), value }
+    }
+
+    /// Array assignment `array(subscripts) = value`.
+    pub fn array(array: impl Into<Symbol>, subscripts: Vec<Expr>, value: Expr) -> Stmt {
+        Stmt::Assign { target: Target::Array(ArrayRef::new(array, subscripts)), value }
+    }
+
+    /// Guarded statement `if (cond) then`.
+    pub fn guarded(cond: Expr, then: Stmt) -> Stmt {
+        Stmt::Guarded { cond, then: Box::new(then) }
+    }
+
+    /// The assignment target (`None` for guarded statements).
+    pub fn target(&self) -> Option<&Target> {
+        match self {
+            Stmt::Assign { target, .. } => Some(target),
+            Stmt::Guarded { .. } => None,
+        }
+    }
+
+    /// The assignment right-hand side (`None` for guarded statements).
+    pub fn value(&self) -> Option<&Expr> {
+        match self {
+            Stmt::Assign { value, .. } => Some(value),
+            Stmt::Guarded { .. } => None,
+        }
+    }
+
+    /// Applies a variable substitution to both sides.
+    ///
+    /// Target *scalars* are never renamed (they are definitions, not uses);
+    /// array subscripts and the right-hand side are.
+    pub fn substitute(&self, subst: &dyn Fn(&Symbol) -> Option<Expr>) -> Stmt {
+        match self {
+            Stmt::Assign { target, value } => Stmt::Assign {
+                target: match target {
+                    Target::Scalar(s) => Target::Scalar(s.clone()),
+                    Target::Array(a) => Target::Array(a.substitute(subst)),
+                },
+                value: value.substitute(subst),
+            },
+            Stmt::Guarded { cond, then } => Stmt::Guarded {
+                cond: cond.substitute(subst),
+                then: Box::new(then.substitute(subst)),
+            },
+        }
+    }
+
+    /// Collects every variable *used* by the statement (subscripts and
+    /// right-hand side; not the defined scalar).
+    pub fn collect_uses(&self, out: &mut BTreeSet<Symbol>) {
+        match self {
+            Stmt::Assign { target, value } => {
+                if let Target::Array(a) = target {
+                    a.collect_vars(out);
+                }
+                value.collect_vars(out);
+            }
+            Stmt::Guarded { cond, then } => {
+                cond.collect_vars(out);
+                then.collect_uses(out);
+            }
+        }
+    }
+
+    /// Every array reference in the statement: the write (if any) first,
+    /// then each read, in left-to-right order.
+    pub fn array_refs(&self) -> Vec<(&ArrayRef, AccessKind)> {
+        let mut out = Vec::new();
+        self.push_array_refs(&mut out);
+        out
+    }
+
+    fn push_array_refs<'a>(&'a self, out: &mut Vec<(&'a ArrayRef, AccessKind)>) {
+        match self {
+            Stmt::Assign { target, value } => {
+                if let Target::Array(a) = target {
+                    out.push((a, AccessKind::Write));
+                }
+                collect_reads(value, out);
+            }
+            Stmt::Guarded { cond, then } => {
+                collect_reads(cond, out);
+                then.push_array_refs(out);
+            }
+        }
+    }
+}
+
+/// Whether an array reference reads or writes memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AccessKind {
+    /// The reference stores to the element.
+    Write,
+    /// The reference loads from the element.
+    Read,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Write => f.write_str("write"),
+            AccessKind::Read => f.write_str("read"),
+        }
+    }
+}
+
+fn collect_reads<'a>(e: &'a Expr, out: &mut Vec<(&'a ArrayRef, AccessKind)>) {
+    match e {
+        Expr::ArrayRead(r) => {
+            out.push((r, AccessKind::Read));
+            for s in &r.subscripts {
+                collect_reads(s, out);
+            }
+        }
+        Expr::Const(_) | Expr::Var(_) => {}
+        Expr::Add(a, b)
+        | Expr::Sub(a, b)
+        | Expr::Mul(a, b)
+        | Expr::FloorDiv(a, b)
+        | Expr::CeilDiv(a, b)
+        | Expr::Mod(a, b) => {
+            collect_reads(a, out);
+            collect_reads(b, out);
+        }
+        Expr::Neg(a) => collect_reads(a, out),
+        Expr::Min(items) | Expr::Max(items) | Expr::Call(_, items) => {
+            for x in items {
+                collect_reads(x, out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stmt::Assign { target, value } => write!(f, "{target} = {value}"),
+            Stmt::Guarded { cond, then } => write!(f, "if ({cond}) {then}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(name: &str) -> Expr {
+        Expr::var(name)
+    }
+
+    #[test]
+    fn display_forms() {
+        let s = Stmt::array("A", vec![v("i"), v("j")], Expr::read("B", vec![v("i")]) + v("c"));
+        assert_eq!(s.to_string(), "A(i, j) = B(i) + c");
+        let s = Stmt::scalar("t", Expr::int(0));
+        assert_eq!(s.to_string(), "t = 0");
+    }
+
+    #[test]
+    fn substitution_keeps_scalar_targets() {
+        let s = Stmt::scalar("i", v("i") + Expr::int(1));
+        let r = s.substitute(&|sym| (sym.as_str() == "i").then(|| v("ii")));
+        assert_eq!(r.to_string(), "i = ii + 1");
+    }
+
+    #[test]
+    fn substitution_renames_array_subscripts() {
+        let s = Stmt::array("A", vec![v("i")], v("i"));
+        let r = s.substitute(&|sym| (sym.as_str() == "i").then(|| v("x")));
+        assert_eq!(r.to_string(), "A(x) = x");
+    }
+
+    #[test]
+    fn array_refs_order_and_kinds() {
+        let s = Stmt::array(
+            "A",
+            vec![v("i")],
+            Expr::read("A", vec![v("i") - Expr::int(1)]) + Expr::read("B", vec![v("j")]),
+        );
+        let refs = s.array_refs();
+        assert_eq!(refs.len(), 3);
+        assert_eq!(refs[0].1, AccessKind::Write);
+        assert_eq!(refs[0].0.array, "A");
+        assert_eq!(refs[1].1, AccessKind::Read);
+        assert_eq!(refs[1].0.to_string(), "A(i - 1)");
+        assert_eq!(refs[2].0.array, "B");
+    }
+
+    #[test]
+    fn nested_subscript_reads_are_found() {
+        // B(rowidx(k)) style indirect access: the read of rowidx's argument
+        // array (if any) should also be collected.
+        let s = Stmt::array(
+            "A",
+            vec![v("i")],
+            Expr::read("B", vec![Expr::read("idx", vec![v("k")])]),
+        );
+        let refs = s.array_refs();
+        let names: Vec<&str> = refs.iter().map(|(r, _)| r.array.as_str()).collect();
+        assert_eq!(names, ["A", "B", "idx"]);
+    }
+
+    #[test]
+    fn guarded_statements() {
+        let s = Stmt::guarded(
+            Expr::read("mask", vec![v("i")]),
+            Stmt::array("b", vec![v("j")], Expr::read("a", vec![v("i") - Expr::int(1)])),
+        );
+        assert_eq!(s.to_string(), "if (mask(i)) b(j) = a(i - 1)");
+        assert_eq!(s.target(), None);
+        assert_eq!(s.value(), None);
+        // Accesses: the guard read, the write, the RHS read.
+        let refs = s.array_refs();
+        let kinds: Vec<(String, AccessKind)> = refs
+            .iter()
+            .map(|(r, k)| (r.array.as_str().to_string(), *k))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ("mask".into(), AccessKind::Read),
+                ("b".into(), AccessKind::Write),
+                ("a".into(), AccessKind::Read),
+            ]
+        );
+        // Substitution reaches both the guard and the body.
+        let r = s.substitute(&|sym| (sym.as_str() == "i").then(|| v("ii")));
+        assert_eq!(r.to_string(), "if (mask(ii)) b(j) = a(ii - 1)");
+        // Uses include guard variables.
+        let mut uses = BTreeSet::new();
+        s.collect_uses(&mut uses);
+        assert!(uses.contains("i") && uses.contains("j"));
+    }
+
+    #[test]
+    fn collect_uses_skips_defined_scalar() {
+        let s = Stmt::scalar("t", v("a") + v("b"));
+        let mut uses = BTreeSet::new();
+        s.collect_uses(&mut uses);
+        let names: Vec<&str> = uses.iter().map(|s| s.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Lightweight interned-style identifiers.
+//!
+//! A [`Symbol`] names an index variable (`i`, `j`), a loop-invariant
+//! parameter (`n`, `bj`), an array (`A`), or an opaque function (`sqrt`,
+//! `colstr`). Symbols are cheap to clone (shared backing storage) and order
+//! deterministically, which keeps pretty-printed output and test expectations
+//! stable.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// An identifier used throughout the IR.
+///
+/// # Examples
+///
+/// ```
+/// use irlt_ir::Symbol;
+///
+/// let i = Symbol::new("i");
+/// assert_eq!(i.as_str(), "i");
+/// assert_eq!(i, Symbol::from("i"));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(Arc<str>);
+
+impl Symbol {
+    /// Creates a symbol from anything string-like.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Symbol(Arc::from(name.as_ref()))
+    }
+
+    /// Returns the symbol's textual name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Returns a fresh symbol derived from `self` that does not collide with
+    /// any symbol in `taken`, by appending an apostrophe-free numeric suffix.
+    ///
+    /// This is used when code generation must invent new index variables
+    /// (the paper's `x'` variables) without capturing existing names.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use irlt_ir::Symbol;
+    ///
+    /// let taken = [Symbol::new("i"), Symbol::new("i_1")];
+    /// let fresh = Symbol::new("i").freshen(|s| taken.contains(s));
+    /// assert_eq!(fresh.as_str(), "i_2");
+    /// ```
+    pub fn freshen(&self, mut is_taken: impl FnMut(&Symbol) -> bool) -> Symbol {
+        if !is_taken(self) {
+            return self.clone();
+        }
+        for k in 1.. {
+            let candidate = Symbol::new(format!("{}_{k}", self.0));
+            if !is_taken(&candidate) {
+                return candidate;
+            }
+        }
+        unreachable!("freshening exhausted the integers")
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({})", self.0)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::new(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Self {
+        Symbol::new(s)
+    }
+}
+
+impl From<&Symbol> for Symbol {
+    fn from(s: &Symbol) -> Self {
+        s.clone()
+    }
+}
+
+impl Borrow<str> for Symbol {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Symbol {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl PartialEq<str> for Symbol {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Symbol {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn construction_and_equality() {
+        let a = Symbol::new("alpha");
+        let b = Symbol::from("alpha");
+        let c = Symbol::from(String::from("beta"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, "alpha");
+        assert_eq!(a.as_str(), "alpha");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut set = BTreeSet::new();
+        set.insert(Symbol::new("j"));
+        set.insert(Symbol::new("i"));
+        set.insert(Symbol::new("k"));
+        let names: Vec<&str> = set.iter().map(Symbol::as_str).collect();
+        assert_eq!(names, ["i", "j", "k"]);
+    }
+
+    #[test]
+    fn freshen_skips_taken_names() {
+        let taken: BTreeSet<Symbol> = ["t", "t_1", "t_2"].iter().copied().map(Symbol::new).collect();
+        let fresh = Symbol::new("t").freshen(|s| taken.contains(s));
+        assert_eq!(fresh, "t_3");
+    }
+
+    #[test]
+    fn freshen_returns_self_when_free() {
+        let fresh = Symbol::new("u").freshen(|_| false);
+        assert_eq!(fresh, "u");
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let s = Symbol::new("n");
+        assert_eq!(format!("{s}"), "n");
+        assert_eq!(format!("{s:?}"), "Symbol(n)");
+    }
+
+    #[test]
+    fn borrow_str_lookup() {
+        let mut set = BTreeSet::new();
+        set.insert(Symbol::new("x"));
+        assert!(set.contains("x"));
+        assert!(!set.contains("y"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Optimization goals: how a candidate (transformed) nest is scored.
+//!
+//! The paper closes with "the main direction for future work would be in
+//! using this framework in an automatic transformation system, so as to
+//! optimize loop nests for data locality, parallel execution, and vector
+//! execution" — these are exactly the three goals here.
+
+use irlt_cachesim::{simulate_nest, AddressMap, CacheConfig};
+use irlt_ir::LoopNest;
+use std::fmt;
+
+/// What the search optimizes. Higher scores are better.
+#[derive(Clone)]
+pub enum Goal {
+    /// Parallel execution: prefer a `pardo` loop as far *out* as possible
+    /// (coarse-grained parallelism), then more parallel loops.
+    OuterParallel,
+    /// Vector execution: prefer a `pardo` *innermost* loop (vectorizable),
+    /// then fewer sequential loops inside it.
+    InnerParallel,
+    /// Data locality: minimize simulated cache misses on a concrete
+    /// instantiation.
+    Locality(LocalityGoal),
+}
+
+impl fmt::Debug for Goal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Goal::OuterParallel => f.write_str("OuterParallel"),
+            Goal::InnerParallel => f.write_str("InnerParallel"),
+            Goal::Locality(_) => f.write_str("Locality(..)"),
+        }
+    }
+}
+
+/// Concrete setup for locality scoring: the executor parameters, the
+/// array layout, and the cache geometry.
+#[derive(Clone)]
+pub struct LocalityGoal {
+    /// Parameter bindings for the trial execution (`n`, tile sizes, …).
+    pub params: Vec<(String, i64)>,
+    /// Array declarations.
+    pub map: AddressMap,
+    /// Cache geometry.
+    pub cache: CacheConfig,
+}
+
+impl Goal {
+    /// Scores a transformed nest (higher is better). Locality scoring
+    /// executes the nest; structural goals inspect loop kinds only.
+    /// Returns `None` when the candidate cannot be scored (e.g. its trial
+    /// execution fails), which the search treats as "discard".
+    pub fn score(&self, nest: &LoopNest) -> Option<f64> {
+        match self {
+            Goal::OuterParallel => {
+                // Normalized: 1000 for an outermost pardo regardless of
+                // depth (an un-normalized `n − p` metric lets the search
+                // game the score by deepening the nest with Block), small
+                // bonus for more parallel loops, small penalty for depth.
+                let n = nest.depth() as f64;
+                let first_pardo =
+                    nest.loops().iter().position(|l| l.kind.is_parallel());
+                let count =
+                    nest.loops().iter().filter(|l| l.kind.is_parallel()).count() as f64;
+                Some(match first_pardo {
+                    Some(p) => 1000.0 * (1.0 - p as f64 / n) + count / n - 0.5 * n,
+                    None => -0.5 * n,
+                })
+            }
+            Goal::InnerParallel => {
+                let n = nest.depth();
+                let innermost_parallel = nest.level(n - 1).kind.is_parallel();
+                let count =
+                    nest.loops().iter().filter(|l| l.kind.is_parallel()).count() as f64;
+                Some(
+                    if innermost_parallel { 1000.0 } else { 0.0 } + count / n as f64
+                        - 0.5 * n as f64,
+                )
+            }
+            Goal::Locality(cfg) => {
+                let params: Vec<(&str, i64)> =
+                    cfg.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+                let r = simulate_nest(nest, &params, &cfg.map, cfg.cache).ok()?;
+                Some(-(r.stats.misses as f64))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irlt_cachesim::Order;
+    use irlt_ir::parse_nest;
+
+    #[test]
+    fn outer_parallel_prefers_outermost() {
+        let seq = parse_nest("do i = 1, 4\n do j = 1, 4\n  a(i, j) = 0\n enddo\nenddo").unwrap();
+        let outer = parse_nest("pardo i = 1, 4\n do j = 1, 4\n  a(i, j) = 0\n enddo\nenddo").unwrap();
+        let inner = parse_nest("do i = 1, 4\n pardo j = 1, 4\n  a(i, j) = 0\n enddo\nenddo").unwrap();
+        let g = Goal::OuterParallel;
+        let (s_seq, s_outer, s_inner) =
+            (g.score(&seq).unwrap(), g.score(&outer).unwrap(), g.score(&inner).unwrap());
+        assert!(s_outer > s_inner, "{s_outer} vs {s_inner}");
+        assert!(s_inner > s_seq);
+    }
+
+    #[test]
+    fn inner_parallel_prefers_innermost() {
+        let outer = parse_nest("pardo i = 1, 4\n do j = 1, 4\n  a(i, j) = 0\n enddo\nenddo").unwrap();
+        let inner = parse_nest("do i = 1, 4\n pardo j = 1, 4\n  a(i, j) = 0\n enddo\nenddo").unwrap();
+        let g = Goal::InnerParallel;
+        assert!(g.score(&inner).unwrap() > g.score(&outer).unwrap());
+    }
+
+    #[test]
+    fn locality_scores_by_misses() {
+        let by_col = parse_nest("do j = 1, n\n do i = 1, n\n  s(1) = s(1) + a(i, j)\n enddo\nenddo").unwrap();
+        let by_row = parse_nest("do i = 1, n\n do j = 1, n\n  s(1) = s(1) + a(i, j)\n enddo\nenddo").unwrap();
+        let mut map = AddressMap::new(Order::ColMajor, 8);
+        map.declare("a", &[64, 64]).declare("s", &[1]);
+        let g = Goal::Locality(LocalityGoal {
+            params: vec![("n".into(), 64)],
+            map,
+            cache: CacheConfig { size_bytes: 2048, line_bytes: 64, associativity: 2 },
+        });
+        assert!(g.score(&by_col).unwrap() > g.score(&by_row).unwrap());
+    }
+
+    #[test]
+    fn locality_unscoreable_is_none() {
+        let nest = parse_nest("do i = 1, n\n q(i) = 0\nenddo").unwrap();
+        let g = Goal::Locality(LocalityGoal {
+            params: vec![], // n unbound → execution fails → None
+            map: AddressMap::new(Order::RowMajor, 8),
+            cache: CacheConfig::l1(),
+        });
+        assert_eq!(g.score(&nest), None);
+    }
+}

@@ -1,0 +1,44 @@
+//! # irlt-opt — goal-directed search and rule validation
+//!
+//! The paper's stated future work, built on its own framework:
+//!
+//! * "using this framework in an automatic transformation system, so as to
+//!   optimize loop nests for data locality, parallel execution, and
+//!   vector execution" → [`search`] with [`Goal::Locality`],
+//!   [`Goal::OuterParallel`], and [`Goal::InnerParallel`], a beam search
+//!   over template sequences exploiting the framework's separation of
+//!   transformations from loop nests ("arbitrary levels of search and
+//!   undo": nothing is ever mutated);
+//! * "deriving the dependence vector and loop bounds mapping rules
+//!   automatically … would indeed be a great challenge" → the *checking*
+//!   half: [`validate_template`] hunts for executions on which a
+//!   template's three rule families disagree.
+//!
+//! # Examples
+//!
+//! ```
+//! use irlt_dependence::analyze_dependences;
+//! use irlt_ir::parse_nest;
+//! use irlt_opt::{search, Goal, SearchConfig};
+//!
+//! let nest = parse_nest(
+//!     "do i = 2, n\n  do j = 1, m\n    a(i, j) = a(i - 1, j) + 1\n  enddo\nenddo",
+//! )?;
+//! let deps = analyze_dependences(&nest);
+//! let found = search(&nest, &deps, &Goal::OuterParallel, &SearchConfig::default());
+//! assert!(found.best.shape.level(0).kind.is_parallel());
+//! # Ok::<(), irlt_ir::ParseError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod goal;
+mod moves;
+mod rulecheck;
+mod search;
+
+pub use goal::{Goal, LocalityGoal};
+pub use moves::MoveCatalog;
+pub use rulecheck::{default_test_nests, validate_template, RuleReport, RuleViolation};
+pub use search::{search, Candidate, SearchConfig, SearchResult};

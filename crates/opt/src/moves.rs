@@ -1,0 +1,187 @@
+//! Candidate-move generation for the transformation search.
+//!
+//! The framework deliberately separates transformations from loop nests so
+//! that "several alternative transformations" can be weighed against one
+//! nest (§5). A [`MoveCatalog`] enumerates the template instantiations the
+//! search may append to a sequence, given only the *current* nest depth —
+//! legality filtering happens later, centrally, through the framework's
+//! uniform test.
+
+use irlt_core::{catalog, Template};
+use irlt_ir::Expr;
+
+/// Configuration of the move space.
+#[derive(Clone, Debug)]
+pub struct MoveCatalog {
+    /// Tile sizes tried by `Block` moves (per blocked loop, uniform).
+    pub tile_sizes: Vec<i64>,
+    /// Skew factors tried by `Unimodular` skew moves.
+    pub skew_factors: Vec<i64>,
+    /// Generate loop interchanges (both engines: `ReversePermute` where
+    /// bounds allow, `Unimodular` otherwise).
+    pub interchanges: bool,
+    /// Generate single-loop reversals.
+    pub reversals: bool,
+    /// Generate single-loop parallelizations.
+    pub parallelize: bool,
+    /// Generate `Block` moves over contiguous ranges.
+    pub blocks: bool,
+    /// Generate `Coalesce` moves over contiguous ranges.
+    pub coalesces: bool,
+    /// Cap on nest depth growth (`Block` adds loops; unbounded growth
+    /// would blow up the search).
+    pub max_depth: usize,
+}
+
+impl Default for MoveCatalog {
+    fn default() -> Self {
+        MoveCatalog {
+            tile_sizes: vec![4, 16, 64],
+            skew_factors: vec![1, -1],
+            interchanges: true,
+            reversals: true,
+            parallelize: true,
+            blocks: true,
+            coalesces: true,
+            max_depth: 6,
+        }
+    }
+}
+
+impl MoveCatalog {
+    /// A catalog restricted to parallelism-seeking moves (no tiling).
+    pub fn parallelism() -> MoveCatalog {
+        MoveCatalog { blocks: false, coalesces: true, ..MoveCatalog::default() }
+    }
+
+    /// A catalog restricted to locality-seeking moves (no parallelize).
+    pub fn locality() -> MoveCatalog {
+        MoveCatalog { parallelize: false, coalesces: false, ..MoveCatalog::default() }
+    }
+
+    /// Enumerates candidate template instantiations for a nest of depth
+    /// `n`. All instantiations are structurally valid; none has been
+    /// legality-checked.
+    pub fn moves(&self, n: usize) -> Vec<Template> {
+        let mut out: Vec<Template> = Vec::new();
+        if self.interchanges {
+            for a in 0..n {
+                for b in a + 1..n {
+                    // Both engines: the cheap ReversePermute interchange
+                    // (invariant bounds) and the matrix one (linear
+                    // bounds). Whichever passes preconditions survives.
+                    if let Ok(t) = catalog::interchange(n, a, b) {
+                        out.push(t);
+                    }
+                    if let Ok(t) = catalog::interchange_unimodular(n, a, b) {
+                        out.push(t);
+                    }
+                }
+            }
+        }
+        if self.reversals {
+            for k in 0..n {
+                if let Ok(t) = catalog::reversal(n, k) {
+                    out.push(t);
+                }
+            }
+        }
+        for &f in &self.skew_factors {
+            for src in 0..n {
+                for dst in 0..n {
+                    if src != dst {
+                        if let Ok(t) = catalog::skew(n, src, dst, f) {
+                            out.push(t);
+                        }
+                    }
+                }
+            }
+        }
+        if self.parallelize {
+            for k in 0..n {
+                if let Ok(t) = catalog::parallelize_loop(n, k) {
+                    out.push(t);
+                }
+            }
+        }
+        if self.blocks {
+            for i in 0..n {
+                for j in i..n {
+                    let added = j - i + 1;
+                    if n + added > self.max_depth {
+                        continue;
+                    }
+                    for &b in &self.tile_sizes {
+                        if let Ok(t) =
+                            Template::block(n, i, j, vec![Expr::int(b); added])
+                        {
+                            out.push(t);
+                        }
+                    }
+                }
+            }
+        }
+        if self.coalesces {
+            for i in 0..n {
+                for j in i + 1..n {
+                    if let Ok(t) = Template::coalesce(n, i, j) {
+                        out.push(t);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_catalog_produces_all_kinds() {
+        let moves = MoveCatalog::default().moves(3);
+        let names: std::collections::BTreeSet<&str> =
+            moves.iter().map(|t| t.name()).collect();
+        assert!(names.contains("ReversePermute"));
+        assert!(names.contains("Unimodular"));
+        assert!(names.contains("Parallelize"));
+        assert!(names.contains("Block"));
+        assert!(names.contains("Coalesce"));
+        // No duplicates.
+        let mut seen: Vec<String> = Vec::new();
+        for t in &moves {
+            let s = t.to_string();
+            assert!(!seen.contains(&s), "duplicate move {s}");
+            seen.push(s);
+        }
+    }
+
+    #[test]
+    fn depth_cap_suppresses_block() {
+        let cat = MoveCatalog { max_depth: 3, ..MoveCatalog::default() };
+        assert!(cat.moves(3).iter().all(|t| t.name() != "Block"));
+        let cat = MoveCatalog { max_depth: 4, ..MoveCatalog::default() };
+        // Only single-loop strips fit.
+        assert!(cat
+            .moves(3)
+            .iter()
+            .filter(|t| t.name() == "Block")
+            .all(|t| t.output_size() == 4));
+    }
+
+    #[test]
+    fn restricted_catalogs() {
+        assert!(MoveCatalog::locality().moves(2).iter().all(|t| t.name() != "Parallelize"));
+        assert!(MoveCatalog::parallelism().moves(2).iter().all(|t| t.name() != "Block"));
+    }
+
+    #[test]
+    fn single_loop_moves() {
+        let moves = MoveCatalog::default().moves(1);
+        // Reversal, parallelize, strip-mine at least.
+        assert!(moves.iter().any(|t| t.name() == "Parallelize"));
+        assert!(moves.iter().any(|t| t.name() == "Block"));
+        assert!(moves.iter().all(|t| t.input_size() == 1));
+    }
+}

@@ -1,0 +1,341 @@
+//! Empirical validation of template rules.
+//!
+//! The paper's closing problem — deriving a template's dependence and
+//! bounds rules automatically from its iteration mapping — "would indeed
+//! be a great challenge". This module supplies the *checking* half: given
+//! any [`KernelTemplate`] (built-in or user-written), it hunts for
+//! witnesses that the three rule families disagree with each other on
+//! real executions:
+//!
+//! * **codegen vs. semantics** — the transformed nest must compute the
+//!   same memory state (under several `pardo` orders);
+//! * **dependence rule vs. codegen** — every dependence observed in the
+//!   transformed execution must be covered (lexicographic class) by the
+//!   mapped dependence set;
+//! * **declared sizes vs. generated code** — the output nest must have
+//!   `output_size()` loops.
+//!
+//! Run a new template through [`validate_template`] with
+//! [`default_test_nests`] before trusting it in sequences.
+
+use irlt_core::KernelTemplate;
+use irlt_dependence::{analyze_dependences, DepSet};
+use irlt_interp::{check_equivalence, empirical_dependences};
+use irlt_ir::{parse_nest, LoopNest};
+use std::fmt;
+
+/// One discovered disagreement.
+#[derive(Clone, Debug)]
+pub enum RuleViolation {
+    /// The transformed nest computed different memory.
+    Inequivalent {
+        /// Index into the nest list.
+        nest: usize,
+        /// Human-readable mismatch.
+        detail: String,
+    },
+    /// An observed dependence is not covered by the mapped set.
+    DependenceUncovered {
+        /// Index into the nest list.
+        nest: usize,
+        /// The observed, uncovered difference (transformed iteration
+        /// space).
+        diff: Vec<i64>,
+    },
+    /// Generated nest depth disagrees with `output_size()`.
+    SizeMismatch {
+        /// Index into the nest list.
+        nest: usize,
+        /// Declared output size.
+        declared: usize,
+        /// Actual depth.
+        actual: usize,
+    },
+    /// Preconditions passed but code generation failed.
+    CodegenFailed {
+        /// Index into the nest list.
+        nest: usize,
+        /// The error.
+        detail: String,
+    },
+}
+
+impl fmt::Display for RuleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleViolation::Inequivalent { nest, detail } => {
+                write!(f, "nest {nest}: transformed execution differs: {detail}")
+            }
+            RuleViolation::DependenceUncovered { nest, diff } => {
+                write!(f, "nest {nest}: observed dependence {diff:?} not covered by the mapped set")
+            }
+            RuleViolation::SizeMismatch { nest, declared, actual } => {
+                write!(f, "nest {nest}: output_size() = {declared} but codegen produced {actual} loops")
+            }
+            RuleViolation::CodegenFailed { nest, detail } => {
+                write!(f, "nest {nest}: preconditions passed but codegen failed: {detail}")
+            }
+        }
+    }
+}
+
+/// Outcome of [`validate_template`].
+#[derive(Clone, Debug, Default)]
+pub struct RuleReport {
+    /// Nests whose preconditions the template accepted.
+    pub applied: usize,
+    /// Nests skipped (preconditions rejected them — not a violation).
+    pub skipped: usize,
+    /// Discovered disagreements.
+    pub violations: Vec<RuleViolation>,
+}
+
+impl RuleReport {
+    /// True when no disagreement was found.
+    pub fn is_consistent(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for RuleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} applied, {} skipped, {} violations",
+            self.applied,
+            self.skipped,
+            self.violations.len()
+        )?;
+        for v in &self.violations {
+            write!(f, "\n  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A small but varied battery of executable nests: rectangular and
+/// triangular shapes, carried and carry-free recurrences, strided loops,
+/// multi-statement bodies. Parameters are pre-bound to concrete sizes so
+/// every nest executes as-is.
+pub fn default_test_nests() -> Vec<LoopNest> {
+    [
+        "do i = 1, 8\n a(i) = a(i) + 1\nenddo",
+        "do i = 2, 9\n a(i) = a(i - 1) + 1\nenddo",
+        "do i = 1, 6\n do j = 1, 7\n  a(i, j) = b(j, i) + 1\n enddo\nenddo",
+        "do i = 2, 8\n do j = 2, 8\n  a(i, j) = a(i - 1, j) + a(i, j - 1)\n enddo\nenddo",
+        "do i = 1, 7\n do j = 1, i\n  a(i, j) = a(i, j) + i\n enddo\nenddo",
+        "do i = 1, 11, 2\n do j = 1, 6\n  a(i, j) = a(i, j) + b(i)\n enddo\nenddo",
+        "do i = 1, 5\n do j = 1, 5\n  do k = 1, 5\n   A(i, j) = A(i, j) + B(i, k) * C(k, j)\n  enddo\n enddo\nenddo",
+        "do i = 1, 6\n do j = 1, 6\n  a(i + j) = a(i + j - 1) + 1\n enddo\nenddo",
+    ]
+    .iter()
+    .map(|src| parse_nest(src).expect("battery nests parse"))
+    .collect()
+}
+
+/// Validates a template's three rule families against a nest battery.
+///
+/// Nests the template's preconditions reject are skipped (rejection is a
+/// legitimate answer); accepted nests must transform consistently.
+pub fn validate_template(
+    template: &dyn KernelTemplate,
+    nests: &[LoopNest],
+    seed: u64,
+) -> RuleReport {
+    let mut report = RuleReport::default();
+    for (idx, nest) in nests.iter().enumerate() {
+        if nest.depth() != template.input_size()
+            || template.check_preconditions(nest).is_err()
+        {
+            report.skipped += 1;
+            continue;
+        }
+        let deps = analyze_dependences(nest);
+        // Dependence-legality gate: like the framework itself, only apply
+        // when the mapped set stays legal (an illegal single step is a
+        // rejection, not an inconsistency).
+        let mapped = map_set(template, &deps);
+        if !mapped.is_legal() {
+            report.skipped += 1;
+            continue;
+        }
+        let out = match template.apply_to(nest) {
+            Ok(out) => out,
+            Err(e) => {
+                report.violations.push(RuleViolation::CodegenFailed {
+                    nest: idx,
+                    detail: e.to_string(),
+                });
+                continue;
+            }
+        };
+        report.applied += 1;
+        if out.depth() != template.output_size() {
+            report.violations.push(RuleViolation::SizeMismatch {
+                nest: idx,
+                declared: template.output_size(),
+                actual: out.depth(),
+            });
+            continue;
+        }
+        match check_equivalence(nest, &out, &[], seed ^ idx as u64) {
+            Ok(r) if r.is_equivalent() => {}
+            Ok(r) => {
+                report.violations.push(RuleViolation::Inequivalent {
+                    nest: idx,
+                    detail: r.to_string(),
+                });
+                continue;
+            }
+            Err(e) => {
+                report.violations.push(RuleViolation::CodegenFailed {
+                    nest: idx,
+                    detail: format!("transformed nest failed to execute: {e}"),
+                });
+                continue;
+            }
+        }
+        // Dependence-rule coverage on the transformed execution
+        // (lexicographic class, as in the legality test).
+        if let Ok(observed) =
+            empirical_dependences(&out, out.index_vars(), &[], seed ^ 0x9e37)
+        {
+            for d in observed {
+                let lex_positive =
+                    matches!(d.iter().find(|&&x| x != 0), Some(&x) if x > 0);
+                if lex_positive && !lex_class_covered(&mapped, &d) {
+                    report
+                        .violations
+                        .push(RuleViolation::DependenceUncovered { nest: idx, diff: d });
+                }
+            }
+        }
+    }
+    report
+}
+
+fn map_set(template: &dyn KernelTemplate, deps: &DepSet) -> DepSet {
+    let mut out = DepSet::new();
+    for v in deps {
+        for m in template.map_dep_vector(v) {
+            out.insert(m).expect("uniform output arity");
+        }
+    }
+    out
+}
+
+fn lex_class_covered(deps: &DepSet, d: &[i64]) -> bool {
+    let Some(p) = d.iter().position(|&x| x != 0) else {
+        return true;
+    };
+    deps.iter().any(|v| {
+        v.elems()[..p].iter().all(|e| e.contains(0))
+            && if d[p] > 0 { v.elems()[p].can_pos() } else { v.elems()[p].can_neg() }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irlt_core::{ApplyError, PrecondError, Template};
+    use irlt_dependence::DepVector;
+    use irlt_ir::Expr;
+
+    #[test]
+    fn builtin_templates_pass_the_battery() {
+        let nests = default_test_nests();
+        let templates: Vec<Template> = vec![
+            Template::reverse_permute(vec![true, false], vec![0, 1]).unwrap(),
+            Template::reverse_permute(vec![false, false], vec![1, 0]).unwrap(),
+            Template::parallelize(vec![false, true]),
+            Template::block(2, 0, 1, vec![Expr::int(3), Expr::int(3)]).unwrap(),
+            Template::coalesce(2, 0, 1).unwrap(),
+            Template::interleave(2, 1, 1, vec![Expr::int(2)]).unwrap(),
+            Template::unimodular(irlt_unimodular::IntMatrix::skew(2, 0, 1, 1)).unwrap(),
+            Template::coalesce(3, 0, 2).unwrap(),
+            Template::parallelize(vec![false, false, true]),
+        ];
+        for t in &templates {
+            let report = validate_template(t, &nests, 77);
+            assert!(report.is_consistent(), "{t}: {report}");
+            assert!(
+                report.applied + report.skipped == nests.len(),
+                "{t}: every nest accounted for"
+            );
+        }
+    }
+
+    /// A deliberately broken template: claims dependence-identity but
+    /// actually reverses the loop. The checker must catch it.
+    #[derive(Debug)]
+    struct LyingReversal;
+
+    impl KernelTemplate for LyingReversal {
+        fn template_name(&self) -> String {
+            "LyingReversal".into()
+        }
+        fn input_size(&self) -> usize {
+            1
+        }
+        fn output_size(&self) -> usize {
+            1
+        }
+        fn map_dep_vector(&self, d: &DepVector) -> Vec<DepVector> {
+            vec![d.clone()] // LIE: should be reversed
+        }
+        fn check_preconditions(&self, _: &LoopNest) -> Result<(), PrecondError> {
+            Ok(())
+        }
+        fn apply_to(&self, nest: &LoopNest) -> Result<LoopNest, ApplyError> {
+            let t = Template::reverse_permute(vec![true], vec![0]).expect("valid");
+            t.apply_to(nest)
+        }
+    }
+
+    #[test]
+    fn broken_dependence_rule_is_caught() {
+        let report = validate_template(&LyingReversal, &default_test_nests(), 5);
+        assert!(!report.is_consistent(), "the lie must be caught: {report}");
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, RuleViolation::Inequivalent { .. })));
+    }
+
+    /// A template that declares the wrong output size.
+    #[derive(Debug)]
+    struct WrongSize;
+
+    impl KernelTemplate for WrongSize {
+        fn template_name(&self) -> String {
+            "WrongSize".into()
+        }
+        fn input_size(&self) -> usize {
+            1
+        }
+        fn output_size(&self) -> usize {
+            2 // LIE
+        }
+        fn map_dep_vector(&self, d: &DepVector) -> Vec<DepVector> {
+            vec![DepVector::new(
+                d.elems().iter().chain([&irlt_dependence::DepElem::ZERO]).copied().collect(),
+            )]
+        }
+        fn check_preconditions(&self, _: &LoopNest) -> Result<(), PrecondError> {
+            Ok(())
+        }
+        fn apply_to(&self, nest: &LoopNest) -> Result<LoopNest, ApplyError> {
+            Ok(nest.clone())
+        }
+    }
+
+    #[test]
+    fn wrong_size_is_caught() {
+        let report = validate_template(&WrongSize, &default_test_nests(), 5);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, RuleViolation::SizeMismatch { declared: 2, actual: 1, .. })));
+        assert!(report.to_string().contains("violations"));
+    }
+}

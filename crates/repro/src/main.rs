@@ -1,0 +1,42 @@
+//! Command-line regenerator for the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p irlt-repro -- all        # everything, paper order
+//! cargo run -p irlt-repro -- fig7      # one artifact
+//! cargo run -p irlt-repro -- list      # available ids
+//! ```
+
+use irlt_repro::artifacts;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = artifacts().iter().map(|(id, _)| *id).collect();
+    if args.is_empty() || args[0] == "list" {
+        eprintln!("usage: repro <{}|all>", ids.join("|"));
+        if args.is_empty() {
+            std::process::exit(2);
+        }
+        return;
+    }
+    let mut selected: Vec<String> = Vec::new();
+    for a in &args {
+        if a == "all" {
+            selected.extend(ids.iter().map(|s| s.to_string()));
+        } else if ids.contains(&a.as_str()) {
+            selected.push(a.clone());
+        } else {
+            eprintln!("unknown artifact `{a}`; try: {}", ids.join(", "));
+            std::process::exit(2);
+        }
+    }
+    for (k, id) in selected.iter().enumerate() {
+        if k > 0 {
+            println!("\n{}\n", "=".repeat(78));
+        }
+        let (_, render) = artifacts()
+            .into_iter()
+            .find(|(i, _)| i == id)
+            .expect("validated above");
+        print!("{}", render());
+    }
+}

@@ -1,0 +1,263 @@
+//! Matrix mapping of dependence vectors, "appropriately extended for
+//! direction values" (Table 2, citing Lamport and Wolf & Lam).
+//!
+//! A distance vector maps exactly: `d' = M·d`. Direction entries denote
+//! integer *ranges*, so each output entry is the interval
+//! `Σ_k M[i][k] · S(d_k)` computed with (±∞-aware) interval arithmetic and
+//! then rounded up to the most precise representable [`DepElem`]. The
+//! non-interval value `≠` is first split into `{−, +}`, so one input vector
+//! can map to two output vectors.
+
+use crate::matrix::IntMatrix;
+use irlt_dependence::{DepElem, DepSet, DepVector, Dir};
+
+/// Maps a whole dependence set through a unimodular matrix.
+///
+/// # Panics
+///
+/// Panics if the set arity differs from the matrix dimension.
+///
+/// # Examples
+///
+/// ```
+/// use irlt_unimodular::{map_dep_set, IntMatrix};
+/// use irlt_dependence::{DepSet, DepVector};
+///
+/// // Interchange maps (1,−1) to (−1,1): lexicographically negative, so
+/// // the interchange of Fig. 2(b) is illegal.
+/// let m = IntMatrix::interchange(2, 0, 1);
+/// let d = DepSet::from_distances(&[&[1, -1]]);
+/// let mapped = map_dep_set(&m, &d);
+/// assert_eq!(mapped.vectors(), [DepVector::distances(&[-1, 1])]);
+/// assert!(!mapped.is_legal());
+/// ```
+pub fn map_dep_set(m: &IntMatrix, deps: &DepSet) -> DepSet {
+    let mut out = DepSet::new();
+    for v in deps {
+        for mapped in map_dep_vector(m, v) {
+            out.insert(mapped).expect("uniform arity");
+        }
+    }
+    out
+}
+
+/// Maps one dependence vector; the result has one entry per matrix row and
+/// may contain up to `2^(#≠-entries)` vectors due to `≠`-splitting.
+///
+/// # Panics
+///
+/// Panics if `v.len() != m.cols()`.
+pub fn map_dep_vector(m: &IntMatrix, v: &DepVector) -> Vec<DepVector> {
+    assert_eq!(v.len(), m.cols(), "vector arity mismatch");
+    // Split ≠ entries into − and + so every entry is a contiguous range.
+    let mut variants: Vec<Vec<DepElem>> = vec![Vec::with_capacity(v.len())];
+    for &e in v.elems() {
+        let options: Vec<DepElem> = match e {
+            DepElem::Dir(Dir::NonZero) => vec![DepElem::NEG, DepElem::POS],
+            other => vec![other],
+        };
+        let mut next = Vec::with_capacity(variants.len() * options.len());
+        for prefix in &variants {
+            for &o in &options {
+                let mut row = prefix.clone();
+                row.push(o);
+                next.push(row);
+            }
+        }
+        variants = next;
+    }
+    variants
+        .into_iter()
+        .map(|elems| {
+            (0..m.rows())
+                .map(|i| map_row(m.row(i), &elems))
+                .collect::<DepVector>()
+        })
+        .collect()
+}
+
+/// Interval endpoint with ±∞.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum End {
+    NegInf,
+    Fin(i64),
+    PosInf,
+}
+
+impl End {
+    fn add(self, o: End) -> End {
+        match (self, o) {
+            (End::Fin(a), End::Fin(b)) => End::Fin(a.saturating_add(b)),
+            (End::NegInf, End::PosInf) | (End::PosInf, End::NegInf) => {
+                unreachable!("lo only adds lo, hi only adds hi")
+            }
+            (End::NegInf, _) | (_, End::NegInf) => End::NegInf,
+            (End::PosInf, _) | (_, End::PosInf) => End::PosInf,
+        }
+    }
+
+    fn scale(self, c: i64) -> End {
+        match self {
+            End::Fin(v) => End::Fin(c.saturating_mul(v)),
+            End::NegInf if c > 0 => End::NegInf,
+            End::NegInf => End::PosInf,
+            End::PosInf if c > 0 => End::PosInf,
+            End::PosInf => End::NegInf,
+        }
+    }
+}
+
+fn elem_interval(e: DepElem) -> (End, End) {
+    match e {
+        DepElem::Dist(y) => (End::Fin(y), End::Fin(y)),
+        DepElem::Dir(Dir::Pos) => (End::Fin(1), End::PosInf),
+        DepElem::Dir(Dir::Neg) => (End::NegInf, End::Fin(-1)),
+        DepElem::Dir(Dir::NonNeg) => (End::Fin(0), End::PosInf),
+        DepElem::Dir(Dir::NonPos) => (End::NegInf, End::Fin(0)),
+        DepElem::Dir(Dir::Any) => (End::NegInf, End::PosInf),
+        DepElem::Dir(Dir::NonZero) => unreachable!("≠ split before interval mapping"),
+    }
+}
+
+fn interval_to_elem(lo: End, hi: End) -> DepElem {
+    match (lo, hi) {
+        (End::Fin(a), End::Fin(b)) if a == b => DepElem::Dist(a),
+        (End::Fin(a), _) if a > 0 => DepElem::POS,
+        (End::Fin(0), _) => DepElem::Dir(Dir::NonNeg),
+        (_, End::Fin(b)) if b < 0 => DepElem::NEG,
+        (_, End::Fin(0)) => DepElem::Dir(Dir::NonPos),
+        _ => DepElem::ANY,
+    }
+}
+
+fn map_row(row: &[i64], elems: &[DepElem]) -> DepElem {
+    let mut lo = End::Fin(0);
+    let mut hi = End::Fin(0);
+    for (&c, &e) in row.iter().zip(elems) {
+        if c == 0 {
+            continue;
+        }
+        let (el, eh) = elem_interval(e);
+        let (tl, th) = if c > 0 { (el.scale(c), eh.scale(c)) } else { (eh.scale(c), el.scale(c)) };
+        lo = lo.add(tl);
+        hi = hi.add(th);
+    }
+    interval_to_elem(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn any() -> DepElem {
+        DepElem::ANY
+    }
+
+    #[test]
+    fn distance_vectors_map_exactly() {
+        // Skew then interchange (Fig. 1): M = interchange · skew.
+        let m = IntMatrix::interchange(2, 0, 1).mul(&IntMatrix::skew(2, 0, 1, 1));
+        // Stencil deps (1,0) and (0,1) → (1,1) and (1,0).
+        let out = map_dep_vector(&m, &DepVector::distances(&[1, 0]));
+        assert_eq!(out, vec![DepVector::distances(&[1, 1])]);
+        let out = map_dep_vector(&m, &DepVector::distances(&[0, 1]));
+        assert_eq!(out, vec![DepVector::distances(&[1, 0])]);
+    }
+
+    #[test]
+    fn interchange_of_directions() {
+        let m = IntMatrix::interchange(2, 0, 1);
+        let v = DepVector::new(vec![DepElem::ZERO, DepElem::POS]);
+        assert_eq!(map_dep_vector(&m, &v), vec![DepVector::new(vec![DepElem::POS, DepElem::ZERO])]);
+    }
+
+    #[test]
+    fn reversal_flips_direction() {
+        let m = IntMatrix::reversal(2, 1);
+        let v = DepVector::new(vec![DepElem::Dist(1), DepElem::POS]);
+        assert_eq!(
+            map_dep_vector(&m, &v),
+            vec![DepVector::new(vec![DepElem::Dist(1), DepElem::NEG])]
+        );
+    }
+
+    #[test]
+    fn skew_of_direction_sums_intervals() {
+        // Row (1,1) applied to (+, −): [1,∞) + (−∞,−1] = (−∞,∞) → *.
+        let m = IntMatrix::skew(2, 0, 1, 1);
+        let v = DepVector::new(vec![DepElem::POS, DepElem::NEG]);
+        let out = map_dep_vector(&m, &v);
+        assert_eq!(out, vec![DepVector::new(vec![DepElem::POS, any()])]);
+    }
+
+    #[test]
+    fn skew_keeps_sign_when_aligned() {
+        // Row (1,1) applied to (+, ≥): [1,∞) + [0,∞) = [1,∞) → +.
+        let m = IntMatrix::skew(2, 0, 1, 1);
+        let v = DepVector::new(vec![DepElem::POS, DepElem::Dir(Dir::NonNeg)]);
+        let out = map_dep_vector(&m, &v);
+        assert_eq!(
+            out,
+            vec![DepVector::new(vec![DepElem::POS, DepElem::POS])]
+        );
+    }
+
+    #[test]
+    fn nonzero_splits_into_two_vectors() {
+        let m = IntMatrix::identity(1);
+        let v = DepVector::new(vec![DepElem::Dir(Dir::NonZero)]);
+        let out = map_dep_vector(&m, &v);
+        assert_eq!(out, vec![
+            DepVector::new(vec![DepElem::NEG]),
+            DepVector::new(vec![DepElem::POS]),
+        ]);
+    }
+
+    #[test]
+    fn soundness_on_samples() {
+        // For every tuple t in Tuples(v), M·t must be admitted by some
+        // mapped vector.
+        let matrices = [
+            IntMatrix::interchange(3, 0, 2),
+            IntMatrix::reversal(3, 1),
+            IntMatrix::skew(3, 0, 2, 2),
+            IntMatrix::skew(3, 2, 0, -1).mul(&IntMatrix::interchange(3, 1, 2)),
+        ];
+        let vectors = [
+            DepVector::distances(&[1, -1, 2]),
+            DepVector::new(vec![DepElem::POS, DepElem::ZERO, any()]),
+            DepVector::new(vec![DepElem::Dir(Dir::NonNeg), DepElem::Dir(Dir::NonZero), DepElem::Dist(1)]),
+        ];
+        for m in &matrices {
+            for v in &vectors {
+                let mapped = map_dep_vector(m, v);
+                for a in -3..=3_i64 {
+                    for b in -3..=3_i64 {
+                        for c in -3..=3_i64 {
+                            let t = [a, b, c];
+                            if v.contains_tuple(&t) {
+                                let mt = m.mul_vec(&t);
+                                assert!(
+                                    mapped.iter().any(|w| w.contains_tuple(&mt)),
+                                    "{m} lost tuple {t:?} -> {mt:?} for {v}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_dep_set_flattens() {
+        let m = IntMatrix::identity(2);
+        let d = DepSet::from_vectors(vec![DepVector::new(vec![
+            DepElem::Dir(Dir::NonZero),
+            DepElem::ZERO,
+        ])])
+        .unwrap();
+        let out = map_dep_set(&m, &d);
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -1,0 +1,45 @@
+//! # irlt-unimodular — exact matrix algebra and the unimodular baseline
+//!
+//! The matrix layer of **irlt** (Sarkar & Thekkath, PLDI 1992):
+//!
+//! * [`IntMatrix`] — exact integer matrices with elementary unimodular
+//!   generators (interchange, reversal, skew, permutation), Bareiss
+//!   determinants, and exact inverses;
+//! * [`map_dep_set`] — matrix mapping of dependence vectors "appropriately
+//!   extended for direction values" (Table 2);
+//! * [`IterSpace`] / Fourier–Motzkin elimination — polytope scanning for
+//!   the `Unimodular` template's code generation, including step
+//!   normalization;
+//! * [`UnimodularTransform`] — the complete *unimodular framework* used
+//!   both as the `Unimodular(n, M)` template backend and as the baseline
+//!   the paper compares against (it cannot represent `Parallelize`,
+//!   `Block`, `Coalesce`, or `Interleave`).
+//!
+//! # Examples
+//!
+//! ```
+//! use irlt_unimodular::{IntMatrix, UnimodularTransform};
+//! use irlt_dependence::DepSet;
+//!
+//! // Interchange is illegal on D = {(1,−1)} (Fig. 2(b)) …
+//! let inter = UnimodularTransform::new(IntMatrix::interchange(2, 0, 1))?;
+//! let deps = DepSet::from_distances(&[&[1, -1]]);
+//! assert!(!inter.is_legal(&deps));
+//! // … but reversing loop j first makes it legal (Fig. 2(c)).
+//! let rev = UnimodularTransform::new(IntMatrix::reversal(2, 1))?;
+//! assert!(rev.then(&inter).is_legal(&deps));
+//! # Ok::<(), irlt_unimodular::UnimodularError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod depmap;
+mod fm;
+mod matrix;
+mod transform;
+
+pub use depmap::{map_dep_set, map_dep_vector};
+pub use fm::{eliminate, FmError, IterSpace, LinIneq, NormalizedSpace};
+pub use matrix::IntMatrix;
+pub use transform::{UnimodularError, UnimodularTransform};

@@ -1,0 +1,68 @@
+//! Wavefront parallelization of a 2-D stencil — Lamport's hyperplane
+//! method recovered as a three-template sequence (skew, interchange,
+//! parallelize), exactly the kind of composite the framework was built
+//! for.
+//!
+//! Shows: why the naive parallelization is rejected, how the wavefront
+//! sequence becomes legal, that the result is executably equivalent under
+//! shuffled `pardo` orders, and what the transformation does to simulated
+//! cache behaviour.
+//!
+//! ```text
+//! cargo run --example stencil_wavefront
+//! ```
+
+use irlt::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let nest = parse_nest(
+        "do i = 2, n - 1
+           do j = 2, n - 1
+             a(i, j) = a(i - 1, j) + a(i, j - 1)
+           enddo
+         enddo",
+    )?;
+    let deps = analyze_dependences(&nest);
+    println!("stencil dependences: {deps}");
+
+    // Naive: just mark a loop pardo. Both choices are illegal — each loop
+    // carries a dependence.
+    for (label, flags) in [("outer", vec![true, false]), ("inner", vec![false, true])] {
+        let t = TransformSeq::new(2).parallelize(flags)?;
+        let verdict = t.is_legal(&nest, &deps);
+        println!("parallelize {label}: {verdict}");
+        assert!(!verdict.is_legal());
+    }
+
+    // The wavefront: skew j by i, interchange, then the *inner* loop
+    // carries nothing.
+    let wavefront = catalog::wavefront2()?;
+    let verdict = wavefront.is_legal(&nest, &deps);
+    println!("\nwavefront {wavefront}: {verdict}");
+    assert!(verdict.is_legal());
+
+    let out = wavefront.apply(&nest)?;
+    println!("\n== wavefront-parallel nest ==\n{out}");
+    assert!(out.level(1).kind.is_parallel());
+
+    // Equivalent under forward/reverse/shuffled pardo orders.
+    let report = check_equivalence(&nest, &out, &[("n", 40)], 7)?;
+    println!("differential check ({} pardo orders): {report}", 4);
+    assert!(report.is_equivalent());
+
+    // Locality price of the wavefront: diagonal traversal loses spatial
+    // locality relative to the original column walk. Measure it.
+    let mut map = AddressMap::new(Order::ColMajor, 8);
+    map.declare("a", &[128, 128]);
+    let cfg = CacheConfig { size_bytes: 8 * 1024, line_bytes: 64, associativity: 4 };
+    let before = simulate_nest(&nest, &[("n", 128)], &map, cfg)?;
+    let after = simulate_nest(&out, &[("n", 128)], &map, cfg)?;
+    println!("\nsimulated L1 misses (col-major a(128×128), 8 KiB cache):");
+    println!("  original : {}", before.stats);
+    println!("  wavefront: {}", after.stats);
+    let ratio = after.stats.misses as f64 / before.stats.misses.max(1) as f64;
+    println!(
+        "  → miss ratio after/before = {ratio:.2}: the optimizer (the framework's\n    *client*) weighs this against the parallelism gained."
+    );
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! # irlt — A General Framework for Iteration-Reordering Loop Transformations
+//!
+//! A production-quality Rust reproduction of **Vivek Sarkar & Radhika
+//! Thekkath, PLDI 1992**: iteration-reordering transformations as
+//! *sequences of template instantiations* from a small but extensible
+//! kernel set, with uniform legality testing and uniform code generation.
+//!
+//! The workspace layers (each re-exported here):
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`ir`] | loop-nest IR, expression language, parser, pretty-printer, the §4.1 type lattice |
+//! | [`dependence`] | dependence vectors (`S(d_k)` semantics), `Tuples(D)` legality, ZIV/SIV/GCD/Banerjee analysis |
+//! | [`unimodular`] | exact integer matrices, Fourier–Motzkin scanning, the unimodular baseline framework |
+//! | [`core`] | the paper's contribution: Table 1 templates, Table 2 dependence rules, Tables 3–4 preconditions & codegen, sequences, fusion, [`core::catalog`] |
+//! | [`interp`] | loop-nest interpreter, differential equivalence checking, empirical dependences |
+//! | [`cachesim`] | set-associative LRU cache + array layouts for locality studies |
+//! | [`opt`] | goal-directed transformation search and empirical rule validation (the paper's "automatic transformation system" future work) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use irlt::prelude::*;
+//!
+//! // Parse the paper's Fig. 1(a) stencil.
+//! let nest = parse_nest(
+//!     "do i = 2, n - 1\n  do j = 2, n - 1\n    a(i, j) = (a(i, j) + a(i - 1, j) + a(i, j - 1) + a(i + 1, j) + a(i, j + 1)) / 5\n  enddo\nenddo",
+//! )?;
+//! // Analyze dependences from scratch.
+//! let deps = analyze_dependences(&nest);
+//! // Skew + interchange as a transformation sequence; test legality; emit.
+//! let t = TransformSeq::new(2)
+//!     .unimodular(IntMatrix::skew(2, 0, 1, 1))?
+//!     .unimodular(IntMatrix::interchange(2, 0, 1))?;
+//! assert!(t.is_legal(&nest, &deps).is_legal());
+//! let out = t.fuse().apply(&nest)?;
+//!
+//! // Verify by execution: same final arrays.
+//! let report = check_equivalence(&nest, &out, &[("n", 12)], 42)?;
+//! assert!(report.is_equivalent());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use irlt_cachesim as cachesim;
+pub use irlt_core as core;
+pub use irlt_opt as opt;
+pub use irlt_dependence as dependence;
+pub use irlt_interp as interp;
+pub use irlt_ir as ir;
+pub use irlt_unimodular as unimodular;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use irlt_cachesim::{simulate_nest, AddressMap, Cache, CacheConfig, Order};
+    pub use irlt_core::{
+        catalog, BoundsMatrices, KernelTemplate, LegalityReport, Permutation, Template,
+        TransformSeq,
+    };
+    pub use irlt_dependence::{
+        analyze_dependences, analyze_dependences_detailed, DepElem, DepSet, DepVector, Dir,
+    };
+    pub use irlt_interp::{
+        check_equivalence, empirical_dependences, Executor, Memory, PardoOrder, TraceLevel,
+    };
+    pub use irlt_opt::{
+        default_test_nests, search, validate_template, Goal, LocalityGoal, MoveCatalog,
+        SearchConfig,
+    };
+    pub use irlt_ir::{
+        classify, classify_bound, parse_expr, parse_nest, BoundSide, Expr, ExprType, Loop,
+        LoopKind, LoopNest, Parser, Stmt, Symbol,
+    };
+    pub use irlt_unimodular::{IntMatrix, UnimodularTransform};
+}

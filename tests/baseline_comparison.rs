@@ -1,0 +1,108 @@
+//! The §5 comparison against the pure-unimodular framework, as tests:
+//! where the baseline is equivalent, where it is strictly weaker, and
+//! where `ReversePermute` is preferable even when both apply.
+
+use irlt::prelude::*;
+use irlt::unimodular::UnimodularError;
+
+/// On matrix-expressible pipelines the two frameworks agree exactly:
+/// composing by matrix product (baseline) and by sequence concatenation +
+/// fusion (framework) map distance sets identically and generate the same
+/// code.
+#[test]
+fn frameworks_agree_on_matrix_pipelines() {
+    let nest = parse_nest(
+        "do i = 2, n - 1\n do j = 2, n - 1\n  a(i, j) = a(i - 1, j) + a(i, j - 1)\n enddo\nenddo",
+    )
+    .unwrap();
+    let deps = analyze_dependences(&nest);
+
+    let skew = IntMatrix::skew(2, 0, 1, 1);
+    let swap = IntMatrix::interchange(2, 0, 1);
+
+    let baseline = UnimodularTransform::new(skew.clone())
+        .unwrap()
+        .then(&UnimodularTransform::new(swap.clone()).unwrap());
+    let framework = TransformSeq::new(2).unimodular(skew).unwrap().unimodular(swap).unwrap();
+
+    assert_eq!(baseline.is_legal(&deps), framework.is_legal(&nest, &deps).is_legal());
+    assert_eq!(baseline.map_deps(&deps), framework.map_deps(&deps));
+    // Fused framework sequence = exactly the baseline's single matrix.
+    let fused = framework.fuse();
+    assert_eq!(fused.len(), 1);
+    assert_eq!(baseline.apply(&nest).unwrap(), framework.apply(&nest).unwrap());
+}
+
+/// The baseline cannot represent the non-matrix templates at all: no
+/// square matrix changes arity, and `Parallelize`'s symmetric map is not
+/// injective-linear.
+#[test]
+fn baseline_cannot_express_non_matrix_templates() {
+    let deps = DepSet::from_distances(&[&[1, 0, 0], &[0, 0, 1]]);
+    // Arity change.
+    let block = Template::block(3, 0, 2, vec![Expr::var("b"); 3]).unwrap();
+    assert_eq!(block.map_dep_set(&deps).arity(), Some(6));
+    let coal = Template::coalesce(3, 1, 2).unwrap();
+    assert_eq!(coal.map_dep_set(&deps).arity(), Some(2));
+    // Non-injectivity: +1 and −1 in the parallel loop land on the same
+    // entry, which no invertible linear map can do.
+    let par = Template::parallelize(vec![true, false, false]);
+    assert_eq!(
+        par.map_dep_set(&DepSet::from_distances(&[&[1, 0, 0]])),
+        par.map_dep_set(&DepSet::from_distances(&[&[-1, 0, 0]])),
+    );
+}
+
+/// "For cases in which ReversePermute and Unimodular can achieve the same
+/// result, it is preferable to use ReversePermute because a) step
+/// expressions are not normalized to ±1, b) index variable names are
+/// reused without creating initialization statements."
+#[test]
+fn reverse_permute_preferable_where_both_apply() {
+    // Symbolic stride: ReversePermute succeeds, Unimodular refuses.
+    let nest =
+        parse_nest("do i = 1, n, s\n do j = 1, m\n  a(i, j) = a(i, j) + 1\n enddo\nenddo").unwrap();
+    let rp = Template::reverse_permute(vec![false, false], vec![1, 0]).unwrap();
+    let out = rp.apply_to(&nest).unwrap();
+    assert!(out.inits().is_empty(), "names reused, no INITs");
+    assert_eq!(out.level(1).step.to_string(), "s", "stride not normalized");
+
+    let uni = UnimodularTransform::new(IntMatrix::interchange(2, 0, 1)).unwrap();
+    assert!(matches!(
+        uni.apply(&nest),
+        Err(UnimodularError::Fm(irlt::unimodular::FmError::NonConstStep { .. }))
+    ));
+
+    // Constant non-unit stride: both apply; Unimodular normalizes (new
+    // variable + INIT), ReversePermute does not.
+    let nest =
+        parse_nest("do i = 1, 20, 3\n do j = 1, m\n  a(i, j) = a(i, j) + 1\n enddo\nenddo").unwrap();
+    let out_rp = rp.apply_to(&nest).unwrap();
+    assert!(out_rp.inits().is_empty());
+    assert_eq!(out_rp.level(1).step.as_const(), Some(3));
+    let out_uni = uni.apply(&nest).unwrap();
+    assert!(!out_uni.inits().is_empty(), "normalization rebinds i:\n{out_uni}");
+    // Both remain executably correct.
+    for out in [&out_rp, &out_uni] {
+        let r = check_equivalence(&nest, out, &[("m", 5)], 9).unwrap();
+        assert!(r.is_equivalent(), "{r}\n{out}");
+    }
+}
+
+/// The framework's deliberate asymmetry: `ReversePermute` rejects the
+/// triangular interchange its preconditions cannot support, while the
+/// `Unimodular` engine handles it — template choice is a real decision,
+/// not a cosmetic alias.
+#[test]
+fn engines_cover_different_nests() {
+    let tri = parse_nest("do i = 1, n\n do j = 1, i\n  a(i, j) = 0\n enddo\nenddo").unwrap();
+    let rp = Template::reverse_permute(vec![false, false], vec![1, 0]).unwrap();
+    let uni = Template::unimodular(IntMatrix::interchange(2, 0, 1)).unwrap();
+    assert!(rp.check_preconditions(&tri).is_err());
+    assert!(uni.check_preconditions(&tri).is_ok());
+
+    let sym_step =
+        parse_nest("do i = 1, n, s\n do j = 1, m\n  a(i, j) = 0\n enddo\nenddo").unwrap();
+    assert!(rp.check_preconditions(&sym_step).is_ok());
+    assert!(uni.check_preconditions(&sym_step).is_err());
+}

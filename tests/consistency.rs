@@ -1,0 +1,262 @@
+//! Empirical validation of the paper's two semantic claims:
+//!
+//! * the dependence **analysis** is sound: every dependence observed in a
+//!   real execution lies in `Tuples(D)` for the computed `D`;
+//! * the Table 2 **mapping rules are consistent** (Definition 3.4): every
+//!   dependence observed in the *transformed* iteration space lies in
+//!   `Tuples(T(D))`.
+
+use irlt::prelude::*;
+
+fn check_analysis_soundness(src: &str, params: &[(&str, i64)]) {
+    let nest = parse_nest(src).unwrap();
+    let deps = analyze_dependences(&nest);
+    let observed =
+        empirical_dependences(&nest, nest.index_vars(), params, 51).unwrap();
+    // Only lexicographically positive observed differences are real
+    // dependences (the mirror pairs are the same dependence seen from the
+    // sink); D covers exactly those.
+    let positive: std::collections::BTreeSet<Vec<i64>> = observed
+        .into_iter()
+        .filter(|d| matches!(d.iter().find(|&&x| x != 0), Some(&x) if x > 0))
+        .collect();
+    for d in &positive {
+        assert!(
+            deps.contains_tuple(d),
+            "analysis missed observed dependence {d:?} for\n{nest}\nD = {deps}"
+        );
+    }
+}
+
+#[test]
+fn analysis_soundness_on_kernels() {
+    check_analysis_soundness(
+        "do i = 2, n\n a(i) = a(i - 1) + a(i)\nenddo",
+        &[("n", 20)],
+    );
+    check_analysis_soundness(
+        "do i = 2, n - 1\n do j = 2, n - 1\n  a(i, j) = a(i - 1, j) + a(i, j - 1) + a(i + 1, j)\n enddo\nenddo",
+        &[("n", 10)],
+    );
+    check_analysis_soundness(
+        "do i = 1, n\n do j = 1, n\n  do k = 1, n\n   A(i, j) = A(i, j) + B(i, k) * C(k, j)\n  enddo\n enddo\nenddo",
+        &[("n", 5)],
+    );
+    check_analysis_soundness(
+        "do i = 1, n\n do j = 1, n\n  a(i + j) = a(i + j - 1) + 1\n enddo\nenddo",
+        &[("n", 7)],
+    );
+    check_analysis_soundness(
+        "do i = 1, n, 2\n a(i) = a(i - 4) + 1\nenddo",
+        &[("n", 25)],
+    );
+    check_analysis_soundness(
+        "do i = n, 1, -1\n a(i) = a(i + 1) + 1\nenddo",
+        &[("n", 15)],
+    );
+    check_analysis_soundness(
+        "do i = 1, n\n a(2*i) = a(i) + 1\nenddo",
+        &[("n", 16)],
+    );
+    // Indirect accesses: conservative vectors must still cover reality.
+    check_analysis_soundness(
+        "do i = 1, n\n x(idx(i)) = x(idx(i)) + 1\nenddo",
+        &[("n", 10)],
+    );
+}
+
+/// Does `deps` admit a tuple in the same *lexicographic class* as `d` —
+/// zeros before `d`'s first nonzero entry, matching sign at it?
+///
+/// Coordinate-convention caveat: Table 2's rules are exact in different
+/// observation spaces — `Unimodular`'s `M·d` lives in absolute index
+/// coordinates while `Block`'s `blockmap` element entries are relative to
+/// the tile origin. For a *sequence* mixing both there is no single space
+/// in which exact containment holds entry-by-entry; what the legality test
+/// consumes is only each vector's lexicographic class, which is
+/// well-defined in every convention (entries after the first nonzero never
+/// affect the verdict). Exact containment is asserted where a single
+/// convention applies (see the per-template tests); sequences assert class
+/// coverage.
+fn lex_class_covered(deps: &DepSet, d: &[i64]) -> bool {
+    let Some(p) = d.iter().position(|&x| x != 0) else {
+        return true; // loop-independent
+    };
+    deps.iter().any(|v| {
+        v.elems()[..p].iter().all(|e| e.contains(0))
+            && if d[p] > 0 { v.elems()[p].can_pos() } else { v.elems()[p].can_neg() }
+    })
+}
+
+fn check_mapping_consistency(
+    src: &str,
+    seq: &TransformSeq,
+    params: &[(&str, i64)],
+    label: &str,
+) {
+    let nest = parse_nest(src).unwrap();
+    let deps = analyze_dependences(&nest);
+    assert!(seq.is_legal(&nest, &deps).is_legal(), "{label}: sequence must be legal");
+    let out = seq.apply(&nest).unwrap();
+    let mapped = seq.map_deps(&deps);
+    let observed =
+        empirical_dependences(&out, out.index_vars(), params, 123).unwrap();
+    let positive: std::collections::BTreeSet<Vec<i64>> = observed
+        .into_iter()
+        .filter(|d| matches!(d.iter().find(|&&x| x != 0), Some(&x) if x > 0))
+        .collect();
+    for d in &positive {
+        assert!(
+            mapped.contains_tuple(d) || lex_class_covered(&mapped, d),
+            "{label}: Definition 3.4 violated.\nMapped D' = {mapped}\nuncovered observed dependence: {d:?}\ntransformed nest:\n{out}"
+        );
+    }
+}
+
+/// On rectangular nests transformed by a single non-matrix template the
+/// block-relative convention applies uniformly, so containment is exact.
+fn check_mapping_consistency_exact(
+    src: &str,
+    seq: &TransformSeq,
+    params: &[(&str, i64)],
+    label: &str,
+) {
+    let nest = parse_nest(src).unwrap();
+    let deps = analyze_dependences(&nest);
+    let out = seq.apply(&nest).unwrap();
+    let mapped = seq.map_deps(&deps);
+    let observed =
+        empirical_dependences(&out, out.index_vars(), params, 123).unwrap();
+    let positive: std::collections::BTreeSet<Vec<i64>> = observed
+        .into_iter()
+        .filter(|d| matches!(d.iter().find(|&&x| x != 0), Some(&x) if x > 0))
+        .collect();
+    // The trace cannot tell source from sink, so a dependence whose
+    // execution order the template legitimately flips (e.g. a reversal of
+    // an anti dependence) is observed mirrored: accept d or −d.
+    let covered = |d: &Vec<i64>| {
+        let neg: Vec<i64> = d.iter().map(|&x| -x).collect();
+        mapped.contains_tuple(d) || mapped.contains_tuple(&neg)
+    };
+    assert!(
+        positive.iter().all(covered),
+        "{label}: exact containment violated.\nMapped D' = {mapped}\nuncovered: {:?}\n{out}",
+        positive.iter().filter(|d| !covered(d)).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn mapping_consistency_stencil() {
+    let src = "do i = 2, n - 1\n do j = 2, n - 1\n  a(i, j) = a(i - 1, j) + a(i, j - 1)\n enddo\nenddo";
+    let params: &[(&str, i64)] = &[("n", 9)];
+    let b = |v: i64| Expr::int(v);
+    let cases: Vec<(&str, TransformSeq)> = vec![
+        (
+            "skew+interchange",
+            TransformSeq::new(2)
+                .unimodular(IntMatrix::skew(2, 0, 1, 1))
+                .unwrap()
+                .unimodular(IntMatrix::interchange(2, 0, 1))
+                .unwrap(),
+        ),
+        ("tile", TransformSeq::new(2).block(0, 1, vec![b(3), b(3)]).unwrap()),
+        ("coalesce", TransformSeq::new(2).coalesce(0, 1).unwrap()),
+        ("strip_inner", TransformSeq::new(2).block(1, 1, vec![b(2)]).unwrap()),
+    ];
+    for (label, seq) in &cases {
+        check_mapping_consistency(src, seq, params, label);
+    }
+}
+
+#[test]
+fn mapping_consistency_matmul_pipeline() {
+    let src = "do i = 1, n\n do j = 1, n\n  do k = 1, n\n   A(i, j) = A(i, j) + B(i, k) * C(k, j)\n  enddo\n enddo\nenddo";
+    let b = |s: &str| Expr::var(s);
+    let seq = TransformSeq::new(3)
+        .reverse_permute(vec![false; 3], vec![2, 0, 1])
+        .unwrap()
+        .block(0, 2, vec![b("bj"), b("bk"), b("bi")])
+        .unwrap()
+        .parallelize(vec![true, false, true, false, false, false])
+        .unwrap()
+        .reverse_permute(vec![false; 6], vec![0, 2, 1, 3, 4, 5])
+        .unwrap()
+        .coalesce(0, 1)
+        .unwrap();
+    check_mapping_consistency(
+        src,
+        &seq,
+        &[("n", 5), ("bj", 2), ("bk", 3), ("bi", 2)],
+        "figure7 pipeline",
+    );
+}
+
+#[test]
+fn mapping_consistency_reversals_and_interleave() {
+    let src = "do i = 1, n\n do j = 1, m\n  a(i, j) = a(i, j) + b(j)\n enddo\nenddo";
+    let params: &[(&str, i64)] = &[("n", 6), ("m", 8)];
+    let b = |v: i64| Expr::int(v);
+    let cases: Vec<(&str, TransformSeq)> = vec![
+        (
+            "reverse_both",
+            TransformSeq::new(2).reverse_permute(vec![true, true], vec![0, 1]).unwrap(),
+        ),
+        (
+            "interchange",
+            TransformSeq::new(2).reverse_permute(vec![false, false], vec![1, 0]).unwrap(),
+        ),
+        ("interleave_j", TransformSeq::new(2).interleave(1, 1, vec![b(3)]).unwrap()),
+        (
+            "interleave_both",
+            TransformSeq::new(2).interleave(0, 1, vec![b(2), b(3)]).unwrap(),
+        ),
+    ];
+    for (label, seq) in &cases {
+        check_mapping_consistency(src, seq, params, label);
+    }
+}
+
+/// The documented *loss of precision* direction: mapped sets may admit
+/// tuples no execution produces (e.g. `Block` turning an exact distance
+/// into a direction), but never the reverse. This asserts the containment
+/// is one-sided on a case where the over-approximation is strict.
+#[test]
+fn block_overapproximates_but_never_underapproximates() {
+    let src = "do i = 1, n\n a(i) = a(i - 1) + 1\nenddo";
+    let nest = parse_nest(src).unwrap();
+    let deps = analyze_dependences(&nest);
+    let seq = TransformSeq::new(1).block(0, 0, vec![Expr::int(4)]).unwrap();
+    let mapped = seq.map_deps(&deps);
+    let out = seq.apply(&nest).unwrap();
+    let observed =
+        empirical_dependences(&out, out.index_vars(), &[("n", 16)], 9).unwrap();
+    for d in &observed {
+        if matches!(d.iter().find(|&&x| x != 0), Some(&x) if x > 0) {
+            assert!(mapped.contains_tuple(d), "missing {d:?}");
+        }
+    }
+    // Strictness: blockmap(1) admits (1, 5) — a block-crossing jump of 5
+    // elements — which a distance-1 dependence never realizes.
+    assert!(mapped.contains_tuple(&[1, 5]));
+    assert!(!observed.contains(&vec![1, 5]));
+}
+
+
+/// Exact Definition 3.4 containment for single non-matrix templates on a
+/// rectangular recurrence (one observation convention applies).
+#[test]
+fn mapping_consistency_exact_rectangular() {
+    let src = "do i = 2, n\n do j = 2, m\n  a(i, j) = a(i - 1, j) + a(i, j - 1)\n enddo\nenddo";
+    let params: &[(&str, i64)] = &[("n", 9), ("m", 8)];
+    let b = |v: i64| Expr::int(v);
+    let cases: Vec<(&str, TransformSeq)> = vec![
+        ("tile", TransformSeq::new(2).block(0, 1, vec![b(3), b(3)]).unwrap()),
+        ("strip_outer", TransformSeq::new(2).block(0, 0, vec![b(4)]).unwrap()),
+        ("coalesce", TransformSeq::new(2).coalesce(0, 1).unwrap()),
+        ("interchange", TransformSeq::new(2).reverse_permute(vec![false, false], vec![1, 0]).unwrap()),
+        ("reverse_j", TransformSeq::new(2).reverse_permute(vec![false, true], vec![0, 1]).unwrap()),
+    ];
+    for (label, seq) in &cases {
+        check_mapping_consistency_exact(src, seq, params, label);
+    }
+}

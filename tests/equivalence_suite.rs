@@ -1,0 +1,255 @@
+//! Differential test suite: a grid of kernels × transformation sequences.
+//! Every sequence the legality test accepts must produce an executably
+//! equivalent nest (across pardo orders); sequences it rejects for
+//! dependence reasons are cross-checked to actually break execution where
+//! feasible.
+
+use irlt::prelude::*;
+
+struct Kernel {
+    name: &'static str,
+    src: String,
+    params: Vec<(&'static str, i64)>,
+}
+
+fn kernels() -> Vec<Kernel> {
+    vec![
+        Kernel {
+            name: "copy2d",
+            src: "do i = 1, n\n do j = 1, m\n  a(i, j) = b(i, j) + 1\n enddo\nenddo".into(),
+            params: vec![("n", 9), ("m", 7)],
+        },
+        Kernel {
+            name: "stencil5",
+            src: "do i = 2, n - 1\n do j = 2, n - 1\n  a(i, j) = (a(i, j) + a(i - 1, j) + a(i, j - 1) + a(i + 1, j) + a(i, j + 1)) / 5\n enddo\nenddo".into(),
+            params: vec![("n", 11)],
+        },
+        Kernel {
+            name: "matmul",
+            src: "do i = 1, n\n do j = 1, n\n  do k = 1, n\n   A(i, j) = A(i, j) + B(i, k) * C(k, j)\n  enddo\n enddo\nenddo".into(),
+            params: vec![("n", 6)],
+        },
+        Kernel {
+            name: "prefix_row",
+            src: "do i = 1, n\n do j = 2, m\n  a(i, j) = a(i, j - 1) + a(i, j)\n enddo\nenddo".into(),
+            params: vec![("n", 8), ("m", 8)],
+        },
+        Kernel {
+            name: "strided",
+            src: "do i = 1, n, 2\n do j = 1, m, 3\n  a(i, j) = a(i, j) + i * j\n enddo\nenddo".into(),
+            params: vec![("n", 15), ("m", 17)],
+        },
+    ]
+}
+
+fn sequences_2d() -> Vec<(&'static str, TransformSeq)> {
+    let b = |v: i64| Expr::int(v);
+    vec![
+        ("interchange_rp", TransformSeq::new(2).reverse_permute(vec![false, false], vec![1, 0]).unwrap()),
+        ("reverse_outer", TransformSeq::new(2).reverse_permute(vec![true, false], vec![0, 1]).unwrap()),
+        ("reverse_inner", TransformSeq::new(2).reverse_permute(vec![false, true], vec![0, 1]).unwrap()),
+        ("reverse_both_swap", TransformSeq::new(2).reverse_permute(vec![true, true], vec![1, 0]).unwrap()),
+        ("tile_2x3", TransformSeq::new(2).block(0, 1, vec![b(2), b(3)]).unwrap()),
+        ("strip_outer", TransformSeq::new(2).block(0, 0, vec![b(4)]).unwrap()),
+        ("coalesce_all", TransformSeq::new(2).coalesce(0, 1).unwrap()),
+        ("interleave_inner", TransformSeq::new(2).interleave(1, 1, vec![b(3)]).unwrap()),
+        ("interleave_both", TransformSeq::new(2).interleave(0, 1, vec![b(2), b(4)]).unwrap()),
+        ("par_outer", TransformSeq::new(2).parallelize(vec![true, false]).unwrap()),
+        ("par_inner", TransformSeq::new(2).parallelize(vec![false, true]).unwrap()),
+        (
+            "skew_interchange",
+            TransformSeq::new(2)
+                .unimodular(IntMatrix::skew(2, 0, 1, 1))
+                .unwrap()
+                .unimodular(IntMatrix::interchange(2, 0, 1))
+                .unwrap(),
+        ),
+        (
+            "wavefront",
+            catalog::wavefront2().unwrap(),
+        ),
+        (
+            "tile_then_par_blocks",
+            TransformSeq::new(2)
+                .block(0, 1, vec![b(3), b(3)])
+                .unwrap()
+                .parallelize(vec![true, false, false, false])
+                .unwrap(),
+        ),
+        (
+            "strip_coalesce",
+            TransformSeq::new(2)
+                .block(1, 1, vec![b(4)])
+                .unwrap()
+                .coalesce(1, 2)
+                .unwrap(),
+        ),
+        (
+            "reversal_unimodular",
+            TransformSeq::new(2).unimodular(IntMatrix::reversal(2, 0)).unwrap(),
+        ),
+    ]
+}
+
+/// For every kernel × sequence: if legal, the transformed nest must be
+/// equivalent under all exercised pardo orders and execute the same
+/// number of innermost iterations.
+#[test]
+fn legal_sequences_preserve_semantics() {
+    let mut legal_cases = 0;
+    let mut rejected = 0;
+    for kernel in kernels() {
+        let nest = parse_nest(&kernel.src).unwrap();
+        if nest.depth() != 2 {
+            continue;
+        }
+        let deps = analyze_dependences(&nest);
+        for (tname, seq) in sequences_2d() {
+            match seq.is_legal(&nest, &deps) {
+                LegalityReport::Legal => {
+                    let out = seq
+                        .apply(&nest)
+                        .unwrap_or_else(|e| panic!("{}/{tname}: codegen failed: {e}", kernel.name));
+                    let r = check_equivalence(&nest, &out, &kernel.params, 1000)
+                        .unwrap_or_else(|e| panic!("{}/{tname}: exec failed: {e}\n{out}", kernel.name));
+                    assert!(
+                        r.is_equivalent(),
+                        "{}/{tname}: {r}\noriginal:\n{nest}\ntransformed:\n{out}",
+                        kernel.name
+                    );
+                    assert_eq!(
+                        r.original_iterations, r.transformed_iterations,
+                        "{}/{tname}: iteration count changed\n{out}",
+                        kernel.name
+                    );
+                    legal_cases += 1;
+                }
+                LegalityReport::Illegal(_) => {
+                    rejected += 1;
+                }
+            }
+        }
+    }
+    // Sanity: the suite actually exercised a healthy number of cases.
+    assert!(legal_cases >= 30, "only {legal_cases} legal cases ran");
+    assert!(rejected >= 10, "only {rejected} rejections");
+}
+
+/// The 3-deep matmul kernel against 3-deep sequences, including the
+/// paper's full pipeline and permutations of it.
+#[test]
+fn matmul_sequences() {
+    let nest = parse_nest(
+        "do i = 1, n\n do j = 1, n\n  do k = 1, n\n   A(i, j) = A(i, j) + B(i, k) * C(k, j)\n  enddo\n enddo\nenddo",
+    )
+    .unwrap();
+    let deps = analyze_dependences(&nest);
+    let b = |v: i64| Expr::int(v);
+    let cases: Vec<(&str, TransformSeq)> = vec![
+        ("rotate", TransformSeq::new(3).reverse_permute(vec![false; 3], vec![2, 0, 1]).unwrap()),
+        ("tile_all", TransformSeq::new(3).block(0, 2, vec![b(2), b(3), b(2)]).unwrap()),
+        ("coalesce_ij", TransformSeq::new(3).coalesce(0, 1).unwrap()),
+        ("coalesce_all", TransformSeq::new(3).coalesce(0, 2).unwrap()),
+        ("par_ij", TransformSeq::new(3).parallelize(vec![true, true, false]).unwrap()),
+        (
+            "tile_par_coalesce",
+            TransformSeq::new(3)
+                .reverse_permute(vec![false; 3], vec![2, 0, 1])
+                .unwrap()
+                .block(0, 2, vec![b(2), b(2), b(3)])
+                .unwrap()
+                .parallelize(vec![true, false, true, false, false, false])
+                .unwrap()
+                .reverse_permute(vec![false; 6], vec![0, 2, 1, 3, 4, 5])
+                .unwrap()
+                .coalesce(0, 1)
+                .unwrap(),
+        ),
+        ("interleave_k", TransformSeq::new(3).interleave(2, 2, vec![b(2)]).unwrap()),
+    ];
+    for (tname, seq) in cases {
+        let verdict = seq.is_legal(&nest, &deps);
+        match tname {
+            // Interleaving the k reduction is illegal: imap scatters the
+            // carried dependence.
+            "interleave_k" => {
+                assert!(!verdict.is_legal(), "{tname} should be rejected");
+                continue;
+            }
+            _ => assert!(verdict.is_legal(), "{tname}: {verdict}"),
+        }
+        let out = seq.apply(&nest).unwrap();
+        let r = check_equivalence(&nest, &out, &[("n", 6)], 2024).unwrap();
+        assert!(r.is_equivalent(), "{tname}: {r}\n{out}");
+    }
+}
+
+/// Dependence-based rejections correspond to real execution differences:
+/// for each rejected sequence whose codegen still succeeds, at least one
+/// pardo order / execution produces different memory.
+#[test]
+fn rejections_are_real() {
+    let cases = [
+        // Parallelizing the carried loop of a recurrence.
+        (
+            "do i = 2, n\n a(i) = a(i - 1) + 1\nenddo",
+            TransformSeq::new(1).parallelize(vec![true]).unwrap(),
+            vec![("n", 12)],
+        ),
+        // Reversing the carried loop.
+        (
+            "do i = 2, n\n a(i) = a(i - 1) + 1\nenddo",
+            TransformSeq::new(1).reverse_permute(vec![true], vec![0]).unwrap(),
+            vec![("n", 12)],
+        ),
+        // Interchanging the (1,−1) kernel.
+        (
+            "do i = 2, n\n do j = 1, n - 1\n  a(i, j) = a(i - 1, j + 1) + 1\n enddo\nenddo",
+            TransformSeq::new(2).reverse_permute(vec![false, false], vec![1, 0]).unwrap(),
+            vec![("n", 8)],
+        ),
+    ];
+    for (src, seq, params) in cases {
+        let nest = parse_nest(src).unwrap();
+        let deps = analyze_dependences(&nest);
+        assert!(!seq.is_legal(&nest, &deps).is_legal(), "{src} must be rejected");
+        // The framework refuses; force codegen anyway by applying the raw
+        // templates (preconditions hold; only dependences are violated).
+        let out = seq.apply(&nest).unwrap();
+        let r = check_equivalence(&nest, &out, &params, 31337).unwrap();
+        assert!(
+            !r.is_equivalent(),
+            "rejected transformation was actually harmless on {src}\n{out}"
+        );
+    }
+}
+
+/// Conflict-order preservation: legal sequential reorderings keep every
+/// per-address write order intact (checked on traces projected back onto
+/// the original iteration variables).
+#[test]
+fn conflict_order_preserved_by_legal_transforms() {
+    let nest = parse_nest(
+        "do i = 2, n\n do j = 2, n\n  a(i, j) = a(i - 1, j) + a(i, j - 1)\n enddo\nenddo",
+    )
+    .unwrap();
+    let deps = analyze_dependences(&nest);
+    let t = TransformSeq::new(2)
+        .unimodular(IntMatrix::skew(2, 0, 1, 1))
+        .unwrap()
+        .unimodular(IntMatrix::interchange(2, 0, 1))
+        .unwrap();
+    assert!(t.is_legal(&nest, &deps).is_legal());
+    let out = t.apply(&nest).unwrap();
+
+    let observe = nest.index_vars();
+    let trace = |nest: &LoopNest| {
+        let mut ex = Executor::new();
+        ex.set_param("n", 9);
+        ex.trace(TraceLevel::Accesses).observe(observe.clone());
+        ex.run(nest, Memory::procedural(3)).unwrap().trace
+    };
+    let ta = trace(&nest);
+    let tb = trace(&out);
+    assert_eq!(irlt::interp::check_conflict_order(&ta, &tb), None);
+}
