@@ -8,12 +8,11 @@
 //! * expressiveness is asserted (not timed): Parallelize/Block/Coalesce/
 //!   Interleave produce dependence-set or size changes no matrix can.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use irlt_bench::{random_deps, stencil, unimodular_chain};
 use irlt_core::{Template, TransformSeq};
+use irlt_harness::timing::{black_box, Runner};
 use irlt_ir::Expr;
 use irlt_unimodular::{IntMatrix, UnimodularTransform};
-use std::hint::black_box;
 
 /// The baseline cannot express the non-matrix templates: their output
 /// arity or entry structure is unreachable by any `n×n` matrix map.
@@ -34,7 +33,7 @@ fn assert_inexpressible() {
     assert_eq!(plus, minus);
 }
 
-fn composition_cost(c: &mut Criterion) {
+fn composition_cost(r: &mut Runner) {
     assert_inexpressible();
     let deps = random_deps(4, 32, 3);
     let len = 64;
@@ -48,23 +47,21 @@ fn composition_cost(c: &mut Criterion) {
         }
     }
 
-    let mut g = c.benchmark_group("baseline/compose_and_test_L64");
-    g.bench_function("framework_sequence", |b| {
-        b.iter(|| black_box(seq.map_deps(black_box(&deps)).is_legal()))
+    r.bench("baseline/compose_and_test_L64/framework_sequence", || {
+        black_box(seq.map_deps(black_box(&deps)).is_legal())
     });
-    g.bench_function("framework_fused", |b| {
-        let fused = seq.fuse();
-        b.iter(|| black_box(fused.map_deps(black_box(&deps)).is_legal()))
+    let fused = seq.fuse();
+    r.bench("baseline/compose_and_test_L64/framework_fused", || {
+        black_box(fused.map_deps(black_box(&deps)).is_legal())
     });
-    g.bench_function("unimodular_baseline", |b| {
-        b.iter(|| black_box(baseline.is_legal(black_box(&deps))))
+    r.bench("baseline/compose_and_test_L64/unimodular_baseline", || {
+        black_box(baseline.is_legal(black_box(&deps)))
     });
-    g.finish();
 }
 
 /// Interchange two ways: ReversePermute (mask + permutation on vectors,
 /// names reused) vs Unimodular (matrix work + FM scanning).
-fn interchange_two_ways(c: &mut Criterion) {
+fn interchange_two_ways(r: &mut Runner) {
     let nest = stencil();
     let deps = random_deps(2, 32, 13);
     let rp = TransformSeq::new(2)
@@ -74,21 +71,23 @@ fn interchange_two_ways(c: &mut Criterion) {
         .unimodular(IntMatrix::interchange(2, 0, 1))
         .expect("unimodular");
 
-    let mut g = c.benchmark_group("baseline/interchange");
-    g.bench_function("reverse_permute/depmap", |b| {
-        b.iter(|| black_box(rp.map_deps(black_box(&deps))))
+    r.bench("baseline/interchange/reverse_permute/depmap", || {
+        black_box(rp.map_deps(black_box(&deps)))
     });
-    g.bench_function("unimodular/depmap", |b| {
-        b.iter(|| black_box(uni.map_deps(black_box(&deps))))
+    r.bench("baseline/interchange/unimodular/depmap", || {
+        black_box(uni.map_deps(black_box(&deps)))
     });
-    g.bench_function("reverse_permute/codegen", |b| {
-        b.iter(|| black_box(rp.apply(black_box(&nest)).expect("legal")))
+    r.bench("baseline/interchange/reverse_permute/codegen", || {
+        black_box(rp.apply(black_box(&nest)).expect("legal"))
     });
-    g.bench_function("unimodular/codegen", |b| {
-        b.iter(|| black_box(uni.apply(black_box(&nest)).expect("legal")))
+    r.bench("baseline/interchange/unimodular/codegen", || {
+        black_box(uni.apply(black_box(&nest)).expect("legal"))
     });
-    g.finish();
 }
 
-criterion_group!(benches, composition_cost, interchange_two_ways);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::default();
+    composition_cost(&mut r);
+    interchange_two_ways(&mut r);
+    r.finish();
+}

@@ -2,15 +2,13 @@
 //! the full Appendix A pipeline — the paper's point that the loop nest
 //! "only needs to be updated when code generation is finally requested".
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use irlt_bench::{figure7_sequence, matmul, stencil};
 use irlt_core::{Template, TransformSeq};
+use irlt_harness::timing::{black_box, Runner};
 use irlt_ir::Expr;
 use irlt_unimodular::IntMatrix;
-use std::hint::black_box;
 
-fn per_template(c: &mut Criterion) {
-    let mut g = c.benchmark_group("codegen/template");
+fn per_template(r: &mut Runner) {
     let nest2 = stencil();
     let nest3 = matmul();
 
@@ -42,24 +40,22 @@ fn per_template(c: &mut Criterion) {
         ),
     ];
     for (name, t, nest) in cases {
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(t.apply_to(black_box(nest)).expect("legal")))
+        r.bench(&format!("codegen/template/{name}"), || {
+            black_box(t.apply_to(black_box(nest)).expect("legal"))
         });
     }
-    g.finish();
 }
 
-fn figure7_pipeline(c: &mut Criterion) {
+fn figure7_pipeline(r: &mut Runner) {
     let nest = matmul();
     let seq = figure7_sequence();
-    c.bench_function("codegen/figure7_pipeline", |b| {
-        b.iter(|| black_box(seq.apply(black_box(&nest)).expect("legal")))
+    r.bench("codegen/figure7_pipeline", || {
+        black_box(seq.apply(black_box(&nest)).expect("legal"))
     });
 }
 
 /// Fourier–Motzkin scanning cost as unimodular complexity grows.
-fn fm_scanning(c: &mut Criterion) {
-    let mut g = c.benchmark_group("codegen/fm");
+fn fm_scanning(r: &mut Runner) {
     let nest = matmul();
     for (label, m) in [
         ("identity", IntMatrix::identity(3)),
@@ -76,12 +72,16 @@ fn fm_scanning(c: &mut Criterion) {
         ),
     ] {
         let seq = TransformSeq::new(3).unimodular(m).expect("unimodular");
-        g.bench_function(label, |b| {
-            b.iter(|| black_box(seq.apply(black_box(&nest)).expect("legal")))
+        r.bench(&format!("codegen/fm/{label}"), || {
+            black_box(seq.apply(black_box(&nest)).expect("legal"))
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, per_template, figure7_pipeline, fm_scanning);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::default();
+    per_template(&mut r);
+    figure7_pipeline(&mut r);
+    fm_scanning(&mut r);
+    r.finish();
+}

@@ -4,50 +4,46 @@
 //! cheaper dependence mapping afterwards. This is the fusion ablation of
 //! EXPERIMENTS.md.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use irlt_bench::{random_deps, unimodular_chain};
-use std::hint::black_box;
+use irlt_harness::timing::{black_box, Runner};
 
-fn build_chain(c: &mut Criterion) {
-    let mut g = c.benchmark_group("composition/build");
+fn build_chain(r: &mut Runner) {
     for len in [8usize, 32, 128] {
-        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
-            b.iter(|| black_box(unimodular_chain(4, len, 3)))
+        r.bench(&format!("composition/build/{len}"), || {
+            black_box(unimodular_chain(4, len, 3))
         });
     }
-    g.finish();
 }
 
-fn fuse_chain(c: &mut Criterion) {
-    let mut g = c.benchmark_group("composition/fuse");
+fn fuse_chain(r: &mut Runner) {
     for len in [8usize, 32, 128] {
         let seq = unimodular_chain(4, len, 3);
-        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
-            b.iter(|| black_box(seq.fuse()))
-        });
+        r.bench(&format!("composition/fuse/{len}"), || black_box(seq.fuse()));
     }
-    g.finish();
 }
 
 /// The ablation: map a dependence set through an L-step chain, unfused vs
 /// fused-once. The unfused cost grows linearly with L; the fused sequence
 /// is a single matrix application regardless of L.
-fn depmap_fused_vs_unfused(c: &mut Criterion) {
+fn depmap_fused_vs_unfused(r: &mut Runner) {
     let deps = random_deps(4, 32, 9);
     for len in [8usize, 32, 128] {
         let seq = unimodular_chain(4, len, 3);
         let fused = seq.fuse();
         assert_eq!(fused.len(), 1);
-        let mut g = c.benchmark_group(format!("composition/depmap_L{len}"));
-        g.bench_function("unfused", |b| {
-            b.iter(|| black_box(seq.map_deps(black_box(&deps))))
+        r.bench(&format!("composition/depmap_L{len}/unfused"), || {
+            black_box(seq.map_deps(black_box(&deps)))
         });
-        g.bench_function("fused", |b| {
-            b.iter(|| black_box(fused.map_deps(black_box(&deps))))
+        r.bench(&format!("composition/depmap_L{len}/fused"), || {
+            black_box(fused.map_deps(black_box(&deps)))
         });
-        g.finish();
     }
 }
 
-criterion_group!(benches, build_chain, fuse_chain, depmap_fused_vs_unfused);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::default();
+    build_chain(&mut r);
+    fuse_chain(&mut r);
+    depmap_fused_vs_unfused(&mut r);
+    r.finish();
+}

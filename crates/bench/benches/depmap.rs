@@ -2,15 +2,13 @@
 //! `2^(j−i+1)` expansion of `Block` — the structural reason it "cannot be
 //! represented by a matrix" also shows up as cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use irlt_bench::random_deps;
 use irlt_core::Template;
+use irlt_harness::timing::{black_box, Runner};
 use irlt_ir::Expr;
 use irlt_unimodular::IntMatrix;
-use std::hint::black_box;
 
-fn per_template(c: &mut Criterion) {
-    let mut g = c.benchmark_group("depmap/template");
+fn per_template(r: &mut Runner) {
     let deps = random_deps(4, 64, 17);
     let cases: Vec<(&str, Template)> = vec![
         (
@@ -37,34 +35,36 @@ fn per_template(c: &mut Criterion) {
         ),
     ];
     for (name, t) in cases {
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(t.map_dep_set(black_box(&deps))))
+        r.bench(&format!("depmap/template/{name}"), || {
+            black_box(t.map_dep_set(black_box(&deps)))
         });
     }
-    g.finish();
 }
 
 /// Block's expansion factor: widening the blocked range multiplies the
 /// output set (up to 2^(j−i+1) per vector).
-fn block_expansion(c: &mut Criterion) {
-    let mut g = c.benchmark_group("depmap/block_range");
+fn block_expansion(r: &mut Runner) {
     let deps = random_deps(5, 32, 23);
     for width in [1usize, 2, 3, 4, 5] {
         let t = Template::block(5, 0, width - 1, vec![Expr::var("b"); width]).expect("valid");
-        g.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, _| {
-            b.iter(|| black_box(t.map_dep_set(black_box(&deps))))
+        r.bench(&format!("depmap/block_range/{width}"), || {
+            black_box(t.map_dep_set(black_box(&deps)))
         });
     }
-    g.finish();
 }
 
 /// Summary-direction expansion (§3.1's precision recommendation).
-fn summary_expansion(c: &mut Criterion) {
+fn summary_expansion(r: &mut Runner) {
     let deps = random_deps(5, 64, 29);
-    c.bench_function("depmap/expand_summaries", |b| {
-        b.iter(|| black_box(deps.expand_summaries()))
+    r.bench("depmap/expand_summaries", || {
+        black_box(deps.expand_summaries())
     });
 }
 
-criterion_group!(benches, per_template, block_expansion, summary_expansion);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::default();
+    per_template(&mut r);
+    block_expansion(&mut r);
+    summary_expansion(&mut r);
+    r.finish();
+}

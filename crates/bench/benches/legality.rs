@@ -6,68 +6,61 @@
 //! loop nest unchanged while testing many candidate transformations is
 //! cheap ("supporting arbitrary levels of search and undo").
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use irlt_bench::{figure7_sequence, matmul, random_deps, rectangular, unimodular_chain};
 use irlt_dependence::analyze_dependences;
-use std::hint::black_box;
+use irlt_harness::timing::{black_box, Runner};
 
-fn legality_vs_depth(c: &mut Criterion) {
-    let mut g = c.benchmark_group("legality/depth");
+fn legality_vs_depth(r: &mut Runner) {
     for depth in [2usize, 3, 4, 5, 6] {
         let nest = rectangular(depth);
         let deps = random_deps(depth, 8, 42);
         let seq = unimodular_chain(depth, 4, 7);
-        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
-            b.iter(|| black_box(seq.is_legal(black_box(&nest), black_box(&deps))))
+        r.bench(&format!("legality/depth/{depth}"), || {
+            black_box(seq.is_legal(black_box(&nest), black_box(&deps)))
         });
     }
-    g.finish();
 }
 
-fn legality_vs_depset_size(c: &mut Criterion) {
-    let mut g = c.benchmark_group("legality/depset_size");
+fn legality_vs_depset_size(r: &mut Runner) {
     let nest = rectangular(4);
     let seq = unimodular_chain(4, 4, 11);
     for count in [1usize, 8, 64, 256] {
         let deps = random_deps(4, count, 5);
-        g.bench_with_input(BenchmarkId::from_parameter(count), &count, |b, _| {
-            b.iter(|| black_box(seq.is_legal(black_box(&nest), black_box(&deps))))
+        r.bench(&format!("legality/depset_size/{count}"), || {
+            black_box(seq.is_legal(black_box(&nest), black_box(&deps)))
         });
     }
-    g.finish();
 }
 
-fn legality_figure7(c: &mut Criterion) {
+fn legality_figure7(r: &mut Runner) {
     let nest = matmul();
     let deps = analyze_dependences(&nest);
     let seq = figure7_sequence();
-    c.bench_function("legality/figure7_pipeline", |b| {
-        b.iter(|| black_box(seq.is_legal(black_box(&nest), black_box(&deps))))
+    r.bench("legality/figure7_pipeline", || {
+        black_box(seq.is_legal(black_box(&nest), black_box(&deps)))
     });
 }
 
-fn dependence_analysis(c: &mut Criterion) {
-    let mut g = c.benchmark_group("legality/analysis");
-    g.bench_function("stencil", |b| {
-        let nest = irlt_bench::stencil();
-        b.iter(|| black_box(analyze_dependences(black_box(&nest))))
+fn dependence_analysis(r: &mut Runner) {
+    let stencil = irlt_bench::stencil();
+    r.bench("legality/analysis/stencil", || {
+        black_box(analyze_dependences(black_box(&stencil)))
     });
-    g.bench_function("matmul", |b| {
-        let nest = matmul();
-        b.iter(|| black_box(analyze_dependences(black_box(&nest))))
+    let mm = matmul();
+    r.bench("legality/analysis/matmul", || {
+        black_box(analyze_dependences(black_box(&mm)))
     });
-    g.bench_function("rect5", |b| {
-        let nest = rectangular(5);
-        b.iter(|| black_box(analyze_dependences(black_box(&nest))))
+    let rect = rectangular(5);
+    r.bench("legality/analysis/rect5", || {
+        black_box(analyze_dependences(black_box(&rect)))
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    legality_vs_depth,
-    legality_vs_depset_size,
-    legality_figure7,
-    dependence_analysis
-);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::default();
+    legality_vs_depth(&mut r);
+    legality_vs_depset_size(&mut r);
+    legality_figure7(&mut r);
+    dependence_analysis(&mut r);
+    r.finish();
+}

@@ -1,14 +1,13 @@
 //! Locality studies on the cache simulator: tiled vs untiled matmul and
-//! interchanged vs original stencil walks. Criterion measures the
+//! interchanged vs original stencil walks. The harness measures the
 //! simulation throughput; the *miss-rate shape* (who wins, by how much)
 //! is asserted here and reported in EXPERIMENTS.md.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use irlt_bench::matmul;
 use irlt_cachesim::{simulate_nest, AddressMap, CacheConfig, Order};
 use irlt_core::TransformSeq;
+use irlt_harness::timing::{black_box, Runner};
 use irlt_ir::{parse_nest, Expr};
-use std::hint::black_box;
 
 fn map_for_matmul(n: u64) -> AddressMap {
     let mut map = AddressMap::new(Order::ColMajor, 8);
@@ -20,7 +19,7 @@ fn map_for_matmul(n: u64) -> AddressMap {
 
 const CFG: CacheConfig = CacheConfig { size_bytes: 4 * 1024, line_bytes: 64, associativity: 4 };
 
-fn matmul_tiling(c: &mut Criterion) {
+fn matmul_tiling(r: &mut Runner) {
     let nest = matmul();
     let n: i64 = 24;
     let map = map_for_matmul(n as u64);
@@ -40,10 +39,8 @@ fn matmul_tiling(c: &mut Criterion) {
         base.stats
     );
 
-    let mut g = c.benchmark_group("locality/matmul");
-    g.sample_size(10);
-    g.bench_function("untiled", |b| {
-        b.iter(|| black_box(simulate_nest(&nest, &[("n", n)], &map, CFG).expect("simulates")))
+    r.bench("locality/matmul/untiled", || {
+        black_box(simulate_nest(&nest, &[("n", n)], &map, CFG).expect("simulates"))
     });
     for bs in [4i64, 8] {
         let t = TransformSeq::new(3)
@@ -51,14 +48,13 @@ fn matmul_tiling(c: &mut Criterion) {
             .expect("valid")
             .apply(&nest)
             .expect("legal");
-        g.bench_with_input(BenchmarkId::new("tiled", bs), &bs, |b, _| {
-            b.iter(|| black_box(simulate_nest(&t, &[("n", n)], &map, CFG).expect("simulates")))
+        r.bench(&format!("locality/matmul/tiled/{bs}"), || {
+            black_box(simulate_nest(&t, &[("n", n)], &map, CFG).expect("simulates"))
         });
     }
-    g.finish();
 }
 
-fn stencil_walk_order(c: &mut Criterion) {
+fn stencil_walk_order(r: &mut Runner) {
     // Column-major array walked row-wise vs column-wise: interchange
     // repairs the stride.
     let bad = parse_nest(
@@ -84,16 +80,17 @@ fn stencil_walk_order(c: &mut Criterion) {
         r_bad.stats
     );
 
-    let mut g = c.benchmark_group("locality/stencil_walk");
-    g.sample_size(10);
-    g.bench_function("row_walk_of_colmajor", |b| {
-        b.iter(|| black_box(simulate_nest(&bad, &[("n", n)], &map, CFG).expect("simulates")))
+    r.bench("locality/stencil_walk/row_walk_of_colmajor", || {
+        black_box(simulate_nest(&bad, &[("n", n)], &map, CFG).expect("simulates"))
     });
-    g.bench_function("interchanged", |b| {
-        b.iter(|| black_box(simulate_nest(&good, &[("n", n)], &map, CFG).expect("simulates")))
+    r.bench("locality/stencil_walk/interchanged", || {
+        black_box(simulate_nest(&good, &[("n", n)], &map, CFG).expect("simulates"))
     });
-    g.finish();
 }
 
-criterion_group!(benches, matmul_tiling, stencil_walk_order);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::default();
+    matmul_tiling(&mut r);
+    stencil_walk_order(&mut r);
+    r.finish();
+}

@@ -1,17 +1,17 @@
 //! # irlt-bench — shared workload generators for the benchmark harness
 //!
-//! The Criterion benches (one per study in EXPERIMENTS.md) pull their
-//! inputs from here: paper kernels, random dependence sets, random deep
-//! nests, and standard transformation sequences.
+//! The benches (one per study in EXPERIMENTS.md, timed by
+//! `irlt_harness::timing`) pull their inputs from here: paper kernels,
+//! random dependence sets, random deep nests, and standard
+//! transformation sequences.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use irlt_core::TransformSeq;
 use irlt_dependence::{DepElem, DepSet, DepVector, Dir};
+use irlt_harness::Rng;
 use irlt_ir::{parse_nest, Expr, Loop, LoopNest, Stmt};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// The Fig. 1(a) five-point stencil.
 pub fn stencil() -> LoopNest {
@@ -52,7 +52,7 @@ pub fn rectangular(depth: usize) -> LoopNest {
 /// A random dependence set of `count` vectors over `depth` loops, with a
 /// mix of distances and directions, biased lexicographically positive.
 pub fn random_deps(depth: usize, count: usize, seed: u64) -> DepSet {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let mut set = DepSet::new();
     let mut guard = 0;
     while set.len() < count {
@@ -66,13 +66,13 @@ pub fn random_deps(depth: usize, count: usize, seed: u64) -> DepSet {
             } else if k == lead {
                 // Strictly positive leader keeps the set legal.
                 if rng.gen_bool(0.5) {
-                    DepElem::Dist(rng.gen_range(1..4))
+                    DepElem::Dist(rng.gen_range(1..4i64))
                 } else {
                     DepElem::POS
                 }
             } else {
-                match rng.gen_range(0..6) {
-                    0 => DepElem::Dist(rng.gen_range(-3..4)),
+                match rng.gen_range(0..6usize) {
+                    0 => DepElem::Dist(rng.gen_range(-3..4i64)),
                     1 => DepElem::POS,
                     2 => DepElem::NEG,
                     3 => DepElem::Dir(Dir::NonNeg),
@@ -92,15 +92,15 @@ pub fn random_deps(depth: usize, count: usize, seed: u64) -> DepSet {
 /// sequence of template instantiations".
 pub fn unimodular_chain(n: usize, len: usize, seed: u64) -> TransformSeq {
     use irlt_unimodular::IntMatrix;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let mut seq = TransformSeq::new(n);
     for _ in 0..len {
         let a = rng.gen_range(0..n);
         let b = (a + rng.gen_range(1..n)) % n;
-        let m = match rng.gen_range(0..3) {
+        let m = match rng.gen_range(0..3usize) {
             0 => IntMatrix::interchange(n, a, b),
             1 => IntMatrix::reversal(n, a),
-            _ => IntMatrix::skew(n, a.min(b), a.max(b), rng.gen_range(-2..3)),
+            _ => IntMatrix::skew(n, a.min(b), a.max(b), rng.gen_range(-2..3i64)),
         };
         seq = seq.unimodular(m).expect("chained");
     }

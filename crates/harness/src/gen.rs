@@ -1,0 +1,265 @@
+//! Random generators for the framework's domain objects: affine
+//! subscripts, loop nests, template instantiations, and transformation
+//! sequences — plus the shrinkers the property engine uses to minimize
+//! failing (nest, sequence) pairs.
+//!
+//! These mirror (and replace) the `proptest` strategies the integration
+//! suite used to define inline: small constant extents, steps drawn from
+//! {−2, −1, 1, 2}, an occasional triangular inner bound, one
+//! read-modify-write statement on a shared array, and sequences of 1–3
+//! chained template instantiations covering every Table 1 kernel.
+
+use crate::rng::Rng;
+use irlt_core::{Template, TransformSeq};
+use irlt_ir::{Expr, Loop, LoopNest, Stmt, Symbol};
+use irlt_unimodular::IntMatrix;
+
+/// Index names used by generated nests, outermost first.
+pub fn index_names(depth: usize) -> Vec<Symbol> {
+    ["i", "j", "k", "l", "m", "p"][..depth].iter().copied().map(Symbol::new).collect()
+}
+
+/// A random affine subscript over the first `depth` index names:
+/// `offset + Σ cₖ·xₖ` with small coefficients.
+pub fn gen_subscript(rng: &mut Rng, depth: usize) -> Expr {
+    let names = index_names(depth);
+    let mut e = Expr::int(rng.gen_range(-2..=3i64));
+    for name in names.iter().take(depth) {
+        let c = rng.gen_range(-1..=2i64);
+        e = Expr::add(e, Expr::mul(Expr::int(c), Expr::var(name.clone())));
+    }
+    e
+}
+
+/// A random nest of the given depth: small constant extents, steps from
+/// {−2, −1, 1, 2} (descending loops swap their start/end), an occasional
+/// triangular inner bound, and one read-modify-write statement on a
+/// shared array (`A(w) = A(r1) + B(r2)`).
+pub fn gen_nest(rng: &mut Rng, depth: usize) -> LoopNest {
+    let names = index_names(depth);
+    let triangular = rng.gen_bool(0.5);
+    let shapes: Vec<(i64, i64)> = (0..depth)
+        .map(|_| (rng.gen_range(3..=6i64), *rng.choose(&[-2i64, -1, 1, 2]).expect("nonempty")))
+        .collect();
+    let loops: Vec<Loop> = names
+        .iter()
+        .enumerate()
+        .zip(&shapes)
+        .map(|((lvl, v), &(extent, step))| {
+            // Triangular variant: the innermost ascending unit loop may
+            // use the outermost index as its upper bound.
+            let upper: Expr = if triangular && lvl == depth - 1 && depth >= 2 && step == 1 {
+                Expr::var(names[0].clone())
+            } else {
+                Expr::int(extent)
+            };
+            if step > 0 {
+                Loop::new(v.clone(), Expr::int(1), upper).with_step(Expr::int(step))
+            } else {
+                // Descending: start at the extent, end at 1.
+                Loop::new(v.clone(), Expr::int(extent), Expr::int(1)).with_step(Expr::int(step))
+            }
+        })
+        .collect();
+    let w = gen_subscript(rng, depth);
+    let r1 = gen_subscript(rng, depth);
+    let r2 = gen_subscript(rng, depth);
+    let body = vec![Stmt::array("A", vec![w], Expr::read("A", vec![r1]) + Expr::read("B", vec![r2]))];
+    LoopNest::new(loops, body)
+}
+
+/// One random template instantiation for a nest of size `n`, uniformly
+/// covering all six Table 1 kernels.
+pub fn gen_template(rng: &mut Rng, n: usize) -> Template {
+    let range = |rng: &mut Rng| {
+        let (a, b) = (rng.index(n), rng.index(n));
+        (a.min(b), a.max(b))
+    };
+    match rng.index(6) {
+        0 => {
+            let rev: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+            let perm = rng.permutation(n);
+            Template::reverse_permute(rev, perm).expect("valid by construction")
+        }
+        1 => Template::parallelize((0..n).map(|_| rng.gen_bool(0.5)).collect()),
+        2 => {
+            let (i, j) = range(rng);
+            let b = rng.gen_range(2..=4i64);
+            Template::block(n, i, j, vec![Expr::int(b); j - i + 1]).expect("valid range")
+        }
+        3 => {
+            let (i, j) = range(rng);
+            Template::coalesce(n, i, j).expect("valid range")
+        }
+        4 => {
+            let (i, j) = range(rng);
+            let f = rng.gen_range(2..=3i64);
+            Template::interleave(n, i, j, vec![Expr::int(f); j - i + 1]).expect("valid range")
+        }
+        _ => Template::unimodular(gen_unimodular(rng, n, 2)).expect("generator products are unimodular"),
+    }
+}
+
+/// A product of up to `len` random elementary unimodular generators
+/// (interchange / reversal / skew) on dimension `n`.
+pub fn gen_unimodular(rng: &mut Rng, n: usize, len: usize) -> IntMatrix {
+    let mut m = IntMatrix::identity(n);
+    for _ in 0..rng.gen_range(1..=len.max(1)) {
+        let a = rng.index(n);
+        let b = rng.index(n);
+        let g = match rng.index(3) {
+            0 => IntMatrix::interchange(n, a, b),
+            1 => IntMatrix::reversal(n, a),
+            _ if a != b => IntMatrix::skew(n, a, b, rng.gen_range(-2..=2i64)),
+            _ => IntMatrix::identity(n),
+        };
+        m = g.mul(&m);
+    }
+    m
+}
+
+/// A random sequence of 1–3 templates chained on the evolving nest size.
+pub fn gen_sequence(rng: &mut Rng, n: usize) -> TransformSeq {
+    let mut seq = TransformSeq::new(n);
+    let len = rng.gen_range(1..=3usize);
+    for k in 0..len {
+        // Optional trailing steps, as the proptest version's
+        // `option::of` made 2- and 3-step sequences rarer.
+        if k > 0 && rng.gen_bool(0.5) {
+            break;
+        }
+        let t = gen_template(rng, seq.output_size());
+        seq = seq.push(t).expect("chained on output size");
+    }
+    seq
+}
+
+/// A random (nest, sequence) pair of the given depth — the input of the
+/// differential equivalence fuzzer.
+pub fn gen_pair(rng: &mut Rng, depth: usize) -> (LoopNest, TransformSeq) {
+    (gen_nest(rng, depth), gen_sequence(rng, depth))
+}
+
+// ---------------------------------------------------------------------
+// Shrinkers
+// ---------------------------------------------------------------------
+
+/// Shrink candidates for a (nest, sequence) pair:
+///
+/// * the sequence with one step removed, wherever the remaining steps
+///   still chain on sizes;
+/// * the nest with each subscript expression collapsed to `0`;
+/// * the nest with its body's `B` read dropped (pure `A(w) = A(r1)`).
+pub fn shrink_pair(pair: &(LoopNest, TransformSeq)) -> Vec<(LoopNest, TransformSeq)> {
+    let (nest, seq) = pair;
+    let mut out = Vec::new();
+    for skip in 0..seq.len() {
+        if let Some(shorter) = remove_step(seq, skip) {
+            out.push((nest.clone(), shorter));
+        }
+    }
+    for simpler in simplify_nest(nest) {
+        out.push((simpler, seq.clone()));
+    }
+    out
+}
+
+/// The sequence with step `skip` removed, if the rest still chains.
+fn remove_step(seq: &TransformSeq, skip: usize) -> Option<TransformSeq> {
+    if seq.len() <= 1 {
+        return None;
+    }
+    let mut out = TransformSeq::new(seq.input_size());
+    for (k, step) in seq.steps().iter().enumerate() {
+        if k == skip {
+            continue;
+        }
+        match step {
+            irlt_core::Step::Builtin(t) => out = out.push(t.clone()).ok()?,
+            irlt_core::Step::Custom(_) => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Structurally simpler variants of a generated nest. [`gen_nest`]
+/// bodies are always `A(w) = A(r1) + B(r2)`; the strongest shrink
+/// collapses every subscript to the constant 0, which usually keeps a
+/// genuine ordering bug alive while removing the affine noise.
+fn simplify_nest(nest: &LoopNest) -> Vec<LoopNest> {
+    let zeroed = LoopNest::new(
+        nest.loops().to_vec(),
+        vec![Stmt::array(
+            "A",
+            vec![Expr::int(0)],
+            Expr::read("A", vec![Expr::int(0)]) + Expr::read("B", vec![Expr::int(0)]),
+        )],
+    );
+    if nest.body() == zeroed.body() {
+        Vec::new()
+    } else {
+        vec![zeroed]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irlt_dependence::analyze_dependences;
+
+    #[test]
+    fn generated_nests_validate_and_execute() {
+        let mut rng = Rng::new(11);
+        for _ in 0..100 {
+            let depth = rng.gen_range(1..=3usize);
+            let nest = gen_nest(&mut rng, depth);
+            nest.validate().expect("generated nests are well-formed");
+            assert_eq!(nest.depth(), depth);
+            let _ = analyze_dependences(&nest);
+        }
+    }
+
+    #[test]
+    fn generated_sequences_chain() {
+        let mut rng = Rng::new(12);
+        for _ in 0..200 {
+            let n = rng.gen_range(1..=4usize);
+            let seq = gen_sequence(&mut rng, n);
+            assert!(!seq.is_empty());
+            assert!(seq.len() <= 3);
+            assert_eq!(seq.input_size(), n);
+        }
+    }
+
+    #[test]
+    fn templates_cover_all_kernels() {
+        let mut rng = Rng::new(13);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..300 {
+            seen.insert(gen_template(&mut rng, 3).name());
+        }
+        for kernel in ["Unimodular", "ReversePermute", "Parallelize", "Block", "Coalesce", "Interleave"] {
+            assert!(seen.contains(kernel), "never generated {kernel}: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn shrink_removes_steps_and_zeroes_subscripts() {
+        let mut rng = Rng::new(14);
+        // Find a pair with a multi-step sequence.
+        let pair = loop {
+            let p = gen_pair(&mut rng, 2);
+            if p.1.len() >= 2 {
+                break p;
+            }
+        };
+        let candidates = shrink_pair(&pair);
+        assert!(!candidates.is_empty());
+        assert!(candidates.iter().any(|(_, s)| s.len() < pair.1.len()));
+        // Candidates must be valid inputs themselves.
+        for (nest, seq) in &candidates {
+            nest.validate().expect("shrunk nests stay valid");
+            assert_eq!(seq.input_size(), pair.1.input_size());
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! A minimal property-testing engine replacing `proptest`.
+//!
+//! The model is deliberately simple — a property is checked against
+//! `cases` values drawn from a generator closure; each case is driven by
+//! an independent PRNG whose seed is derived from `(run_seed, case
+//! index)`, so any failure is replayable from a single `u64`:
+//!
+//! 1. **Corpus replay.** Seeds of historical failures live in a text
+//!    file per property (`tests/corpus/<name>.seeds` by convention).
+//!    They are re-run *before* any novel case, so regressions stay
+//!    covered forever.
+//! 2. **Random exploration.** `cases` fresh values are generated.
+//!    Properties may *discard* uninteresting cases (the `prop_assume`
+//!    of proptest); discards do not count against the case budget, up
+//!    to a 10× attempt cap.
+//! 3. **Bounded shrinking.** On failure the engine asks the caller's
+//!    shrinker for smaller candidates and greedily descends while the
+//!    property keeps failing, up to [`Config::max_shrink_steps`] steps.
+//!    The minimal failing value, its case seed, and the original
+//!    failure message are all in the panic payload, and the seed is
+//!    appended to the corpus file so the next run replays it first.
+//!
+//! Environment overrides: `IRLT_FUZZ_CASES` scales every check's case
+//! count, `IRLT_FUZZ_SEED` re-seeds the run (defaults are fixed, so CI
+//! is deterministic).
+
+use crate::rng::{derive_seed, Rng};
+use std::fmt::Debug;
+use std::path::PathBuf;
+
+/// Outcome of a property applied to one generated value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CaseResult {
+    /// The property held.
+    Pass,
+    /// The case was uninteresting (precondition failed); try another.
+    Discard,
+    /// The property failed, with a human-readable reason.
+    Fail(String),
+}
+
+/// Converts `Result`-returning properties into [`CaseResult`]s.
+impl From<Result<(), String>> for CaseResult {
+    fn from(r: Result<(), String>) -> CaseResult {
+        match r {
+            Ok(()) => CaseResult::Pass,
+            Err(m) => CaseResult::Fail(m),
+        }
+    }
+}
+
+/// Asserts a condition inside a property, failing the case with a
+/// formatted message instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return $crate::prop::CaseResult::Fail(format!($($fmt)+));
+        }
+    };
+    ($cond:expr) => {
+        if !$cond {
+            return $crate::prop::CaseResult::Fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property, failing the case with both
+/// values on mismatch.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return $crate::prop::CaseResult::Fail(format!(
+                "{} != {}\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), a, b
+            ));
+        }
+    }};
+}
+
+/// Discards the current case unless a precondition holds
+/// (`prop_assume` in proptest terms).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return $crate::prop::CaseResult::Discard;
+        }
+    };
+}
+
+/// Tuning for one [`check`] run.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of (non-discarded) random cases to run.
+    pub cases: u32,
+    /// Run seed; case `k` uses `derive_seed(seed, k)`.
+    pub seed: u64,
+    /// Upper bound on greedy shrink descent steps.
+    pub max_shrink_steps: u32,
+    /// Directory holding `<name>.seeds` corpus files, if any.
+    pub corpus_dir: Option<PathBuf>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        let cases = match std::env::var("IRLT_FUZZ_CASES") {
+            Ok(v) => v.parse().unwrap_or_else(|_| {
+                panic!("IRLT_FUZZ_CASES must be a non-negative integer, got {v:?}")
+            }),
+            Err(_) => 64,
+        };
+        let seed = match std::env::var("IRLT_FUZZ_SEED") {
+            Ok(v) => parse_seed(&v).unwrap_or_else(|| {
+                panic!("IRLT_FUZZ_SEED must be a decimal or 0x-hex integer, got {v:?}")
+            }),
+            Err(_) => 0x1992_05_1e, // PLDI '92.
+        };
+        Config { cases, seed, max_shrink_steps: 400, corpus_dir: default_corpus_dir() }
+    }
+}
+
+impl Config {
+    /// Default config with a different case count (still subject to the
+    /// `IRLT_FUZZ_CASES` override, which takes precedence).
+    pub fn with_cases(cases: u32) -> Config {
+        let mut cfg = Config::default();
+        if std::env::var("IRLT_FUZZ_CASES").is_err() {
+            cfg.cases = cases;
+        }
+        cfg
+    }
+}
+
+/// `tests/corpus` under the running package's manifest, when cargo
+/// exposes it and the directory exists.
+fn default_corpus_dir() -> Option<PathBuf> {
+    let dir = PathBuf::from(std::env::var_os("CARGO_MANIFEST_DIR")?).join("tests/corpus");
+    dir.is_dir().then_some(dir)
+}
+
+fn parse_seed(v: &str) -> Option<u64> {
+    if let Some(hex) = v.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
+    }
+}
+
+/// Checks `property` over values drawn from `generate`, replaying the
+/// corpus first and shrinking failures via `shrink`.
+///
+/// `shrink` returns *candidate* smaller values for a failing value; the
+/// engine keeps the first candidate that still fails and recurses,
+/// bounded by [`Config::max_shrink_steps`]. Return an empty `Vec` to
+/// disable shrinking for a type.
+///
+/// # Panics
+///
+/// Panics with the minimal failing value, its replay seed, and the
+/// failure message if the property fails; also panics if more than
+/// 10×`cases` attempts are discarded.
+///
+/// # Examples
+///
+/// ```
+/// use irlt_harness::prop::{check, CaseResult, Config};
+///
+/// check(
+///     "addition_commutes",
+///     &Config::with_cases(32),
+///     |rng| (rng.gen_range(-100..=100i64), rng.gen_range(-100..=100i64)),
+///     |_| Vec::new(),
+///     |&(a, b)| {
+///         if a + b == b + a { CaseResult::Pass } else { CaseResult::Fail("!".into()) }
+///     },
+/// );
+/// ```
+pub fn check<T, G, S, P>(name: &str, cfg: &Config, generate: G, shrink: S, property: P)
+where
+    T: Clone + Debug,
+    G: Fn(&mut Rng) -> T,
+    S: Fn(&T) -> Vec<T>,
+    P: Fn(&T) -> CaseResult,
+{
+    // Phase 1: corpus replay.
+    for seed in corpus_seeds(cfg, name) {
+        let value = generate(&mut Rng::new(seed));
+        if let CaseResult::Fail(msg) = property(&value) {
+            let (min_value, min_msg) = shrink_failure(cfg, &shrink, &property, value, msg);
+            panic!(
+                "property `{name}` failed on corpus seed {seed:#x}\n\
+                 minimal failing value: {min_value:#?}\n{min_msg}"
+            );
+        }
+    }
+
+    // Phase 2: random exploration.
+    let mut passed = 0u32;
+    let mut attempts = 0u64;
+    let max_attempts = 10 * u64::from(cfg.cases.max(1));
+    while passed < cfg.cases {
+        assert!(
+            attempts < max_attempts,
+            "property `{name}` discarded too many cases ({attempts} attempts, \
+             {passed}/{} passed) — loosen the generator or the assumption",
+            cfg.cases
+        );
+        let case_seed = derive_seed(cfg.seed, attempts);
+        attempts += 1;
+        let value = generate(&mut Rng::new(case_seed));
+        match property(&value) {
+            CaseResult::Pass => passed += 1,
+            CaseResult::Discard => {}
+            CaseResult::Fail(msg) => {
+                persist_seed(cfg, name, case_seed);
+                let (min_value, min_msg) = shrink_failure(cfg, &shrink, &property, value, msg);
+                panic!(
+                    "property `{name}` failed (case {passed}, replay seed {case_seed:#x}; \
+                     seed persisted to corpus)\n\
+                     minimal failing value: {min_value:#?}\n{min_msg}\n\
+                     rerun just this case with IRLT_FUZZ_SEED={case_seed:#x} IRLT_FUZZ_CASES=1"
+                );
+            }
+        }
+    }
+}
+
+/// Greedy bounded shrink: repeatedly move to the first candidate that
+/// still fails, until no candidate fails or the step budget runs out.
+fn shrink_failure<T, S, P>(
+    cfg: &Config,
+    shrink: &S,
+    property: &P,
+    mut value: T,
+    mut msg: String,
+) -> (T, String)
+where
+    T: Clone + Debug,
+    S: Fn(&T) -> Vec<T>,
+    P: Fn(&T) -> CaseResult,
+{
+    let mut steps = 0;
+    'descend: while steps < cfg.max_shrink_steps {
+        for candidate in shrink(&value) {
+            steps += 1;
+            if let CaseResult::Fail(m) = property(&candidate) {
+                value = candidate;
+                msg = m;
+                continue 'descend;
+            }
+            if steps >= cfg.max_shrink_steps {
+                break;
+            }
+        }
+        break;
+    }
+    (value, msg)
+}
+
+/// Reads `<corpus_dir>/<name>.seeds`: one seed per line (decimal or
+/// `0x`-hex), `#` comments and blank lines ignored.
+fn corpus_seeds(cfg: &Config, name: &str) -> Vec<u64> {
+    let Some(dir) = &cfg.corpus_dir else { return Vec::new() };
+    let Ok(text) = std::fs::read_to_string(dir.join(format!("{name}.seeds"))) else {
+        return Vec::new();
+    };
+    text.lines()
+        .map(|l| l.split('#').next().unwrap_or("").trim())
+        .filter(|l| !l.is_empty())
+        .filter_map(parse_seed)
+        .collect()
+}
+
+/// Best-effort append of a freshly failing seed to the corpus file.
+fn persist_seed(cfg: &Config, name: &str, seed: u64) {
+    use std::io::Write as _;
+    let Some(dir) = &cfg.corpus_dir else { return };
+    let path = dir.join(format!("{name}.seeds"));
+    let already = corpus_seeds(cfg, name).contains(&seed);
+    if already {
+        return;
+    }
+    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+        let _ = writeln!(f, "{seed:#x} # auto-persisted failing case");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet(cases: u32) -> Config {
+        Config { cases, seed: 99, max_shrink_steps: 200, corpus_dir: None }
+    }
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = std::cell::Cell::new(0u32);
+        check(
+            "always_true",
+            &quiet(50),
+            |rng| rng.gen_range(0..=100i64),
+            |_| Vec::new(),
+            |_| {
+                count.set(count.get() + 1);
+                CaseResult::Pass
+            },
+        );
+        assert_eq!(*count.get_mut(), 50);
+    }
+
+    #[test]
+    fn failure_shrinks_to_minimum() {
+        // Property "x < 57" fails for x >= 57; integer-halving shrink
+        // must land exactly on 57.
+        let caught = std::panic::catch_unwind(|| {
+            check(
+                "finds_57",
+                &quiet(500),
+                |rng| rng.gen_range(0..=10_000i64),
+                |&x| {
+                    let mut c = vec![x / 2, x - 1];
+                    c.retain(|&y| y >= 0 && y != x);
+                    c
+                },
+                |&x| {
+                    if x < 57 {
+                        CaseResult::Pass
+                    } else {
+                        CaseResult::Fail(format!("{x} too big"))
+                    }
+                },
+            )
+        });
+        let msg = *caught.unwrap_err().downcast::<String>().expect("string panic");
+        assert!(msg.contains("minimal failing value: 57"), "{msg}");
+        assert!(msg.contains("IRLT_FUZZ_SEED="), "{msg}");
+    }
+
+    #[test]
+    fn discards_do_not_consume_case_budget() {
+        let mut passes = std::cell::Cell::new(0u32);
+        check(
+            "evens_only",
+            &quiet(40),
+            |rng| rng.gen_range(0..=1000i64),
+            |_| Vec::new(),
+            |&x| {
+                if x % 2 != 0 {
+                    return CaseResult::Discard;
+                }
+                passes.set(passes.get() + 1);
+                CaseResult::Pass
+            },
+        );
+        assert_eq!(*passes.get_mut(), 40);
+    }
+
+    #[test]
+    fn hopeless_assumption_aborts() {
+        let caught = std::panic::catch_unwind(|| {
+            check(
+                "never_satisfiable",
+                &quiet(10),
+                |rng| rng.gen_range(0..=10i64),
+                |_| Vec::new(),
+                |_| CaseResult::Discard,
+            )
+        });
+        let msg = *caught.unwrap_err().downcast::<String>().expect("string panic");
+        assert!(msg.contains("discarded too many"), "{msg}");
+    }
+
+    #[test]
+    fn corpus_files_replay_and_persist() {
+        let dir = std::env::temp_dir().join(format!("irlt_corpus_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = Config {
+            cases: 30,
+            seed: 7,
+            max_shrink_steps: 10,
+            corpus_dir: Some(dir.clone()),
+        };
+        // A property that fails for large values: the first run must
+        // persist the failing seed…
+        let failing = std::panic::catch_unwind(|| {
+            check(
+                "persists",
+                &cfg,
+                |rng| rng.gen_range(0..=100i64),
+                |_| Vec::new(),
+                |&x| {
+                    if x <= 90 {
+                        CaseResult::Pass
+                    } else {
+                        CaseResult::Fail("big".into())
+                    }
+                },
+            )
+        });
+        assert!(failing.is_err());
+        let corpus = std::fs::read_to_string(dir.join("persists.seeds")).unwrap();
+        assert!(corpus.contains("0x"), "{corpus}");
+        // …and the second run must hit it during corpus replay (phase 1),
+        // reported distinctly.
+        let replay = std::panic::catch_unwind(|| {
+            check(
+                "persists",
+                &cfg,
+                |rng| rng.gen_range(0..=100i64),
+                |_| Vec::new(),
+                |&x| {
+                    if x <= 90 {
+                        CaseResult::Pass
+                    } else {
+                        CaseResult::Fail("big".into())
+                    }
+                },
+            )
+        });
+        let msg = *replay.unwrap_err().downcast::<String>().expect("string panic");
+        assert!(msg.contains("corpus seed"), "{msg}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn macros_compose() {
+        check(
+            "macro_surface",
+            &quiet(20),
+            |rng| rng.gen_range(-50..=50i64),
+            |_| Vec::new(),
+            |&x| {
+                prop_assume!(x != 0);
+                prop_assert!(x * x > 0, "square of {x} not positive");
+                prop_assert_eq!(x + 0, x);
+                CaseResult::Pass
+            },
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! Deterministic, seedable pseudo-random number generation.
+//!
+//! Two tiny generators replace the `rand` crate for every randomized
+//! workload in the workspace:
+//!
+//! * [`SplitMix64`] — the stateless-feeling 64-bit mixer from Steele,
+//!   Lea & Flood (2014). Used to expand a single `u64` seed into the
+//!   larger state of the main generator, and to derive independent
+//!   per-case seeds from a run seed.
+//! * [`Rng`] — xoshiro256\*\* (Blackman & Vigna 2018): 256 bits of
+//!   state, period 2²⁵⁶ − 1, excellent equidistribution, and a handful
+//!   of convenience methods (`gen_range`, `gen_bool`, `shuffle`,
+//!   `choose`) mirroring the subset of `rand` the workspace used.
+//!
+//! Everything here is exactly reproducible across platforms and
+//! toolchains: same seed, same stream, forever. That property is what
+//! the regression-seed corpus in [`crate::prop`] relies on.
+
+/// SplitMix64: a 64-bit state mixer used for seed expansion.
+///
+/// # Examples
+///
+/// ```
+/// use irlt_harness::SplitMix64;
+/// let mut sm = SplitMix64::new(42);
+/// let a = sm.next_u64();
+/// let b = sm.next_u64();
+/// assert_ne!(a, b);
+/// assert_eq!(SplitMix64::new(42).next_u64(), a);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next value in the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Derives a stream-independent sub-seed from `(seed, index)`.
+///
+/// Used by the property engine so that case *k* of a run is replayable
+/// from `(run_seed, k)` alone.
+pub fn derive_seed(seed: u64, index: u64) -> u64 {
+    let mut sm = SplitMix64::new(seed ^ index.wrapping_mul(0xa076_1d64_78bd_642f));
+    sm.next_u64()
+}
+
+/// xoshiro256\*\* — the workspace's general-purpose PRNG.
+///
+/// # Examples
+///
+/// ```
+/// use irlt_harness::Rng;
+/// let mut rng = Rng::new(7);
+/// let x = rng.gen_range(1..=6i64);
+/// assert!((1..=6).contains(&x));
+/// // Same seed replays the same stream.
+/// assert_eq!(Rng::new(7).gen_range(1..=6i64), x);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator whose 256-bit state is expanded from `seed`
+    /// via [`SplitMix64`] (the construction recommended by the xoshiro
+    /// authors).
+    pub fn new(seed: u64) -> Rng {
+        let mut sm = SplitMix64::new(seed);
+        Rng { s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()] }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `i64` in the inclusive range `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = (hi as i128 - lo as i128 + 1) as u128;
+        if span > u64::MAX as u128 {
+            // The full i64 domain: every u64 maps to a unique value.
+            return self.next_u64() as i64;
+        }
+        lo.wrapping_add(self.bounded(span as u64) as i64)
+    }
+
+    /// A uniform `usize` in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty index range");
+        self.bounded(n as u64) as usize
+    }
+
+    /// A uniform value from an inclusive or exclusive integer range,
+    /// mirroring `rand`'s `gen_range` call-sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<R: RandRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        ((self.next_u64() >> 11) as f64) < p * (1u64 << 53) as f64
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element, or `None` on an empty slice.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> Option<&'a T> {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(&xs[self.index(xs.len())])
+        }
+    }
+
+    /// A random permutation of `0..n`.
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut p: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut p);
+        p
+    }
+
+    /// Unbiased uniform value in `0..bound` (Lemire-style rejection via
+    /// the widening-multiply trick).
+    fn bounded(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let low = m as u64;
+            if low >= bound && low < bound.wrapping_neg() % bound + bound {
+                continue;
+            }
+            if low >= bound || low >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+/// Integer range forms accepted by [`Rng::gen_range`].
+pub trait RandRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws a uniform sample from the range.
+    fn sample(self, rng: &mut Rng) -> Self::Output;
+}
+
+impl RandRange for std::ops::Range<i64> {
+    type Output = i64;
+    fn sample(self, rng: &mut Rng) -> i64 {
+        assert!(self.start < self.end, "empty range");
+        rng.range_i64(self.start, self.end - 1)
+    }
+}
+
+impl RandRange for std::ops::RangeInclusive<i64> {
+    type Output = i64;
+    fn sample(self, rng: &mut Rng) -> i64 {
+        rng.range_i64(*self.start(), *self.end())
+    }
+}
+
+impl RandRange for std::ops::Range<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut Rng) -> usize {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.index(self.end - self.start)
+    }
+}
+
+impl RandRange for std::ops::RangeInclusive<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut Rng) -> usize {
+        *self.start() + rng.index(*self.end() - *self.start() + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Rng::new(123);
+        let mut b = Rng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(124);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // First outputs for state seeded from SplitMix64(0), which the
+        // xoshiro authors specify as the canonical seeding procedure.
+        // Locks the implementation against accidental drift: the corpus
+        // depends on the exact stream.
+        let mut rng = Rng::new(0);
+        let first: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(first, vec![
+            11091344671253066420,
+            13793997310169335082,
+            1900383378846508768,
+            7684712102626143532,
+        ]);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::new(9);
+        for _ in 0..2000 {
+            let x = rng.gen_range(-3..=3i64);
+            assert!((-3..=3).contains(&x));
+            let y = rng.gen_range(0..7usize);
+            assert!(y < 7);
+            let z = rng.range_i64(i64::MIN, i64::MAX);
+            let _ = z;
+        }
+    }
+
+    #[test]
+    fn range_hits_every_value() {
+        let mut rng = Rng::new(5);
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            seen[rng.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Rng::new(1);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let heads = (0..4000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((1600..2400).contains(&heads), "biased coin: {heads}/4000");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::new(77);
+        let mut xs: Vec<usize> = (0..20).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        let p = rng.permutation(8);
+        let mut q = p.clone();
+        q.sort_unstable();
+        assert_eq!(q, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn derive_seed_is_index_sensitive() {
+        let s = 42;
+        let a = derive_seed(s, 0);
+        let b = derive_seed(s, 1);
+        assert_ne!(a, b);
+        assert_eq!(derive_seed(s, 0), a);
+    }
+}

@@ -1,0 +1,227 @@
+//! A lightweight wall-clock timing harness replacing `criterion`.
+//!
+//! Each bench target (`harness = false`) builds a [`Runner`], registers
+//! benchmarks with [`Runner::bench`], and calls [`Runner::finish`].
+//! Two modes, selected the same way criterion selects them:
+//!
+//! * **`cargo bench`** passes `--bench` to the binary → full
+//!   measurement: warm-up, iteration-count calibration to a target
+//!   sample time, several samples, min/median/mean report.
+//! * **`cargo test`** runs the binary with no `--bench` flag → smoke
+//!   mode: every benchmark body executes exactly once, so the tier-1
+//!   suite verifies the benches still *work* without paying for
+//!   measurement.
+//!
+//! Any non-flag command-line argument filters benchmarks by substring,
+//! as `cargo bench <filter>` does.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement of one benchmark.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Benchmark name (slash-separated groups by convention).
+    pub name: String,
+    /// Iterations per sample.
+    pub iters: u64,
+    /// Per-iteration time of the fastest sample.
+    pub min: Duration,
+    /// Per-iteration time of the median sample.
+    pub median: Duration,
+    /// Per-iteration mean over all samples.
+    pub mean: Duration,
+}
+
+/// Collects and reports benchmarks; see the module docs.
+pub struct Runner {
+    filter: Option<String>,
+    measure: bool,
+    target_sample: Duration,
+    samples_per_bench: u32,
+    results: Vec<Sample>,
+    ran: usize,
+    skipped: usize,
+}
+
+impl Default for Runner {
+    fn default() -> Runner {
+        Runner::from_args(std::env::args().skip(1))
+    }
+}
+
+impl Runner {
+    /// Builds a runner from an iterator of command-line arguments
+    /// (without the program name).
+    pub fn from_args(args: impl Iterator<Item = String>) -> Runner {
+        let mut measure = false;
+        let mut filter = None;
+        for a in args {
+            match a.as_str() {
+                "--bench" => measure = true,
+                // cargo/libtest compatibility flags we accept and ignore.
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Runner {
+            filter,
+            measure,
+            target_sample: Duration::from_millis(25),
+            samples_per_bench: 7,
+            results: Vec::new(),
+            ran: 0,
+            skipped: 0,
+        }
+    }
+
+    /// Whether the runner is in full measurement mode (`--bench`).
+    pub fn measuring(&self) -> bool {
+        self.measure
+    }
+
+    /// Registers and runs one benchmark.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                self.skipped += 1;
+                return;
+            }
+        }
+        self.ran += 1;
+        if !self.measure {
+            // Smoke mode: execute once so `cargo test` catches rot.
+            black_box(f());
+            return;
+        }
+        // Warm-up + calibration: find an iteration count whose sample
+        // takes roughly `target_sample`.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= self.target_sample || iters >= 1 << 24 {
+                break;
+            }
+            let scale = if elapsed.is_zero() {
+                16
+            } else {
+                (self.target_sample.as_nanos() / elapsed.as_nanos().max(1)).clamp(2, 16) as u64
+            };
+            iters = iters.saturating_mul(scale);
+        }
+        let mut per_iter: Vec<Duration> = (0..self.samples_per_bench)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t.elapsed() / iters as u32
+            })
+            .collect();
+        per_iter.sort_unstable();
+        let mean = per_iter.iter().sum::<Duration>() / per_iter.len() as u32;
+        self.results.push(Sample {
+            name: name.to_string(),
+            iters,
+            min: per_iter[0],
+            median: per_iter[per_iter.len() / 2],
+            mean,
+        });
+    }
+
+    /// Prints the report and returns the collected samples.
+    pub fn finish(self) -> Vec<Sample> {
+        if !self.measure {
+            println!(
+                "irlt-harness bench smoke: {} benchmark(s) executed once, {} filtered out",
+                self.ran, self.skipped
+            );
+            return self.results;
+        }
+        let width = self.results.iter().map(|s| s.name.len()).max().unwrap_or(4).max(4);
+        println!("{:width$}  {:>12}  {:>12}  {:>12}  {:>10}", "name", "min", "median", "mean", "iters");
+        for s in &self.results {
+            println!(
+                "{:width$}  {:>12}  {:>12}  {:>12}  {:>10}",
+                s.name,
+                fmt_duration(s.min),
+                fmt_duration(s.median),
+                fmt_duration(s.mean),
+                s.iters,
+            );
+        }
+        self.results
+    }
+}
+
+/// Human-scaled duration formatting (ns / µs / ms / s).
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_each_bench_once() {
+        let mut runner = Runner::from_args(std::iter::empty());
+        let mut count = 0;
+        runner.bench("smoke/a", || count += 1);
+        runner.bench("smoke/b", || count += 1);
+        assert_eq!(count, 2);
+        assert!(!runner.measuring());
+        assert!(runner.finish().is_empty());
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut runner = Runner::from_args(["alpha".to_string()].into_iter());
+        let mut hits = Vec::new();
+        runner.bench("group/alpha", || hits.push("alpha"));
+        runner.bench("group/beta", || hits.push("beta"));
+        assert_eq!(hits, vec!["alpha"]);
+    }
+
+    #[test]
+    fn measurement_mode_produces_samples() {
+        let mut runner = Runner::from_args(["--bench".to_string()].into_iter());
+        runner.target_sample = Duration::from_micros(200);
+        runner.samples_per_bench = 3;
+        runner.bench("measure/busy", || {
+            let mut acc = 0u64;
+            for k in 0..100u64 {
+                acc = acc.wrapping_add(black_box(k * k));
+            }
+            acc
+        });
+        let samples = runner.finish();
+        assert_eq!(samples.len(), 1);
+        assert!(samples[0].iters >= 1);
+        assert!(samples[0].min <= samples[0].median);
+        assert!(samples[0].median.as_nanos() > 0);
+        assert!(!fmt_duration(samples[0].mean).is_empty());
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5 ns");
+        assert!(fmt_duration(Duration::from_micros(5)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(5)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(5)).contains(" s"));
+    }
+}

@@ -3,7 +3,8 @@
 //! interpreter running the *original* nest. This closes the last gap
 //! between the framework and a real compiler pipeline.
 //!
-//! Skipped silently when no `cc` is available.
+//! Skipped — with a notice on the test runner's real stderr, visible
+//! even under `cargo test -q` — when no `cc` is on `PATH`.
 
 use irlt::prelude::*;
 use irlt::ir::{c_prelude, emit_c, CEmitOptions};
@@ -16,6 +17,19 @@ fn have_cc() -> bool {
         .output()
         .map(|o| o.status.success())
         .unwrap_or(false)
+}
+
+/// Prints a skip notice that bypasses libtest's output capture: the
+/// `eprintln!` macro goes through the captured thread-local stream and
+/// is swallowed for passing tests, but writing to the raw stderr handle
+/// is not, so the skip stays visible in `cargo test -q` output.
+fn skip_notice(test: &str) {
+    let mut err = std::io::stderr().lock();
+    let _ = writeln!(
+        err,
+        "warning: SKIPPED {test}: no C compiler (`cc`) on PATH — \
+         native differential check not run"
+    );
 }
 
 /// Builds a complete C program around an emitted nest: a flat backing
@@ -99,7 +113,7 @@ fn run_c(src: &str, tag: &str) -> Vec<i64> {
 #[test]
 fn transformed_c_matches_original_c() {
     if !have_cc() {
-        eprintln!("skipping: no C compiler");
+        skip_notice("transformed_c_matches_original_c");
         return;
     }
     let nest = parse_nest(
@@ -141,7 +155,7 @@ fn transformed_c_matches_original_c() {
 #[test]
 fn c_floor_division_matches_interpreter() {
     if !have_cc() {
-        eprintln!("skipping: no C compiler");
+        skip_notice("c_floor_division_matches_interpreter");
         return;
     }
     let nest = parse_nest("do i = 1, 12\n do j = 1, 5\n  a(i, j) = i * 10 + j\n enddo\nenddo")

@@ -1,0 +1,6 @@
+for (long jj = 4; jj <= 2 * n - 2; jj += 1) {
+  for (long i = MAX2(2, jj - n + 1); i <= MIN2(n - 1, jj - 2); i += 1) {
+    long j = jj - i;
+    A_a(i, j) = FDIV(A_a(i, j) + A_a(i - 1, j) + A_a(i, j - 1) + A_a(i + 1, j) + A_a(i, j + 1), 5);
+  }
+}

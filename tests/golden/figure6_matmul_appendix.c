@@ -1,0 +1,14 @@
+#pragma omp parallel for
+for (long jic = 0; jic <= (FDIV(n - 1, 4) + 1) * (FDIV(n - 1, 4) + 1) - 1; jic += 1) {
+  for (long kk = 1; kk <= n; kk += 4) {
+    for (long j = 4 * FDIV(jic, FDIV(n - 1, 4) + 1) + 1; j <= MIN2(n, 4 * FDIV(jic, FDIV(n - 1, 4) + 1) + 4); j += 1) {
+      for (long k = kk; k <= MIN2(n, kk + 3); k += 1) {
+        for (long i = 4 * FMOD(jic, FDIV(n - 1, 4) + 1) + 1; i <= MIN2(n, 4 * FMOD(jic, FDIV(n - 1, 4) + 1) + 4); i += 1) {
+          long jj = 4 * FDIV(jic, FDIV(n - 1, 4) + 1) + 1;
+          long ii = 4 * FMOD(jic, FDIV(n - 1, 4) + 1) + 1;
+          A_A(i, j) = A_A(i, j) + A_B(i, k) * A_C(k, j);
+        }
+      }
+    }
+  }
+}

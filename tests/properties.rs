@@ -1,357 +1,330 @@
-//! Property-based tests (proptest) over randomly generated nests,
+//! Property-based tests (irlt-harness) over randomly generated nests,
 //! expressions, and transformation sequences.
 //!
-//! The headline property is the framework's whole contract: **any sequence
-//! the legality test accepts produces an executably equivalent nest**,
-//! under every exercised `pardo` order.
+//! The headline property is the framework's whole contract: **any
+//! sequence the legality test accepts produces an executably equivalent
+//! nest**, under every exercised `pardo` order. It runs through the
+//! harness's differential equivalence fuzzer with ≥ 200 cases in the
+//! default test run; failing seeds persist to `tests/corpus/` and are
+//! replayed before any novel case on later runs.
 
 use irlt::prelude::*;
-use proptest::prelude::*;
+use irlt_harness::gen::{gen_nest, gen_sequence, gen_unimodular};
+use irlt_harness::prop::{check, CaseResult, Config};
+use irlt_harness::{diff, prop_assert, prop_assert_eq, prop_assume};
 
-// ---------------------------------------------------------------------
-// Generators
-// ---------------------------------------------------------------------
+/// THE framework contract: legal ⇒ equivalent execution. The fuzzer
+/// panics with a shrunk counterexample and replay seed on violation.
+#[test]
+fn legal_sequences_execute_equivalently() {
+    let report = diff::run(&Config::with_cases(256));
+    // The ≥200-case floor binds the *default* run; an explicit
+    // IRLT_FUZZ_CASES override (e.g. a quick dev iteration at 10 cases)
+    // is an intentional choice and may go below it.
+    if std::env::var_os("IRLT_FUZZ_CASES").is_none() {
+        assert!(report.cases >= 200, "differential fuzzer under-ran: {report}");
+        // Statistical, so only meaningful at full size: a tiny overridden
+        // run can legitimately draw mostly-illegal sequences.
+        assert!(
+            report.legal * 10 >= report.cases,
+            "legality test suspiciously strict (<10% legal): {report}"
+        );
+    }
+    eprintln!("differential fuzzer: {report}");
+}
 
-/// A random affine subscript over the first `depth` index names:
-/// `c0·x0 + c1·x1 + offset` with small coefficients.
-fn subscript_strategy(depth: usize) -> impl Strategy<Value = Expr> {
-    let names: Vec<Symbol> = index_names(depth);
-    (
-        proptest::collection::vec(-1..=2i64, depth),
-        -2..=3i64,
-    )
-        .prop_map(move |(coeffs, offset)| {
-            let mut e = Expr::int(offset);
-            for (k, c) in coeffs.iter().enumerate() {
-                e = Expr::add(e, Expr::mul(Expr::int(*c), Expr::var(names[k].clone())));
+/// Simplification preserves value.
+#[test]
+fn simplify_preserves_value() {
+    check(
+        "simplify_preserves_value",
+        &Config::default(),
+        |rng| {
+            let coeffs: Vec<i64> = (0..6).map(|_| rng.gen_range(-3..=3i64)).collect();
+            let env: Vec<i64> = (0..3).map(|_| rng.gen_range(-10..=10i64)).collect();
+            (coeffs, env)
+        },
+        |_| Vec::new(),
+        |(coeffs, env)| {
+            let vars = ["x", "y", "z"];
+            // Build a messy expression: Σ c2k·v_k + c(2k+1)·(v_k − 1) …
+            let mut e = Expr::int(coeffs[0]);
+            for k in 0..3 {
+                e = Expr::sub(e, Expr::mul(Expr::int(coeffs[k]), Expr::var(vars[k])));
+                e = Expr::add(
+                    e,
+                    Expr::mul(
+                        Expr::int(coeffs[k + 3]),
+                        Expr::sub(Expr::var(vars[k]), Expr::int(1)),
+                    ),
+                );
             }
-            e
-        })
-}
-
-fn index_names(depth: usize) -> Vec<Symbol> {
-    ["i", "j", "k"][..depth].iter().copied().map(Symbol::new).collect()
-}
-
-/// A random nest of the given depth: small constant extents, steps drawn
-/// from {−2, −1, 1, 2} (descending loops swap their start/end), an
-/// occasional triangular inner bound, and one read-modify-write statement
-/// on a shared array.
-fn nest_strategy(depth: usize) -> impl Strategy<Value = LoopNest> {
-    let names = index_names(depth);
-    (
-        proptest::collection::vec((3..=6i64, prop_oneof![Just(-2i64), Just(-1), Just(1), Just(2)]), depth),
-        any::<bool>(),
-        subscript_strategy(depth),
-        subscript_strategy(depth),
-        subscript_strategy(depth),
-    )
-        .prop_map(move |(shapes, triangular, w, r1, r2)| {
-            let loops: Vec<Loop> = names
-                .iter()
-                .enumerate()
-                .zip(&shapes)
-                .map(|((lvl, v), &(extent, step))| {
-                    // Triangular variant: the innermost ascending unit loop
-                    // may use the outermost index as its upper bound.
-                    let upper: Expr = if triangular && lvl == depth - 1 && depth >= 2 && step == 1
-                    {
-                        Expr::var(names[0].clone())
-                    } else {
-                        Expr::int(extent)
-                    };
-                    if step > 0 {
-                        Loop::new(v.clone(), Expr::int(1), upper).with_step(Expr::int(step))
-                    } else {
-                        // Descending: start at the extent, end at 1.
-                        Loop::new(v.clone(), Expr::int(extent), Expr::int(1))
-                            .with_step(Expr::int(step))
-                    }
-                })
-                .collect();
-            let body = vec![Stmt::array(
-                "A",
-                vec![w],
-                Expr::read("A", vec![r1]) + Expr::read("B", vec![r2]),
-            )];
-            LoopNest::new(loops, body)
-        })
-}
-
-/// One random template instantiation for a nest of size `n`.
-fn template_strategy(n: usize) -> BoxedStrategy<Template> {
-    let perm = Just(()).prop_perturb(move |(), mut rng| {
-        let mut p: Vec<usize> = (0..n).collect();
-        for i in (1..n).rev() {
-            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
-            p.swap(i, j);
-        }
-        p
-    });
-    let rev = proptest::collection::vec(any::<bool>(), n);
-    let rp = (rev, perm).prop_map(|(rev, perm)| {
-        Template::reverse_permute(rev, perm).expect("valid by construction")
-    });
-    let par = proptest::collection::vec(any::<bool>(), n)
-        .prop_map(Template::parallelize);
-    let range = move || (0..n, 0..n).prop_map(|(a, b)| (a.min(b), a.max(b)));
-    let block = (range(), 2..=4i64).prop_map(move |((i, j), b)| {
-        Template::block(n, i, j, vec![Expr::int(b); j - i + 1]).expect("valid range")
-    });
-    let coalesce = range().prop_map(move |(i, j)| {
-        Template::coalesce(n, i, j).expect("valid range")
-    });
-    let inter = (range(), 2..=3i64).prop_map(move |((i, j), f)| {
-        Template::interleave(n, i, j, vec![Expr::int(f); j - i + 1]).expect("valid range")
-    });
-    let uni = proptest::collection::vec((0..3u8, 0..n, 0..n, -2..=2i64), 1..=2).prop_map(
-        move |gens| {
-            let mut m = IntMatrix::identity(n);
-            for (kind, a, b, f) in gens {
-                let g = match kind {
-                    0 => IntMatrix::interchange(n, a, b),
-                    1 => IntMatrix::reversal(n, a),
-                    _ if a != b => IntMatrix::skew(n, a, b, f),
-                    _ => IntMatrix::identity(n),
-                };
-                m = g.mul(&m);
-            }
-            Template::unimodular(m).expect("generator products are unimodular")
+            let lookup = |s: &Symbol| vars.iter().position(|v| s == v).map(|p| env[p]);
+            let nf = |_: &Symbol, _: &[i64]| None;
+            let before = e.eval_scalar(&lookup, &nf).unwrap();
+            let after = e.simplify().eval_scalar(&lookup, &nf).unwrap();
+            prop_assert_eq!(before, after);
+            CaseResult::Pass
         },
     );
-    prop_oneof![rp, par, block, coalesce, inter, uni].boxed()
 }
 
-/// A random sequence of 1–3 templates chained on the evolving nest size.
-fn sequence_strategy(n: usize) -> impl Strategy<Value = TransformSeq> {
-    template_strategy(n)
-        .prop_flat_map(move |t1| {
-            let n1 = t1.output_size();
-            (Just(t1), proptest::option::of(template_strategy(n1)))
-        })
-        .prop_flat_map(move |(t1, t2)| {
-            let n2 = t2.as_ref().map_or(t1.output_size(), Template::output_size);
-            (Just(t1), Just(t2), proptest::option::of(template_strategy(n2)))
-        })
-        .prop_map(move |(t1, t2, t3)| {
-            let mut seq = TransformSeq::new(n).push(t1).expect("chained");
-            if let Some(t) = t2 {
-                seq = seq.push(t).expect("chained");
-            }
-            if let Some(t) = t3 {
-                seq = seq.push(t).expect("chained");
-            }
-            seq
-        })
+/// Pretty-print → parse is the identity on generated nests.
+#[test]
+fn pretty_parse_roundtrip() {
+    check(
+        "pretty_parse_roundtrip",
+        &Config::default(),
+        |rng| {
+            let depth = rng.gen_range(1..=3usize);
+            gen_nest(rng, depth)
+        },
+        |_| Vec::new(),
+        |nest| {
+            let printed = nest.to_string();
+            let reparsed = parse_nest(&printed).expect("printed nests reparse");
+            prop_assert_eq!(nest, &reparsed);
+            prop_assert_eq!(printed, reparsed.to_string());
+            CaseResult::Pass
+        },
+    );
 }
 
-// ---------------------------------------------------------------------
-// Properties
-// ---------------------------------------------------------------------
+/// Fusing a sequence never changes how *distance* vectors map.
+#[test]
+fn fusion_preserves_distance_mapping() {
+    check(
+        "fusion_preserves_distance_mapping",
+        &Config::default(),
+        |rng| {
+            let d: Vec<i64> = (0..2).map(|_| rng.gen_range(-3..=3i64)).collect();
+            let skew = rng.gen_range(-2..=2i64);
+            (d, skew)
+        },
+        |_| Vec::new(),
+        |(d, skew)| {
+            let seq = TransformSeq::new(2)
+                .unimodular(IntMatrix::skew(2, 0, 1, *skew))
+                .unwrap()
+                .unimodular(IntMatrix::interchange(2, 0, 1))
+                .unwrap()
+                .unimodular(IntMatrix::reversal(2, 1))
+                .unwrap();
+            let fused = seq.fuse();
+            prop_assert_eq!(fused.len(), 1);
+            let input = DepSet::from_vectors(vec![DepVector::distances(d)]).unwrap();
+            prop_assert_eq!(seq.map_deps(&input), fused.map_deps(&input));
+            CaseResult::Pass
+        },
+    );
+}
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
-
-    /// THE framework contract: legal ⇒ equivalent execution.
-    #[test]
-    fn legal_sequences_execute_equivalently(
-        (nest, seq) in (2usize..=3)
-            .prop_flat_map(|d| (nest_strategy(d), sequence_strategy(d))),
-        seed in 0u64..1000,
-    ) {
-        let deps = analyze_dependences(&nest);
-        if seq.is_legal(&nest, &deps).is_legal() {
-            let out = seq.apply(&nest).expect("legal sequences must generate code");
-            let r = check_equivalence(&nest, &out, &[], seed).expect("executable");
+/// Unimodular dependence mapping is sound on sampled tuples: if
+/// `t ∈ Tuples(d)` then `M·t ∈ Tuples(M(d))`.
+#[test]
+fn unimodular_depmap_soundness() {
+    use irlt::dependence::{DepElem, Dir};
+    let palette = [
+        DepElem::Dist(-1),
+        DepElem::ZERO,
+        DepElem::Dist(2),
+        DepElem::POS,
+        DepElem::NEG,
+        DepElem::Dir(Dir::NonNeg),
+        DepElem::Dir(Dir::NonPos),
+        DepElem::Dir(Dir::NonZero),
+        DepElem::ANY,
+    ];
+    check(
+        "unimodular_depmap_soundness",
+        &Config::default(),
+        |rng| {
+            let elems: Vec<usize> = (0..3).map(|_| rng.gen_range(0..9usize)).collect();
+            let tuple: Vec<i64> = (0..3).map(|_| rng.gen_range(-3..=3i64)).collect();
+            let skew = rng.gen_range(-2..=2i64);
+            let swap = rng.gen_range(0..3usize);
+            (elems, tuple, skew, swap)
+        },
+        |_| Vec::new(),
+        |(elems, tuple, skew, swap)| {
+            let d = DepVector::new(elems.iter().map(|&k| palette[k]).collect());
+            prop_assume!(d.contains_tuple(tuple));
+            let m = IntMatrix::skew(3, 0, 2, *skew)
+                .mul(&IntMatrix::interchange(3, *swap, (*swap + 1) % 3));
+            let mapped = irlt::unimodular::map_dep_vector(&m, &d);
+            let mt = m.mul_vec(tuple);
             prop_assert!(
-                r.is_equivalent(),
-                "legal but inequivalent:\nseq = {seq}\noriginal:\n{nest}\ntransformed:\n{out}\n{r}"
+                mapped.iter().any(|v| v.contains_tuple(&mt)),
+                "lost {tuple:?} -> {mt:?} through {m}"
             );
-            prop_assert_eq!(r.original_iterations, r.transformed_iterations);
-        }
-    }
+            CaseResult::Pass
+        },
+    );
+}
 
-    /// Simplification preserves value.
-    #[test]
-    fn simplify_preserves_value(
-        coeffs in proptest::collection::vec(-3..=3i64, 6),
-        env in proptest::collection::vec(-10..=10i64, 3),
-    ) {
-        let vars = ["x", "y", "z"];
-        // Build a messy expression: Σ c2k·v_k + c(2k+1)·(v_k − 1) …
-        let mut e = Expr::int(coeffs[0]);
-        for k in 0..3 {
-            e = Expr::sub(e, Expr::mul(Expr::int(coeffs[k]), Expr::var(vars[k])));
-            e = Expr::add(
-                e,
-                Expr::mul(
-                    Expr::int(coeffs[k + 3]),
-                    Expr::sub(Expr::var(vars[k]), Expr::int(1)),
-                ),
-            );
-        }
-        let lookup = |s: &Symbol| vars.iter().position(|v| s == v).map(|p| env[p]);
-        let nf = |_: &Symbol, _: &[i64]| None;
-        let before = e.eval_scalar(&lookup, &nf).unwrap();
-        let after = e.simplify().eval_scalar(&lookup, &nf).unwrap();
-        prop_assert_eq!(before, after);
-    }
+/// Random unimodular products stay unimodular and invert exactly.
+#[test]
+fn unimodular_products_invert() {
+    check(
+        "unimodular_products_invert",
+        &Config::default(),
+        |rng| gen_unimodular(rng, 4, 5),
+        |_| Vec::new(),
+        |m| {
+            prop_assert!(m.is_unimodular());
+            let inv = m.inverse().expect("unimodular inverts");
+            prop_assert_eq!(m.mul(&inv), IntMatrix::identity(4));
+            CaseResult::Pass
+        },
+    );
+}
 
-    /// Pretty-print → parse is the identity on generated nests.
-    #[test]
-    fn pretty_parse_roundtrip(nest in (1usize..=3).prop_flat_map(nest_strategy)) {
-        let printed = nest.to_string();
-        let reparsed = parse_nest(&printed).expect("printed nests reparse");
-        prop_assert_eq!(&nest, &reparsed);
-        prop_assert_eq!(printed, reparsed.to_string());
-    }
+/// `DepElem::merge` is a least upper bound on sampled values, and
+/// `reverse` is a set-level involution.
+#[test]
+fn dep_elem_lattice_laws() {
+    use irlt::dependence::{DepElem, Dir};
+    let palette = [
+        DepElem::Dist(-1),
+        DepElem::ZERO,
+        DepElem::Dist(2),
+        DepElem::POS,
+        DepElem::NEG,
+        DepElem::Dir(Dir::NonNeg),
+        DepElem::Dir(Dir::NonPos),
+        DepElem::Dir(Dir::NonZero),
+        DepElem::ANY,
+    ];
+    check(
+        "dep_elem_lattice_laws",
+        &Config::default(),
+        |rng| {
+            (rng.gen_range(0..9usize), rng.gen_range(0..9usize), rng.gen_range(-5..=5i64))
+        },
+        |_| Vec::new(),
+        |&(a, b, x)| {
+            let (ea, eb) = (palette[a], palette[b]);
+            let m = ea.merge(eb);
+            prop_assert!(!(ea.contains(x) || eb.contains(x)) || m.contains(x));
+            prop_assert_eq!(ea.reverse().contains(x), ea.contains(-x));
+            prop_assert_eq!(ea.reverse().reverse(), ea);
+            CaseResult::Pass
+        },
+    );
+}
 
-    /// Fusing a sequence never changes how *distance* vectors map.
-    #[test]
-    fn fusion_preserves_distance_mapping(
-        d in proptest::collection::vec(-3..=3i64, 2),
-        skew in -2..=2i64,
-    ) {
-        let seq = TransformSeq::new(2)
-            .unimodular(IntMatrix::skew(2, 0, 1, skew)).unwrap()
-            .unimodular(IntMatrix::interchange(2, 0, 1)).unwrap()
-            .unimodular(IntMatrix::reversal(2, 1)).unwrap();
-        let fused = seq.fuse();
-        prop_assert_eq!(fused.len(), 1);
-        let input = DepSet::from_vectors(vec![DepVector::distances(&d)]).unwrap();
-        prop_assert_eq!(seq.map_deps(&input), fused.map_deps(&input));
-    }
+/// The parser is total: arbitrary input returns a Result (never
+/// panics), and error positions are within the input.
+#[test]
+fn parser_never_panics() {
+    check(
+        "parser_never_panics",
+        &Config::default(),
+        |rng| {
+            // Printable ASCII + newlines, 0–200 chars.
+            let len = rng.gen_range(0..=200usize);
+            (0..len)
+                .map(|_| {
+                    if rng.gen_bool(0.05) {
+                        '\n'
+                    } else {
+                        char::from(rng.gen_range(0x20..=0x7ei64) as u8)
+                    }
+                })
+                .collect::<String>()
+        },
+        |input| {
+            // Shrink by halving the string.
+            let mut c = Vec::new();
+            if input.len() > 1 {
+                c.push(input[..input.len() / 2].to_string());
+                c.push(input[input.len() / 2..].to_string());
+            }
+            c
+        },
+        |input| {
+            match parse_nest(input) {
+                Ok(nest) => {
+                    // Anything accepted must round-trip.
+                    let printed = nest.to_string();
+                    prop_assert_eq!(parse_nest(&printed).unwrap(), nest);
+                }
+                Err(e) => {
+                    prop_assert!(e.line >= 1, "error line {} out of range", e.line);
+                }
+            }
+            let _ = parse_expr(input);
+            CaseResult::Pass
+        },
+    );
+}
 
-    /// Unimodular dependence mapping is sound on sampled tuples: if
-    /// `t ∈ Tuples(d)` then `M·t ∈ Tuples(M(d))`.
-    #[test]
-    fn unimodular_depmap_soundness(
-        elems in proptest::collection::vec(0usize..9, 3),
-        tuple in proptest::collection::vec(-3..=3i64, 3),
-        skew in -2..=2i64,
-        swap in 0usize..3,
-    ) {
-        use irlt::dependence::{DepElem, Dir};
-        let palette = [
-            DepElem::Dist(-1), DepElem::ZERO, DepElem::Dist(2),
-            DepElem::POS, DepElem::NEG,
-            DepElem::Dir(Dir::NonNeg), DepElem::Dir(Dir::NonPos),
-            DepElem::Dir(Dir::NonZero), DepElem::ANY,
-        ];
-        let d = DepVector::new(elems.iter().map(|&k| palette[k]).collect());
-        prop_assume!(d.contains_tuple(&tuple));
-        let m = IntMatrix::skew(3, 0, 2, skew)
-            .mul(&IntMatrix::interchange(3, swap, (swap + 1) % 3));
-        let mapped = irlt::unimodular::map_dep_vector(&m, &d);
-        let mt = m.mul_vec(&tuple);
-        prop_assert!(
-            mapped.iter().any(|v| v.contains_tuple(&mt)),
-            "lost {tuple:?} -> {mt:?} through {m}"
-        );
-    }
+/// Script serialization round-trips every generated sequence.
+#[test]
+fn script_roundtrip() {
+    check(
+        "script_roundtrip",
+        &Config::default(),
+        |rng| {
+            let n = rng.gen_range(1..=3usize);
+            gen_sequence(rng, n)
+        },
+        |_| Vec::new(),
+        |seq| {
+            let script = seq.to_script().expect("builtin sequences serialize");
+            let back = TransformSeq::from_script(&script).expect("scripts reparse");
+            prop_assert_eq!(back.to_script().unwrap(), script);
+            prop_assert_eq!(back.len(), seq.len());
+            prop_assert_eq!(back.output_size(), seq.output_size());
+            // Same dependence behaviour.
+            let deps = DepSet::from_distances(&[&vec![1; seq.input_size()][..]]);
+            prop_assert_eq!(seq.map_deps(&deps), back.map_deps(&deps));
+            CaseResult::Pass
+        },
+    );
+}
 
-    /// Random unimodular products stay unimodular and invert exactly.
-    #[test]
-    fn unimodular_products_invert(
-        gens in proptest::collection::vec((0..3u8, 0..4usize, 0..4usize, -3..=3i64), 1..5),
-    ) {
-        let n = 4;
-        let mut m = IntMatrix::identity(n);
-        for (kind, a, b, f) in gens {
-            let g = match kind {
-                0 => IntMatrix::interchange(n, a, b),
-                1 => IntMatrix::reversal(n, a),
-                _ if a != b => IntMatrix::skew(n, a, b, f),
-                _ => IntMatrix::identity(n),
+/// The coalesce decode expressions enumerate the original space
+/// exactly, for arbitrary (small) bounds and steps.
+#[test]
+fn coalesce_decode_bijection() {
+    check(
+        "coalesce_decode_bijection",
+        &Config::default(),
+        |rng| {
+            let mut dims = || {
+                (rng.gen_range(-3..=3i64), rng.gen_range(1..=4i64), rng.gen_range(1..=3i64))
             };
-            m = g.mul(&m);
-        }
-        prop_assert!(m.is_unimodular());
-        let inv = m.inverse().expect("unimodular inverts");
-        prop_assert_eq!(m.mul(&inv), IntMatrix::identity(n));
-    }
-
-    /// `DepElem::merge` is a least upper bound on sampled values, and
-    /// `reverse` is a set-level involution.
-    #[test]
-    fn dep_elem_lattice_laws(a in 0usize..9, b in 0usize..9, x in -5..=5i64) {
-        use irlt::dependence::{DepElem, Dir};
-        let palette = [
-            DepElem::Dist(-1), DepElem::ZERO, DepElem::Dist(2),
-            DepElem::POS, DepElem::NEG,
-            DepElem::Dir(Dir::NonNeg), DepElem::Dir(Dir::NonPos),
-            DepElem::Dir(Dir::NonZero), DepElem::ANY,
-        ];
-        let (ea, eb) = (palette[a], palette[b]);
-        let m = ea.merge(eb);
-        prop_assert!(!(ea.contains(x) || eb.contains(x)) || m.contains(x));
-        prop_assert_eq!(ea.reverse().contains(x), ea.contains(-x));
-        prop_assert_eq!(ea.reverse().reverse(), ea);
-    }
-
-    /// The parser is total: arbitrary input returns a Result (never
-    /// panics), and error positions are within the input.
-    #[test]
-    fn parser_never_panics(input in "[ -~\\n]{0,200}") {
-        match parse_nest(&input) {
-            Ok(nest) => {
-                // Anything accepted must round-trip.
-                let printed = nest.to_string();
-                prop_assert_eq!(parse_nest(&printed).unwrap(), nest);
+            (dims(), dims())
+        },
+        |_| Vec::new(),
+        |&((lo1, trip1, s1), (lo2, trip2, s2))| {
+            let u1 = lo1 + s1 * (trip1 - 1);
+            let u2 = lo2 + s2 * (trip2 - 1);
+            let nest = LoopNest::new(
+                vec![
+                    Loop::new("i", Expr::int(lo1), Expr::int(u1)).with_step(Expr::int(s1)),
+                    Loop::new("j", Expr::int(lo2), Expr::int(u2)).with_step(Expr::int(s2)),
+                ],
+                vec![Stmt::array("A", vec![Expr::var("i"), Expr::var("j")], Expr::int(1))],
+            );
+            let t = Template::coalesce(2, 0, 1).unwrap();
+            let out = t.apply_to(&nest).unwrap();
+            let total = out.level(0).upper.as_const().unwrap() + 1;
+            prop_assert_eq!(total, trip1 * trip2);
+            let cvar = out.level(0).var.clone();
+            let mut seen = std::collections::BTreeSet::new();
+            for c in 0..total {
+                let env = |s: &Symbol| (s == &cvar).then_some(c);
+                let nf = |_: &Symbol, _: &[i64]| None;
+                let i = out.inits()[0].value().unwrap().eval_scalar(&env, &nf).unwrap();
+                let j = out.inits()[1].value().unwrap().eval_scalar(&env, &nf).unwrap();
+                prop_assert!(seen.insert((i, j)), "duplicate decode ({i},{j})");
+                prop_assert!((i - lo1) % s1 == 0 && (lo1..=u1).contains(&i), "i={i} off-grid");
+                prop_assert!((j - lo2) % s2 == 0 && (lo2..=u2).contains(&j), "j={j} off-grid");
             }
-            Err(e) => {
-                prop_assert!(e.line >= 1);
-            }
-        }
-        let _ = parse_expr(&input);
-    }
-
-    /// Script serialization round-trips every generated sequence.
-    #[test]
-    fn script_roundtrip(
-        seq in (1usize..=3).prop_flat_map(sequence_strategy),
-    ) {
-        let script = seq.to_script().expect("builtin sequences serialize");
-        let back = TransformSeq::from_script(&script).expect("scripts reparse");
-        prop_assert_eq!(back.to_script().unwrap(), script);
-        prop_assert_eq!(back.len(), seq.len());
-        prop_assert_eq!(back.output_size(), seq.output_size());
-        // Same dependence behaviour.
-        let deps = DepSet::from_distances(&[&vec![1; seq.input_size()][..]]);
-        prop_assert_eq!(seq.map_deps(&deps), back.map_deps(&deps));
-    }
-
-    /// The coalesce decode expressions enumerate the original space
-    /// exactly, for arbitrary (small) bounds and steps.
-    #[test]
-    fn coalesce_decode_bijection(
-        lo1 in -3..=3i64, trip1 in 1..=4i64, s1 in 1..=3i64,
-        lo2 in -3..=3i64, trip2 in 1..=4i64, s2 in 1..=3i64,
-    ) {
-        let u1 = lo1 + s1 * (trip1 - 1);
-        let u2 = lo2 + s2 * (trip2 - 1);
-        let nest = LoopNest::new(
-            vec![
-                Loop::new("i", Expr::int(lo1), Expr::int(u1)).with_step(Expr::int(s1)),
-                Loop::new("j", Expr::int(lo2), Expr::int(u2)).with_step(Expr::int(s2)),
-            ],
-            vec![Stmt::array("A", vec![Expr::var("i"), Expr::var("j")], Expr::int(1))],
-        );
-        let t = Template::coalesce(2, 0, 1).unwrap();
-        let out = t.apply_to(&nest).unwrap();
-        let total = out.level(0).upper.as_const().unwrap() + 1;
-        prop_assert_eq!(total, trip1 * trip2);
-        let cvar = out.level(0).var.clone();
-        let mut seen = std::collections::BTreeSet::new();
-        for c in 0..total {
-            let env = |s: &Symbol| (s == &cvar).then_some(c);
-            let nf = |_: &Symbol, _: &[i64]| None;
-            let i = out.inits()[0].value().unwrap().eval_scalar(&env, &nf).unwrap();
-            let j = out.inits()[1].value().unwrap().eval_scalar(&env, &nf).unwrap();
-            prop_assert!(seen.insert((i, j)), "duplicate decode ({i},{j})");
-            prop_assert!((i - lo1) % s1 == 0 && (lo1..=u1).contains(&i));
-            prop_assert!((j - lo2) % s2 == 0 && (lo2..=u2).contains(&j));
-        }
-        prop_assert_eq!(seen.len() as i64, trip1 * trip2);
-    }
+            prop_assert_eq!(seen.len() as i64, trip1 * trip2);
+            CaseResult::Pass
+        },
+    );
 }
