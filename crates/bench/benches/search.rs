@@ -1,0 +1,75 @@
+//! End-to-end beam-search throughput: the incremental legality engine
+//! (prefix-cached dependence mapping + fail-fast, §5's "arbitrary levels
+//! of search and undo" made cheap) against the from-scratch path that
+//! replays every candidate through `TransformSeq::is_legal`.
+//!
+//! Three workloads: the Fig. 1(a) stencil (wavefront discovery), the
+//! Fig. 6 matrix multiply at the deep acceptance configuration
+//! (`max_steps: 5, beam_width: 16`), and a depth-4 rectangular nest.
+//! `search/*/scratch` rows are the recorded `BENCH_3.json` baseline;
+//! `search/*/incremental` and `search/*/parallel` are the new engine,
+//! serial and with 4 workers.
+
+use irlt_bench::{matmul, rectangular, stencil};
+use irlt_dependence::analyze_dependences;
+use irlt_harness::timing::{black_box, Runner};
+use irlt_ir::LoopNest;
+use irlt_opt::{search, Goal, MoveCatalog, SearchConfig};
+
+fn engines(max_steps: usize, beam_width: usize, catalog: MoveCatalog) -> [(&'static str, SearchConfig); 3] {
+    let base = SearchConfig { max_steps, beam_width, catalog, ..SearchConfig::default() };
+    [
+        ("scratch", SearchConfig { incremental: false, prune: false, threads: 1, ..base.clone() }),
+        ("incremental", SearchConfig { incremental: true, prune: true, threads: 1, ..base.clone() }),
+        ("parallel", SearchConfig { incremental: true, prune: true, threads: 4, ..base }),
+    ]
+}
+
+fn bench_workload(
+    r: &mut Runner,
+    name: &str,
+    nest: &LoopNest,
+    goal: &Goal,
+    max_steps: usize,
+    beam_width: usize,
+    catalog: MoveCatalog,
+) {
+    let deps = analyze_dependences(nest);
+    for (engine, cfg) in engines(max_steps, beam_width, catalog) {
+        r.bench(&format!("search/{name}/{engine}"), || {
+            black_box(search(black_box(nest), black_box(&deps), goal, &cfg))
+        });
+    }
+}
+
+fn main() {
+    let mut r = Runner::default();
+    bench_workload(
+        &mut r,
+        "stencil",
+        &stencil(),
+        &Goal::OuterParallel,
+        3,
+        12,
+        MoveCatalog::parallelism(),
+    );
+    bench_workload(
+        &mut r,
+        "matmul",
+        &matmul(),
+        &Goal::OuterParallel,
+        5,
+        16,
+        MoveCatalog::default(),
+    );
+    bench_workload(
+        &mut r,
+        "rect4",
+        &rectangular(4),
+        &Goal::InnerParallel,
+        4,
+        12,
+        MoveCatalog::default(),
+    );
+    r.finish();
+}

@@ -76,13 +76,7 @@ impl Template {
     ///
     /// Panics if the set arity differs from `self.input_size()`.
     pub fn map_dep_set(&self, deps: &DepSet) -> DepSet {
-        let mut out = DepSet::new();
-        for v in deps {
-            for m in self.map_dep_vector(v) {
-                out.insert(m).expect("uniform output arity");
-            }
-        }
-        out
+        deps.map_vectors(|v| self.map_dep_vector(v))
     }
 }
 

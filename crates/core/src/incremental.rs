@@ -1,0 +1,369 @@
+//! The incremental legality engine: prefix-cached dependence mapping and
+//! shape extension.
+//!
+//! [`TransformSeq::is_legal`] replays the whole sequence — it remaps the
+//! dependence set through `t₁…t_k` and re-walks every intermediate shape.
+//! That is the right semantics for a one-shot query, but a beam search
+//! extends thousands of candidates that *share prefixes*: the parent's
+//! mapped set `D_{k−1}`, its intermediate shape, and (implicitly) the
+//! bound-type lattice state of that shape have all been computed already.
+//!
+//! [`SeqState`] caches exactly that triple. Extending a candidate by one
+//! template instantiation costs **one** precondition check, **one**
+//! bounds-mapping step, and **one** fail-fast dependence-mapping step over
+//! the cached set — O(one template) instead of O(sequence length).
+//!
+//! # Equivalence with the from-scratch test
+//!
+//! §3.2 allows *intermediate* stages of a sequence to be illegal; only the
+//! final mapped set matters. The fail-fast mapping inside
+//! [`SeqState::extend`] would wrongly reject such sequences if it were
+//! used to evaluate an arbitrary sequence in one go. It is sound here
+//! because a `SeqState` only ever holds a **legal** prefix: the parent's
+//! cached set is legal, dependence mapping composes step-wise
+//! (`D_k = t_k(D_{k−1})`), so the extension's final set is legal iff no
+//! image of the single new step can be lexicographically negative. For
+//! chains grown extension-by-extension — the search frontier — the verdict
+//! at every step equals `TransformSeq::is_legal` on the corresponding
+//! prefix (pinned by the `incremental_matches_scratch` differential
+//! property in the workspace test suite).
+//!
+//! # Subsumption pruning
+//!
+//! With [`SeqState::with_pruning`], cached sets are kept subsumption-free:
+//! a member whose tuple set is covered by another member is dropped.
+//! Pruning preserves `Tuples(D)` at the point it is applied, and it stays
+//! exact through subsequent *built-in* mapping because every Table 2 rule
+//! is monotone in value-set inclusion (if `Tuples(v) ⊆ Tuples(w)` then
+//! every image of `v` is subsumed by some image of `w` — distances embed
+//! into their sign classes, `blockmap`/`imap` rows nest the same way, and
+//! the unimodular rule is interval arithmetic, which is monotone). A
+//! user-defined [`KernelTemplate`](crate::KernelTemplate) need not be
+//! monotone, so pruning is skipped after custom steps.
+
+use crate::sequence::{IllegalReason, SequenceError, Step, TransformSeq};
+use crate::template::Template;
+use irlt_dependence::DepSet;
+use irlt_ir::LoopNest;
+use std::fmt;
+
+/// Cached legality state of one legal sequence prefix: the sequence, the
+/// shape it produces, and the dependence set mapped through it.
+///
+/// Also exported as [`LegalityCache`].
+///
+/// # Examples
+///
+/// ```
+/// use irlt_core::{SeqState, Template};
+/// use irlt_dependence::DepSet;
+/// use irlt_ir::parse_nest;
+///
+/// let nest = parse_nest(
+///     "do i = 2, n\n  do j = 1, m\n    a(i, j) = a(i - 1, j) + 1\n  enddo\nenddo",
+/// )?;
+/// let deps = DepSet::from_distances(&[&[1, 0]]);
+/// let root = SeqState::root(&nest, &deps);
+/// // j carries nothing: parallelizing it is a legal extension…
+/// let s = root.extend(Template::parallelize(vec![false, true]))?;
+/// assert_eq!(s.seq().len(), 1);
+/// assert!(s.shape().level(1).kind.is_parallel());
+/// // …while parallelizing i is rejected with the witness.
+/// assert!(root.extend(Template::parallelize(vec![true, false])).is_err());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct SeqState {
+    seq: TransformSeq,
+    shape: LoopNest,
+    mapped: DepSet,
+    prune: bool,
+}
+
+/// Alias for [`SeqState`] naming its role: the cache that lets
+/// `TransformSeq` extension reuse the parent's already-mapped set.
+pub type LegalityCache = SeqState;
+
+impl SeqState {
+    /// The root state: the identity sequence on `nest`, a body-less copy
+    /// of its shape, and `deps` unmapped.
+    ///
+    /// The root is *not* legality-checked — mirroring the search
+    /// convention that the identity transformation is always admissible.
+    pub fn root(nest: &LoopNest, deps: &DepSet) -> SeqState {
+        SeqState {
+            seq: TransformSeq::new(nest.depth()),
+            shape: LoopNest::with_inits(nest.loops().to_vec(), Vec::new(), Vec::new()),
+            mapped: deps.clone(),
+            prune: false,
+        }
+    }
+
+    /// Enables (or disables) subsumption pruning of the cached set; the
+    /// flag is inherited by every state derived through
+    /// [`SeqState::extend`]. See the module docs for why this is exact
+    /// for built-in templates and skipped after custom ones.
+    #[must_use]
+    pub fn with_pruning(mut self, on: bool) -> SeqState {
+        if on && !self.prune {
+            self.mapped = self.mapped.prune_subsumed();
+        }
+        self.prune = on;
+        self
+    }
+
+    /// The (legal-prefix) sequence accumulated so far.
+    pub fn seq(&self) -> &TransformSeq {
+        &self.seq
+    }
+
+    /// The shape the sequence produces: loops (bounds, kinds) plus the
+    /// accumulated initialization statements, with an empty body — exactly
+    /// `self.seq().apply(shape₀)` for the body-less root shape, computed
+    /// incrementally.
+    pub fn shape(&self) -> &LoopNest {
+        &self.shape
+    }
+
+    /// The dependence set mapped through the whole prefix
+    /// (`D_k = t_k(…t₁(D)…)`), possibly subsumption-pruned.
+    pub fn mapped_deps(&self) -> &DepSet {
+        &self.mapped
+    }
+
+    /// Decomposes the state into `(sequence, shape, mapped set)`.
+    pub fn into_parts(self) -> (TransformSeq, LoopNest, DepSet) {
+        (self.seq, self.shape, self.mapped)
+    }
+
+    /// Extends the prefix by one built-in template instantiation,
+    /// revalidating **only the new step**: its size chaining, its
+    /// loop-bounds preconditions on the cached shape, its bounds mapping,
+    /// and the fail-fast dependence mapping of the cached set.
+    ///
+    /// # Errors
+    ///
+    /// [`ExtendError::Sequence`] if the template does not chain (the
+    /// candidate never reaches the legality test);
+    /// [`ExtendError::Illegal`] with the same [`IllegalReason`] taxonomy
+    /// as [`TransformSeq::is_legal`] otherwise.
+    pub fn extend(&self, template: Template) -> Result<SeqState, ExtendError> {
+        self.extend_step(Step::Builtin(template))
+    }
+
+    /// Extends the prefix by one step (built-in or custom).
+    ///
+    /// # Errors
+    ///
+    /// As for [`SeqState::extend`].
+    pub fn extend_step(&self, step: Step) -> Result<SeqState, ExtendError> {
+        let k = self.seq.len();
+        let seq = match &step {
+            Step::Builtin(t) => self.seq.clone().push(t.clone()),
+            Step::Custom(c) => self.seq.clone().push_custom(c.clone()),
+        }
+        .map_err(ExtendError::Sequence)?;
+        if let Err(error) = step.check_preconditions(&self.shape) {
+            return Err(ExtendError::Illegal(IllegalReason::Precondition { step: k, error }));
+        }
+        let shape = step
+            .apply_to(&self.shape)
+            .map_err(|error| ExtendError::Illegal(IllegalReason::CodeGen { step: k, error }))?;
+        let mapped = self
+            .mapped
+            .try_map_vectors(|v| step.map_dep_vector(v))
+            .map_err(|w| ExtendError::Illegal(IllegalReason::Dependences { witnesses: vec![w] }))?;
+        let mapped = if self.prune && matches!(step, Step::Builtin(_)) {
+            mapped.prune_subsumed()
+        } else {
+            mapped
+        };
+        Ok(SeqState { seq, shape, mapped, prune: self.prune })
+    }
+}
+
+/// Why [`SeqState::extend`] rejected an extension.
+#[derive(Clone, Debug)]
+pub enum ExtendError {
+    /// The step does not chain onto the prefix (size mismatch): the
+    /// candidate never reached the legality test.
+    Sequence(SequenceError),
+    /// The extension fails the uniform legality test. For dependence
+    /// rejections the witness list holds the first offending image found
+    /// (fail-fast), not the exhaustive list `TransformSeq::is_legal`
+    /// reports.
+    Illegal(IllegalReason),
+}
+
+impl ExtendError {
+    /// True when the extension reached — and failed — the legality test.
+    pub fn is_illegal(&self) -> bool {
+        matches!(self, ExtendError::Illegal(_))
+    }
+}
+
+impl fmt::Display for ExtendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtendError::Sequence(e) => write!(f, "{e}"),
+            ExtendError::Illegal(r) => write!(f, "illegal: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for ExtendError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irlt_ir::{parse_nest, Expr};
+    use irlt_unimodular::IntMatrix;
+
+    fn stencil() -> (LoopNest, DepSet) {
+        let nest = parse_nest(
+            "do i = 2, n - 1\n do j = 2, n - 1\n  a(i, j) = a(i - 1, j) + a(i, j - 1)\n enddo\nenddo",
+        )
+        .unwrap();
+        (nest, DepSet::from_distances(&[&[1, 0], &[0, 1]]))
+    }
+
+    /// Grows a chain step by step; every verdict and every cached set must
+    /// match the from-scratch path on the corresponding prefix.
+    fn assert_chain_matches_scratch(nest: &LoopNest, deps: &DepSet, templates: Vec<Template>) {
+        let shape0 = LoopNest::with_inits(nest.loops().to_vec(), Vec::new(), Vec::new());
+        let mut state = SeqState::root(nest, deps);
+        for t in templates {
+            let scratch_seq = state.seq().clone().push(t.clone()).unwrap();
+            let scratch = scratch_seq.is_legal(nest, deps);
+            match state.extend(t) {
+                Ok(next) => {
+                    assert!(scratch.is_legal(), "incremental accepted, scratch rejected");
+                    assert_eq!(next.mapped_deps(), &scratch_seq.map_deps(deps));
+                    assert_eq!(next.shape(), &scratch_seq.apply(&shape0).unwrap());
+                    state = next;
+                }
+                Err(e) => {
+                    assert!(!scratch.is_legal(), "incremental rejected legal prefix: {e}");
+                    return;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_chain_matches_scratch() {
+        let (nest, deps) = stencil();
+        assert_chain_matches_scratch(
+            &nest,
+            &deps,
+            vec![
+                Template::unimodular(IntMatrix::skew(2, 0, 1, 1)).unwrap(),
+                Template::unimodular(IntMatrix::interchange(2, 0, 1)).unwrap(),
+                Template::parallelize(vec![false, true]),
+            ],
+        );
+    }
+
+    #[test]
+    fn block_chain_matches_scratch() {
+        let (nest, deps) = stencil();
+        assert_chain_matches_scratch(
+            &nest,
+            &deps,
+            vec![
+                Template::block(2, 0, 1, vec![Expr::int(4), Expr::int(4)]).unwrap(),
+                Template::parallelize(vec![false; 4]),
+                Template::coalesce(4, 0, 1).unwrap(),
+            ],
+        );
+    }
+
+    #[test]
+    fn illegal_extension_reports_witness() {
+        let (nest, _) = stencil();
+        let deps = DepSet::from_distances(&[&[1, -1]]);
+        let root = SeqState::root(&nest, &deps);
+        let swap = Template::reverse_permute(vec![false, false], vec![1, 0]).unwrap();
+        match root.extend(swap) {
+            Err(ExtendError::Illegal(IllegalReason::Dependences { witnesses })) => {
+                assert_eq!(witnesses.len(), 1);
+                assert!(witnesses[0].can_be_lex_negative());
+            }
+            other => panic!("expected dependence rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn size_mismatch_is_not_illegal() {
+        let (nest, deps) = stencil();
+        let root = SeqState::root(&nest, &deps);
+        let err = root.extend(Template::parallelize(vec![true; 3])).unwrap_err();
+        assert!(!err.is_illegal());
+        assert!(err.to_string().contains("3-deep"));
+    }
+
+    #[test]
+    fn precondition_rejection_reports_step_index() {
+        let nest =
+            parse_nest("do i = 1, n\n do j = 1, i\n  a(i, j) = 0\n enddo\nenddo").unwrap();
+        let root = SeqState::root(&nest, &DepSet::new());
+        let s = root.extend(Template::parallelize(vec![false, false])).unwrap();
+        let swap = Template::reverse_permute(vec![false, false], vec![1, 0]).unwrap();
+        match s.extend(swap) {
+            Err(ExtendError::Illegal(IllegalReason::Precondition { step, .. })) => {
+                assert_eq!(step, 1)
+            }
+            other => panic!("expected precondition rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pruning_preserves_verdicts_and_tuples() {
+        let (nest, _) = stencil();
+        // (1,0) dominates (1,1)-style distances once merged: build a set
+        // with redundancy.
+        let deps = DepSet::from_vectors(vec![
+            irlt_dependence::DepVector::distances(&[1, 2]),
+            irlt_dependence::DepVector::new(vec![
+                irlt_dependence::DepElem::POS,
+                irlt_dependence::DepElem::ANY,
+            ]),
+            irlt_dependence::DepVector::distances(&[0, 1]),
+        ])
+        .unwrap();
+        let plain = SeqState::root(&nest, &deps);
+        let pruned = SeqState::root(&nest, &deps).with_pruning(true);
+        assert_eq!(pruned.mapped_deps().len(), 2);
+        let swap = Template::unimodular(IntMatrix::interchange(2, 0, 1)).unwrap();
+        let skew = Template::unimodular(IntMatrix::skew(2, 0, 1, 1)).unwrap();
+        for t in [skew, swap] {
+            let a = plain.extend(t.clone());
+            let b = pruned.extend(t);
+            assert_eq!(a.is_ok(), b.is_ok());
+            if let (Ok(a), Ok(b)) = (a, b) {
+                // Same tuple set: mutual pairwise-subsumption cover.
+                for v in a.mapped_deps() {
+                    assert!(b.mapped_deps().iter().any(|w| v.subsumed_by(w)), "{v} uncovered");
+                }
+                for v in b.mapped_deps() {
+                    assert!(a.mapped_deps().iter().any(|w| v.subsumed_by(w)), "{v} uncovered");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn into_parts_roundtrip() {
+        let (nest, _) = stencil();
+        // Only the i-carried dependence: j is free to parallelize, and
+        // `parmap` leaves (1, 0) unchanged.
+        let deps = DepSet::from_distances(&[&[1, 0]]);
+        let s = SeqState::root(&nest, &deps)
+            .extend(Template::parallelize(vec![false, true]))
+            .unwrap();
+        let (seq, shape, mapped) = s.into_parts();
+        assert_eq!(seq.len(), 1);
+        assert_eq!(shape.depth(), 2);
+        assert_eq!(mapped, deps);
+    }
+}

@@ -16,6 +16,9 @@
 //!   concatenation, peephole fusion, the uniform legality test
 //!   ([`TransformSeq::is_legal`]) and uniform code generation
 //!   ([`TransformSeq::apply`]);
+//! * [`SeqState`] — the incremental legality engine: prefix-cached
+//!   dependence mapping and shape extension, so search-style candidate
+//!   extension costs O(one template) instead of a full sequence replay;
 //! * [`KernelTemplate`] — the extension trait: user templates participate
 //!   in sequences, legality, and code generation;
 //! * [`catalog`] — classical transformations (interchange, reversal,
@@ -51,6 +54,7 @@ mod bounds;
 mod codegen;
 mod explain;
 mod depmap;
+mod incremental;
 mod precond;
 mod script;
 mod sequence;
@@ -59,6 +63,7 @@ mod template;
 pub use bounds::{BoundsMatrices, MatrixEntry};
 pub use codegen::ApplyError;
 pub use depmap::{blockmap, imap, mergedirs, parmap};
+pub use incremental::{ExtendError, LegalityCache, SeqState};
 pub use precond::PrecondError;
 pub use script::ScriptError;
 pub use sequence::{

@@ -124,15 +124,15 @@ impl Step {
     pub fn map_dep_set(&self, deps: &DepSet) -> DepSet {
         match self {
             Step::Builtin(t) => t.map_dep_set(deps),
-            Step::Custom(t) => {
-                let mut out = DepSet::new();
-                for v in deps {
-                    for m in t.map_dep_vector(v) {
-                        out.insert(m).expect("uniform output arity");
-                    }
-                }
-                out
-            }
+            Step::Custom(t) => deps.map_vectors(|v| t.map_dep_vector(v)),
+        }
+    }
+
+    /// Dependence mapping for a single vector (the per-step rule).
+    pub fn map_dep_vector(&self, d: &DepVector) -> Vec<DepVector> {
+        match self {
+            Step::Builtin(t) => t.map_dep_vector(d),
+            Step::Custom(t) => t.map_dep_vector(d),
         }
     }
 

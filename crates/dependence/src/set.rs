@@ -5,9 +5,16 @@
 //! no lexicographically negative tuple* (§3.2).
 
 use crate::vector::{DepElem, DepVector, Dir};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// A set of dependence vectors for one loop nest, all of the same arity.
+///
+/// Membership is tracked by a hash index, so [`DepSet::insert`] dedups in
+/// O(1) expected time even under the `2^(j−i+1)` image fan-out of `Block`
+/// and `Interleave` mapping.
 ///
 /// # Examples
 ///
@@ -20,9 +27,35 @@ use std::fmt;
 /// ]).unwrap();
 /// assert!(d.is_legal()); // no lexicographically negative tuple
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Default)]
 pub struct DepSet {
     vectors: Vec<DepVector>,
+    /// Vector hash → indices into `vectors` (collision bucket). Exact
+    /// equality is re-verified on lookup, so a 64-bit collision can never
+    /// drop a genuinely distinct vector.
+    index: HashMap<u64, Vec<u32>>,
+}
+
+/// Equality is over the member vectors (in insertion order); the hash
+/// index is a derived acceleration structure and never observable.
+impl PartialEq for DepSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.vectors == other.vectors
+    }
+}
+
+impl Eq for DepSet {}
+
+impl fmt::Debug for DepSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DepSet").field("vectors", &self.vectors).finish()
+    }
+}
+
+fn hash_vector(v: &DepVector) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
 }
 
 impl DepSet {
@@ -66,7 +99,9 @@ impl DepSet {
                 return Err(ArityMismatch { expected: first.len(), found: v.len() });
             }
         }
-        if !self.vectors.contains(&v) {
+        let bucket = self.index.entry(hash_vector(&v)).or_default();
+        if !bucket.iter().any(|&i| self.vectors[i as usize] == v) {
+            bucket.push(u32::try_from(self.vectors.len()).expect("set size fits u32"));
             self.vectors.push(v);
         }
         Ok(())
@@ -218,16 +253,96 @@ impl DepSet {
 
     /// Removes members whose tuple set is covered by another member.
     pub fn normalize(&self) -> DepSet {
+        self.prune_subsumed()
+    }
+
+    /// Subsumption pruning: drops every member `v` whose `Tuples(v)` is
+    /// contained in another member's (e.g. `(1)` subsumed by `(+)`,
+    /// anything by `(*)`).
+    ///
+    /// Because `Tuples(D)` is a union over members, the pruned set has
+    /// exactly the same tuple set — and therefore exactly the same
+    /// [`DepSet::is_legal`] verdict — as the original. Members are
+    /// exact-duplicate-free by construction and no two distinct
+    /// [`DepElem`] representations denote the same value set, so mutual
+    /// subsumption between distinct members is impossible: dropping `v`
+    /// always leaves a strictly larger `w` behind.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use irlt_dependence::{DepElem, DepSet, DepVector};
+    ///
+    /// let d = DepSet::from_vectors(vec![
+    ///     DepVector::new(vec![DepElem::Dist(1)]),
+    ///     DepVector::new(vec![DepElem::POS]),
+    /// ]).unwrap();
+    /// assert_eq!(d.prune_subsumed().len(), 1); // (1) ⊆ (+)
+    /// ```
+    pub fn prune_subsumed(&self) -> DepSet {
         let mut out = DepSet::new();
         'outer: for (i, v) in self.vectors.iter().enumerate() {
             for (j, w) in self.vectors.iter().enumerate() {
-                if i != j && v.subsumed_by(w) && !(w.subsumed_by(v) && i < j) {
+                if i != j && v.subsumed_by(w) {
                     continue 'outer;
                 }
             }
             self_insert_infallible(&mut out, v.clone());
         }
         out
+    }
+
+    /// Maps every member through a per-vector image rule, unioning the
+    /// images with hashed dedup (the shape of every Table 2 rule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` produces images of differing arity.
+    pub fn map_vectors<F>(&self, mut f: F) -> DepSet
+    where
+        F: FnMut(&DepVector) -> Vec<DepVector>,
+    {
+        let mut out = DepSet::new();
+        for v in &self.vectors {
+            for m in f(v) {
+                out.insert(m).expect("uniform image arity");
+            }
+        }
+        out
+    }
+
+    /// Fail-fast mapping mode: like [`DepSet::map_vectors`], but
+    /// short-circuits the moment an image admits a lexicographically
+    /// negative tuple, returning that image as the witness.
+    ///
+    /// On `Ok`, the result is exactly `map_vectors(f)` and is legal. Note
+    /// the asymmetry with the framework's whole-sequence test (§3.2 allows
+    /// illegal *intermediate* stages): fail-fast is only a sound legality
+    /// test for the **final** mapping step of a sequence whose earlier
+    /// image is already known legal — which is precisely the beam-search
+    /// extension case.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first lexicographically-negative-capable image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` produces images of differing arity.
+    pub fn try_map_vectors<F>(&self, mut f: F) -> Result<DepSet, DepVector>
+    where
+        F: FnMut(&DepVector) -> Vec<DepVector>,
+    {
+        let mut out = DepSet::new();
+        for v in &self.vectors {
+            for m in f(v) {
+                if m.can_be_lex_negative() {
+                    return Err(m);
+                }
+                out.insert(m).expect("uniform image arity");
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -412,5 +527,89 @@ mod tests {
     fn display() {
         let d = DepSet::from_distances(&[&[1, -1], &[0, 1]]);
         assert_eq!(d.to_string(), "{(1, -1), (0, 1)}");
+    }
+
+    #[test]
+    fn hashed_dedup_scales_and_preserves_order() {
+        let mut d = DepSet::new();
+        for round in 0..3 {
+            for a in -8..8i64 {
+                for b in -8..8i64 {
+                    d.insert(DepVector::distances(&[a, b])).unwrap();
+                }
+            }
+            assert_eq!(d.len(), 256, "round {round}");
+        }
+        // Insertion order is preserved (first occurrence wins).
+        assert_eq!(d.vectors()[0], DepVector::distances(&[-8, -8]));
+        // Equality ignores the index structure.
+        let mut e = DepSet::new();
+        for v in d.iter() {
+            e.insert(v.clone()).unwrap();
+        }
+        assert_eq!(d, e);
+    }
+
+    #[test]
+    fn prune_subsumed_keeps_maximal_members() {
+        let d = DepSet::from_vectors(vec![
+            DepVector::new(vec![DepElem::Dist(1), DepElem::Dist(2)]),
+            DepVector::new(vec![DepElem::POS, DepElem::Dir(Dir::NonNeg)]),
+            DepVector::new(vec![DepElem::NEG, DepElem::ANY]),
+        ])
+        .unwrap();
+        let p = d.prune_subsumed();
+        assert_eq!(p.len(), 2);
+        // Tuple set unchanged over a sampled box.
+        for x in -3..=3 {
+            for y in -3..=3 {
+                assert_eq!(d.contains_tuple(&[x, y]), p.contains_tuple(&[x, y]), "({x},{y})");
+            }
+        }
+        assert_eq!(d.is_legal(), p.is_legal());
+    }
+
+    #[test]
+    fn prune_subsumed_preserves_illegal_verdict() {
+        let d = DepSet::from_vectors(vec![
+            DepVector::new(vec![DepElem::Dist(-1)]),
+            DepVector::new(vec![DepElem::NEG]),
+        ])
+        .unwrap();
+        let p = d.prune_subsumed();
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_legal());
+    }
+
+    #[test]
+    fn map_vectors_unions_images() {
+        let d = DepSet::from_distances(&[&[1], &[2]]);
+        // Every member maps to its negation and a shared (+) summary.
+        let out = d.map_vectors(|v| {
+            let neg = match v.elems()[0] {
+                DepElem::Dist(x) => DepElem::Dist(-x),
+                e => e,
+            };
+            vec![DepVector::new(vec![neg]), DepVector::new(vec![DepElem::POS])]
+        });
+        assert_eq!(out.len(), 3); // (-1), (+), (-2) — (+) deduped
+    }
+
+    #[test]
+    fn try_map_vectors_short_circuits_on_negative_image() {
+        let d = DepSet::from_distances(&[&[1], &[2], &[3]]);
+        let mut calls = 0;
+        let r = d.try_map_vectors(|v| {
+            calls += 1;
+            match v.elems()[0] {
+                DepElem::Dist(2) => vec![DepVector::new(vec![DepElem::Dist(-7)])],
+                _ => vec![v.clone()],
+            }
+        });
+        assert_eq!(r, Err(DepVector::distances(&[-7])));
+        assert_eq!(calls, 2); // (3) never mapped
+        // The all-legal path returns the full union.
+        let ok = d.try_map_vectors(|v| vec![v.clone()]).unwrap();
+        assert_eq!(ok, d);
     }
 }

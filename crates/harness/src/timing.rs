@@ -91,8 +91,12 @@ impl Runner {
         }
         self.ran += 1;
         if !self.measure {
-            // Smoke mode: execute once so `cargo test` catches rot.
+            // Smoke mode: execute once so `cargo test` catches rot, and
+            // print the one-shot wall time so CI logs still show a rough
+            // perf signal without paying for measurement.
+            let t = Instant::now();
             black_box(f());
+            println!("{name}  {} (one-shot)", fmt_duration(t.elapsed()));
             return;
         }
         // Warm-up + calibration: find an iteration count whose sample

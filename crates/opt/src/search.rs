@@ -5,13 +5,26 @@
 //! mutated; candidates are *sequences*, extended one template
 //! instantiation at a time, pruned by the uniform legality test, and
 //! scored on a body-less shape (or a trial execution, for locality goals).
+//!
+//! The inner loop runs on the incremental legality engine
+//! ([`irlt_core::SeqState`]): each frontier candidate carries its mapped
+//! dependence set and intermediate shape, so extending it by one template
+//! costs O(one template) instead of replaying the whole sequence.
+//! Frontier expansion optionally fans out across `std::thread::scope`
+//! workers; outcomes are merged in deterministic (state, move) order, so
+//! the result is bit-identical to the serial path — and to the
+//! from-scratch path (`incremental: false`), which is kept for
+//! benchmarking and differential testing.
 
 use crate::goal::Goal;
 use crate::moves::MoveCatalog;
-use irlt_core::TransformSeq;
+use irlt_core::{ExtendError, SeqState, Template, TransformSeq};
 use irlt_dependence::DepSet;
 use irlt_ir::LoopNest;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
 use std::fmt;
+use std::hash::Hasher;
 
 /// Search configuration.
 #[derive(Clone, Debug)]
@@ -22,11 +35,31 @@ pub struct SearchConfig {
     pub max_steps: usize,
     /// States kept per depth.
     pub beam_width: usize,
+    /// Worker threads for frontier expansion: `1` is fully serial, `0`
+    /// uses one worker per available core. Results are bit-identical for
+    /// every thread count (deterministic merge order).
+    pub threads: usize,
+    /// Evaluate candidates with the incremental legality engine
+    /// (prefix-cached dependence mapping + fail-fast). `false` replays
+    /// every candidate from scratch through
+    /// [`TransformSeq::is_legal`] — the pre-cache path, kept for
+    /// benchmarking and differential testing.
+    pub incremental: bool,
+    /// Subsumption-prune cached dependence sets (incremental mode only;
+    /// exact for the built-in templates the catalog generates).
+    pub prune: bool,
 }
 
 impl Default for SearchConfig {
     fn default() -> Self {
-        SearchConfig { catalog: MoveCatalog::default(), max_steps: 3, beam_width: 8 }
+        SearchConfig {
+            catalog: MoveCatalog::default(),
+            max_steps: 3,
+            beam_width: 8,
+            threads: 1,
+            incremental: true,
+            prune: true,
+        }
     }
 }
 
@@ -47,7 +80,9 @@ pub struct SearchResult {
     /// The best candidate found (always present: the empty sequence is a
     /// candidate).
     pub best: Candidate,
-    /// How many candidate sequences were legality-tested.
+    /// How many candidate sequences were legality-tested. Extensions that
+    /// fail to chain (template arity mismatch) never reach the legality
+    /// test and are not counted.
     pub explored: usize,
     /// How many of those passed the legality test.
     pub legal: usize,
@@ -61,6 +96,135 @@ impl fmt::Display for SearchResult {
             self.best.seq, self.best.score, self.explored, self.legal
         )
     }
+}
+
+/// A frontier node: the public candidate plus (in incremental mode) its
+/// cached legality state.
+#[derive(Clone, Debug)]
+struct Node {
+    cand: Candidate,
+    state: Option<SeqState>,
+}
+
+/// What happened to one `(frontier state, template)` extension.
+#[derive(Debug)]
+enum Outcome {
+    /// The template does not chain (arity mismatch): never reached the
+    /// legality test.
+    Rejected,
+    /// Reached the legality test and failed it.
+    Tested,
+    /// Legal, but unscorable (code generation or trial scoring failed).
+    LegalUnscored,
+    /// Legal and scored.
+    Legal(Node),
+}
+
+fn score_candidate(
+    seq: &TransformSeq,
+    full_shape: &LoopNest,
+    nest: &LoopNest,
+    goal: &Goal,
+) -> Option<f64> {
+    match goal {
+        // For locality goals the trial must execute the body, so score on
+        // the real transformed nest instead.
+        Goal::Locality(_) => goal.score(&seq.apply(nest).ok()?),
+        _ => goal.score(full_shape),
+    }
+}
+
+fn evaluate(
+    parent: &Node,
+    template: Template,
+    nest: &LoopNest,
+    deps: &DepSet,
+    goal: &Goal,
+    incremental: bool,
+) -> Outcome {
+    if incremental {
+        let state = parent.state.as_ref().expect("incremental node carries state");
+        return match state.extend(template) {
+            Err(ExtendError::Sequence(_)) => Outcome::Rejected,
+            Err(ExtendError::Illegal(_)) => Outcome::Tested,
+            Ok(child) => {
+                let shape = child.shape().clone();
+                match score_candidate(child.seq(), &shape, nest, goal) {
+                    None => Outcome::LegalUnscored,
+                    Some(score) => Outcome::Legal(Node {
+                        cand: Candidate { seq: child.seq().clone(), score, shape },
+                        state: Some(child),
+                    }),
+                }
+            }
+        };
+    }
+    let seq = match parent.cand.seq.clone().push(template) {
+        Ok(s) => s,
+        Err(_) => return Outcome::Rejected,
+    };
+    if !seq.is_legal(nest, deps).is_legal() {
+        return Outcome::Tested;
+    }
+    let shape0 = LoopNest::with_inits(nest.loops().to_vec(), Vec::new(), Vec::new());
+    let Ok(full_shape) = seq.apply(&shape0) else {
+        return Outcome::LegalUnscored;
+    };
+    match score_candidate(&seq, &full_shape, nest, goal) {
+        None => Outcome::LegalUnscored,
+        Some(score) => {
+            Outcome::Legal(Node { cand: Candidate { seq, score, shape: full_shape }, state: None })
+        }
+    }
+}
+
+/// Evaluates all `(state, move)` jobs, fanning out across scoped worker
+/// threads when asked to. Outcomes come back in job order regardless of
+/// thread count, so the merge downstream is deterministic.
+fn expand(
+    frontier: &[Node],
+    jobs: &[(usize, Template)],
+    nest: &LoopNest,
+    deps: &DepSet,
+    goal: &Goal,
+    incremental: bool,
+    threads: usize,
+) -> Vec<Outcome> {
+    let run = |slice: &[(usize, Template)]| -> Vec<Outcome> {
+        slice
+            .iter()
+            .map(|(si, t)| evaluate(&frontier[*si], t.clone(), nest, deps, goal, incremental))
+            .collect()
+    };
+    if threads <= 1 || jobs.len() <= 1 {
+        return run(jobs);
+    }
+    let chunk = jobs.len().div_ceil(threads);
+    let mut out = Vec::with_capacity(jobs.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = jobs.chunks(chunk).map(|c| s.spawn(move || run(c))).collect();
+        for h in handles {
+            out.extend(h.join().expect("search worker panicked"));
+        }
+    });
+    out
+}
+
+/// Structural fingerprint of a shape for beam dedup: the `Display`
+/// rendering (bounds, kinds, inits) streamed straight into a hasher — no
+/// per-candidate `String` allocation.
+fn shape_fingerprint(shape: &LoopNest) -> u64 {
+    struct HashWriter(DefaultHasher);
+    impl fmt::Write for HashWriter {
+        fn write_str(&mut self, s: &str) -> fmt::Result {
+            self.0.write(s.as_bytes());
+            Ok(())
+        }
+    }
+    let mut w = HashWriter(DefaultHasher::new());
+    use fmt::Write as _;
+    write!(w, "{shape}").expect("nest formatting is infallible");
+    w.0.finish()
 }
 
 /// Searches for the best legal transformation of `nest` under `goal`.
@@ -101,60 +265,56 @@ pub fn search(
         _ => goal.score(&shape0),
     }
     .unwrap_or(f64::NEG_INFINITY);
-    let root = Candidate {
-        seq: TransformSeq::new(nest.depth()),
-        score: base_score,
-        shape: shape0,
+    let state = config
+        .incremental
+        .then(|| SeqState::root(nest, deps).with_pruning(config.prune));
+    let root = Node {
+        cand: Candidate { seq: TransformSeq::new(nest.depth()), score: base_score, shape: shape0 },
+        state,
     };
-    let mut best = root.clone();
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        config.threads
+    };
+    let mut best = root.cand.clone();
     let mut frontier = vec![root];
     let mut explored = 0usize;
     let mut legal = 0usize;
-    let mut seen_shapes: Vec<String> = Vec::new();
+    let mut seen_shapes: HashSet<u64> = HashSet::new();
 
     for _ in 0..config.max_steps {
-        let mut next: Vec<Candidate> = Vec::new();
-        for state in &frontier {
-            for template in config.catalog.moves(state.shape.depth()) {
-                explored += 1;
-                let seq = match state.seq.clone().push(template) {
-                    Ok(s) => s,
-                    Err(_) => continue,
-                };
-                if !seq.is_legal(nest, deps).is_legal() {
-                    continue;
+        let jobs: Vec<(usize, Template)> = frontier
+            .iter()
+            .enumerate()
+            .flat_map(|(si, node)| {
+                config.catalog.moves(node.cand.shape.depth()).into_iter().map(move |t| (si, t))
+            })
+            .collect();
+        let outcomes = expand(&frontier, &jobs, nest, deps, goal, config.incremental, threads);
+        let mut next: Vec<Node> = Vec::new();
+        for outcome in outcomes {
+            match outcome {
+                Outcome::Rejected => {}
+                Outcome::Tested => explored += 1,
+                Outcome::LegalUnscored => {
+                    explored += 1;
+                    legal += 1;
                 }
-                legal += 1;
-                let Ok(full_shape) = seq.apply(&LoopNest::with_inits(
-                    nest.loops().to_vec(),
-                    Vec::new(),
-                    Vec::new(),
-                )) else {
-                    continue;
-                };
-                // For locality goals the trial must execute the body, so
-                // score on the real transformed nest instead.
-                let score = match goal {
-                    Goal::Locality(_) => {
-                        let Ok(real) = seq.apply(nest) else { continue };
-                        goal.score(&real)
+                Outcome::Legal(node) => {
+                    explored += 1;
+                    legal += 1;
+                    if !seen_shapes.insert(shape_fingerprint(&node.cand.shape)) {
+                        continue;
                     }
-                    _ => goal.score(&full_shape),
-                };
-                let Some(score) = score else { continue };
-                let fingerprint = format!("{full_shape}");
-                if seen_shapes.contains(&fingerprint) {
-                    continue;
+                    if node.cand.score > best.score {
+                        best = node.cand.clone();
+                    }
+                    next.push(node);
                 }
-                seen_shapes.push(fingerprint);
-                let cand = Candidate { seq, score, shape: full_shape };
-                if cand.score > best.score {
-                    best = cand.clone();
-                }
-                next.push(cand);
             }
         }
-        next.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+        next.sort_by(|a, b| b.cand.score.partial_cmp(&a.cand.score).expect("finite scores"));
         next.truncate(config.beam_width);
         if next.is_empty() {
             break;
@@ -203,6 +363,7 @@ mod tests {
             catalog: MoveCatalog::parallelism(),
             max_steps: 3,
             beam_width: 12,
+            ..SearchConfig::default()
         };
         let r = search(&nest, &deps, &Goal::OuterParallel, &cfg);
         assert!(
@@ -237,6 +398,7 @@ mod tests {
             catalog: MoveCatalog::locality(),
             max_steps: 1,
             beam_width: 8,
+            ..SearchConfig::default()
         };
         let r = search(&nest, &deps, &goal, &cfg);
         // The best single move is the interchange (or an equivalent
@@ -263,6 +425,7 @@ mod tests {
             },
             max_steps: 2,
             beam_width: 4,
+            ..SearchConfig::default()
         };
         let r = search(&nest, &deps, &Goal::OuterParallel, &cfg);
         assert!(r.best.seq.is_empty(), "{r}");
@@ -277,5 +440,143 @@ mod tests {
         let r = search(&nest, &deps, &Goal::OuterParallel, &SearchConfig::default());
         let s = r.to_string();
         assert!(s.contains("candidates tested"), "{s}");
+    }
+
+    /// Every engine/thread combination used below must agree bit-for-bit.
+    fn run_all_modes(
+        nest: &LoopNest,
+        deps: &DepSet,
+        goal: &Goal,
+        base: &SearchConfig,
+    ) -> Vec<SearchResult> {
+        let mut out = Vec::new();
+        for (incremental, prune, threads) in [
+            (false, false, 1),
+            (false, false, 4),
+            (true, false, 1),
+            (true, true, 1),
+            (true, true, 4),
+            (true, true, 0),
+        ] {
+            let cfg = SearchConfig { incremental, prune, threads, ..base.clone() };
+            out.push(search(nest, deps, goal, &cfg));
+        }
+        out
+    }
+
+    fn assert_identical(results: &[SearchResult]) {
+        let r0 = &results[0];
+        for (k, r) in results.iter().enumerate().skip(1) {
+            assert_eq!(r.explored, r0.explored, "mode {k}: explored diverged");
+            assert_eq!(r.legal, r0.legal, "mode {k}: legal diverged");
+            assert_eq!(
+                r.best.seq.to_string(),
+                r0.best.seq.to_string(),
+                "mode {k}: best sequence diverged"
+            );
+            assert_eq!(
+                r.best.score.to_bits(),
+                r0.best.score.to_bits(),
+                "mode {k}: score diverged"
+            );
+            assert_eq!(r.best.shape, r0.best.shape, "mode {k}: shape diverged");
+        }
+    }
+
+    #[test]
+    fn engines_and_thread_counts_bit_identical_on_stencil() {
+        let nest = parse_nest(
+            "do i = 2, n - 1\n do j = 2, n - 1\n  a(i, j) = a(i - 1, j) + a(i, j - 1)\n enddo\nenddo",
+        )
+        .unwrap();
+        let deps = analyze_dependences(&nest);
+        let base = SearchConfig {
+            catalog: MoveCatalog::parallelism(),
+            max_steps: 3,
+            beam_width: 12,
+            ..SearchConfig::default()
+        };
+        assert_identical(&run_all_modes(&nest, &deps, &Goal::OuterParallel, &base));
+    }
+
+    #[test]
+    fn matmul_deep_config_matches_pre_cache_serial_path() {
+        // The acceptance configuration: Fig. 6 matmul, max_steps 5,
+        // beam 16. The incremental/parallel engines must return exactly
+        // the pre-cache serial result (best sequence AND counters).
+        let nest = parse_nest(
+            "do i = 1, n\n do j = 1, n\n  do k = 1, n\n   A(i, j) = A(i, j) + B(i, k) * C(k, j)\n  enddo\n enddo\nenddo",
+        )
+        .unwrap();
+        let deps = analyze_dependences(&nest);
+        let base = SearchConfig { max_steps: 5, beam_width: 16, ..SearchConfig::default() };
+        let results = run_all_modes(&nest, &deps, &Goal::OuterParallel, &base);
+        assert_identical(&results);
+        assert!(results[0].legal > 0);
+    }
+
+    #[test]
+    fn counters_pinned_on_hand_countable_space() {
+        // Depth-1 nest, parallelize-only catalog: exactly one move per
+        // round. Round 1 tests and accepts `pardo i`; round 2 re-tests it
+        // (explored + legal count) but dedups the identical shape, so the
+        // frontier empties and the search stops — explored == legal == 2.
+        let nest = parse_nest("do i = 1, n\n a(i) = 0\nenddo").unwrap();
+        let deps = analyze_dependences(&nest);
+        let base = SearchConfig {
+            catalog: MoveCatalog {
+                interchanges: false,
+                reversals: false,
+                blocks: false,
+                coalesces: false,
+                skew_factors: vec![],
+                ..MoveCatalog::default()
+            },
+            max_steps: 4,
+            beam_width: 4,
+            ..SearchConfig::default()
+        };
+        let results = run_all_modes(&nest, &deps, &Goal::OuterParallel, &base);
+        assert_identical(&results);
+        assert_eq!(results[0].explored, 2);
+        assert_eq!(results[0].legal, 2);
+    }
+
+    #[test]
+    fn push_arity_rejection_never_reaches_legality_test() {
+        // A template whose input size cannot chain onto the root must
+        // yield `Rejected` — the outcome `search` excludes from
+        // `explored` — in both engines.
+        let nest = parse_nest("do i = 1, n\n a(i) = 0\nenddo").unwrap();
+        let deps = analyze_dependences(&nest);
+        let wrong_arity = Template::parallelize(vec![true, false]);
+        for incremental in [false, true] {
+            let state = incremental.then(|| SeqState::root(&nest, &deps));
+            let root = Node {
+                cand: Candidate {
+                    seq: TransformSeq::new(nest.depth()),
+                    score: 0.0,
+                    shape: nest.clone(),
+                },
+                state,
+            };
+            let outcome = evaluate(
+                &root,
+                wrong_arity.clone(),
+                &nest,
+                &deps,
+                &Goal::OuterParallel,
+                incremental,
+            );
+            assert!(matches!(outcome, Outcome::Rejected), "{outcome:?}");
+        }
+    }
+
+    #[test]
+    fn shape_fingerprint_distinguishes_shapes() {
+        let a = parse_nest("do i = 1, n\n a(i) = 0\nenddo").unwrap();
+        let b = parse_nest("do j = 2, m\n a(j) = 0\nenddo").unwrap();
+        assert_ne!(shape_fingerprint(&a), shape_fingerprint(&b));
+        assert_eq!(shape_fingerprint(&a), shape_fingerprint(&a.clone()));
     }
 }

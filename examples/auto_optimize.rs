@@ -33,7 +33,12 @@ fn parallel_execution() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let deps = analyze_dependences(&nest);
     println!("== goal: parallel execution (stencil, D = {deps}) ==");
-    let cfg = SearchConfig { catalog: MoveCatalog::parallelism(), max_steps: 3, beam_width: 12 };
+    let cfg = SearchConfig {
+        catalog: MoveCatalog::parallelism(),
+        max_steps: 3,
+        beam_width: 12,
+        ..SearchConfig::default()
+    };
     let found = search(&nest, &deps, &Goal::OuterParallel, &cfg);
     println!("{found}");
     println!("{}", found.best.shape);
@@ -90,7 +95,12 @@ fn data_locality() -> Result<(), Box<dyn std::error::Error>> {
     });
     println!("== goal: data locality (matmul, n={n}, 4 KiB cache) ==");
     let base = goal.score(&nest).expect("scoreable");
-    let cfg = SearchConfig { catalog: MoveCatalog::locality(), max_steps: 1, beam_width: 6 };
+    let cfg = SearchConfig {
+        catalog: MoveCatalog::locality(),
+        max_steps: 1,
+        beam_width: 6,
+        ..SearchConfig::default()
+    };
     let found = search(&nest, &deps, &goal, &cfg);
     println!("{found}");
     println!(

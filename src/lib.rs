@@ -56,8 +56,8 @@ pub use irlt_unimodular as unimodular;
 pub mod prelude {
     pub use irlt_cachesim::{simulate_nest, AddressMap, Cache, CacheConfig, Order};
     pub use irlt_core::{
-        catalog, BoundsMatrices, KernelTemplate, LegalityReport, Permutation, Template,
-        TransformSeq,
+        catalog, BoundsMatrices, ExtendError, KernelTemplate, LegalityCache, LegalityReport,
+        Permutation, SeqState, Template, TransformSeq,
     };
     pub use irlt_dependence::{
         analyze_dependences, analyze_dependences_detailed, DepElem, DepSet, DepVector, Dir,

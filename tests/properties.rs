@@ -9,7 +9,7 @@
 //! replayed before any novel case on later runs.
 
 use irlt::prelude::*;
-use irlt_harness::gen::{gen_nest, gen_sequence, gen_unimodular};
+use irlt_harness::gen::{gen_nest, gen_pair, gen_sequence, gen_unimodular, shrink_pair};
 use irlt_harness::prop::{check, CaseResult, Config};
 use irlt_harness::{diff, prop_assert, prop_assert_eq, prop_assume};
 
@@ -280,6 +280,170 @@ fn script_roundtrip() {
             let deps = DepSet::from_distances(&[&vec![1; seq.input_size()][..]]);
             prop_assert_eq!(seq.map_deps(&deps), back.map_deps(&deps));
             CaseResult::Pass
+        },
+    );
+}
+
+/// The incremental legality engine (`SeqState`) agrees with the
+/// from-scratch `TransformSeq::is_legal` path on every prefix of a random
+/// sequence grown extension-by-extension: same verdict at each step, an
+/// *identical* mapped `DepSet` without pruning, and a tuple-set-equivalent
+/// one with subsumption pruning enabled.
+#[test]
+fn incremental_matches_scratch() {
+    check(
+        "incremental_matches_scratch",
+        &Config::with_cases(200),
+        |rng| {
+            let depth = rng.gen_range(1..=3usize);
+            gen_pair(rng, depth)
+        },
+        shrink_pair,
+        |(nest, seq)| {
+            let deps = analyze_dependences(nest);
+            let mut plain = SeqState::root(nest, &deps);
+            let mut pruned = SeqState::root(nest, &deps).with_pruning(true);
+            let mut prefix = TransformSeq::new(nest.depth());
+            for step in seq.steps() {
+                let irlt::core::Step::Builtin(t) = step else {
+                    unreachable!("generated sequences are builtin-only")
+                };
+                prefix = prefix.push(t.clone()).expect("generated sequences chain");
+                let scratch = prefix.is_legal(nest, &deps);
+                match plain.extend(t.clone()) {
+                    Ok(next) => {
+                        prop_assert!(
+                            scratch.is_legal(),
+                            "incremental accepted a prefix is_legal rejects: {prefix}"
+                        );
+                        prop_assert_eq!(next.mapped_deps(), &prefix.map_deps(&deps));
+                        let p = pruned
+                            .extend(t.clone())
+                            .expect("pruned chain must accept what the plain chain accepts");
+                        // Tuple-set equivalence via mutual pairwise-
+                        // subsumption cover (pruning only ever drops
+                        // covered members; mapping is monotone).
+                        for v in next.mapped_deps() {
+                            prop_assert!(
+                                p.mapped_deps().iter().any(|w| v.subsumed_by(w)),
+                                "pruned set lost {v}"
+                            );
+                        }
+                        for v in p.mapped_deps() {
+                            prop_assert!(
+                                next.mapped_deps().iter().any(|w| v.subsumed_by(w)),
+                                "pruned set invented {v}"
+                            );
+                        }
+                        prop_assert!(p.mapped_deps().is_legal());
+                        plain = next;
+                        pruned = p;
+                    }
+                    Err(e) => {
+                        prop_assert!(
+                            e.is_illegal(),
+                            "generated sequences chain, so only Illegal is possible: {e}"
+                        );
+                        prop_assert!(
+                            !scratch.is_legal(),
+                            "incremental rejected a prefix is_legal accepts: {prefix} ({e})"
+                        );
+                        prop_assert!(
+                            pruned.extend(t.clone()).is_err(),
+                            "pruned chain accepted what the plain chain rejects: {prefix}"
+                        );
+                        // A `SeqState` chain only models legal prefixes;
+                        // stop here like the beam search does.
+                        break;
+                    }
+                }
+            }
+            CaseResult::Pass
+        },
+    );
+}
+
+/// Subsumption pruning never changes `DepSet::is_legal()`: the pruned set
+/// is a subset of members covering exactly the same tuple set.
+#[test]
+fn subsumption_pruning_preserves_legality() {
+    use irlt::dependence::{DepElem, Dir};
+    let palette = [
+        DepElem::Dist(-2),
+        DepElem::Dist(-1),
+        DepElem::ZERO,
+        DepElem::Dist(1),
+        DepElem::Dist(3),
+        DepElem::POS,
+        DepElem::NEG,
+        DepElem::Dir(Dir::NonNeg),
+        DepElem::Dir(Dir::NonPos),
+        DepElem::Dir(Dir::NonZero),
+        DepElem::ANY,
+    ];
+    check(
+        "subsumption_pruning_preserves_legality",
+        &Config::with_cases(200),
+        |rng| {
+            let arity = rng.gen_range(1..=4usize);
+            let count = rng.gen_range(1..=10usize);
+            (0..count)
+                .map(|_| (0..arity).map(|_| rng.gen_range(0..11usize)).collect())
+                .collect::<Vec<Vec<usize>>>()
+        },
+        |rows| {
+            // Shrink by dropping one row at a time.
+            (0..rows.len())
+                .map(|k| {
+                    let mut r = rows.clone();
+                    r.remove(k);
+                    r
+                })
+                .filter(|r| !r.is_empty())
+                .collect()
+        },
+        |rows| {
+            let d = DepSet::from_vectors(
+                rows.iter()
+                    .map(|row| DepVector::new(row.iter().map(|&k| palette[k]).collect()))
+                    .collect(),
+            )
+            .unwrap();
+            let p = d.prune_subsumed();
+            prop_assert_eq!(d.is_legal(), p.is_legal());
+            prop_assert!(p.len() <= d.len());
+            // Pruned members are original members…
+            for v in p.iter() {
+                prop_assert!(d.vectors().contains(v), "pruning invented {v}");
+            }
+            // …and every original member stays covered.
+            for v in d.iter() {
+                prop_assert!(
+                    p.iter().any(|w| v.subsumed_by(w)),
+                    "pruning dropped {v} without cover"
+                );
+            }
+            // Spot-check tuple-set equality on a sampled box.
+            let arity = d.arity().unwrap();
+            let mut tuple = vec![-2i64; arity];
+            loop {
+                prop_assert!(
+                    d.contains_tuple(&tuple) == p.contains_tuple(&tuple),
+                    "tuple {tuple:?} membership changed"
+                );
+                let mut k = 0;
+                loop {
+                    if k == arity {
+                        return CaseResult::Pass;
+                    }
+                    tuple[k] += 1;
+                    if tuple[k] <= 2 {
+                        break;
+                    }
+                    tuple[k] = -2;
+                    k += 1;
+                }
+            }
         },
     );
 }
