@@ -42,8 +42,8 @@ fn composition_cost(r: &mut Runner) {
     let mut baseline = UnimodularTransform::identity(4);
     for step in seq.steps() {
         if let irlt_core::Step::Builtin(Template::Unimodular { matrix }) = step {
-            baseline = baseline
-                .then(&UnimodularTransform::new(matrix.clone()).expect("unimodular"));
+            baseline =
+                baseline.then(&UnimodularTransform::new(matrix.clone()).expect("unimodular"));
         }
     }
 

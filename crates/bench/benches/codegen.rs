@@ -18,13 +18,21 @@ fn per_template(r: &mut Runner) {
             Template::reverse_permute(vec![true, false], vec![1, 0]).expect("valid"),
             &nest2,
         ),
-        ("parallelize", Template::parallelize(vec![true, false]), &nest2),
+        (
+            "parallelize",
+            Template::parallelize(vec![true, false]),
+            &nest2,
+        ),
         (
             "block3",
             Template::block(3, 0, 2, vec![Expr::var("b"); 3]).expect("valid"),
             &nest3,
         ),
-        ("coalesce", Template::coalesce(3, 0, 2).expect("valid"), &nest3),
+        (
+            "coalesce",
+            Template::coalesce(3, 0, 2).expect("valid"),
+            &nest3,
+        ),
         (
             "interleave",
             Template::interleave(3, 0, 1, vec![Expr::int(4), Expr::int(2)]).expect("valid"),
@@ -32,10 +40,8 @@ fn per_template(r: &mut Runner) {
         ),
         (
             "unimodular_skew_swap",
-            Template::unimodular(
-                IntMatrix::interchange(2, 0, 1).mul(&IntMatrix::skew(2, 0, 1, 1)),
-            )
-            .expect("unimodular"),
+            Template::unimodular(IntMatrix::interchange(2, 0, 1).mul(&IntMatrix::skew(2, 0, 1, 1)))
+                .expect("unimodular"),
             &nest2,
         ),
     ];

@@ -13,17 +13,18 @@ fn per_template(r: &mut Runner) {
     let cases: Vec<(&str, Template)> = vec![
         (
             "unimodular",
-            Template::unimodular(
-                IntMatrix::skew(4, 0, 3, 1).mul(&IntMatrix::interchange(4, 1, 2)),
-            )
-            .expect("unimodular"),
+            Template::unimodular(IntMatrix::skew(4, 0, 3, 1).mul(&IntMatrix::interchange(4, 1, 2)))
+                .expect("unimodular"),
         ),
         (
             "reverse_permute",
             Template::reverse_permute(vec![true, false, true, false], vec![3, 1, 0, 2])
                 .expect("valid"),
         ),
-        ("parallelize", Template::parallelize(vec![true, false, true, false])),
+        (
+            "parallelize",
+            Template::parallelize(vec![true, false, true, false]),
+        ),
         (
             "block_1loop",
             Template::block(4, 1, 1, vec![Expr::var("b")]).expect("valid"),

@@ -17,7 +17,11 @@ fn map_for_matmul(n: u64) -> AddressMap {
     map
 }
 
-const CFG: CacheConfig = CacheConfig { size_bytes: 4 * 1024, line_bytes: 64, associativity: 4 };
+const CFG: CacheConfig = CacheConfig {
+    size_bytes: 4 * 1024,
+    line_bytes: 64,
+    associativity: 4,
+};
 
 fn matmul_tiling(r: &mut Runner) {
     let nest = matmul();
@@ -57,10 +61,8 @@ fn matmul_tiling(r: &mut Runner) {
 fn stencil_walk_order(r: &mut Runner) {
     // Column-major array walked row-wise vs column-wise: interchange
     // repairs the stride.
-    let bad = parse_nest(
-        "do i = 1, n\n do j = 1, n\n  s(1) = s(1) + a(i, j)\n enddo\nenddo",
-    )
-    .expect("parses");
+    let bad = parse_nest("do i = 1, n\n do j = 1, n\n  s(1) = s(1) + a(i, j)\n enddo\nenddo")
+        .expect("parses");
     let good = TransformSeq::new(2)
         .reverse_permute(vec![false, false], vec![1, 0])
         .expect("valid")

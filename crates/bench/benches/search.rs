@@ -9,67 +9,106 @@
 //! `search/*/scratch` rows are the recorded `BENCH_3.json` baseline;
 //! `search/*/incremental` and `search/*/parallel` are the new engine,
 //! serial and with 4 workers.
+//!
+//! `IRLT_TELEMETRY=path.json` turns the run into a telemetry capture:
+//! every search records through one shared handle and the aggregated JSON
+//! artifact is written at exit. Unset (the default), the handle is a
+//! no-op and the measured numbers are unaffected.
 
 use irlt_bench::{matmul, rectangular, stencil};
 use irlt_dependence::analyze_dependences;
 use irlt_harness::timing::{black_box, Runner};
 use irlt_ir::LoopNest;
+use irlt_obs::Telemetry;
 use irlt_opt::{search, Goal, MoveCatalog, SearchConfig};
 
-fn engines(max_steps: usize, beam_width: usize, catalog: MoveCatalog) -> [(&'static str, SearchConfig); 3] {
-    let base = SearchConfig { max_steps, beam_width, catalog, ..SearchConfig::default() };
+/// One benchmark workload: a nest, a goal, and the base search
+/// configuration every engine variant shares.
+struct Workload {
+    name: &'static str,
+    nest: LoopNest,
+    goal: Goal,
+    base: SearchConfig,
+}
+
+fn engines(base: &SearchConfig) -> [(&'static str, SearchConfig); 3] {
     [
-        ("scratch", SearchConfig { incremental: false, prune: false, threads: 1, ..base.clone() }),
-        ("incremental", SearchConfig { incremental: true, prune: true, threads: 1, ..base.clone() }),
-        ("parallel", SearchConfig { incremental: true, prune: true, threads: 4, ..base }),
+        (
+            "scratch",
+            SearchConfig {
+                incremental: false,
+                prune: false,
+                threads: 1,
+                ..base.clone()
+            },
+        ),
+        (
+            "incremental",
+            SearchConfig {
+                incremental: true,
+                prune: true,
+                threads: 1,
+                ..base.clone()
+            },
+        ),
+        (
+            "parallel",
+            SearchConfig {
+                incremental: true,
+                prune: true,
+                threads: 4,
+                ..base.clone()
+            },
+        ),
     ]
 }
 
-fn bench_workload(
-    r: &mut Runner,
-    name: &str,
-    nest: &LoopNest,
-    goal: &Goal,
-    max_steps: usize,
-    beam_width: usize,
-    catalog: MoveCatalog,
-) {
-    let deps = analyze_dependences(nest);
-    for (engine, cfg) in engines(max_steps, beam_width, catalog) {
-        r.bench(&format!("search/{name}/{engine}"), || {
-            black_box(search(black_box(nest), black_box(&deps), goal, &cfg))
+fn bench_workload(r: &mut Runner, w: &Workload) {
+    let deps = analyze_dependences(&w.nest);
+    for (engine, cfg) in engines(&w.base) {
+        r.bench(&format!("search/{}/{engine}", w.name), || {
+            black_box(search(black_box(&w.nest), black_box(&deps), &w.goal, &cfg))
         });
     }
 }
 
 fn main() {
     let mut r = Runner::default();
-    bench_workload(
-        &mut r,
-        "stencil",
-        &stencil(),
-        &Goal::OuterParallel,
-        3,
-        12,
-        MoveCatalog::parallelism(),
-    );
-    bench_workload(
-        &mut r,
-        "matmul",
-        &matmul(),
-        &Goal::OuterParallel,
-        5,
-        16,
-        MoveCatalog::default(),
-    );
-    bench_workload(
-        &mut r,
-        "rect4",
-        &rectangular(4),
-        &Goal::InnerParallel,
-        4,
-        12,
-        MoveCatalog::default(),
-    );
+    let telemetry = Telemetry::from_env();
+    let base = |max_steps, beam_width, catalog| SearchConfig {
+        max_steps,
+        beam_width,
+        catalog,
+        telemetry: telemetry.clone(),
+        ..SearchConfig::default()
+    };
+    let workloads = [
+        Workload {
+            name: "stencil",
+            nest: stencil(),
+            goal: Goal::OuterParallel,
+            base: base(3, 12, MoveCatalog::parallelism()),
+        },
+        Workload {
+            name: "matmul",
+            nest: matmul(),
+            goal: Goal::OuterParallel,
+            base: base(5, 16, MoveCatalog::default()),
+        },
+        Workload {
+            name: "rect4",
+            nest: rectangular(4),
+            goal: Goal::InnerParallel,
+            base: base(4, 12, MoveCatalog::default()),
+        },
+    ];
+    for w in &workloads {
+        bench_workload(&mut r, w);
+    }
     r.finish();
+    match telemetry.write_env_report() {
+        Ok(Some(path)) => println!("telemetry written to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("telemetry write failed: {e}"),
+    }
 }

@@ -1,0 +1,254 @@
+//! Soft bench regression gate for CI.
+//!
+//! Reads the one-shot output of the search bench (the `cargo test`-mode
+//! smoke lines printed by `irlt-harness`'s timing runner, e.g.
+//! `search/matmul/incremental  21.30 ms (one-shot)`), compares each wall
+//! time against the recorded `BENCH_3.json` median for the same
+//! workload/engine, and emits a GitHub Actions `::warning::` annotation
+//! when a one-shot time exceeds the recorded median by more than the
+//! tolerance factor (default 3×, generous because CI runners are noisy
+//! and a one-shot is a single sample).
+//!
+//! The gate is *soft*: breaches annotate but never fail the build
+//! (exit 0). A nonzero exit means the gate itself could not run — missing
+//! files, unparseable baseline, or no bench lines found — which *should*
+//! fail CI because it means the perf signal silently disappeared.
+//!
+//! ```text
+//! bench_gate <oneshot.txt> <BENCH_3.json> [tolerance]
+//! ```
+
+use irlt_obs::Json;
+use std::process::ExitCode;
+
+/// One parsed `name  time (one-shot)` line, time in milliseconds.
+#[derive(Clone, Debug, PartialEq)]
+struct OneShot {
+    workload: String,
+    engine: String,
+    ms: f64,
+}
+
+/// Parses a duration like `713 ns`, `5.48 µs`, `21.30 ms`, `1.02 s` into
+/// milliseconds.
+fn parse_duration_ms(num: &str, unit: &str) -> Option<f64> {
+    let v: f64 = num.parse().ok()?;
+    let scale = match unit {
+        "ns" => 1e-6,
+        "µs" | "us" => 1e-3,
+        "ms" => 1.0,
+        "s" => 1e3,
+        _ => return None,
+    };
+    Some(v * scale)
+}
+
+/// Extracts `search/<workload>/<engine>` one-shot lines from the smoke
+/// output; unrelated lines are ignored.
+fn parse_oneshot_lines(text: &str) -> Vec<OneShot> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.trim().strip_suffix("(one-shot)") else {
+            continue;
+        };
+        let fields: Vec<&str> = rest.split_whitespace().collect();
+        let [name, num, unit] = fields[..] else {
+            continue;
+        };
+        let parts: Vec<&str> = name.split('/').collect();
+        let ["search", workload, engine] = parts[..] else {
+            continue;
+        };
+        if let Some(ms) = parse_duration_ms(num, unit) {
+            out.push(OneShot {
+                workload: workload.to_string(),
+                engine: engine.to_string(),
+                ms,
+            });
+        }
+    }
+    out
+}
+
+/// Looks up the recorded median for a workload/engine in the baseline
+/// JSON (`workloads.<w>.<engine>_ms.median`).
+fn baseline_median_ms(baseline: &Json, workload: &str, engine: &str) -> Option<f64> {
+    baseline
+        .get("workloads")?
+        .get(workload)?
+        .get(&format!("{engine}_ms"))?
+        .get("median")?
+        .as_f64()
+}
+
+/// Compares one-shots against the baseline. Returns `(checked, breaches)`
+/// where each breach is a preformatted annotation message.
+fn check(oneshots: &[OneShot], baseline: &Json, tolerance: f64) -> (usize, Vec<String>) {
+    let mut checked = 0;
+    let mut breaches = Vec::new();
+    for shot in oneshots {
+        let Some(median) = baseline_median_ms(baseline, &shot.workload, &shot.engine) else {
+            continue;
+        };
+        checked += 1;
+        if shot.ms > median * tolerance {
+            breaches.push(format!(
+                "search/{}/{} one-shot {:.2} ms exceeds {tolerance}x the recorded median \
+                 {median:.2} ms (BENCH_3.json)",
+                shot.workload, shot.engine, shot.ms
+            ));
+        }
+    }
+    (checked, breaches)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (oneshot_path, baseline_path) = match &args[..] {
+        [a, b] | [a, b, _] => (a, b),
+        _ => {
+            eprintln!("usage: bench_gate <oneshot.txt> <BENCH_3.json> [tolerance]");
+            return ExitCode::from(2);
+        }
+    };
+    let tolerance: f64 = match args.get(2) {
+        None => 3.0,
+        Some(t) => match t.parse() {
+            Ok(v) if v > 0.0 => v,
+            _ => {
+                eprintln!("bench_gate: bad tolerance {t:?}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let oneshot_text = match std::fs::read_to_string(oneshot_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {oneshot_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match Json::parse(&baseline_text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("bench_gate: {baseline_path} is not valid JSON: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let oneshots = parse_oneshot_lines(&oneshot_text);
+    if oneshots.is_empty() {
+        eprintln!(
+            "bench_gate: no `search/*/* ... (one-shot)` lines in {oneshot_path} — \
+             did the bench output format change?"
+        );
+        return ExitCode::from(2);
+    }
+    let (checked, breaches) = check(&oneshots, &baseline, tolerance);
+    if checked == 0 {
+        eprintln!("bench_gate: no one-shot matched a baseline entry in {baseline_path}");
+        return ExitCode::from(2);
+    }
+    println!(
+        "bench_gate: {checked}/{} one-shot(s) checked against {baseline_path} \
+         (tolerance {tolerance}x)",
+        oneshots.len()
+    );
+    for msg in &breaches {
+        // GitHub Actions annotation; plain stderr everywhere else.
+        println!("::warning title=bench regression (soft gate)::{msg}");
+        eprintln!("SLOW: {msg}");
+    }
+    if breaches.is_empty() {
+        println!("bench_gate: all within tolerance");
+    } else {
+        println!(
+            "bench_gate: {} breach(es) — annotated, not failing the build",
+            breaches.len()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = r#"{
+      "workloads": {
+        "matmul": {
+          "scratch_ms": { "min": 64.87, "median": 79.33, "mean": 77.03 },
+          "incremental_ms": { "min": 19.67, "median": 20.72, "mean": 20.94 }
+        }
+      }
+    }"#;
+
+    #[test]
+    fn parses_all_duration_units() {
+        assert_eq!(parse_duration_ms("713", "ns"), Some(713e-6));
+        assert_eq!(parse_duration_ms("5.5", "µs"), Some(0.0055));
+        assert_eq!(parse_duration_ms("21.30", "ms"), Some(21.30));
+        assert_eq!(parse_duration_ms("1.5", "s"), Some(1500.0));
+        assert_eq!(parse_duration_ms("1", "parsec"), None);
+    }
+
+    #[test]
+    fn extracts_oneshot_lines_and_ignores_noise() {
+        let text = "\
+warming up\n\
+search/matmul/scratch  79.00 ms (one-shot)\n\
+search/matmul/incremental  21.30 ms (one-shot)\n\
+codegen/fig7  1.2 ms (one-shot)\n\
+irlt-harness bench smoke: 9 benchmark(s) executed once, 0 filtered out\n";
+        let shots = parse_oneshot_lines(text);
+        assert_eq!(shots.len(), 2);
+        assert_eq!(shots[0].workload, "matmul");
+        assert_eq!(shots[1].engine, "incremental");
+        assert!((shots[1].ms - 21.30).abs() < 1e-9);
+    }
+
+    #[test]
+    fn within_tolerance_passes_and_breach_annotates() {
+        let baseline = Json::parse(BASELINE).unwrap();
+        let shots = vec![
+            OneShot {
+                workload: "matmul".into(),
+                engine: "scratch".into(),
+                ms: 100.0,
+            },
+            OneShot {
+                workload: "matmul".into(),
+                engine: "incremental".into(),
+                ms: 90.0,
+            },
+            // No baseline entry: skipped, not an error.
+            OneShot {
+                workload: "matmul".into(),
+                engine: "parallel".into(),
+                ms: 1.0,
+            },
+        ];
+        let (checked, breaches) = check(&shots, &baseline, 3.0);
+        assert_eq!(checked, 2);
+        assert_eq!(breaches.len(), 1, "{breaches:?}");
+        assert!(
+            breaches[0].contains("search/matmul/incremental"),
+            "{breaches:?}"
+        );
+        assert!(breaches[0].contains("20.72"), "{breaches:?}");
+    }
+
+    #[test]
+    fn missing_baseline_path_yields_none() {
+        let baseline = Json::parse(BASELINE).unwrap();
+        assert!(baseline_median_ms(&baseline, "matmul", "scratch").is_some());
+        assert!(baseline_median_ms(&baseline, "stencil", "scratch").is_none());
+        assert!(baseline_median_ms(&baseline, "matmul", "turbo").is_none());
+    }
+}

@@ -22,12 +22,20 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// A small L1-like default: 32 KiB, 64-byte lines, 8-way.
     pub fn l1() -> CacheConfig {
-        CacheConfig { size_bytes: 32 * 1024, line_bytes: 64, associativity: 8 }
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            line_bytes: 64,
+            associativity: 8,
+        }
     }
 
     /// A larger L2-like default: 512 KiB, 64-byte lines, 8-way.
     pub fn l2() -> CacheConfig {
-        CacheConfig { size_bytes: 512 * 1024, line_bytes: 64, associativity: 8 }
+        CacheConfig {
+            size_bytes: 512 * 1024,
+            line_bytes: 64,
+            associativity: 8,
+        }
     }
 
     /// Number of sets.
@@ -39,7 +47,11 @@ impl CacheConfig {
     pub fn num_sets(&self) -> usize {
         assert!(self.size_bytes > 0 && self.line_bytes > 0 && self.associativity > 0);
         let lines = self.size_bytes / self.line_bytes;
-        assert_eq!(lines * self.line_bytes, self.size_bytes, "capacity not line-aligned");
+        assert_eq!(
+            lines * self.line_bytes,
+            self.size_bytes,
+            "capacity not line-aligned"
+        );
         assert_eq!(lines % self.associativity, 0, "lines not divisible by ways");
         lines / self.associativity
     }
@@ -106,7 +118,11 @@ impl Cache {
     /// Panics on inconsistent geometry (see [`CacheConfig::num_sets`]).
     pub fn new(config: CacheConfig) -> Cache {
         let sets = vec![VecDeque::with_capacity(config.associativity); config.num_sets()];
-        Cache { config, sets, stats: CacheStats::default() }
+        Cache {
+            config,
+            sets,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The geometry.
@@ -157,7 +173,11 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 lines of 16 bytes, 2-way → 2 sets.
-        Cache::new(CacheConfig { size_bytes: 64, line_bytes: 16, associativity: 2 })
+        Cache::new(CacheConfig {
+            size_bytes: 64,
+            line_bytes: 16,
+            associativity: 2,
+        })
     }
 
     #[test]
@@ -169,7 +189,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "ways")]
     fn inconsistent_geometry_rejected() {
-        Cache::new(CacheConfig { size_bytes: 64, line_bytes: 16, associativity: 3 });
+        Cache::new(CacheConfig {
+            size_bytes: 64,
+            line_bytes: 16,
+            associativity: 3,
+        });
     }
 
     #[test]

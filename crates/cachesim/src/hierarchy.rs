@@ -23,7 +23,11 @@ pub struct Latencies {
 impl Default for Latencies {
     fn default() -> Self {
         // Conventional ballpark ratios: 4 / 12 / 100.
-        Latencies { l1_hit: 4, l2_hit: 12, memory: 100 }
+        Latencies {
+            l1_hit: 4,
+            l2_hit: 12,
+            memory: 100,
+        }
     }
 }
 
@@ -54,7 +58,11 @@ impl Hierarchy {
     ///
     /// Panics on inconsistent cache geometry.
     pub fn new(l1: CacheConfig, l2: CacheConfig, latencies: Latencies) -> Hierarchy {
-        Hierarchy { l1: Cache::new(l1), l2: Cache::new(l2), latencies }
+        Hierarchy {
+            l1: Cache::new(l1),
+            l2: Cache::new(l2),
+            latencies,
+        }
     }
 
     /// Accesses one byte address through the hierarchy.
@@ -108,8 +116,16 @@ mod tests {
 
     fn tiny() -> Hierarchy {
         Hierarchy::new(
-            CacheConfig { size_bytes: 128, line_bytes: 32, associativity: 2 },
-            CacheConfig { size_bytes: 512, line_bytes: 32, associativity: 4 },
+            CacheConfig {
+                size_bytes: 128,
+                line_bytes: 32,
+                associativity: 2,
+            },
+            CacheConfig {
+                size_bytes: 512,
+                line_bytes: 32,
+                associativity: 4,
+            },
             Latencies::default(),
         )
     }
@@ -144,7 +160,7 @@ mod tests {
         let mut h = tiny();
         h.access(0); // L1 miss, L2 miss
         h.access(0); // L1 hit
-        // cost = 2·l1_hit + 1·l2_hit + 1·memory = 8 + 12 + 100.
+                     // cost = 2·l1_hit + 1·l2_hit + 1·memory = 8 + 12 + 100.
         assert_eq!(h.cost(), 120);
         assert!(h.to_string().contains("cost 120"));
     }

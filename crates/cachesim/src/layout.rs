@@ -62,7 +62,11 @@ pub struct AddressError {
 
 impl fmt::Display for AddressError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "access {}{:?} outside declared bounds", self.array, self.indices)
+        write!(
+            f,
+            "access {}{:?} outside declared bounds",
+            self.array, self.indices
+        )
     }
 }
 
@@ -71,7 +75,12 @@ impl std::error::Error for AddressError {}
 impl AddressMap {
     /// Creates a map with the given linearization order and element size.
     pub fn new(order: Order, elem_bytes: u64) -> AddressMap {
-        AddressMap { arrays: BTreeMap::new(), order, elem_bytes, next_base: 0 }
+        AddressMap {
+            arrays: BTreeMap::new(),
+            order,
+            elem_bytes,
+            next_base: 0,
+        }
     }
 
     /// Declares an array with 1-based subscripts `1..=dims[k]` (the
@@ -118,13 +127,19 @@ impl AddressMap {
             indices: indices.to_vec(),
         })?;
         if indices.len() != decl.dims.len() {
-            return Err(AddressError { array: array.clone(), indices: indices.to_vec() });
+            return Err(AddressError {
+                array: array.clone(),
+                indices: indices.to_vec(),
+            });
         }
         let mut offsets = Vec::with_capacity(indices.len());
         for (k, &ix) in indices.iter().enumerate() {
             let off = ix - decl.origin[k];
             if off < 0 || off as u64 >= decl.dims[k] {
-                return Err(AddressError { array: array.clone(), indices: indices.to_vec() });
+                return Err(AddressError {
+                    array: array.clone(),
+                    indices: indices.to_vec(),
+                });
             }
             offsets.push(off as u64);
         }

@@ -39,4 +39,4 @@ mod sim;
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use hierarchy::{Hierarchy, Latencies};
 pub use layout::{AddressError, AddressMap, Order};
-pub use sim::{simulate_nest, SimError, SimResult};
+pub use sim::{simulate_nest, simulate_nest_observed, SimError, SimResult};

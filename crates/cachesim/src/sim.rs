@@ -92,7 +92,44 @@ pub fn simulate_nest(
     map.drive(&run.trace, |addr| {
         cache.access(addr);
     })?;
-    Ok(SimResult { stats: cache.stats(), iterations: run.iterations })
+    Ok(SimResult {
+        stats: cache.stats(),
+        iterations: run.iterations,
+    })
+}
+
+/// [`simulate_nest`] fed by the observability layer: on success the cache
+/// counters are exported through `tel` under `cachesim/*` (`simulations`,
+/// `accesses`, `hits`, `misses`, `iterations`, and the per-trial
+/// `miss_ratio` stream); failed trials count under
+/// `cachesim/trial_failures`. With a disabled handle this is exactly
+/// [`simulate_nest`].
+///
+/// # Errors
+///
+/// As for [`simulate_nest`].
+pub fn simulate_nest_observed(
+    nest: &LoopNest,
+    params: &[(&str, i64)],
+    map: &AddressMap,
+    config: CacheConfig,
+    tel: &irlt_obs::Telemetry,
+) -> Result<SimResult, SimError> {
+    let result = simulate_nest(nest, params, map, config);
+    if tel.is_enabled() {
+        match &result {
+            Ok(r) => {
+                tel.incr("cachesim/simulations");
+                tel.count("cachesim/accesses", r.stats.accesses);
+                tel.count("cachesim/hits", r.stats.hits);
+                tel.count("cachesim/misses", r.stats.misses);
+                tel.count("cachesim/iterations", r.iterations as u64);
+                tel.observe("cachesim/miss_ratio", r.stats.miss_ratio());
+            }
+            Err(_) => tel.incr("cachesim/trial_failures"),
+        }
+    }
+    result
 }
 
 #[cfg(test)]
@@ -115,18 +152,20 @@ mod tests {
     #[test]
     fn column_vs_row_traversal_of_colmajor_array() {
         // Fortran layout: walking the first subscript is unit-stride.
-        let by_col = parse_nest(
-            "do j = 1, n\n do i = 1, n\n  s(1) = s(1) + a(i, j)\n enddo\nenddo",
-        )
-        .unwrap();
-        let by_row = parse_nest(
-            "do i = 1, n\n do j = 1, n\n  s(1) = s(1) + a(i, j)\n enddo\nenddo",
-        )
-        .unwrap();
+        let by_col =
+            parse_nest("do j = 1, n\n do i = 1, n\n  s(1) = s(1) + a(i, j)\n enddo\nenddo")
+                .unwrap();
+        let by_row =
+            parse_nest("do i = 1, n\n do j = 1, n\n  s(1) = s(1) + a(i, j)\n enddo\nenddo")
+                .unwrap();
         let mut map = AddressMap::new(Order::ColMajor, 8);
         map.declare("a", &[128, 128]).declare("s", &[1]);
         // Cache much smaller than the 128 KiB array.
-        let cfg = CacheConfig { size_bytes: 8 * 1024, line_bytes: 64, associativity: 4 };
+        let cfg = CacheConfig {
+            size_bytes: 8 * 1024,
+            line_bytes: 64,
+            associativity: 4,
+        };
         let good = simulate_nest(&by_col, &[("n", 128)], &map, cfg).unwrap();
         let bad = simulate_nest(&by_row, &[("n", 128)], &map, cfg).unwrap();
         assert!(
@@ -135,6 +174,25 @@ mod tests {
             bad.stats,
             good.stats
         );
+    }
+
+    #[test]
+    fn observed_simulation_exports_counters() {
+        let nest = parse_nest("do i = 1, n\n s(1) = s(1) + a(i)\nenddo").unwrap();
+        let mut map = AddressMap::new(Order::ColMajor, 8);
+        map.declare("a", &[512]).declare("s", &[1]);
+        let tel = irlt_obs::Telemetry::enabled();
+        let r =
+            simulate_nest_observed(&nest, &[("n", 512)], &map, CacheConfig::l1(), &tel).unwrap();
+        let report = tel.report();
+        assert_eq!(report.counter("cachesim/simulations"), 1);
+        assert_eq!(report.counter("cachesim/misses"), r.stats.misses);
+        assert_eq!(report.counter("cachesim/hits"), r.stats.hits);
+        assert_eq!(report.counter("cachesim/accesses"), r.stats.accesses);
+        assert_eq!(report.stats["cachesim/miss_ratio"].count, 1);
+        // A failed trial (unbound `n`) counts separately.
+        simulate_nest_observed(&nest, &[], &map, CacheConfig::l1(), &tel).unwrap_err();
+        assert_eq!(tel.report().counter("cachesim/trial_failures"), 1);
     }
 
     #[test]

@@ -75,7 +75,11 @@ impl MatrixEntry {
                 }
             }
         }
-        MatrixEntry { coeffs, invariant: invariant.simplify(), nonlinear_in }
+        MatrixEntry {
+            coeffs,
+            invariant: invariant.simplify(),
+            nonlinear_in,
+        }
     }
 }
 
@@ -131,11 +135,32 @@ impl BoundsMatrices {
         let mut ub = Vec::with_capacity(nest.depth());
         let mut step = Vec::with_capacity(nest.depth());
         for (k, l) in nest.loops().iter().enumerate() {
-            lb.push(build_row(&l.lower, BoundSide::Lower, steps_positive[k], &names));
-            ub.push(build_row(&l.upper, BoundSide::Upper, steps_positive[k], &names));
-            step.push(build_row(&l.step, BoundSide::Step, steps_positive[k], &names));
+            lb.push(build_row(
+                &l.lower,
+                BoundSide::Lower,
+                steps_positive[k],
+                &names,
+            ));
+            ub.push(build_row(
+                &l.upper,
+                BoundSide::Upper,
+                steps_positive[k],
+                &names,
+            ));
+            step.push(build_row(
+                &l.step,
+                BoundSide::Step,
+                steps_positive[k],
+                &names,
+            ));
         }
-        BoundsMatrices { names, steps_positive, lb, ub, step }
+        BoundsMatrices {
+            names,
+            steps_positive,
+            lb,
+            ub,
+            step,
+        }
     }
 
     /// Index-variable names, outermost first.
@@ -208,7 +233,9 @@ impl BoundsMatrices {
         let mut cells: Vec<Vec<String>> = Vec::with_capacity(self.depth());
         for (i, row) in rows.iter().enumerate() {
             let mut line = Vec::with_capacity(self.depth() + 1);
-            line.push(render_list(row.terms.iter().map(|t| t.invariant.to_string())));
+            line.push(render_list(
+                row.terms.iter().map(|t| t.invariant.to_string()),
+            ));
             for j in 0..self.depth() {
                 if j >= i {
                     line.push(".".to_string());
@@ -226,8 +253,11 @@ impl BoundsMatrices {
             .collect();
         let mut out = String::new();
         for (i, line) in cells.iter().enumerate() {
-            let prefix =
-                if i == 0 { format!("{title:>4} = [ ") } else { "       [ ".to_string() };
+            let prefix = if i == 0 {
+                format!("{title:>4} = [ ")
+            } else {
+                "       [ ".to_string()
+            };
             out.push_str(&prefix);
             for (c, cell) in line.iter().enumerate() {
                 if c > 0 {
@@ -251,15 +281,19 @@ fn build_row(expr: &Expr, side: BoundSide, step_positive: bool, names: &[Symbol]
     );
     let terms: Vec<MatrixEntry> = if splittable {
         match expr {
-            Expr::Max(items) | Expr::Min(items) => {
-                items.iter().map(|e| MatrixEntry::from_expr(e, names)).collect()
-            }
+            Expr::Max(items) | Expr::Min(items) => items
+                .iter()
+                .map(|e| MatrixEntry::from_expr(e, names))
+                .collect(),
             _ => unreachable!("splittable implies min/max"),
         }
     } else {
         vec![MatrixEntry::from_expr(expr, names)]
     };
-    BoundRow { terms, expr: expr.clone() }
+    BoundRow {
+        terms,
+        expr: expr.clone(),
+    }
 }
 
 fn render_list(items: impl Iterator<Item = String>) -> String {
@@ -378,11 +412,10 @@ mod tests {
     #[test]
     fn mixed_linear_nonlinear_row() {
         // 2·i + sqrt(i): coefficient 2 recorded, sqrt(i) folded.
-        let nest = Parser::new(
-            "do i = 1, n\n do j = 2*i + sqrt(i), n\n  a(i, j) = 0\n enddo\nenddo",
-        )
-        .parse_nest()
-        .unwrap();
+        let nest =
+            Parser::new("do i = 1, n\n do j = 2*i + sqrt(i), n\n  a(i, j) = 0\n enddo\nenddo")
+                .parse_nest()
+                .unwrap();
         let m = BoundsMatrices::from_nest(&nest);
         let row = m.lower(1);
         assert_eq!(row.terms[0].coeffs[0], 2);

@@ -17,7 +17,11 @@ use irlt_unimodular::IntMatrix;
 /// Returns [`TemplateError::BadRange`] if `a` or `b` is out of range.
 pub fn interchange(n: usize, a: usize, b: usize) -> Result<Template, TemplateError> {
     if a >= n || b >= n {
-        return Err(TemplateError::BadRange { i: a.min(b), j: a.max(b), n });
+        return Err(TemplateError::BadRange {
+            i: a.min(b),
+            j: a.max(b),
+            n,
+        });
     }
     let mut perm: Vec<usize> = (0..n).collect();
     perm.swap(a, b);
@@ -32,7 +36,11 @@ pub fn interchange(n: usize, a: usize, b: usize) -> Result<Template, TemplateErr
 /// Returns [`TemplateError::BadRange`] if `a` or `b` is out of range.
 pub fn interchange_unimodular(n: usize, a: usize, b: usize) -> Result<Template, TemplateError> {
     if a >= n || b >= n {
-        return Err(TemplateError::BadRange { i: a.min(b), j: a.max(b), n });
+        return Err(TemplateError::BadRange {
+            i: a.min(b),
+            j: a.max(b),
+            n,
+        });
     }
     Template::unimodular(IntMatrix::interchange(n, a, b))
 }
@@ -68,7 +76,11 @@ pub fn permute(perm: Vec<usize>) -> Result<Template, TemplateError> {
 /// Returns [`TemplateError::BadRange`] for invalid loop indices.
 pub fn skew(n: usize, src: usize, dst: usize, factor: i64) -> Result<Template, TemplateError> {
     if src >= n || dst >= n || src == dst {
-        return Err(TemplateError::BadRange { i: src.min(dst), j: src.max(dst), n });
+        return Err(TemplateError::BadRange {
+            i: src.min(dst),
+            j: src.max(dst),
+            n,
+        });
     }
     Template::unimodular(IntMatrix::skew(n, src, dst, factor))
 }

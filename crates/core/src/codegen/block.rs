@@ -73,10 +73,7 @@ pub(super) fn apply(i: usize, j: usize, bsize: &[Expr], nest: &LoopNest) -> Loop
         let step = l.step.as_const().expect("precondition: const step");
         let tile_end = Expr::add(
             block_var(k),
-            Expr::mul(
-                l.step.clone(),
-                Expr::sub(bsize_of(k).clone(), Expr::int(1)),
-            ),
+            Expr::mul(l.step.clone(), Expr::sub(bsize_of(k).clone(), Expr::int(1))),
         )
         .simplify();
         // When the original bound does not involve blocked variables, the
@@ -155,7 +152,11 @@ fn substitute_corner(
         });
         // The tile of loop h spans x'_h … x'_h + s_h·(b_h − 1): the far
         // corner is the maximum only for positive steps.
-        let s_h = nest.level(h).step.as_const().expect("precondition: const step");
+        let s_h = nest
+            .level(h)
+            .step
+            .as_const()
+            .expect("precondition: const step");
         let far_is_max = s_h > 0;
         let base = Expr::var(block_names[h - i].clone());
         Some(if want_max == far_is_max {
@@ -291,10 +292,9 @@ mod tests {
         // Both loops descend; the inner bound depends on the outer. The
         // corner choice must account for the negative step (the tile's far
         // corner is its MINIMUM), or tiles get clipped away.
-        let nest = parse_nest(
-            "do i = 9, 1, -1\n do j = i, 1, -1\n  a(i, j) = a(i, j) + 1\n enddo\nenddo",
-        )
-        .unwrap();
+        let nest =
+            parse_nest("do i = 9, 1, -1\n do j = i, 1, -1\n  a(i, j) = a(i, j) + 1\n enddo\nenddo")
+                .unwrap();
         let t = Template::block(2, 0, 1, vec![Expr::int(3), Expr::int(3)]).unwrap();
         let out = t.apply_to(&nest).unwrap();
         let r = irlt_interp::check_equivalence(&nest, &out, &[], 7).unwrap();
@@ -305,20 +305,20 @@ mod tests {
         // outer-dependent start bound: the element loop's stride phase is
         // anchored at that start, so no tile clipping can be exact — the
         // precondition must reject it.
-        let nest = parse_nest(
-            "do i = 1, 9\n do j = i, 1, -2\n  a(i, j) = a(i, j) + 1\n enddo\nenddo",
-        )
-        .unwrap();
+        let nest =
+            parse_nest("do i = 1, 9\n do j = i, 1, -2\n  a(i, j) = a(i, j) + 1\n enddo\nenddo")
+                .unwrap();
         let t = Template::block(2, 0, 1, vec![Expr::int(4), Expr::int(2)]).unwrap();
         assert!(matches!(
             t.apply_to(&nest),
-            Err(crate::ApplyError::Precond(crate::PrecondError::TypeViolation { .. }))
+            Err(crate::ApplyError::Precond(
+                crate::PrecondError::TypeViolation { .. }
+            ))
         ));
         // With an invariant start bound the same shape blocks fine.
-        let nest = parse_nest(
-            "do i = 1, 9\n do j = 9, i, -2\n  a(i, j) = a(i, j) + 1\n enddo\nenddo",
-        )
-        .unwrap();
+        let nest =
+            parse_nest("do i = 1, 9\n do j = 9, i, -2\n  a(i, j) = a(i, j) + 1\n enddo\nenddo")
+                .unwrap();
         let out = t.apply_to(&nest).unwrap();
         let r = irlt_interp::check_equivalence(&nest, &out, &[], 11).unwrap();
         assert!(r.is_equivalent(), "{r}\n{out}");

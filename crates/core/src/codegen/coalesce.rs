@@ -20,8 +20,10 @@ use irlt_ir::{Expr, Loop, LoopKind, LoopNest, Stmt, Symbol};
 /// Applies the transformation. Preconditions are assumed checked.
 pub(super) fn apply(i: usize, j: usize, nest: &LoopNest) -> LoopNest {
     let range = &nest.loops()[i..=j];
-    let trips: Vec<Expr> =
-        range.iter().map(|l| trip_count(&l.lower, &l.upper, &l.step)).collect();
+    let trips: Vec<Expr> = range
+        .iter()
+        .map(|l| trip_count(&l.lower, &l.upper, &l.step))
+        .collect();
 
     // Name: first letters of the coalesced variables + "c" (the paper's
     // `jic` for coalesced `jj`, `ii`), freshened against the nest.
@@ -55,8 +57,7 @@ pub(super) fn apply(i: usize, j: usize, nest: &LoopNest) -> LoopNest {
     let mut new_inits: Vec<Stmt> = Vec::with_capacity(range.len());
     for (k, l) in range.iter().enumerate() {
         // stride = product of inner trip counts.
-        let stride: Option<Expr> =
-            trips[k + 1..].iter().cloned().reduce(Expr::mul);
+        let stride: Option<Expr> = trips[k + 1..].iter().cloned().reduce(Expr::mul);
         let mut idx = Expr::var(cvar.clone());
         if let Some(stride) = stride {
             idx = Expr::floor_div(idx, stride);
@@ -82,7 +83,10 @@ pub(super) fn apply(i: usize, j: usize, nest: &LoopNest) -> LoopNest {
         })
         .collect();
     let subst = |v: &Symbol| {
-        decode.iter().find(|(name, _)| name == v).map(|(_, e)| e.clone())
+        decode
+            .iter()
+            .find(|(name, _)| name == v)
+            .map(|(_, e)| e.clone())
     };
 
     let mut loops: Vec<Loop> = Vec::with_capacity(nest.depth() - (j - i));
@@ -107,8 +111,7 @@ mod tests {
 
     #[test]
     fn rectangular_coalesce() {
-        let nest =
-            parse_nest("do i = 1, n\n do j = 1, m\n  a(i, j) = 0\n enddo\nenddo").unwrap();
+        let nest = parse_nest("do i = 1, n\n do j = 1, m\n  a(i, j) = 0\n enddo\nenddo").unwrap();
         let t = Template::coalesce(2, 0, 1).unwrap();
         let out = t.apply_to(&nest).unwrap();
         assert_eq!(out.depth(), 1);
@@ -133,8 +136,16 @@ mod tests {
         for c in 0..=8_i64 {
             let env = |s: &irlt_ir::Symbol| (s.as_str() == "ijc").then_some(c);
             let nf = |_: &irlt_ir::Symbol, _: &[i64]| None;
-            let i = out.inits()[0].value().unwrap().eval_scalar(&env, &nf).unwrap();
-            let j = out.inits()[1].value().unwrap().eval_scalar(&env, &nf).unwrap();
+            let i = out.inits()[0]
+                .value()
+                .unwrap()
+                .eval_scalar(&env, &nf)
+                .unwrap();
+            let j = out.inits()[1]
+                .value()
+                .unwrap()
+                .eval_scalar(&env, &nf)
+                .unwrap();
             pairs.push((i, j));
         }
         let expected: Vec<(i64, i64)> = (2..=4)
@@ -170,8 +181,7 @@ mod tests {
 
     #[test]
     fn name_collision_freshens() {
-        let nest =
-            parse_nest("do i = 1, n\n do j = 1, ijc\n  a(i, j) = 0\n enddo\nenddo").unwrap();
+        let nest = parse_nest("do i = 1, n\n do j = 1, ijc\n  a(i, j) = 0\n enddo\nenddo").unwrap();
         let t = Template::coalesce(2, 0, 1).unwrap();
         let out = t.apply_to(&nest).unwrap();
         assert_eq!(out.level(0).var, "ijc_1");
@@ -210,8 +220,8 @@ mod tests {
     #[test]
     fn negative_step_coalesce_decodes_descending() {
         // do i = 9, 1, -4 visits 9, 5, 1.
-        let nest = parse_nest("do i = 9, 1, -4\n do j = 1, 2\n  a(i, j) = 0\n enddo\nenddo")
-            .unwrap();
+        let nest =
+            parse_nest("do i = 9, 1, -4\n do j = 1, 2\n  a(i, j) = 0\n enddo\nenddo").unwrap();
         let t = Template::coalesce(2, 0, 1).unwrap();
         let out = t.apply_to(&nest).unwrap();
         assert_eq!(out.level(0).upper.as_const(), Some(5)); // 3·2 − 1
@@ -220,8 +230,16 @@ mod tests {
         for c in 0..=5_i64 {
             let env = |s: &irlt_ir::Symbol| (s == &cvar).then_some(c);
             let nf = |_: &irlt_ir::Symbol, _: &[i64]| None;
-            let i = out.inits()[0].value().unwrap().eval_scalar(&env, &nf).unwrap();
-            let j = out.inits()[1].value().unwrap().eval_scalar(&env, &nf).unwrap();
+            let i = out.inits()[0]
+                .value()
+                .unwrap()
+                .eval_scalar(&env, &nf)
+                .unwrap();
+            let j = out.inits()[1]
+                .value()
+                .unwrap()
+                .eval_scalar(&env, &nf)
+                .unwrap();
             seen.push((i, j));
         }
         assert_eq!(seen, vec![(9, 1), (9, 2), (5, 1), (5, 2), (1, 1), (1, 2)]);

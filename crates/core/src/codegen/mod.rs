@@ -88,13 +88,11 @@ impl Template {
         self.check_preconditions(nest)?;
         match self {
             Template::Unimodular { matrix } => {
-                let t = UnimodularTransform::new(matrix.clone())
-                    .expect("validated at construction");
+                let t =
+                    UnimodularTransform::new(matrix.clone()).expect("validated at construction");
                 Ok(t.apply(nest)?)
             }
-            Template::ReversePermute { rev, perm } => {
-                Ok(reverse_permute::apply(rev, perm, nest))
-            }
+            Template::ReversePermute { rev, perm } => Ok(reverse_permute::apply(rev, perm, nest)),
             Template::Parallelize { parflag } => {
                 let loops = nest
                     .loops()
@@ -108,7 +106,11 @@ impl Template {
                         l
                     })
                     .collect();
-                Ok(LoopNest::with_inits(loops, nest.inits().to_vec(), nest.body().to_vec()))
+                Ok(LoopNest::with_inits(
+                    loops,
+                    nest.inits().to_vec(),
+                    nest.body().to_vec(),
+                ))
             }
             Template::Block { i, j, bsize, .. } => Ok(block::apply(*i, *j, bsize, nest)),
             Template::Coalesce { i, j, .. } => Ok(coalesce::apply(*i, *j, nest)),
@@ -166,8 +168,7 @@ mod tests {
 
     #[test]
     fn parallelize_flips_kinds_only() {
-        let nest =
-            parse_nest("do i = 1, n\n do j = 1, i\n  a(i, j) = 0\n enddo\nenddo").unwrap();
+        let nest = parse_nest("do i = 1, n\n do j = 1, i\n  a(i, j) = 0\n enddo\nenddo").unwrap();
         let t = Template::parallelize(vec![false, true]);
         let out = t.apply_to(&nest).unwrap();
         assert!(!out.level(0).kind.is_parallel());
@@ -179,8 +180,14 @@ mod tests {
 
     #[test]
     fn trip_count_folds() {
-        assert_eq!(trip_count(&Expr::int(1), &Expr::int(10), &Expr::int(3)), Expr::int(4));
-        assert_eq!(trip_count(&Expr::int(10), &Expr::int(1), &Expr::int(-4)), Expr::int(3));
+        assert_eq!(
+            trip_count(&Expr::int(1), &Expr::int(10), &Expr::int(3)),
+            Expr::int(4)
+        );
+        assert_eq!(
+            trip_count(&Expr::int(10), &Expr::int(1), &Expr::int(-4)),
+            Expr::int(3)
+        );
         let symbolic = trip_count(&Expr::int(1), &Expr::var("n"), &Expr::int(1));
         assert_eq!(symbolic.to_string(), "n"); // (n−1)/1+1 folds
     }

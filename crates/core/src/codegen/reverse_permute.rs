@@ -22,7 +22,10 @@ pub(super) fn apply(rev: &[bool], perm: &Permutation, nest: &LoopNest) -> LoopNe
         debug_assert!(slot.is_none());
         *slot = Some(l);
     }
-    let loops = slots.into_iter().map(|l| l.expect("perm is total")).collect();
+    let loops = slots
+        .into_iter()
+        .map(|l| l.expect("perm is total"))
+        .collect();
     LoopNest::with_inits(loops, nest.inits().to_vec(), nest.body().to_vec())
 }
 
@@ -116,10 +119,7 @@ mod tests {
         let nest = parse_nest("do i = 1, n, 2\n a(i) = i\nenddo").unwrap();
         let t = Template::reverse_permute(vec![true], vec![0]).unwrap();
         let out = t.apply_to(&nest).unwrap();
-        assert_eq!(
-            out.level(0).to_string(),
-            "do i = n - (n - 1) mod 2, 1, -2"
-        );
+        assert_eq!(out.level(0).to_string(), "do i = n - (n - 1) mod 2, 1, -2");
     }
 
     #[test]
@@ -141,8 +141,7 @@ mod tests {
         // i→2, j→0, k→1 (paper Fig. 7 first step uses perm=[3 1 2] 1-based).
         let t = Template::reverse_permute(vec![false; 3], vec![2, 0, 1]).unwrap();
         let out = t.apply_to(&nest).unwrap();
-        let vars: Vec<&str> =
-            out.loops().iter().map(|l| l.var.as_str()).collect();
+        let vars: Vec<&str> = out.loops().iter().map(|l| l.var.as_str()).collect();
         assert_eq!(vars, ["j", "k", "i"]);
         assert_eq!(out.level(0).step, Expr::int(2));
         assert_eq!(out.level(2).upper.to_string(), "n");
@@ -150,8 +149,7 @@ mod tests {
 
     #[test]
     fn reverse_and_permute_combine() {
-        let nest =
-            parse_nest("do i = 1, n\n do j = 1, m\n  a(i, j) = 0\n enddo\nenddo").unwrap();
+        let nest = parse_nest("do i = 1, n\n do j = 1, m\n  a(i, j) = 0\n enddo\nenddo").unwrap();
         let t = Template::reverse_permute(vec![false, true], vec![1, 0]).unwrap();
         let out = t.apply_to(&nest).unwrap();
         assert_eq!(out.level(0).to_string(), "do j = m, 1, -1");
@@ -160,7 +158,8 @@ mod tests {
 
     #[test]
     fn pardo_loops_preserved() {
-        let nest = parse_nest("pardo i = 1, n\n do j = 1, m\n  a(i, j) = 0\n enddo\nenddo").unwrap();
+        let nest =
+            parse_nest("pardo i = 1, n\n do j = 1, m\n  a(i, j) = 0\n enddo\nenddo").unwrap();
         let t = Template::reverse_permute(vec![true, false], vec![1, 0]).unwrap();
         let out = t.apply_to(&nest).unwrap();
         assert_eq!(out.level(1).to_string(), "pardo i = n, 1, -1");

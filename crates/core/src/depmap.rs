@@ -34,7 +34,11 @@ impl Template {
     /// # Ok::<(), irlt_core::TemplateError>(())
     /// ```
     pub fn map_dep_vector(&self, d: &DepVector) -> Vec<DepVector> {
-        assert_eq!(d.len(), self.input_size(), "dependence vector arity mismatch");
+        assert_eq!(
+            d.len(),
+            self.input_size(),
+            "dependence vector arity mismatch"
+        );
         match self {
             Template::Unimodular { matrix } => unimodular_map(matrix, d),
             Template::ReversePermute { rev, perm } => {
@@ -142,8 +146,7 @@ fn split_range_map(
     rule: fn(DepElem) -> Vec<(DepElem, DepElem)>,
 ) -> Vec<DepVector> {
     // Cartesian product of the per-entry pair choices over the range.
-    let choices: Vec<Vec<(DepElem, DepElem)>> =
-        d.elems()[i..=j].iter().map(|&e| rule(e)).collect();
+    let choices: Vec<Vec<(DepElem, DepElem)>> = d.elems()[i..=j].iter().map(|&e| rule(e)).collect();
     let mut combos: Vec<Vec<(DepElem, DepElem)>> = vec![Vec::with_capacity(j - i + 1)];
     for options in &choices {
         let mut next = Vec::with_capacity(combos.len() * options.len());
@@ -159,8 +162,7 @@ fn split_range_map(
     combos
         .into_iter()
         .map(|pairs| {
-            let mut elems: Vec<DepElem> =
-                Vec::with_capacity(d.len() + (j - i + 1));
+            let mut elems: Vec<DepElem> = Vec::with_capacity(d.len() + (j - i + 1));
             elems.extend_from_slice(&d.elems()[..i]);
             elems.extend(pairs.iter().map(|&(b, _)| b));
             elems.extend(pairs.iter().map(|&(_, e)| e));
@@ -231,11 +233,17 @@ mod tests {
 
     #[test]
     fn blockmap_table2_rows() {
-        assert_eq!(blockmap(DepElem::ZERO), vec![(DepElem::ZERO, DepElem::ZERO)]);
+        assert_eq!(
+            blockmap(DepElem::ZERO),
+            vec![(DepElem::ZERO, DepElem::ZERO)]
+        );
         assert_eq!(blockmap(DepElem::ANY), vec![(DepElem::ANY, DepElem::ANY)]);
         assert_eq!(
             blockmap(DepElem::Dist(1)),
-            vec![(DepElem::ZERO, DepElem::Dist(1)), (DepElem::Dist(1), DepElem::ANY)]
+            vec![
+                (DepElem::ZERO, DepElem::Dist(1)),
+                (DepElem::Dist(1), DepElem::ANY)
+            ]
         );
         assert_eq!(
             blockmap(DepElem::Dist(-1)),
@@ -248,7 +256,10 @@ mod tests {
         // may stay in the block or cross into the next).
         assert_eq!(
             blockmap(DepElem::Dist(5)),
-            vec![(DepElem::ZERO, DepElem::Dist(5)), (DepElem::POS, DepElem::ANY)]
+            vec![
+                (DepElem::ZERO, DepElem::Dist(5)),
+                (DepElem::POS, DepElem::ANY)
+            ]
         );
         assert_eq!(
             blockmap(DepElem::Dir(Dir::NonNeg)),
@@ -351,16 +362,25 @@ mod tests {
             DepElem::Dir(Dir::NonNeg)
         );
         // (*, +): the zero tuple is impossible (second entry > 0), so ≠.
-        assert_eq!(mergedirs(&[DepElem::ANY, DepElem::POS]), DepElem::Dir(Dir::NonZero));
+        assert_eq!(
+            mergedirs(&[DepElem::ANY, DepElem::POS]),
+            DepElem::Dir(Dir::NonZero)
+        );
         // Distances collapse to their lex sign.
-        assert_eq!(mergedirs(&[DepElem::Dist(2), DepElem::Dist(-7)]), DepElem::POS);
+        assert_eq!(
+            mergedirs(&[DepElem::Dist(2), DepElem::Dist(-7)]),
+            DepElem::POS
+        );
     }
 
     #[test]
     fn coalesce_mapping() {
         let t = Template::coalesce(3, 1, 2).unwrap();
         let out = t.map_dep_vector(&dist(&[4, 0, -2]));
-        assert_eq!(out, vec![DepVector::new(vec![DepElem::Dist(4), DepElem::NEG])]);
+        assert_eq!(
+            out,
+            vec![DepVector::new(vec![DepElem::Dist(4), DepElem::NEG])]
+        );
         assert_eq!(out[0].len(), 2);
         // Coalescing a legal set can stay legal.
         let t = Template::coalesce(2, 0, 1).unwrap();
@@ -384,7 +404,11 @@ mod tests {
         let out = t.map_dep_vector(&dist(&[0, 2]));
         assert_eq!(
             out,
-            vec![DepVector::new(vec![DepElem::ZERO, DepElem::ANY, DepElem::ANY])]
+            vec![DepVector::new(vec![
+                DepElem::ZERO,
+                DepElem::ANY,
+                DepElem::ANY
+            ])]
         );
         // Interleaving a carried loop is illegal (unlike blocking it).
         let d = DepSet::from_distances(&[&[0, 2]]);

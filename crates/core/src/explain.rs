@@ -6,6 +6,7 @@
 use crate::sequence::{SeqApplyError, TransformSeq};
 use irlt_dependence::DepSet;
 use irlt_ir::LoopNest;
+use irlt_obs::Telemetry;
 use std::fmt::Write as _;
 
 impl TransformSeq {
@@ -35,6 +36,26 @@ impl TransformSeq {
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
     pub fn explain(&self, nest: &LoopNest, deps: &DepSet) -> Result<String, SeqApplyError> {
+        self.explain_observed(nest, deps, &Telemetry::disabled())
+    }
+
+    /// [`TransformSeq::explain`] fed by the observability layer: the
+    /// stage-by-stage dependence mapping runs through the observed
+    /// (telemetry-recording) path, and when the handle is enabled the
+    /// rendered [`irlt_obs::Report`] — per-template image fan-out
+    /// histograms included — is appended under a `telemetry` heading.
+    /// With a disabled handle the output is exactly
+    /// [`TransformSeq::explain`]'s.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TransformSeq::explain`].
+    pub fn explain_observed(
+        &self,
+        nest: &LoopNest,
+        deps: &DepSet,
+        tel: &Telemetry,
+    ) -> Result<String, SeqApplyError> {
         let mut out = String::new();
         let mut shape = LoopNest::with_inits(nest.loops().to_vec(), Vec::new(), Vec::new());
         let mut d = deps.clone();
@@ -43,9 +64,16 @@ impl TransformSeq {
             shape = step
                 .apply_to(&shape)
                 .map_err(|error| SeqApplyError { step: k, error })?;
-            shape = LoopNest::with_inits(shape.loops().to_vec(), shape.inits().to_vec(), Vec::new());
-            d = step.map_dep_set(&d);
+            shape =
+                LoopNest::with_inits(shape.loops().to_vec(), shape.inits().to_vec(), Vec::new());
+            d = step.map_dep_set_observed(&d, tel);
             render_stage(&mut out, &step.to_string(), &d, &shape);
+        }
+        if tel.is_enabled() {
+            let _ = writeln!(out, "telemetry");
+            for line in tel.report().render().lines() {
+                let _ = writeln!(out, "  {line}");
+            }
         }
         Ok(out)
     }
@@ -57,7 +85,11 @@ fn render_stage(out: &mut String, label: &str, deps: &DepSet, shape: &LoopNest) 
     let _ = writeln!(
         out,
         "  D = {{{}}}",
-        if dep_strs.is_empty() { "∅".to_string() } else { dep_strs.join(", ") }
+        if dep_strs.is_empty() {
+            "∅".to_string()
+        } else {
+            dep_strs.join(", ")
+        }
     );
     let header = format!(
         "  {:<8} {:<28} {:<28} {:<14} loop",
@@ -117,8 +149,7 @@ mod tests {
 
     #[test]
     fn explanation_reports_failing_step() {
-        let nest =
-            parse_nest("do i = 1, n\n do j = 1, i\n  a(i, j) = 0\n enddo\nenddo").unwrap();
+        let nest = parse_nest("do i = 1, n\n do j = 1, i\n  a(i, j) = 0\n enddo\nenddo").unwrap();
         // ReversePermute interchange violates its precondition on the
         // triangular nest.
         let seq = TransformSeq::new(2)
@@ -126,6 +157,31 @@ mod tests {
             .unwrap();
         let err = seq.explain(&nest, &DepSet::new()).unwrap_err();
         assert_eq!(err.step, 0);
+    }
+
+    #[test]
+    fn observed_explanation_appends_telemetry_with_fanout() {
+        let nest =
+            parse_nest("do i = 1, n\n do j = 1, n\n  a(i, j) = a(i - 1, j - 1) + 1\n enddo\nenddo")
+                .unwrap();
+        let deps = irlt_dependence::analyze_dependences(&nest);
+        let seq = TransformSeq::new(2)
+            .block(0, 1, vec![Expr::int(4), Expr::int(4)])
+            .unwrap();
+        let tel = Telemetry::enabled();
+        let text = seq.explain_observed(&nest, &deps, &tel).unwrap();
+        assert!(text.contains("telemetry"), "{text}");
+        assert!(text.contains("depmap/fanout/Block"), "{text}");
+        // Blocking the (1,1) distance fans out to 2×2 = 4 images.
+        assert_eq!(tel.report().histograms["depmap/fanout/Block"][&4], 1);
+        // The disabled path renders exactly the plain explanation.
+        let plain = seq.explain(&nest, &deps).unwrap();
+        assert_eq!(
+            seq.explain_observed(&nest, &deps, &Telemetry::disabled())
+                .unwrap(),
+            plain
+        );
+        assert!(!plain.contains("telemetry"), "{plain}");
     }
 
     #[test]

@@ -45,6 +45,7 @@ use crate::sequence::{IllegalReason, SequenceError, Step, TransformSeq};
 use crate::template::Template;
 use irlt_dependence::DepSet;
 use irlt_ir::LoopNest;
+use irlt_obs::Telemetry;
 use std::fmt;
 
 /// Cached legality state of one legal sequence prefix: the sequence, the
@@ -78,6 +79,7 @@ pub struct SeqState {
     shape: LoopNest,
     mapped: DepSet,
     prune: bool,
+    telemetry: Telemetry,
 }
 
 /// Alias for [`SeqState`] naming its role: the cache that lets
@@ -96,7 +98,22 @@ impl SeqState {
             shape: LoopNest::with_inits(nest.loops().to_vec(), Vec::new(), Vec::new()),
             mapped: deps.clone(),
             prune: false,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle; every state derived through
+    /// [`SeqState::extend`] inherits it. With the handle enabled, each
+    /// extension records legality-cache reuse (`legality/cache/hits`,
+    /// `legality/cache/steps_saved`), rejection taxonomy counters
+    /// (`legality/reject/*`), subsumption-pruning work
+    /// (`legality/prune/*`), and the dependence layer's per-template
+    /// fan-out histograms. The default (disabled) handle records nothing
+    /// and adds no work to the hot path.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> SeqState {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Enables (or disables) subsumption pruning of the cached set; the
@@ -157,28 +174,68 @@ impl SeqState {
     ///
     /// As for [`SeqState::extend`].
     pub fn extend_step(&self, step: Step) -> Result<SeqState, ExtendError> {
+        let tel = &self.telemetry;
         let k = self.seq.len();
         let seq = match &step {
             Step::Builtin(t) => self.seq.clone().push(t.clone()),
             Step::Custom(c) => self.seq.clone().push_custom(c.clone()),
         }
         .map_err(ExtendError::Sequence)?;
-        if let Err(error) = step.check_preconditions(&self.shape) {
-            return Err(ExtendError::Illegal(IllegalReason::Precondition { step: k, error }));
+        if tel.is_enabled() {
+            // Every extension past the chaining check reuses this state's
+            // cached mapped set and shape — for a non-root prefix that is
+            // a legality-cache hit saving k replayed mapping steps.
+            tel.incr("legality/extensions");
+            if k > 0 {
+                tel.incr("legality/cache/hits");
+                tel.count("legality/cache/steps_saved", k as u64);
+            }
         }
-        let shape = step
-            .apply_to(&self.shape)
-            .map_err(|error| ExtendError::Illegal(IllegalReason::CodeGen { step: k, error }))?;
+        if let Err(error) = step.check_preconditions(&self.shape) {
+            tel.incr("legality/reject/precondition");
+            return Err(ExtendError::Illegal(IllegalReason::Precondition {
+                step: k,
+                error,
+            }));
+        }
+        let shape = match step.apply_to(&self.shape) {
+            Ok(shape) => shape,
+            Err(error) => {
+                tel.incr("legality/reject/codegen");
+                return Err(ExtendError::Illegal(IllegalReason::CodeGen {
+                    step: k,
+                    error,
+                }));
+            }
+        };
         let mapped = self
             .mapped
-            .try_map_vectors(|v| step.map_dep_vector(v))
-            .map_err(|w| ExtendError::Illegal(IllegalReason::Dependences { witnesses: vec![w] }))?;
+            .try_map_vectors_observed(|v| step.map_dep_vector(v), tel, &step.name())
+            .map_err(|w| {
+                tel.incr("legality/reject/dependences");
+                ExtendError::Illegal(IllegalReason::Dependences { witnesses: vec![w] })
+            })?;
         let mapped = if self.prune && matches!(step, Step::Builtin(_)) {
-            mapped.prune_subsumed()
+            let before = mapped.len();
+            let pruned = mapped.prune_subsumed();
+            if tel.is_enabled() {
+                tel.incr("legality/prune/calls");
+                tel.count(
+                    "legality/prune/vectors_dropped",
+                    (before - pruned.len()) as u64,
+                );
+            }
+            pruned
         } else {
             mapped
         };
-        Ok(SeqState { seq, shape, mapped, prune: self.prune })
+        Ok(SeqState {
+            seq,
+            shape,
+            mapped,
+            prune: self.prune,
+            telemetry: tel.clone(),
+        })
     }
 }
 
@@ -243,7 +300,10 @@ mod tests {
                     state = next;
                 }
                 Err(e) => {
-                    assert!(!scratch.is_legal(), "incremental rejected legal prefix: {e}");
+                    assert!(
+                        !scratch.is_legal(),
+                        "incremental rejected legal prefix: {e}"
+                    );
                     return;
                 }
             }
@@ -297,17 +357,20 @@ mod tests {
     fn size_mismatch_is_not_illegal() {
         let (nest, deps) = stencil();
         let root = SeqState::root(&nest, &deps);
-        let err = root.extend(Template::parallelize(vec![true; 3])).unwrap_err();
+        let err = root
+            .extend(Template::parallelize(vec![true; 3]))
+            .unwrap_err();
         assert!(!err.is_illegal());
         assert!(err.to_string().contains("3-deep"));
     }
 
     #[test]
     fn precondition_rejection_reports_step_index() {
-        let nest =
-            parse_nest("do i = 1, n\n do j = 1, i\n  a(i, j) = 0\n enddo\nenddo").unwrap();
+        let nest = parse_nest("do i = 1, n\n do j = 1, i\n  a(i, j) = 0\n enddo\nenddo").unwrap();
         let root = SeqState::root(&nest, &DepSet::new());
-        let s = root.extend(Template::parallelize(vec![false, false])).unwrap();
+        let s = root
+            .extend(Template::parallelize(vec![false, false]))
+            .unwrap();
         let swap = Template::reverse_permute(vec![false, false], vec![1, 0]).unwrap();
         match s.extend(swap) {
             Err(ExtendError::Illegal(IllegalReason::Precondition { step, .. })) => {
@@ -343,13 +406,78 @@ mod tests {
             if let (Ok(a), Ok(b)) = (a, b) {
                 // Same tuple set: mutual pairwise-subsumption cover.
                 for v in a.mapped_deps() {
-                    assert!(b.mapped_deps().iter().any(|w| v.subsumed_by(w)), "{v} uncovered");
+                    assert!(
+                        b.mapped_deps().iter().any(|w| v.subsumed_by(w)),
+                        "{v} uncovered"
+                    );
                 }
                 for v in b.mapped_deps() {
-                    assert!(a.mapped_deps().iter().any(|w| v.subsumed_by(w)), "{v} uncovered");
+                    assert!(
+                        a.mapped_deps().iter().any(|w| v.subsumed_by(w)),
+                        "{v} uncovered"
+                    );
                 }
             }
         }
+    }
+
+    #[test]
+    fn telemetry_counts_cache_hits_and_rejections() {
+        let (nest, deps) = stencil();
+        let tel = Telemetry::enabled();
+        let root = SeqState::root(&nest, &deps)
+            .with_pruning(true)
+            .with_telemetry(tel.clone());
+        // Legal chain of two steps: skew then interchange.
+        let s1 = root
+            .extend(Template::unimodular(IntMatrix::skew(2, 0, 1, 1)).unwrap())
+            .unwrap();
+        let s2 = s1
+            .extend(Template::unimodular(IntMatrix::interchange(2, 0, 1)).unwrap())
+            .unwrap();
+        // A dependence-illegal extension from the root (both loops carried).
+        assert!(root
+            .extend(Template::parallelize(vec![true, true]))
+            .is_err());
+        // An arity mismatch: never reaches the legality test or counters.
+        assert!(s2.extend(Template::parallelize(vec![true; 3])).is_err());
+        let r = tel.report();
+        assert_eq!(r.counter("legality/extensions"), 3);
+        // Only the extension of a non-root prefix is a cache hit.
+        assert_eq!(r.counter("legality/cache/hits"), 1);
+        assert_eq!(r.counter("legality/cache/steps_saved"), 1);
+        assert_eq!(r.counter("legality/reject/dependences"), 1);
+        assert_eq!(r.counter("depmap/failfast_short_circuits"), 1);
+        // Pruning ran after each successful built-in extension.
+        assert_eq!(r.counter("legality/prune/calls"), 2);
+        // Fan-out histograms are labelled by template.
+        assert!(
+            r.histograms.contains_key("depmap/fanout/Unimodular"),
+            "{:?}",
+            r.histograms
+        );
+        // The handle is inherited: s2 still records into the same sink.
+        assert!(s2.extend(Template::parallelize(vec![false, true])).is_ok());
+        assert_eq!(tel.report().counter("legality/extensions"), 4);
+    }
+
+    #[test]
+    fn telemetry_disabled_by_default_and_results_identical() {
+        let (nest, deps) = stencil();
+        let tel = Telemetry::enabled();
+        let plain = SeqState::root(&nest, &deps).with_pruning(true);
+        let observed = SeqState::root(&nest, &deps)
+            .with_pruning(true)
+            .with_telemetry(tel.clone());
+        let t = Template::unimodular(IntMatrix::skew(2, 0, 1, 1)).unwrap();
+        let a = plain.extend(t.clone()).unwrap();
+        let b = observed.extend(t).unwrap();
+        assert_eq!(a.mapped_deps(), b.mapped_deps());
+        assert_eq!(a.shape(), b.shape());
+        assert_eq!(a.seq().to_string(), b.seq().to_string());
+        // The default state never recorded anything anywhere.
+        assert!(plain.telemetry.report().counters.is_empty());
+        assert!(tel.report().counter("legality/extensions") > 0);
     }
 
     #[test]

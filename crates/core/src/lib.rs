@@ -49,11 +49,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod catalog;
 mod bounds;
+pub mod catalog;
 mod codegen;
-mod explain;
 mod depmap;
+mod explain;
 mod incremental;
 mod precond;
 mod script;
@@ -67,7 +67,7 @@ pub use incremental::{ExtendError, LegalityCache, SeqState};
 pub use precond::PrecondError;
 pub use script::ScriptError;
 pub use sequence::{
-    init_prefix, IllegalReason, KernelTemplate, LegalityReport, SeqApplyError, SequenceError,
-    Step, TransformSeq,
+    init_prefix, IllegalReason, KernelTemplate, LegalityReport, SeqApplyError, SequenceError, Step,
+    TransformSeq,
 };
 pub use template::{Permutation, Template, TemplateError};

@@ -65,20 +65,36 @@ impl fmt::Display for PrecondError {
             PrecondError::DepthMismatch { expected, found } => {
                 write!(f, "template expects a {expected}-deep nest, found {found}")
             }
-            PrecondError::TypeViolation { template, level, side, wrt, required, found } => {
+            PrecondError::TypeViolation {
+                template,
+                level,
+                side,
+                wrt,
+                required,
+                found,
+            } => {
                 write!(
                     f,
                     "{template}: type({side:?} bound of loop {level}, {wrt}) = {found} ⋢ {required}"
                 )
             }
             PrecondError::NonConstStep { template, level } => {
-                write!(f, "{template}: step of loop {level} is not a compile-time constant")
+                write!(
+                    f,
+                    "{template}: step of loop {level} is not a compile-time constant"
+                )
             }
             PrecondError::SizeNotInvariant { template, pos, var } => {
-                write!(f, "{template}: size expression {pos} references loop index `{var}`")
+                write!(
+                    f,
+                    "{template}: size expression {pos} references loop index `{var}`"
+                )
             }
             PrecondError::ParallelLoop { level } => {
-                write!(f, "Unimodular: loop {level} is pardo (sequential nests only)")
+                write!(
+                    f,
+                    "Unimodular: loop {level} is pardo (sequential nests only)"
+                )
             }
         }
     }
@@ -115,7 +131,10 @@ impl Template {
     pub fn check_preconditions(&self, nest: &LoopNest) -> Result<(), PrecondError> {
         let n = nest.depth();
         if n != self.input_size() {
-            return Err(PrecondError::DepthMismatch { expected: self.input_size(), found: n });
+            return Err(PrecondError::DepthMismatch {
+                expected: self.input_size(),
+                found: n,
+            });
         }
         let indices = nest.index_vars();
         match self {
@@ -251,10 +270,31 @@ fn range_linear_preconditions(
             // phase anchor: if it varied with another blocked variable, the
             // tile-clipped element loop would restart off-phase. Require
             // invariance then; unit steps only need linearity.
-            let lower_req =
-                if step.abs() == 1 { ExprType::Linear } else { ExprType::Invar };
-            require(template, m, BoundSide::Lower, &l.lower, step_pos, &indices[k], indices, lower_req)?;
-            require(template, m, BoundSide::Upper, &l.upper, step_pos, &indices[k], indices, ExprType::Linear)?;
+            let lower_req = if step.abs() == 1 {
+                ExprType::Linear
+            } else {
+                ExprType::Invar
+            };
+            require(
+                template,
+                m,
+                BoundSide::Lower,
+                &l.lower,
+                step_pos,
+                &indices[k],
+                indices,
+                lower_req,
+            )?;
+            require(
+                template,
+                m,
+                BoundSide::Upper,
+                &l.upper,
+                step_pos,
+                &indices[k],
+                indices,
+                ExprType::Linear,
+            )?;
         }
     }
     Ok(())
@@ -338,7 +378,12 @@ mod tests {
         let err = t.check_preconditions(&sparse_matmul()).unwrap_err();
         assert!(matches!(
             err,
-            PrecondError::TypeViolation { template: "Unimodular", level: 2, found: ExprType::Nonlinear, .. }
+            PrecondError::TypeViolation {
+                template: "Unimodular",
+                level: 2,
+                found: ExprType::Nonlinear,
+                ..
+            }
         ));
     }
 
@@ -358,7 +403,11 @@ mod tests {
         let err = t.check_preconditions(&sparse_matmul()).unwrap_err();
         assert!(matches!(
             err,
-            PrecondError::TypeViolation { template: "ReversePermute", level: 2, .. }
+            PrecondError::TypeViolation {
+                template: "ReversePermute",
+                level: 2,
+                ..
+            }
         ));
     }
 
@@ -382,7 +431,8 @@ mod tests {
     #[test]
     fn reverse_permute_allows_symbolic_steps() {
         // "step expressions are not normalized to ±1" — symbolic step ok.
-        let nest = parse_nest("do i = 1, n, s\n do j = 1, m\n  a(i, j) = 0\n enddo\nenddo").unwrap();
+        let nest =
+            parse_nest("do i = 1, n, s\n do j = 1, m\n  a(i, j) = 0\n enddo\nenddo").unwrap();
         let t = Template::reverse_permute(vec![true, false], vec![1, 0]).unwrap();
         assert!(t.check_preconditions(&nest).is_ok());
         // Unimodular requires constant steps.
@@ -421,7 +471,11 @@ mod tests {
         let t = Template::block(2, 0, 1, vec![Expr::var("b"), Expr::var("i")]).unwrap();
         assert!(matches!(
             t.check_preconditions(&triangular()),
-            Err(PrecondError::SizeNotInvariant { template: "Block", pos: 1, .. })
+            Err(PrecondError::SizeNotInvariant {
+                template: "Block",
+                pos: 1,
+                ..
+            })
         ));
     }
 
@@ -436,9 +490,10 @@ mod tests {
     #[test]
     fn coalesce_outer_dependence_allowed() {
         // Bounds may depend on loops *outside* the coalesced range.
-        let nest =
-            parse_nest("do i = 1, n\n do j = 1, i\n  do k = 1, i\n   a(i, j, k) = 0\n  enddo\n enddo\nenddo")
-                .unwrap();
+        let nest = parse_nest(
+            "do i = 1, n\n do j = 1, i\n  do k = 1, i\n   a(i, j, k) = 0\n  enddo\n enddo\nenddo",
+        )
+        .unwrap();
         let t = Template::coalesce(3, 1, 2).unwrap();
         assert!(t.check_preconditions(&nest).is_ok());
     }
@@ -455,7 +510,10 @@ mod tests {
         let t = Template::interleave(2, 1, 1, vec![Expr::var("i")]).unwrap();
         assert!(matches!(
             t.check_preconditions(&triangular()),
-            Err(PrecondError::SizeNotInvariant { template: "Interleave", .. })
+            Err(PrecondError::SizeNotInvariant {
+                template: "Interleave",
+                ..
+            })
         ));
         // Symbolic step in the range rejected.
         let nest =
@@ -463,7 +521,10 @@ mod tests {
         let t = Template::interleave(2, 0, 0, vec![Expr::int(2)]).unwrap();
         assert!(matches!(
             t.check_preconditions(&nest),
-            Err(PrecondError::NonConstStep { template: "Interleave", level: 0 })
+            Err(PrecondError::NonConstStep {
+                template: "Interleave",
+                level: 0
+            })
         ));
     }
 
@@ -472,7 +533,10 @@ mod tests {
         let t = Template::parallelize(vec![true]);
         assert_eq!(
             t.check_preconditions(&triangular()),
-            Err(PrecondError::DepthMismatch { expected: 1, found: 2 })
+            Err(PrecondError::DepthMismatch {
+                expected: 1,
+                found: 2
+            })
         );
     }
 

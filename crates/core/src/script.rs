@@ -44,7 +44,10 @@ impl fmt::Display for ScriptError {
 impl std::error::Error for ScriptError {}
 
 fn err(line: usize, message: impl Into<String>) -> ScriptError {
-    ScriptError { line, message: message.into() }
+    ScriptError {
+        line,
+        message: message.into(),
+    }
 }
 
 impl TransformSeq {
@@ -185,13 +188,21 @@ fn bools(items: &[bool], yes: &str, no: &str) -> String {
 }
 
 fn nums(items: &[usize]) -> String {
-    items.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" ")
+    items
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 fn exprs(items: &[Expr]) -> String {
     // Semicolon-separated: expressions may contain spaces (`n - 1`) and
     // commas (`min(a, b)`), but never semicolons.
-    items.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("; ")
+    items
+        .iter()
+        .map(|e| e.to_string())
+        .collect::<Vec<_>>()
+        .join("; ")
 }
 
 fn parse_template_line(head: &str, rest: &str, line_no: usize) -> Result<Template, ScriptError> {
@@ -290,7 +301,10 @@ fn parse_bools(body: &str, line_no: usize) -> Result<Vec<bool>, ScriptError> {
 
 fn parse_usizes(body: &str, line_no: usize) -> Result<Vec<usize>, ScriptError> {
     body.split_whitespace()
-        .map(|tok| tok.parse().map_err(|_| err(line_no, format!("bad index `{tok}`"))))
+        .map(|tok| {
+            tok.parse()
+                .map_err(|_| err(line_no, format!("bad index `{tok}`")))
+        })
         .collect()
 }
 
@@ -336,10 +350,7 @@ fn parse_range_template(
         "interleave" => {
             let (i, j) = parse_ij()?;
             let isize_ = parse_exprs(get("isize")?, line_no)?;
-            Some(
-                Template::interleave(n, i, j, isize_)
-                    .map_err(|e| err(line_no, e.to_string()))?,
-            )
+            Some(Template::interleave(n, i, j, isize_).map_err(|e| err(line_no, e.to_string()))?)
         }
         _ => None,
     };
@@ -387,9 +398,18 @@ mod tests {
     fn script_text_shape() {
         let script = sample().to_script().unwrap();
         assert!(script.starts_with("n = 3\n"), "{script}");
-        assert!(script.contains("reverse_permute rev=[F T F] perm=[2 0 1]"), "{script}");
-        assert!(script.contains("block i=0 j=2 bsize=[bj; bk; bi]"), "{script}");
-        assert!(script.contains("parallelize flags=[1 0 1 0 0 0]"), "{script}");
+        assert!(
+            script.contains("reverse_permute rev=[F T F] perm=[2 0 1]"),
+            "{script}"
+        );
+        assert!(
+            script.contains("block i=0 j=2 bsize=[bj; bk; bi]"),
+            "{script}"
+        );
+        assert!(
+            script.contains("parallelize flags=[1 0 1 0 0 0]"),
+            "{script}"
+        );
         assert!(script.contains("coalesce i=0 j=1"), "{script}");
         assert!(script.contains("interleave i=1 j=1 isize=[4]"), "{script}");
         assert!(script.contains("unimodular m=["), "{script}");
@@ -398,7 +418,11 @@ mod tests {
     #[test]
     fn compound_size_expressions_roundtrip() {
         let seq = TransformSeq::new(1)
-            .block(0, 0, vec![Expr::min2(Expr::var("b"), Expr::var("n") - Expr::int(1))])
+            .block(
+                0,
+                0,
+                vec![Expr::min2(Expr::var("b"), Expr::var("n") - Expr::int(1))],
+            )
             .unwrap();
         let script = seq.to_script().unwrap();
         assert!(script.contains("bsize=[min(b, n - 1)]"), "{script}");
@@ -478,7 +502,9 @@ mod tests {
                 Ok(nest.clone())
             }
         }
-        let seq = TransformSeq::new(1).push_custom(std::sync::Arc::new(Nop)).unwrap();
+        let seq = TransformSeq::new(1)
+            .push_custom(std::sync::Arc::new(Nop))
+            .unwrap();
         let e = seq.to_script().unwrap_err();
         assert!(e.message.contains("Nop"), "{e}");
     }

@@ -128,6 +128,18 @@ impl Step {
         }
     }
 
+    /// [`Step::map_dep_set`] with telemetry: records the per-vector image
+    /// fan-out histogram under `depmap/fanout/<template name>` plus the
+    /// `depmap/*` mapping counters. Identical to `map_dep_set` when the
+    /// handle is disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set arity differs from the step's input size.
+    pub fn map_dep_set_observed(&self, deps: &DepSet, tel: &irlt_obs::Telemetry) -> DepSet {
+        deps.map_vectors_observed(|v| self.map_dep_vector(v), tel, &self.name())
+    }
+
     /// Dependence mapping for a single vector (the per-step rule).
     pub fn map_dep_vector(&self, d: &DepVector) -> Vec<DepVector> {
         match self {
@@ -189,7 +201,11 @@ pub enum SequenceError {
 impl fmt::Display for SequenceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SequenceError::SizeMismatch { step, expected, found } => write!(
+            SequenceError::SizeMismatch {
+                step,
+                expected,
+                found,
+            } => write!(
                 f,
                 "step {step} expects a {found}-deep nest but the running nest size is {expected}"
             ),
@@ -236,7 +252,10 @@ pub struct TransformSeq {
 impl TransformSeq {
     /// The empty (identity) transformation on nests of depth `n`.
     pub fn new(n: usize) -> TransformSeq {
-        TransformSeq { input_size: n, steps: Vec::new() }
+        TransformSeq {
+            input_size: n,
+            steps: Vec::new(),
+        }
     }
 
     /// Input nest size.
@@ -337,7 +356,12 @@ impl TransformSeq {
     /// # Errors
     ///
     /// Returns [`SequenceError`] on invalid parameters.
-    pub fn block(self, i: usize, j: usize, bsize: Vec<Expr>) -> Result<TransformSeq, SequenceError> {
+    pub fn block(
+        self,
+        i: usize,
+        j: usize,
+        bsize: Vec<Expr>,
+    ) -> Result<TransformSeq, SequenceError> {
         let n = self.output_size();
         self.push(Template::block(n, i, j, bsize)?)
     }
@@ -407,7 +431,10 @@ impl TransformSeq {
                 None => steps.push(step.clone()),
             }
         }
-        TransformSeq { input_size: self.input_size, steps }
+        TransformSeq {
+            input_size: self.input_size,
+            steps,
+        }
     }
 
     /// Maps a dependence set through the whole sequence
@@ -457,7 +484,11 @@ impl TransformSeq {
         if mapped.is_legal() {
             LegalityReport::Legal
         } else {
-            let witnesses = mapped.lex_negative_witnesses().into_iter().cloned().collect();
+            let witnesses = mapped
+                .lex_negative_witnesses()
+                .into_iter()
+                .cloned()
+                .collect();
             LegalityReport::Illegal(IllegalReason::Dependences { witnesses })
         }
     }
@@ -523,7 +554,10 @@ fn fuse_pair(prev: &Template, next: &Template) -> Option<Template> {
             let rev = (0..r1.len())
                 .map(|k| r1[k] ^ r2[p1.new_position(k)])
                 .collect();
-            Some(Template::ReversePermute { rev, perm: p1.then(p2) })
+            Some(Template::ReversePermute {
+                rev,
+                perm: p1.then(p2),
+            })
         }
         (Template::Parallelize { parflag: f1 }, Template::Parallelize { parflag: f2 }) => {
             Some(Template::Parallelize {
@@ -588,7 +622,10 @@ impl fmt::Display for IllegalReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IllegalReason::Dependences { witnesses } => {
-                write!(f, "transformed dependence set admits a lexicographically negative tuple: ")?;
+                write!(
+                    f,
+                    "transformed dependence set admits a lexicographically negative tuple: "
+                )?;
                 for (k, w) in witnesses.iter().enumerate() {
                     if k > 0 {
                         write!(f, ", ")?;
@@ -634,7 +671,7 @@ pub fn init_prefix(stmts: &[Stmt]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use irlt_ir::parse_nest;
 
     fn stencil() -> (LoopNest, DepSet) {
@@ -648,10 +685,21 @@ mod tests {
 
     #[test]
     fn size_chaining_enforced() {
-        let err = TransformSeq::new(2).parallelize(vec![true, false, false]).unwrap_err();
-        assert_eq!(err, SequenceError::SizeMismatch { step: 0, expected: 2, found: 3 });
+        let err = TransformSeq::new(2)
+            .parallelize(vec![true, false, false])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SequenceError::SizeMismatch {
+                step: 0,
+                expected: 2,
+                found: 3
+            }
+        );
         // Block grows the size; the next step must match.
-        let t = TransformSeq::new(2).block(0, 1, vec![Expr::int(4), Expr::int(4)]).unwrap();
+        let t = TransformSeq::new(2)
+            .block(0, 1, vec![Expr::int(4), Expr::int(4)])
+            .unwrap();
         assert_eq!(t.output_size(), 4);
         assert!(t.clone().parallelize(vec![true; 4]).is_ok());
         assert!(t.parallelize(vec![true; 2]).is_err());
@@ -660,7 +708,9 @@ mod tests {
     #[test]
     fn composition_is_concatenation() {
         let a = TransformSeq::new(2).parallelize(vec![true, false]).unwrap();
-        let b = TransformSeq::new(2).reverse_permute(vec![false, false], vec![1, 0]).unwrap();
+        let b = TransformSeq::new(2)
+            .reverse_permute(vec![false, false], vec![1, 0])
+            .unwrap();
         let ab = a.then(b).unwrap();
         assert_eq!(ab.len(), 2);
         assert_eq!(ab.output_size(), 2);
@@ -691,10 +741,9 @@ mod tests {
         // §3.2: "each individual transformation stage need not be legal,
         // only that the final result be legal." Interchange alone is
         // illegal on (1,−1); interchanging twice is the identity and legal.
-        let nest = parse_nest(
-            "do i = 2, n\n do j = 1, n - 1\n  a(i, j) = a(i - 1, j + 1)\n enddo\nenddo",
-        )
-        .unwrap();
+        let nest =
+            parse_nest("do i = 2, n\n do j = 1, n - 1\n  a(i, j) = a(i - 1, j + 1)\n enddo\nenddo")
+                .unwrap();
         let deps = DepSet::from_distances(&[&[1, -1]]);
         let swap_once = TransformSeq::new(2)
             .reverse_permute(vec![false, false], vec![1, 0])
@@ -712,10 +761,9 @@ mod tests {
 
     #[test]
     fn dependence_rejection_reports_witnesses() {
-        let nest = parse_nest(
-            "do i = 2, n\n do j = 1, n - 1\n  a(i, j) = a(i - 1, j + 1)\n enddo\nenddo",
-        )
-        .unwrap();
+        let nest =
+            parse_nest("do i = 2, n\n do j = 1, n - 1\n  a(i, j) = a(i - 1, j + 1)\n enddo\nenddo")
+                .unwrap();
         let deps = DepSet::from_distances(&[&[1, -1]]);
         let t = TransformSeq::new(2)
             .reverse_permute(vec![false, false], vec![1, 0])

@@ -276,7 +276,12 @@ impl Template {
     ///
     /// Returns [`TemplateError`] if the range is invalid or `bsize` does
     /// not have `j − i + 1` entries.
-    pub fn block(n: usize, i: usize, j: usize, bsize: Vec<Expr>) -> Result<Template, TemplateError> {
+    pub fn block(
+        n: usize,
+        i: usize,
+        j: usize,
+        bsize: Vec<Expr>,
+    ) -> Result<Template, TemplateError> {
         check_range(n, i, j)?;
         if bsize.len() != j - i + 1 {
             return Err(TemplateError::ArityMismatch {
@@ -447,7 +452,10 @@ mod tests {
         assert!(Template::reverse_permute(vec![false, true], vec![1, 0]).is_ok());
         assert!(matches!(
             Template::reverse_permute(vec![false], vec![1, 0]),
-            Err(TemplateError::ArityMismatch { expected: 2, found: 1 })
+            Err(TemplateError::ArityMismatch {
+                expected: 2,
+                found: 1
+            })
         ));
         assert!(Template::block(3, 0, 1, vec![Expr::int(8), Expr::int(8)]).is_ok());
         assert!(Template::block(3, 0, 1, vec![Expr::int(8)]).is_err());
@@ -487,9 +495,6 @@ mod tests {
     #[test]
     fn names() {
         assert_eq!(Template::parallelize(vec![true]).name(), "Parallelize");
-        assert_eq!(
-            Template::coalesce(2, 0, 1).unwrap().name(),
-            "Coalesce"
-        );
+        assert_eq!(Template::coalesce(2, 0, 1).unwrap().name(), "Coalesce");
     }
 }

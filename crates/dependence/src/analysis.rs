@@ -63,7 +63,11 @@ pub struct Dependence {
 
 impl fmt::Display for Dependence {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} dependence on {}: {}", self.kind, self.array, self.vector)
+        write!(
+            f,
+            "{} dependence on {}: {}",
+            self.kind, self.array, self.vector
+        )
     }
 }
 
@@ -104,7 +108,10 @@ pub fn analyze_dependences_detailed(nest: &LoopNest) -> Vec<Dependence> {
             // A descending loop (`do i = 100, 1, -1`) still ranges over
             // [min, max] as a set of index values.
             match (a, b) {
-                (Some(x), Some(y)) => IndexRange { lo: Some(x.min(y)), hi: Some(x.max(y)) },
+                (Some(x), Some(y)) => IndexRange {
+                    lo: Some(x.min(y)),
+                    hi: Some(x.max(y)),
+                },
                 _ => IndexRange { lo: a, hi: b },
             }
         })
@@ -115,7 +122,10 @@ pub fn analyze_dependences_detailed(nest: &LoopNest) -> Vec<Dependence> {
     let mut by_array: BTreeMap<Symbol, Vec<(ArrayRef, AccessKind)>> = BTreeMap::new();
     for stmt in nest.body() {
         for (r, kind) in stmt.array_refs() {
-            by_array.entry(r.array.clone()).or_default().push((r.clone(), kind));
+            by_array
+                .entry(r.array.clone())
+                .or_default()
+                .push((r.clone(), kind));
         }
     }
 
@@ -141,7 +151,11 @@ pub fn analyze_dependences_detailed(nest: &LoopNest) -> Vec<Dependence> {
                     _ => unreachable!("one side is a write"),
                 };
                 for vector in pair_dependences(ra, rb, &indices, &bounds, &steps) {
-                    let dep = Dependence { kind, array: array.clone(), vector };
+                    let dep = Dependence {
+                        kind,
+                        array: array.clone(),
+                        vector,
+                    };
                     if !out.contains(&dep) {
                         out.push(dep);
                     }
@@ -243,13 +257,21 @@ fn pair_dependences(
     // iteration reordering.
     let mut result: Vec<DepVector> = Vec::new();
     let mut theta: Vec<Theta> = vec![Theta::Free; n];
-    enumerate_thetas(0, n, &forced, &mut theta, &equations, bounds, &mut |assignment| {
-        if let Some(v) = vector_from_assignment(assignment, &forced, steps) {
-            if !v.can_be_lex_negative() && !v.can_be_zero() && !result.contains(&v) {
-                result.push(v);
+    enumerate_thetas(
+        0,
+        n,
+        &forced,
+        &mut theta,
+        &equations,
+        bounds,
+        &mut |assignment| {
+            if let Some(v) = vector_from_assignment(assignment, &forced, steps) {
+                if !v.can_be_lex_negative() && !v.can_be_zero() && !result.contains(&v) {
+                    result.push(v);
+                }
             }
-        }
-    });
+        },
+    );
     summarize(result)
 }
 
@@ -342,10 +364,16 @@ impl DimEquation {
         let nz_b: Vec<usize> = (0..b.len()).filter(|&k| b[k] != 0).collect();
         if nz_a.is_empty() && nz_b.is_empty() {
             DimEquation::Ziv { c }
-        } else if nz_a.len() == 1 && nz_b.len() == 1 && nz_a[0] == nz_b[0]
+        } else if nz_a.len() == 1
+            && nz_b.len() == 1
+            && nz_a[0] == nz_b[0]
             && a[nz_a[0]] == b[nz_b[0]]
         {
-            DimEquation::StrongSiv { index: nz_a[0], coeff: a[nz_a[0]], c }
+            DimEquation::StrongSiv {
+                index: nz_a[0],
+                coeff: a[nz_a[0]],
+                c,
+            }
         } else {
             DimEquation::General { a, b, c }
         }
@@ -613,9 +641,7 @@ fn index_to_iteration(e: DepElem, step: Option<i64>) -> Option<DepElem> {
                     Some(DepElem::Dist(d / s))
                 }
             }
-            DepElem::Dir(_) => {
-                Some(if s > 0 { e } else { e.reverse() })
-            }
+            DepElem::Dir(_) => Some(if s > 0 { e } else { e.reverse() }),
         },
         // Symbolic or zero step: sign of the iteration difference unknown.
         _ => Some(match e {
@@ -666,10 +692,7 @@ mod tests {
 
     #[test]
     fn stencil_kinds() {
-        let nest = parse_nest(
-            "do i = 2, n - 1\n a(i) = a(i - 1) + a(i + 1)\nenddo",
-        )
-        .unwrap();
+        let nest = parse_nest("do i = 2, n - 1\n a(i) = a(i - 1) + a(i + 1)\nenddo").unwrap();
         let deps = analyze_dependences_detailed(&nest);
         let kinds: Vec<(DepKind, DepVector)> =
             deps.iter().map(|d| (d.kind, d.vector.clone())).collect();
@@ -703,7 +726,10 @@ mod tests {
         // a(i) written for every j: output dep (0,+).
         let d = vecs("do i = 1, n\n do j = 1, n\n  a(i) = j\n enddo\nenddo");
         assert_eq!(d.len(), 1);
-        assert_eq!(d.vectors()[0], DepVector::new(vec![DepElem::ZERO, DepElem::POS]));
+        assert_eq!(
+            d.vectors()[0],
+            DepVector::new(vec![DepElem::ZERO, DepElem::POS])
+        );
     }
 
     #[test]
@@ -847,7 +873,10 @@ mod tests {
             DepVector::new(vec![DepElem::ZERO, DepElem::ZERO]),
             DepVector::new(vec![DepElem::ZERO, DepElem::POS]),
         ]);
-        assert_eq!(merged, vec![DepVector::new(vec![DepElem::ZERO, DepElem::ANY])]);
+        assert_eq!(
+            merged,
+            vec![DepVector::new(vec![DepElem::ZERO, DepElem::ANY])]
+        );
         // {(0,2),(0,0)} must NOT merge (2 is a point, not a half-line).
         let kept = summarize(vec![
             DepVector::new(vec![DepElem::ZERO, DepElem::Dist(2)]),
@@ -864,12 +893,24 @@ mod tests {
 
     #[test]
     fn merge_exact_rules() {
-        assert_eq!(merge_exact(DepElem::ZERO, DepElem::POS), Some(DepElem::Dir(Dir::NonNeg)));
-        assert_eq!(merge_exact(DepElem::NEG, DepElem::POS), Some(DepElem::Dir(Dir::NonZero)));
-        assert_eq!(merge_exact(DepElem::Dist(1), DepElem::POS), Some(DepElem::POS));
+        assert_eq!(
+            merge_exact(DepElem::ZERO, DepElem::POS),
+            Some(DepElem::Dir(Dir::NonNeg))
+        );
+        assert_eq!(
+            merge_exact(DepElem::NEG, DepElem::POS),
+            Some(DepElem::Dir(Dir::NonZero))
+        );
+        assert_eq!(
+            merge_exact(DepElem::Dist(1), DepElem::POS),
+            Some(DepElem::POS)
+        );
         assert_eq!(merge_exact(DepElem::Dist(2), DepElem::ZERO), None);
         assert_eq!(merge_exact(DepElem::Dist(1), DepElem::Dist(2)), None);
-        assert_eq!(merge_exact(DepElem::Dist(3), DepElem::Dist(3)), Some(DepElem::Dist(3)));
+        assert_eq!(
+            merge_exact(DepElem::Dist(3), DepElem::Dist(3)),
+            Some(DepElem::Dist(3))
+        );
     }
 
     #[test]
@@ -883,10 +924,19 @@ mod tests {
 
     #[test]
     fn index_to_iteration_conversion() {
-        assert_eq!(index_to_iteration(DepElem::Dist(4), Some(2)), Some(DepElem::Dist(2)));
+        assert_eq!(
+            index_to_iteration(DepElem::Dist(4), Some(2)),
+            Some(DepElem::Dist(2))
+        );
         assert_eq!(index_to_iteration(DepElem::Dist(3), Some(2)), None);
-        assert_eq!(index_to_iteration(DepElem::Dist(4), Some(-2)), Some(DepElem::Dist(-2)));
-        assert_eq!(index_to_iteration(DepElem::POS, Some(-1)), Some(DepElem::NEG));
+        assert_eq!(
+            index_to_iteration(DepElem::Dist(4), Some(-2)),
+            Some(DepElem::Dist(-2))
+        );
+        assert_eq!(
+            index_to_iteration(DepElem::POS, Some(-1)),
+            Some(DepElem::NEG)
+        );
         assert_eq!(index_to_iteration(DepElem::POS, None), Some(DepElem::ANY));
         assert_eq!(index_to_iteration(DepElem::ZERO, None), Some(DepElem::ZERO));
     }

@@ -33,8 +33,6 @@ mod analysis;
 mod set;
 mod vector;
 
-pub use analysis::{
-    analyze_dependences, analyze_dependences_detailed, DepKind, Dependence,
-};
+pub use analysis::{analyze_dependences, analyze_dependences_detailed, DepKind, Dependence};
 pub use set::{ArityMismatch, DepSet};
 pub use vector::{DepElem, DepVector, Dir};

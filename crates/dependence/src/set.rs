@@ -5,6 +5,7 @@
 //! no lexicographically negative tuple* (§3.2).
 
 use crate::vector::{DepElem, DepVector, Dir};
+use irlt_obs::Telemetry;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt;
@@ -48,7 +49,9 @@ impl Eq for DepSet {}
 
 impl fmt::Debug for DepSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("DepSet").field("vectors", &self.vectors).finish()
+        f.debug_struct("DepSet")
+            .field("vectors", &self.vectors)
+            .finish()
     }
 }
 
@@ -96,7 +99,10 @@ impl DepSet {
     pub fn insert(&mut self, v: DepVector) -> Result<(), ArityMismatch> {
         if let Some(first) = self.vectors.first() {
             if first.len() != v.len() {
-                return Err(ArityMismatch { expected: first.len(), found: v.len() });
+                return Err(ArityMismatch {
+                    expected: first.len(),
+                    found: v.len(),
+                });
             }
         }
         let bucket = self.index.entry(hash_vector(&v)).or_default();
@@ -146,7 +152,10 @@ impl DepSet {
     /// The members that admit a lexicographically negative tuple (the
     /// witnesses reported when a transformation is rejected).
     pub fn lex_negative_witnesses(&self) -> Vec<&DepVector> {
-        self.vectors.iter().filter(|v| v.can_be_lex_negative()).collect()
+        self.vectors
+            .iter()
+            .filter(|v| v.can_be_lex_negative())
+            .collect()
     }
 
     /// Expands every summary direction (`≥ ≤ ≠ *`) into the equivalent set
@@ -311,6 +320,40 @@ impl DepSet {
         out
     }
 
+    /// [`DepSet::map_vectors`] with telemetry: records, under
+    /// `depmap/fanout/<label>`, the exact histogram of images produced
+    /// per input vector — the `2^(j−i+1)` Block/Interleave expansion made
+    /// visible — plus the `depmap/vectors_mapped`, `depmap/images`, and
+    /// `depmap/images_deduped` counters. With a disabled handle this is
+    /// exactly `map_vectors` (no formatting, no aggregation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` produces images of differing arity.
+    pub fn map_vectors_observed<F>(&self, mut f: F, tel: &Telemetry, label: &str) -> DepSet
+    where
+        F: FnMut(&DepVector) -> Vec<DepVector>,
+    {
+        if !tel.is_enabled() {
+            return self.map_vectors(f);
+        }
+        let fanout_key = format!("depmap/fanout/{label}");
+        let mut out = DepSet::new();
+        let mut images = 0u64;
+        for v in &self.vectors {
+            let mapped = f(v);
+            tel.record(&fanout_key, mapped.len() as u64);
+            images += mapped.len() as u64;
+            for m in mapped {
+                out.insert(m).expect("uniform image arity");
+            }
+        }
+        tel.count("depmap/vectors_mapped", self.vectors.len() as u64);
+        tel.count("depmap/images", images);
+        tel.count("depmap/images_deduped", images - out.len() as u64);
+        out
+    }
+
     /// Fail-fast mapping mode: like [`DepSet::map_vectors`], but
     /// short-circuits the moment an image admits a lexicographically
     /// negative tuple, returning that image as the witness.
@@ -342,6 +385,60 @@ impl DepSet {
                 out.insert(m).expect("uniform image arity");
             }
         }
+        Ok(out)
+    }
+
+    /// [`DepSet::try_map_vectors`] with telemetry: the same fail-fast
+    /// semantics, recording the per-vector fan-out histogram under
+    /// `depmap/fanout/<label>`, the mapping counters of
+    /// [`DepSet::map_vectors_observed`], and — when the short-circuit
+    /// fires — `depmap/failfast_short_circuits` together with
+    /// `depmap/vectors_skipped` (members never mapped because an earlier
+    /// image was already lexicographically negative).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first lexicographically-negative-capable image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` produces images of differing arity.
+    pub fn try_map_vectors_observed<F>(
+        &self,
+        mut f: F,
+        tel: &Telemetry,
+        label: &str,
+    ) -> Result<DepSet, DepVector>
+    where
+        F: FnMut(&DepVector) -> Vec<DepVector>,
+    {
+        if !tel.is_enabled() {
+            return self.try_map_vectors(f);
+        }
+        let fanout_key = format!("depmap/fanout/{label}");
+        let mut out = DepSet::new();
+        let mut images = 0u64;
+        for (k, v) in self.vectors.iter().enumerate() {
+            let mapped = f(v);
+            tel.record(&fanout_key, mapped.len() as u64);
+            images += mapped.len() as u64;
+            for m in mapped {
+                if m.can_be_lex_negative() {
+                    tel.count("depmap/vectors_mapped", (k + 1) as u64);
+                    tel.count(
+                        "depmap/vectors_skipped",
+                        (self.vectors.len() - k - 1) as u64,
+                    );
+                    tel.count("depmap/images", images);
+                    tel.incr("depmap/failfast_short_circuits");
+                    return Err(m);
+                }
+                out.insert(m).expect("uniform image arity");
+            }
+        }
+        tel.count("depmap/vectors_mapped", self.vectors.len() as u64);
+        tel.count("depmap/images", images);
+        tel.count("depmap/images_deduped", images - out.len() as u64);
         Ok(out)
     }
 }
@@ -417,7 +514,13 @@ mod tests {
         let mut d = DepSet::new();
         d.insert(DepVector::distances(&[1, 0])).unwrap();
         let err = d.insert(DepVector::distances(&[1])).unwrap_err();
-        assert_eq!(err, ArityMismatch { expected: 2, found: 1 });
+        assert_eq!(
+            err,
+            ArityMismatch {
+                expected: 2,
+                found: 1
+            }
+        );
         assert!(err.to_string().contains("expected 2"));
     }
 
@@ -563,7 +666,11 @@ mod tests {
         // Tuple set unchanged over a sampled box.
         for x in -3..=3 {
             for y in -3..=3 {
-                assert_eq!(d.contains_tuple(&[x, y]), p.contains_tuple(&[x, y]), "({x},{y})");
+                assert_eq!(
+                    d.contains_tuple(&[x, y]),
+                    p.contains_tuple(&[x, y]),
+                    "({x},{y})"
+                );
             }
         }
         assert_eq!(d.is_legal(), p.is_legal());
@@ -590,9 +697,64 @@ mod tests {
                 DepElem::Dist(x) => DepElem::Dist(-x),
                 e => e,
             };
-            vec![DepVector::new(vec![neg]), DepVector::new(vec![DepElem::POS])]
+            vec![
+                DepVector::new(vec![neg]),
+                DepVector::new(vec![DepElem::POS]),
+            ]
         });
         assert_eq!(out.len(), 3); // (-1), (+), (-2) — (+) deduped
+    }
+
+    #[test]
+    fn observed_mapping_matches_plain_and_records_fanout() {
+        let d = DepSet::from_distances(&[&[1, 1], &[0, 2], &[0, 0]]);
+        // A blockmap-like rule: nonzero entries produce two images.
+        let rule = |v: &DepVector| {
+            if v.elems().iter().all(|e| *e == DepElem::ZERO) {
+                vec![v.clone()]
+            } else {
+                vec![v.clone(), DepVector::new(vec![DepElem::POS, DepElem::ANY])]
+            }
+        };
+        let tel = Telemetry::enabled();
+        let observed = d.map_vectors_observed(rule, &tel, "Block");
+        assert_eq!(observed, d.map_vectors(rule));
+        let r = tel.report();
+        // Fan-out histogram: two vectors mapped to 2 images, one to 1.
+        assert_eq!(r.histograms["depmap/fanout/Block"][&2], 2);
+        assert_eq!(r.histograms["depmap/fanout/Block"][&1], 1);
+        assert_eq!(r.counter("depmap/vectors_mapped"), 3);
+        assert_eq!(r.counter("depmap/images"), 5);
+        assert_eq!(r.counter("depmap/images_deduped"), 1); // shared (+,*) image
+                                                           // Disabled handle: identical result, nothing recorded.
+        let off = Telemetry::disabled();
+        assert_eq!(d.map_vectors_observed(rule, &off, "Block"), observed);
+        assert!(off.report().counters.is_empty());
+    }
+
+    #[test]
+    fn observed_try_map_records_short_circuit() {
+        let d = DepSet::from_distances(&[&[1], &[2], &[3]]);
+        let rule = |v: &DepVector| match v.elems()[0] {
+            DepElem::Dist(2) => vec![DepVector::distances(&[-7])],
+            _ => vec![v.clone()],
+        };
+        let tel = Telemetry::enabled();
+        let err = d
+            .try_map_vectors_observed(rule, &tel, "ReversePermute")
+            .unwrap_err();
+        assert_eq!(err, DepVector::distances(&[-7]));
+        let r = tel.report();
+        assert_eq!(r.counter("depmap/failfast_short_circuits"), 1);
+        assert_eq!(r.counter("depmap/vectors_mapped"), 2);
+        assert_eq!(r.counter("depmap/vectors_skipped"), 1);
+        // The all-legal path agrees with the unobserved variant.
+        let tel2 = Telemetry::enabled();
+        let ok = d
+            .try_map_vectors_observed(|v| vec![v.clone()], &tel2, "Parallelize")
+            .unwrap();
+        assert_eq!(ok, d.try_map_vectors(|v| vec![v.clone()]).unwrap());
+        assert_eq!(tel2.report().counter("depmap/failfast_short_circuits"), 0);
     }
 
     #[test]
@@ -608,7 +770,7 @@ mod tests {
         });
         assert_eq!(r, Err(DepVector::distances(&[-7])));
         assert_eq!(calls, 2); // (3) never mapped
-        // The all-legal path returns the full union.
+                              // The all-legal path returns the full union.
         let ok = d.try_map_vectors(|v| vec![v.clone()]).unwrap();
         assert_eq!(ok, d);
     }

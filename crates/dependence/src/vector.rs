@@ -32,7 +32,14 @@ pub enum Dir {
 
 impl Dir {
     /// All six direction values.
-    pub const ALL: [Dir; 6] = [Dir::Pos, Dir::Neg, Dir::NonNeg, Dir::NonPos, Dir::NonZero, Dir::Any];
+    pub const ALL: [Dir; 6] = [
+        Dir::Pos,
+        Dir::Neg,
+        Dir::NonNeg,
+        Dir::NonPos,
+        Dir::NonZero,
+        Dir::Any,
+    ];
 
     /// True for the four *summary* values (`≥ ≤ ≠ *`) that stand for more
     /// than one sign class; the paper recommends expanding them away for
@@ -396,8 +403,7 @@ impl DepVector {
 
     /// Is `Tuples(self) ⊆ Tuples(other)` componentwise?
     pub fn subsumed_by(&self, other: &DepVector) -> bool {
-        self.len() == other.len()
-            && self.0.iter().zip(&other.0).all(|(a, b)| a.subsumed_by(*b))
+        self.len() == other.len() && self.0.iter().zip(&other.0).all(|(a, b)| a.subsumed_by(*b))
     }
 
     /// The levels that could *carry* this dependence, in the
@@ -540,13 +546,23 @@ mod tests {
     #[test]
     fn merge_is_lub() {
         assert_eq!(DepElem::Dist(1).merge(DepElem::Dist(2)), DepElem::POS);
-        assert_eq!(DepElem::Dist(-1).merge(DepElem::Dist(0)), DepElem::Dir(Dir::NonPos));
+        assert_eq!(
+            DepElem::Dist(-1).merge(DepElem::Dist(0)),
+            DepElem::Dir(Dir::NonPos)
+        );
         assert_eq!(DepElem::Dist(3).merge(DepElem::Dist(3)), DepElem::Dist(3));
         assert_eq!(DepElem::POS.merge(DepElem::ZERO), DepElem::Dir(Dir::NonNeg));
         assert_eq!(DepElem::NEG.merge(DepElem::POS), DepElem::Dir(Dir::NonZero));
         assert_eq!(DepElem::Dir(Dir::NonNeg).merge(DepElem::NEG), DepElem::ANY);
         // Merge result always subsumes both inputs.
-        let all = [DepElem::Dist(-1), DepElem::ZERO, DepElem::Dist(2), DepElem::POS, DepElem::NEG, DepElem::ANY];
+        let all = [
+            DepElem::Dist(-1),
+            DepElem::ZERO,
+            DepElem::Dist(2),
+            DepElem::POS,
+            DepElem::NEG,
+            DepElem::ANY,
+        ];
         for a in all {
             for b in all {
                 let m = a.merge(b);
@@ -583,8 +599,9 @@ mod tests {
         // (+, *): first entry forced positive.
         assert!(!DepVector::new(vec![DepElem::POS, DepElem::ANY]).can_be_lex_negative());
         // (0, ≤): can be (0, −1).
-        assert!(DepVector::new(vec![DepElem::ZERO, DepElem::Dir(Dir::NonPos)])
-            .can_be_lex_negative());
+        assert!(
+            DepVector::new(vec![DepElem::ZERO, DepElem::Dir(Dir::NonPos)]).can_be_lex_negative()
+        );
         // All-zero vector is not lexicographically negative.
         assert!(!DepVector::distances(&[0, 0]).can_be_lex_negative());
         assert!(DepVector::distances(&[0, 0]).can_be_zero());
@@ -672,7 +689,9 @@ mod tests {
         assert_eq!(v.possible_carried_levels(), vec![0, 1]);
         // Loop-independent.
         assert_eq!(DepVector::distances(&[0, 0]).carried_level(), None);
-        assert!(DepVector::distances(&[0, 0]).possible_carried_levels().is_empty());
+        assert!(DepVector::distances(&[0, 0])
+            .possible_carried_levels()
+            .is_empty());
     }
 
     #[test]

@@ -127,7 +127,12 @@ mod tests {
     use irlt_ir::parse_nest;
 
     fn quiet(cases: u32) -> Config {
-        Config { cases, seed: 0x1992, max_shrink_steps: 100, corpus_dir: None }
+        Config {
+            cases,
+            seed: 0x1992,
+            max_shrink_steps: 100,
+            corpus_dir: None,
+        }
     }
 
     #[test]

@@ -16,7 +16,11 @@ use irlt_unimodular::IntMatrix;
 
 /// Index names used by generated nests, outermost first.
 pub fn index_names(depth: usize) -> Vec<Symbol> {
-    ["i", "j", "k", "l", "m", "p"][..depth].iter().copied().map(Symbol::new).collect()
+    ["i", "j", "k", "l", "m", "p"][..depth]
+        .iter()
+        .copied()
+        .map(Symbol::new)
+        .collect()
 }
 
 /// A random affine subscript over the first `depth` index names:
@@ -39,7 +43,12 @@ pub fn gen_nest(rng: &mut Rng, depth: usize) -> LoopNest {
     let names = index_names(depth);
     let triangular = rng.gen_bool(0.5);
     let shapes: Vec<(i64, i64)> = (0..depth)
-        .map(|_| (rng.gen_range(3..=6i64), *rng.choose(&[-2i64, -1, 1, 2]).expect("nonempty")))
+        .map(|_| {
+            (
+                rng.gen_range(3..=6i64),
+                *rng.choose(&[-2i64, -1, 1, 2]).expect("nonempty"),
+            )
+        })
         .collect();
     let loops: Vec<Loop> = names
         .iter()
@@ -64,7 +73,11 @@ pub fn gen_nest(rng: &mut Rng, depth: usize) -> LoopNest {
     let w = gen_subscript(rng, depth);
     let r1 = gen_subscript(rng, depth);
     let r2 = gen_subscript(rng, depth);
-    let body = vec![Stmt::array("A", vec![w], Expr::read("A", vec![r1]) + Expr::read("B", vec![r2]))];
+    let body = vec![Stmt::array(
+        "A",
+        vec![w],
+        Expr::read("A", vec![r1]) + Expr::read("B", vec![r2]),
+    )];
     LoopNest::new(loops, body)
 }
 
@@ -96,7 +109,8 @@ pub fn gen_template(rng: &mut Rng, n: usize) -> Template {
             let f = rng.gen_range(2..=3i64);
             Template::interleave(n, i, j, vec![Expr::int(f); j - i + 1]).expect("valid range")
         }
-        _ => Template::unimodular(gen_unimodular(rng, n, 2)).expect("generator products are unimodular"),
+        _ => Template::unimodular(gen_unimodular(rng, n, 2))
+            .expect("generator products are unimodular"),
     }
 }
 
@@ -238,7 +252,14 @@ mod tests {
         for _ in 0..300 {
             seen.insert(gen_template(&mut rng, 3).name());
         }
-        for kernel in ["Unimodular", "ReversePermute", "Parallelize", "Block", "Coalesce", "Interleave"] {
+        for kernel in [
+            "Unimodular",
+            "ReversePermute",
+            "Parallelize",
+            "Block",
+            "Coalesce",
+            "Interleave",
+        ] {
             assert!(seen.contains(kernel), "never generated {kernel}: {seen:?}");
         }
     }

@@ -76,7 +76,10 @@ macro_rules! prop_assert_eq {
         if a != b {
             return $crate::prop::CaseResult::Fail(format!(
                 "{} != {}\n  left: {:?}\n right: {:?}",
-                stringify!($a), stringify!($b), a, b
+                stringify!($a),
+                stringify!($b),
+                a,
+                b
             ));
         }
     }};
@@ -118,9 +121,14 @@ impl Default for Config {
             Ok(v) => parse_seed(&v).unwrap_or_else(|| {
                 panic!("IRLT_FUZZ_SEED must be a decimal or 0x-hex integer, got {v:?}")
             }),
-            Err(_) => 0x1992_05_1e, // PLDI '92.
+            Err(_) => 0x1992_051e, // PLDI '92.
         };
-        Config { cases, seed, max_shrink_steps: 400, corpus_dir: default_corpus_dir() }
+        Config {
+            cases,
+            seed,
+            max_shrink_steps: 400,
+            corpus_dir: default_corpus_dir(),
+        }
     }
 }
 
@@ -265,7 +273,9 @@ where
 /// Reads `<corpus_dir>/<name>.seeds`: one seed per line (decimal or
 /// `0x`-hex), `#` comments and blank lines ignored.
 fn corpus_seeds(cfg: &Config, name: &str) -> Vec<u64> {
-    let Some(dir) = &cfg.corpus_dir else { return Vec::new() };
+    let Some(dir) = &cfg.corpus_dir else {
+        return Vec::new();
+    };
     let Ok(text) = std::fs::read_to_string(dir.join(format!("{name}.seeds"))) else {
         return Vec::new();
     };
@@ -285,7 +295,11 @@ fn persist_seed(cfg: &Config, name: &str, seed: u64) {
     if already {
         return;
     }
-    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
         let _ = writeln!(f, "{seed:#x} # auto-persisted failing case");
     }
 }
@@ -295,7 +309,12 @@ mod tests {
     use super::*;
 
     fn quiet(cases: u32) -> Config {
-        Config { cases, seed: 99, max_shrink_steps: 200, corpus_dir: None }
+        Config {
+            cases,
+            seed: 99,
+            max_shrink_steps: 200,
+            corpus_dir: None,
+        }
     }
 
     #[test]
@@ -337,7 +356,10 @@ mod tests {
                 },
             )
         });
-        let msg = *caught.unwrap_err().downcast::<String>().expect("string panic");
+        let msg = *caught
+            .unwrap_err()
+            .downcast::<String>()
+            .expect("string panic");
         assert!(msg.contains("minimal failing value: 57"), "{msg}");
         assert!(msg.contains("IRLT_FUZZ_SEED="), "{msg}");
     }
@@ -372,7 +394,10 @@ mod tests {
                 |_| CaseResult::Discard,
             )
         });
-        let msg = *caught.unwrap_err().downcast::<String>().expect("string panic");
+        let msg = *caught
+            .unwrap_err()
+            .downcast::<String>()
+            .expect("string panic");
         assert!(msg.contains("discarded too many"), "{msg}");
     }
 
@@ -423,7 +448,10 @@ mod tests {
                 },
             )
         });
-        let msg = *replay.unwrap_err().downcast::<String>().expect("string panic");
+        let msg = *replay
+            .unwrap_err()
+            .downcast::<String>()
+            .expect("string panic");
         assert!(msg.contains("corpus seed"), "{msg}");
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -438,7 +466,7 @@ mod tests {
             |&x| {
                 prop_assume!(x != 0);
                 prop_assert!(x * x > 0, "square of {x} not positive");
-                prop_assert_eq!(x + 0, x);
+                prop_assert_eq!(x.abs() * x.signum(), x);
                 CaseResult::Pass
             },
         );

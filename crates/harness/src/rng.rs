@@ -81,7 +81,9 @@ impl Rng {
     /// authors).
     pub fn new(seed: u64) -> Rng {
         let mut sm = SplitMix64::new(seed);
-        Rng { s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()] }
+        Rng {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
     }
 
     /// The next raw 64-bit output.
@@ -241,12 +243,15 @@ mod tests {
         // depends on the exact stream.
         let mut rng = Rng::new(0);
         let first: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
-        assert_eq!(first, vec![
-            11091344671253066420,
-            13793997310169335082,
-            1900383378846508768,
-            7684712102626143532,
-        ]);
+        assert_eq!(
+            first,
+            vec![
+                11091344671253066420,
+                13793997310169335082,
+                1900383378846508768,
+                7684712102626143532,
+            ]
+        );
     }
 
     #[test]

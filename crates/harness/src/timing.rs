@@ -147,8 +147,17 @@ impl Runner {
             );
             return self.results;
         }
-        let width = self.results.iter().map(|s| s.name.len()).max().unwrap_or(4).max(4);
-        println!("{:width$}  {:>12}  {:>12}  {:>12}  {:>10}", "name", "min", "median", "mean", "iters");
+        let width = self
+            .results
+            .iter()
+            .map(|s| s.name.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        println!(
+            "{:width$}  {:>12}  {:>12}  {:>12}  {:>10}",
+            "name", "min", "median", "mean", "iters"
+        );
         for s in &self.results {
             println!(
                 "{:width$}  {:>12}  {:>12}  {:>12}  {:>10}",

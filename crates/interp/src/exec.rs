@@ -431,7 +431,10 @@ impl RunState {
     }
 
     fn call(&self, name: &Symbol, args: &[i64]) -> Option<i64> {
-        self.functions.get(name).map(|f| f(args)).or_else(|| builtin(name, args))
+        self.functions
+            .get(name)
+            .map(|f| f(args))
+            .or_else(|| builtin(name, args))
     }
 
     /// Pure scalar evaluation (loop bounds; array reads are IR-invalid
@@ -440,7 +443,10 @@ impl RunState {
         let scalars = &self.scalars;
         let functions = &self.functions;
         e.eval_scalar(&|s| scalars.get(s).copied(), &|name, args| {
-            functions.get(name).map(|f| f(args)).or_else(|| builtin(name, args))
+            functions
+                .get(name)
+                .map(|f| f(args))
+                .or_else(|| builtin(name, args))
         })
         .map_err(ExecError::from)
     }
@@ -587,7 +593,10 @@ mod tests {
 
     #[test]
     fn builtins() {
-        let r = run("do i = 1, 1\n a(0) = sqrt(17) + abs(0 - 4) + sgn(0 - 9)\nenddo", &[]);
+        let r = run(
+            "do i = 1, 1\n a(0) = sqrt(17) + abs(0 - 4) + sgn(0 - 9)\nenddo",
+            &[],
+        );
         assert_eq!(r.memory.get(&"a".into(), &[0]), Some(4 + 4 - 1));
     }
 
@@ -605,7 +614,9 @@ mod tests {
         ex.set_param("s", 0);
         assert_eq!(
             ex.run(&nest, Memory::new()).unwrap_err(),
-            ExecError::ZeroStep { var: Symbol::new("i") }
+            ExecError::ZeroStep {
+                var: Symbol::new("i")
+            }
         );
     }
 
@@ -685,7 +696,8 @@ mod tests {
         // Observe the rebound original variable instead of the new index.
         let nest = parse_nest("do ii = 1, 3\n i = 4 - ii\n a(i) = 0\nenddo").unwrap();
         let mut ex = Executor::new();
-        ex.trace(TraceLevel::Accesses).observe(vec![Symbol::new("i")]);
+        ex.trace(TraceLevel::Accesses)
+            .observe(vec![Symbol::new("i")]);
         let r = ex.run(&nest, Memory::new()).unwrap();
         let observed: Vec<i64> = r.trace.iter().map(|e| e.observed[0]).collect();
         assert_eq!(observed, vec![3, 2, 1]);

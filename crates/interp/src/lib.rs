@@ -37,9 +37,7 @@ mod exec;
 mod memory;
 mod verify;
 
-pub use exec::{
-    AccessEvent, ExecError, ExecResult, Executor, PardoOrder, TraceLevel, UserFn,
-};
+pub use exec::{AccessEvent, ExecError, ExecResult, Executor, PardoOrder, TraceLevel, UserFn};
 pub use memory::{ArrayStore, CellDiff, InitPolicy, Memory};
 pub use verify::{
     check_conflict_order, check_equivalence, empirical_dependences, observed_dependences,

@@ -58,7 +58,10 @@ pub struct Memory {
 impl Memory {
     /// Empty memory with zero-default reads.
     pub fn new() -> Memory {
-        Memory { arrays: BTreeMap::new(), policy: Some(InitPolicy::Zero) }
+        Memory {
+            arrays: BTreeMap::new(),
+            policy: Some(InitPolicy::Zero),
+        }
     }
 
     /// Empty memory whose untouched cells read as deterministic
@@ -75,7 +78,10 @@ impl Memory {
     /// assert_eq!(v1, v2); // first read materializes the cell
     /// ```
     pub fn procedural(seed: u64) -> Memory {
-        Memory { arrays: BTreeMap::new(), policy: Some(InitPolicy::Procedural { seed }) }
+        Memory {
+            arrays: BTreeMap::new(),
+            policy: Some(InitPolicy::Procedural { seed }),
+        }
     }
 
     /// Reads a cell (materializing it under the procedural policy).
@@ -115,7 +121,10 @@ impl Memory {
 
     /// Looks up a cell without materializing it.
     pub fn get(&self, array: &Symbol, indices: &[i64]) -> Option<i64> {
-        self.arrays.get(array).and_then(|s| s.cells.get(indices)).copied()
+        self.arrays
+            .get(array)
+            .and_then(|s| s.cells.get(indices))
+            .copied()
     }
 
     /// The store for one array, if touched.
@@ -148,7 +157,12 @@ impl Memory {
             let va = a.read(&name, &idx);
             let vb = b.read(&name, &idx);
             if va != vb {
-                return Some(CellDiff { array: name, indices: idx, left: va, right: vb });
+                return Some(CellDiff {
+                    array: name,
+                    indices: idx,
+                    left: va,
+                    right: vb,
+                });
             }
         }
         None
@@ -266,8 +280,12 @@ mod tests {
         let mut m = Memory::new();
         m.set("A", &[2, 0], 1);
         m.set("A", &[1, 9], 2);
-        let idxs: Vec<Vec<i64>> =
-            m.array(&sym("A")).unwrap().iter().map(|(k, _)| k.clone()).collect();
+        let idxs: Vec<Vec<i64>> = m
+            .array(&sym("A"))
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.clone())
+            .collect();
         assert_eq!(idxs, vec![vec![1, 9], vec![2, 0]]);
         assert_eq!(m.array(&sym("A")).unwrap().len(), 2);
     }

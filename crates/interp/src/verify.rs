@@ -133,7 +133,10 @@ pub fn check_equivalence(
 pub fn observed_dependences(trace: &[AccessEvent]) -> BTreeSet<Vec<i64>> {
     let mut by_addr: BTreeMap<(irlt_ir::Symbol, Vec<i64>), Vec<&AccessEvent>> = BTreeMap::new();
     for e in trace {
-        by_addr.entry((e.array.clone(), e.indices.clone())).or_default().push(e);
+        by_addr
+            .entry((e.array.clone(), e.indices.clone()))
+            .or_default()
+            .push(e);
     }
     let mut out = BTreeSet::new();
     for events in by_addr.values() {
@@ -177,7 +180,9 @@ pub fn empirical_dependences(
     for &(k, v) in params {
         ex.set_param(k, v);
     }
-    ex.trace(TraceLevel::Accesses).observe(observe).observe_iteration_numbers();
+    ex.trace(TraceLevel::Accesses)
+        .observe(observe)
+        .observe_iteration_numbers();
     let r = ex.run(nest, Memory::procedural(seed))?;
     Ok(observed_dependences(&r.trace))
 }
@@ -354,7 +359,9 @@ mod tests {
         assert!(deps.contains(&vec![0, 1]));
         // No lexicographically negative observed dependence in a legal
         // sequential execution.
-        assert!(deps.iter().all(|d| d.iter().find(|&&x| x != 0).is_none_or(|&x| x > 0)));
+        assert!(deps
+            .iter()
+            .all(|d| d.iter().find(|&&x| x != 0).is_none_or(|&x| x > 0)));
     }
 
     #[test]
@@ -363,7 +370,8 @@ mod tests {
         let reversed = parse_nest("do ii = 1, 4\n i = 5 - ii\n a(0) = i\nenddo").unwrap();
         let trace = |nest: &irlt_ir::LoopNest| {
             let mut ex = Executor::new();
-            ex.trace(TraceLevel::Accesses).observe(vec![Symbol::new("i")]);
+            ex.trace(TraceLevel::Accesses)
+                .observe(vec![Symbol::new("i")]);
             ex.run(nest, Memory::new()).unwrap().trace
         };
         let ta = trace(&original);
@@ -381,7 +389,8 @@ mod tests {
         let b = parse_nest("do jj = 1, 3\n j = 4 - jj\n b(j) = a(0)\nenddo").unwrap();
         let trace = |nest: &irlt_ir::LoopNest| {
             let mut ex = Executor::new();
-            ex.trace(TraceLevel::Accesses).observe(vec![Symbol::new("j")]);
+            ex.trace(TraceLevel::Accesses)
+                .observe(vec![Symbol::new("j")]);
             ex.run(nest, Memory::new()).unwrap().trace
         };
         assert_eq!(check_conflict_order(&trace(&a), &trace(&b)), None);
@@ -393,7 +402,8 @@ mod tests {
         let b = parse_nest("do i = 1, 2\n a(i) = 1\nenddo").unwrap();
         let trace = |nest: &irlt_ir::LoopNest| {
             let mut ex = Executor::new();
-            ex.trace(TraceLevel::Accesses).observe(vec![Symbol::new("i")]);
+            ex.trace(TraceLevel::Accesses)
+                .observe(vec![Symbol::new("i")]);
             ex.run(nest, Memory::new()).unwrap().trace
         };
         let v = check_conflict_order(&trace(&a), &trace(&b)).unwrap();

@@ -74,12 +74,18 @@ pub struct LinearForm {
 impl LinearForm {
     /// The zero form.
     pub fn zero() -> LinearForm {
-        LinearForm { coeffs: BTreeMap::new(), rest: Expr::int(0) }
+        LinearForm {
+            coeffs: BTreeMap::new(),
+            rest: Expr::int(0),
+        }
     }
 
     /// A pure-remainder form (no index variables).
     pub fn invariant(rest: Expr) -> LinearForm {
-        LinearForm { coeffs: BTreeMap::new(), rest }
+        LinearForm {
+            coeffs: BTreeMap::new(),
+            rest,
+        }
     }
 
     /// Coefficient of `var` (zero if absent).
@@ -108,7 +114,10 @@ impl LinearForm {
             *e += c;
         }
         self.coeffs.retain(|_, c| *c != 0);
-        LinearForm { coeffs: self.coeffs, rest: Expr::add(self.rest, other.rest) }
+        LinearForm {
+            coeffs: self.coeffs,
+            rest: Expr::add(self.rest, other.rest),
+        }
     }
 
     /// Multiplies every coefficient and the remainder by a constant.
@@ -119,7 +128,10 @@ impl LinearForm {
         for c in self.coeffs.values_mut() {
             *c *= k;
         }
-        LinearForm { coeffs: self.coeffs, rest: Expr::mul(Expr::int(k), self.rest) }
+        LinearForm {
+            coeffs: self.coeffs,
+            rest: Expr::mul(Expr::int(k), self.rest),
+        }
     }
 
     /// Rebuilds the expression `Σ c_k · x_k + rest`.
@@ -157,15 +169,16 @@ pub fn linear_form(expr: &Expr, indices: &[Symbol]) -> Option<LinearForm> {
             if indices.contains(s) {
                 let mut coeffs = BTreeMap::new();
                 coeffs.insert(s.clone(), 1);
-                Some(LinearForm { coeffs, rest: Expr::int(0) })
+                Some(LinearForm {
+                    coeffs,
+                    rest: Expr::int(0),
+                })
             } else {
                 Some(LinearForm::invariant(expr.clone()))
             }
         }
         Expr::Add(a, b) => Some(linear_form(a, indices)?.add(linear_form(b, indices)?)),
-        Expr::Sub(a, b) => {
-            Some(linear_form(a, indices)?.add(linear_form(b, indices)?.scale(-1)))
-        }
+        Expr::Sub(a, b) => Some(linear_form(a, indices)?.add(linear_form(b, indices)?.scale(-1))),
         Expr::Neg(a) => Some(linear_form(a, indices)?.scale(-1)),
         Expr::Mul(a, b) => {
             let fa = linear_form(a, indices)?;
@@ -193,7 +206,9 @@ pub fn linear_form(expr: &Expr, indices: &[Symbol]) -> Option<LinearForm> {
         }
         Expr::Min(items) | Expr::Max(items) => {
             if items.iter().all(|e| {
-                linear_form(e, indices).map(|f| f.is_invariant()).unwrap_or(false)
+                linear_form(e, indices)
+                    .map(|f| f.is_invariant())
+                    .unwrap_or(false)
             }) {
                 Some(LinearForm::invariant(expr.clone()))
             } else {
@@ -202,7 +217,9 @@ pub fn linear_form(expr: &Expr, indices: &[Symbol]) -> Option<LinearForm> {
         }
         Expr::Call(_, args) => {
             if args.iter().all(|e| {
-                linear_form(e, indices).map(|f| f.is_invariant()).unwrap_or(false)
+                linear_form(e, indices)
+                    .map(|f| f.is_invariant())
+                    .unwrap_or(false)
             }) {
                 Some(LinearForm::invariant(expr.clone()))
             } else {
@@ -424,7 +441,10 @@ mod tests {
         let (i, j) = (sym("i"), sym("j"));
         // u2 = min(2·i, 512): linear in i (the special case splits the min).
         let u2 = Expr::min2(Expr::int(2) * v("i"), Expr::int(512));
-        assert_eq!(classify_bound(&u2, BoundSide::Upper, true, &i, &indices), ExprType::Linear);
+        assert_eq!(
+            classify_bound(&u2, BoundSide::Upper, true, &i, &indices),
+            ExprType::Linear
+        );
         // l3 = sqrt(i)/2: nonlinear in i …
         let l3 = Expr::floor_div(Expr::call("sqrt", vec![v("i")]), Expr::int(2));
         assert_eq!(classify(&l3, &i, &indices), ExprType::Nonlinear);
@@ -454,15 +474,13 @@ mod tests {
         let indices = ij();
         let maxb = Expr::max2(v("n"), v("i") + Expr::int(1));
         // max as a lower bound with positive step: splits.
-        let forms =
-            bound_linear_terms(&maxb, BoundSide::Lower, true, &indices).unwrap();
+        let forms = bound_linear_terms(&maxb, BoundSide::Lower, true, &indices).unwrap();
         assert_eq!(forms.len(), 2);
         // max as an upper bound with positive step: does NOT split; the max
         // mentions i, so the bound is nonlinear as a whole.
         assert!(bound_linear_terms(&maxb, BoundSide::Upper, true, &indices).is_none());
         // … unless the step is negative, in which case max-as-upper splits.
-        let forms =
-            bound_linear_terms(&maxb, BoundSide::Upper, false, &indices).unwrap();
+        let forms = bound_linear_terms(&maxb, BoundSide::Upper, false, &indices).unwrap();
         assert_eq!(forms.len(), 2);
     }
 

@@ -23,7 +23,10 @@ pub struct CEmitOptions {
 
 impl Default for CEmitOptions {
     fn default() -> Self {
-        CEmitOptions { openmp: true, int_type: "long" }
+        CEmitOptions {
+            openmp: true,
+            int_type: "long",
+        }
     }
 }
 
@@ -179,8 +182,8 @@ mod tests {
 
     #[test]
     fn simple_nest() {
-        let nest = parse_nest("do i = 1, n\n do j = 1, i\n  a(i, j) = b(j) + 2\n enddo\nenddo")
-            .unwrap();
+        let nest =
+            parse_nest("do i = 1, n\n do j = 1, i\n  a(i, j) = b(j) + 2\n enddo\nenddo").unwrap();
         let c = emit_c(&nest, &CEmitOptions::default());
         assert!(c.contains("for (long i = 1; i <= n; i += 1) {"), "{c}");
         assert!(c.contains("for (long j = 1; j <= i; j += 1) {"), "{c}");
@@ -193,7 +196,13 @@ mod tests {
         let nest = parse_nest("pardo i = 1, n\n a(i) = 0\nenddo").unwrap();
         let c = emit_c(&nest, &CEmitOptions::default());
         assert!(c.contains("#pragma omp parallel for"), "{c}");
-        let plain = emit_c(&nest, &CEmitOptions { openmp: false, ..Default::default() });
+        let plain = emit_c(
+            &nest,
+            &CEmitOptions {
+                openmp: false,
+                ..Default::default()
+            },
+        );
         assert!(!plain.contains("#pragma"), "{plain}");
     }
 
@@ -217,7 +226,11 @@ mod tests {
                 "i",
                 Expr::int(11) - Expr::var("ii"),
             )],
-            vec![crate::stmt::Stmt::array("a", vec![Expr::var("i")], Expr::var("i"))],
+            vec![crate::stmt::Stmt::array(
+                "a",
+                vec![Expr::var("i")],
+                Expr::var("i"),
+            )],
         );
         let c = emit_c(&with_inits, &CEmitOptions::default());
         assert!(c.contains("long i = 11 - ii;"), "{c}");
@@ -225,10 +238,9 @@ mod tests {
 
     #[test]
     fn min_max_and_division_render_as_macros() {
-        let nest = parse_nest(
-            "do i = max(2, m - 1), min(n, 100)\n a(i) = a(i / 2) + i mod 3\nenddo",
-        )
-        .unwrap();
+        let nest =
+            parse_nest("do i = max(2, m - 1), min(n, 100)\n a(i) = a(i / 2) + i mod 3\nenddo")
+                .unwrap();
         let c = emit_c(&nest, &CEmitOptions::default());
         assert!(c.contains("MAX2(2, m - 1)"), "{c}");
         assert!(c.contains("MIN2(n, 100)"), "{c}");
@@ -252,13 +264,19 @@ mod tests {
     #[test]
     fn precedence_parenthesization() {
         let e = Expr::Mul(
-            Box::new(Expr::Add(Box::new(Expr::var("a")), Box::new(Expr::var("b")))),
+            Box::new(Expr::Add(
+                Box::new(Expr::var("a")),
+                Box::new(Expr::var("b")),
+            )),
             Box::new(Expr::var("c")),
         );
         assert_eq!(c_expr(&e), "(a + b) * c");
         let e = Expr::Sub(
             Box::new(Expr::var("a")),
-            Box::new(Expr::Sub(Box::new(Expr::var("b")), Box::new(Expr::var("c")))),
+            Box::new(Expr::Sub(
+                Box::new(Expr::var("b")),
+                Box::new(Expr::var("c")),
+            )),
         );
         assert_eq!(c_expr(&e), "a - (b - c)");
     }

@@ -39,14 +39,21 @@ impl ArrayRef {
     /// assert_eq!(a.to_string(), "A(i, j)");
     /// ```
     pub fn new(array: impl Into<Symbol>, subscripts: Vec<Expr>) -> Self {
-        ArrayRef { array: array.into(), subscripts }
+        ArrayRef {
+            array: array.into(),
+            subscripts,
+        }
     }
 
     /// Applies a substitution to every subscript.
     pub fn substitute(&self, subst: &dyn Fn(&Symbol) -> Option<Expr>) -> ArrayRef {
         ArrayRef {
             array: self.array.clone(),
-            subscripts: self.subscripts.iter().map(|s| s.substitute(subst)).collect(),
+            subscripts: self
+                .subscripts
+                .iter()
+                .map(|s| s.substitute(subst))
+                .collect(),
         }
     }
 
@@ -434,16 +441,23 @@ impl Expr {
             Expr::Neg(a) => Expr::neg(a.substitute(subst)),
             Expr::Min(items) => Expr::min_of(items.iter().map(|e| e.substitute(subst)).collect()),
             Expr::Max(items) => Expr::max_of(items.iter().map(|e| e.substitute(subst)).collect()),
-            Expr::Call(name, args) => {
-                Expr::Call(name.clone(), args.iter().map(|e| e.substitute(subst)).collect())
-            }
+            Expr::Call(name, args) => Expr::Call(
+                name.clone(),
+                args.iter().map(|e| e.substitute(subst)).collect(),
+            ),
             Expr::ArrayRead(r) => Expr::ArrayRead(r.substitute(subst)),
         }
     }
 
     /// Replaces a single variable by an expression.
     pub fn subst_var(&self, var: &Symbol, replacement: &Expr) -> Expr {
-        self.substitute(&|s| if s == var { Some(replacement.clone()) } else { None })
+        self.substitute(&|s| {
+            if s == var {
+                Some(replacement.clone())
+            } else {
+                None
+            }
+        })
     }
 
     /// Normalizes the expression by collecting linear terms: constants
@@ -574,12 +588,8 @@ fn collect_linear(e: &Expr, mult: i64, terms: &mut Vec<(Expr, i64)>, konst: &mut
             _ => add_term(terms, Expr::mul(a.simplify(), b.simplify()), mult),
         },
         Expr::Var(_) => add_term(terms, e.clone(), mult),
-        Expr::FloorDiv(a, b) => {
-            add_term(terms, Expr::floor_div(a.simplify(), b.simplify()), mult)
-        }
-        Expr::CeilDiv(a, b) => {
-            add_term(terms, Expr::ceil_div(a.simplify(), b.simplify()), mult)
-        }
+        Expr::FloorDiv(a, b) => add_term(terms, Expr::floor_div(a.simplify(), b.simplify()), mult),
+        Expr::CeilDiv(a, b) => add_term(terms, Expr::ceil_div(a.simplify(), b.simplify()), mult),
         Expr::Mod(a, b) => add_term(terms, Expr::modulo(a.simplify(), b.simplify()), mult),
         Expr::Min(items) => add_term(
             terms,
@@ -935,9 +945,8 @@ mod tests {
             "n" => Some(10),
             _ => None,
         };
-        let funcs = |name: &Symbol, args: &[i64]| {
-            (name.as_str() == "sq").then(|| args[0] * args[0])
-        };
+        let funcs =
+            |name: &Symbol, args: &[i64]| (name.as_str() == "sq").then(|| args[0] * args[0]);
         let e = Expr::min2(v("i") * Expr::int(3), v("n") + Expr::int(100));
         assert_eq!(e.eval_scalar(&env, &funcs), Ok(21));
         let e = Expr::call("sq", vec![v("i")]);

@@ -46,13 +46,9 @@ mod parser;
 mod stmt;
 mod symbol;
 
-pub use classify::{
-    bound_linear_terms, classify, classify_bound, BoundSide, ExprType, LinearForm,
-};
-pub use expr::{
-    ceil_div_i64, floor_div_i64, mod_floor_i64, ArrayRef, EvalError, Expr,
-};
+pub use classify::{bound_linear_terms, classify, classify_bound, BoundSide, ExprType, LinearForm};
 pub use emit_c::{c_prelude, emit_c, CEmitOptions};
+pub use expr::{ceil_div_i64, floor_div_i64, mod_floor_i64, ArrayRef, EvalError, Expr};
 pub use nest::{Loop, LoopKind, LoopNest, ValidateError};
 pub use parser::{parse_expr, parse_nest, ParseError, Parser};
 pub use stmt::{AccessKind, Stmt, Target};

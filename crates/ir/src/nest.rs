@@ -75,7 +75,13 @@ impl Loop {
     /// assert_eq!(l.to_string(), "do i = 1, n, 1");
     /// ```
     pub fn new(var: impl Into<Symbol>, lower: Expr, upper: Expr) -> Loop {
-        Loop { var: var.into(), lower, upper, step: Expr::int(1), kind: LoopKind::Do }
+        Loop {
+            var: var.into(),
+            lower,
+            upper,
+            step: Expr::int(1),
+            kind: LoopKind::Do,
+        }
     }
 
     /// Sets the step expression (builder style).
@@ -107,7 +113,11 @@ impl Loop {
 
 impl fmt::Display for Loop {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} = {}, {}, {}", self.kind, self.var, self.lower, self.upper, self.step)
+        write!(
+            f,
+            "{} {} = {}, {}, {}",
+            self.kind, self.var, self.lower, self.upper, self.step
+        )
     }
 }
 
@@ -152,7 +162,11 @@ impl LoopNest {
     /// Panics if `loops` is empty.
     pub fn new(loops: Vec<Loop>, body: Vec<Stmt>) -> LoopNest {
         assert!(!loops.is_empty(), "a loop nest needs at least one loop");
-        LoopNest { loops, inits: Vec::new(), body }
+        LoopNest {
+            loops,
+            inits: Vec::new(),
+            body,
+        }
     }
 
     /// Creates a nest with initialization statements (the generated
@@ -244,7 +258,9 @@ impl LoopNest {
         for s in self.inits.iter().chain(&self.body) {
             s.collect_uses(&mut used);
         }
-        used.into_iter().filter(|s| !indices.contains(s) && !defined.contains(s)).collect()
+        used.into_iter()
+            .filter(|s| !indices.contains(s) && !defined.contains(s))
+            .collect()
     }
 
     /// Array names referenced anywhere in the body (reads or writes).
@@ -291,7 +307,10 @@ impl LoopNest {
                 }
             }
             if l.step.as_const() == Some(0) {
-                return Err(ValidateError::ZeroStep { level: k, var: l.var.clone() });
+                return Err(ValidateError::ZeroStep {
+                    level: k,
+                    var: l.var.clone(),
+                });
             }
             visible.insert(&l.var);
         }
@@ -405,7 +424,10 @@ mod tests {
         assert_eq!(nest.level_of(&Symbol::new("j")), Some(1));
         assert_eq!(nest.level_of(&Symbol::new("z")), None);
         assert_eq!(
-            nest.index_vars().iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+            nest.index_vars()
+                .iter()
+                .map(|s| s.as_str())
+                .collect::<Vec<_>>(),
             ["i", "j"]
         );
     }
@@ -417,8 +439,11 @@ mod tests {
             vec![Stmt::scalar("i", v("ii"))],
             vec![Stmt::array("A", vec![v("i")], v("c"))],
         );
-        let params: Vec<String> =
-            nest.parameters().iter().map(|s| s.as_str().to_string()).collect();
+        let params: Vec<String> = nest
+            .parameters()
+            .iter()
+            .map(|s| s.as_str().to_string())
+            .collect();
         assert_eq!(params, ["c", "n"]);
     }
 
@@ -426,10 +451,17 @@ mod tests {
     fn arrays_found() {
         let nest = LoopNest::new(
             vec![Loop::new("i", Expr::int(1), v("n"))],
-            vec![Stmt::array("A", vec![v("i")], Expr::read("B", vec![v("i")]))],
+            vec![Stmt::array(
+                "A",
+                vec![v("i")],
+                Expr::read("B", vec![v("i")]),
+            )],
         );
-        let arrays: Vec<String> =
-            nest.arrays().iter().map(|s| s.as_str().to_string()).collect();
+        let arrays: Vec<String> = nest
+            .arrays()
+            .iter()
+            .map(|s| s.as_str().to_string())
+            .collect();
         assert_eq!(arrays, ["A", "B"]);
     }
 
@@ -480,7 +512,11 @@ mod tests {
     #[test]
     fn validate_rejects_array_read_in_bound() {
         let nest = LoopNest::new(
-            vec![Loop::new("i", Expr::int(1), Expr::read("lim", vec![Expr::int(0)]))],
+            vec![Loop::new(
+                "i",
+                Expr::int(1),
+                Expr::read("lim", vec![Expr::int(0)]),
+            )],
             vec![],
         );
         assert!(matches!(
@@ -495,7 +531,10 @@ mod tests {
             vec![Loop::new("i", Expr::int(1), v("n")).with_step(Expr::int(0))],
             vec![],
         );
-        assert!(matches!(nest.validate(), Err(ValidateError::ZeroStep { .. })));
+        assert!(matches!(
+            nest.validate(),
+            Err(ValidateError::ZeroStep { .. })
+        ));
     }
 
     #[test]

@@ -45,7 +45,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -123,7 +127,11 @@ impl<'s> Parser<'s> {
         let mut p = Parser {
             tokens: Vec::new(),
             pos: 0,
-            functions: ["sqrt", "abs", "sgn"].iter().copied().map(Symbol::new).collect(),
+            functions: ["sqrt", "abs", "sgn"]
+                .iter()
+                .copied()
+                .map(Symbol::new)
+                .collect(),
             src_len_lines: src.lines().count().max(1),
             lex_error: None,
             _src: std::marker::PhantomData,
@@ -229,9 +237,16 @@ impl<'s> Parser<'s> {
     fn push(&mut self, tok: Tok, line: usize, col: usize) {
         // Collapse runs of newlines (blank lines).
         if tok == Tok::Newline
-            && matches!(self.tokens.last(), Some(Token { tok: Tok::Newline, .. }) | None) {
-                return;
-            }
+            && matches!(
+                self.tokens.last(),
+                Some(Token {
+                    tok: Tok::Newline,
+                    ..
+                }) | None
+            )
+        {
+            return;
+        }
         self.tokens.push(Token { tok, line, col });
     }
 
@@ -255,11 +270,21 @@ impl<'s> Parser<'s> {
 
     fn error(&self, message: impl Into<String>) -> ParseError {
         let (line, col) = self.here();
-        ParseError { message: message.into(), line, col }
+        ParseError {
+            message: message.into(),
+            line,
+            col,
+        }
     }
 
     fn skip_newlines(&mut self) {
-        while matches!(self.peek(), Some(Token { tok: Tok::Newline, .. })) {
+        while matches!(
+            self.peek(),
+            Some(Token {
+                tok: Tok::Newline,
+                ..
+            })
+        ) {
             self.pos += 1;
         }
     }
@@ -283,7 +308,9 @@ impl<'s> Parser<'s> {
 
     fn peek_ident(&self) -> Option<&str> {
         match self.peek() {
-            Some(Token { tok: Tok::Ident(s), .. }) => Some(s.as_str()),
+            Some(Token {
+                tok: Tok::Ident(s), ..
+            }) => Some(s.as_str()),
             _ => None,
         }
     }
@@ -313,9 +340,7 @@ impl<'s> Parser<'s> {
                 break;
             }
             if name == "do" || name == "pardo" {
-                return Err(self.error(
-                    "imperfect nest: statements and loops mixed at one level",
-                ));
+                return Err(self.error("imperfect nest: statements and loops mixed at one level"));
             }
             body.push(self.statement()?);
             self.skip_newlines();
@@ -348,18 +373,37 @@ impl<'s> Parser<'s> {
         };
         self.pos += 1;
         let var = match self.next_tok() {
-            Some(Token { tok: Tok::Ident(name), .. }) => Symbol::new(name),
+            Some(Token {
+                tok: Tok::Ident(name),
+                ..
+            }) => Symbol::new(name),
             _ => return Err(self.error("expected loop index variable")),
         };
         self.expect(Tok::Eq, "`=` in loop header")?;
         let lower = self.expr()?;
         self.expect(Tok::Comma, "`,` between loop bounds")?;
         let upper = self.expr()?;
-        let step = if self.eat(&Tok::Comma) { self.expr()? } else { Expr::int(1) };
-        if !matches!(self.peek(), Some(Token { tok: Tok::Newline, .. }) | None) {
+        let step = if self.eat(&Tok::Comma) {
+            self.expr()?
+        } else {
+            Expr::int(1)
+        };
+        if !matches!(
+            self.peek(),
+            Some(Token {
+                tok: Tok::Newline,
+                ..
+            }) | None
+        ) {
             return Err(self.error("expected end of line after loop header"));
         }
-        Ok(Loop { var, lower, upper, step, kind })
+        Ok(Loop {
+            var,
+            lower,
+            upper,
+            step,
+            kind,
+        })
     }
 
     fn statement(&mut self) -> Result<Stmt, ParseError> {
@@ -372,7 +416,10 @@ impl<'s> Parser<'s> {
             return Ok(Stmt::guarded(cond, then));
         }
         let name = match self.next_tok() {
-            Some(Token { tok: Tok::Ident(name), .. }) => Symbol::new(name),
+            Some(Token {
+                tok: Tok::Ident(name),
+                ..
+            }) => Symbol::new(name),
             _ => return Err(self.error("expected a statement")),
         };
         let stmt = if self.eat(&Tok::LParen) {
@@ -386,7 +433,13 @@ impl<'s> Parser<'s> {
             let value = self.expr()?;
             Stmt::scalar(name, value)
         };
-        if !matches!(self.peek(), Some(Token { tok: Tok::Newline, .. }) | None) {
+        if !matches!(
+            self.peek(),
+            Some(Token {
+                tok: Tok::Newline,
+                ..
+            }) | None
+        ) {
             return Err(self.error("expected end of line after statement"));
         }
         Ok(stmt)
@@ -446,22 +499,27 @@ impl<'s> Parser<'s> {
 
     fn primary(&mut self) -> Result<Expr, ParseError> {
         match self.next_tok() {
-            Some(Token { tok: Tok::Int(v), .. }) => Ok(Expr::int(v)),
-            Some(Token { tok: Tok::LParen, .. }) => {
+            Some(Token {
+                tok: Tok::Int(v), ..
+            }) => Ok(Expr::int(v)),
+            Some(Token {
+                tok: Tok::LParen, ..
+            }) => {
                 let e = self.expr()?;
                 self.expect(Tok::RParen, "`)`")?;
                 Ok(e)
             }
-            Some(Token { tok: Tok::Ident(name), .. }) => {
+            Some(Token {
+                tok: Tok::Ident(name),
+                ..
+            }) => {
                 if self.eat(&Tok::LParen) {
                     let args = self.expr_list()?;
                     self.expect(Tok::RParen, "`)` after arguments")?;
                     match name.as_str() {
                         "min" => Ok(Expr::min_of(args)),
                         "max" => Ok(Expr::max_of(args)),
-                        _ if self.functions.contains(name.as_str()) => {
-                            Ok(Expr::call(name, args))
-                        }
+                        _ if self.functions.contains(name.as_str()) => Ok(Expr::call(name, args)),
                         _ => Ok(Expr::read(name, args)),
                     }
                 } else {
@@ -506,14 +564,17 @@ mod tests {
         )
         .unwrap();
         assert_eq!(nest.depth(), 3);
-        let arrays: Vec<_> = nest.arrays().iter().map(|s| s.as_str().to_string()).collect();
+        let arrays: Vec<_> = nest
+            .arrays()
+            .iter()
+            .map(|s| s.as_str().to_string())
+            .collect();
         assert_eq!(arrays, ["A", "B", "C"]);
     }
 
     #[test]
     fn parse_step_and_pardo() {
-        let nest =
-            parse_nest("pardo i = 1, n, 2\n  a(i) = 0\nenddo").unwrap();
+        let nest = parse_nest("pardo i = 1, n, 2\n  a(i) = 0\nenddo").unwrap();
         assert!(nest.level(0).kind.is_parallel());
         assert_eq!(nest.level(0).step, Expr::int(2));
     }
@@ -553,10 +614,9 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines() {
-        let nest = parse_nest(
-            "! five-point stencil\n\ndo i = 1, n ! header\n\n  a(i) = 0\n\nenddo\n\n",
-        )
-        .unwrap();
+        let nest =
+            parse_nest("! five-point stencil\n\ndo i = 1, n ! header\n\n  a(i) = 0\n\nenddo\n\n")
+                .unwrap();
         assert_eq!(nest.depth(), 1);
     }
 
@@ -577,17 +637,14 @@ mod tests {
 
     #[test]
     fn imperfect_nest_rejected() {
-        let err = parse_nest(
-            "do i = 1, n\n a(i) = 0\n do j = 1, n\n  b(j) = 0\n enddo\nenddo",
-        )
-        .unwrap_err();
+        let err = parse_nest("do i = 1, n\n a(i) = 0\n do j = 1, n\n  b(j) = 0\n enddo\nenddo")
+            .unwrap_err();
         assert!(err.message.contains("imperfect"));
     }
 
     #[test]
     fn invalid_nest_rejected_by_validation() {
-        let err = parse_nest("do i = 1, j\n do j = 1, n\n  a(i,j)=0\n enddo\nenddo")
-            .unwrap_err();
+        let err = parse_nest("do i = 1, j\n do j = 1, n\n  a(i,j)=0\n enddo\nenddo").unwrap_err();
         assert!(err.message.contains("invalid nest"));
     }
 
@@ -613,8 +670,7 @@ mod tests {
         let reparsed = parse_nest(&nest.to_string()).unwrap();
         assert_eq!(nest, reparsed);
         // Nested guards work.
-        let nest =
-            parse_nest("do i = 1, n\n if (p(i)) if (q(i)) a(i) = 0\nenddo").unwrap();
+        let nest = parse_nest("do i = 1, n\n if (p(i)) if (q(i)) a(i) = 0\nenddo").unwrap();
         assert_eq!(nest.body()[0].to_string(), "if (p(i)) if (q(i)) a(i) = 0");
         // Errors carry position.
         let err = parse_nest("do i = 1, n\n if p(i) a(i) = 0\nenddo").unwrap_err();

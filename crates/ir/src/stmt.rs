@@ -60,17 +60,26 @@ impl Stmt {
     /// assert_eq!(s.to_string(), "i = jj - ii");
     /// ```
     pub fn scalar(name: impl Into<Symbol>, value: Expr) -> Stmt {
-        Stmt::Assign { target: Target::Scalar(name.into()), value }
+        Stmt::Assign {
+            target: Target::Scalar(name.into()),
+            value,
+        }
     }
 
     /// Array assignment `array(subscripts) = value`.
     pub fn array(array: impl Into<Symbol>, subscripts: Vec<Expr>, value: Expr) -> Stmt {
-        Stmt::Assign { target: Target::Array(ArrayRef::new(array, subscripts)), value }
+        Stmt::Assign {
+            target: Target::Array(ArrayRef::new(array, subscripts)),
+            value,
+        }
     }
 
     /// Guarded statement `if (cond) then`.
     pub fn guarded(cond: Expr, then: Stmt) -> Stmt {
-        Stmt::Guarded { cond, then: Box::new(then) }
+        Stmt::Guarded {
+            cond,
+            then: Box::new(then),
+        }
     }
 
     /// The assignment target (`None` for guarded statements).
@@ -214,7 +223,11 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        let s = Stmt::array("A", vec![v("i"), v("j")], Expr::read("B", vec![v("i")]) + v("c"));
+        let s = Stmt::array(
+            "A",
+            vec![v("i"), v("j")],
+            Expr::read("B", vec![v("i")]) + v("c"),
+        );
         assert_eq!(s.to_string(), "A(i, j) = B(i) + c");
         let s = Stmt::scalar("t", Expr::int(0));
         assert_eq!(s.to_string(), "t = 0");
@@ -268,7 +281,11 @@ mod tests {
     fn guarded_statements() {
         let s = Stmt::guarded(
             Expr::read("mask", vec![v("i")]),
-            Stmt::array("b", vec![v("j")], Expr::read("a", vec![v("i") - Expr::int(1)])),
+            Stmt::array(
+                "b",
+                vec![v("j")],
+                Expr::read("a", vec![v("i") - Expr::int(1)]),
+            ),
         );
         assert_eq!(s.to_string(), "if (mask(i)) b(j) = a(i - 1)");
         assert_eq!(s.target(), None);

@@ -146,7 +146,11 @@ mod tests {
 
     #[test]
     fn freshen_skips_taken_names() {
-        let taken: BTreeSet<Symbol> = ["t", "t_1", "t_2"].iter().copied().map(Symbol::new).collect();
+        let taken: BTreeSet<Symbol> = ["t", "t_1", "t_2"]
+            .iter()
+            .copied()
+            .map(Symbol::new)
+            .collect();
         let fresh = Symbol::new("t").freshen(|s| taken.contains(s));
         assert_eq!(fresh, "t_3");
     }

@@ -1,0 +1,418 @@
+//! The immutable snapshot of a telemetry sink: counters, histograms,
+//! value summaries, and span timings, with JSON (de)serialization and a
+//! human-readable renderer.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+/// Summary of an observed `f64` stream (e.g. the goal-score
+/// distribution at one search depth).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StatSummary {
+    /// Observations.
+    pub count: u64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Sum of observations.
+    pub sum: f64,
+}
+
+impl StatSummary {
+    pub(crate) fn observe(&mut self, value: f64) {
+        if self.count == 0 {
+            (self.min, self.max) = (value, value);
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+impl Default for StatSummary {
+    fn default() -> StatSummary {
+        StatSummary {
+            count: 0,
+            min: 0.0,
+            max: 0.0,
+            sum: 0.0,
+        }
+    }
+}
+
+/// Aggregated wall-clock time under one span name.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Completed spans.
+    pub count: u64,
+    /// Total nanoseconds across all spans.
+    pub total_ns: u64,
+    /// Longest single span in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanStat {
+    pub(crate) fn record(&mut self, elapsed: Duration) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+}
+
+/// A point-in-time snapshot of everything a sink aggregated.
+///
+/// All four sections key hierarchical slash-separated names; the JSON
+/// artifact mirrors the struct exactly, so reports round-trip through
+/// [`Report::to_json`] / [`Report::from_json`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Report {
+    /// Monotone event counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Exact value histograms (`observed value → occurrences`), e.g. the
+    /// per-vector image fan-out of `Block`/`Interleave` mapping.
+    pub histograms: BTreeMap<String, BTreeMap<u64, u64>>,
+    /// `f64` stream summaries (count/min/max/sum).
+    pub stats: BTreeMap<String, StatSummary>,
+    /// Aggregated span timings.
+    pub spans: BTreeMap<String, SpanStat>,
+}
+
+impl Report {
+    /// Counter value by name (0 when never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sum of all counters whose name starts with `prefix` — the
+    /// aggregate over per-depth families like `search/depth.*/legal`.
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Serializes to the JSON artifact layout.
+    pub fn to_json(&self) -> Json {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), int(*v)))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    Json::Object(h.iter().map(|(v, n)| (v.to_string(), int(*n))).collect()),
+                )
+            })
+            .collect();
+        let stats = self
+            .stats
+            .iter()
+            .map(|(k, s)| {
+                (
+                    k.clone(),
+                    Json::Object(vec![
+                        ("count".to_string(), int(s.count)),
+                        ("min".to_string(), Json::Float(s.min)),
+                        ("max".to_string(), Json::Float(s.max)),
+                        ("sum".to_string(), Json::Float(s.sum)),
+                    ]),
+                )
+            })
+            .collect();
+        let spans = self
+            .spans
+            .iter()
+            .map(|(k, s)| {
+                (
+                    k.clone(),
+                    Json::Object(vec![
+                        ("count".to_string(), int(s.count)),
+                        ("total_ns".to_string(), int(s.total_ns)),
+                        ("max_ns".to_string(), int(s.max_ns)),
+                    ]),
+                )
+            })
+            .collect();
+        Json::Object(vec![
+            ("counters".to_string(), Json::Object(counters)),
+            ("histograms".to_string(), Json::Object(histograms)),
+            ("stats".to_string(), Json::Object(stats)),
+            ("spans".to_string(), Json::Object(spans)),
+        ])
+    }
+
+    /// Deserializes a report from the [`Report::to_json`] layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed section.
+    pub fn from_json(v: &Json) -> Result<Report, String> {
+        let mut report = Report::default();
+        for (name, value) in section(v, "counters")? {
+            report.counters.insert(name.clone(), as_u64(value, name)?);
+        }
+        for (name, value) in section(v, "histograms")? {
+            let members = value
+                .as_object()
+                .ok_or_else(|| format!("histogram {name} is not an object"))?;
+            let mut hist = BTreeMap::new();
+            for (bucket, count) in members {
+                let key: u64 = bucket
+                    .parse()
+                    .map_err(|_| format!("bad bucket {bucket} in {name}"))?;
+                hist.insert(key, as_u64(count, name)?);
+            }
+            report.histograms.insert(name.clone(), hist);
+        }
+        for (name, value) in section(v, "stats")? {
+            report.stats.insert(
+                name.clone(),
+                StatSummary {
+                    count: field_u64(value, name, "count")?,
+                    min: field_f64(value, name, "min")?,
+                    max: field_f64(value, name, "max")?,
+                    sum: field_f64(value, name, "sum")?,
+                },
+            );
+        }
+        for (name, value) in section(v, "spans")? {
+            report.spans.insert(
+                name.clone(),
+                SpanStat {
+                    count: field_u64(value, name, "count")?,
+                    total_ns: field_u64(value, name, "total_ns")?,
+                    max_ns: field_u64(value, name, "max_ns")?,
+                },
+            );
+        }
+        Ok(report)
+    }
+
+    /// Human-readable rendering, grouped by section, aligned, with
+    /// durations scaled — the text that `explain`-style output appends.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        use fmt::Write as _;
+        if self.counters.is_empty()
+            && self.histograms.is_empty()
+            && self.stats.is_empty()
+            && self.spans.is_empty()
+        {
+            return "telemetry: (empty)\n".to_string();
+        }
+        let width = self
+            .counters
+            .keys()
+            .chain(self.histograms.keys())
+            .chain(self.stats.keys())
+            .chain(self.spans.keys())
+            .map(String::len)
+            .max()
+            .unwrap_or(4);
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "  {k:width$}  {v}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "histograms:");
+            for (k, h) in &self.histograms {
+                let buckets: Vec<String> =
+                    h.iter().map(|(value, n)| format!("{value}→{n}")).collect();
+                let _ = writeln!(out, "  {k:width$}  {{{}}}", buckets.join(", "));
+            }
+        }
+        if !self.stats.is_empty() {
+            let _ = writeln!(out, "stats:");
+            for (k, s) in &self.stats {
+                let _ = writeln!(
+                    out,
+                    "  {k:width$}  n={} min={:.3} mean={:.3} max={:.3}",
+                    s.count,
+                    s.min,
+                    s.mean(),
+                    s.max
+                );
+            }
+        }
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "spans:");
+            for (k, s) in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "  {k:width$}  n={} total={} max={}",
+                    s.count,
+                    fmt_ns(s.total_ns),
+                    fmt_ns(s.max_ns)
+                );
+            }
+        }
+        out
+    }
+}
+
+fn int(v: u64) -> Json {
+    i64::try_from(v).map_or(Json::Float(v as f64), Json::Int)
+}
+
+fn section<'a>(v: &'a Json, name: &str) -> Result<&'a [(String, Json)], String> {
+    v.get(name)
+        .and_then(Json::as_object)
+        .ok_or_else(|| format!("missing section {name}"))
+}
+
+fn as_u64(v: &Json, name: &str) -> Result<u64, String> {
+    v.as_i64()
+        .and_then(|n| u64::try_from(n).ok())
+        .ok_or_else(|| format!("{name}: expected a non-negative integer"))
+}
+
+fn field_u64(v: &Json, name: &str, field: &str) -> Result<u64, String> {
+    as_u64(
+        v.get(field)
+            .ok_or_else(|| format!("{name}: missing {field}"))?,
+        name,
+    )
+}
+
+fn field_f64(v: &Json, name: &str, field: &str) -> Result<f64, String> {
+    v.get(field)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{name}: missing number {field}"))
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::default();
+        r.counters.insert("search/depth.1/legal".to_string(), 12);
+        r.counters.insert("search/depth.2/legal".to_string(), 30);
+        r.counters.insert("legality/cache/hits".to_string(), 41);
+        r.histograms.insert(
+            "depmap/fanout/Block".to_string(),
+            BTreeMap::from([(1, 9), (2, 4), (4, 1)]),
+        );
+        let mut s = StatSummary::default();
+        s.observe(1.5);
+        s.observe(-2.0);
+        s.observe(7.25);
+        r.stats.insert("search/depth.1/score".to_string(), s);
+        let mut sp = SpanStat::default();
+        sp.record(Duration::from_micros(150));
+        sp.record(Duration::from_micros(50));
+        r.spans.insert("search/depth.1/expand".to_string(), sp);
+        r
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let report = sample();
+        let text = report.to_json().to_string_pretty();
+        let back = Report::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, report);
+        // And a second trip is bit-stable.
+        assert_eq!(back.to_json().to_string_pretty(), text);
+    }
+
+    #[test]
+    fn empty_report_round_trips() {
+        let empty = Report::default();
+        let back =
+            Report::from_json(&Json::parse(&empty.to_json().to_string_pretty()).unwrap()).unwrap();
+        assert_eq!(back, empty);
+        assert!(empty.render().contains("(empty)"));
+    }
+
+    #[test]
+    fn counter_accessors() {
+        let r = sample();
+        assert_eq!(r.counter("legality/cache/hits"), 41);
+        assert_eq!(r.counter("nope"), 0);
+        assert_eq!(r.counter_sum("search/depth."), 42);
+    }
+
+    #[test]
+    fn stat_summary_tracks_extremes() {
+        let s = sample().stats["search/depth.1/score"];
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, -2.0);
+        assert_eq!(s.max, 7.25);
+        assert!((s.mean() - 2.25).abs() < 1e-12);
+        assert_eq!(StatSummary::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn span_stat_aggregates() {
+        let sp = sample().spans["search/depth.1/expand"];
+        assert_eq!(sp.count, 2);
+        assert_eq!(sp.total_ns, 200_000);
+        assert_eq!(sp.max_ns, 150_000);
+    }
+
+    #[test]
+    fn render_contains_all_sections() {
+        let text = sample().render();
+        for needle in [
+            "counters:",
+            "histograms:",
+            "stats:",
+            "spans:",
+            "4→1",
+            "legality/cache/hits",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_malformed() {
+        assert!(Report::from_json(&Json::Null).is_err());
+        let bad =
+            Json::parse(r#"{"counters": {"a": -1}, "histograms": {}, "stats": {}, "spans": {}}"#)
+                .unwrap();
+        assert!(Report::from_json(&bad).is_err());
+        let bad_bucket = Json::parse(
+            r#"{"counters": {}, "histograms": {"h": {"x": 1}}, "stats": {}, "spans": {}}"#,
+        )
+        .unwrap();
+        assert!(Report::from_json(&bad_bucket)
+            .unwrap_err()
+            .contains("bucket"));
+    }
+}

@@ -1,0 +1,269 @@
+//! The telemetry handle and its aggregation sink.
+//!
+//! [`Telemetry`] is a cheap clone-and-share handle: **disabled** (the
+//! default) it holds no sink and every operation is a branch on `None` —
+//! no allocation, no locking, no formatting — so instrumented hot paths
+//! cost nothing in production. **Enabled**, it shares one mutex-guarded
+//! registry across clones and threads; the beam search hands the same
+//! handle to every worker, and counters aggregate monotonically in
+//! whatever order threads land, which is safe precisely because recording
+//! never influences control flow (bit-identity of results with telemetry
+//! on vs off is asserted in the workspace test suite).
+
+use crate::report::Report;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Environment variable that enables telemetry in binaries and names the
+/// JSON artifact path: `IRLT_TELEMETRY=telemetry.json`.
+pub const ENV_VAR: &str = "IRLT_TELEMETRY";
+
+/// A shareable telemetry handle. See the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use irlt_obs::Telemetry;
+///
+/// let tel = Telemetry::enabled();
+/// tel.incr("search/rounds");
+/// tel.count("depmap/images", 4);
+/// tel.record("depmap/fanout/Block", 4);
+/// tel.observe("search/depth.1/score", 997.5);
+/// let report = tel.report();
+/// assert_eq!(report.counter("depmap/images"), 4);
+///
+/// // The default handle is a no-op: nothing is ever aggregated.
+/// let off = Telemetry::disabled();
+/// off.incr("search/rounds");
+/// assert!(off.report().counters.is_empty());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    sink: Option<Arc<Mutex<Report>>>,
+}
+
+impl Telemetry {
+    /// The no-op handle (also [`Default`]): records nothing, costs one
+    /// `Option` branch per call.
+    pub fn disabled() -> Telemetry {
+        Telemetry { sink: None }
+    }
+
+    /// A handle with a fresh, empty sink.
+    pub fn enabled() -> Telemetry {
+        Telemetry {
+            sink: Some(Arc::new(Mutex::new(Report::default()))),
+        }
+    }
+
+    /// Enabled iff the `IRLT_TELEMETRY` environment variable is set and
+    /// non-empty (its value is the artifact path for
+    /// [`Telemetry::write_env_report`]); disabled otherwise.
+    pub fn from_env() -> Telemetry {
+        match std::env::var(ENV_VAR) {
+            Ok(path) if !path.is_empty() => Telemetry::enabled(),
+            _ => Telemetry::disabled(),
+        }
+    }
+
+    /// Whether this handle aggregates anything. Instrumentation sites use
+    /// this to skip name formatting entirely on the no-op path.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Adds `delta` to the named monotone counter.
+    pub fn count(&self, name: &str, delta: u64) {
+        if let Some(sink) = &self.sink {
+            let mut r = sink.lock().expect("telemetry sink poisoned");
+            *r.counters.entry(name.to_string()).or_insert(0) += delta;
+        }
+    }
+
+    /// Increments the named counter by one.
+    pub fn incr(&self, name: &str) {
+        self.count(name, 1);
+    }
+
+    /// Adds one occurrence of `value` to the named exact histogram.
+    pub fn record(&self, name: &str, value: u64) {
+        if let Some(sink) = &self.sink {
+            let mut r = sink.lock().expect("telemetry sink poisoned");
+            *r.histograms
+                .entry(name.to_string())
+                .or_default()
+                .entry(value)
+                .or_insert(0) += 1;
+        }
+    }
+
+    /// Folds `value` into the named stream summary (count/min/max/sum).
+    pub fn observe(&self, name: &str, value: f64) {
+        if let Some(sink) = &self.sink {
+            let mut r = sink.lock().expect("telemetry sink poisoned");
+            r.stats.entry(name.to_string()).or_default().observe(value);
+        }
+    }
+
+    /// Adds one completed span of length `elapsed` under `name`.
+    pub fn record_span(&self, name: &str, elapsed: Duration) {
+        if let Some(sink) = &self.sink {
+            let mut r = sink.lock().expect("telemetry sink poisoned");
+            r.spans.entry(name.to_string()).or_default().record(elapsed);
+        }
+    }
+
+    /// Starts an RAII span; its wall time is recorded when the guard
+    /// drops. On a disabled handle the guard does nothing (and never
+    /// reads the clock).
+    pub fn span(&self, name: &str) -> Span {
+        Span {
+            state: self
+                .sink
+                .as_ref()
+                .map(|_| (self.clone(), name.to_string(), Instant::now())),
+        }
+    }
+
+    /// Snapshots the sink (an empty report when disabled).
+    pub fn report(&self) -> Report {
+        match &self.sink {
+            Some(sink) => sink.lock().expect("telemetry sink poisoned").clone(),
+            None => Report::default(),
+        }
+    }
+
+    /// Writes the JSON artifact to the path named by `IRLT_TELEMETRY`,
+    /// if the variable is set and this handle is enabled. Returns the
+    /// path written to, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from writing the artifact.
+    pub fn write_env_report(&self) -> std::io::Result<Option<std::path::PathBuf>> {
+        if !self.is_enabled() {
+            return Ok(None);
+        }
+        let Ok(path) = std::env::var(ENV_VAR) else {
+            return Ok(None);
+        };
+        if path.is_empty() {
+            return Ok(None);
+        }
+        let path = std::path::PathBuf::from(path);
+        std::fs::write(&path, self.report().to_json().to_string_pretty())?;
+        Ok(Some(path))
+    }
+}
+
+/// RAII timing guard returned by [`Telemetry::span`].
+#[must_use = "a span records its time when dropped"]
+#[derive(Debug)]
+pub struct Span {
+    state: Option<(Telemetry, String, Instant)>,
+}
+
+impl Span {
+    /// Ends the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((tel, name, start)) = self.state.take() {
+            tel.record_span(&name, start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_aggregate_monotonically() {
+        let tel = Telemetry::enabled();
+        tel.incr("a");
+        tel.count("a", 9);
+        tel.incr("b/c");
+        let r = tel.report();
+        assert_eq!(r.counter("a"), 10);
+        assert_eq!(r.counter("b/c"), 1);
+        assert_eq!(r.counter_sum(""), 11);
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let tel = Telemetry::enabled();
+        let clone = tel.clone();
+        clone.incr("shared");
+        tel.incr("shared");
+        assert_eq!(tel.report().counter("shared"), 2);
+    }
+
+    #[test]
+    fn threads_aggregate_into_one_sink() {
+        let tel = Telemetry::enabled();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let t = tel.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        t.incr("parallel/hits");
+                    }
+                });
+            }
+        });
+        assert_eq!(tel.report().counter("parallel/hits"), 4000);
+    }
+
+    #[test]
+    fn disabled_handle_is_a_no_op() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.is_enabled());
+        tel.incr("x");
+        tel.record("h", 3);
+        tel.observe("s", 1.0);
+        tel.record_span("sp", Duration::from_millis(1));
+        tel.span("sp2").finish();
+        assert_eq!(tel.report(), Report::default());
+        assert_eq!(Telemetry::default().report(), Report::default());
+    }
+
+    #[test]
+    fn histograms_and_stats_accumulate() {
+        let tel = Telemetry::enabled();
+        for v in [1, 2, 2, 4] {
+            tel.record("fanout", v);
+        }
+        tel.observe("score", 3.0);
+        tel.observe("score", -1.0);
+        let r = tel.report();
+        assert_eq!(r.histograms["fanout"][&2], 2);
+        assert_eq!(r.stats["score"].count, 2);
+        assert_eq!(r.stats["score"].min, -1.0);
+    }
+
+    #[test]
+    fn span_guard_records_on_drop() {
+        let tel = Telemetry::enabled();
+        {
+            let _span = tel.span("work");
+            std::hint::black_box(());
+        }
+        tel.span("work").finish();
+        let r = tel.report();
+        assert_eq!(r.spans["work"].count, 2);
+    }
+
+    #[test]
+    fn report_snapshot_is_independent() {
+        let tel = Telemetry::enabled();
+        tel.incr("k");
+        let snap = tel.report();
+        tel.incr("k");
+        assert_eq!(snap.counter("k"), 1);
+        assert_eq!(tel.report().counter("k"), 2);
+    }
+}

@@ -5,8 +5,9 @@
 //! optimize loop nests for data locality, parallel execution, and vector
 //! execution" — these are exactly the three goals here.
 
-use irlt_cachesim::{simulate_nest, AddressMap, CacheConfig};
+use irlt_cachesim::{simulate_nest_observed, AddressMap, CacheConfig};
 use irlt_ir::LoopNest;
+use irlt_obs::Telemetry;
 use std::fmt;
 
 /// What the search optimizes. Higher scores are better.
@@ -51,6 +52,13 @@ impl Goal {
     /// Returns `None` when the candidate cannot be scored (e.g. its trial
     /// execution fails), which the search treats as "discard".
     pub fn score(&self, nest: &LoopNest) -> Option<f64> {
+        self.score_observed(nest, &Telemetry::disabled())
+    }
+
+    /// [`Goal::score`] fed by the observability layer: locality trials
+    /// export their cache counters through `tel` under `cachesim/*`. With
+    /// a disabled handle this is exactly [`Goal::score`].
+    pub fn score_observed(&self, nest: &LoopNest, tel: &Telemetry) -> Option<f64> {
         match self {
             Goal::OuterParallel => {
                 // Normalized: 1000 for an outermost pardo regardless of
@@ -58,10 +66,8 @@ impl Goal {
                 // game the score by deepening the nest with Block), small
                 // bonus for more parallel loops, small penalty for depth.
                 let n = nest.depth() as f64;
-                let first_pardo =
-                    nest.loops().iter().position(|l| l.kind.is_parallel());
-                let count =
-                    nest.loops().iter().filter(|l| l.kind.is_parallel()).count() as f64;
+                let first_pardo = nest.loops().iter().position(|l| l.kind.is_parallel());
+                let count = nest.loops().iter().filter(|l| l.kind.is_parallel()).count() as f64;
                 Some(match first_pardo {
                     Some(p) => 1000.0 * (1.0 - p as f64 / n) + count / n - 0.5 * n,
                     None => -0.5 * n,
@@ -70,8 +76,7 @@ impl Goal {
             Goal::InnerParallel => {
                 let n = nest.depth();
                 let innermost_parallel = nest.level(n - 1).kind.is_parallel();
-                let count =
-                    nest.loops().iter().filter(|l| l.kind.is_parallel()).count() as f64;
+                let count = nest.loops().iter().filter(|l| l.kind.is_parallel()).count() as f64;
                 Some(
                     if innermost_parallel { 1000.0 } else { 0.0 } + count / n as f64
                         - 0.5 * n as f64,
@@ -80,7 +85,7 @@ impl Goal {
             Goal::Locality(cfg) => {
                 let params: Vec<(&str, i64)> =
                     cfg.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
-                let r = simulate_nest(nest, &params, &cfg.map, cfg.cache).ok()?;
+                let r = simulate_nest_observed(nest, &params, &cfg.map, cfg.cache, tel).ok()?;
                 Some(-(r.stats.misses as f64))
             }
         }
@@ -96,33 +101,48 @@ mod tests {
     #[test]
     fn outer_parallel_prefers_outermost() {
         let seq = parse_nest("do i = 1, 4\n do j = 1, 4\n  a(i, j) = 0\n enddo\nenddo").unwrap();
-        let outer = parse_nest("pardo i = 1, 4\n do j = 1, 4\n  a(i, j) = 0\n enddo\nenddo").unwrap();
-        let inner = parse_nest("do i = 1, 4\n pardo j = 1, 4\n  a(i, j) = 0\n enddo\nenddo").unwrap();
+        let outer =
+            parse_nest("pardo i = 1, 4\n do j = 1, 4\n  a(i, j) = 0\n enddo\nenddo").unwrap();
+        let inner =
+            parse_nest("do i = 1, 4\n pardo j = 1, 4\n  a(i, j) = 0\n enddo\nenddo").unwrap();
         let g = Goal::OuterParallel;
-        let (s_seq, s_outer, s_inner) =
-            (g.score(&seq).unwrap(), g.score(&outer).unwrap(), g.score(&inner).unwrap());
+        let (s_seq, s_outer, s_inner) = (
+            g.score(&seq).unwrap(),
+            g.score(&outer).unwrap(),
+            g.score(&inner).unwrap(),
+        );
         assert!(s_outer > s_inner, "{s_outer} vs {s_inner}");
         assert!(s_inner > s_seq);
     }
 
     #[test]
     fn inner_parallel_prefers_innermost() {
-        let outer = parse_nest("pardo i = 1, 4\n do j = 1, 4\n  a(i, j) = 0\n enddo\nenddo").unwrap();
-        let inner = parse_nest("do i = 1, 4\n pardo j = 1, 4\n  a(i, j) = 0\n enddo\nenddo").unwrap();
+        let outer =
+            parse_nest("pardo i = 1, 4\n do j = 1, 4\n  a(i, j) = 0\n enddo\nenddo").unwrap();
+        let inner =
+            parse_nest("do i = 1, 4\n pardo j = 1, 4\n  a(i, j) = 0\n enddo\nenddo").unwrap();
         let g = Goal::InnerParallel;
         assert!(g.score(&inner).unwrap() > g.score(&outer).unwrap());
     }
 
     #[test]
     fn locality_scores_by_misses() {
-        let by_col = parse_nest("do j = 1, n\n do i = 1, n\n  s(1) = s(1) + a(i, j)\n enddo\nenddo").unwrap();
-        let by_row = parse_nest("do i = 1, n\n do j = 1, n\n  s(1) = s(1) + a(i, j)\n enddo\nenddo").unwrap();
+        let by_col =
+            parse_nest("do j = 1, n\n do i = 1, n\n  s(1) = s(1) + a(i, j)\n enddo\nenddo")
+                .unwrap();
+        let by_row =
+            parse_nest("do i = 1, n\n do j = 1, n\n  s(1) = s(1) + a(i, j)\n enddo\nenddo")
+                .unwrap();
         let mut map = AddressMap::new(Order::ColMajor, 8);
         map.declare("a", &[64, 64]).declare("s", &[1]);
         let g = Goal::Locality(LocalityGoal {
             params: vec![("n".into(), 64)],
             map,
-            cache: CacheConfig { size_bytes: 2048, line_bytes: 64, associativity: 2 },
+            cache: CacheConfig {
+                size_bytes: 2048,
+                line_bytes: 64,
+                associativity: 2,
+            },
         });
         assert!(g.score(&by_col).unwrap() > g.score(&by_row).unwrap());
     }

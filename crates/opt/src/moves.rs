@@ -51,12 +51,20 @@ impl Default for MoveCatalog {
 impl MoveCatalog {
     /// A catalog restricted to parallelism-seeking moves (no tiling).
     pub fn parallelism() -> MoveCatalog {
-        MoveCatalog { blocks: false, coalesces: true, ..MoveCatalog::default() }
+        MoveCatalog {
+            blocks: false,
+            coalesces: true,
+            ..MoveCatalog::default()
+        }
     }
 
     /// A catalog restricted to locality-seeking moves (no parallelize).
     pub fn locality() -> MoveCatalog {
-        MoveCatalog { parallelize: false, coalesces: false, ..MoveCatalog::default() }
+        MoveCatalog {
+            parallelize: false,
+            coalesces: false,
+            ..MoveCatalog::default()
+        }
     }
 
     /// Enumerates candidate template instantiations for a nest of depth
@@ -112,9 +120,7 @@ impl MoveCatalog {
                         continue;
                     }
                     for &b in &self.tile_sizes {
-                        if let Ok(t) =
-                            Template::block(n, i, j, vec![Expr::int(b); added])
-                        {
+                        if let Ok(t) = Template::block(n, i, j, vec![Expr::int(b); added]) {
                             out.push(t);
                         }
                     }
@@ -141,8 +147,7 @@ mod tests {
     #[test]
     fn default_catalog_produces_all_kinds() {
         let moves = MoveCatalog::default().moves(3);
-        let names: std::collections::BTreeSet<&str> =
-            moves.iter().map(|t| t.name()).collect();
+        let names: std::collections::BTreeSet<&str> = moves.iter().map(|t| t.name()).collect();
         assert!(names.contains("ReversePermute"));
         assert!(names.contains("Unimodular"));
         assert!(names.contains("Parallelize"));
@@ -159,9 +164,15 @@ mod tests {
 
     #[test]
     fn depth_cap_suppresses_block() {
-        let cat = MoveCatalog { max_depth: 3, ..MoveCatalog::default() };
+        let cat = MoveCatalog {
+            max_depth: 3,
+            ..MoveCatalog::default()
+        };
         assert!(cat.moves(3).iter().all(|t| t.name() != "Block"));
-        let cat = MoveCatalog { max_depth: 4, ..MoveCatalog::default() };
+        let cat = MoveCatalog {
+            max_depth: 4,
+            ..MoveCatalog::default()
+        };
         // Only single-loop strips fit.
         assert!(cat
             .moves(3)
@@ -172,8 +183,14 @@ mod tests {
 
     #[test]
     fn restricted_catalogs() {
-        assert!(MoveCatalog::locality().moves(2).iter().all(|t| t.name() != "Parallelize"));
-        assert!(MoveCatalog::parallelism().moves(2).iter().all(|t| t.name() != "Block"));
+        assert!(MoveCatalog::locality()
+            .moves(2)
+            .iter()
+            .all(|t| t.name() != "Parallelize"));
+        assert!(MoveCatalog::parallelism()
+            .moves(2)
+            .iter()
+            .all(|t| t.name() != "Block"));
     }
 
     #[test]

@@ -67,13 +67,26 @@ impl fmt::Display for RuleViolation {
                 write!(f, "nest {nest}: transformed execution differs: {detail}")
             }
             RuleViolation::DependenceUncovered { nest, diff } => {
-                write!(f, "nest {nest}: observed dependence {diff:?} not covered by the mapped set")
+                write!(
+                    f,
+                    "nest {nest}: observed dependence {diff:?} not covered by the mapped set"
+                )
             }
-            RuleViolation::SizeMismatch { nest, declared, actual } => {
-                write!(f, "nest {nest}: output_size() = {declared} but codegen produced {actual} loops")
+            RuleViolation::SizeMismatch {
+                nest,
+                declared,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "nest {nest}: output_size() = {declared} but codegen produced {actual} loops"
+                )
             }
             RuleViolation::CodegenFailed { nest, detail } => {
-                write!(f, "nest {nest}: preconditions passed but codegen failed: {detail}")
+                write!(
+                    f,
+                    "nest {nest}: preconditions passed but codegen failed: {detail}"
+                )
             }
         }
     }
@@ -144,9 +157,7 @@ pub fn validate_template(
 ) -> RuleReport {
     let mut report = RuleReport::default();
     for (idx, nest) in nests.iter().enumerate() {
-        if nest.depth() != template.input_size()
-            || template.check_preconditions(nest).is_err()
-        {
+        if nest.depth() != template.input_size() || template.check_preconditions(nest).is_err() {
             report.skipped += 1;
             continue;
         }
@@ -197,12 +208,9 @@ pub fn validate_template(
         }
         // Dependence-rule coverage on the transformed execution
         // (lexicographic class, as in the legality test).
-        if let Ok(observed) =
-            empirical_dependences(&out, out.index_vars(), &[], seed ^ 0x9e37)
-        {
+        if let Ok(observed) = empirical_dependences(&out, out.index_vars(), &[], seed ^ 0x9e37) {
             for d in observed {
-                let lex_positive =
-                    matches!(d.iter().find(|&&x| x != 0), Some(&x) if x > 0);
+                let lex_positive = matches!(d.iter().find(|&&x| x != 0), Some(&x) if x > 0);
                 if lex_positive && !lex_class_covered(&mapped, &d) {
                     report
                         .violations
@@ -230,7 +238,11 @@ fn lex_class_covered(deps: &DepSet, d: &[i64]) -> bool {
     };
     deps.iter().any(|v| {
         v.elems()[..p].iter().all(|e| e.contains(0))
-            && if d[p] > 0 { v.elems()[p].can_pos() } else { v.elems()[p].can_neg() }
+            && if d[p] > 0 {
+                v.elems()[p].can_pos()
+            } else {
+                v.elems()[p].can_neg()
+            }
     })
 }
 
@@ -318,7 +330,11 @@ mod tests {
         }
         fn map_dep_vector(&self, d: &DepVector) -> Vec<DepVector> {
             vec![DepVector::new(
-                d.elems().iter().chain([&irlt_dependence::DepElem::ZERO]).copied().collect(),
+                d.elems()
+                    .iter()
+                    .chain([&irlt_dependence::DepElem::ZERO])
+                    .copied()
+                    .collect(),
             )]
         }
         fn check_preconditions(&self, _: &LoopNest) -> Result<(), PrecondError> {
@@ -332,10 +348,14 @@ mod tests {
     #[test]
     fn wrong_size_is_caught() {
         let report = validate_template(&WrongSize, &default_test_nests(), 5);
-        assert!(report
-            .violations
-            .iter()
-            .any(|v| matches!(v, RuleViolation::SizeMismatch { declared: 2, actual: 1, .. })));
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            RuleViolation::SizeMismatch {
+                declared: 2,
+                actual: 1,
+                ..
+            }
+        )));
         assert!(report.to_string().contains("violations"));
     }
 }

@@ -18,13 +18,15 @@
 
 use crate::goal::Goal;
 use crate::moves::MoveCatalog;
-use irlt_core::{ExtendError, SeqState, Template, TransformSeq};
+use irlt_core::{ExtendError, IllegalReason, LegalityReport, SeqState, Template, TransformSeq};
 use irlt_dependence::DepSet;
 use irlt_ir::LoopNest;
+use irlt_obs::Telemetry;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashSet;
 use std::fmt;
 use std::hash::Hasher;
+use std::time::Instant;
 
 /// Search configuration.
 #[derive(Clone, Debug)]
@@ -48,6 +50,16 @@ pub struct SearchConfig {
     /// Subsumption-prune cached dependence sets (incremental mode only;
     /// exact for the built-in templates the catalog generates).
     pub prune: bool,
+    /// Telemetry sink for search observability. The default is the
+    /// disabled (no-op) handle: nothing is recorded, nothing is
+    /// formatted, and results are bit-identical either way — telemetry
+    /// never influences control flow. With an enabled handle the search
+    /// records per-depth beam statistics (`search/depth.N/*`: candidates
+    /// generated, rejection taxonomy, shape dedups, beam occupancy, the
+    /// goal-score distribution), thread fan-out and expand/merge
+    /// timings, and — through [`SeqState`] — the legality-cache and
+    /// dependence-mapping counters.
+    pub telemetry: Telemetry,
 }
 
 impl Default for SearchConfig {
@@ -59,6 +71,7 @@ impl Default for SearchConfig {
             threads: 1,
             incremental: true,
             prune: true,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -106,6 +119,19 @@ struct Node {
     state: Option<SeqState>,
 }
 
+/// Which arm of the uniform legality test rejected a candidate — the
+/// per-depth taxonomy the telemetry layer reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RejectKind {
+    /// A loop-bounds precondition failed on the intermediate shape.
+    Precondition,
+    /// Bounds mapping / code generation failed.
+    CodeGen,
+    /// The mapped dependence set admits a lexicographically negative
+    /// tuple.
+    LexNegative,
+}
+
 /// What happened to one `(frontier state, template)` extension.
 #[derive(Debug)]
 enum Outcome {
@@ -113,11 +139,21 @@ enum Outcome {
     /// legality test.
     Rejected,
     /// Reached the legality test and failed it.
-    Tested,
+    Tested(RejectKind),
     /// Legal, but unscorable (code generation or trial scoring failed).
     LegalUnscored,
-    /// Legal and scored.
-    Legal(Node),
+    /// Legal and scored. Boxed: a `Node` carries a sequence, shape, and
+    /// cached dependence set (~300 bytes), while every other variant is
+    /// word-sized.
+    Legal(Box<Node>),
+}
+
+fn reject_kind(reason: &IllegalReason) -> RejectKind {
+    match reason {
+        IllegalReason::Precondition { .. } => RejectKind::Precondition,
+        IllegalReason::CodeGen { .. } => RejectKind::CodeGen,
+        IllegalReason::Dependences { .. } => RejectKind::LexNegative,
+    }
 }
 
 fn score_candidate(
@@ -125,36 +161,55 @@ fn score_candidate(
     full_shape: &LoopNest,
     nest: &LoopNest,
     goal: &Goal,
+    tel: &Telemetry,
 ) -> Option<f64> {
     match goal {
         // For locality goals the trial must execute the body, so score on
         // the real transformed nest instead.
-        Goal::Locality(_) => goal.score(&seq.apply(nest).ok()?),
+        Goal::Locality(_) => goal.score_observed(&seq.apply(nest).ok()?, tel),
         _ => goal.score(full_shape),
     }
 }
 
-fn evaluate(
-    parent: &Node,
-    template: Template,
-    nest: &LoopNest,
-    deps: &DepSet,
-    goal: &Goal,
+/// Everything one extension evaluation needs besides the `(state, move)`
+/// pair itself — shared read-only across worker threads.
+#[derive(Clone, Copy)]
+struct EvalCtx<'a> {
+    nest: &'a LoopNest,
+    deps: &'a DepSet,
+    goal: &'a Goal,
     incremental: bool,
-) -> Outcome {
+    tel: &'a Telemetry,
+}
+
+fn evaluate(parent: &Node, template: Template, ctx: EvalCtx<'_>) -> Outcome {
+    let EvalCtx {
+        nest,
+        deps,
+        goal,
+        incremental,
+        tel,
+    } = ctx;
     if incremental {
-        let state = parent.state.as_ref().expect("incremental node carries state");
+        let state = parent
+            .state
+            .as_ref()
+            .expect("incremental node carries state");
         return match state.extend(template) {
             Err(ExtendError::Sequence(_)) => Outcome::Rejected,
-            Err(ExtendError::Illegal(_)) => Outcome::Tested,
+            Err(ExtendError::Illegal(reason)) => Outcome::Tested(reject_kind(&reason)),
             Ok(child) => {
                 let shape = child.shape().clone();
-                match score_candidate(child.seq(), &shape, nest, goal) {
+                match score_candidate(child.seq(), &shape, nest, goal, tel) {
                     None => Outcome::LegalUnscored,
-                    Some(score) => Outcome::Legal(Node {
-                        cand: Candidate { seq: child.seq().clone(), score, shape },
+                    Some(score) => Outcome::Legal(Box::new(Node {
+                        cand: Candidate {
+                            seq: child.seq().clone(),
+                            score,
+                            shape,
+                        },
                         state: Some(child),
-                    }),
+                    })),
                 }
             }
         };
@@ -163,18 +218,28 @@ fn evaluate(
         Ok(s) => s,
         Err(_) => return Outcome::Rejected,
     };
-    if !seq.is_legal(nest, deps).is_legal() {
-        return Outcome::Tested;
+    if tel.is_enabled() {
+        // The from-scratch engine replays every step of the candidate —
+        // the cost the incremental engine's prefix cache avoids.
+        tel.count("legality/scratch/steps_replayed", seq.len() as u64);
+    }
+    if let LegalityReport::Illegal(reason) = seq.is_legal(nest, deps) {
+        return Outcome::Tested(reject_kind(&reason));
     }
     let shape0 = LoopNest::with_inits(nest.loops().to_vec(), Vec::new(), Vec::new());
     let Ok(full_shape) = seq.apply(&shape0) else {
         return Outcome::LegalUnscored;
     };
-    match score_candidate(&seq, &full_shape, nest, goal) {
+    match score_candidate(&seq, &full_shape, nest, goal, tel) {
         None => Outcome::LegalUnscored,
-        Some(score) => {
-            Outcome::Legal(Node { cand: Candidate { seq, score, shape: full_shape }, state: None })
-        }
+        Some(score) => Outcome::Legal(Box::new(Node {
+            cand: Candidate {
+                seq,
+                score,
+                shape: full_shape,
+            },
+            state: None,
+        })),
     }
 }
 
@@ -184,25 +249,30 @@ fn evaluate(
 fn expand(
     frontier: &[Node],
     jobs: &[(usize, Template)],
-    nest: &LoopNest,
-    deps: &DepSet,
-    goal: &Goal,
-    incremental: bool,
+    ctx: EvalCtx<'_>,
     threads: usize,
 ) -> Vec<Outcome> {
     let run = |slice: &[(usize, Template)]| -> Vec<Outcome> {
         slice
             .iter()
-            .map(|(si, t)| evaluate(&frontier[*si], t.clone(), nest, deps, goal, incremental))
+            .map(|(si, t)| evaluate(&frontier[*si], t.clone(), ctx))
             .collect()
     };
     if threads <= 1 || jobs.len() <= 1 {
         return run(jobs);
     }
     let chunk = jobs.len().div_ceil(threads);
+    if ctx.tel.is_enabled() {
+        ctx.tel.incr("search/expand/parallel_rounds");
+        ctx.tel
+            .observe("search/expand/workers", jobs.len().div_ceil(chunk) as f64);
+    }
     let mut out = Vec::with_capacity(jobs.len());
     std::thread::scope(|s| {
-        let handles: Vec<_> = jobs.chunks(chunk).map(|c| s.spawn(move || run(c))).collect();
+        let handles: Vec<_> = jobs
+            .chunks(chunk)
+            .map(|c| s.spawn(move || run(c)))
+            .collect();
         for h in handles {
             out.extend(h.join().expect("search worker panicked"));
         }
@@ -251,12 +321,7 @@ fn shape_fingerprint(shape: &LoopNest) -> u64 {
 /// assert_eq!(shape.level(0).var, "j");
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn search(
-    nest: &LoopNest,
-    deps: &DepSet,
-    goal: &Goal,
-    config: &SearchConfig,
-) -> SearchResult {
+pub fn search(nest: &LoopNest, deps: &DepSet, goal: &Goal, config: &SearchConfig) -> SearchResult {
     let shape0 = LoopNest::with_inits(nest.loops().to_vec(), Vec::new(), Vec::new());
     // Locality scoring must execute the real body; structural goals only
     // need the shape.
@@ -265,11 +330,18 @@ pub fn search(
         _ => goal.score(&shape0),
     }
     .unwrap_or(f64::NEG_INFINITY);
-    let state = config
-        .incremental
-        .then(|| SeqState::root(nest, deps).with_pruning(config.prune));
+    let tel = &config.telemetry;
+    let state = config.incremental.then(|| {
+        SeqState::root(nest, deps)
+            .with_pruning(config.prune)
+            .with_telemetry(tel.clone())
+    });
     let root = Node {
-        cand: Candidate { seq: TransformSeq::new(nest.depth()), score: base_score, shape: shape0 },
+        cand: Candidate {
+            seq: TransformSeq::new(nest.depth()),
+            score: base_score,
+            shape: shape0,
+        },
         state,
     };
     let threads = if config.threads == 0 {
@@ -277,51 +349,114 @@ pub fn search(
     } else {
         config.threads
     };
+    if tel.is_enabled() {
+        tel.count("search/threads", threads as u64);
+        tel.count("search/beam_width", config.beam_width as u64);
+        tel.count("search/max_steps", config.max_steps as u64);
+    }
     let mut best = root.cand.clone();
     let mut frontier = vec![root];
     let mut explored = 0usize;
     let mut legal = 0usize;
     let mut seen_shapes: HashSet<u64> = HashSet::new();
 
-    for _ in 0..config.max_steps {
+    for depth in 0..config.max_steps {
         let jobs: Vec<(usize, Template)> = frontier
             .iter()
             .enumerate()
             .flat_map(|(si, node)| {
-                config.catalog.moves(node.cand.shape.depth()).into_iter().map(move |t| (si, t))
+                config
+                    .catalog
+                    .moves(node.cand.shape.depth())
+                    .into_iter()
+                    .map(move |t| (si, t))
             })
             .collect();
-        let outcomes = expand(&frontier, &jobs, nest, deps, goal, config.incremental, threads);
+        let ctx = EvalCtx {
+            nest,
+            deps,
+            goal,
+            incremental: config.incremental,
+            tel,
+        };
+        let expand_start = tel.is_enabled().then(Instant::now);
+        let outcomes = expand(&frontier, &jobs, ctx, threads);
+        let merge_start = tel.is_enabled().then(Instant::now);
+        // Per-depth beam statistics, accumulated in plain locals so the
+        // merge loop never touches the sink, then recorded once per depth.
+        let (mut n_arity, mut n_pre, mut n_codegen, mut n_lexneg) = (0u64, 0u64, 0u64, 0u64);
+        let (mut n_unscored, mut n_legal, mut n_deduped) = (0u64, 0u64, 0u64);
         let mut next: Vec<Node> = Vec::new();
         for outcome in outcomes {
             match outcome {
-                Outcome::Rejected => {}
-                Outcome::Tested => explored += 1,
+                Outcome::Rejected => n_arity += 1,
+                Outcome::Tested(kind) => {
+                    explored += 1;
+                    match kind {
+                        RejectKind::Precondition => n_pre += 1,
+                        RejectKind::CodeGen => n_codegen += 1,
+                        RejectKind::LexNegative => n_lexneg += 1,
+                    }
+                }
                 Outcome::LegalUnscored => {
                     explored += 1;
                     legal += 1;
+                    n_unscored += 1;
                 }
                 Outcome::Legal(node) => {
                     explored += 1;
                     legal += 1;
+                    n_legal += 1;
                     if !seen_shapes.insert(shape_fingerprint(&node.cand.shape)) {
+                        n_deduped += 1;
                         continue;
                     }
                     if node.cand.score > best.score {
                         best = node.cand.clone();
                     }
-                    next.push(node);
+                    next.push(*node);
                 }
             }
         }
-        next.sort_by(|a, b| b.cand.score.partial_cmp(&a.cand.score).expect("finite scores"));
+        next.sort_by(|a, b| {
+            b.cand
+                .score
+                .partial_cmp(&a.cand.score)
+                .expect("finite scores")
+        });
         next.truncate(config.beam_width);
+        if let (Some(t0), Some(t1)) = (expand_start, merge_start) {
+            let d = format!("search/depth.{depth}");
+            tel.count(&format!("{d}/candidates"), jobs.len() as u64);
+            tel.count(&format!("{d}/arity_rejected"), n_arity);
+            tel.count(&format!("{d}/precondition_rejected"), n_pre);
+            tel.count(&format!("{d}/codegen_rejected"), n_codegen);
+            tel.count(&format!("{d}/lex_negative_rejected"), n_lexneg);
+            tel.count(&format!("{d}/legal"), n_legal);
+            tel.count(&format!("{d}/legal_unscored"), n_unscored);
+            tel.count(&format!("{d}/shape_deduped"), n_deduped);
+            tel.count(&format!("{d}/beam_kept"), next.len() as u64);
+            for node in &next {
+                tel.observe("search/score", node.cand.score);
+            }
+            tel.record_span("search/expand", t1.duration_since(t0));
+            tel.record_span("search/merge", t1.elapsed());
+        }
         if next.is_empty() {
             break;
         }
         frontier = next;
     }
-    SearchResult { best, explored, legal }
+    if tel.is_enabled() {
+        tel.count("search/explored", explored as u64);
+        tel.count("search/legal", legal as u64);
+        tel.observe("search/best_score", best.score);
+    }
+    SearchResult {
+        best,
+        explored,
+        legal,
+    }
 }
 
 #[cfg(test)]
@@ -335,10 +470,9 @@ mod tests {
     #[test]
     fn finds_inner_parallelism_for_vectorization() {
         // j carries nothing: InnerParallel should pardo the innermost loop.
-        let nest = parse_nest(
-            "do i = 2, n\n do j = 1, m\n  a(i, j) = a(i - 1, j) + 1\n enddo\nenddo",
-        )
-        .unwrap();
+        let nest =
+            parse_nest("do i = 2, n\n do j = 1, m\n  a(i, j) = a(i - 1, j) + 1\n enddo\nenddo")
+                .unwrap();
         let deps = analyze_dependences(&nest);
         let r = search(&nest, &deps, &Goal::InnerParallel, &SearchConfig::default());
         let shape = &r.best.shape;
@@ -370,7 +504,10 @@ mod tests {
             r.best.shape.loops().iter().any(|l| l.kind.is_parallel()),
             "search found no parallelism: {r}"
         );
-        assert!(r.best.seq.len() >= 2, "parallelism requires enabling steps: {r}");
+        assert!(
+            r.best.seq.len() >= 2,
+            "parallelism requires enabling steps: {r}"
+        );
         // Verify the discovered transformation by execution.
         let out = r.best.seq.apply(&nest).unwrap();
         let ok = check_equivalence(&nest, &out, &[("n", 9)], 11).unwrap();
@@ -382,17 +519,19 @@ mod tests {
         // Note: a scalar reduction (`s = s + a(i,j)`) would make *every*
         // reordering illegal under the dependence model; use an
         // independent elementwise kernel instead.
-        let nest = parse_nest(
-            "do i = 1, n\n do j = 1, n\n  b(i, j) = a(i, j) + 1\n enddo\nenddo",
-        )
-        .unwrap();
+        let nest = parse_nest("do i = 1, n\n do j = 1, n\n  b(i, j) = a(i, j) + 1\n enddo\nenddo")
+            .unwrap();
         let deps = analyze_dependences(&nest);
         let mut map = AddressMap::new(Order::ColMajor, 8);
         map.declare("a", &[48, 48]).declare("b", &[48, 48]);
         let goal = Goal::Locality(crate::LocalityGoal {
             params: vec![("n".into(), 48)],
             map,
-            cache: CacheConfig { size_bytes: 2048, line_bytes: 64, associativity: 2 },
+            cache: CacheConfig {
+                size_bytes: 2048,
+                line_bytes: 64,
+                associativity: 2,
+            },
         });
         let cfg = SearchConfig {
             catalog: MoveCatalog::locality(),
@@ -458,7 +597,12 @@ mod tests {
             (true, true, 4),
             (true, true, 0),
         ] {
-            let cfg = SearchConfig { incremental, prune, threads, ..base.clone() };
+            let cfg = SearchConfig {
+                incremental,
+                prune,
+                threads,
+                ..base.clone()
+            };
             out.push(search(nest, deps, goal, &cfg));
         }
         out
@@ -509,7 +653,11 @@ mod tests {
         )
         .unwrap();
         let deps = analyze_dependences(&nest);
-        let base = SearchConfig { max_steps: 5, beam_width: 16, ..SearchConfig::default() };
+        let base = SearchConfig {
+            max_steps: 5,
+            beam_width: 16,
+            ..SearchConfig::default()
+        };
         let results = run_all_modes(&nest, &deps, &Goal::OuterParallel, &base);
         assert_identical(&results);
         assert!(results[0].legal > 0);
@@ -560,16 +708,124 @@ mod tests {
                 },
                 state,
             };
-            let outcome = evaluate(
-                &root,
-                wrong_arity.clone(),
-                &nest,
-                &deps,
-                &Goal::OuterParallel,
+            let tel = Telemetry::disabled();
+            let ctx = EvalCtx {
+                nest: &nest,
+                deps: &deps,
+                goal: &Goal::OuterParallel,
                 incremental,
-            );
+                tel: &tel,
+            };
+            let outcome = evaluate(&root, wrong_arity.clone(), ctx);
             assert!(matches!(outcome, Outcome::Rejected), "{outcome:?}");
         }
+    }
+
+    #[test]
+    fn telemetry_records_per_depth_beam_stats_without_changing_results() {
+        let nest = parse_nest(
+            "do i = 2, n - 1\n do j = 2, n - 1\n  a(i, j) = a(i - 1, j) + a(i, j - 1)\n enddo\nenddo",
+        )
+        .unwrap();
+        let deps = analyze_dependences(&nest);
+        let base = SearchConfig {
+            catalog: MoveCatalog::parallelism(),
+            max_steps: 3,
+            beam_width: 12,
+            ..SearchConfig::default()
+        };
+        let off = search(&nest, &deps, &Goal::OuterParallel, &base);
+        let tel = Telemetry::enabled();
+        let cfg = SearchConfig {
+            telemetry: tel.clone(),
+            ..base.clone()
+        };
+        let on = search(&nest, &deps, &Goal::OuterParallel, &cfg);
+        // Bit-identity: telemetry never influences control flow.
+        assert_eq!(on.explored, off.explored);
+        assert_eq!(on.legal, off.legal);
+        assert_eq!(on.best.seq.to_string(), off.best.seq.to_string());
+        assert_eq!(on.best.score.to_bits(), off.best.score.to_bits());
+        let r = tel.report();
+        // The per-depth taxonomy partitions the candidates exactly.
+        for depth in 0..3 {
+            let d = format!("search/depth.{depth}");
+            let parts = r.counter(&format!("{d}/arity_rejected"))
+                + r.counter(&format!("{d}/precondition_rejected"))
+                + r.counter(&format!("{d}/codegen_rejected"))
+                + r.counter(&format!("{d}/lex_negative_rejected"))
+                + r.counter(&format!("{d}/legal"))
+                + r.counter(&format!("{d}/legal_unscored"));
+            assert_eq!(
+                parts,
+                r.counter(&format!("{d}/candidates")),
+                "depth {depth}: {r:?}"
+            );
+        }
+        assert_eq!(
+            r.counter("search/explored") as usize,
+            off.explored,
+            "telemetry total matches the public counter"
+        );
+        // The stencil rejects interchange on dependences: the taxonomy
+        // must show lex-negative rejections, and the incremental engine
+        // must report cache hits past depth 0.
+        assert!(r.counter_sum("search/") > 0);
+        assert!(
+            r.counter("search/depth.0/lex_negative_rejected") > 0,
+            "{r:?}"
+        );
+        assert!(r.counter("legality/cache/hits") > 0, "{r:?}");
+        assert!(r.spans.contains_key("search/expand"), "{r:?}");
+        assert!(r.stats.contains_key("search/score"), "{r:?}");
+    }
+
+    #[test]
+    fn scratch_engine_telemetry_counts_replayed_steps() {
+        let nest = parse_nest(
+            "do i = 2, n - 1\n do j = 2, n - 1\n  a(i, j) = a(i - 1, j) + a(i, j - 1)\n enddo\nenddo",
+        )
+        .unwrap();
+        let deps = analyze_dependences(&nest);
+        let tel = Telemetry::enabled();
+        let cfg = SearchConfig {
+            catalog: MoveCatalog::parallelism(),
+            max_steps: 2,
+            beam_width: 8,
+            incremental: false,
+            telemetry: tel.clone(),
+            ..SearchConfig::default()
+        };
+        let r0 = search(&nest, &deps, &Goal::OuterParallel, &cfg);
+        let r = tel.report();
+        assert!(
+            r.counter("legality/scratch/steps_replayed") > r0.explored as u64,
+            "{r:?}"
+        );
+        // No incremental engine, no cache counters.
+        assert_eq!(r.counter("legality/cache/hits"), 0);
+        assert!(
+            r.counter("search/depth.0/lex_negative_rejected") > 0,
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn parallel_expansion_records_worker_fanout() {
+        let nest =
+            parse_nest("do i = 2, n\n do j = 1, m\n  a(i, j) = a(i - 1, j) + 1\n enddo\nenddo")
+                .unwrap();
+        let deps = analyze_dependences(&nest);
+        let tel = Telemetry::enabled();
+        let cfg = SearchConfig {
+            threads: 4,
+            telemetry: tel.clone(),
+            ..SearchConfig::default()
+        };
+        search(&nest, &deps, &Goal::OuterParallel, &cfg);
+        let r = tel.report();
+        assert!(r.counter("search/expand/parallel_rounds") > 0, "{r:?}");
+        assert!(r.stats["search/expand/workers"].max <= 4.0, "{r:?}");
     }
 
     #[test]

@@ -29,7 +29,10 @@ pub fn figure1() -> String {
     let transformed = t
         .apply_named(&nest, Some(vec![Symbol::new("jj"), Symbol::new("ii")]))
         .expect("figure 1(b) codegen");
-    let _ = writeln!(out, "Figure 1(b) — transformed loop with init statements\n\n{transformed}");
+    let _ = writeln!(
+        out,
+        "Figure 1(b) — transformed loop with init statements\n\n{transformed}"
+    );
     out
 }
 
@@ -91,7 +94,10 @@ pub fn figure3() -> String {
     let _ = writeln!(out, "input:\n{nest}");
     let _ = writeln!(out, "T = {seq}\nIsLegal = {}\n", seq.is_legal(&nest, &deps));
     let transformed = seq.apply(&nest).expect("codegen");
-    let _ = writeln!(out, "output (note the INIT statements defining i and j):\n{transformed}");
+    let _ = writeln!(
+        out,
+        "output (note the INIT statements defining i and j):\n{transformed}"
+    );
     out
 }
 
@@ -99,8 +105,8 @@ pub fn figure3() -> String {
 /// sparse-matmul nest with nonlinear bounds (ReversePermute only).
 pub fn figure4() -> String {
     let mut out = String::from("Figure 4(a) — triangular loop\n\n");
-    let tri = parse_nest("do i = 1, n\n do j = 1, i\n  a(i, j) = i + j\n enddo\nenddo")
-        .expect("parses");
+    let tri =
+        parse_nest("do i = 1, n\n do j = 1, i\n  a(i, j) = i + j\n enddo\nenddo").expect("parses");
     let _ = writeln!(out, "{tri}");
     let t = TransformSeq::new(2)
         .unimodular(IntMatrix::interchange(2, 0, 1))
@@ -115,16 +121,27 @@ pub fn figure4() -> String {
     .with_function("rowidx")
     .parse_nest()
     .expect("parses");
-    let _ = writeln!(out, "Figure 4(c) — nonlinear bounds (dense × sparse matmul):\n\n{sparse}");
+    let _ = writeln!(
+        out,
+        "Figure 4(c) — nonlinear bounds (dense × sparse matmul):\n\n{sparse}"
+    );
     let deps = analyze_dependences(&sparse);
     let uni = TransformSeq::new(3)
         .unimodular(IntMatrix::interchange(3, 1, 2))
         .expect("valid");
-    let _ = writeln!(out, "Unimodular interchange(j,k): {}", uni.is_legal(&sparse, &deps));
+    let _ = writeln!(
+        out,
+        "Unimodular interchange(j,k): {}",
+        uni.is_legal(&sparse, &deps)
+    );
     let rp = TransformSeq::new(3)
         .reverse_permute(vec![false; 3], vec![2, 0, 1])
         .expect("valid");
-    let _ = writeln!(out, "ReversePermute(i → innermost): {}", rp.is_legal(&sparse, &deps));
+    let _ = writeln!(
+        out,
+        "ReversePermute(i → innermost): {}",
+        rp.is_legal(&sparse, &deps)
+    );
     let moved = rp.apply(&sparse).expect("legal");
     let _ = writeln!(out, "\nresult:\n{moved}");
     out
@@ -138,7 +155,8 @@ pub fn figure5() -> String {
     )
     .parse_nest()
     .expect("parses");
-    let mut out = String::from("Figure 5 — a sample loop nest and its LB, UB and STEP matrices\n\n");
+    let mut out =
+        String::from("Figure 5 — a sample loop nest and its LB, UB and STEP matrices\n\n");
     let _ = writeln!(out, "{nest}");
     let m = BoundsMatrices::from_nest(&nest);
     let _ = writeln!(out, "{m}");
@@ -223,7 +241,11 @@ pub fn figure7() -> String {
     let _ = writeln!(
         out,
         "execution check (n=7, tiles 3/2/4, 4 pardo orders): {}",
-        if report.is_equivalent() { "equivalent" } else { "MISMATCH" }
+        if report.is_equivalent() {
+            "equivalent"
+        } else {
+            "MISMATCH"
+        }
     );
     out
 }

@@ -63,7 +63,14 @@ mod tests {
     #[test]
     fn table1_lists_all_six_templates() {
         let t = table1();
-        for name in ["Unimodular", "ReversePermute", "Parallelize", "Block", "Coalesce", "Interleave"] {
+        for name in [
+            "Unimodular",
+            "ReversePermute",
+            "Parallelize",
+            "Block",
+            "Coalesce",
+            "Interleave",
+        ] {
             assert!(t.contains(name), "missing {name}:\n{t}");
         }
     }
@@ -87,8 +94,14 @@ mod tests {
         assert!(t3.contains("invar"), "{t3}");
         assert!(t3.contains("Coalesce"), "{t3}");
         let t4 = table4();
-        assert!(t4.contains("min(n, jj + bj - 1)") || t4.contains("min(n, "), "{t4}");
-        assert!(t4.contains("trapezoid") || t4.contains("ii + b - 1"), "{t4}");
+        assert!(
+            t4.contains("min(n, jj + bj - 1)") || t4.contains("min(n, "),
+            "{t4}"
+        );
+        assert!(
+            t4.contains("trapezoid") || t4.contains("ii + b - 1"),
+            "{t4}"
+        );
     }
 
     #[test]

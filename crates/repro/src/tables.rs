@@ -57,7 +57,11 @@ pub fn table1() -> String {
         "Table 1 — kernel set of transformation templates\n\
          (n = input nest size; n' = output nest size)\n\n",
     );
-    let _ = writeln!(out, "{:<52} {:>3} -> {:<3} parameters", "instantiation", "n", "n'");
+    let _ = writeln!(
+        out,
+        "{:<52} {:>3} -> {:<3} parameters",
+        "instantiation", "n", "n'"
+    );
     let _ = writeln!(out, "{}", "-".repeat(100));
     for (t, note) in instances {
         let _ = writeln!(
@@ -99,12 +103,25 @@ pub fn table2() -> String {
             .collect();
         format!("{{{}}}", body.join(", "))
     };
-    let _ = writeln!(out, "blockmap(d_k) — one (block, element) pair set per entry:");
+    let _ = writeln!(
+        out,
+        "blockmap(d_k) — one (block, element) pair set per entry:"
+    );
     for e in palette() {
-        let _ = writeln!(out, "  blockmap({:>2}) = {}", e.paper_str(), pairs(blockmap(e)));
+        let _ = writeln!(
+            out,
+            "  blockmap({:>2}) = {}",
+            e.paper_str(),
+            pairs(blockmap(e))
+        );
     }
     let _ = writeln!(out, "\nimap(d_k) — Interleave's rule:");
-    for e in [DepElem::Dist(0), DepElem::Dist(1), DepElem::POS, DepElem::ANY] {
+    for e in [
+        DepElem::Dist(0),
+        DepElem::Dist(1),
+        DepElem::POS,
+        DepElem::ANY,
+    ] {
         let _ = writeln!(out, "  imap({:>2}) = {}", e.paper_str(), pairs(imap(e)));
     }
 
@@ -168,9 +185,14 @@ pub fn table3() -> String {
     }
 
     // --- Parallelize: no preconditions. ---
-    let _ = writeln!(out, "[Parallelize]  preconditions: none; loop kinds flip to pardo.\n");
+    let _ = writeln!(
+        out,
+        "[Parallelize]  preconditions: none; loop kinds flip to pardo.\n"
+    );
     let nest = parse_nest("do i = 1, n\n a(i) = b(i)\nenddo").expect("parses");
-    let res = Template::parallelize(vec![true]).apply_to(&nest).expect("applies");
+    let res = Template::parallelize(vec![true])
+        .apply_to(&nest)
+        .expect("applies");
     let _ = writeln!(out, "{res}");
 
     // --- Coalesce: rectangular range, decode inits. ---
@@ -178,9 +200,12 @@ pub fn table3() -> String {
         out,
         "[Coalesce]  precondition: bounds within the range invariant in the range\n(rectangular); lower bound and step are normalized.\n"
     );
-    let nest = parse_nest("do i = 1, n\n do j = 1, m, 2\n  a(i, j) = 0\n enddo\nenddo")
-        .expect("parses");
-    let res = Template::coalesce(2, 0, 1).expect("valid").apply_to(&nest).expect("applies");
+    let nest =
+        parse_nest("do i = 1, n\n do j = 1, m, 2\n  a(i, j) = 0\n enddo\nenddo").expect("parses");
+    let res = Template::coalesce(2, 0, 1)
+        .expect("valid")
+        .apply_to(&nest)
+        .expect("applies");
     let _ = writeln!(out, "{res}");
 
     // --- Interleave. ---
@@ -200,8 +225,8 @@ pub fn table3() -> String {
         out,
         "[Unimodular]  precondition: type(l_j, x_i) ⊑ linear, type(u_j, x_i) ⊑ linear,\ntype(s_j, ·) ⊑ const; non-unit steps normalized before transforming.\n"
     );
-    let nest = parse_nest("do i = 1, n\n do j = i, n\n  a(i, j) = 0\n enddo\nenddo")
-        .expect("parses");
+    let nest =
+        parse_nest("do i = 1, n\n do j = i, n\n  a(i, j) = 0\n enddo\nenddo").expect("parses");
     let res = Template::unimodular(IntMatrix::interchange(2, 0, 1))
         .expect("unimodular")
         .apply_to(&nest)
@@ -229,9 +254,14 @@ pub fn table4() -> String {
         vec![Expr::var("bj"), Expr::var("bk"), Expr::var("bi")],
     )
     .expect("valid");
-    let _ = writeln!(out, "\nrectangular matmul, all three loops blocked:\n{}", t.apply_to(&rect).expect("applies"));
+    let _ = writeln!(
+        out,
+        "\nrectangular matmul, all three loops blocked:\n{}",
+        t.apply_to(&rect).expect("applies")
+    );
 
-    let tri = parse_nest("do i = 1, n\n do j = 1, i\n  a(i, j) = 0\n enddo\nenddo").expect("parses");
+    let tri =
+        parse_nest("do i = 1, n\n do j = 1, i\n  a(i, j) = 0\n enddo\nenddo").expect("parses");
     let t = Template::block(2, 0, 1, vec![b.clone(), b.clone()]).expect("valid");
     let _ = writeln!(
         out,

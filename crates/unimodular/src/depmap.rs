@@ -138,7 +138,11 @@ fn map_row(row: &[i64], elems: &[DepElem]) -> DepElem {
             continue;
         }
         let (el, eh) = elem_interval(e);
-        let (tl, th) = if c > 0 { (el.scale(c), eh.scale(c)) } else { (eh.scale(c), el.scale(c)) };
+        let (tl, th) = if c > 0 {
+            (el.scale(c), eh.scale(c))
+        } else {
+            (eh.scale(c), el.scale(c))
+        };
         lo = lo.add(tl);
         hi = hi.add(th);
     }
@@ -168,7 +172,10 @@ mod tests {
     fn interchange_of_directions() {
         let m = IntMatrix::interchange(2, 0, 1);
         let v = DepVector::new(vec![DepElem::ZERO, DepElem::POS]);
-        assert_eq!(map_dep_vector(&m, &v), vec![DepVector::new(vec![DepElem::POS, DepElem::ZERO])]);
+        assert_eq!(
+            map_dep_vector(&m, &v),
+            vec![DepVector::new(vec![DepElem::POS, DepElem::ZERO])]
+        );
     }
 
     #[test]
@@ -196,10 +203,7 @@ mod tests {
         let m = IntMatrix::skew(2, 0, 1, 1);
         let v = DepVector::new(vec![DepElem::POS, DepElem::Dir(Dir::NonNeg)]);
         let out = map_dep_vector(&m, &v);
-        assert_eq!(
-            out,
-            vec![DepVector::new(vec![DepElem::POS, DepElem::POS])]
-        );
+        assert_eq!(out, vec![DepVector::new(vec![DepElem::POS, DepElem::POS])]);
     }
 
     #[test]
@@ -207,10 +211,13 @@ mod tests {
         let m = IntMatrix::identity(1);
         let v = DepVector::new(vec![DepElem::Dir(Dir::NonZero)]);
         let out = map_dep_vector(&m, &v);
-        assert_eq!(out, vec![
-            DepVector::new(vec![DepElem::NEG]),
-            DepVector::new(vec![DepElem::POS]),
-        ]);
+        assert_eq!(
+            out,
+            vec![
+                DepVector::new(vec![DepElem::NEG]),
+                DepVector::new(vec![DepElem::POS]),
+            ]
+        );
     }
 
     #[test]
@@ -226,7 +233,11 @@ mod tests {
         let vectors = [
             DepVector::distances(&[1, -1, 2]),
             DepVector::new(vec![DepElem::POS, DepElem::ZERO, any()]),
-            DepVector::new(vec![DepElem::Dir(Dir::NonNeg), DepElem::Dir(Dir::NonZero), DepElem::Dist(1)]),
+            DepVector::new(vec![
+                DepElem::Dir(Dir::NonNeg),
+                DepElem::Dir(Dir::NonZero),
+                DepElem::Dist(1),
+            ]),
         ];
         for m in &matrices {
             for v in &vectors {

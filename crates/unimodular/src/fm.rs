@@ -52,7 +52,12 @@ impl LinIneq {
     pub fn eval_const(&self, point: &[i64]) -> i64 {
         assert_eq!(point.len(), self.coeffs.len(), "arity mismatch");
         let rest = self.rest.as_const().expect("constant rest");
-        self.coeffs.iter().zip(point).map(|(&c, &x)| c * x).sum::<i64>() + rest
+        self.coeffs
+            .iter()
+            .zip(point)
+            .map(|(&c, &x)| c * x)
+            .sum::<i64>()
+            + rest
     }
 
     fn combine(pos: &LinIneq, neg: &LinIneq, k: usize) -> LinIneq {
@@ -187,7 +192,10 @@ impl IterSpace {
         let mut subst: BTreeMap<Symbol, Expr> = BTreeMap::new();
 
         for (k, l) in nest.loops().iter().enumerate() {
-            let step = l.step.as_const().ok_or(FmError::NonConstStep { level: k })?;
+            let step = l
+                .step
+                .as_const()
+                .ok_or(FmError::NonConstStep { level: k })?;
             if step == 0 {
                 return Err(FmError::NonConstStep { level: k });
             }
@@ -195,9 +203,15 @@ impl IterSpace {
             let lower = l.lower.substitute(&subst_fn);
             let upper = l.upper.substitute(&subst_fn);
             let lower_terms = bound_linear_terms(&lower, BoundSide::Lower, step > 0, &names)
-                .ok_or(FmError::NotAffine { level: k, side: BoundSide::Lower })?;
+                .ok_or(FmError::NotAffine {
+                    level: k,
+                    side: BoundSide::Lower,
+                })?;
             let upper_terms = bound_linear_terms(&upper, BoundSide::Upper, step > 0, &names)
-                .ok_or(FmError::NotAffine { level: k, side: BoundSide::Upper })?;
+                .ok_or(FmError::NotAffine {
+                    level: k,
+                    side: BoundSide::Upper,
+                })?;
 
             if step == 1 {
                 let name = l.var.clone();
@@ -218,9 +232,9 @@ impl IterSpace {
                 let [origin_form] = &lower_terms[..] else {
                     return Err(FmError::CompositeOrigin { level: k });
                 };
-                let name = l.var.freshen(|s| {
-                    names.contains(s) || nest.all_scalar_symbols().contains(s)
-                });
+                let name = l
+                    .var
+                    .freshen(|s| names.contains(s) || nest.all_scalar_symbols().contains(s));
                 names.push(name.clone());
                 // z_k ≥ 0.
                 let mut zpos = vec![0i64; n];
@@ -263,7 +277,10 @@ impl IterSpace {
                 rebinds.push((l.var.clone(), rebind));
             }
         }
-        Ok(NormalizedSpace { space: IterSpace { names, ineqs }, rebinds })
+        Ok(NormalizedSpace {
+            space: IterSpace { names, ineqs },
+            rebinds,
+        })
     }
 
     /// Builds a space directly from names and inequalities.
@@ -272,7 +289,10 @@ impl IterSpace {
     ///
     /// Panics if an inequality's arity differs from `names.len()`.
     pub fn from_ineqs(names: Vec<Symbol>, ineqs: Vec<LinIneq>) -> IterSpace {
-        assert!(ineqs.iter().all(|i| i.coeffs.len() == names.len()), "arity mismatch");
+        assert!(
+            ineqs.iter().all(|i| i.coeffs.len() == names.len()),
+            "arity mismatch"
+        );
         IterSpace { names, ineqs }
     }
 
@@ -309,7 +329,10 @@ impl IterSpace {
                 LinIneq::new(coeffs, i.rest.clone())
             })
             .collect();
-        IterSpace { names: new_names, ineqs }
+        IterSpace {
+            names: new_names,
+            ineqs,
+        }
     }
 
     /// Generates loop bounds by Fourier–Motzkin elimination from the
@@ -376,8 +399,7 @@ impl IterSpace {
             if lowers.is_empty() || uppers.is_empty() {
                 return Err(FmError::Unbounded { level: k });
             }
-            let outer: Vec<&LinIneq> =
-                system.iter().filter(|i| i.coeffs[k] == 0).collect();
+            let outer: Vec<&LinIneq> = system.iter().filter(|i| i.coeffs[k] == 0).collect();
             prune_dominated(&mut lowers, &outer, k, true);
             prune_dominated(&mut uppers, &outer, k, false);
             bounds[k] = (
@@ -421,7 +443,11 @@ fn prune_dominated(cands: &mut Vec<Cand>, outer: &[&LinIneq], k: usize, is_lower
                 continue;
             };
             // diff = A − B (lower) or B − A (upper), which must be ≥ 0.
-            let (cx, rx, cy, ry) = if is_lower { (ca, ra, cb, rb) } else { (cb, rb, ca, ra) };
+            let (cx, rx, cy, ry) = if is_lower {
+                (ca, ra, cb, rb)
+            } else {
+                (cb, rb, ca, ra)
+            };
             let dcoeffs: Vec<i64> = cx.iter().zip(cy).map(|(&x, &y)| x - y).collect();
             let drest = Expr::sub(rx.clone(), ry.clone()).simplify();
             let implied = if dcoeffs.iter().all(|&c| c == 0) {
@@ -448,8 +474,7 @@ fn prune_dominated(cands: &mut Vec<Cand>, outer: &[&LinIneq], k: usize, is_lower
 /// Eliminates variable `k` from the system by Fourier–Motzkin combination.
 pub fn eliminate(system: &[LinIneq], k: usize) -> Vec<LinIneq> {
     let mut out: Vec<LinIneq> = Vec::new();
-    let (pos, rest): (Vec<&LinIneq>, Vec<&LinIneq>) =
-        system.iter().partition(|i| i.coeffs[k] > 0);
+    let (pos, rest): (Vec<&LinIneq>, Vec<&LinIneq>) = system.iter().partition(|i| i.coeffs[k] > 0);
     let (neg, zero): (Vec<&LinIneq>, Vec<&LinIneq>) =
         rest.into_iter().partition(|i| i.coeffs[k] < 0);
     for i in zero {
@@ -469,7 +494,10 @@ pub fn eliminate(system: &[LinIneq], k: usize) -> Vec<LinIneq> {
 }
 
 fn pos_of(names: &[Symbol], v: &Symbol) -> usize {
-    names.iter().position(|n| n == v).expect("bound references a known outer variable")
+    names
+        .iter()
+        .position(|n| n == v)
+        .expect("bound references a known outer variable")
 }
 
 /// `x_k − form ≥ 0` as an inequality over `n` variables; the form's
@@ -493,7 +521,6 @@ fn form_minus_var(k: usize, n: usize, form: &LinearForm, names: &[Symbol]) -> Li
     }
     LinIneq::new(coeffs, form.rest.clone())
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -550,10 +577,7 @@ mod tests {
 
     #[test]
     fn from_nest_splits_minmax_bounds() {
-        let nest = parse_nest(
-            "do i = max(2, p), min(n, m)\n a(i) = 0\nenddo",
-        )
-        .unwrap();
+        let nest = parse_nest("do i = max(2, p), min(n, m)\n a(i) = 0\nenddo").unwrap();
         let norm = IterSpace::from_nest(&nest).unwrap();
         // 2 lower + 2 upper inequalities.
         assert_eq!(norm.space.ineqs().len(), 4);
@@ -613,8 +637,12 @@ mod tests {
 
     #[test]
     fn error_displays() {
-        assert!(FmError::Unbounded { level: 2 }.to_string().contains("variable 2"));
-        assert!(FmError::NonConstStep { level: 1 }.to_string().contains("step"));
+        assert!(FmError::Unbounded { level: 2 }
+            .to_string()
+            .contains("variable 2"));
+        assert!(FmError::NonConstStep { level: 1 }
+            .to_string()
+            .contains("step"));
         assert!(FmError::CompositeOrigin { level: 0 }
             .to_string()
             .contains("normalize"));

@@ -52,7 +52,11 @@ impl IntMatrix {
     /// Panics if either dimension is zero.
     pub fn zeros(rows: usize, cols: usize) -> IntMatrix {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
-        IntMatrix { rows, cols, data: vec![0; rows * cols] }
+        IntMatrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
     }
 
     /// The `n × n` identity.
@@ -371,15 +375,27 @@ impl Rat {
     }
 
     fn mul(self, o: Rat) -> Rat {
-        Rat { num: self.num * o.num, den: self.den * o.den }.norm()
+        Rat {
+            num: self.num * o.num,
+            den: self.den * o.den,
+        }
+        .norm()
     }
 
     fn div(self, o: Rat) -> Rat {
-        Rat { num: self.num * o.den, den: self.den * o.num }.norm()
+        Rat {
+            num: self.num * o.den,
+            den: self.den * o.num,
+        }
+        .norm()
     }
 
     fn sub(self, o: Rat) -> Rat {
-        Rat { num: self.num * o.den - o.num * self.den, den: self.den * o.den }.norm()
+        Rat {
+            num: self.num * o.den - o.num * self.den,
+            den: self.den * o.den,
+        }
+        .norm()
     }
 }
 
@@ -445,12 +461,7 @@ mod tests {
             -1
         );
         // A 4x4 with known determinant (block triangular).
-        let m = IntMatrix::from_rows(&[
-            &[1, 7, 0, 0],
-            &[0, 1, 0, 0],
-            &[3, 3, 2, 1],
-            &[5, 1, 1, 1],
-        ]);
+        let m = IntMatrix::from_rows(&[&[1, 7, 0, 0], &[0, 1, 0, 0], &[3, 3, 2, 1], &[5, 1, 1, 1]]);
         assert_eq!(m.det(), 1);
     }
 

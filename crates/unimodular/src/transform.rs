@@ -69,10 +69,16 @@ impl fmt::Display for UnimodularError {
                 f.write_str("matrix is not unimodular (square, integral, det ±1)")
             }
             UnimodularError::DepthMismatch { expected, found } => {
-                write!(f, "matrix is {expected}-dimensional but the nest has {found} loops")
+                write!(
+                    f,
+                    "matrix is {expected}-dimensional but the nest has {found} loops"
+                )
             }
             UnimodularError::ParallelLoop { level } => {
-                write!(f, "loop {level} is pardo; the unimodular framework is sequential-only")
+                write!(
+                    f,
+                    "loop {level} is pardo; the unimodular framework is sequential-only"
+                )
             }
             UnimodularError::Fm(e) => write!(f, "{e}"),
         }
@@ -110,7 +116,9 @@ impl UnimodularTransform {
 
     /// The identity transformation on `n` loops.
     pub fn identity(n: usize) -> UnimodularTransform {
-        UnimodularTransform { matrix: IntMatrix::identity(n) }
+        UnimodularTransform {
+            matrix: IntMatrix::identity(n),
+        }
     }
 
     /// The transformation matrix.
@@ -127,7 +135,9 @@ impl UnimodularTransform {
     /// (`next.matrix · self.matrix` — the unimodular framework's one-matrix
     /// composition the paper contrasts with sequence concatenation).
     pub fn then(&self, next: &UnimodularTransform) -> UnimodularTransform {
-        UnimodularTransform { matrix: next.matrix.mul(&self.matrix) }
+        UnimodularTransform {
+            matrix: next.matrix.mul(&self.matrix),
+        }
     }
 
     /// Maps a dependence set through the matrix.
@@ -174,7 +184,10 @@ impl UnimodularTransform {
     ) -> Result<LoopNest, UnimodularError> {
         let n = nest.depth();
         if n != self.dim() {
-            return Err(UnimodularError::DepthMismatch { expected: self.dim(), found: n });
+            return Err(UnimodularError::DepthMismatch {
+                expected: self.dim(),
+                found: n,
+            });
         }
         if let Some(level) = nest.loops().iter().position(|l| l.kind.is_parallel()) {
             return Err(UnimodularError::ParallelLoop { level });
@@ -264,13 +277,14 @@ fn derive_names(minv: &IntMatrix, old: &[Symbol], nest: &LoopNest) -> Vec<Symbol
             // Taken: every symbol of the source nest, every normalized
             // (z) variable — the init statements still bind those — and
             // every name already chosen.
-            taken_base.contains(s)
-                || old.contains(s)
-                || names.iter().flatten().any(|t| t == s)
+            taken_base.contains(s) || old.contains(s) || names.iter().flatten().any(|t| t == s)
         });
         names[j] = Some(fresh);
     }
-    names.into_iter().map(|s| s.expect("all assigned")).collect()
+    names
+        .into_iter()
+        .map(|s| s.expect("all assigned"))
+        .collect()
 }
 
 /// Is row `k` of `m` a unit vector? Returns the column of the 1.
@@ -291,7 +305,10 @@ fn unit_row(m: &IntMatrix, k: usize) -> Option<usize> {
 fn row_expr(m: &IntMatrix, k: usize, names: &[Symbol]) -> Expr {
     let mut acc = Expr::int(0);
     for (j, name) in names.iter().enumerate() {
-        acc = Expr::add(acc, Expr::mul(Expr::int(m[(k, j)]), Expr::var(name.clone())));
+        acc = Expr::add(
+            acc,
+            Expr::mul(Expr::int(m[(k, j)]), Expr::var(name.clone())),
+        );
     }
     acc
 }
@@ -390,14 +407,20 @@ mod tests {
     fn parallel_loop_rejected() {
         let nest = parse_nest("pardo i = 1, n\n a(i) = 0\nenddo").unwrap();
         let t = UnimodularTransform::identity(1);
-        assert_eq!(t.apply(&nest), Err(UnimodularError::ParallelLoop { level: 0 }));
+        assert_eq!(
+            t.apply(&nest),
+            Err(UnimodularError::ParallelLoop { level: 0 })
+        );
     }
 
     #[test]
     fn depth_mismatch_rejected() {
         let nest = parse_nest("do i = 1, n\n a(i) = 0\nenddo").unwrap();
         let t = UnimodularTransform::identity(2);
-        assert!(matches!(t.apply(&nest), Err(UnimodularError::DepthMismatch { .. })));
+        assert!(matches!(
+            t.apply(&nest),
+            Err(UnimodularError::DepthMismatch { .. })
+        ));
     }
 
     #[test]
@@ -409,7 +432,10 @@ mod tests {
         .parse_nest()
         .unwrap();
         let t = UnimodularTransform::identity(3);
-        assert!(matches!(t.apply(&nest), Err(UnimodularError::Fm(FmError::NotAffine { .. }))));
+        assert!(matches!(
+            t.apply(&nest),
+            Err(UnimodularError::Fm(FmError::NotAffine { .. }))
+        ));
     }
 
     #[test]
@@ -420,7 +446,10 @@ mod tests {
         let t = UnimodularTransform::identity(1);
         let out = t.apply(&nest).unwrap();
         let text = out.to_string();
-        assert!(text.contains("i = 3*i_1 + 1") || text.contains("i = 1 + 3*i_1"), "{text}");
+        assert!(
+            text.contains("i = 3*i_1 + 1") || text.contains("i = 1 + 3*i_1"),
+            "{text}"
+        );
         assert!(text.contains("do i_1 = 0, 3, 1"), "{text}");
     }
 
@@ -434,7 +463,10 @@ mod tests {
         let out = t.apply(&nest).unwrap();
         let text = out.to_string();
         assert!(text.contains("do j_1 = 0, 2, 1"), "{text}");
-        assert!(text.contains("j = 3 - j_1") || text.contains("j = -j_1 + 3"), "{text}");
+        assert!(
+            text.contains("j = 3 - j_1") || text.contains("j = -j_1 + 3"),
+            "{text}"
+        );
         // And reversing it scans the same three values ascending.
         let rev = UnimodularTransform::new(IntMatrix::reversal(1, 0)).unwrap();
         let out = rev.apply(&nest).unwrap();
@@ -471,8 +503,13 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = UnimodularError::DepthMismatch { expected: 2, found: 3 };
+        let e = UnimodularError::DepthMismatch {
+            expected: 2,
+            found: 3,
+        };
         assert!(e.to_string().contains("2-dimensional"));
-        assert!(UnimodularError::NotUnimodular.to_string().contains("unimodular"));
+        assert!(UnimodularError::NotUnimodular
+            .to_string()
+            .contains("unimodular"));
     }
 }

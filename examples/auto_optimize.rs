@@ -8,19 +8,31 @@
 //!
 //! ```text
 //! cargo run --example auto_optimize
+//! IRLT_TELEMETRY=telemetry.json cargo run --example auto_optimize
 //! ```
+//!
+//! With `IRLT_TELEMETRY` set, every search records beam statistics,
+//! legality-cache counters, and dependence-mapping fan-out; the rendered
+//! report is printed and the JSON artifact written to the named path.
 
 use irlt::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    parallel_execution()?;
-    vector_execution()?;
-    data_locality()?;
+    let tel = Telemetry::from_env();
+    parallel_execution(&tel)?;
+    vector_execution(&tel)?;
+    data_locality(&tel)?;
     rule_checking();
+    if tel.is_enabled() {
+        println!("== telemetry ==\n{}", tel.report().render());
+        if let Some(path) = tel.write_env_report()? {
+            println!("telemetry artifact written to {}", path.display());
+        }
+    }
     Ok(())
 }
 
-fn parallel_execution() -> Result<(), Box<dyn std::error::Error>> {
+fn parallel_execution(tel: &Telemetry) -> Result<(), Box<dyn std::error::Error>> {
     // Stencil: every loop carries a dependence; only a skewed wavefront
     // (or similar) exposes parallelism. The search must *discover* the
     // enabling step.
@@ -37,12 +49,18 @@ fn parallel_execution() -> Result<(), Box<dyn std::error::Error>> {
         catalog: MoveCatalog::parallelism(),
         max_steps: 3,
         beam_width: 12,
+        telemetry: tel.clone(),
         ..SearchConfig::default()
     };
     let found = search(&nest, &deps, &Goal::OuterParallel, &cfg);
     println!("{found}");
     println!("{}", found.best.shape);
-    assert!(found.best.shape.loops().iter().any(|l| l.kind.is_parallel()));
+    assert!(found
+        .best
+        .shape
+        .loops()
+        .iter()
+        .any(|l| l.kind.is_parallel()));
     // Always verify what a search returns.
     let out = found.best.seq.apply(&nest)?;
     let check = check_equivalence(&nest, &out, &[("n", 12)], 1)?;
@@ -51,7 +69,7 @@ fn parallel_execution() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn vector_execution() -> Result<(), Box<dyn std::error::Error>> {
+fn vector_execution(tel: &Telemetry) -> Result<(), Box<dyn std::error::Error>> {
     // Column recurrence: i carries, j is free — vectorization wants the
     // free loop innermost and pardo.
     let nest = parse_nest(
@@ -63,7 +81,11 @@ fn vector_execution() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let deps = analyze_dependences(&nest);
     println!("== goal: vector execution (column recurrence, D = {deps}) ==");
-    let found = search(&nest, &deps, &Goal::InnerParallel, &SearchConfig::default());
+    let cfg = SearchConfig {
+        telemetry: tel.clone(),
+        ..SearchConfig::default()
+    };
+    let found = search(&nest, &deps, &Goal::InnerParallel, &cfg);
     println!("{found}");
     println!("{}", found.best.shape);
     let inner = found.best.shape.level(found.best.shape.depth() - 1);
@@ -71,7 +93,7 @@ fn vector_execution() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn data_locality() -> Result<(), Box<dyn std::error::Error>> {
+fn data_locality(tel: &Telemetry) -> Result<(), Box<dyn std::error::Error>> {
     // Matmul under a small cache: the search should pick a tiling.
     let nest = parse_nest(
         "do i = 1, n
@@ -91,7 +113,11 @@ fn data_locality() -> Result<(), Box<dyn std::error::Error>> {
     let goal = Goal::Locality(LocalityGoal {
         params: vec![("n".into(), n as i64)],
         map,
-        cache: CacheConfig { size_bytes: 4 * 1024, line_bytes: 64, associativity: 4 },
+        cache: CacheConfig {
+            size_bytes: 4 * 1024,
+            line_bytes: 64,
+            associativity: 4,
+        },
     });
     println!("== goal: data locality (matmul, n={n}, 4 KiB cache) ==");
     let base = goal.score(&nest).expect("scoreable");
@@ -99,6 +125,7 @@ fn data_locality() -> Result<(), Box<dyn std::error::Error>> {
         catalog: MoveCatalog::locality(),
         max_steps: 1,
         beam_width: 6,
+        telemetry: tel.clone(),
         ..SearchConfig::default()
     };
     let found = search(&nest, &deps, &goal, &cfg);

@@ -139,6 +139,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .parallelize(vec![true, false])?;
     let verdict = illegal.is_legal(&nest, &deps);
     println!("\nshift-then-parallelize(i): {verdict}");
-    assert!(!verdict.is_legal(), "the i-carried dependence survives the shift");
+    assert!(
+        !verdict.is_legal(),
+        "the i-carried dependence survives the shift"
+    );
     Ok(())
 }

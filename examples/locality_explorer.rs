@@ -8,14 +8,22 @@
 //!
 //! ```text
 //! cargo run --example locality_explorer
+//! IRLT_TELEMETRY=telemetry.json cargo run --example locality_explorer
 //! ```
+//!
+//! With `IRLT_TELEMETRY` set, the sweep's cache counters are aggregated
+//! (`cachesim/*`) and written to the named JSON artifact.
 
 use irlt::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    matmul_tile_sweep()?;
+    let tel = Telemetry::from_env();
+    matmul_tile_sweep(&tel)?;
     transpose_interchange()?;
     hierarchy_view()?;
+    if let Some(path) = tel.write_env_report()? {
+        println!("telemetry artifact written to {}", path.display());
+    }
     Ok(())
 }
 
@@ -43,8 +51,16 @@ fn hierarchy_view() -> Result<(), Box<dyn std::error::Error>> {
     for a in ["A", "B", "C"] {
         map.declare(a, &[n as u64, n as u64]);
     }
-    let l1 = CacheConfig { size_bytes: 4 * 1024, line_bytes: 64, associativity: 4 };
-    let l2 = CacheConfig { size_bytes: 64 * 1024, line_bytes: 64, associativity: 8 };
+    let l1 = CacheConfig {
+        size_bytes: 4 * 1024,
+        line_bytes: 64,
+        associativity: 4,
+    };
+    let l2 = CacheConfig {
+        size_bytes: 64 * 1024,
+        line_bytes: 64,
+        associativity: 8,
+    };
 
     println!("\n== two-level view (L1 4 KiB, L2 64 KiB, lat 4/12/100) ==");
     let run = |label: &str, nest: &LoopNest| -> Result<u64, Box<dyn std::error::Error>> {
@@ -64,7 +80,7 @@ fn hierarchy_view() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn matmul_tile_sweep() -> Result<(), Box<dyn std::error::Error>> {
+fn matmul_tile_sweep(tel: &Telemetry) -> Result<(), Box<dyn std::error::Error>> {
     let nest = parse_nest(
         "do i = 1, n
            do j = 1, n
@@ -81,11 +97,18 @@ fn matmul_tile_sweep() -> Result<(), Box<dyn std::error::Error>> {
     for a in ["A", "B", "C"] {
         map.declare(a, &[n as u64, n as u64]);
     }
-    let cfg = CacheConfig { size_bytes: 4 * 1024, line_bytes: 64, associativity: 4 };
+    let cfg = CacheConfig {
+        size_bytes: 4 * 1024,
+        line_bytes: 64,
+        associativity: 4,
+    };
 
     println!("== blocked matmul: tile-size sweep (n={n}, 4 KiB L1) ==");
-    println!("{:<12} {:>12} {:>12} {:>9}", "variant", "accesses", "misses", "miss%");
-    let base = simulate_nest(&nest, &[("n", n)], &map, cfg)?;
+    println!(
+        "{:<12} {:>12} {:>12} {:>9}",
+        "variant", "accesses", "misses", "miss%"
+    );
+    let base = simulate_nest_observed(&nest, &[("n", n)], &map, cfg, tel)?;
     println!(
         "{:<12} {:>12} {:>12} {:>8.2}%",
         "untiled",
@@ -96,16 +119,13 @@ fn matmul_tile_sweep() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut best: Option<(i64, u64)> = None;
     for bs in [2, 4, 8, 12, 16, 24] {
-        let seq = TransformSeq::new(3).block(
-            0,
-            2,
-            vec![Expr::int(bs), Expr::int(bs), Expr::int(bs)],
-        )?;
+        let seq =
+            TransformSeq::new(3).block(0, 2, vec![Expr::int(bs), Expr::int(bs), Expr::int(bs)])?;
         // Always legal for matmul's (0,0,+) dependence — the framework
         // confirms rather than assumes.
         assert!(seq.is_legal(&nest, &deps).is_legal());
         let tiled = seq.apply(&nest)?;
-        let r = simulate_nest(&tiled, &[("n", n)], &map, cfg)?;
+        let r = simulate_nest_observed(&tiled, &[("n", n)], &map, cfg, tel)?;
         println!(
             "{:<12} {:>12} {:>12} {:>8.2}%",
             format!("b={bs}"),
@@ -143,7 +163,11 @@ fn transpose_interchange() -> Result<(), Box<dyn std::error::Error>> {
     let mut map = AddressMap::new(Order::ColMajor, 8);
     map.declare("a", &[n as u64, n as u64]);
     map.declare("b", &[n as u64, n as u64]);
-    let cfg = CacheConfig { size_bytes: 4 * 1024, line_bytes: 64, associativity: 4 };
+    let cfg = CacheConfig {
+        size_bytes: 4 * 1024,
+        line_bytes: 64,
+        associativity: 4,
+    };
 
     println!("== transpose: interchange vs tiling (n={n}, 4 KiB L1) ==");
     let base = simulate_nest(&nest, &[("n", n)], &map, cfg)?;

@@ -40,8 +40,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stages: Vec<(&str, TransformSeq)> = {
         let s1 = TransformSeq::new(3).reverse_permute(vec![false; 3], vec![2, 0, 1])?;
         let s2 = s1.clone().block(0, 2, vec![b("bj"), b("bk"), b("bi")])?;
-        let s3 = s2.clone().parallelize(vec![true, false, true, false, false, false])?;
-        let s4 = s3.clone().reverse_permute(vec![false; 6], vec![0, 2, 1, 3, 4, 5])?;
+        let s3 = s2
+            .clone()
+            .parallelize(vec![true, false, true, false, false, false])?;
+        let s4 = s3
+            .clone()
+            .reverse_permute(vec![false; 6], vec![0, 2, 1, 3, 4, 5])?;
         let s5 = s4.clone().coalesce(0, 1)?;
         vec![
             ("ReversePermute", s1),
@@ -85,7 +89,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     map.declare("A", &[n as u64, n as u64]);
     map.declare("B", &[n as u64, n as u64]);
     map.declare("C", &[n as u64, n as u64]);
-    let cfg = CacheConfig { size_bytes: 4 * 1024, line_bytes: 64, associativity: 4 };
+    let cfg = CacheConfig {
+        size_bytes: 4 * 1024,
+        line_bytes: 64,
+        associativity: 4,
+    };
     let base = simulate_nest(&nest, &[("n", n)], &map, cfg)?;
     println!("\nsimulated misses, n={n}, 4 KiB cache:");
     println!("  untiled      : {}", base.stats);
@@ -97,7 +105,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             cfg,
         )?;
         println!("  tiled b={bs:<3}  : {}", r.stats);
-        assert!(r.stats.misses < base.stats.misses, "tiling must reduce misses");
+        assert!(
+            r.stats.misses < base.stats.misses,
+            "tiling must reduce misses"
+        );
     }
     Ok(())
 }

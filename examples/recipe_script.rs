@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Round-trip check: serialize back.
     let reserialized = seq.to_script()?;
-    assert_eq!(TransformSeq::from_script(&reserialized)?.to_script()?, reserialized);
+    assert_eq!(
+        TransformSeq::from_script(&reserialized)?.to_script()?,
+        reserialized
+    );
     println!("canonical script:\n{reserialized}");
 
     // 3. Legality + stage-by-stage explanation (the Fig. 7 table).
@@ -47,15 +50,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Generate and export as C.
     let out = seq.apply(&nest)?;
-    println!("== emitted C ==\n{}{}", c_prelude(), emit_c(&out, &CEmitOptions::default()));
+    println!(
+        "== emitted C ==\n{}{}",
+        c_prelude(),
+        emit_c(&out, &CEmitOptions::default())
+    );
 
     // 5. And, as always, verify by execution.
-    let report = check_equivalence(
-        &nest,
-        &out,
-        &[("n", 6), ("bj", 2), ("bk", 3), ("bi", 2)],
-        7,
-    )?;
+    let report = check_equivalence(&nest, &out, &[("n", 6), ("bj", 2), ("bk", 3), ("bi", 2)], 7)?;
     println!("verified: {report}");
     assert!(report.is_equivalent());
     Ok(())

@@ -54,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // locality relative to the original column walk. Measure it.
     let mut map = AddressMap::new(Order::ColMajor, 8);
     map.declare("a", &[128, 128]);
-    let cfg = CacheConfig { size_bytes: 8 * 1024, line_bytes: 64, associativity: 4 };
+    let cfg = CacheConfig {
+        size_bytes: 8 * 1024,
+        line_bytes: 64,
+        associativity: 4,
+    };
     let before = simulate_nest(&nest, &[("n", 128)], &map, cfg)?;
     let after = simulate_nest(&out, &[("n", 128)], &map, cfg)?;
     println!("\nsimulated L1 misses (col-major a(128×128), 8 KiB cache):");

@@ -16,6 +16,7 @@
 //! | [`interp`] | loop-nest interpreter, differential equivalence checking, empirical dependences |
 //! | [`cachesim`] | set-associative LRU cache + array layouts for locality studies |
 //! | [`opt`] | goal-directed transformation search and empirical rule validation (the paper's "automatic transformation system" future work) |
+//! | [`obs`] | zero-dependency structured telemetry: counters, histograms, spans, JSON artifacts (`IRLT_TELEMETRY=path.json`) |
 //!
 //! # Quickstart
 //!
@@ -46,15 +47,18 @@
 
 pub use irlt_cachesim as cachesim;
 pub use irlt_core as core;
-pub use irlt_opt as opt;
 pub use irlt_dependence as dependence;
 pub use irlt_interp as interp;
 pub use irlt_ir as ir;
+pub use irlt_obs as obs;
+pub use irlt_opt as opt;
 pub use irlt_unimodular as unimodular;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
-    pub use irlt_cachesim::{simulate_nest, AddressMap, Cache, CacheConfig, Order};
+    pub use irlt_cachesim::{
+        simulate_nest, simulate_nest_observed, AddressMap, Cache, CacheConfig, Order,
+    };
     pub use irlt_core::{
         catalog, BoundsMatrices, ExtendError, KernelTemplate, LegalityCache, LegalityReport,
         Permutation, SeqState, Template, TransformSeq,
@@ -65,13 +69,14 @@ pub mod prelude {
     pub use irlt_interp::{
         check_equivalence, empirical_dependences, Executor, Memory, PardoOrder, TraceLevel,
     };
-    pub use irlt_opt::{
-        default_test_nests, search, validate_template, Goal, LocalityGoal, MoveCatalog,
-        SearchConfig,
-    };
     pub use irlt_ir::{
         classify, classify_bound, parse_expr, parse_nest, BoundSide, Expr, ExprType, Loop,
         LoopKind, LoopNest, Parser, Stmt, Symbol,
+    };
+    pub use irlt_obs::{Report, Telemetry};
+    pub use irlt_opt::{
+        default_test_nests, search, validate_template, Goal, LocalityGoal, MoveCatalog,
+        SearchConfig,
     };
     pub use irlt_unimodular::{IntMatrix, UnimodularTransform};
 }

@@ -23,14 +23,24 @@ fn frameworks_agree_on_matrix_pipelines() {
     let baseline = UnimodularTransform::new(skew.clone())
         .unwrap()
         .then(&UnimodularTransform::new(swap.clone()).unwrap());
-    let framework = TransformSeq::new(2).unimodular(skew).unwrap().unimodular(swap).unwrap();
+    let framework = TransformSeq::new(2)
+        .unimodular(skew)
+        .unwrap()
+        .unimodular(swap)
+        .unwrap();
 
-    assert_eq!(baseline.is_legal(&deps), framework.is_legal(&nest, &deps).is_legal());
+    assert_eq!(
+        baseline.is_legal(&deps),
+        framework.is_legal(&nest, &deps).is_legal()
+    );
     assert_eq!(baseline.map_deps(&deps), framework.map_deps(&deps));
     // Fused framework sequence = exactly the baseline's single matrix.
     let fused = framework.fuse();
     assert_eq!(fused.len(), 1);
-    assert_eq!(baseline.apply(&nest).unwrap(), framework.apply(&nest).unwrap());
+    assert_eq!(
+        baseline.apply(&nest).unwrap(),
+        framework.apply(&nest).unwrap()
+    );
 }
 
 /// The baseline cannot represent the non-matrix templates at all: no
@@ -70,18 +80,23 @@ fn reverse_permute_preferable_where_both_apply() {
     let uni = UnimodularTransform::new(IntMatrix::interchange(2, 0, 1)).unwrap();
     assert!(matches!(
         uni.apply(&nest),
-        Err(UnimodularError::Fm(irlt::unimodular::FmError::NonConstStep { .. }))
+        Err(UnimodularError::Fm(
+            irlt::unimodular::FmError::NonConstStep { .. }
+        ))
     ));
 
     // Constant non-unit stride: both apply; Unimodular normalizes (new
     // variable + INIT), ReversePermute does not.
-    let nest =
-        parse_nest("do i = 1, 20, 3\n do j = 1, m\n  a(i, j) = a(i, j) + 1\n enddo\nenddo").unwrap();
+    let nest = parse_nest("do i = 1, 20, 3\n do j = 1, m\n  a(i, j) = a(i, j) + 1\n enddo\nenddo")
+        .unwrap();
     let out_rp = rp.apply_to(&nest).unwrap();
     assert!(out_rp.inits().is_empty());
     assert_eq!(out_rp.level(1).step.as_const(), Some(3));
     let out_uni = uni.apply(&nest).unwrap();
-    assert!(!out_uni.inits().is_empty(), "normalization rebinds i:\n{out_uni}");
+    assert!(
+        !out_uni.inits().is_empty(),
+        "normalization rebinds i:\n{out_uni}"
+    );
     // Both remain executably correct.
     for out in [&out_rp, &out_uni] {
         let r = check_equivalence(&nest, out, &[("m", 5)], 9).unwrap();

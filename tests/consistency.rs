@@ -11,8 +11,7 @@ use irlt::prelude::*;
 fn check_analysis_soundness(src: &str, params: &[(&str, i64)]) {
     let nest = parse_nest(src).unwrap();
     let deps = analyze_dependences(&nest);
-    let observed =
-        empirical_dependences(&nest, nest.index_vars(), params, 51).unwrap();
+    let observed = empirical_dependences(&nest, nest.index_vars(), params, 51).unwrap();
     // Only lexicographically positive observed differences are real
     // dependences (the mirror pairs are the same dependence seen from the
     // sink); D covers exactly those.
@@ -30,10 +29,7 @@ fn check_analysis_soundness(src: &str, params: &[(&str, i64)]) {
 
 #[test]
 fn analysis_soundness_on_kernels() {
-    check_analysis_soundness(
-        "do i = 2, n\n a(i) = a(i - 1) + a(i)\nenddo",
-        &[("n", 20)],
-    );
+    check_analysis_soundness("do i = 2, n\n a(i) = a(i - 1) + a(i)\nenddo", &[("n", 20)]);
     check_analysis_soundness(
         "do i = 2, n - 1\n do j = 2, n - 1\n  a(i, j) = a(i - 1, j) + a(i, j - 1) + a(i + 1, j)\n enddo\nenddo",
         &[("n", 10)],
@@ -46,18 +42,9 @@ fn analysis_soundness_on_kernels() {
         "do i = 1, n\n do j = 1, n\n  a(i + j) = a(i + j - 1) + 1\n enddo\nenddo",
         &[("n", 7)],
     );
-    check_analysis_soundness(
-        "do i = 1, n, 2\n a(i) = a(i - 4) + 1\nenddo",
-        &[("n", 25)],
-    );
-    check_analysis_soundness(
-        "do i = n, 1, -1\n a(i) = a(i + 1) + 1\nenddo",
-        &[("n", 15)],
-    );
-    check_analysis_soundness(
-        "do i = 1, n\n a(2*i) = a(i) + 1\nenddo",
-        &[("n", 16)],
-    );
+    check_analysis_soundness("do i = 1, n, 2\n a(i) = a(i - 4) + 1\nenddo", &[("n", 25)]);
+    check_analysis_soundness("do i = n, 1, -1\n a(i) = a(i + 1) + 1\nenddo", &[("n", 15)]);
+    check_analysis_soundness("do i = 1, n\n a(2*i) = a(i) + 1\nenddo", &[("n", 16)]);
     // Indirect accesses: conservative vectors must still cover reality.
     check_analysis_soundness(
         "do i = 1, n\n x(idx(i)) = x(idx(i)) + 1\nenddo",
@@ -84,23 +71,24 @@ fn lex_class_covered(deps: &DepSet, d: &[i64]) -> bool {
     };
     deps.iter().any(|v| {
         v.elems()[..p].iter().all(|e| e.contains(0))
-            && if d[p] > 0 { v.elems()[p].can_pos() } else { v.elems()[p].can_neg() }
+            && if d[p] > 0 {
+                v.elems()[p].can_pos()
+            } else {
+                v.elems()[p].can_neg()
+            }
     })
 }
 
-fn check_mapping_consistency(
-    src: &str,
-    seq: &TransformSeq,
-    params: &[(&str, i64)],
-    label: &str,
-) {
+fn check_mapping_consistency(src: &str, seq: &TransformSeq, params: &[(&str, i64)], label: &str) {
     let nest = parse_nest(src).unwrap();
     let deps = analyze_dependences(&nest);
-    assert!(seq.is_legal(&nest, &deps).is_legal(), "{label}: sequence must be legal");
+    assert!(
+        seq.is_legal(&nest, &deps).is_legal(),
+        "{label}: sequence must be legal"
+    );
     let out = seq.apply(&nest).unwrap();
     let mapped = seq.map_deps(&deps);
-    let observed =
-        empirical_dependences(&out, out.index_vars(), params, 123).unwrap();
+    let observed = empirical_dependences(&out, out.index_vars(), params, 123).unwrap();
     let positive: std::collections::BTreeSet<Vec<i64>> = observed
         .into_iter()
         .filter(|d| matches!(d.iter().find(|&&x| x != 0), Some(&x) if x > 0))
@@ -125,8 +113,7 @@ fn check_mapping_consistency_exact(
     let deps = analyze_dependences(&nest);
     let out = seq.apply(&nest).unwrap();
     let mapped = seq.map_deps(&deps);
-    let observed =
-        empirical_dependences(&out, out.index_vars(), params, 123).unwrap();
+    let observed = empirical_dependences(&out, out.index_vars(), params, 123).unwrap();
     let positive: std::collections::BTreeSet<Vec<i64>> = observed
         .into_iter()
         .filter(|d| matches!(d.iter().find(|&&x| x != 0), Some(&x) if x > 0))
@@ -147,7 +134,8 @@ fn check_mapping_consistency_exact(
 
 #[test]
 fn mapping_consistency_stencil() {
-    let src = "do i = 2, n - 1\n do j = 2, n - 1\n  a(i, j) = a(i - 1, j) + a(i, j - 1)\n enddo\nenddo";
+    let src =
+        "do i = 2, n - 1\n do j = 2, n - 1\n  a(i, j) = a(i - 1, j) + a(i, j - 1)\n enddo\nenddo";
     let params: &[(&str, i64)] = &[("n", 9)];
     let b = |v: i64| Expr::int(v);
     let cases: Vec<(&str, TransformSeq)> = vec![
@@ -159,9 +147,15 @@ fn mapping_consistency_stencil() {
                 .unimodular(IntMatrix::interchange(2, 0, 1))
                 .unwrap(),
         ),
-        ("tile", TransformSeq::new(2).block(0, 1, vec![b(3), b(3)]).unwrap()),
+        (
+            "tile",
+            TransformSeq::new(2).block(0, 1, vec![b(3), b(3)]).unwrap(),
+        ),
         ("coalesce", TransformSeq::new(2).coalesce(0, 1).unwrap()),
-        ("strip_inner", TransformSeq::new(2).block(1, 1, vec![b(2)]).unwrap()),
+        (
+            "strip_inner",
+            TransformSeq::new(2).block(1, 1, vec![b(2)]).unwrap(),
+        ),
     ];
     for (label, seq) in &cases {
         check_mapping_consistency(src, seq, params, label);
@@ -199,16 +193,25 @@ fn mapping_consistency_reversals_and_interleave() {
     let cases: Vec<(&str, TransformSeq)> = vec![
         (
             "reverse_both",
-            TransformSeq::new(2).reverse_permute(vec![true, true], vec![0, 1]).unwrap(),
+            TransformSeq::new(2)
+                .reverse_permute(vec![true, true], vec![0, 1])
+                .unwrap(),
         ),
         (
             "interchange",
-            TransformSeq::new(2).reverse_permute(vec![false, false], vec![1, 0]).unwrap(),
+            TransformSeq::new(2)
+                .reverse_permute(vec![false, false], vec![1, 0])
+                .unwrap(),
         ),
-        ("interleave_j", TransformSeq::new(2).interleave(1, 1, vec![b(3)]).unwrap()),
+        (
+            "interleave_j",
+            TransformSeq::new(2).interleave(1, 1, vec![b(3)]).unwrap(),
+        ),
         (
             "interleave_both",
-            TransformSeq::new(2).interleave(0, 1, vec![b(2), b(3)]).unwrap(),
+            TransformSeq::new(2)
+                .interleave(0, 1, vec![b(2), b(3)])
+                .unwrap(),
         ),
     ];
     for (label, seq) in &cases {
@@ -225,11 +228,12 @@ fn block_overapproximates_but_never_underapproximates() {
     let src = "do i = 1, n\n a(i) = a(i - 1) + 1\nenddo";
     let nest = parse_nest(src).unwrap();
     let deps = analyze_dependences(&nest);
-    let seq = TransformSeq::new(1).block(0, 0, vec![Expr::int(4)]).unwrap();
+    let seq = TransformSeq::new(1)
+        .block(0, 0, vec![Expr::int(4)])
+        .unwrap();
     let mapped = seq.map_deps(&deps);
     let out = seq.apply(&nest).unwrap();
-    let observed =
-        empirical_dependences(&out, out.index_vars(), &[("n", 16)], 9).unwrap();
+    let observed = empirical_dependences(&out, out.index_vars(), &[("n", 16)], 9).unwrap();
     for d in &observed {
         if matches!(d.iter().find(|&&x| x != 0), Some(&x) if x > 0) {
             assert!(mapped.contains_tuple(d), "missing {d:?}");
@@ -241,7 +245,6 @@ fn block_overapproximates_but_never_underapproximates() {
     assert!(!observed.contains(&vec![1, 5]));
 }
 
-
 /// Exact Definition 3.4 containment for single non-matrix templates on a
 /// rectangular recurrence (one observation convention applies).
 #[test]
@@ -250,11 +253,27 @@ fn mapping_consistency_exact_rectangular() {
     let params: &[(&str, i64)] = &[("n", 9), ("m", 8)];
     let b = |v: i64| Expr::int(v);
     let cases: Vec<(&str, TransformSeq)> = vec![
-        ("tile", TransformSeq::new(2).block(0, 1, vec![b(3), b(3)]).unwrap()),
-        ("strip_outer", TransformSeq::new(2).block(0, 0, vec![b(4)]).unwrap()),
+        (
+            "tile",
+            TransformSeq::new(2).block(0, 1, vec![b(3), b(3)]).unwrap(),
+        ),
+        (
+            "strip_outer",
+            TransformSeq::new(2).block(0, 0, vec![b(4)]).unwrap(),
+        ),
         ("coalesce", TransformSeq::new(2).coalesce(0, 1).unwrap()),
-        ("interchange", TransformSeq::new(2).reverse_permute(vec![false, false], vec![1, 0]).unwrap()),
-        ("reverse_j", TransformSeq::new(2).reverse_permute(vec![false, true], vec![0, 1]).unwrap()),
+        (
+            "interchange",
+            TransformSeq::new(2)
+                .reverse_permute(vec![false, false], vec![1, 0])
+                .unwrap(),
+        ),
+        (
+            "reverse_j",
+            TransformSeq::new(2)
+                .reverse_permute(vec![false, true], vec![0, 1])
+                .unwrap(),
+        ),
     ];
     for (label, seq) in &cases {
         check_mapping_consistency_exact(src, seq, params, label);

@@ -44,7 +44,10 @@ fn ten_step_pipeline_on_4_nest() {
         .unwrap()
         .parallelize(vec![false, true, false, false, false, false])
         .unwrap()
-        .reverse_permute(vec![false, false, true, false, false, false], vec![0, 1, 2, 3, 4, 5])
+        .reverse_permute(
+            vec![false, false, true, false, false, false],
+            vec![0, 1, 2, 3, 4, 5],
+        )
         .unwrap()
         .coalesce(3, 4)
         .unwrap()
@@ -99,7 +102,9 @@ fn carried_nest_legal_and_illegal_moves() {
     // k carries (0,0,1,0); i is a pure broadcast dimension.
     assert!(deps.contains_tuple(&[0, 0, 1, 0]));
     // Parallelizing k must be rejected…
-    let bad = TransformSeq::new(4).parallelize(vec![false, false, true, false]).unwrap();
+    let bad = TransformSeq::new(4)
+        .parallelize(vec![false, false, true, false])
+        .unwrap();
     assert!(!bad.is_legal(&nest, &deps).is_legal());
     // The per-loop query agrees with the template-level verdicts.
     // (i broadcasts into A(j,k,l): every iteration of i rewrites the same

@@ -6,8 +6,8 @@
 //! Skipped — with a notice on the test runner's real stderr, visible
 //! even under `cargo test -q` — when no `cc` is on `PATH`.
 
-use irlt::prelude::*;
 use irlt::ir::{c_prelude, emit_c, CEmitOptions};
+use irlt::prelude::*;
 use std::io::Write as _;
 use std::process::Command;
 
@@ -38,7 +38,12 @@ fn skip_notice(test: &str) {
 /// interpreter's procedural memory is *not* replicated — instead both
 /// sides start from `base(i) = (i * 31) % 17` style deterministic fills —
 /// and the program prints the final contents of the output array.
-fn c_program(nest: &irlt::ir::LoopNest, params: &[(&str, i64)], probe: &str, probe_len: i64) -> String {
+fn c_program(
+    nest: &irlt::ir::LoopNest,
+    params: &[(&str, i64)],
+    probe: &str,
+    probe_len: i64,
+) -> String {
     let mut src = String::new();
     src.push_str("#include <stdio.h>\n");
     src.push_str(c_prelude());
@@ -65,7 +70,15 @@ fn c_program(nest: &irlt::ir::LoopNest, params: &[(&str, i64)], probe: &str, pro
             "  for (long z = 0; z < (1 << 16); ++z) {a}_store[z] = (z * 31) % 17;\n"
         ));
     }
-    for line in emit_c(nest, &CEmitOptions { openmp: false, ..Default::default() }).lines() {
+    for line in emit_c(
+        nest,
+        &CEmitOptions {
+            openmp: false,
+            ..Default::default()
+        },
+    )
+    .lines()
+    {
         src.push_str("  ");
         src.push_str(line);
         src.push('\n');
@@ -158,8 +171,8 @@ fn c_floor_division_matches_interpreter() {
         skip_notice("c_floor_division_matches_interpreter");
         return;
     }
-    let nest = parse_nest("do i = 1, 12\n do j = 1, 5\n  a(i, j) = i * 10 + j\n enddo\nenddo")
-        .unwrap();
+    let nest =
+        parse_nest("do i = 1, 12\n do j = 1, 5\n  a(i, j) = i * 10 + j\n enddo\nenddo").unwrap();
     let seq = TransformSeq::new(2).coalesce(0, 1).unwrap();
     let out = seq.apply(&nest).unwrap();
     // Interpreter result.

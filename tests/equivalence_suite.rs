@@ -45,17 +45,57 @@ fn kernels() -> Vec<Kernel> {
 fn sequences_2d() -> Vec<(&'static str, TransformSeq)> {
     let b = |v: i64| Expr::int(v);
     vec![
-        ("interchange_rp", TransformSeq::new(2).reverse_permute(vec![false, false], vec![1, 0]).unwrap()),
-        ("reverse_outer", TransformSeq::new(2).reverse_permute(vec![true, false], vec![0, 1]).unwrap()),
-        ("reverse_inner", TransformSeq::new(2).reverse_permute(vec![false, true], vec![0, 1]).unwrap()),
-        ("reverse_both_swap", TransformSeq::new(2).reverse_permute(vec![true, true], vec![1, 0]).unwrap()),
-        ("tile_2x3", TransformSeq::new(2).block(0, 1, vec![b(2), b(3)]).unwrap()),
-        ("strip_outer", TransformSeq::new(2).block(0, 0, vec![b(4)]).unwrap()),
+        (
+            "interchange_rp",
+            TransformSeq::new(2)
+                .reverse_permute(vec![false, false], vec![1, 0])
+                .unwrap(),
+        ),
+        (
+            "reverse_outer",
+            TransformSeq::new(2)
+                .reverse_permute(vec![true, false], vec![0, 1])
+                .unwrap(),
+        ),
+        (
+            "reverse_inner",
+            TransformSeq::new(2)
+                .reverse_permute(vec![false, true], vec![0, 1])
+                .unwrap(),
+        ),
+        (
+            "reverse_both_swap",
+            TransformSeq::new(2)
+                .reverse_permute(vec![true, true], vec![1, 0])
+                .unwrap(),
+        ),
+        (
+            "tile_2x3",
+            TransformSeq::new(2).block(0, 1, vec![b(2), b(3)]).unwrap(),
+        ),
+        (
+            "strip_outer",
+            TransformSeq::new(2).block(0, 0, vec![b(4)]).unwrap(),
+        ),
         ("coalesce_all", TransformSeq::new(2).coalesce(0, 1).unwrap()),
-        ("interleave_inner", TransformSeq::new(2).interleave(1, 1, vec![b(3)]).unwrap()),
-        ("interleave_both", TransformSeq::new(2).interleave(0, 1, vec![b(2), b(4)]).unwrap()),
-        ("par_outer", TransformSeq::new(2).parallelize(vec![true, false]).unwrap()),
-        ("par_inner", TransformSeq::new(2).parallelize(vec![false, true]).unwrap()),
+        (
+            "interleave_inner",
+            TransformSeq::new(2).interleave(1, 1, vec![b(3)]).unwrap(),
+        ),
+        (
+            "interleave_both",
+            TransformSeq::new(2)
+                .interleave(0, 1, vec![b(2), b(4)])
+                .unwrap(),
+        ),
+        (
+            "par_outer",
+            TransformSeq::new(2).parallelize(vec![true, false]).unwrap(),
+        ),
+        (
+            "par_inner",
+            TransformSeq::new(2).parallelize(vec![false, true]).unwrap(),
+        ),
         (
             "skew_interchange",
             TransformSeq::new(2)
@@ -64,10 +104,7 @@ fn sequences_2d() -> Vec<(&'static str, TransformSeq)> {
                 .unimodular(IntMatrix::interchange(2, 0, 1))
                 .unwrap(),
         ),
-        (
-            "wavefront",
-            catalog::wavefront2().unwrap(),
-        ),
+        ("wavefront", catalog::wavefront2().unwrap()),
         (
             "tile_then_par_blocks",
             TransformSeq::new(2)
@@ -86,7 +123,9 @@ fn sequences_2d() -> Vec<(&'static str, TransformSeq)> {
         ),
         (
             "reversal_unimodular",
-            TransformSeq::new(2).unimodular(IntMatrix::reversal(2, 0)).unwrap(),
+            TransformSeq::new(2)
+                .unimodular(IntMatrix::reversal(2, 0))
+                .unwrap(),
         ),
     ]
 }
@@ -110,8 +149,10 @@ fn legal_sequences_preserve_semantics() {
                     let out = seq
                         .apply(&nest)
                         .unwrap_or_else(|e| panic!("{}/{tname}: codegen failed: {e}", kernel.name));
-                    let r = check_equivalence(&nest, &out, &kernel.params, 1000)
-                        .unwrap_or_else(|e| panic!("{}/{tname}: exec failed: {e}\n{out}", kernel.name));
+                    let r =
+                        check_equivalence(&nest, &out, &kernel.params, 1000).unwrap_or_else(|e| {
+                            panic!("{}/{tname}: exec failed: {e}\n{out}", kernel.name)
+                        });
                     assert!(
                         r.is_equivalent(),
                         "{}/{tname}: {r}\noriginal:\n{nest}\ntransformed:\n{out}",
@@ -146,11 +187,26 @@ fn matmul_sequences() {
     let deps = analyze_dependences(&nest);
     let b = |v: i64| Expr::int(v);
     let cases: Vec<(&str, TransformSeq)> = vec![
-        ("rotate", TransformSeq::new(3).reverse_permute(vec![false; 3], vec![2, 0, 1]).unwrap()),
-        ("tile_all", TransformSeq::new(3).block(0, 2, vec![b(2), b(3), b(2)]).unwrap()),
+        (
+            "rotate",
+            TransformSeq::new(3)
+                .reverse_permute(vec![false; 3], vec![2, 0, 1])
+                .unwrap(),
+        ),
+        (
+            "tile_all",
+            TransformSeq::new(3)
+                .block(0, 2, vec![b(2), b(3), b(2)])
+                .unwrap(),
+        ),
         ("coalesce_ij", TransformSeq::new(3).coalesce(0, 1).unwrap()),
         ("coalesce_all", TransformSeq::new(3).coalesce(0, 2).unwrap()),
-        ("par_ij", TransformSeq::new(3).parallelize(vec![true, true, false]).unwrap()),
+        (
+            "par_ij",
+            TransformSeq::new(3)
+                .parallelize(vec![true, true, false])
+                .unwrap(),
+        ),
         (
             "tile_par_coalesce",
             TransformSeq::new(3)
@@ -165,7 +221,10 @@ fn matmul_sequences() {
                 .coalesce(0, 1)
                 .unwrap(),
         ),
-        ("interleave_k", TransformSeq::new(3).interleave(2, 2, vec![b(2)]).unwrap()),
+        (
+            "interleave_k",
+            TransformSeq::new(3).interleave(2, 2, vec![b(2)]).unwrap(),
+        ),
     ];
     for (tname, seq) in cases {
         let verdict = seq.is_legal(&nest, &deps);
@@ -199,20 +258,27 @@ fn rejections_are_real() {
         // Reversing the carried loop.
         (
             "do i = 2, n\n a(i) = a(i - 1) + 1\nenddo",
-            TransformSeq::new(1).reverse_permute(vec![true], vec![0]).unwrap(),
+            TransformSeq::new(1)
+                .reverse_permute(vec![true], vec![0])
+                .unwrap(),
             vec![("n", 12)],
         ),
         // Interchanging the (1,−1) kernel.
         (
             "do i = 2, n\n do j = 1, n - 1\n  a(i, j) = a(i - 1, j + 1) + 1\n enddo\nenddo",
-            TransformSeq::new(2).reverse_permute(vec![false, false], vec![1, 0]).unwrap(),
+            TransformSeq::new(2)
+                .reverse_permute(vec![false, false], vec![1, 0])
+                .unwrap(),
             vec![("n", 8)],
         ),
     ];
     for (src, seq, params) in cases {
         let nest = parse_nest(src).unwrap();
         let deps = analyze_dependences(&nest);
-        assert!(!seq.is_legal(&nest, &deps).is_legal(), "{src} must be rejected");
+        assert!(
+            !seq.is_legal(&nest, &deps).is_legal(),
+            "{src} must be rejected"
+        );
         // The framework refuses; force codegen anyway by applying the raw
         // templates (preconditions hold; only dependences are violated).
         let out = seq.apply(&nest).unwrap();

@@ -45,7 +45,11 @@ fn figure1_skew_interchange() {
     assert!(text.contains("= 4, 2*n - 2, 1"), "{text}");
     assert!(text.contains("max(2, "), "{text}");
     assert!(text.contains("min(n - 1, "), "{text}");
-    assert_eq!(out.inits().len(), 1, "one variable reused, one rebound: {text}");
+    assert_eq!(
+        out.inits().len(),
+        1,
+        "one variable reused, one rebound: {text}"
+    );
 
     // Semantics preserved for several sizes.
     for n in [3, 4, 9, 16] {
@@ -64,7 +68,10 @@ fn figure2_reverse_then_interchange() {
     )
     .unwrap();
     let deps = analyze_dependences(&nest);
-    assert!(deps.contains_tuple(&[1, -1]), "flow dependence of a: {deps}");
+    assert!(
+        deps.contains_tuple(&[1, -1]),
+        "flow dependence of a: {deps}"
+    );
 
     let interchange_only = TransformSeq::new(2)
         .reverse_permute(vec![false, false], vec![1, 0])
@@ -88,7 +95,10 @@ fn figure2_reverse_then_interchange() {
         .apply_to(&nest)
         .unwrap(); // bounds are invariant: codegen itself is fine
     let r = check_equivalence(&nest, &bad, &[("n", 10)], 99).unwrap();
-    assert!(!r.is_equivalent(), "illegal interchange must change results");
+    assert!(
+        !r.is_equivalent(),
+        "illegal interchange must change results"
+    );
 }
 
 /// Figure 4(a)/(b): the triangular nest interchanges under `Unimodular`
@@ -163,7 +173,10 @@ fn figure4c_sparse_matmul() {
         ex.set_param("n", n);
         // Two nonzeros per column: colstr(j) = 2j − 1 (1-based CSR).
         ex.set_function("colstr", Arc::new(|args: &[i64]| 2 * args[0] - 1));
-        ex.set_function("rowidx", Arc::new(move |args: &[i64]| (args[0] * 7) % n + 1));
+        ex.set_function(
+            "rowidx",
+            Arc::new(move |args: &[i64]| (args[0] * 7) % n + 1),
+        );
         ex.run(nest, Memory::procedural(17)).unwrap()
     };
     let base = run(&nest);
@@ -210,22 +223,31 @@ fn figure7_matmul_five_step_sequence() {
     assert_eq!(deps.vectors()[0].paper_str(), "(=,=,+)");
 
     let b = |s: &str| Expr::var(s);
-    let seq1 = TransformSeq::new(3).reverse_permute(vec![false; 3], vec![2, 0, 1]).unwrap();
+    let seq1 = TransformSeq::new(3)
+        .reverse_permute(vec![false; 3], vec![2, 0, 1])
+        .unwrap();
     // After ReversePermute (i→2, j→0, k→1): (=,+,=).
     let d1 = seq1.map_deps(&deps);
     assert_eq!(d1.vectors()[0].paper_str(), "(=,+,=)");
 
-    let seq2 = seq1.clone().block(0, 2, vec![b("bj"), b("bk"), b("bi")]).unwrap();
+    let seq2 = seq1
+        .clone()
+        .block(0, 2, vec![b("bj"), b("bk"), b("bi")])
+        .unwrap();
     let d2 = seq2.map_deps(&deps);
     // Paper: {(=,=,=,=,+,=), (=,+,=,=,*,=)}.
     let strs: Vec<String> = d2.iter().map(|v| v.paper_str()).collect();
     assert!(strs.contains(&"(=,=,=,=,+,=)".to_string()), "{strs:?}");
     assert!(strs.contains(&"(=,+,=,=,*,=)".to_string()), "{strs:?}");
 
-    let seq3 = seq2.parallelize(vec![true, false, true, false, false, false]).unwrap();
+    let seq3 = seq2
+        .parallelize(vec![true, false, true, false, false, false])
+        .unwrap();
     assert!(seq3.map_deps(&deps).is_legal(), "jj and ii carry nothing");
 
-    let seq4 = seq3.reverse_permute(vec![false; 6], vec![0, 2, 1, 3, 4, 5]).unwrap();
+    let seq4 = seq3
+        .reverse_permute(vec![false; 6], vec![0, 2, 1, 3, 4, 5])
+        .unwrap();
     let d4 = seq4.map_deps(&deps);
     let strs: Vec<String> = d4.iter().map(|v| v.paper_str()).collect();
     assert!(strs.contains(&"(=,=,+,=,*,=)".to_string()), "{strs:?}");
@@ -239,7 +261,11 @@ fn figure7_matmul_five_step_sequence() {
     assert!(seq5.is_legal(&nest, &deps).is_legal());
     let out = seq5.apply(&nest).expect("five-step codegen");
     let vars: Vec<&str> = out.loops().iter().map(|l| l.var.as_str()).collect();
-    assert_eq!(vars, ["jic", "kk", "j", "k", "i"], "paper's final loop order");
+    assert_eq!(
+        vars,
+        ["jic", "kk", "j", "k", "i"],
+        "paper's final loop order"
+    );
     assert!(out.level(0).kind.is_parallel(), "jic is pardo");
     assert!(!out.level(1).kind.is_parallel(), "kk stays do");
 
@@ -266,7 +292,9 @@ fn figure7_matmul_five_step_sequence() {
 #[test]
 fn composition_concatenation_semantics() {
     let nest = matmul_fig6();
-    let first = TransformSeq::new(3).reverse_permute(vec![false; 3], vec![2, 0, 1]).unwrap();
+    let first = TransformSeq::new(3)
+        .reverse_permute(vec![false; 3], vec![2, 0, 1])
+        .unwrap();
     let second = TransformSeq::new(3)
         .block(0, 2, vec![Expr::int(2), Expr::int(3), Expr::int(2)])
         .unwrap();

@@ -22,7 +22,10 @@ fn legal_sequences_execute_equivalently() {
     // IRLT_FUZZ_CASES override (e.g. a quick dev iteration at 10 cases)
     // is an intentional choice and may go below it.
     if std::env::var_os("IRLT_FUZZ_CASES").is_none() {
-        assert!(report.cases >= 200, "differential fuzzer under-ran: {report}");
+        assert!(
+            report.cases >= 200,
+            "differential fuzzer under-ran: {report}"
+        );
         // Statistical, so only meaningful at full size: a tiny overridden
         // run can legitimately draw mostly-illegal sequences.
         assert!(
@@ -149,8 +152,11 @@ fn unimodular_depmap_soundness() {
         |(elems, tuple, skew, swap)| {
             let d = DepVector::new(elems.iter().map(|&k| palette[k]).collect());
             prop_assume!(d.contains_tuple(tuple));
-            let m = IntMatrix::skew(3, 0, 2, *skew)
-                .mul(&IntMatrix::interchange(3, *swap, (*swap + 1) % 3));
+            let m = IntMatrix::skew(3, 0, 2, *skew).mul(&IntMatrix::interchange(
+                3,
+                *swap,
+                (*swap + 1) % 3,
+            ));
             let mapped = irlt::unimodular::map_dep_vector(&m, &d);
             let mt = m.mul_vec(tuple);
             prop_assert!(
@@ -199,7 +205,11 @@ fn dep_elem_lattice_laws() {
         "dep_elem_lattice_laws",
         &Config::default(),
         |rng| {
-            (rng.gen_range(0..9usize), rng.gen_range(0..9usize), rng.gen_range(-5..=5i64))
+            (
+                rng.gen_range(0..9usize),
+                rng.gen_range(0..9usize),
+                rng.gen_range(-5..=5i64),
+            )
         },
         |_| Vec::new(),
         |&(a, b, x)| {
@@ -457,7 +467,11 @@ fn coalesce_decode_bijection() {
         &Config::default(),
         |rng| {
             let mut dims = || {
-                (rng.gen_range(-3..=3i64), rng.gen_range(1..=4i64), rng.gen_range(1..=3i64))
+                (
+                    rng.gen_range(-3..=3i64),
+                    rng.gen_range(1..=4i64),
+                    rng.gen_range(1..=3i64),
+                )
             };
             (dims(), dims())
         },
@@ -470,7 +484,11 @@ fn coalesce_decode_bijection() {
                     Loop::new("i", Expr::int(lo1), Expr::int(u1)).with_step(Expr::int(s1)),
                     Loop::new("j", Expr::int(lo2), Expr::int(u2)).with_step(Expr::int(s2)),
                 ],
-                vec![Stmt::array("A", vec![Expr::var("i"), Expr::var("j")], Expr::int(1))],
+                vec![Stmt::array(
+                    "A",
+                    vec![Expr::var("i"), Expr::var("j")],
+                    Expr::int(1),
+                )],
             );
             let t = Template::coalesce(2, 0, 1).unwrap();
             let out = t.apply_to(&nest).unwrap();
@@ -481,11 +499,25 @@ fn coalesce_decode_bijection() {
             for c in 0..total {
                 let env = |s: &Symbol| (s == &cvar).then_some(c);
                 let nf = |_: &Symbol, _: &[i64]| None;
-                let i = out.inits()[0].value().unwrap().eval_scalar(&env, &nf).unwrap();
-                let j = out.inits()[1].value().unwrap().eval_scalar(&env, &nf).unwrap();
+                let i = out.inits()[0]
+                    .value()
+                    .unwrap()
+                    .eval_scalar(&env, &nf)
+                    .unwrap();
+                let j = out.inits()[1]
+                    .value()
+                    .unwrap()
+                    .eval_scalar(&env, &nf)
+                    .unwrap();
                 prop_assert!(seen.insert((i, j)), "duplicate decode ({i},{j})");
-                prop_assert!((i - lo1) % s1 == 0 && (lo1..=u1).contains(&i), "i={i} off-grid");
-                prop_assert!((j - lo2) % s2 == 0 && (lo2..=u2).contains(&j), "j={j} off-grid");
+                prop_assert!(
+                    (i - lo1) % s1 == 0 && (lo1..=u1).contains(&i),
+                    "i={i} off-grid"
+                );
+                prop_assert!(
+                    (j - lo2) % s2 == 0 && (lo2..=u2).contains(&j),
+                    "j={j} off-grid"
+                );
             }
             prop_assert_eq!(seen.len() as i64, trip1 * trip2);
             CaseResult::Pass

@@ -1,0 +1,200 @@
+//! Observability-layer acceptance tests: the matmul acceptance search
+//! must produce a machine-readable report with non-trivial legality-cache
+//! and pruning counters, telemetry must never change results, and the
+//! JSON artifact must round-trip.
+
+use irlt::obs::{Json, Report, Telemetry};
+use irlt::prelude::*;
+
+fn matmul() -> LoopNest {
+    parse_nest(
+        "do i = 1, n\n do j = 1, n\n  do k = 1, n\n   A(i, j) = A(i, j) + B(i, k) * C(k, j)\n  enddo\n enddo\nenddo",
+    )
+    .unwrap()
+}
+
+fn acceptance_config(telemetry: Telemetry) -> SearchConfig {
+    SearchConfig {
+        max_steps: 5,
+        beam_width: 16,
+        telemetry,
+        ..SearchConfig::default()
+    }
+}
+
+#[test]
+fn matmul_acceptance_search_emits_cache_and_prune_counters() {
+    let nest = matmul();
+    let deps = analyze_dependences(&nest);
+    let tel = Telemetry::enabled();
+    let r = search(
+        &nest,
+        &deps,
+        &Goal::OuterParallel,
+        &acceptance_config(tel.clone()),
+    );
+    assert!(r.legal > 0);
+    let report = tel.report();
+    // The incremental engine's prefix cache fires for every candidate
+    // past depth 0, and subsumption pruning runs on every legal
+    // extension of a builtin template.
+    assert!(report.counter("legality/cache/hits") > 0, "{report:?}");
+    assert!(
+        report.counter("legality/cache/steps_saved") > 0,
+        "{report:?}"
+    );
+    // Subsumption pruning runs on every legal builtin extension; matmul's
+    // single (0,0,1) dependence never yields a subsumed image, so the
+    // dropped-vector assertion lives in
+    // `subsumption_prune_drops_vectors_on_dense_stencil`.
+    assert!(report.counter("legality/prune/calls") > 0, "{report:?}");
+    // Dependence-mapping fan-out: the `2^(j-i+1)` Block expansion shows
+    // up as multi-image buckets in the per-template histogram (matmul's
+    // single (0,0,+) vector expands on its nonzero elements only, so the
+    // buckets are powers of two below the worst case).
+    assert!(report.counter("depmap/vectors_mapped") > 0, "{report:?}");
+    let block_fanout = report
+        .histograms
+        .get("depmap/fanout/Block")
+        .expect("Block histogram");
+    assert!(
+        block_fanout.keys().any(|&images| images > 1),
+        "expected a multi-image Block fan-out bucket: {report:?}"
+    );
+    // Per-depth beam statistics exist for every depth the search ran.
+    for depth in 0..5 {
+        assert!(
+            report.counter(&format!("search/depth.{depth}/candidates")) > 0,
+            "depth {depth} missing: {report:?}"
+        );
+    }
+    assert_eq!(report.counter("search/explored"), r.explored as u64);
+    assert_eq!(report.counter("search/legal"), r.legal as u64);
+    // Fail-fast short-circuits: some candidate must have been cut before
+    // mapping its whole dependence set.
+    assert!(
+        report.counter("depmap/failfast_short_circuits") > 0,
+        "{report:?}"
+    );
+}
+
+#[test]
+fn subsumption_prune_drops_vectors_on_dense_stencil() {
+    // Three carried dependences: blocking fans each out to overlapping
+    // image sets, so subsumption pruning has real work to do.
+    let nest = parse_nest(
+        "do i = 2, n\n do j = 2, n\n  a(i, j) = a(i - 1, j) + a(i, j - 1) + a(i - 1, j - 1)\n enddo\nenddo",
+    )
+    .unwrap();
+    let deps = analyze_dependences(&nest);
+    let tel = Telemetry::enabled();
+    let cfg = SearchConfig {
+        max_steps: 3,
+        beam_width: 12,
+        telemetry: tel.clone(),
+        ..SearchConfig::default()
+    };
+    let with_tel = search(&nest, &deps, &Goal::OuterParallel, &cfg);
+    let report = tel.report();
+    assert!(
+        report.counter("legality/prune/vectors_dropped") > 0,
+        "{report:?}"
+    );
+    // Pruning (and observing it) never changes the outcome.
+    let plain = search(
+        &nest,
+        &deps,
+        &Goal::OuterParallel,
+        &SearchConfig {
+            telemetry: Telemetry::disabled(),
+            ..cfg
+        },
+    );
+    assert_eq!(with_tel.best.seq.to_string(), plain.best.seq.to_string());
+    assert_eq!(with_tel.explored, plain.explored);
+}
+
+#[test]
+fn telemetry_on_and_off_produce_identical_results() {
+    let nest = matmul();
+    let deps = analyze_dependences(&nest);
+    let off = search(
+        &nest,
+        &deps,
+        &Goal::OuterParallel,
+        &acceptance_config(Telemetry::disabled()),
+    );
+    let tel = Telemetry::enabled();
+    let on = search(
+        &nest,
+        &deps,
+        &Goal::OuterParallel,
+        &acceptance_config(tel.clone()),
+    );
+    assert_eq!(on.explored, off.explored);
+    assert_eq!(on.legal, off.legal);
+    assert_eq!(on.best.seq.to_string(), off.best.seq.to_string());
+    assert_eq!(on.best.score.to_bits(), off.best.score.to_bits());
+    assert_eq!(on.best.shape, off.best.shape);
+    // ... and the enabled run did record something.
+    assert!(tel.report().counter_sum("") > 0);
+}
+
+#[test]
+fn report_json_artifact_round_trips() {
+    let nest = matmul();
+    let deps = analyze_dependences(&nest);
+    let tel = Telemetry::enabled();
+    search(
+        &nest,
+        &deps,
+        &Goal::OuterParallel,
+        &acceptance_config(tel.clone()),
+    );
+    let report = tel.report();
+    let json_text = report.to_json().to_string_pretty();
+    // Artifact is self-describing: the four sections are present.
+    let parsed = Json::parse(&json_text).expect("artifact parses");
+    for section in ["counters", "histograms", "stats", "spans"] {
+        assert!(parsed.get(section).is_some(), "missing {section}");
+    }
+    let round = Report::from_json(&parsed).expect("report round-trips");
+    assert_eq!(round, report);
+    // The human renderer covers the same counters.
+    let rendered = report.render();
+    assert!(rendered.contains("legality/cache/hits"), "{rendered}");
+    assert!(rendered.contains("search/depth.0/candidates"), "{rendered}");
+}
+
+#[test]
+fn env_var_artifact_write_and_parse() {
+    let dir = std::env::temp_dir().join(format!("irlt-telemetry-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("telemetry.json");
+    std::env::set_var(irlt::obs::ENV_VAR, &path);
+    let tel = Telemetry::from_env();
+    assert!(tel.is_enabled());
+    let nest = matmul();
+    let deps = analyze_dependences(&nest);
+    let cfg = SearchConfig {
+        max_steps: 2,
+        beam_width: 8,
+        telemetry: tel.clone(),
+        ..SearchConfig::default()
+    };
+    search(&nest, &deps, &Goal::OuterParallel, &cfg);
+    let written = tel.write_env_report().unwrap().expect("artifact written");
+    assert_eq!(written, path);
+    std::env::remove_var(irlt::obs::ENV_VAR);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let parsed = Json::parse(&text).unwrap();
+    assert!(
+        parsed
+            .get_path(&["counters", "legality/cache/hits"])
+            .and_then(Json::as_i64)
+            .unwrap_or(0)
+            > 0,
+        "{text}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
