@@ -1,0 +1,53 @@
+//! Batch-driver throughput: the 64-nest demo corpus through
+//! `irlt_driver::run_batch` at 1, 4, and 8 worker threads with the
+//! cross-nest [`SharedLegalityCache`] on, plus a `fresh` serial baseline
+//! with the cache off.
+//!
+//! Two effects are measured at once:
+//!
+//! * **Sharding** (`t1` vs `t4`/`t8`) — wall-clock scaling from the
+//!   work-stealing pool; only meaningful on multi-core hosts.
+//! * **Cross-nest sharing** (`fresh` vs `t1`) — algorithmic savings from
+//!   replaying legality subproblems across structurally identical nests,
+//!   independent of core count. The demo corpus repeats each of its 8
+//!   nest shapes 8 times, the duplicate-heavy profile real compilation
+//!   units show.
+//!
+//! Results are bit-identical across all four rows by the driver's
+//! determinism contract (`tests/driver.rs` pins this); only time may
+//! differ.
+//!
+//! [`SharedLegalityCache`]: irlt_core::SharedLegalityCache
+
+use irlt_driver::{demo_corpus, run_batch, BatchConfig};
+use irlt_harness::timing::{black_box, Runner};
+use irlt_obs::Telemetry;
+
+fn main() {
+    let mut r = Runner::default();
+    let telemetry = Telemetry::from_env();
+    let jobs = demo_corpus(64);
+    let configs = [
+        ("fresh", 1, false),
+        ("t1", 1, true),
+        ("t4", 4, true),
+        ("t8", 8, true),
+    ];
+    for (name, threads, shared_cache) in configs {
+        let cfg = BatchConfig {
+            threads,
+            shared_cache,
+            telemetry: telemetry.clone(),
+            ..BatchConfig::default()
+        };
+        r.bench(&format!("driver/corpus64/{name}"), || {
+            black_box(run_batch(black_box(&jobs), &cfg))
+        });
+    }
+    r.finish();
+    match telemetry.write_env_report() {
+        Ok(Some(path)) => println!("telemetry written to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("telemetry write failed: {e}"),
+    }
+}

@@ -1,13 +1,15 @@
 //! Soft bench regression gate for CI.
 //!
-//! Reads the one-shot output of the search bench (the `cargo test`-mode
-//! smoke lines printed by `irlt-harness`'s timing runner, e.g.
-//! `search/matmul/incremental  21.30 ms (one-shot)`), compares each wall
-//! time against the recorded `BENCH_3.json` median for the same
-//! workload/engine, and emits a GitHub Actions `::warning::` annotation
-//! when a one-shot time exceeds the recorded median by more than the
-//! tolerance factor (default 3×, generous because CI runners are noisy
-//! and a one-shot is a single sample).
+//! Reads the one-shot output of the search or driver benches (the
+//! `cargo test`-mode smoke lines printed by `irlt-harness`'s timing
+//! runner, e.g. `search/matmul/incremental  21.30 ms (one-shot)` or
+//! `driver/corpus64/t4  310 ms (one-shot)`), compares each wall time
+//! against the recorded baseline median for the same workload/engine
+//! (`BENCH_3.json` for `search/`, `BENCH_5.json` for `driver/`), and
+//! emits a GitHub Actions `::warning::` annotation when a one-shot time
+//! exceeds the recorded median by more than the tolerance factor
+//! (default 3×, generous because CI runners are noisy and a one-shot is
+//! a single sample).
 //!
 //! The gate is *soft*: breaches annotate but never fail the build
 //! (exit 0). A nonzero exit means the gate itself could not run — missing
@@ -24,6 +26,7 @@ use std::process::ExitCode;
 /// One parsed `name  time (one-shot)` line, time in milliseconds.
 #[derive(Clone, Debug, PartialEq)]
 struct OneShot {
+    group: String,
     workload: String,
     engine: String,
     ms: f64,
@@ -43,8 +46,8 @@ fn parse_duration_ms(num: &str, unit: &str) -> Option<f64> {
     Some(v * scale)
 }
 
-/// Extracts `search/<workload>/<engine>` one-shot lines from the smoke
-/// output; unrelated lines are ignored.
+/// Extracts `search/<workload>/<engine>` and `driver/<workload>/<mode>`
+/// one-shot lines from the smoke output; unrelated lines are ignored.
 fn parse_oneshot_lines(text: &str) -> Vec<OneShot> {
     let mut out = Vec::new();
     for line in text.lines() {
@@ -56,11 +59,12 @@ fn parse_oneshot_lines(text: &str) -> Vec<OneShot> {
             continue;
         };
         let parts: Vec<&str> = name.split('/').collect();
-        let ["search", workload, engine] = parts[..] else {
+        let [group @ ("search" | "driver"), workload, engine] = parts[..] else {
             continue;
         };
         if let Some(ms) = parse_duration_ms(num, unit) {
             out.push(OneShot {
+                group: group.to_string(),
                 workload: workload.to_string(),
                 engine: engine.to_string(),
                 ms,
@@ -93,9 +97,9 @@ fn check(oneshots: &[OneShot], baseline: &Json, tolerance: f64) -> (usize, Vec<S
         checked += 1;
         if shot.ms > median * tolerance {
             breaches.push(format!(
-                "search/{}/{} one-shot {:.2} ms exceeds {tolerance}x the recorded median \
-                 {median:.2} ms (BENCH_3.json)",
-                shot.workload, shot.engine, shot.ms
+                "{}/{}/{} one-shot {:.2} ms exceeds {tolerance}x the recorded median \
+                 {median:.2} ms (baseline)",
+                shot.group, shot.workload, shot.engine, shot.ms
             ));
         }
     }
@@ -145,7 +149,7 @@ fn main() -> ExitCode {
     let oneshots = parse_oneshot_lines(&oneshot_text);
     if oneshots.is_empty() {
         eprintln!(
-            "bench_gate: no `search/*/* ... (one-shot)` lines in {oneshot_path} — \
+            "bench_gate: no `search/*/*` or `driver/*/*` one-shot lines in {oneshot_path} — \
              did the bench output format change?"
         );
         return ExitCode::from(2);
@@ -204,13 +208,50 @@ mod tests {
 warming up\n\
 search/matmul/scratch  79.00 ms (one-shot)\n\
 search/matmul/incremental  21.30 ms (one-shot)\n\
+driver/corpus64/t4  310.0 ms (one-shot)\n\
 codegen/fig7  1.2 ms (one-shot)\n\
 irlt-harness bench smoke: 9 benchmark(s) executed once, 0 filtered out\n";
         let shots = parse_oneshot_lines(text);
-        assert_eq!(shots.len(), 2);
+        assert_eq!(shots.len(), 3);
         assert_eq!(shots[0].workload, "matmul");
         assert_eq!(shots[1].engine, "incremental");
         assert!((shots[1].ms - 21.30).abs() < 1e-9);
+        assert_eq!(shots[2].group, "driver");
+        assert_eq!(shots[2].workload, "corpus64");
+        assert_eq!(shots[2].engine, "t4");
+    }
+
+    #[test]
+    fn driver_rows_gate_against_their_own_baseline() {
+        let baseline = Json::parse(
+            r#"{
+              "workloads": {
+                "corpus64": {
+                  "t1_ms": { "median": 100.0 },
+                  "t4_ms": { "median": 90.0 }
+                }
+              }
+            }"#,
+        )
+        .unwrap();
+        let shots = vec![
+            OneShot {
+                group: "driver".into(),
+                workload: "corpus64".into(),
+                engine: "t1".into(),
+                ms: 120.0,
+            },
+            OneShot {
+                group: "driver".into(),
+                workload: "corpus64".into(),
+                engine: "t4".into(),
+                ms: 400.0,
+            },
+        ];
+        let (checked, breaches) = check(&shots, &baseline, 3.0);
+        assert_eq!(checked, 2);
+        assert_eq!(breaches.len(), 1, "{breaches:?}");
+        assert!(breaches[0].contains("driver/corpus64/t4"), "{breaches:?}");
     }
 
     #[test]
@@ -218,17 +259,20 @@ irlt-harness bench smoke: 9 benchmark(s) executed once, 0 filtered out\n";
         let baseline = Json::parse(BASELINE).unwrap();
         let shots = vec![
             OneShot {
+                group: "search".into(),
                 workload: "matmul".into(),
                 engine: "scratch".into(),
                 ms: 100.0,
             },
             OneShot {
+                group: "search".into(),
                 workload: "matmul".into(),
                 engine: "incremental".into(),
                 ms: 90.0,
             },
             // No baseline entry: skipped, not an error.
             OneShot {
+                group: "search".into(),
                 workload: "matmul".into(),
                 engine: "parallel".into(),
                 ms: 1.0,

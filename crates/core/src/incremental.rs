@@ -42,11 +42,13 @@
 //! monotone, so pruning is skipped after custom steps.
 
 use crate::sequence::{IllegalReason, SequenceError, Step, TransformSeq};
+use crate::shared::{CachedOutcome, SharedLegalityCache};
 use crate::template::Template;
 use irlt_dependence::DepSet;
 use irlt_ir::LoopNest;
 use irlt_obs::Telemetry;
 use std::fmt;
+use std::sync::Arc;
 
 /// Cached legality state of one legal sequence prefix: the sequence, the
 /// shape it produces, and the dependence set mapped through it.
@@ -80,6 +82,14 @@ pub struct SeqState {
     mapped: DepSet,
     prune: bool,
     telemetry: Telemetry,
+    /// Cross-nest memo table (see [`SharedLegalityCache`]); `None` keeps
+    /// every extension local.
+    shared: Option<SharedLegalityCache>,
+    /// Identity tag for cross-job hit accounting in the shared cache.
+    owner: u64,
+    /// This state's pre-rendered cache key; kept in lock-step with
+    /// `(prune, shape, mapped)` whenever `shared` is attached.
+    skey: Option<Arc<str>>,
 }
 
 /// Alias for [`SeqState`] naming its role: the cache that lets
@@ -99,6 +109,9 @@ impl SeqState {
             mapped: deps.clone(),
             prune: false,
             telemetry: Telemetry::disabled(),
+            shared: None,
+            owner: 0,
+            skey: None,
         }
     }
 
@@ -126,6 +139,35 @@ impl SeqState {
             self.mapped = self.mapped.prune_subsumed();
         }
         self.prune = on;
+        if self.shared.is_some() {
+            self.skey = Some(SharedLegalityCache::state_key(
+                self.prune,
+                &self.shape,
+                &self.mapped,
+            ));
+        }
+        self
+    }
+
+    /// Attaches a cross-nest [`SharedLegalityCache`]; every state derived
+    /// through [`SeqState::extend`] inherits it. `owner` tags deposits so
+    /// the cache can distinguish same-job from cross-job hits — pass a
+    /// per-job id (any convention works as long as concurrent jobs
+    /// differ).
+    ///
+    /// Cached extensions replay the deposited verdict, shape, and mapped
+    /// set **exactly** (see the cache's module docs); results are
+    /// bit-identical with and without the cache attached. Only built-in
+    /// templates consult the cache; custom steps always recompute.
+    #[must_use]
+    pub fn with_shared(mut self, cache: SharedLegalityCache, owner: u64) -> SeqState {
+        self.skey = Some(SharedLegalityCache::state_key(
+            self.prune,
+            &self.shape,
+            &self.mapped,
+        ));
+        self.shared = Some(cache);
+        self.owner = owner;
         self
     }
 
@@ -191,30 +233,84 @@ impl SeqState {
                 tel.count("legality/cache/steps_saved", k as u64);
             }
         }
+        // Cross-nest replay: the extension outcome is a pure function of
+        // the (prune, shape, mapped, template) key, so a deposited entry
+        // — from this job or any other — substitutes for the whole
+        // precondition/codegen/mapping pipeline below. Custom steps are
+        // never cached (their rendering does not pin their semantics).
+        let shared_key = match (&self.shared, &self.skey, &step) {
+            (Some(_), Some(skey), Step::Builtin(t)) => Some((skey.clone(), t.to_string())),
+            _ => None,
+        };
+        if let (Some(cache), Some((skey, tkey))) = (&self.shared, &shared_key) {
+            if let Some(outcome) = cache.lookup(skey, tkey, self.owner) {
+                if tel.is_enabled() {
+                    tel.incr("legality/shared/hits");
+                }
+                return match outcome {
+                    CachedOutcome::Legal { shape, mapped, key } => Ok(SeqState {
+                        seq,
+                        shape,
+                        mapped,
+                        prune: self.prune,
+                        telemetry: tel.clone(),
+                        shared: self.shared.clone(),
+                        owner: self.owner,
+                        skey: Some(key),
+                    }),
+                    CachedOutcome::Illegal(reason) => {
+                        let reason = restamp(reason, k);
+                        tel.incr(match &reason {
+                            IllegalReason::Precondition { .. } => "legality/reject/precondition",
+                            IllegalReason::CodeGen { .. } => "legality/reject/codegen",
+                            IllegalReason::Dependences { .. } => "legality/reject/dependences",
+                        });
+                        Err(ExtendError::Illegal(reason))
+                    }
+                };
+            }
+            if tel.is_enabled() {
+                tel.incr("legality/shared/misses");
+            }
+        }
+        let deposit_illegal = |reason: &IllegalReason| {
+            if let (Some(cache), Some((skey, tkey))) = (&self.shared, &shared_key) {
+                cache.insert(
+                    skey.clone(),
+                    tkey.clone(),
+                    CachedOutcome::Illegal(reason.clone()),
+                    self.owner,
+                );
+            }
+        };
         if let Err(error) = step.check_preconditions(&self.shape) {
             tel.incr("legality/reject/precondition");
-            return Err(ExtendError::Illegal(IllegalReason::Precondition {
-                step: k,
-                error,
-            }));
+            let reason = IllegalReason::Precondition { step: k, error };
+            deposit_illegal(&reason);
+            return Err(ExtendError::Illegal(reason));
         }
         let shape = match step.apply_to(&self.shape) {
             Ok(shape) => shape,
             Err(error) => {
                 tel.incr("legality/reject/codegen");
-                return Err(ExtendError::Illegal(IllegalReason::CodeGen {
-                    step: k,
-                    error,
-                }));
+                let reason = IllegalReason::CodeGen { step: k, error };
+                deposit_illegal(&reason);
+                return Err(ExtendError::Illegal(reason));
             }
         };
-        let mapped = self
-            .mapped
-            .try_map_vectors_observed(|v| step.map_dep_vector(v), tel, &step.name())
-            .map_err(|w| {
+        let mapped = match self.mapped.try_map_vectors_observed(
+            |v| step.map_dep_vector(v),
+            tel,
+            &step.name(),
+        ) {
+            Ok(mapped) => mapped,
+            Err(w) => {
                 tel.incr("legality/reject/dependences");
-                ExtendError::Illegal(IllegalReason::Dependences { witnesses: vec![w] })
-            })?;
+                let reason = IllegalReason::Dependences { witnesses: vec![w] };
+                deposit_illegal(&reason);
+                return Err(ExtendError::Illegal(reason));
+            }
+        };
         let mapped = if self.prune && matches!(step, Step::Builtin(_)) {
             let before = mapped.len();
             let pruned = mapped.prune_subsumed();
@@ -229,13 +325,47 @@ impl SeqState {
         } else {
             mapped
         };
+        let skey = if let (Some(cache), Some((pkey, tkey))) = (&self.shared, shared_key) {
+            let child_key = SharedLegalityCache::state_key(self.prune, &shape, &mapped);
+            cache.insert(
+                pkey,
+                tkey,
+                CachedOutcome::Legal {
+                    shape: shape.clone(),
+                    mapped: mapped.clone(),
+                    key: child_key.clone(),
+                },
+                self.owner,
+            );
+            Some(child_key)
+        } else if self.shared.is_some() {
+            // Custom step under a shared cache: the child still needs a
+            // key so *its* built-in extensions can share.
+            Some(SharedLegalityCache::state_key(self.prune, &shape, &mapped))
+        } else {
+            None
+        };
         Ok(SeqState {
             seq,
             shape,
             mapped,
             prune: self.prune,
             telemetry: tel.clone(),
+            shared: self.shared.clone(),
+            owner: self.owner,
+            skey,
         })
+    }
+}
+
+/// Rewrites the step index inside a cached rejection to the caller's
+/// prefix length: the same `(shape, mapped, template)` subproblem can sit
+/// at different depths in different jobs' sequences.
+fn restamp(reason: IllegalReason, step: usize) -> IllegalReason {
+    match reason {
+        IllegalReason::Precondition { error, .. } => IllegalReason::Precondition { step, error },
+        IllegalReason::CodeGen { error, .. } => IllegalReason::CodeGen { step, error },
+        r @ IllegalReason::Dependences { .. } => r,
     }
 }
 

@@ -19,6 +19,10 @@
 //! * [`SeqState`] — the incremental legality engine: prefix-cached
 //!   dependence mapping and shape extension, so search-style candidate
 //!   extension costs O(one template) instead of a full sequence replay;
+//! * [`SharedLegalityCache`] — a cross-nest memo table for extensions:
+//!   structurally identical subproblems discovered in *different* nests
+//!   (a batch driver's workload) pay the mapping cost once, with
+//!   bit-identical replay;
 //! * [`KernelTemplate`] — the extension trait: user templates participate
 //!   in sequences, legality, and code generation;
 //! * [`catalog`] — classical transformations (interchange, reversal,
@@ -58,6 +62,7 @@ mod incremental;
 mod precond;
 mod script;
 mod sequence;
+mod shared;
 mod template;
 
 pub use bounds::{BoundsMatrices, MatrixEntry};
@@ -70,4 +75,5 @@ pub use sequence::{
     init_prefix, IllegalReason, KernelTemplate, LegalityReport, SeqApplyError, SequenceError, Step,
     TransformSeq,
 };
+pub use shared::{SharedCacheStats, SharedLegalityCache};
 pub use template::{Permutation, Template, TemplateError};

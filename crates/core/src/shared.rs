@@ -1,0 +1,379 @@
+//! The cross-nest shared legality cache.
+//!
+//! [`SeqState::extend`](crate::SeqState::extend) is a **pure function** of
+//! the parent's `(pruning flag, shape, mapped dependence set)` triple and
+//! the new template instantiation: the chaining check depends only on the
+//! shape's depth, the preconditions and bounds mapping only on the shape,
+//! and the dependence mapping only on the mapped set. Nothing about *how*
+//! the parent state was reached — which nest it came from, which prefix
+//! produced it — enters the computation.
+//!
+//! [`SharedLegalityCache`] exploits that purity across a whole batch of
+//! nests: the first job to extend a given `(state, template)` pair pays
+//! the mapping cost and deposits the outcome; every later job — same nest
+//! or a structurally identical one — replays the deposited outcome
+//! verbatim. Entries are keyed by the **exact rendering** of the triple
+//! (the `Display` forms of the shape and the mapped set, which the
+//! print→parse round-trip property pins as injective, plus the pruning
+//! flag) and of the template, so a hit can never conflate two distinct
+//! subproblems: verdicts and mapped sets out of the cache are
+//! bit-identical to recomputation, which the workspace's
+//! `shared_cache_matches_fresh` differential property asserts over
+//! generated corpora.
+//!
+//! # Degradation
+//!
+//! The cache is capacity-bounded. When an insert would exceed the bound
+//! the current generation is dropped wholesale (a "generational" sweep:
+//! no LRU bookkeeping on the hot path) and the eviction is counted.
+//! Because entries only ever *replay* what recomputation would produce,
+//! eviction is invisible to results — jobs fall back to scratch legality
+//! work and produce verdict-identical output.
+//!
+//! Only built-in templates are cached: a custom
+//! [`KernelTemplate`](crate::KernelTemplate)'s `Display` name need not
+//! identify its semantics, so custom steps always recompute.
+
+use crate::sequence::IllegalReason;
+use irlt_dependence::DepSet;
+use irlt_ir::LoopNest;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The outcome of one cached extension: the child triple on success, the
+/// rejection reason otherwise.
+///
+/// Step indices inside a cached [`IllegalReason`] are re-stamped with the
+/// *caller's* prefix length on replay (the same shape can sit at
+/// different depths in different nests' sequences).
+#[derive(Clone, Debug)]
+pub(crate) enum CachedOutcome {
+    /// Legal: the child's shape, mapped set, and pre-rendered state key.
+    Legal {
+        shape: LoopNest,
+        mapped: DepSet,
+        key: Arc<str>,
+    },
+    /// Illegal, with the reason (step index unset; re-stamped on replay).
+    Illegal(IllegalReason),
+}
+
+/// Snapshot of the cache's counters, all monotone within one batch run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SharedCacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Hits where the entry was deposited by a *different* job — the
+    /// cross-nest amortization the cache exists for.
+    pub cross_hits: u64,
+    /// Lookups that found nothing (the extension was then recomputed).
+    pub misses: u64,
+    /// Entries deposited.
+    pub inserts: u64,
+    /// Entries dropped by generational eviction.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+impl fmt::Display for SharedCacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits ({} cross-job), {} misses, {} inserts, {} evictions, {} resident",
+            self.hits, self.cross_hits, self.misses, self.inserts, self.evictions, self.entries
+        )
+    }
+}
+
+struct Inner {
+    map: Mutex<HashMap<(Arc<str>, String), Entry>>,
+    capacity: usize,
+    hits: AtomicU64,
+    cross_hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+}
+
+struct Entry {
+    outcome: CachedOutcome,
+    /// The job that paid for this entry (see [`SeqState::with_shared`]'s
+    /// owner tag); hits from any other owner count as cross-job.
+    owner: u64,
+}
+
+/// A clone-shared, thread-safe memo table for [`SeqState`] extensions,
+/// shared across every job of a batch run.
+///
+/// Cloning is cheap (an [`Arc`] bump); all clones observe one table and
+/// one set of counters. See the [module docs](self) for the key design
+/// and the exactness argument.
+///
+/// [`SeqState`]: crate::SeqState
+///
+/// # Examples
+///
+/// ```
+/// use irlt_core::{SeqState, SharedLegalityCache, Template};
+/// use irlt_dependence::DepSet;
+/// use irlt_ir::parse_nest;
+///
+/// let cache = SharedLegalityCache::with_capacity(1024);
+/// let nest = parse_nest(
+///     "do i = 2, n\n  do j = 1, m\n    a(i, j) = a(i - 1, j) + 1\n  enddo\nenddo",
+/// )?;
+/// let deps = DepSet::from_distances(&[&[1, 0]]);
+/// let t = Template::parallelize(vec![false, true]);
+///
+/// // Job 0 computes and deposits; job 1 replays.
+/// let a = SeqState::root(&nest, &deps).with_shared(cache.clone(), 0);
+/// let b = SeqState::root(&nest, &deps).with_shared(cache.clone(), 1);
+/// let x = a.extend(t.clone())?;
+/// let y = b.extend(t)?;
+/// assert_eq!(x.mapped_deps(), y.mapped_deps());
+/// let stats = cache.stats();
+/// assert_eq!((stats.hits, stats.cross_hits, stats.misses), (1, 1, 1));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone)]
+pub struct SharedLegalityCache {
+    inner: Arc<Inner>,
+}
+
+impl fmt::Debug for SharedLegalityCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedLegalityCache")
+            .field("capacity", &self.inner.capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Default for SharedLegalityCache {
+    fn default() -> Self {
+        SharedLegalityCache::new()
+    }
+}
+
+impl SharedLegalityCache {
+    /// Default entry capacity before a generational sweep.
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+    /// A cache with the default capacity.
+    pub fn new() -> SharedLegalityCache {
+        SharedLegalityCache::with_capacity(SharedLegalityCache::DEFAULT_CAPACITY)
+    }
+
+    /// A cache holding at most `capacity` entries (minimum 1); inserting
+    /// past the bound drops the whole resident generation first.
+    pub fn with_capacity(capacity: usize) -> SharedLegalityCache {
+        SharedLegalityCache {
+            inner: Arc::new(Inner {
+                map: Mutex::new(HashMap::new()),
+                capacity: capacity.max(1),
+                hits: AtomicU64::new(0),
+                cross_hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                inserts: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Renders the exact state key for a `(prune, shape, mapped)` triple.
+    pub(crate) fn state_key(prune: bool, shape: &LoopNest, mapped: &DepSet) -> Arc<str> {
+        Arc::from(format!("p{}|{shape}|{mapped}", u8::from(prune)))
+    }
+
+    /// A poisoned lock only means another thread panicked mid-insert; the
+    /// map itself is always a valid (possibly partial) memo table, so
+    /// keep serving rather than propagate the panic into every job.
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<(Arc<str>, String), Entry>> {
+        self.inner
+            .map
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Looks up `(state_key, template_key)`, counting a hit (and a
+    /// cross-job hit when the depositor differs from `owner`) or a miss.
+    pub(crate) fn lookup(
+        &self,
+        state_key: &Arc<str>,
+        template_key: &str,
+        owner: u64,
+    ) -> Option<CachedOutcome> {
+        let map = self.lock();
+        match map.get(&(state_key.clone(), template_key.to_string())) {
+            Some(entry) => {
+                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                if entry.owner != owner {
+                    self.inner.cross_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                Some(entry.outcome.clone())
+            }
+            None => {
+                self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Deposits the outcome of one extension, sweeping the resident
+    /// generation first if the table is full.
+    pub(crate) fn insert(
+        &self,
+        state_key: Arc<str>,
+        template_key: String,
+        outcome: CachedOutcome,
+        owner: u64,
+    ) {
+        let mut map = self.lock();
+        if map.len() >= self.inner.capacity {
+            self.inner
+                .evictions
+                .fetch_add(map.len() as u64, Ordering::Relaxed);
+            map.clear();
+        }
+        map.insert((state_key, template_key), Entry { outcome, owner });
+        self.inner.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent snapshot of the counters plus the resident entry
+    /// count.
+    pub fn stats(&self) -> SharedCacheStats {
+        let entries = self.lock().len() as u64;
+        SharedCacheStats {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            cross_hits: self.inner.cross_hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            inserts: self.inner.inserts.load(Ordering::Relaxed),
+            evictions: self.inner.evictions.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incremental::SeqState;
+    use crate::template::Template;
+    use irlt_ir::parse_nest;
+
+    fn stencil() -> (LoopNest, DepSet) {
+        let nest = parse_nest(
+            "do i = 2, n - 1\n do j = 2, n - 1\n  a(i, j) = a(i - 1, j) + a(i, j - 1)\n enddo\nenddo",
+        )
+        .unwrap();
+        (nest, DepSet::from_distances(&[&[1, 0], &[0, 1]]))
+    }
+
+    #[test]
+    fn replay_is_bit_identical_to_recompute() {
+        let (nest, deps) = stencil();
+        let cache = SharedLegalityCache::new();
+        let plain = SeqState::root(&nest, &deps);
+        let shared = SeqState::root(&nest, &deps).with_shared(cache.clone(), 0);
+        let replayed = SeqState::root(&nest, &deps).with_shared(cache.clone(), 1);
+        let t = Template::unimodular(irlt_unimodular::IntMatrix::skew(2, 0, 1, 1)).unwrap();
+        let a = plain.extend(t.clone()).unwrap();
+        let b = shared.extend(t.clone()).unwrap();
+        let c = replayed.extend(t).unwrap();
+        for s in [&b, &c] {
+            assert_eq!(s.mapped_deps(), a.mapped_deps());
+            assert_eq!(s.shape(), a.shape());
+            assert_eq!(s.seq().to_string(), a.seq().to_string());
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.cross_hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.inserts, 1);
+    }
+
+    #[test]
+    fn illegal_replay_restamps_step_index() {
+        let (nest, _) = stencil();
+        let deps = DepSet::from_distances(&[&[1, -1]]);
+        let cache = SharedLegalityCache::new();
+        let swap = Template::reverse_permute(vec![false, false], vec![1, 0]).unwrap();
+        // Deposit the rejection from a root-level extension…
+        let root = SeqState::root(&nest, &deps).with_shared(cache.clone(), 0);
+        let e0 = root.extend(swap.clone()).unwrap_err();
+        // …then replay it one step deeper in a different job: the reason
+        // must match what recomputation reports at that depth.
+        let deep = SeqState::root(&nest, &deps)
+            .with_shared(cache.clone(), 1)
+            .extend(Template::parallelize(vec![false, false]))
+            .unwrap();
+        let fresh = SeqState::root(&nest, &deps)
+            .extend(Template::parallelize(vec![false, false]))
+            .unwrap();
+        let replayed = deep.extend(swap.clone()).unwrap_err();
+        let recomputed = fresh.extend(swap).unwrap_err();
+        assert_eq!(format!("{replayed}"), format!("{recomputed}"));
+        assert_eq!(format!("{e0}"), format!("{recomputed}"));
+        assert!(cache.stats().cross_hits >= 1);
+    }
+
+    #[test]
+    fn generational_eviction_counts_and_recovers() {
+        let (nest, deps) = stencil();
+        let cache = SharedLegalityCache::with_capacity(1);
+        let t1 = Template::unimodular(irlt_unimodular::IntMatrix::skew(2, 0, 1, 1)).unwrap();
+        let t2 = Template::unimodular(irlt_unimodular::IntMatrix::interchange(2, 0, 1)).unwrap();
+        let root = SeqState::root(&nest, &deps).with_shared(cache.clone(), 0);
+        root.extend(t1.clone()).unwrap();
+        root.extend(t2.clone()).unwrap(); // sweeps the first entry
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 1);
+        // Evicted subproblems recompute to the same result.
+        let again = SeqState::root(&nest, &deps)
+            .with_shared(cache, 1)
+            .extend(t1.clone())
+            .unwrap();
+        let plain = SeqState::root(&nest, &deps).extend(t1).unwrap();
+        assert_eq!(again.mapped_deps(), plain.mapped_deps());
+        assert_eq!(again.shape(), plain.shape());
+    }
+
+    #[test]
+    fn state_key_separates_prune_modes_and_shapes() {
+        let (nest, deps) = stencil();
+        let other = parse_nest("do i = 1, n\n a(i) = 0\nenddo").unwrap();
+        let k1 = SharedLegalityCache::state_key(false, &nest, &deps);
+        let k2 = SharedLegalityCache::state_key(true, &nest, &deps);
+        let k3 = SharedLegalityCache::state_key(false, &other, &deps);
+        assert_ne!(k1, k2);
+        assert_ne!(k1, k3);
+    }
+
+    #[test]
+    fn debug_and_display_render_stats() {
+        let cache = SharedLegalityCache::with_capacity(8);
+        assert!(format!("{cache:?}").contains("capacity: 8"));
+        assert!(cache.stats().to_string().contains("0 hits"));
+        assert!(cache.is_empty());
+        assert_eq!(cache.capacity(), 8);
+    }
+}

@@ -1,0 +1,367 @@
+//! The batch runner: shard, steal, search, aggregate.
+
+use crate::job::{Job, JobResult, JobStatus};
+use crate::pool::WorkQueues;
+use irlt_core::{SharedCacheStats, SharedLegalityCache};
+use irlt_dependence::analyze_dependences;
+use irlt_obs::{Json, Telemetry};
+use irlt_opt::{search, CancelToken, SearchConfig};
+use std::fmt;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How jobs are distributed over the worker queues before the pool
+/// starts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Sharding {
+    /// Job `k` starts on worker `k mod workers` — balanced, steals only
+    /// correct imbalance in job *cost*.
+    #[default]
+    RoundRobin,
+    /// Every job starts on worker 0 — maximally unbalanced, so every
+    /// other worker must steal to contribute. Useful for exercising the
+    /// stealing path deterministically; results are identical either way.
+    Single,
+}
+
+/// Batch-level configuration (per-job settings live on [`Job`]).
+#[derive(Clone, Debug)]
+pub struct BatchConfig {
+    /// Worker threads: `0` uses one per available core.
+    pub threads: usize,
+    /// Share one [`SharedLegalityCache`] across all jobs (bit-identical
+    /// results either way; sharing only saves work).
+    pub shared_cache: bool,
+    /// Entry capacity of the shared cache before a generational sweep —
+    /// the memory-pressure degradation knob.
+    pub cache_capacity: usize,
+    /// Initial job distribution.
+    pub sharding: Sharding,
+    /// Per-job search engine selection (see
+    /// [`SearchConfig::incremental`]); the shared cache requires the
+    /// incremental engine and is skipped without it.
+    pub incremental: bool,
+    /// Subsumption pruning of cached dependence sets.
+    pub prune: bool,
+    /// One sink for the whole pool; disabled by default (no-op, and the
+    /// batch is bit-identical with it on or off).
+    pub telemetry: Telemetry,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig {
+            threads: 0,
+            shared_cache: true,
+            cache_capacity: SharedLegalityCache::DEFAULT_CAPACITY,
+            sharding: Sharding::RoundRobin,
+            incremental: true,
+            prune: true,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+}
+
+/// The outcome of one batch run.
+#[derive(Clone, Debug)]
+pub struct BatchResult {
+    /// Per-job results **in submission order** (never scheduler order).
+    pub jobs: Vec<JobResult>,
+    /// Worker threads the pool actually ran.
+    pub workers: usize,
+    /// Successful steals across the run.
+    pub steals: u64,
+    /// Shared-cache counters, when the cache was enabled.
+    pub cache: Option<SharedCacheStats>,
+    /// Wall time of the whole batch.
+    pub wall: Duration,
+}
+
+impl BatchResult {
+    /// Jobs that ran to completion.
+    pub fn completed(&self) -> usize {
+        self.jobs.iter().filter(|j| j.status.is_completed()).count()
+    }
+
+    /// Jobs cut short by their deadline.
+    pub fn timed_out(&self) -> usize {
+        self.jobs.len() - self.completed()
+    }
+
+    /// One JSON artifact describing the whole run: per-job results,
+    /// pool/steal counters, cache stats, and wall time. Pairs with the
+    /// telemetry report (`Telemetry::report().to_json()`) for the full
+    /// picture.
+    pub fn to_json(&self) -> Json {
+        let cache = match &self.cache {
+            None => Json::Null,
+            Some(s) => Json::Object(vec![
+                ("hits".into(), Json::Int(s.hits as i64)),
+                ("cross_hits".into(), Json::Int(s.cross_hits as i64)),
+                ("misses".into(), Json::Int(s.misses as i64)),
+                ("inserts".into(), Json::Int(s.inserts as i64)),
+                ("evictions".into(), Json::Int(s.evictions as i64)),
+                ("entries".into(), Json::Int(s.entries as i64)),
+            ]),
+        };
+        Json::Object(vec![
+            ("schema".into(), Json::Str("irlt-batch/v1".into())),
+            ("workers".into(), Json::Int(self.workers as i64)),
+            ("steals".into(), Json::Int(self.steals as i64)),
+            ("wall_ms".into(), Json::Float(self.wall.as_secs_f64() * 1e3)),
+            (
+                "summary".into(),
+                Json::Object(vec![
+                    ("jobs".into(), Json::Int(self.jobs.len() as i64)),
+                    ("completed".into(), Json::Int(self.completed() as i64)),
+                    ("timed_out".into(), Json::Int(self.timed_out() as i64)),
+                ]),
+            ),
+            ("cache".into(), cache),
+            (
+                "jobs".into(),
+                Json::Array(self.jobs.iter().map(JobResult::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl fmt::Display for BatchResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} job(s) on {} worker(s) in {:.1} ms: {} completed, {} timed out, {} steal(s)",
+            self.jobs.len(),
+            self.workers,
+            self.wall.as_secs_f64() * 1e3,
+            self.completed(),
+            self.timed_out(),
+            self.steals
+        )?;
+        if let Some(s) = &self.cache {
+            write!(f, "; cache: {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs every job to a result, sharded across a work-stealing pool.
+///
+/// Per-job results are **deterministic**: bit-identical across worker
+/// counts, submission orders, sharding policies, cache capacities, and
+/// telemetry on/off. Jobs with deadlines come back as
+/// [`JobStatus::TimedOut`] holding the best legal candidate found in
+/// budget; everything else in the batch is unaffected. All workers are
+/// joined before this returns (`std::thread::scope` — no thread leaks,
+/// even if a job panics).
+pub fn run_batch(jobs: &[Job], config: &BatchConfig) -> BatchResult {
+    let start = Instant::now();
+    let workers = if config.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        config.threads
+    };
+    let tel = &config.telemetry;
+    // The shared cache only serves the incremental engine (it memoizes
+    // SeqState extensions); the scratch engine ignores it.
+    let cache = (config.shared_cache && config.incremental)
+        .then(|| SharedLegalityCache::with_capacity(config.cache_capacity));
+    let queues = WorkQueues::new(workers);
+    for (k, _) in jobs.iter().enumerate() {
+        match config.sharding {
+            Sharding::RoundRobin => queues.push(k, k),
+            Sharding::Single => queues.push(0, k),
+        }
+    }
+    let slots: Vec<Mutex<Option<JobResult>>> = jobs.iter().map(|_| Mutex::default()).collect();
+    // No worker pops until every worker exists: under Sharding::Single
+    // the thieves are guaranteed at least one look at a loaded queue.
+    let start_gate = std::sync::Barrier::new(queues.workers());
+    std::thread::scope(|scope| {
+        for w in 0..queues.workers() {
+            let queues = &queues;
+            let slots = &slots;
+            let gate = &start_gate;
+            let cache = cache.clone();
+            scope.spawn(move || {
+                gate.wait();
+                while let Some(popped) = queues.pop(w) {
+                    if tel.is_enabled() {
+                        tel.observe("driver/queue_depth", queues.remaining() as f64);
+                    }
+                    let job = &jobs[popped.job];
+                    let result = run_job(job, popped.job as u64, w, cache.as_ref(), config);
+                    *slots[popped.job]
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(result);
+                }
+            });
+        }
+    });
+    let results: Vec<JobResult> = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .expect("every queued job ran exactly once")
+        })
+        .collect();
+    let steals = queues.steals();
+    let cache_stats = cache.as_ref().map(SharedLegalityCache::stats);
+    let wall = start.elapsed();
+    if tel.is_enabled() {
+        tel.count("driver/jobs", results.len() as u64);
+        tel.count("driver/workers", workers as u64);
+        tel.count("driver/steals", steals);
+        tel.count(
+            "driver/completed",
+            results.iter().filter(|j| j.status.is_completed()).count() as u64,
+        );
+        tel.count(
+            "driver/timed_out",
+            results.iter().filter(|j| !j.status.is_completed()).count() as u64,
+        );
+        for r in &results {
+            // Power-of-two microsecond buckets keep the histogram compact
+            // across the µs–s range.
+            let us = (r.wall.as_micros() as u64).max(1);
+            tel.record("driver/job_wall_us", us.next_power_of_two());
+            tel.record_span("driver/job", r.wall);
+        }
+        if let Some(s) = &cache_stats {
+            tel.count("driver/cache/hits", s.hits);
+            tel.count("driver/cache/cross_hits", s.cross_hits);
+            tel.count("driver/cache/misses", s.misses);
+            tel.count("driver/cache/inserts", s.inserts);
+            tel.count("driver/cache/evictions", s.evictions);
+        }
+        tel.record_span("driver/batch", wall);
+    }
+    BatchResult {
+        jobs: results,
+        workers,
+        steals,
+        cache: cache_stats,
+        wall,
+    }
+}
+
+/// Runs one job: analyze dependences, arm the deadline, search serially
+/// (parallelism in the driver is *across* jobs, not within one).
+fn run_job(
+    job: &Job,
+    owner: u64,
+    worker: usize,
+    cache: Option<&SharedLegalityCache>,
+    config: &BatchConfig,
+) -> JobResult {
+    let deps = analyze_dependences(&job.nest);
+    let cfg = SearchConfig {
+        catalog: job.catalog.clone(),
+        max_steps: job.max_steps,
+        beam_width: job.beam_width,
+        threads: 1,
+        incremental: config.incremental,
+        prune: config.prune,
+        telemetry: config.telemetry.clone(),
+        shared: cache.cloned(),
+        owner,
+        cancel: job.deadline.map(CancelToken::with_deadline),
+    };
+    let start = Instant::now();
+    let r = search(&job.nest, &deps, &job.goal, &cfg);
+    JobResult {
+        name: job.name.clone(),
+        status: if r.timed_out {
+            JobStatus::TimedOut
+        } else {
+            JobStatus::Completed
+        },
+        best: r.best,
+        explored: r.explored,
+        legal: r.legal,
+        wall: start.elapsed(),
+        worker,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::demo_corpus;
+
+    fn serial() -> BatchConfig {
+        BatchConfig {
+            threads: 1,
+            ..BatchConfig::default()
+        }
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let jobs = demo_corpus(6);
+        let r = run_batch(&jobs, &serial());
+        let names: Vec<&str> = r.jobs.iter().map(|j| j.name.as_str()).collect();
+        let expected: Vec<&str> = jobs.iter().map(|j| j.name.as_str()).collect();
+        assert_eq!(names, expected);
+        assert_eq!(r.completed(), 6);
+        assert_eq!(r.timed_out(), 0);
+        assert_eq!(r.workers, 1);
+        assert_eq!(r.steals, 0);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let r = run_batch(&[], &serial());
+        assert!(r.jobs.is_empty());
+        assert_eq!(r.completed(), 0);
+        assert!(r.to_json().get("summary").is_some());
+    }
+
+    #[test]
+    fn shared_cache_reports_cross_hits_on_duplicates() {
+        // demo_corpus cycles 8 distinct nest shapes: jobs 8.. re-derive
+        // the subproblems jobs 0..8 deposited.
+        let jobs = demo_corpus(16);
+        let r = run_batch(&jobs, &serial());
+        let stats = r.cache.expect("cache on by default");
+        assert!(stats.cross_hits > 0, "{stats}");
+        let off = run_batch(
+            &jobs,
+            &BatchConfig {
+                shared_cache: false,
+                ..serial()
+            },
+        );
+        assert!(off.cache.is_none());
+        for (a, b) in r.jobs.iter().zip(&off.jobs) {
+            assert_eq!(a.best.seq.to_string(), b.best.seq.to_string());
+            assert_eq!(a.best.score.to_bits(), b.best.score.to_bits());
+            assert_eq!(a.explored, b.explored);
+        }
+    }
+
+    #[test]
+    fn json_artifact_has_the_batch_shape() {
+        let jobs = demo_corpus(3);
+        let r = run_batch(&jobs, &serial());
+        let j = r.to_json();
+        assert_eq!(
+            j.get("schema").and_then(Json::as_str),
+            Some("irlt-batch/v1")
+        );
+        assert_eq!(
+            j.get_path(&["summary", "jobs"]).and_then(Json::as_i64),
+            Some(3)
+        );
+        assert_eq!(
+            j.get("jobs").and_then(Json::as_array).map(<[Json]>::len),
+            Some(3)
+        );
+        assert!(j.get_path(&["cache", "hits"]).is_some());
+        // Round-trips through the parser.
+        let text = j.to_string_pretty();
+        assert_eq!(Json::parse(&text).unwrap(), j);
+        assert!(r.to_string().contains("3 job(s)"), "{r}");
+    }
+}

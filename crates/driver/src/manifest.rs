@@ -1,0 +1,147 @@
+//! Loading job corpora from the filesystem.
+//!
+//! Three accepted shapes, disambiguated by inspection:
+//!
+//! * a **directory** — every `*.nest` file in it, sorted by file name;
+//! * a single **`.nest` file** — one job;
+//! * any other file — a **manifest**: one `.nest` path per line
+//!   (relative paths resolve against the manifest's own directory;
+//!   blank lines and `#` comments are ignored).
+//!
+//! Job names are the `.nest` files' stems, so results in the batch
+//! artifact are traceable back to sources.
+
+use crate::job::Job;
+use irlt_ir::{parse_nest, ParseError};
+use irlt_opt::Goal;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Why a corpus failed to load.
+#[derive(Debug)]
+pub enum ManifestError {
+    /// A filesystem read failed.
+    Io(PathBuf, std::io::Error),
+    /// A `.nest` source failed to parse.
+    Parse(PathBuf, ParseError),
+    /// The manifest or directory yielded no jobs at all.
+    Empty(PathBuf),
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManifestError::Io(p, e) => write!(f, "{}: {e}", p.display()),
+            ManifestError::Parse(p, e) => write!(f, "{}: {e}", p.display()),
+            ManifestError::Empty(p) => write!(f, "{}: no .nest sources found", p.display()),
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+fn job_from_file(path: &Path, goal: &Goal) -> Result<Job, ManifestError> {
+    let src =
+        std::fs::read_to_string(path).map_err(|e| ManifestError::Io(path.to_path_buf(), e))?;
+    let nest = parse_nest(&src).map_err(|e| ManifestError::Parse(path.to_path_buf(), e))?;
+    let name = path.file_stem().map_or_else(
+        || path.display().to_string(),
+        |s| s.to_string_lossy().into_owned(),
+    );
+    Ok(Job::new(name, nest, goal.clone()))
+}
+
+/// Loads a corpus of jobs from `path` (directory, `.nest` file, or
+/// manifest — see the module docs), all targeting `goal`.
+pub fn load_manifest(path: &Path, goal: &Goal) -> Result<Vec<Job>, ManifestError> {
+    let mut jobs = Vec::new();
+    if path.is_dir() {
+        let entries =
+            std::fs::read_dir(path).map_err(|e| ManifestError::Io(path.to_path_buf(), e))?;
+        let mut sources: Vec<PathBuf> = entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "nest"))
+            .collect();
+        // Directory iteration order is platform-defined; sorting keeps
+        // submission order (and thus the artifact) reproducible.
+        sources.sort();
+        for source in sources {
+            jobs.push(job_from_file(&source, goal)?);
+        }
+    } else if path.extension().is_some_and(|x| x == "nest") {
+        jobs.push(job_from_file(path, goal)?);
+    } else {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| ManifestError::Io(path.to_path_buf(), e))?;
+        let base = path.parent().unwrap_or_else(|| Path::new("."));
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            jobs.push(job_from_file(&base.join(line), goal)?);
+        }
+    }
+    if jobs.is_empty() {
+        return Err(ManifestError::Empty(path.to_path_buf()));
+    }
+    Ok(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("irlt-driver-manifest-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn directory_loads_sorted_and_named_by_stem() {
+        let dir = scratch_dir("dir");
+        std::fs::write(dir.join("b.nest"), "do i = 1, n\n a(i) = 0\nenddo").unwrap();
+        std::fs::write(dir.join("a.nest"), "do j = 1, m\n b(j) = 1\nenddo").unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let jobs = load_manifest(&dir, &Goal::OuterParallel).unwrap();
+        let names: Vec<&str> = jobs.iter().map(|j| j.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_resolves_relative_to_its_own_directory() {
+        let dir = scratch_dir("rel");
+        std::fs::create_dir_all(dir.join("kernels")).unwrap();
+        std::fs::write(
+            dir.join("kernels/k.nest"),
+            "do i = 1, n\n a(i) = a(i) + 1\nenddo",
+        )
+        .unwrap();
+        std::fs::write(dir.join("corpus.txt"), "# a comment\n\nkernels/k.nest\n").unwrap();
+        let jobs = load_manifest(&dir.join("corpus.txt"), &Goal::InnerParallel).unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].name, "k");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_and_broken_corpora_are_reported() {
+        let dir = scratch_dir("err");
+        assert!(matches!(
+            load_manifest(&dir, &Goal::OuterParallel),
+            Err(ManifestError::Empty(_))
+        ));
+        std::fs::write(dir.join("bad.nest"), "this is not a loop nest").unwrap();
+        let err = load_manifest(&dir, &Goal::OuterParallel).unwrap_err();
+        assert!(matches!(err, ManifestError::Parse(_, _)), "{err}");
+        assert!(err.to_string().contains("bad.nest"));
+        let missing = load_manifest(&dir.join("absent.list"), &Goal::OuterParallel).unwrap_err();
+        assert!(matches!(missing, ManifestError::Io(_, _)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,185 @@
+//! Work-stealing queues for the batch pool.
+//!
+//! One double-ended queue per worker. A worker pops its *own* queue from
+//! the front (FIFO: early-submitted jobs first) and, when empty, scans
+//! the other queues in ring order stealing from the *back* — the classic
+//! split that keeps owners and thieves off each other's hot end.
+//!
+//! Jobs never enqueue further jobs, so termination is trivial: once a
+//! full scan finds every queue empty, no job can ever reappear, and the
+//! worker exits. The pool itself lives in `std::thread::scope`, so
+//! workers are joined (leak-free) before [`run_batch`] returns.
+//!
+//! [`run_batch`]: crate::run_batch
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// One popped job and whether it was stolen from another worker's queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Popped {
+    /// Index into the batch's job slice.
+    pub(crate) job: usize,
+    /// True when the job came from a queue this worker does not own.
+    pub(crate) stolen: bool,
+}
+
+/// Per-worker job queues with steal accounting.
+pub(crate) struct WorkQueues {
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    steals: AtomicU64,
+    remaining: AtomicUsize,
+}
+
+impl WorkQueues {
+    pub(crate) fn new(workers: usize) -> WorkQueues {
+        WorkQueues {
+            queues: (0..workers.max(1)).map(|_| Mutex::default()).collect(),
+            steals: AtomicU64::new(0),
+            remaining: AtomicUsize::new(0),
+        }
+    }
+
+    /// A poisoned queue lock only means a worker panicked while holding
+    /// it; the deque is still valid, and draining it beats deadlocking
+    /// the rest of the batch.
+    fn lock(&self, k: usize) -> MutexGuard<'_, VecDeque<usize>> {
+        self.queues[k]
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Enqueues `job` on `worker`'s queue (modulo the pool size).
+    pub(crate) fn push(&self, worker: usize, job: usize) {
+        self.lock(worker % self.queues.len()).push_back(job);
+        self.remaining.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Next job for `worker`: own queue front first, then steal from the
+    /// back of the other queues in ring order. `None` means the batch is
+    /// drained (jobs are never re-enqueued, so this is final).
+    pub(crate) fn pop(&self, worker: usize) -> Option<Popped> {
+        let n = self.queues.len();
+        let own = worker % n;
+        if let Some(job) = self.lock(own).pop_front() {
+            self.remaining.fetch_sub(1, Ordering::Relaxed);
+            return Some(Popped { job, stolen: false });
+        }
+        for k in 1..n {
+            let victim = (own + k) % n;
+            if let Some(job) = self.lock(victim).pop_back() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                self.remaining.fetch_sub(1, Ordering::Relaxed);
+                return Some(Popped { job, stolen: true });
+            }
+        }
+        None
+    }
+
+    /// Total successful steals so far.
+    pub(crate) fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Jobs still queued (approximate under concurrency; exact when
+    /// quiescent).
+    pub(crate) fn remaining(&self) -> usize {
+        self.remaining.load(Ordering::Relaxed)
+    }
+
+    /// Number of worker queues.
+    pub(crate) fn workers(&self) -> usize {
+        self.queues.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn own_queue_is_fifo() {
+        let q = WorkQueues::new(2);
+        q.push(0, 10);
+        q.push(0, 11);
+        assert_eq!(
+            q.pop(0),
+            Some(Popped {
+                job: 10,
+                stolen: false
+            })
+        );
+        assert_eq!(
+            q.pop(0),
+            Some(Popped {
+                job: 11,
+                stolen: false
+            })
+        );
+        assert_eq!(q.pop(0), None);
+        assert_eq!(q.steals(), 0);
+    }
+
+    #[test]
+    fn steals_come_from_the_back_and_are_counted() {
+        let q = WorkQueues::new(2);
+        q.push(0, 10);
+        q.push(0, 11);
+        q.push(0, 12);
+        // Worker 1 owns an empty queue: it must steal, newest-first.
+        assert_eq!(
+            q.pop(1),
+            Some(Popped {
+                job: 12,
+                stolen: true
+            })
+        );
+        assert_eq!(
+            q.pop(0),
+            Some(Popped {
+                job: 10,
+                stolen: false
+            })
+        );
+        assert_eq!(
+            q.pop(1),
+            Some(Popped {
+                job: 11,
+                stolen: true
+            })
+        );
+        assert_eq!(q.steals(), 2);
+        assert_eq!(q.remaining(), 0);
+        assert_eq!(q.pop(0), None);
+        assert_eq!(q.pop(1), None);
+    }
+
+    #[test]
+    fn ring_scan_visits_every_victim() {
+        let q = WorkQueues::new(4);
+        q.push(3, 7);
+        assert_eq!(q.workers(), 4);
+        assert_eq!(
+            q.pop(1),
+            Some(Popped {
+                job: 7,
+                stolen: true
+            })
+        );
+        assert_eq!(q.pop(1), None);
+    }
+
+    #[test]
+    fn push_wraps_worker_index() {
+        let q = WorkQueues::new(2);
+        q.push(5, 42); // 5 % 2 == worker 1
+        assert_eq!(
+            q.pop(1),
+            Some(Popped {
+                job: 42,
+                stolen: false
+            })
+        );
+    }
+}

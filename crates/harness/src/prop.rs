@@ -142,6 +142,17 @@ impl Config {
         }
         cfg
     }
+
+    /// Default config whose corpus directory is anchored to a
+    /// *compile-time* manifest path — pass `env!("CARGO_MANIFEST_DIR")`
+    /// from the test crate. See [`corpus_dir_for`] for why this beats
+    /// relying on the runtime environment alone.
+    pub fn at_manifest(manifest_dir: &str) -> Config {
+        Config {
+            corpus_dir: corpus_dir_for(manifest_dir),
+            ..Config::default()
+        }
+    }
 }
 
 /// `tests/corpus` under the running package's manifest, when cargo
@@ -149,6 +160,24 @@ impl Config {
 fn default_corpus_dir() -> Option<PathBuf> {
     let dir = PathBuf::from(std::env::var_os("CARGO_MANIFEST_DIR")?).join("tests/corpus");
     dir.is_dir().then_some(dir)
+}
+
+/// Resolves a property corpus directory robustly: the *runtime*
+/// `CARGO_MANIFEST_DIR` (what `cargo test` sets for the package under
+/// test) when it holds a `tests/corpus`, otherwise `tests/corpus` under
+/// the given *compile-time* manifest path (pass
+/// `env!("CARGO_MANIFEST_DIR")` from the test crate).
+///
+/// The fallback is what keeps seed replay alive when the compiled test
+/// binary is invoked outside cargo — directly, from another working
+/// directory, or under a harness that strips the environment. Both
+/// candidates are absolute paths, so the working directory never enters
+/// into it.
+pub fn corpus_dir_for(manifest_dir: &str) -> Option<PathBuf> {
+    default_corpus_dir().or_else(|| {
+        let dir = PathBuf::from(manifest_dir).join("tests/corpus");
+        dir.is_dir().then_some(dir)
+    })
 }
 
 fn parse_seed(v: &str) -> Option<u64> {
@@ -454,6 +483,24 @@ mod tests {
             .expect("string panic");
         assert!(msg.contains("corpus seed"), "{msg}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corpus_dir_for_falls_back_to_the_compile_time_manifest() {
+        // The harness crate itself has no tests/corpus, so the runtime
+        // candidate is absent and resolution must land on the explicit
+        // (compile-time) manifest path we pass in.
+        let root = std::env::temp_dir().join(format!("irlt_manifest_{}", std::process::id()));
+        let corpus = root.join("tests/corpus");
+        std::fs::create_dir_all(&corpus).unwrap();
+        let resolved = corpus_dir_for(root.to_str().unwrap());
+        assert_eq!(resolved.as_deref(), Some(corpus.as_path()));
+        let cfg = Config::at_manifest(root.to_str().unwrap());
+        assert_eq!(cfg.corpus_dir.as_deref(), Some(corpus.as_path()));
+        // A manifest without tests/corpus resolves to no corpus at all
+        // (replay is skipped, never mis-rooted).
+        assert_eq!(corpus_dir_for("/nonexistent/definitely-not-here"), None);
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

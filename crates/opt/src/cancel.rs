@@ -1,0 +1,99 @@
+//! Cooperative cancellation for long-running searches.
+//!
+//! A [`CancelToken`] is a clone-shared flag plus an optional deadline.
+//! [`search`](crate::search) polls it at cheap points — once per depth
+//! and once per candidate evaluation — and, when it fires, stops
+//! expanding and returns the **best candidate found so far** with
+//! [`SearchResult::timed_out`](crate::SearchResult::timed_out) set.
+//! Every candidate the search ever holds has passed the full legality
+//! test (the empty sequence is the root), so a timed-out result is still
+//! safe to apply; it is just not exhaustively searched.
+//!
+//! Cancellation is *cooperative*: nothing is interrupted mid-evaluation,
+//! no thread is killed, and a token that never fires changes nothing —
+//! the search is bit-identical with and without an unfired token
+//! attached.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A clone-shared cancellation flag with an optional deadline.
+///
+/// # Examples
+///
+/// ```
+/// use irlt_opt::CancelToken;
+/// use std::time::Duration;
+///
+/// let token = CancelToken::new();
+/// assert!(!token.is_cancelled());
+/// token.cancel();
+/// assert!(token.is_cancelled());
+///
+/// let expired = CancelToken::with_deadline(Duration::ZERO);
+/// assert!(expired.is_cancelled());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only fires when [`CancelToken::cancel`] is called.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that fires `budget` from now (or on explicit
+    /// [`CancelToken::cancel`], whichever comes first).
+    pub fn with_deadline(budget: Duration) -> CancelToken {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Instant::now().checked_add(budget),
+        }
+    }
+
+    /// Fires the token; every clone observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// True once the flag is set or the deadline has passed.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire) || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Time left until the deadline (`None` for flag-only tokens;
+    /// `Some(ZERO)` once expired).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_propagates_to_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_fires_and_reports_remaining() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        assert!(t.remaining().unwrap() > Duration::from_secs(3000));
+        let expired = CancelToken::with_deadline(Duration::ZERO);
+        assert!(expired.is_cancelled());
+        assert_eq!(expired.remaining(), Some(Duration::ZERO));
+        assert_eq!(CancelToken::new().remaining(), None);
+    }
+}

@@ -33,11 +33,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cancel;
 mod goal;
 mod moves;
 mod rulecheck;
 mod search;
 
+pub use cancel::CancelToken;
 pub use goal::{Goal, LocalityGoal};
 pub use moves::MoveCatalog;
 pub use rulecheck::{default_test_nests, validate_template, RuleReport, RuleViolation};

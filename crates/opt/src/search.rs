@@ -16,9 +16,13 @@
 //! from-scratch path (`incremental: false`), which is kept for
 //! benchmarking and differential testing.
 
+use crate::cancel::CancelToken;
 use crate::goal::Goal;
 use crate::moves::MoveCatalog;
-use irlt_core::{ExtendError, IllegalReason, LegalityReport, SeqState, Template, TransformSeq};
+use irlt_core::{
+    ExtendError, IllegalReason, LegalityReport, SeqState, SharedLegalityCache, Template,
+    TransformSeq,
+};
 use irlt_dependence::DepSet;
 use irlt_ir::LoopNest;
 use irlt_obs::Telemetry;
@@ -60,6 +64,23 @@ pub struct SearchConfig {
     /// timings, and — through [`SeqState`] — the legality-cache and
     /// dependence-mapping counters.
     pub telemetry: Telemetry,
+    /// Cross-nest shared legality cache (incremental mode only): when
+    /// set, every candidate extension consults the batch-wide memo table
+    /// before recomputing, and deposits what it computes. Replay is
+    /// bit-identical to recomputation, so results do not depend on the
+    /// cache's contents, on `owner`, or on which jobs ran before.
+    pub shared: Option<SharedLegalityCache>,
+    /// Identity tag for cross-job hit accounting in [`shared`]; ignored
+    /// without a cache.
+    ///
+    /// [`shared`]: SearchConfig::shared
+    pub owner: u64,
+    /// Cooperative cancellation: polled once per depth and once per
+    /// candidate evaluation. When it fires, the search stops expanding
+    /// and returns the best-so-far candidate with
+    /// [`SearchResult::timed_out`] set. An unfired (or absent) token
+    /// changes nothing — results are bit-identical.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for SearchConfig {
@@ -72,6 +93,9 @@ impl Default for SearchConfig {
             incremental: true,
             prune: true,
             telemetry: Telemetry::disabled(),
+            shared: None,
+            owner: 0,
+            cancel: None,
         }
     }
 }
@@ -99,14 +123,23 @@ pub struct SearchResult {
     pub explored: usize,
     /// How many of those passed the legality test.
     pub legal: usize,
+    /// True when a [`CancelToken`] fired before the search space was
+    /// exhausted: `best` is the best *legal* candidate found up to that
+    /// point (at worst the identity sequence), not the full-search
+    /// optimum.
+    pub timed_out: bool,
 }
 
 impl fmt::Display for SearchResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "best {} (score {:.1}); {} candidates tested, {} legal",
-            self.best.seq, self.best.score, self.explored, self.legal
+            "best {} (score {:.1}); {} candidates tested, {} legal{}",
+            self.best.seq,
+            self.best.score,
+            self.explored,
+            self.legal,
+            if self.timed_out { " [timed out]" } else { "" }
         )
     }
 }
@@ -146,6 +179,9 @@ enum Outcome {
     /// cached dependence set (~300 bytes), while every other variant is
     /// word-sized.
     Legal(Box<Node>),
+    /// The cancel token fired before this job was evaluated: not counted
+    /// anywhere (the search is winding down).
+    Cancelled,
 }
 
 fn reject_kind(reason: &IllegalReason) -> RejectKind {
@@ -180,6 +216,7 @@ struct EvalCtx<'a> {
     goal: &'a Goal,
     incremental: bool,
     tel: &'a Telemetry,
+    cancel: Option<&'a CancelToken>,
 }
 
 fn evaluate(parent: &Node, template: Template, ctx: EvalCtx<'_>) -> Outcome {
@@ -189,6 +226,7 @@ fn evaluate(parent: &Node, template: Template, ctx: EvalCtx<'_>) -> Outcome {
         goal,
         incremental,
         tel,
+        cancel: _,
     } = ctx;
     if incremental {
         let state = parent
@@ -255,7 +293,16 @@ fn expand(
     let run = |slice: &[(usize, Template)]| -> Vec<Outcome> {
         slice
             .iter()
-            .map(|(si, t)| evaluate(&frontier[*si], t.clone(), ctx))
+            .map(|(si, t)| {
+                // Poll between evaluations, never within one: a fired
+                // token drains the remaining jobs as `Cancelled` so the
+                // depth winds down promptly but no work is torn mid-step.
+                if ctx.cancel.is_some_and(CancelToken::is_cancelled) {
+                    Outcome::Cancelled
+                } else {
+                    evaluate(&frontier[*si], t.clone(), ctx)
+                }
+            })
             .collect()
     };
     if threads <= 1 || jobs.len() <= 1 {
@@ -332,9 +379,13 @@ pub fn search(nest: &LoopNest, deps: &DepSet, goal: &Goal, config: &SearchConfig
     .unwrap_or(f64::NEG_INFINITY);
     let tel = &config.telemetry;
     let state = config.incremental.then(|| {
-        SeqState::root(nest, deps)
+        let mut s = SeqState::root(nest, deps)
             .with_pruning(config.prune)
-            .with_telemetry(tel.clone())
+            .with_telemetry(tel.clone());
+        if let Some(cache) = &config.shared {
+            s = s.with_shared(cache.clone(), config.owner);
+        }
+        s
     });
     let root = Node {
         cand: Candidate {
@@ -358,9 +409,18 @@ pub fn search(nest: &LoopNest, deps: &DepSet, goal: &Goal, config: &SearchConfig
     let mut frontier = vec![root];
     let mut explored = 0usize;
     let mut legal = 0usize;
+    let mut timed_out = false;
     let mut seen_shapes: HashSet<u64> = HashSet::new();
 
     for depth in 0..config.max_steps {
+        if config
+            .cancel
+            .as_ref()
+            .is_some_and(CancelToken::is_cancelled)
+        {
+            timed_out = true;
+            break;
+        }
         let jobs: Vec<(usize, Template)> = frontier
             .iter()
             .enumerate()
@@ -378,6 +438,7 @@ pub fn search(nest: &LoopNest, deps: &DepSet, goal: &Goal, config: &SearchConfig
             goal,
             incremental: config.incremental,
             tel,
+            cancel: config.cancel.as_ref(),
         };
         let expand_start = tel.is_enabled().then(Instant::now);
         let outcomes = expand(&frontier, &jobs, ctx, threads);
@@ -416,6 +477,7 @@ pub fn search(nest: &LoopNest, deps: &DepSet, goal: &Goal, config: &SearchConfig
                     }
                     next.push(*node);
                 }
+                Outcome::Cancelled => timed_out = true,
             }
         }
         next.sort_by(|a, b| {
@@ -442,7 +504,7 @@ pub fn search(nest: &LoopNest, deps: &DepSet, goal: &Goal, config: &SearchConfig
             tel.record_span("search/expand", t1.duration_since(t0));
             tel.record_span("search/merge", t1.elapsed());
         }
-        if next.is_empty() {
+        if timed_out || next.is_empty() {
             break;
         }
         frontier = next;
@@ -451,11 +513,15 @@ pub fn search(nest: &LoopNest, deps: &DepSet, goal: &Goal, config: &SearchConfig
         tel.count("search/explored", explored as u64);
         tel.count("search/legal", legal as u64);
         tel.observe("search/best_score", best.score);
+        if timed_out {
+            tel.incr("search/timed_out");
+        }
     }
     SearchResult {
         best,
         explored,
         legal,
+        timed_out,
     }
 }
 
@@ -605,6 +671,17 @@ mod tests {
             };
             out.push(search(nest, deps, goal, &cfg));
         }
+        // Shared-cache modes: a cold cache, then a fully warm one (every
+        // extension replays a deposit) — both must still be bit-identical.
+        let cache = SharedLegalityCache::new();
+        for owner in [0, 1] {
+            let cfg = SearchConfig {
+                shared: Some(cache.clone()),
+                owner,
+                ..base.clone()
+            };
+            out.push(search(nest, deps, goal, &cfg));
+        }
         out
     }
 
@@ -624,6 +701,7 @@ mod tests {
                 "mode {k}: score diverged"
             );
             assert_eq!(r.best.shape, r0.best.shape, "mode {k}: shape diverged");
+            assert_eq!(r.timed_out, r0.timed_out, "mode {k}: timed_out diverged");
         }
     }
 
@@ -715,6 +793,7 @@ mod tests {
                 goal: &Goal::OuterParallel,
                 incremental,
                 tel: &tel,
+                cancel: None,
             };
             let outcome = evaluate(&root, wrong_arity.clone(), ctx);
             assert!(matches!(outcome, Outcome::Rejected), "{outcome:?}");
@@ -826,6 +905,51 @@ mod tests {
         let r = tel.report();
         assert!(r.counter("search/expand/parallel_rounds") > 0, "{r:?}");
         assert!(r.stats["search/expand/workers"].max <= 4.0, "{r:?}");
+    }
+
+    #[test]
+    fn prefired_cancel_returns_identity_timed_out() {
+        let nest = parse_nest(
+            "do i = 2, n - 1\n do j = 2, n - 1\n  a(i, j) = a(i - 1, j) + a(i, j - 1)\n enddo\nenddo",
+        )
+        .unwrap();
+        let deps = analyze_dependences(&nest);
+        let token = CancelToken::new();
+        token.cancel();
+        let cfg = SearchConfig {
+            cancel: Some(token),
+            ..SearchConfig::default()
+        };
+        let r = search(&nest, &deps, &Goal::OuterParallel, &cfg);
+        assert!(r.timed_out);
+        assert!(r.best.seq.is_empty(), "{r}");
+        assert_eq!(r.explored, 0);
+        assert!(r.to_string().contains("[timed out]"), "{r}");
+    }
+
+    #[test]
+    fn unfired_cancel_token_changes_nothing() {
+        let nest = parse_nest(
+            "do i = 2, n - 1\n do j = 2, n - 1\n  a(i, j) = a(i - 1, j) + a(i, j - 1)\n enddo\nenddo",
+        )
+        .unwrap();
+        let deps = analyze_dependences(&nest);
+        let base = SearchConfig {
+            catalog: MoveCatalog::parallelism(),
+            max_steps: 3,
+            beam_width: 12,
+            ..SearchConfig::default()
+        };
+        let plain = search(&nest, &deps, &Goal::OuterParallel, &base);
+        let cfg = SearchConfig {
+            cancel: Some(CancelToken::with_deadline(std::time::Duration::from_secs(
+                3600,
+            ))),
+            ..base
+        };
+        let tokened = search(&nest, &deps, &Goal::OuterParallel, &cfg);
+        assert!(!tokened.timed_out);
+        assert_identical(&[plain, tokened]);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | [`interp`] | loop-nest interpreter, differential equivalence checking, empirical dependences |
 //! | [`cachesim`] | set-associative LRU cache + array layouts for locality studies |
 //! | [`opt`] | goal-directed transformation search and empirical rule validation (the paper's "automatic transformation system" future work) |
+//! | [`driver`] | batched multi-nest optimization: work-stealing pool, per-job deadlines with cooperative cancellation, cross-nest shared legality caching, the `irlt-batch` CLI |
 //! | [`obs`] | zero-dependency structured telemetry: counters, histograms, spans, JSON artifacts (`IRLT_TELEMETRY=path.json`) |
 //!
 //! # Quickstart
@@ -48,6 +49,7 @@
 pub use irlt_cachesim as cachesim;
 pub use irlt_core as core;
 pub use irlt_dependence as dependence;
+pub use irlt_driver as driver;
 pub use irlt_interp as interp;
 pub use irlt_ir as ir;
 pub use irlt_obs as obs;
@@ -61,11 +63,12 @@ pub mod prelude {
     };
     pub use irlt_core::{
         catalog, BoundsMatrices, ExtendError, KernelTemplate, LegalityCache, LegalityReport,
-        Permutation, SeqState, Template, TransformSeq,
+        Permutation, SeqState, SharedLegalityCache, Template, TransformSeq,
     };
     pub use irlt_dependence::{
         analyze_dependences, analyze_dependences_detailed, DepElem, DepSet, DepVector, Dir,
     };
+    pub use irlt_driver::{run_batch, BatchConfig, BatchResult, Job, JobResult, JobStatus};
     pub use irlt_interp::{
         check_equivalence, empirical_dependences, Executor, Memory, PardoOrder, TraceLevel,
     };

@@ -10,14 +10,42 @@
 
 use irlt::prelude::*;
 use irlt_harness::gen::{gen_nest, gen_pair, gen_sequence, gen_unimodular, shrink_pair};
-use irlt_harness::prop::{check, CaseResult, Config};
+use irlt_harness::prop::{check, corpus_dir_for, CaseResult, Config};
 use irlt_harness::{diff, prop_assert, prop_assert_eq, prop_assume};
+
+/// A [`Config`] whose corpus directory is anchored to this crate's
+/// *compile-time* manifest path, so `tests/corpus/` seed replay works
+/// from the workspace root, from a crate directory, or when the test
+/// binary is invoked outside cargo entirely.
+fn corpus_cfg(cases: u32) -> Config {
+    Config {
+        corpus_dir: corpus_dir_for(env!("CARGO_MANIFEST_DIR")),
+        ..Config::with_cases(cases)
+    }
+}
+
+/// Regression: corpus resolution must be absolute-path based (never the
+/// working directory) and must survive a missing runtime
+/// `CARGO_MANIFEST_DIR` via the compile-time fallback.
+#[test]
+fn corpus_dir_resolves_from_any_invocation_point() {
+    let dir = corpus_dir_for(env!("CARGO_MANIFEST_DIR"))
+        .expect("this crate ships tests/corpus with persisted seeds");
+    assert!(dir.is_absolute(), "{}", dir.display());
+    assert!(dir.ends_with("tests/corpus"), "{}", dir.display());
+    assert!(
+        dir.join("legal_equivalence.seeds").is_file(),
+        "seed file missing under {}",
+        dir.display()
+    );
+    assert_eq!(corpus_cfg(1).corpus_dir.as_deref(), Some(dir.as_path()));
+}
 
 /// THE framework contract: legal ⇒ equivalent execution. The fuzzer
 /// panics with a shrunk counterexample and replay seed on violation.
 #[test]
 fn legal_sequences_execute_equivalently() {
-    let report = diff::run(&Config::with_cases(256));
+    let report = diff::run(&corpus_cfg(256));
     // The ≥200-case floor binds the *default* run; an explicit
     // IRLT_FUZZ_CASES override (e.g. a quick dev iteration at 10 cases)
     // is an intentional choice and may go below it.
@@ -41,7 +69,7 @@ fn legal_sequences_execute_equivalently() {
 fn simplify_preserves_value() {
     check(
         "simplify_preserves_value",
-        &Config::default(),
+        &corpus_cfg(64),
         |rng| {
             let coeffs: Vec<i64> = (0..6).map(|_| rng.gen_range(-3..=3i64)).collect();
             let env: Vec<i64> = (0..3).map(|_| rng.gen_range(-10..=10i64)).collect();
@@ -77,7 +105,7 @@ fn simplify_preserves_value() {
 fn pretty_parse_roundtrip() {
     check(
         "pretty_parse_roundtrip",
-        &Config::default(),
+        &corpus_cfg(64),
         |rng| {
             let depth = rng.gen_range(1..=3usize);
             gen_nest(rng, depth)
@@ -98,7 +126,7 @@ fn pretty_parse_roundtrip() {
 fn fusion_preserves_distance_mapping() {
     check(
         "fusion_preserves_distance_mapping",
-        &Config::default(),
+        &corpus_cfg(64),
         |rng| {
             let d: Vec<i64> = (0..2).map(|_| rng.gen_range(-3..=3i64)).collect();
             let skew = rng.gen_range(-2..=2i64);
@@ -140,7 +168,7 @@ fn unimodular_depmap_soundness() {
     ];
     check(
         "unimodular_depmap_soundness",
-        &Config::default(),
+        &corpus_cfg(64),
         |rng| {
             let elems: Vec<usize> = (0..3).map(|_| rng.gen_range(0..9usize)).collect();
             let tuple: Vec<i64> = (0..3).map(|_| rng.gen_range(-3..=3i64)).collect();
@@ -173,7 +201,7 @@ fn unimodular_depmap_soundness() {
 fn unimodular_products_invert() {
     check(
         "unimodular_products_invert",
-        &Config::default(),
+        &corpus_cfg(64),
         |rng| gen_unimodular(rng, 4, 5),
         |_| Vec::new(),
         |m| {
@@ -203,7 +231,7 @@ fn dep_elem_lattice_laws() {
     ];
     check(
         "dep_elem_lattice_laws",
-        &Config::default(),
+        &corpus_cfg(64),
         |rng| {
             (
                 rng.gen_range(0..9usize),
@@ -229,7 +257,7 @@ fn dep_elem_lattice_laws() {
 fn parser_never_panics() {
     check(
         "parser_never_panics",
-        &Config::default(),
+        &corpus_cfg(64),
         |rng| {
             // Printable ASCII + newlines, 0–200 chars.
             let len = rng.gen_range(0..=200usize);
@@ -274,7 +302,7 @@ fn parser_never_panics() {
 fn script_roundtrip() {
     check(
         "script_roundtrip",
-        &Config::default(),
+        &corpus_cfg(64),
         |rng| {
             let n = rng.gen_range(1..=3usize);
             gen_sequence(rng, n)
@@ -303,7 +331,7 @@ fn script_roundtrip() {
 fn incremental_matches_scratch() {
     check(
         "incremental_matches_scratch",
-        &Config::with_cases(200),
+        &corpus_cfg(200),
         |rng| {
             let depth = rng.gen_range(1..=3usize);
             gen_pair(rng, depth)
@@ -373,6 +401,64 @@ fn incremental_matches_scratch() {
     );
 }
 
+/// The driver's cross-nest [`SharedLegalityCache`] is invisible to
+/// results: a chain extended through a shared cache that *persists
+/// across all generated cases* (so later cases replay subproblems
+/// deposited by earlier ones, exactly like jobs in a batch) agrees with
+/// a fresh per-case chain on every extension — same accept/reject
+/// verdict, the *identical* mapped `DepSet`, and byte-identical
+/// rejection messages.
+#[test]
+fn shared_cache_matches_fresh_chains() {
+    let shared = SharedLegalityCache::new();
+    let owner = std::cell::Cell::new(0u64);
+    check(
+        "shared_cache_matches_fresh_chains",
+        &corpus_cfg(200),
+        |rng| {
+            let depth = rng.gen_range(1..=3usize);
+            gen_pair(rng, depth)
+        },
+        shrink_pair,
+        |(nest, seq)| {
+            owner.set(owner.get() + 1);
+            let deps = analyze_dependences(nest);
+            let mut fresh = SeqState::root(nest, &deps);
+            let mut cached = SeqState::root(nest, &deps).with_shared(shared.clone(), owner.get());
+            for step in seq.steps() {
+                let irlt::core::Step::Builtin(t) = step else {
+                    unreachable!("generated sequences are builtin-only")
+                };
+                match (fresh.extend(t.clone()), cached.extend(t.clone())) {
+                    (Ok(f), Ok(c)) => {
+                        prop_assert_eq!(f.mapped_deps(), c.mapped_deps());
+                        prop_assert_eq!(f.shape(), c.shape());
+                        fresh = f;
+                        cached = c;
+                    }
+                    (Err(fe), Err(ce)) => {
+                        prop_assert_eq!(fe.to_string(), ce.to_string());
+                        break;
+                    }
+                    (f, c) => {
+                        return CaseResult::Fail(format!(
+                            "verdicts diverged: fresh {:?} vs shared {:?}",
+                            f.map(|s| s.mapped_deps().clone()),
+                            c.map(|s| s.mapped_deps().clone()),
+                        ));
+                    }
+                }
+            }
+            CaseResult::Pass
+        },
+    );
+    let stats = shared.stats();
+    assert!(
+        stats.hits > 0 && stats.inserts > 0,
+        "the cross-case cache never engaged — the property proved nothing: {stats}"
+    );
+}
+
 /// Subsumption pruning never changes `DepSet::is_legal()`: the pruned set
 /// is a subset of members covering exactly the same tuple set.
 #[test]
@@ -393,7 +479,7 @@ fn subsumption_pruning_preserves_legality() {
     ];
     check(
         "subsumption_pruning_preserves_legality",
-        &Config::with_cases(200),
+        &corpus_cfg(200),
         |rng| {
             let arity = rng.gen_range(1..=4usize);
             let count = rng.gen_range(1..=10usize);
@@ -464,7 +550,7 @@ fn subsumption_pruning_preserves_legality() {
 fn coalesce_decode_bijection() {
     check(
         "coalesce_decode_bijection",
-        &Config::default(),
+        &corpus_cfg(64),
         |rng| {
             let mut dims = || {
                 (
