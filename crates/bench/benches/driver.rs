@@ -1,9 +1,10 @@
 //! Batch-driver throughput: the 64-nest demo corpus through
 //! `irlt_driver::run_batch` at 1, 4, and 8 worker threads with the
 //! cross-nest [`SharedLegalityCache`] on, plus a `fresh` serial baseline
-//! with the cache off.
+//! with the cache off, plus a deeper-search workload comparing the two
+//! cache key representations.
 //!
-//! Two effects are measured at once:
+//! Three effects are measured:
 //!
 //! * **Sharding** (`t1` vs `t4`/`t8`) — wall-clock scaling from the
 //!   work-stealing pool; only meaningful on multi-core hosts.
@@ -12,16 +13,37 @@
 //!   independent of core count. The demo corpus repeats each of its 8
 //!   nest shapes 8 times, the duplicate-heavy profile real compilation
 //!   units show.
+//! * **Key representation** (`deep64/fp` vs `deep64/display`) — the same
+//!   64 jobs at acceptance-search settings (max_steps 5, beam 16), where
+//!   per-probe key cost dominates: `fp` keys the shared cache on interned
+//!   fingerprint ids (`KeyMode::Fingerprint`, zero allocation per probe),
+//!   `display` keeps the PR 5 rendered-string representation
+//!   (`KeyMode::Display`) measured in the same bench for an
+//!   apples-to-apples comparison.
 //!
-//! Results are bit-identical across all four rows by the driver's
-//! determinism contract (`tests/driver.rs` pins this); only time may
-//! differ.
+//! Results are bit-identical across all rows of a workload by the
+//! driver's determinism contract (`tests/driver.rs` and the key-mode
+//! properties pin this); only time may differ.
 //!
 //! [`SharedLegalityCache`]: irlt_core::SharedLegalityCache
 
-use irlt_driver::{demo_corpus, run_batch, BatchConfig};
+use irlt_core::KeyMode;
+use irlt_driver::{demo_corpus, run_batch, BatchConfig, Job};
 use irlt_harness::timing::{black_box, Runner};
 use irlt_obs::Telemetry;
+
+/// The deeper-search workload: the demo corpus re-armed with the
+/// matmul acceptance settings (max_steps 5, beam 16).
+fn deep_corpus(n: usize) -> Vec<Job> {
+    demo_corpus(n)
+        .into_iter()
+        .map(|job| Job {
+            max_steps: 5,
+            beam_width: 16,
+            ..job
+        })
+        .collect()
+}
 
 fn main() {
     let mut r = Runner::default();
@@ -42,6 +64,18 @@ fn main() {
         };
         r.bench(&format!("driver/corpus64/{name}"), || {
             black_box(run_batch(black_box(&jobs), &cfg))
+        });
+    }
+    let deep = deep_corpus(64);
+    for (name, key_mode) in [("fp", KeyMode::Fingerprint), ("display", KeyMode::Display)] {
+        let cfg = BatchConfig {
+            threads: 1,
+            key_mode,
+            telemetry: telemetry.clone(),
+            ..BatchConfig::default()
+        };
+        r.bench(&format!("driver/deep64/{name}"), || {
+            black_box(run_batch(black_box(&deep), &cfg))
         });
     }
     r.finish();

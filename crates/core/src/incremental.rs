@@ -42,7 +42,7 @@
 //! monotone, so pruning is skipped after custom steps.
 
 use crate::sequence::{IllegalReason, SequenceError, Step, TransformSeq};
-use crate::shared::{CachedOutcome, SharedLegalityCache};
+use crate::shared::{CachedOutcome, SharedLegalityCache, StateKey};
 use crate::template::Template;
 use irlt_dependence::DepSet;
 use irlt_ir::LoopNest;
@@ -78,8 +78,11 @@ use std::sync::Arc;
 #[derive(Clone, Debug)]
 pub struct SeqState {
     seq: TransformSeq,
-    shape: LoopNest,
-    mapped: DepSet,
+    /// Behind an `Arc` so cache replays and interner hits share one
+    /// allocation per distinct shape across every job of a batch.
+    shape: Arc<LoopNest>,
+    /// Likewise pool-shared when a [`SharedLegalityCache`] is attached.
+    mapped: Arc<DepSet>,
     prune: bool,
     telemetry: Telemetry,
     /// Cross-nest memo table (see [`SharedLegalityCache`]); `None` keeps
@@ -87,9 +90,10 @@ pub struct SeqState {
     shared: Option<SharedLegalityCache>,
     /// Identity tag for cross-job hit accounting in the shared cache.
     owner: u64,
-    /// This state's pre-rendered cache key; kept in lock-step with
+    /// This state's precomputed cache key (interned ids, or the rendered
+    /// triple in legacy mode); kept in lock-step with
     /// `(prune, shape, mapped)` whenever `shared` is attached.
-    skey: Option<Arc<str>>,
+    skey: Option<StateKey>,
 }
 
 /// Alias for [`SeqState`] naming its role: the cache that lets
@@ -105,13 +109,32 @@ impl SeqState {
     pub fn root(nest: &LoopNest, deps: &DepSet) -> SeqState {
         SeqState {
             seq: TransformSeq::new(nest.depth()),
-            shape: LoopNest::with_inits(nest.loops().to_vec(), Vec::new(), Vec::new()),
-            mapped: deps.clone(),
+            shape: Arc::new(LoopNest::with_inits(
+                nest.loops().to_vec(),
+                Vec::new(),
+                Vec::new(),
+            )),
+            mapped: Arc::new(deps.clone()),
             prune: false,
             telemetry: Telemetry::disabled(),
             shared: None,
             owner: 0,
             skey: None,
+        }
+    }
+
+    /// Re-derives this state's cache key (and adopts the pool-canonical
+    /// `Arc`s) from the attached cache; no-op when no cache is attached.
+    fn rekey(&mut self) {
+        if let Some(cache) = &self.shared {
+            let (key, shape, mapped) = cache.intern_state(
+                self.prune,
+                Arc::clone(&self.shape),
+                Arc::clone(&self.mapped),
+            );
+            self.skey = Some(key);
+            self.shape = shape;
+            self.mapped = mapped;
         }
     }
 
@@ -136,16 +159,10 @@ impl SeqState {
     #[must_use]
     pub fn with_pruning(mut self, on: bool) -> SeqState {
         if on && !self.prune {
-            self.mapped = self.mapped.prune_subsumed();
+            self.mapped = Arc::new(self.mapped.prune_subsumed());
         }
         self.prune = on;
-        if self.shared.is_some() {
-            self.skey = Some(SharedLegalityCache::state_key(
-                self.prune,
-                &self.shape,
-                &self.mapped,
-            ));
-        }
+        self.rekey();
         self
     }
 
@@ -161,13 +178,9 @@ impl SeqState {
     /// templates consult the cache; custom steps always recompute.
     #[must_use]
     pub fn with_shared(mut self, cache: SharedLegalityCache, owner: u64) -> SeqState {
-        self.skey = Some(SharedLegalityCache::state_key(
-            self.prune,
-            &self.shape,
-            &self.mapped,
-        ));
         self.shared = Some(cache);
         self.owner = owner;
+        self.rekey();
         self
     }
 
@@ -190,9 +203,39 @@ impl SeqState {
         &self.mapped
     }
 
+    /// The shared handle behind [`SeqState::shape`] (pool-canonical when
+    /// a cache is attached).
+    #[cfg(test)]
+    pub(crate) fn shape_arc(&self) -> &Arc<LoopNest> {
+        &self.shape
+    }
+
+    /// The shared handle behind [`SeqState::mapped_deps`].
+    #[cfg(test)]
+    pub(crate) fn mapped_arc(&self) -> &Arc<DepSet> {
+        &self.mapped
+    }
+
     /// Decomposes the state into `(sequence, shape, mapped set)`.
     pub fn into_parts(self) -> (TransformSeq, LoopNest, DepSet) {
-        (self.seq, self.shape, self.mapped)
+        let shape = Arc::try_unwrap(self.shape).unwrap_or_else(|a| (*a).clone());
+        let mapped = Arc::try_unwrap(self.mapped).unwrap_or_else(|a| (*a).clone());
+        (self.seq, shape, mapped)
+    }
+
+    /// Performs exactly the shared-cache probe the extension hot path
+    /// performs — key construction plus map lookup — without extending.
+    /// Returns `None` when no shared cache is attached, otherwise whether
+    /// the `(state, template)` pair is resident.
+    ///
+    /// Exists so the allocation-counting test can measure the probe path
+    /// in isolation; not part of the supported API.
+    #[doc(hidden)]
+    pub fn shared_probe(&self, template: &Template) -> Option<bool> {
+        let cache = self.shared.as_ref()?;
+        let skey = self.skey.as_ref()?;
+        let tkey = cache.template_key(template);
+        Some(cache.lookup(skey, &tkey, self.owner).is_some())
     }
 
     /// Extends the prefix by one built-in template instantiation,
@@ -238,11 +281,20 @@ impl SeqState {
         // — from this job or any other — substitutes for the whole
         // precondition/codegen/mapping pipeline below. Custom steps are
         // never cached (their rendering does not pin their semantics).
+        // The template key is computed once here and reused by the
+        // lookup and any deposit; the state key was computed when this
+        // state was created. Nothing on this path renders a string in
+        // fingerprint mode.
         let shared_key = match (&self.shared, &self.skey, &step) {
-            (Some(_), Some(skey), Step::Builtin(t)) => Some((skey.clone(), t.to_string())),
+            (Some(cache), Some(skey), Step::Builtin(t)) => {
+                Some((skey.clone(), cache.template_key(t)))
+            }
             _ => None,
         };
         if let (Some(cache), Some((skey, tkey))) = (&self.shared, &shared_key) {
+            if tel.is_enabled() {
+                tel.incr("legality/key/probes");
+            }
             if let Some(outcome) = cache.lookup(skey, tkey, self.owner) {
                 if tel.is_enabled() {
                     tel.incr("legality/shared/hits");
@@ -325,25 +377,28 @@ impl SeqState {
         } else {
             mapped
         };
-        let skey = if let (Some(cache), Some((pkey, tkey))) = (&self.shared, shared_key) {
-            let child_key = SharedLegalityCache::state_key(self.prune, &shape, &mapped);
-            cache.insert(
-                pkey,
-                tkey,
-                CachedOutcome::Legal {
-                    shape: shape.clone(),
-                    mapped: mapped.clone(),
-                    key: child_key.clone(),
-                },
-                self.owner,
-            );
-            Some(child_key)
-        } else if self.shared.is_some() {
-            // Custom step under a shared cache: the child still needs a
-            // key so *its* built-in extensions can share.
-            Some(SharedLegalityCache::state_key(self.prune, &shape, &mapped))
+        let (skey, shape, mapped) = if let Some(cache) = &self.shared {
+            // Intern the child triple once (this also computes its state
+            // key for *its* future extensions — including after a custom
+            // step, whose children still share) and adopt the canonical
+            // pool Arcs so identical children across jobs alias.
+            let (child_key, shape, mapped) =
+                cache.intern_state(self.prune, Arc::new(shape), Arc::new(mapped));
+            if let Some((pkey, tkey)) = shared_key {
+                cache.insert(
+                    pkey,
+                    tkey,
+                    CachedOutcome::Legal {
+                        shape: Arc::clone(&shape),
+                        mapped: Arc::clone(&mapped),
+                        key: child_key.clone(),
+                    },
+                    self.owner,
+                );
+            }
+            (Some(child_key), shape, mapped)
         } else {
-            None
+            (None, Arc::new(shape), Arc::new(mapped))
         };
         Ok(SeqState {
             seq,

@@ -75,5 +75,5 @@ pub use sequence::{
     init_prefix, IllegalReason, KernelTemplate, LegalityReport, SeqApplyError, SequenceError, Step,
     TransformSeq,
 };
-pub use shared::{SharedCacheStats, SharedLegalityCache};
+pub use shared::{KeyMode, SharedCacheStats, SharedLegalityCache};
 pub use template::{Permutation, Template, TemplateError};

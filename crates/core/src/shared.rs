@@ -12,14 +12,29 @@
 //! nests: the first job to extend a given `(state, template)` pair pays
 //! the mapping cost and deposits the outcome; every later job — same nest
 //! or a structurally identical one — replays the deposited outcome
-//! verbatim. Entries are keyed by the **exact rendering** of the triple
-//! (the `Display` forms of the shape and the mapped set, which the
-//! print→parse round-trip property pins as injective, plus the pruning
-//! flag) and of the template, so a hit can never conflate two distinct
+//! verbatim.
+//!
+//! # Keying: interned structural ids
+//!
+//! In the default [`KeyMode::Fingerprint`] mode, the shape, the mapped
+//! set, and the template are interned into per-cache pools
+//! ([`irlt_dependence::Interner`]) keyed by 128-bit structural
+//! fingerprints with exact-equality verification on every bucket hit. A
+//! probe key is then four machine words — `(prune, shape_id, mapped_id,
+//! template_id)`, all `Copy` — and because interned ids are *exact*
+//! (equal ids ⟺ equal values), a hit can never conflate two distinct
 //! subproblems: verdicts and mapped sets out of the cache are
 //! bit-identical to recomputation, which the workspace's
 //! `shared_cache_matches_fresh` differential property asserts over
-//! generated corpora.
+//! generated corpora. No string is rendered and no allocation happens on
+//! the probe path; interning happens once per *state* (not per probe),
+//! and cross-nest hits share one `Arc` per distinct shape and mapped set.
+//!
+//! [`KeyMode::Display`] preserves the PR 5 representation — entries keyed
+//! by the `Display` rendering of the triple and the template, which the
+//! print→parse round-trip property pins as injective — so the two key
+//! paths can be benchmarked against each other in the same binary
+//! (`BENCH_6.json` deep-search rows). It is not used by default.
 //!
 //! # Degradation
 //!
@@ -28,19 +43,104 @@
 //! no LRU bookkeeping on the hot path) and the eviction is counted.
 //! Because entries only ever *replay* what recomputation would produce,
 //! eviction is invisible to results — jobs fall back to scratch legality
-//! work and produce verdict-identical output.
+//! work and produce verdict-identical output. The interner pools are
+//! **not** swept: live [`SeqState`]s hold interned ids, and recycling an
+//! id could alias two distinct states; the pools grow with the number of
+//! *distinct* structures seen (lifecycle beyond that is ROADMAP item 1's
+//! sharded cache).
 //!
 //! Only built-in templates are cached: a custom
-//! [`KernelTemplate`](crate::KernelTemplate)'s `Display` name need not
+//! [`KernelTemplate`](crate::KernelTemplate)'s rendering need not
 //! identify its semantics, so custom steps always recompute.
+//!
+//! [`SeqState`]: crate::SeqState
 
 use crate::sequence::IllegalReason;
-use irlt_dependence::DepSet;
+use crate::template::Template;
+use irlt_dependence::{DepSet, Interner, InternerStats};
 use irlt_ir::LoopNest;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// How the cache keys its entries. See the [module docs](self).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KeyMode {
+    /// Interned structural fingerprints: `Copy` probe keys, no rendering,
+    /// no allocation on the probe path. The default.
+    #[default]
+    Fingerprint,
+    /// The PR 5 legacy representation: keys are the `Display` renderings
+    /// of the state triple and the template. Kept so the two key paths
+    /// can be measured against each other in one bench binary.
+    Display,
+}
+
+/// A state's identity under the cache's key mode: interned ids in
+/// fingerprint mode, the rendered triple in legacy mode.
+///
+/// Cloning never allocates (ids are `Copy`; the rendered form is behind
+/// an `Arc`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum StateKey {
+    /// `(prune, shape_id, mapped_id)` — ids from this cache's interners.
+    Fp {
+        prune: bool,
+        shape: u32,
+        mapped: u32,
+    },
+    /// `"p{0|1}|{shape}|{mapped}"` (legacy).
+    Str(Arc<str>),
+}
+
+/// A template's identity under the cache's key mode.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum TemplateKey {
+    /// Interned template id (exact: equal ids ⟺ equal templates).
+    Id(u32),
+    /// The template's `Display` rendering (legacy).
+    Str(Arc<str>),
+}
+
+/// The composite map key: state key × template key, flattened so the
+/// fingerprint-mode variant is a few `Copy` words with derived `Hash`.
+///
+/// Constructing either variant is allocation-free (satellite fix over
+/// the PR 5 probe, which rebuilt the template `String` per lookup):
+/// fingerprint keys are `Copy` words, legacy keys are `Arc` bumps.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum ProbeKey {
+    Fp {
+        prune: bool,
+        shape: u32,
+        mapped: u32,
+        template: u32,
+    },
+    Str(Arc<str>, Arc<str>),
+}
+
+impl ProbeKey {
+    fn new(state: &StateKey, template: &TemplateKey) -> ProbeKey {
+        match (state, template) {
+            (
+                &StateKey::Fp {
+                    prune,
+                    shape,
+                    mapped,
+                },
+                &TemplateKey::Id(template),
+            ) => ProbeKey::Fp {
+                prune,
+                shape,
+                mapped,
+                template,
+            },
+            (StateKey::Str(s), TemplateKey::Str(t)) => ProbeKey::Str(s.clone(), t.clone()),
+            _ => unreachable!("state and template keys always share the cache's key mode"),
+        }
+    }
+}
 
 /// The outcome of one cached extension: the child triple on success, the
 /// rejection reason otherwise.
@@ -50,11 +150,12 @@ use std::sync::{Arc, Mutex};
 /// different depths in different nests' sequences).
 #[derive(Clone, Debug)]
 pub(crate) enum CachedOutcome {
-    /// Legal: the child's shape, mapped set, and pre-rendered state key.
+    /// Legal: the child's shape, mapped set (interned — shared across
+    /// every job that hits this entry), and ready-made state key.
     Legal {
-        shape: LoopNest,
-        mapped: DepSet,
-        key: Arc<str>,
+        shape: Arc<LoopNest>,
+        mapped: Arc<DepSet>,
+        key: StateKey,
     },
     /// Illegal, with the reason (step index unset; re-stamped on replay).
     Illegal(IllegalReason),
@@ -76,32 +177,91 @@ pub struct SharedCacheStats {
     pub evictions: u64,
     /// Entries currently resident.
     pub entries: u64,
+    /// Map probes (`hits + misses`, tracked separately so the key-path
+    /// cost is directly observable as `legality/key/probes`).
+    pub key_probes: u64,
+    /// Distinct values resident across the three interner pools
+    /// (shapes + mapped sets + templates); 0 in `Display` mode.
+    pub interned_values: u64,
+    /// Interning requests answered by an existing entry (storage shared).
+    pub interner_hits: u64,
+    /// Exact-equality comparisons run on fingerprint-bucket candidates.
+    pub interner_verifies: u64,
+    /// Verifies that failed: two distinct values shared a 128-bit
+    /// fingerprint. Expected to stay 0 in practice.
+    pub interner_collisions: u64,
 }
 
 impl fmt::Display for SharedCacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} hits ({} cross-job), {} misses, {} inserts, {} evictions, {} resident",
-            self.hits, self.cross_hits, self.misses, self.inserts, self.evictions, self.entries
+            "{} hits ({} cross-job), {} misses, {} inserts, {} evictions, {} resident; \
+             {} probes, {} interned ({} pool hits, {} verifies, {} collisions)",
+            self.hits,
+            self.cross_hits,
+            self.misses,
+            self.inserts,
+            self.evictions,
+            self.entries,
+            self.key_probes,
+            self.interned_values,
+            self.interner_hits,
+            self.interner_verifies,
+            self.interner_collisions,
+        )
+    }
+}
+
+/// The three interner pools backing fingerprint-mode keys.
+#[derive(Default)]
+struct Pools {
+    shapes: Interner<LoopNest>,
+    deps: Interner<DepSet>,
+    templates: Interner<Template>,
+}
+
+impl Pools {
+    fn stats(&self) -> (u64, u64, u64, u64) {
+        let mut total = InternerStats::default();
+        for s in [
+            self.shapes.stats(),
+            self.deps.stats(),
+            self.templates.stats(),
+        ] {
+            total.len += s.len;
+            total.hits += s.hits;
+            total.verifies += s.verifies;
+            total.collision_misses += s.collision_misses;
+        }
+        (
+            total.len,
+            total.hits,
+            total.verifies,
+            total.collision_misses,
         )
     }
 }
 
 struct Inner {
-    map: Mutex<HashMap<(Arc<str>, String), Entry>>,
+    map: Mutex<HashMap<ProbeKey, Entry>>,
+    pools: Mutex<Pools>,
+    mode: KeyMode,
     capacity: usize,
     hits: AtomicU64,
     cross_hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
     evictions: AtomicU64,
+    key_probes: AtomicU64,
 }
 
 struct Entry {
     outcome: CachedOutcome,
     /// The job that paid for this entry (see [`SeqState::with_shared`]'s
     /// owner tag); hits from any other owner count as cross-job.
+    ///
+    /// [`SeqState::with_shared`]: crate::SeqState::with_shared
     owner: u64,
 }
 
@@ -147,6 +307,7 @@ impl fmt::Debug for SharedLegalityCache {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SharedLegalityCache")
             .field("capacity", &self.inner.capacity)
+            .field("mode", &self.inner.mode)
             .field("stats", &self.stats())
             .finish()
     }
@@ -162,28 +323,44 @@ impl SharedLegalityCache {
     /// Default entry capacity before a generational sweep.
     pub const DEFAULT_CAPACITY: usize = 1 << 16;
 
-    /// A cache with the default capacity.
+    /// A cache with the default capacity and fingerprint keys.
     pub fn new() -> SharedLegalityCache {
         SharedLegalityCache::with_capacity(SharedLegalityCache::DEFAULT_CAPACITY)
     }
 
-    /// A cache holding at most `capacity` entries (minimum 1); inserting
-    /// past the bound drops the whole resident generation first.
+    /// A fingerprint-keyed cache holding at most `capacity` entries
+    /// (minimum 1); inserting past the bound drops the whole resident
+    /// generation first.
     pub fn with_capacity(capacity: usize) -> SharedLegalityCache {
+        SharedLegalityCache::with_capacity_and_mode(capacity, KeyMode::default())
+    }
+
+    /// A cache with an explicit [`KeyMode`] (legacy `Display` keys exist
+    /// for representation benchmarking; results are identical).
+    pub fn with_capacity_and_mode(capacity: usize, mode: KeyMode) -> SharedLegalityCache {
         SharedLegalityCache {
             inner: Arc::new(Inner {
                 map: Mutex::new(HashMap::new()),
+                pools: Mutex::new(Pools::default()),
+                mode,
                 capacity: capacity.max(1),
                 hits: AtomicU64::new(0),
                 cross_hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
                 inserts: AtomicU64::new(0),
                 evictions: AtomicU64::new(0),
+                key_probes: AtomicU64::new(0),
             }),
         }
     }
 
-    /// Renders the exact state key for a `(prune, shape, mapped)` triple.
+    /// The configured key mode.
+    pub fn key_mode(&self) -> KeyMode {
+        self.inner.mode
+    }
+
+    /// Renders the legacy exact state key for a `(prune, shape, mapped)`
+    /// triple.
     pub(crate) fn state_key(prune: bool, shape: &LoopNest, mapped: &DepSet) -> Arc<str> {
         Arc::from(format!("p{}|{shape}|{mapped}", u8::from(prune)))
     }
@@ -191,29 +368,107 @@ impl SharedLegalityCache {
     /// A poisoned lock only means another thread panicked mid-insert; the
     /// map itself is always a valid (possibly partial) memo table, so
     /// keep serving rather than propagate the panic into every job.
-    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<(Arc<str>, String), Entry>> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<ProbeKey, Entry>> {
         self.inner
             .map
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
-    /// Looks up `(state_key, template_key)`, counting a hit (and a
-    /// cross-job hit when the depositor differs from `owner`) or a miss.
+    fn lock_pools(&self) -> std::sync::MutexGuard<'_, Pools> {
+        self.inner
+            .pools
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Computes a state's key under this cache's mode, interning the
+    /// shape and mapped set in fingerprint mode. Returns the key plus the
+    /// canonical (pool-shared) `Arc`s — callers should adopt them so
+    /// structurally identical states across jobs share one allocation.
+    ///
+    /// This is the **only** place state-key cost is paid: once per new
+    /// state, never per probe.
+    pub(crate) fn intern_state(
+        &self,
+        prune: bool,
+        shape: Arc<LoopNest>,
+        mapped: Arc<DepSet>,
+    ) -> (StateKey, Arc<LoopNest>, Arc<DepSet>) {
+        match self.inner.mode {
+            KeyMode::Display => {
+                let key = StateKey::Str(SharedLegalityCache::state_key(prune, &shape, &mapped));
+                (key, shape, mapped)
+            }
+            KeyMode::Fingerprint => {
+                let mut pools = self.lock_pools();
+                let s = pools.shapes.intern_arc(shape);
+                let d = pools.deps.intern_arc(mapped);
+                (
+                    StateKey::Fp {
+                        prune,
+                        shape: s.id,
+                        mapped: d.id,
+                    },
+                    s.value,
+                    d.value,
+                )
+            }
+        }
+    }
+
+    /// Computes a template's key under this cache's mode (interned id or
+    /// rendered string). Called once per extension, shared by the lookup
+    /// and any subsequent insert.
+    pub(crate) fn template_key(&self, template: &Template) -> TemplateKey {
+        match self.inner.mode {
+            KeyMode::Display => TemplateKey::Str(Arc::from(template.to_string())),
+            KeyMode::Fingerprint => {
+                // `intern_ref` clones only on first sight of a template;
+                // re-probes of a known template allocate nothing.
+                let mut pools = self.lock_pools();
+                TemplateKey::Id(pools.templates.intern_ref(template).id)
+            }
+        }
+    }
+
+    /// Looks up `(state, template)`, counting a hit (and a cross-job hit
+    /// when the depositor differs from `owner`) or a miss.
+    ///
+    /// In fingerprint mode the probe key is a few `Copy` words and this
+    /// path performs **no allocation**; interned ids are exact, so no
+    /// per-hit re-verification is needed either, and a hit hands back the
+    /// interned `Arc`s (a refcount bump, shared storage). In `Display`
+    /// mode a hit *materializes* the stored shape and mapped set — a full
+    /// deep copy per hit, exactly what the PR 5 representation paid by
+    /// storing owned values in every entry — so the deep-search bench
+    /// rows compare the two representations' true replay costs.
     pub(crate) fn lookup(
         &self,
-        state_key: &Arc<str>,
-        template_key: &str,
+        state: &StateKey,
+        template: &TemplateKey,
         owner: u64,
     ) -> Option<CachedOutcome> {
+        self.inner.key_probes.fetch_add(1, Ordering::Relaxed);
+        let probe = ProbeKey::new(state, template);
         let map = self.lock();
-        match map.get(&(state_key.clone(), template_key.to_string())) {
+        match map.get(&probe) {
             Some(entry) => {
                 self.inner.hits.fetch_add(1, Ordering::Relaxed);
                 if entry.owner != owner {
                     self.inner.cross_hits.fetch_add(1, Ordering::Relaxed);
                 }
-                Some(entry.outcome.clone())
+                let outcome = match (self.inner.mode, &entry.outcome) {
+                    (KeyMode::Display, CachedOutcome::Legal { shape, mapped, key }) => {
+                        CachedOutcome::Legal {
+                            shape: Arc::new(LoopNest::clone(shape)),
+                            mapped: Arc::new(DepSet::clone(mapped)),
+                            key: key.clone(),
+                        }
+                    }
+                    _ => entry.outcome.clone(),
+                };
+                Some(outcome)
             }
             None => {
                 self.inner.misses.fetch_add(1, Ordering::Relaxed);
@@ -226,11 +481,12 @@ impl SharedLegalityCache {
     /// generation first if the table is full.
     pub(crate) fn insert(
         &self,
-        state_key: Arc<str>,
-        template_key: String,
+        state: StateKey,
+        template: TemplateKey,
         outcome: CachedOutcome,
         owner: u64,
     ) {
+        let key = ProbeKey::new(&state, &template);
         let mut map = self.lock();
         if map.len() >= self.inner.capacity {
             self.inner
@@ -238,14 +494,16 @@ impl SharedLegalityCache {
                 .fetch_add(map.len() as u64, Ordering::Relaxed);
             map.clear();
         }
-        map.insert((state_key, template_key), Entry { outcome, owner });
+        map.insert(key, Entry { outcome, owner });
         self.inner.inserts.fetch_add(1, Ordering::Relaxed);
     }
 
     /// A consistent snapshot of the counters plus the resident entry
-    /// count.
+    /// count and interner-pool totals.
     pub fn stats(&self) -> SharedCacheStats {
         let entries = self.lock().len() as u64;
+        let (interned_values, interner_hits, interner_verifies, interner_collisions) =
+            self.lock_pools().stats();
         SharedCacheStats {
             hits: self.inner.hits.load(Ordering::Relaxed),
             cross_hits: self.inner.cross_hits.load(Ordering::Relaxed),
@@ -253,6 +511,11 @@ impl SharedLegalityCache {
             inserts: self.inner.inserts.load(Ordering::Relaxed),
             evictions: self.inner.evictions.load(Ordering::Relaxed),
             entries,
+            key_probes: self.inner.key_probes.load(Ordering::Relaxed),
+            interned_values,
+            interner_hits,
+            interner_verifies,
+            interner_collisions,
         }
     }
 
@@ -287,10 +550,9 @@ mod tests {
         (nest, DepSet::from_distances(&[&[1, 0], &[0, 1]]))
     }
 
-    #[test]
-    fn replay_is_bit_identical_to_recompute() {
+    fn replay_is_bit_identical_in(mode: KeyMode) {
         let (nest, deps) = stencil();
-        let cache = SharedLegalityCache::new();
+        let cache = SharedLegalityCache::with_capacity_and_mode(1 << 16, mode);
         let plain = SeqState::root(&nest, &deps);
         let shared = SeqState::root(&nest, &deps).with_shared(cache.clone(), 0);
         let replayed = SeqState::root(&nest, &deps).with_shared(cache.clone(), 1);
@@ -308,6 +570,42 @@ mod tests {
         assert_eq!(stats.cross_hits, 1);
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.inserts, 1);
+        assert_eq!(stats.key_probes, 2);
+    }
+
+    #[test]
+    fn replay_is_bit_identical_to_recompute() {
+        replay_is_bit_identical_in(KeyMode::Fingerprint);
+    }
+
+    #[test]
+    fn replay_is_bit_identical_in_legacy_display_mode() {
+        replay_is_bit_identical_in(KeyMode::Display);
+    }
+
+    #[test]
+    fn fingerprint_and_display_modes_agree() {
+        let (nest, deps) = stencil();
+        let fp = SharedLegalityCache::with_capacity_and_mode(1 << 16, KeyMode::Fingerprint);
+        let legacy = SharedLegalityCache::with_capacity_and_mode(1 << 16, KeyMode::Display);
+        let templates = vec![
+            Template::unimodular(irlt_unimodular::IntMatrix::skew(2, 0, 1, 1)).unwrap(),
+            Template::unimodular(irlt_unimodular::IntMatrix::interchange(2, 0, 1)).unwrap(),
+            Template::parallelize(vec![false, true]),
+        ];
+        let mut a = SeqState::root(&nest, &deps).with_shared(fp.clone(), 0);
+        let mut b = SeqState::root(&nest, &deps).with_shared(legacy.clone(), 0);
+        for t in templates {
+            a = a.extend(t.clone()).unwrap();
+            b = b.extend(t).unwrap();
+            assert_eq!(a.mapped_deps(), b.mapped_deps());
+            assert_eq!(a.shape(), b.shape());
+        }
+        // Same probe/hit profile, different key machinery.
+        let (sa, sb) = (fp.stats(), legacy.stats());
+        assert_eq!((sa.hits, sa.misses), (sb.hits, sb.misses));
+        assert!(sa.interned_values > 0);
+        assert_eq!(sb.interned_values, 0);
     }
 
     #[test]
@@ -369,11 +667,54 @@ mod tests {
     }
 
     #[test]
+    fn interned_state_keys_separate_prune_modes_and_shapes() {
+        let (nest, deps) = stencil();
+        let other = parse_nest("do i = 1, n\n a(i) = 0\nenddo").unwrap();
+        let cache = SharedLegalityCache::new();
+        let mk = |prune: bool, shape: &LoopNest| {
+            cache
+                .intern_state(prune, Arc::new(shape.clone()), Arc::new(deps.clone()))
+                .0
+        };
+        let k1 = mk(false, &nest);
+        let k2 = mk(true, &nest);
+        let k3 = mk(false, &other);
+        assert_ne!(k1, k2);
+        assert_ne!(k1, k3);
+        // Re-interning the same state yields the identical key and shares
+        // the pooled storage.
+        assert_eq!(k1, mk(false, &nest));
+        let stats = cache.stats();
+        assert!(stats.interner_hits > 0, "{stats}");
+        assert_eq!(stats.interner_collisions, 0);
+    }
+
+    #[test]
+    fn cross_job_hits_share_interned_storage() {
+        let (nest, deps) = stencil();
+        let cache = SharedLegalityCache::new();
+        let t = Template::unimodular(irlt_unimodular::IntMatrix::skew(2, 0, 1, 1)).unwrap();
+        let a = SeqState::root(&nest, &deps)
+            .with_shared(cache.clone(), 0)
+            .extend(t.clone())
+            .unwrap();
+        let b = SeqState::root(&nest, &deps)
+            .with_shared(cache.clone(), 1)
+            .extend(t)
+            .unwrap();
+        // The replayed child points at the very same allocations the
+        // computing job deposited.
+        assert!(Arc::ptr_eq(a.shape_arc(), b.shape_arc()));
+        assert!(Arc::ptr_eq(a.mapped_arc(), b.mapped_arc()));
+    }
+
+    #[test]
     fn debug_and_display_render_stats() {
         let cache = SharedLegalityCache::with_capacity(8);
         assert!(format!("{cache:?}").contains("capacity: 8"));
         assert!(cache.stats().to_string().contains("0 hits"));
         assert!(cache.is_empty());
         assert_eq!(cache.capacity(), 8);
+        assert_eq!(cache.key_mode(), KeyMode::Fingerprint);
     }
 }

@@ -126,7 +126,7 @@ impl fmt::Display for Permutation {
 ///
 /// Construct via the validating constructors ([`Template::unimodular`],
 /// [`Template::block`], …); the fields are then guaranteed well-formed.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Template {
     /// `Unimodular(n, M)`: apply the unimodular matrix `M` to the
     /// iteration space.
@@ -366,6 +366,14 @@ fn check_range(n: usize, i: usize, j: usize) -> Result<(), TemplateError> {
         Ok(())
     } else {
         Err(TemplateError::BadRange { i, j, n })
+    }
+}
+
+/// Structural fingerprint over the derived [`Hash`] — used by the shared
+/// legality cache's template interner ([`crate::SharedLegalityCache`]).
+impl irlt_dependence::Fingerprint128 for Template {
+    fn fingerprint128(&self) -> u128 {
+        irlt_dependence::fp128(self)
     }
 }
 

@@ -1,0 +1,342 @@
+//! Bit-packed dependence vectors: the legality test on machine words.
+//!
+//! The paper's whole pitch is that iteration-reordering legality is a
+//! *cheap mechanical test* over dependence vectors (§3.2). The boxed
+//! representation — `DepVector(Vec<DepElem>)` — makes that test walk a
+//! heap allocation per vector and branch per entry. This module packs a
+//! vector into at most two `u64` words plus three precomputed sign-class
+//! bitmasks, so the lexicographic tests become a handful of bit
+//! operations with **no memory traversal at all**.
+//!
+//! # Encoding
+//!
+//! Each entry takes one byte (lane `k` = bits `8k..8k+8` of
+//! `words[k / 8]`):
+//!
+//! | code | meaning |
+//! |---|---|
+//! | `0..=5` | the six [`Dir`] values, in [`Dir::ALL`] order |
+//! | [`ESCAPE`] (6) | reserved — never produced; `pack` returns `None` instead |
+//! | `7..=255` | exact distance `x ∈ [-124, 124]` as `x + 131` |
+//!
+//! Six direction values need only 3 bits, but an exact distance does
+//! not fit 3 bits at all, and the mixed 8-bit lane keeps both in the
+//! same word while still packing the common `depth ≤ 8` vector into a
+//! single `u64`. Vectors that are too long (`> 16` entries) or carry a
+//! distance outside `±124` simply don't pack ([`PackedDepVector::pack`]
+//! returns `None`) and stay on the exact boxed path — packing is a
+//! lossless accelerator, never an approximation.
+//!
+//! # O(1) lexicographic tests
+//!
+//! For each entry we precompute three bits — *can this entry be
+//! negative / zero / positive?* — into `u16` masks. "Can the vector be
+//! lexicographically negative" (the §3.2 illegality witness) is then:
+//! find the first entry that **cannot** be zero (`trailing_zeros` of
+//! `!zero`), and ask whether any entry at or before it can be negative
+//! (one `AND` against a prefix mask). No loop, no branches per entry.
+
+use crate::vector::{DepElem, DepVector, Dir};
+
+/// Reserved lane code (never produced by [`PackedDepVector::pack`]).
+pub const ESCAPE: u8 = 6;
+/// Largest |distance| that packs into a lane.
+pub const MAX_DIST: i64 = 124;
+/// Bias added to an in-range distance to form its lane code.
+const DIST_BIAS: i64 = 131;
+/// Most entries a packed vector can hold (two words × 8 lanes).
+pub const MAX_LEN: usize = 16;
+
+/// Lane codes 0..=5 are `Dir::ALL` order.
+const DIR_TABLE: [Dir; 6] = Dir::ALL;
+
+#[inline]
+fn encode(e: DepElem) -> Option<u8> {
+    match e {
+        DepElem::Dir(d) => Some(match d {
+            Dir::Pos => 0,
+            Dir::Neg => 1,
+            Dir::NonNeg => 2,
+            Dir::NonPos => 3,
+            Dir::NonZero => 4,
+            Dir::Any => 5,
+        }),
+        DepElem::Dist(x) if (-MAX_DIST..=MAX_DIST).contains(&x) => Some((x + DIST_BIAS) as u8),
+        DepElem::Dist(_) => None,
+    }
+}
+
+#[inline]
+fn decode(code: u8) -> DepElem {
+    if code < 6 {
+        DepElem::Dir(DIR_TABLE[code as usize])
+    } else {
+        debug_assert!(code != ESCAPE, "escape lane in a packed vector");
+        DepElem::Dist(code as i64 - DIST_BIAS)
+    }
+}
+
+/// A [`DepVector`] of at most [`MAX_LEN`] entries packed into two `u64`
+/// words, with per-entry sign-class masks for O(1) legality tests.
+///
+/// Equality and hashing are word-wise, and agree with [`DepVector`]
+/// equality on packable vectors: the encoding is injective, so
+/// `pack(a) == pack(b) ⟺ a == b`.
+///
+/// ```
+/// use irlt_dependence::packed::PackedDepVector;
+/// use irlt_dependence::{DepElem, DepVector, Dir};
+///
+/// let v = DepVector::new(vec![DepElem::ZERO, DepElem::Dir(Dir::NonZero)]);
+/// let p = PackedDepVector::pack(&v).unwrap();
+/// assert_eq!(p.unpack(), v);
+/// assert_eq!(p.can_be_lex_negative(), v.can_be_lex_negative());
+///
+/// // Out-of-range distances refuse to pack rather than approximate.
+/// assert!(PackedDepVector::pack(&DepVector::distances(&[1000])).is_none());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PackedDepVector {
+    words: [u64; 2],
+    len: u8,
+    /// Bit `k` set ⟺ entry `k` can take a strictly negative value.
+    neg: u16,
+    /// Bit `k` set ⟺ entry `k` can take the value zero.
+    zero: u16,
+    /// Bit `k` set ⟺ entry `k` can take a strictly positive value.
+    pos: u16,
+}
+
+impl PackedDepVector {
+    /// Packs `v`, or `None` if it is too long or holds an out-of-range
+    /// distance (the caller keeps the boxed representation then).
+    pub fn pack(v: &DepVector) -> Option<PackedDepVector> {
+        let elems = v.elems();
+        if elems.len() > MAX_LEN {
+            return None;
+        }
+        let mut words = [0u64; 2];
+        let (mut neg, mut zero, mut pos) = (0u16, 0u16, 0u16);
+        for (k, &e) in elems.iter().enumerate() {
+            let code = encode(e)?;
+            words[k / 8] |= (code as u64) << ((k % 8) * 8);
+            let bit = 1u16 << k;
+            if e.can_neg() {
+                neg |= bit;
+            }
+            if e.can_zero() {
+                zero |= bit;
+            }
+            if e.can_pos() {
+                pos |= bit;
+            }
+        }
+        Some(PackedDepVector {
+            words,
+            len: elems.len() as u8,
+            neg,
+            zero,
+            pos,
+        })
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True for the empty vector.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The two packed words (low entries in `words()[0]`).
+    pub fn words(&self) -> [u64; 2] {
+        self.words
+    }
+
+    /// Decodes entry `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.len()`.
+    pub fn entry(&self, k: usize) -> DepElem {
+        assert!(k < self.len(), "entry {k} out of range (len {})", self.len);
+        decode(((self.words[k / 8] >> ((k % 8) * 8)) & 0xff) as u8)
+    }
+
+    /// Expands back to the boxed representation (exact round-trip).
+    pub fn unpack(&self) -> DepVector {
+        DepVector::new((0..self.len()).map(|k| self.entry(k)).collect())
+    }
+
+    #[inline]
+    fn len_mask(&self) -> u16 {
+        if self.len >= 16 {
+            u16::MAX
+        } else {
+            (1u16 << self.len) - 1
+        }
+    }
+
+    /// Prefix of entries that can lead a first-nonzero decision: every
+    /// entry up to and including the first one that cannot be zero.
+    #[inline]
+    fn lex_prefix(&self) -> u16 {
+        let live = self.len_mask();
+        let blockers = !self.zero & live;
+        if blockers == 0 {
+            live
+        } else {
+            let first = blockers.trailing_zeros(); // 0..=15
+            if first >= 15 {
+                live
+            } else {
+                ((1u16 << (first + 1)) - 1) & live
+            }
+        }
+    }
+
+    /// O(1) §3.2 illegality witness: can some tuple in `Tuples(d)` be
+    /// lexicographically negative? Mirrors
+    /// [`DepVector::can_be_lex_negative`] exactly.
+    #[inline]
+    pub fn can_be_lex_negative(&self) -> bool {
+        self.neg & self.lex_prefix() != 0
+    }
+
+    /// O(1) mirror of [`DepVector::can_be_lex_positive`].
+    #[inline]
+    pub fn can_be_lex_positive(&self) -> bool {
+        self.pos & self.lex_prefix() != 0
+    }
+
+    /// O(1) mirror of [`DepVector::can_be_zero`]: every entry can be zero.
+    #[inline]
+    pub fn can_be_zero(&self) -> bool {
+        self.zero == self.len_mask()
+    }
+
+    /// O(1) mirror of [`DepVector::always_lex_positive`].
+    #[inline]
+    pub fn always_lex_positive(&self) -> bool {
+        !self.can_be_lex_negative() && !self.can_be_zero()
+    }
+
+    /// Folds the packed words into a 64-bit hash without touching the
+    /// heap (used by [`crate::DepSet`]'s dedup index).
+    #[inline]
+    pub fn word_hash(&self) -> u64 {
+        // splitmix64-style: enough mixing for a bucket index, and
+        // injective inputs (words + len determine the vector exactly).
+        let mut x = self.words[0]
+            ^ self.words[1].rotate_left(29)
+            ^ ((self.len as u64) << 56)
+            ^ 0x9e37_79b9_7f4a_7c15;
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_elems() -> Vec<DepElem> {
+        let mut es: Vec<DepElem> = Dir::ALL.iter().map(|&d| DepElem::Dir(d)).collect();
+        for x in [-124, -3, -1, 0, 1, 2, 124] {
+            es.push(DepElem::Dist(x));
+        }
+        es
+    }
+
+    #[test]
+    fn roundtrip_every_elem_alone() {
+        for e in all_elems() {
+            let v = DepVector::new(vec![e]);
+            let p = PackedDepVector::pack(&v).expect("in-range entry must pack");
+            assert_eq!(p.unpack(), v);
+            assert_eq!(p.entry(0), e);
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_too_long() {
+        assert!(PackedDepVector::pack(&DepVector::distances(&[125])).is_none());
+        assert!(PackedDepVector::pack(&DepVector::distances(&[-125])).is_none());
+        assert!(PackedDepVector::pack(&DepVector::distances(&[i64::MAX])).is_none());
+        let long = DepVector::new(vec![DepElem::ZERO; MAX_LEN + 1]);
+        assert!(PackedDepVector::pack(&long).is_none());
+        let at_limit = DepVector::new(vec![DepElem::ZERO; MAX_LEN]);
+        assert!(PackedDepVector::pack(&at_limit).is_some());
+    }
+
+    #[test]
+    fn escape_code_is_never_produced() {
+        // Codes 0..=5 are directions, 7..=255 are distances -124..=124;
+        // nothing maps to 6.
+        for e in all_elems() {
+            assert_ne!(encode(e), Some(ESCAPE));
+        }
+        assert_eq!(encode(DepElem::Dist(-MAX_DIST)), Some(7));
+        assert_eq!(encode(DepElem::Dist(MAX_DIST)), Some(255));
+    }
+
+    #[test]
+    fn lex_tests_match_boxed_on_dense_small_vectors() {
+        // Exhaustive over all 13-element palettes at lengths 1..=3:
+        // 13 + 169 + 2197 vectors, every lex predicate compared.
+        let palette = all_elems();
+        let mut stack = vec![Vec::new()];
+        while let Some(prefix) = stack.pop() {
+            if !prefix.is_empty() {
+                let v = DepVector::new(prefix.clone());
+                let p = PackedDepVector::pack(&v).unwrap();
+                assert_eq!(p.can_be_lex_negative(), v.can_be_lex_negative(), "{v}");
+                assert_eq!(p.can_be_lex_positive(), v.can_be_lex_positive(), "{v}");
+                assert_eq!(p.can_be_zero(), v.can_be_zero(), "{v}");
+                assert_eq!(p.always_lex_positive(), v.always_lex_positive(), "{v}");
+            }
+            if prefix.len() < 3 {
+                for &e in &palette {
+                    let mut next = prefix.clone();
+                    next.push(e);
+                    stack.push(next);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn equality_is_injective() {
+        let a = PackedDepVector::pack(&DepVector::distances(&[1, 0])).unwrap();
+        let b = PackedDepVector::pack(&DepVector::distances(&[1, 0])).unwrap();
+        let c = PackedDepVector::pack(&DepVector::distances(&[0, 1])).unwrap();
+        let d = PackedDepVector::pack(&DepVector::distances(&[1])).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d); // same words, different length
+        assert_ne!(a.word_hash(), d.word_hash());
+    }
+
+    #[test]
+    fn sixteen_entry_vector_uses_both_words() {
+        let elems: Vec<DepElem> = (0..16)
+            .map(|k| {
+                if k % 2 == 0 {
+                    DepElem::POS
+                } else {
+                    DepElem::Dist(k as i64)
+                }
+            })
+            .collect();
+        let v = DepVector::new(elems);
+        let p = PackedDepVector::pack(&v).unwrap();
+        assert_ne!(p.words()[1], 0);
+        assert_eq!(p.unpack(), v);
+        assert_eq!(p.can_be_lex_negative(), v.can_be_lex_negative());
+    }
+}

@@ -4,6 +4,8 @@
 //! framework's dependence legality test is: *the transformed `D` must admit
 //! no lexicographically negative tuple* (§3.2).
 
+use crate::fingerprint::{Fingerprint128, Fp128Hasher};
+use crate::packed::PackedDepVector;
 use crate::vector::{DepElem, DepVector, Dir};
 use irlt_obs::Telemetry;
 use std::collections::hash_map::DefaultHasher;
@@ -31,6 +33,12 @@ use std::hash::{Hash, Hasher};
 #[derive(Clone, Default)]
 pub struct DepSet {
     vectors: Vec<DepVector>,
+    /// Bit-packed mirror of `vectors` (`None` where a member doesn't
+    /// pack — too long, or a distance outside ±124). The packed form is
+    /// the hot representation: legality tests, dedup hashing, and the
+    /// structural fingerprint all run on the words when available, and
+    /// the boxed vector stays authoritative for everything else.
+    packed: Vec<Option<PackedDepVector>>,
     /// Vector hash → indices into `vectors` (collision bucket). Exact
     /// equality is re-verified on lookup, so a 64-bit collision can never
     /// drop a genuinely distinct vector.
@@ -97,6 +105,18 @@ impl DepSet {
     ///
     /// Returns [`ArityMismatch`] if the arity differs from existing members.
     pub fn insert(&mut self, v: DepVector) -> Result<(), ArityMismatch> {
+        let packed = PackedDepVector::pack(&v);
+        self.insert_inner(v, packed)
+    }
+
+    /// Insert with the packed form already computed (so the mapping hot
+    /// path packs each image exactly once, for both the legality check
+    /// and the dedup hash).
+    fn insert_inner(
+        &mut self,
+        v: DepVector,
+        packed: Option<PackedDepVector>,
+    ) -> Result<(), ArityMismatch> {
         if let Some(first) = self.vectors.first() {
             if first.len() != v.len() {
                 return Err(ArityMismatch {
@@ -105,10 +125,23 @@ impl DepSet {
                 });
             }
         }
-        let bucket = self.index.entry(hash_vector(&v)).or_default();
-        if !bucket.iter().any(|&i| self.vectors[i as usize] == v) {
+        let hash = match &packed {
+            Some(p) => p.word_hash(),
+            None => hash_vector(&v),
+        };
+        let bucket = self.index.entry(hash).or_default();
+        // Packed equality is injective, so comparing words is exact when
+        // both sides pack; otherwise fall back to boxed comparison.
+        let duplicate = bucket
+            .iter()
+            .any(|&i| match (&packed, &self.packed[i as usize]) {
+                (Some(p), Some(q)) => p == q,
+                _ => self.vectors[i as usize] == v,
+            });
+        if !duplicate {
             bucket.push(u32::try_from(self.vectors.len()).expect("set size fits u32"));
             self.vectors.push(v);
+            self.packed.push(packed);
         }
         Ok(())
     }
@@ -143,19 +176,41 @@ impl DepSet {
         self.vectors.iter().any(|v| v.contains_tuple(tuple))
     }
 
+    /// Can member `i` be lexicographically negative? O(1) on the packed
+    /// words when the member packs, boxed scan otherwise.
+    #[inline]
+    fn member_can_be_lex_negative(&self, i: usize) -> bool {
+        match &self.packed[i] {
+            Some(p) => p.can_be_lex_negative(),
+            None => self.vectors[i].can_be_lex_negative(),
+        }
+    }
+
     /// The framework's dependence legality test: `Tuples(D)` contains no
-    /// lexicographically negative tuple.
+    /// lexicographically negative tuple. Runs on the packed words (a few
+    /// bit operations per member) wherever members pack.
     pub fn is_legal(&self) -> bool {
-        !self.vectors.iter().any(DepVector::can_be_lex_negative)
+        !(0..self.vectors.len()).any(|i| self.member_can_be_lex_negative(i))
     }
 
     /// The members that admit a lexicographically negative tuple (the
     /// witnesses reported when a transformation is rejected).
     pub fn lex_negative_witnesses(&self) -> Vec<&DepVector> {
-        self.vectors
-            .iter()
-            .filter(|v| v.can_be_lex_negative())
+        (0..self.vectors.len())
+            .filter(|&i| self.member_can_be_lex_negative(i))
+            .map(|i| &self.vectors[i])
             .collect()
+    }
+
+    /// The packed form of member `k` (`None` if that member doesn't
+    /// pack). Exposed for tests and diagnostics.
+    pub fn packed_member(&self, k: usize) -> Option<PackedDepVector> {
+        self.packed[k]
+    }
+
+    /// How many members are on the packed fast path.
+    pub fn packed_members(&self) -> usize {
+        self.packed.iter().filter(|p| p.is_some()).count()
     }
 
     /// Expands every summary direction (`≥ ≤ ≠ *`) into the equivalent set
@@ -379,10 +434,15 @@ impl DepSet {
         let mut out = DepSet::new();
         for v in &self.vectors {
             for m in f(v) {
-                if m.can_be_lex_negative() {
+                let packed = PackedDepVector::pack(&m);
+                let lex_negative = match &packed {
+                    Some(p) => p.can_be_lex_negative(),
+                    None => m.can_be_lex_negative(),
+                };
+                if lex_negative {
                     return Err(m);
                 }
-                out.insert(m).expect("uniform image arity");
+                out.insert_inner(m, packed).expect("uniform image arity");
             }
         }
         Ok(out)
@@ -423,7 +483,12 @@ impl DepSet {
             tel.record(&fanout_key, mapped.len() as u64);
             images += mapped.len() as u64;
             for m in mapped {
-                if m.can_be_lex_negative() {
+                let packed = PackedDepVector::pack(&m);
+                let lex_negative = match &packed {
+                    Some(p) => p.can_be_lex_negative(),
+                    None => m.can_be_lex_negative(),
+                };
+                if lex_negative {
                     tel.count("depmap/vectors_mapped", (k + 1) as u64);
                     tel.count(
                         "depmap/vectors_skipped",
@@ -433,7 +498,7 @@ impl DepSet {
                     tel.incr("depmap/failfast_short_circuits");
                     return Err(m);
                 }
-                out.insert(m).expect("uniform image arity");
+                out.insert_inner(m, packed).expect("uniform image arity");
             }
         }
         tel.count("depmap/vectors_mapped", self.vectors.len() as u64);
@@ -445,6 +510,34 @@ impl DepSet {
 
 fn self_insert_infallible(set: &mut DepSet, v: DepVector) {
     set.insert(v).expect("uniform arity by construction");
+}
+
+/// The structural fingerprint folds the packed words directly (one
+/// tagged absorb per member) and falls back to hashing the boxed vector
+/// for members that don't pack. Consistent with [`PartialEq`]: equal
+/// sets have identical member sequences, hence identical packed mirrors,
+/// hence equal fingerprints.
+impl Fingerprint128 for DepSet {
+    fn fingerprint128(&self) -> u128 {
+        let mut h = Fp128Hasher::new();
+        h.write_usize(self.vectors.len());
+        for (k, v) in self.vectors.iter().enumerate() {
+            match &self.packed[k] {
+                Some(p) => {
+                    let w = p.words();
+                    h.write_u8(1);
+                    h.write_u64(w[0]);
+                    h.write_u64(w[1]);
+                    h.write_u8(p.len() as u8);
+                }
+                None => {
+                    h.write_u8(0);
+                    v.hash(&mut h);
+                }
+            }
+        }
+        h.finish128()
+    }
 }
 
 impl fmt::Display for DepSet {
@@ -755,6 +848,40 @@ mod tests {
             .unwrap();
         assert_eq!(ok, d.try_map_vectors(|v| vec![v.clone()]).unwrap());
         assert_eq!(tel2.report().counter("depmap/failfast_short_circuits"), 0);
+    }
+
+    #[test]
+    fn packed_mirror_tracks_members() {
+        let mut d = DepSet::from_distances(&[&[1, 0], &[0, 1]]);
+        assert_eq!(d.packed_members(), 2);
+        assert_eq!(d.packed_member(0).unwrap().unpack(), d.vectors()[0]);
+        // An out-of-range distance stays on the boxed path, and legality
+        // still agrees with the boxed test.
+        d.insert(DepVector::distances(&[100_000, -1])).unwrap();
+        assert_eq!(d.packed_members(), 2);
+        assert!(d.packed_member(2).is_none());
+        assert!(d.is_legal());
+        d.insert(DepVector::distances(&[-100_000, 0])).unwrap();
+        assert!(!d.is_legal());
+        assert_eq!(d.lex_negative_witnesses().len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_is_structural() {
+        use crate::fingerprint::Fingerprint128;
+        let a = DepSet::from_distances(&[&[1, 0], &[0, 1]]);
+        let b = DepSet::from_distances(&[&[1, 0], &[0, 1]]);
+        let c = DepSet::from_distances(&[&[0, 1], &[1, 0]]); // order matters
+        let d = DepSet::from_distances(&[&[1, 0]]);
+        assert_eq!(a.fingerprint128(), b.fingerprint128());
+        assert_ne!(a.fingerprint128(), c.fingerprint128());
+        assert_ne!(a.fingerprint128(), d.fingerprint128());
+        // Unpackable members still fingerprint deterministically.
+        let big1 = DepSet::from_distances(&[&[1_000_000]]);
+        let big2 = DepSet::from_distances(&[&[1_000_000]]);
+        let big3 = DepSet::from_distances(&[&[1_000_001]]);
+        assert_eq!(big1.fingerprint128(), big2.fingerprint128());
+        assert_ne!(big1.fingerprint128(), big3.fingerprint128());
     }
 
     #[test]

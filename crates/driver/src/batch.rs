@@ -2,7 +2,7 @@
 
 use crate::job::{Job, JobResult, JobStatus};
 use crate::pool::WorkQueues;
-use irlt_core::{SharedCacheStats, SharedLegalityCache};
+use irlt_core::{KeyMode, SharedCacheStats, SharedLegalityCache};
 use irlt_dependence::analyze_dependences;
 use irlt_obs::{Json, Telemetry};
 use irlt_opt::{search, CancelToken, SearchConfig};
@@ -43,6 +43,11 @@ pub struct BatchConfig {
     pub incremental: bool,
     /// Subsumption pruning of cached dependence sets.
     pub prune: bool,
+    /// How shared-cache keys are represented (see [`KeyMode`]).
+    /// `Fingerprint` (the default) probes on interned ids with zero
+    /// allocation; `Display` keeps the legacy rendered-string keys for
+    /// apples-to-apples benchmarking. Results are bit-identical.
+    pub key_mode: KeyMode,
     /// One sink for the whole pool; disabled by default (no-op, and the
     /// batch is bit-identical with it on or off).
     pub telemetry: Telemetry,
@@ -57,6 +62,7 @@ impl Default for BatchConfig {
             sharding: Sharding::RoundRobin,
             incremental: true,
             prune: true,
+            key_mode: KeyMode::default(),
             telemetry: Telemetry::disabled(),
         }
     }
@@ -102,6 +108,17 @@ impl BatchResult {
                 ("inserts".into(), Json::Int(s.inserts as i64)),
                 ("evictions".into(), Json::Int(s.evictions as i64)),
                 ("entries".into(), Json::Int(s.entries as i64)),
+                ("key_probes".into(), Json::Int(s.key_probes as i64)),
+                ("interned".into(), Json::Int(s.interned_values as i64)),
+                ("interner_hits".into(), Json::Int(s.interner_hits as i64)),
+                (
+                    "interner_verifies".into(),
+                    Json::Int(s.interner_verifies as i64),
+                ),
+                (
+                    "interner_collisions".into(),
+                    Json::Int(s.interner_collisions as i64),
+                ),
             ]),
         };
         Json::Object(vec![
@@ -164,8 +181,9 @@ pub fn run_batch(jobs: &[Job], config: &BatchConfig) -> BatchResult {
     let tel = &config.telemetry;
     // The shared cache only serves the incremental engine (it memoizes
     // SeqState extensions); the scratch engine ignores it.
-    let cache = (config.shared_cache && config.incremental)
-        .then(|| SharedLegalityCache::with_capacity(config.cache_capacity));
+    let cache = (config.shared_cache && config.incremental).then(|| {
+        SharedLegalityCache::with_capacity_and_mode(config.cache_capacity, config.key_mode)
+    });
     let queues = WorkQueues::new(workers);
     for (k, _) in jobs.iter().enumerate() {
         match config.sharding {
@@ -234,6 +252,12 @@ pub fn run_batch(jobs: &[Job], config: &BatchConfig) -> BatchResult {
             tel.count("driver/cache/misses", s.misses);
             tel.count("driver/cache/inserts", s.inserts);
             tel.count("driver/cache/evictions", s.evictions);
+            // Key-representation counters (the `legality/key/probes`
+            // counter itself is incremented per-probe by `SeqState`).
+            tel.count("legality/key/verifies", s.interner_verifies);
+            tel.count("legality/key/collisions", s.interner_collisions);
+            tel.count("legality/key/interned", s.interned_values);
+            tel.count("legality/key/interner_hits", s.interner_hits);
         }
         tel.record_span("driver/batch", wall);
     }
@@ -339,6 +363,34 @@ mod tests {
             assert_eq!(a.best.score.to_bits(), b.best.score.to_bits());
             assert_eq!(a.explored, b.explored);
         }
+    }
+
+    #[test]
+    fn key_modes_agree_and_surface_in_json() {
+        let jobs = demo_corpus(8);
+        let fp = run_batch(&jobs, &serial());
+        let legacy = run_batch(
+            &jobs,
+            &BatchConfig {
+                key_mode: KeyMode::Display,
+                ..serial()
+            },
+        );
+        for (a, b) in fp.jobs.iter().zip(&legacy.jobs) {
+            assert_eq!(a.best.seq.to_string(), b.best.seq.to_string());
+            assert_eq!(a.best.score.to_bits(), b.best.score.to_bits());
+            assert_eq!(a.explored, b.explored);
+        }
+        let s = fp.cache.expect("cache on by default");
+        assert!(s.key_probes > 0, "{s}");
+        assert!(s.interned_values > 0, "{s}");
+        assert_eq!(s.interner_collisions, 0, "{s}");
+        // Legacy string keys never touch the interner pools.
+        let l = legacy.cache.expect("cache on by default");
+        assert_eq!(l.interned_values, 0, "{l}");
+        let j = fp.to_json();
+        assert!(j.get_path(&["cache", "key_probes"]).is_some());
+        assert!(j.get_path(&["cache", "interned"]).is_some());
     }
 
     #[test]

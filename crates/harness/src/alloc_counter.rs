@@ -1,0 +1,168 @@
+//! A counting global allocator for zero-allocation assertions.
+//!
+//! The legality hot path promises *no heap traffic* on a shared-cache
+//! probe (the whole point of interned fingerprint keys). Promises like
+//! that rot silently — a stray `to_string()` in a key constructor
+//! compiles fine and only shows up as a profile regression months
+//! later. This module makes the promise testable: install
+//! [`CountingAlloc`] as the `#[global_allocator]` of a dedicated
+//! integration-test binary, then wrap the code under scrutiny in
+//! [`count_allocations`] and assert on the exact number of heap
+//! allocations it performed.
+//!
+//! Use a *dedicated* test binary: `#[global_allocator]` is
+//! process-global, and the counter observes every thread. The test
+//! harness itself allocates (test names, captured output), so counts
+//! are only meaningful around code you bracket explicitly, on a
+//! single thread, with no other tests running concurrently (set
+//! `--test-threads=1` or keep the binary to one `#[test]`).
+//!
+//! ```ignore
+//! use irlt_harness::alloc_counter::{count_allocations, CountingAlloc};
+//!
+//! #[global_allocator]
+//! static ALLOC: CountingAlloc = CountingAlloc::new();
+//!
+//! #[test]
+//! fn probe_is_alloc_free() {
+//!     let (allocs, result) = count_allocations(|| hot_path());
+//!     assert_eq!(allocs, 0, "hot path allocated");
+//!     assert!(result.is_some());
+//! }
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide allocation counter: the system allocator plus two
+/// relaxed atomics. Counts `alloc`/`alloc_zeroed`/`realloc` calls (the
+/// events a "did this code touch the heap?" assertion cares about) and
+/// the bytes they requested; `dealloc` is deliberately not counted —
+/// dropping a pre-existing value is not new heap traffic.
+pub struct CountingAlloc {
+    allocs: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl CountingAlloc {
+    /// A fresh counter (all zeros). `const` so it can initialize a
+    /// `static` `#[global_allocator]`.
+    pub const fn new() -> CountingAlloc {
+        CountingAlloc {
+            allocs: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Heap allocations observed since process start.
+    pub fn allocations(&self) -> u64 {
+        self.allocs.load(Ordering::Relaxed)
+    }
+
+    /// Bytes requested by those allocations.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    fn note(&self, size: usize) {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(size as u64, Ordering::Relaxed);
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> CountingAlloc {
+        CountingAlloc::new()
+    }
+}
+
+// SAFETY: every method delegates directly to `System`, which upholds
+// the `GlobalAlloc` contract; the counter only adds relaxed atomic
+// increments, which cannot allocate or panic.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.note(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.note(layout.size());
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.note(new_size);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// The installed counting allocator, if the current binary registered
+/// one via [`install`]. Plain atomic pointer — no locking, no lazy
+/// init, safe to read from the allocator itself.
+static INSTALLED: std::sync::atomic::AtomicPtr<CountingAlloc> =
+    std::sync::atomic::AtomicPtr::new(std::ptr::null_mut());
+
+/// Registers `counter` as the counter [`count_allocations`] reads.
+/// Call once from the test binary that declared the
+/// `#[global_allocator]` static, before the first measurement.
+pub fn install(counter: &'static CountingAlloc) {
+    INSTALLED.store(
+        counter as *const CountingAlloc as *mut CountingAlloc,
+        Ordering::Release,
+    );
+}
+
+/// Runs `f` and returns `(heap allocations during f, f's result)`.
+///
+/// Requires [`install`] to have been called in this process (i.e. the
+/// binary declared a [`CountingAlloc`] as its `#[global_allocator]`);
+/// panics otherwise, because silently returning 0 would make every
+/// zero-allocation assertion pass vacuously.
+pub fn count_allocations<T>(f: impl FnOnce() -> T) -> (u64, T) {
+    let ptr = INSTALLED.load(Ordering::Acquire);
+    assert!(
+        !ptr.is_null(),
+        "count_allocations: no CountingAlloc installed; declare one as \
+         #[global_allocator] and call alloc_counter::install(&ALLOC)"
+    );
+    // SAFETY: `install` only ever stores a `&'static CountingAlloc`,
+    // so the pointer is valid for the rest of the process.
+    #[allow(unsafe_code)]
+    let counter: &'static CountingAlloc = unsafe { &*ptr };
+    let before = counter.allocations();
+    let result = f();
+    (counter.allocations() - before, result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // No #[global_allocator] in the unit-test binary — exercise the
+    // counter directly.
+    #[test]
+    fn counter_counts_and_defaults_to_zero() {
+        let c = CountingAlloc::new();
+        assert_eq!(c.allocations(), 0);
+        assert_eq!(c.bytes(), 0);
+        c.note(16);
+        c.note(32);
+        assert_eq!(c.allocations(), 2);
+        assert_eq!(c.bytes(), 48);
+        let d = CountingAlloc::default();
+        assert_eq!(d.allocations(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no CountingAlloc installed")]
+    fn measuring_without_install_panics() {
+        // `install` is never called in this unit-test binary, so the
+        // guard must fire instead of vacuously reporting 0.
+        let _ = count_allocations(|| 1 + 1);
+    }
+}

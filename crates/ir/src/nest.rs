@@ -146,7 +146,7 @@ impl fmt::Display for Loop {
 /// assert_eq!(nest.depth(), 2);
 /// nest.validate().unwrap();
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct LoopNest {
     loops: Vec<Loop>,
     inits: Vec<Stmt>,

@@ -26,10 +26,8 @@ use irlt_core::{
 use irlt_dependence::DepSet;
 use irlt_ir::LoopNest;
 use irlt_obs::Telemetry;
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashSet;
 use std::fmt;
-use std::hash::Hasher;
 use std::time::Instant;
 
 /// Search configuration.
@@ -327,21 +325,13 @@ fn expand(
     out
 }
 
-/// Structural fingerprint of a shape for beam dedup: the `Display`
-/// rendering (bounds, kinds, inits) streamed straight into a hasher — no
-/// per-candidate `String` allocation.
-fn shape_fingerprint(shape: &LoopNest) -> u64 {
-    struct HashWriter(DefaultHasher);
-    impl fmt::Write for HashWriter {
-        fn write_str(&mut self, s: &str) -> fmt::Result {
-            self.0.write(s.as_bytes());
-            Ok(())
-        }
-    }
-    let mut w = HashWriter(DefaultHasher::new());
-    use fmt::Write as _;
-    write!(w, "{shape}").expect("nest formatting is infallible");
-    w.0.finish()
+/// Structural fingerprint of a shape for beam dedup: the 128-bit
+/// structural hash the shared cache keys on (no `Display` streaming, no
+/// per-candidate allocation, and collisions negligible at 128 bits —
+/// a silent collision here would silently drop a distinct candidate).
+fn shape_fingerprint(shape: &LoopNest) -> u128 {
+    use irlt_dependence::Fingerprint128 as _;
+    shape.fingerprint128()
 }
 
 /// Searches for the best legal transformation of `nest` under `goal`.
@@ -410,7 +400,7 @@ pub fn search(nest: &LoopNest, deps: &DepSet, goal: &Goal, config: &SearchConfig
     let mut explored = 0usize;
     let mut legal = 0usize;
     let mut timed_out = false;
-    let mut seen_shapes: HashSet<u64> = HashSet::new();
+    let mut seen_shapes: HashSet<u128> = HashSet::new();
 
     for depth in 0..config.max_steps {
         if config

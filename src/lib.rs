@@ -62,8 +62,8 @@ pub mod prelude {
         simulate_nest, simulate_nest_observed, AddressMap, Cache, CacheConfig, Order,
     };
     pub use irlt_core::{
-        catalog, BoundsMatrices, ExtendError, KernelTemplate, LegalityCache, LegalityReport,
-        Permutation, SeqState, SharedLegalityCache, Template, TransformSeq,
+        catalog, BoundsMatrices, ExtendError, KernelTemplate, KeyMode, LegalityCache,
+        LegalityReport, Permutation, SeqState, SharedLegalityCache, Template, TransformSeq,
     };
     pub use irlt_dependence::{
         analyze_dependences, analyze_dependences_detailed, DepElem, DepSet, DepVector, Dir,

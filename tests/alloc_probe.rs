@@ -1,0 +1,74 @@
+//! Satellite 5 (PR 6): the shared-cache probe path is allocation-free.
+//!
+//! The tentpole claim is that rekeying the [`SharedLegalityCache`] on
+//! interned fingerprint ids removes *all* heap traffic from the probe
+//! path — no rendered state strings, no template `to_string`, no key
+//! clones. This binary pins that claim with a counting
+//! `#[global_allocator]` ([`irlt_harness::alloc_counter`]): a warmed
+//! probe in `Fingerprint` mode must perform **zero** allocations, for
+//! a hit and for a miss, while the legacy `Display` mode (kept for
+//! apples-to-apples benchmarking) demonstrably allocates on the same
+//! probes.
+//!
+//! Allocation counting is process-global, so this file stays a single
+//! `#[test]` in its own integration-test binary — nothing else runs
+//! concurrently to muddy the counts.
+
+use irlt_core::{KeyMode, SeqState, SharedLegalityCache, Template};
+use irlt_dependence::analyze_dependences;
+use irlt_harness::alloc_counter::{count_allocations, install, CountingAlloc};
+use irlt_ir::parse_nest;
+use irlt_unimodular::IntMatrix;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+#[test]
+fn warmed_probes_do_not_allocate_in_fingerprint_mode() {
+    install(&ALLOC);
+
+    let nest = parse_nest(
+        "do i = 2, n - 1\n  do j = 2, n - 1\n    a(i, j) = a(i - 1, j) + a(i, j - 1)\n  enddo\nenddo",
+    )
+    .unwrap();
+    let deps = analyze_dependences(&nest);
+    let skew = Template::unimodular(IntMatrix::skew(2, 0, 1, 1)).unwrap();
+    let interchange = Template::unimodular(IntMatrix::interchange(2, 0, 1)).unwrap();
+    let reversal = Template::unimodular(IntMatrix::reversal(2, 0)).unwrap();
+
+    let cache = SharedLegalityCache::with_capacity_and_mode(1 << 16, KeyMode::Fingerprint);
+    let state = SeqState::root(&nest, &deps).with_shared(cache.clone(), 0);
+
+    // Deposit (root, skew) and (root, interchange); leave reversal
+    // uncached so the miss path is exercised too.
+    let _ = state.extend(skew.clone()).unwrap();
+    let _ = state.extend(interchange.clone()).unwrap();
+    // Warm every template through the interner once: first sight of a
+    // template legitimately clones it into the pool.
+    assert_eq!(state.shared_probe(&skew), Some(true));
+    assert_eq!(state.shared_probe(&reversal), Some(false));
+
+    // The pinned claim: warmed probes — hit or miss — touch the heap
+    // zero times.
+    let (allocs, outcome) = count_allocations(|| state.shared_probe(&skew));
+    assert_eq!(outcome, Some(true), "warmed probe must still hit");
+    assert_eq!(allocs, 0, "cache hit allocated on the probe path");
+
+    let (allocs, outcome) = count_allocations(|| state.shared_probe(&interchange));
+    assert_eq!(outcome, Some(true));
+    assert_eq!(allocs, 0, "second distinct template hit allocated");
+
+    let (allocs, outcome) = count_allocations(|| state.shared_probe(&reversal));
+    assert_eq!(outcome, Some(false), "reversal was never deposited");
+    assert_eq!(allocs, 0, "cache miss allocated on the probe path");
+
+    // Contrast (and proof the counter is live): the legacy Display
+    // representation renders the template to a string per probe.
+    let legacy = SharedLegalityCache::with_capacity_and_mode(1 << 16, KeyMode::Display);
+    let lstate = SeqState::root(&nest, &deps).with_shared(legacy, 0);
+    let _ = lstate.extend(skew.clone()).unwrap();
+    assert_eq!(lstate.shared_probe(&skew), Some(true));
+    let (allocs, outcome) = count_allocations(|| lstate.shared_probe(&skew));
+    assert_eq!(outcome, Some(true));
+    assert!(allocs > 0, "Display-mode probe unexpectedly alloc-free");
+}

@@ -459,6 +459,212 @@ fn shared_cache_matches_fresh_chains() {
     );
 }
 
+/// Every packable element — all six `Dir` values plus in-range
+/// distances — survives a pack → unpack round trip at every length
+/// `1..=8`, and packed equality coincides with vector equality.
+#[test]
+fn packed_vector_roundtrip() {
+    use irlt::dependence::{DepElem, Dir, PackedDepVector};
+    check(
+        "packed_vector_roundtrip",
+        &corpus_cfg(200),
+        |rng| {
+            let len = rng.gen_range(1..=8usize);
+            (0..len)
+                .map(|_| match rng.gen_range(0..8usize) {
+                    0..=5 => (0i64, rng.gen_range(0..6i64)),
+                    // Distances, including the ±124 packing boundary.
+                    6 => (rng.gen_range(-124..=124i64), -1),
+                    _ => (*rng.choose(&[-124, -1, 0, 1, 124]).unwrap(), -1),
+                })
+                .collect::<Vec<(i64, i64)>>()
+        },
+        |_| Vec::new(),
+        |encoded| {
+            let elems: Vec<DepElem> = encoded
+                .iter()
+                .map(|&(dist, dir)| match dir {
+                    -1 => DepElem::Dist(dist),
+                    d => DepElem::Dir(Dir::ALL[d as usize]),
+                })
+                .collect();
+            let v = DepVector::new(elems.clone());
+            let p = PackedDepVector::pack(&v).expect("palette is packable");
+            prop_assert_eq!(p.len(), v.len());
+            prop_assert_eq!(&p.unpack(), &v);
+            for (k, e) in elems.iter().enumerate() {
+                prop_assert_eq!(&p.entry(k), e);
+            }
+            // Packed equality ⟺ vector equality (injective encoding):
+            // re-packing an equal vector gives an equal packed value…
+            prop_assert_eq!(PackedDepVector::pack(&v.clone()).unwrap(), p);
+            // …and perturbing any one entry changes it.
+            for k in 0..elems.len() {
+                let mut other = elems.clone();
+                other[k] = match other[k] {
+                    DepElem::Dist(d) if d < 124 => DepElem::Dist(d + 1),
+                    DepElem::Dist(d) => DepElem::Dist(d - 1),
+                    _ => DepElem::Dist(77),
+                };
+                let q = PackedDepVector::pack(&DepVector::new(other)).unwrap();
+                prop_assert!(q != p, "distinct vectors packed equal at entry {k}");
+            }
+            CaseResult::Pass
+        },
+    );
+}
+
+/// The packed fast path is *semantics-preserving*: on ≥ 200 random
+/// dependence sets — mixing all six direction values, packable
+/// distances, and out-of-range distances that fall back to the boxed
+/// representation — the packed lexicographic-negativity test and the
+/// `try_map_vectors` fail-fast mapping agree exactly with the unpacked
+/// reference computed member-by-member on `DepVector`s.
+#[test]
+fn packed_legality_and_mapping_match_unpacked() {
+    use irlt::dependence::{DepElem, Dir, PackedDepVector};
+    let palette = [
+        DepElem::Dist(-125), // unpackable: boxed fallback
+        DepElem::Dist(-124),
+        DepElem::Dist(-2),
+        DepElem::Dist(-1),
+        DepElem::ZERO,
+        DepElem::Dist(1),
+        DepElem::Dist(3),
+        DepElem::Dist(124),
+        DepElem::Dist(200), // unpackable: boxed fallback
+        DepElem::POS,
+        DepElem::NEG,
+        DepElem::Dir(Dir::NonNeg),
+        DepElem::Dir(Dir::NonPos),
+        DepElem::Dir(Dir::NonZero),
+        DepElem::ANY,
+    ];
+    check(
+        "packed_legality_and_mapping_match_unpacked",
+        &corpus_cfg(200),
+        |rng| {
+            let arity = rng.gen_range(1..=4usize);
+            let count = rng.gen_range(1..=8usize);
+            let rows: Vec<Vec<usize>> = (0..count)
+                .map(|_| (0..arity).map(|_| rng.gen_range(0..15usize)).collect())
+                .collect();
+            let m = gen_unimodular(rng, arity, 4);
+            (rows, m)
+        },
+        |_| Vec::new(),
+        |(rows, m)| {
+            let vectors: Vec<DepVector> = rows
+                .iter()
+                .map(|row| DepVector::new(row.iter().map(|&k| palette[k]).collect()))
+                .collect();
+            // 1. Lexicographic negativity: packed vs boxed, per vector.
+            for v in &vectors {
+                if let Some(p) = PackedDepVector::pack(v) {
+                    prop_assert!(
+                        p.can_be_lex_negative() == v.can_be_lex_negative(),
+                        "packed lex test diverged on {v}"
+                    );
+                }
+            }
+            // 2. Set-level legality goes through the packed mirror.
+            let set = DepSet::from_vectors(vectors.clone()).unwrap();
+            prop_assert_eq!(
+                set.is_legal(),
+                !vectors.iter().any(DepVector::can_be_lex_negative)
+            );
+            // 3. try_map_vectors: the packed fail-fast mapping equals an
+            // unpacked reference (same verdict, same witness, same
+            // members in the same order after exact-equality dedup).
+            let map = |v: &DepVector| irlt::unimodular::map_dep_vector(m, v);
+            let reference: Result<Vec<DepVector>, DepVector> = (|| {
+                let mut out: Vec<DepVector> = Vec::new();
+                for v in &vectors {
+                    for image in map(v) {
+                        if image.can_be_lex_negative() {
+                            return Err(image);
+                        }
+                        if !out.contains(&image) {
+                            out.push(image);
+                        }
+                    }
+                }
+                Ok(out)
+            })();
+            match (set.try_map_vectors(map), reference) {
+                (Ok(mapped), Ok(expected)) => {
+                    prop_assert_eq!(mapped.vectors(), &expected[..]);
+                }
+                (Err(witness), Err(expected)) => {
+                    prop_assert_eq!(witness, expected);
+                }
+                (got, expected) => {
+                    return CaseResult::Fail(format!(
+                        "verdicts diverged: packed {got:?} vs reference {expected:?}"
+                    ));
+                }
+            }
+            CaseResult::Pass
+        },
+    );
+}
+
+/// Key representation is invisible to results: a chain extended through
+/// a `Fingerprint`-keyed shared cache agrees step-for-step with one
+/// extended through a legacy `Display`-keyed cache — same verdicts,
+/// identical mapped sets and shapes, byte-identical rejections.
+#[test]
+fn key_modes_agree_on_random_chains() {
+    let fp = SharedLegalityCache::with_capacity_and_mode(1 << 20, KeyMode::Fingerprint);
+    let legacy = SharedLegalityCache::with_capacity_and_mode(1 << 20, KeyMode::Display);
+    let owner = std::cell::Cell::new(0u64);
+    check(
+        "key_modes_agree_on_random_chains",
+        &corpus_cfg(100),
+        |rng| {
+            let depth = rng.gen_range(1..=3usize);
+            gen_pair(rng, depth)
+        },
+        shrink_pair,
+        |(nest, seq)| {
+            owner.set(owner.get() + 1);
+            let deps = analyze_dependences(nest);
+            let mut a = SeqState::root(nest, &deps).with_shared(fp.clone(), owner.get());
+            let mut b = SeqState::root(nest, &deps).with_shared(legacy.clone(), owner.get());
+            for step in seq.steps() {
+                let irlt::core::Step::Builtin(t) = step else {
+                    unreachable!("generated sequences are builtin-only")
+                };
+                match (a.extend(t.clone()), b.extend(t.clone())) {
+                    (Ok(x), Ok(y)) => {
+                        prop_assert_eq!(x.mapped_deps(), y.mapped_deps());
+                        prop_assert_eq!(x.shape(), y.shape());
+                        a = x;
+                        b = y;
+                    }
+                    (Err(xe), Err(ye)) => {
+                        prop_assert_eq!(xe.to_string(), ye.to_string());
+                        break;
+                    }
+                    (x, y) => {
+                        return CaseResult::Fail(format!(
+                            "verdicts diverged across key modes: {:?} vs {:?}",
+                            x.map(|s| s.mapped_deps().clone()),
+                            y.map(|s| s.mapped_deps().clone()),
+                        ));
+                    }
+                }
+            }
+            CaseResult::Pass
+        },
+    );
+    let (f, l) = (fp.stats(), legacy.stats());
+    assert!(f.hits > 0 && l.hits > 0, "caches never engaged: {f} / {l}");
+    assert!(f.interned_values > 0, "{f}");
+    assert_eq!(f.interner_collisions, 0, "{f}");
+    assert_eq!(l.interned_values, 0, "Display mode must not intern: {l}");
+}
+
 /// Subsumption pruning never changes `DepSet::is_legal()`: the pruned set
 /// is a subset of members covering exactly the same tuple set.
 #[test]

@@ -141,6 +141,55 @@ fn telemetry_on_and_off_produce_identical_results() {
 }
 
 #[test]
+fn batch_telemetry_reports_key_counters_and_never_changes_results() {
+    use irlt::driver::demo_corpus;
+    // 16 jobs over 8 distinct shapes: the second half replays the first
+    // half's subproblems, so the interner sees both misses and hits.
+    let jobs = demo_corpus(16);
+    let tel = Telemetry::enabled();
+    let on = run_batch(
+        &jobs,
+        &BatchConfig {
+            threads: 1,
+            telemetry: tel.clone(),
+            ..BatchConfig::default()
+        },
+    );
+    let report = tel.report();
+    // Satellite 5 (PR 6): the key-representation counters are visible in
+    // the IRLT_TELEMETRY artifact.
+    assert!(report.counter("legality/key/probes") > 0, "{report:?}");
+    assert!(report.counter("legality/key/interned") > 0, "{report:?}");
+    assert!(report.counter("legality/key/verifies") > 0, "{report:?}");
+    assert!(
+        report.counter("legality/key/interner_hits") > 0,
+        "{report:?}"
+    );
+    assert_eq!(
+        report.counter("legality/key/collisions"),
+        0,
+        "128-bit fingerprints collided: {report:?}"
+    );
+    // The per-probe counter the engine emits agrees with the cache's own
+    // atomic count — every probe was observed, none double-counted.
+    let stats = on.cache.as_ref().expect("cache on by default");
+    assert_eq!(report.counter("legality/key/probes"), stats.key_probes);
+    // Observation never changes results.
+    let off = run_batch(
+        &jobs,
+        &BatchConfig {
+            threads: 1,
+            ..BatchConfig::default()
+        },
+    );
+    for (a, b) in on.jobs.iter().zip(&off.jobs) {
+        assert_eq!(a.best.seq.to_string(), b.best.seq.to_string());
+        assert_eq!(a.best.score.to_bits(), b.best.score.to_bits());
+        assert_eq!(a.explored, b.explored);
+    }
+}
+
+#[test]
 fn report_json_artifact_round_trips() {
     let nest = matmul();
     let deps = analyze_dependences(&nest);
