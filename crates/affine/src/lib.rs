@@ -1,0 +1,79 @@
+//! # irlt-affine — schedule-based affine legality backend
+//!
+//! A second, independently-derived legality engine for the framework's
+//! transformation sequences, built to cross-check the paper's Table-2
+//! dependence-mapping engine (the hot, cached path in `irlt-core`).
+//! Where Table 2 abstracts each dependence entry independently, this
+//! backend works on the **exact violation polytope**: for a dependence
+//! difference `δ` and the composed affine schedule `Θ`, the sequence is
+//! illegal iff some admissible `δ` has `Θδ` lexicographically negative —
+//! i.e. iff one of the per-level systems
+//!
+//! ```text
+//!   δ ∈ box(d)          (the dependence entry constraints)
+//!   (Θδ)_q = 0          for q < p
+//!   (Θδ)_p ≤ −1         (or ≥ 1 as well, for a pardo level)
+//! ```
+//!
+//! has a rational solution, decided by Fourier–Motzkin elimination
+//! ([`irlt_unimodular::rational_feasibility`]). The encoding per
+//! template:
+//!
+//! * `Unimodular(M)` — left-multiplies the schedule rows by `M`;
+//! * `ReversePermute(rev, perm)` — its signed-permutation matrix;
+//! * `Parallelize(parflag)` — a lazy *pardo flag* per schedule row: the
+//!   iterations of a pardo loop execute in arbitrary order, so its
+//!   schedule value is compared **two-sided** (a dependence carried at a
+//!   flagged level is violated in either direction), and prefix-equality
+//!   constraints are sign-invariant. Flags travel through
+//!   signed-permutation steps; a skew that *mixes* a flagged row forces
+//!   an eager sign-split (both `±row` branches), bounded by
+//!   [`AffineOptions::max_branches`];
+//! * `Block(i, j, b)` — the divisor-free rational relaxation: a fresh
+//!   block variable `β_k` per tiled row with
+//!   `|row_k − b·β_k| ≤ b − 1`, block row `β_k`, element row `row_k`.
+//!   This over-approximates the true lattice `β_k = ⌊row_k / b⌋`, so a
+//!   feasible violation no longer proves illegality: the verdict
+//!   degrades to [`UnknownReason::RelaxationWitness`] (emptiness — i.e.
+//!   legality — remains sound). Block size 1 keeps exactness;
+//! * `Coalesce` / `Interleave` / custom steps — no affine encoding;
+//!   [`UnknownReason::InexactTemplate`] / [`UnknownReason::CustomStep`].
+//!
+//! The verdict vocabulary and the per-domain comparison contract live in
+//! [`irlt_core::oracle`]; the generated-input differential oracle that
+//! drives both engines lives in `irlt-harness`.
+//!
+//! # Examples
+//!
+//! Table 2 is conservative on skewed schedules; the polytope is not:
+//!
+//! ```
+//! use irlt_affine::{check_sequence, AffineOptions};
+//! use irlt_core::{OracleVerdict, TransformSeq};
+//! use irlt_dependence::{DepElem, DepSet, DepVector, Dir};
+//! use irlt_ir::parse_nest;
+//! use irlt_unimodular::IntMatrix;
+//!
+//! let nest = parse_nest("do i = 1, 4\n do j = 1, 4\n  a(i, j) = 0\n enddo\nenddo")?;
+//! // Θ = [[1,1],[0,−1]]: skew x'₀ = x₀ + x₁, then reverse the inner loop.
+//! let seq = TransformSeq::new(2)
+//!     .unimodular(IntMatrix::skew(2, 1, 0, 1))?
+//!     .unimodular(IntMatrix::reversal(2, 1))?;
+//! let nonneg = DepElem::Dir(Dir::NonNeg);
+//! let deps = DepSet::from_vectors(vec![DepVector::new(vec![nonneg, nonneg])])?;
+//! // Table 2 maps (0⁺,0⁺) ↦ (0⁺,0⁻) and must reject; the exact polytope
+//! // knows δ₁+δ₂ = 0 ∧ δ ≥ 0 forces δ = 0, so nothing is violated.
+//! assert!(!seq.map_deps(&deps).is_legal());
+//! let report = check_sequence(&nest, &deps, &seq, &AffineOptions::default());
+//! assert_eq!(report.verdict, OracleVerdict::Legal);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod schedule;
+
+pub use schedule::{
+    check_sequence, AffineOptions, AffineReport, BoundsMode, UnknownReason, Violation,
+};

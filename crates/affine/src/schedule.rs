@@ -1,0 +1,766 @@
+//! Composed affine schedules and the per-dependence violation systems.
+//!
+//! See the crate docs for the encoding per template. The implementation
+//! keeps a set of *branches* (alternative exact schedules whose union
+//! covers the sequence semantics — pardo sign-splits and `NonZero`
+//! entry splits are unions, not approximations) and a single `exact`
+//! bit that `Block`'s rational relaxation clears.
+
+use irlt_core::oracle::{compare_domain, CompareDomain, OracleVerdict};
+use irlt_core::{Step, Template, TransformSeq};
+use irlt_dependence::{DepElem, DepSet, Dir};
+use irlt_ir::{Expr, LoopNest};
+use irlt_unimodular::{rational_feasibility, Feasibility, IterSpace, LinIneq};
+
+/// How the violation systems treat the iteration-space bounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BoundsMode {
+    /// Quantify over all of `ℤⁿ` — the Table-2 engine's model (it never
+    /// looks at bounds), and therefore the mode the cross-engine oracle
+    /// compares in.
+    #[default]
+    Ignore,
+    /// Conjoin the bounds polytope for the source iteration and its
+    /// `δ`-shifted target. Only applies when every loop has constant
+    /// step 1 and the space normalizes without rebinds; otherwise the
+    /// check silently falls back to [`BoundsMode::Ignore`] (dropping
+    /// constraints over-approximates, so `Legal` verdicts stay sound).
+    Within,
+}
+
+/// Knobs for [`check_sequence`].
+#[derive(Clone, Copy, Debug)]
+pub struct AffineOptions {
+    /// Bounds treatment; the oracle uses [`BoundsMode::Ignore`].
+    pub bounds: BoundsMode,
+    /// Cap on schedule branches × entry-split combinations. Pure
+    /// permutation/reversal sequences never branch on the schedule
+    /// side, so the default (4096) cannot fire on the exact domain for
+    /// nests of the supported depths.
+    pub max_branches: usize,
+}
+
+impl Default for AffineOptions {
+    fn default() -> AffineOptions {
+        AffineOptions {
+            bounds: BoundsMode::Ignore,
+            max_branches: 4096,
+        }
+    }
+}
+
+/// Why the engine answered [`OracleVerdict::Unknown`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnknownReason {
+    /// The template has no affine schedule encoding (`Coalesce`,
+    /// `Interleave`).
+    InexactTemplate(&'static str),
+    /// A user-defined step: its dependence mapping is opaque.
+    CustomStep,
+    /// A `Block` size did not simplify to a constant `≥ 1`.
+    SymbolicBlockSize,
+    /// Sign-splitting exceeded [`AffineOptions::max_branches`].
+    BranchBudget,
+    /// Schedule-row arithmetic overflowed, or Fourier–Motzkin hit its
+    /// exactness guards ([`Feasibility::Undecided`]).
+    Arithmetic,
+    /// A violation system was feasible, but only under `Block`'s
+    /// rational relaxation — feasibility no longer proves a real
+    /// violating iteration pair.
+    RelaxationWitness,
+}
+
+/// A feasible violation system (the reason for an
+/// [`OracleVerdict::Illegal`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Index of the violated vector in the input `DepSet`.
+    pub dep_index: usize,
+    /// Schedule level (0-based, post-transformation) carrying the
+    /// violation.
+    pub level: usize,
+    /// True when the level is a pardo row, whose order test is
+    /// two-sided.
+    pub two_sided: bool,
+}
+
+/// The engine's answer for one `(nest, deps, sequence)` query.
+#[derive(Clone, Copy, Debug)]
+pub struct AffineReport {
+    /// Legal / illegal / unknown.
+    pub verdict: OracleVerdict,
+    /// The comparison domain the sequence's template mix falls in.
+    pub domain: CompareDomain,
+    /// Populated when `verdict` is `Unknown`.
+    pub unknown: Option<UnknownReason>,
+    /// Populated when `verdict` is `Illegal`.
+    pub violation: Option<Violation>,
+    /// Number of Fourier–Motzkin systems decided.
+    pub systems: usize,
+}
+
+impl AffineReport {
+    fn unknown(domain: CompareDomain, reason: UnknownReason, systems: usize) -> AffineReport {
+        AffineReport {
+            verdict: OracleVerdict::Unknown,
+            domain,
+            unknown: Some(reason),
+            violation: None,
+            systems,
+        }
+    }
+}
+
+/// One exact schedule alternative: `rows · (δ, β)` is the transformed
+/// time-stamp, `cons` are the side constraints (`coeffs·v + c ≥ 0`)
+/// accumulated by blocking.
+#[derive(Clone)]
+struct Branch {
+    rows: Vec<Vec<i64>>,
+    cons: Vec<(Vec<i64>, i64)>,
+}
+
+struct Build {
+    branches: Vec<Branch>,
+    /// Pardo flag per current schedule row (identical across branches:
+    /// splits clear the flag in every child).
+    par: Vec<bool>,
+    /// Total variables: `n` dependence-difference vars + blocking vars.
+    nvars: usize,
+    /// Cleared by a relaxed (`Block` with size > 1) step.
+    exact: bool,
+}
+
+fn row_mul_add(acc: &mut [i64], row: &[i64], factor: i64) -> Result<(), UnknownReason> {
+    for (a, &r) in acc.iter_mut().zip(row) {
+        *a = factor
+            .checked_mul(r)
+            .and_then(|t| a.checked_add(t))
+            .ok_or(UnknownReason::Arithmetic)?;
+    }
+    Ok(())
+}
+
+/// Composes the whole sequence into schedule branches.
+fn build_schedules(seq: &TransformSeq, opts: &AffineOptions) -> Result<Build, UnknownReason> {
+    let n = seq.input_size();
+    let mut b = Build {
+        branches: vec![Branch {
+            rows: (0..n)
+                .map(|i| {
+                    let mut row = vec![0; n];
+                    row[i] = 1;
+                    row
+                })
+                .collect(),
+            cons: Vec::new(),
+        }],
+        par: vec![false; n],
+        nvars: n,
+        exact: true,
+    };
+    for step in seq.steps() {
+        let t = match step {
+            Step::Custom(_) => return Err(UnknownReason::CustomStep),
+            Step::Builtin(t) => t,
+        };
+        match t {
+            Template::Unimodular { matrix } => {
+                let k = matrix.rows();
+                // A column `j` is *pure* when exactly one output row
+                // uses it, with coefficient ±1, and that row uses
+                // nothing else: output row i = ±(input row j), so a
+                // pardo flag on j transfers to i. Anything else mixes
+                // the flagged row into a sum whose sign symmetry is
+                // lost — sign-split eagerly before applying the matrix.
+                let purity: Vec<Option<usize>> = (0..k)
+                    .map(|j| {
+                        let hits: Vec<usize> = (0..k).filter(|&i| matrix[(i, j)] != 0).collect();
+                        match hits.as_slice() {
+                            [i] if matrix[(*i, j)].abs() == 1
+                                && (0..k).filter(|&c| matrix[(*i, c)] != 0).count() == 1 =>
+                            {
+                                Some(*i)
+                            }
+                            _ => None,
+                        }
+                    })
+                    .collect();
+                for (j, pure) in purity.iter().enumerate() {
+                    if b.par[j] && pure.is_none() {
+                        split_dim(&mut b, j, opts.max_branches)?;
+                    }
+                }
+                let mut new_par = vec![false; k];
+                for j in 0..k {
+                    if b.par[j] {
+                        new_par[purity[j].expect("flagged dims were split")] = true;
+                    }
+                }
+                for branch in &mut b.branches {
+                    let mut new_rows = vec![vec![0i64; b.nvars]; k];
+                    for (i, new_row) in new_rows.iter_mut().enumerate() {
+                        for j in 0..k {
+                            let f = matrix[(i, j)];
+                            if f != 0 {
+                                row_mul_add(new_row, &branch.rows[j], f)?;
+                            }
+                        }
+                    }
+                    branch.rows = new_rows;
+                }
+                b.par = new_par;
+            }
+            Template::ReversePermute { rev, perm } => {
+                let k = rev.len();
+                // Signed permutation: every column is pure, so pardo
+                // flags travel with their rows (reversal negates a row,
+                // which a sign-symmetric pardo comparison ignores).
+                let mut new_par = vec![false; k];
+                for j in 0..k {
+                    new_par[perm.new_position(j)] = b.par[j];
+                }
+                for branch in &mut b.branches {
+                    let mut new_rows = vec![Vec::new(); k];
+                    for (j, row) in branch.rows.drain(..).enumerate() {
+                        let dst = perm.new_position(j);
+                        new_rows[dst] = if rev[j] {
+                            row.iter().map(|&c| -c).collect()
+                        } else {
+                            row
+                        };
+                    }
+                    branch.rows = new_rows;
+                }
+                b.par = new_par;
+            }
+            Template::Parallelize { parflag } => {
+                for (p, &f) in b.par.iter_mut().zip(parflag) {
+                    *p |= f;
+                }
+            }
+            Template::Block { i, j, bsize, .. } => {
+                let (i, j) = (*i, *j);
+                let mut sizes = Vec::with_capacity(j - i + 1);
+                for e in bsize {
+                    match e.simplify().as_const() {
+                        Some(v) if v >= 1 => sizes.push(v),
+                        _ => return Err(UnknownReason::SymbolicBlockSize),
+                    }
+                }
+                // The block/element decomposition is not sign-symmetric:
+                // resolve pardo flags in the range by splitting first.
+                for k in i..=j {
+                    if b.par[k] {
+                        split_dim(&mut b, k, opts.max_branches)?;
+                    }
+                }
+                let fresh_base = b.nvars;
+                b.nvars += j - i + 1;
+                let range = j - i + 1;
+                let mut new_par = Vec::with_capacity(b.par.len() + range);
+                new_par.extend_from_slice(&b.par[..i]);
+                new_par.extend(std::iter::repeat_n(false, 2 * range));
+                new_par.extend_from_slice(&b.par[j + 1..]);
+                b.par = new_par;
+                for branch in &mut b.branches {
+                    for row in &mut branch.rows {
+                        row.resize(b.nvars, 0);
+                    }
+                    for (coeffs, _) in &mut branch.cons {
+                        coeffs.resize(b.nvars, 0);
+                    }
+                    let mut new_rows = Vec::with_capacity(branch.rows.len() + range);
+                    new_rows.extend_from_slice(&branch.rows[..i]);
+                    for (off, &bsz) in sizes.iter().enumerate() {
+                        let mut beta = vec![0i64; b.nvars];
+                        beta[fresh_base + off] = 1;
+                        let old = &branch.rows[i + off];
+                        // |old − b·β| ≤ b − 1: the divisor-free hull of
+                        // β = ⌊old / b⌋. Exact for b = 1 (β = old).
+                        let mut lo = old.clone();
+                        lo[fresh_base + off] -= bsz;
+                        let hi: Vec<i64> = lo.iter().map(|&c| -c).collect();
+                        branch.cons.push((lo, bsz - 1));
+                        branch.cons.push((hi, bsz - 1));
+                        new_rows.push(beta);
+                    }
+                    for off in 0..range {
+                        new_rows.push(branch.rows[i + off].clone());
+                    }
+                    new_rows.extend_from_slice(&branch.rows[j + 1..]);
+                    branch.rows = new_rows;
+                }
+                if sizes.iter().any(|&s| s > 1) {
+                    b.exact = false;
+                }
+            }
+            Template::Coalesce { .. } => return Err(UnknownReason::InexactTemplate("coalesce")),
+            Template::Interleave { .. } => {
+                return Err(UnknownReason::InexactTemplate("interleave"))
+            }
+        }
+    }
+    Ok(b)
+}
+
+/// Replaces every branch by its `±row[dim]` pair and clears the flag.
+fn split_dim(b: &mut Build, dim: usize, max_branches: usize) -> Result<(), UnknownReason> {
+    if b.branches.len() * 2 > max_branches {
+        return Err(UnknownReason::BranchBudget);
+    }
+    let mut split = Vec::with_capacity(b.branches.len() * 2);
+    for branch in b.branches.drain(..) {
+        let mut negated = branch.clone();
+        for c in &mut negated.rows[dim] {
+            *c = -*c;
+        }
+        split.push(branch);
+        split.push(negated);
+    }
+    b.branches = split;
+    b.par[dim] = false;
+    Ok(())
+}
+
+/// Constraint alternatives for one dependence entry on variable `k`:
+/// each alternative is a conjunction of `(coeff, const)` rows meaning
+/// `coeff·δ_k + const ≥ 0`; the entry's tuple set is the union of the
+/// alternatives (only `NonZero` needs two).
+fn entry_alternatives(e: DepElem) -> Vec<Vec<(i64, i64)>> {
+    match e {
+        DepElem::Dist(y) => vec![vec![(1, -y), (-1, y)]],
+        DepElem::Dir(Dir::Pos) => vec![vec![(1, -1)]],
+        DepElem::Dir(Dir::Neg) => vec![vec![(-1, -1)]],
+        DepElem::Dir(Dir::NonNeg) => vec![vec![(1, 0)]],
+        DepElem::Dir(Dir::NonPos) => vec![vec![(-1, 0)]],
+        DepElem::Dir(Dir::NonZero) => vec![vec![(1, -1)], vec![(-1, -1)]],
+        DepElem::Dir(Dir::Any) => vec![vec![]],
+    }
+}
+
+/// Bounds rows for [`BoundsMode::Within`], or `None` when the nest is
+/// outside the mode's gate (non-unit steps or rebinds).
+fn bounds_rows(nest: &LoopNest, n: usize, nvars: usize) -> Option<Vec<LinIneq>> {
+    let all_unit = nest
+        .loops()
+        .iter()
+        .all(|l| l.step.simplify().as_const() == Some(1));
+    if !all_unit {
+        return None;
+    }
+    let norm = IterSpace::from_nest(nest).ok()?;
+    if !norm.rebinds.is_empty() {
+        return None;
+    }
+    // Variable layout: [δ (n) | β (nvars − n) | s (n)]. Each space
+    // inequality holds at the source `s` and at the target `s + δ`.
+    let total = nvars + n;
+    let mut out = Vec::with_capacity(norm.space.ineqs().len() * 2);
+    for ineq in norm.space.ineqs() {
+        let mut src = vec![0i64; total];
+        let mut dst = vec![0i64; total];
+        for (k, &c) in ineq.coeffs.iter().enumerate() {
+            src[nvars + k] = c;
+            dst[nvars + k] = c;
+            dst[k] = c;
+        }
+        out.push(LinIneq::new(src, ineq.rest.clone()));
+        out.push(LinIneq::new(dst, ineq.rest.clone()));
+    }
+    Some(out)
+}
+
+fn lin(coeffs: Vec<i64>, c: i64) -> LinIneq {
+    LinIneq::new(coeffs, Expr::int(c))
+}
+
+/// Decides legality of `seq` on `deps` over the iteration space of
+/// `nest` by rational emptiness of every per-dependence, per-level
+/// violation system.
+///
+/// # Panics
+///
+/// Panics if the dependence set's arity differs from the sequence's
+/// input size (same contract as `TransformSeq::map_deps`).
+pub fn check_sequence(
+    nest: &LoopNest,
+    deps: &DepSet,
+    seq: &TransformSeq,
+    opts: &AffineOptions,
+) -> AffineReport {
+    let domain = compare_domain(seq);
+    let n = seq.input_size();
+    if let Some(arity) = deps.arity() {
+        assert_eq!(arity, n, "dependence set arity mismatch");
+    }
+    let build = match build_schedules(seq, opts) {
+        Ok(b) => b,
+        Err(reason) => return AffineReport::unknown(domain, reason, 0),
+    };
+    let bounds = match opts.bounds {
+        BoundsMode::Ignore => None,
+        BoundsMode::Within => bounds_rows(nest, n, build.nvars),
+    };
+    let total_vars = build.nvars + if bounds.is_some() { n } else { 0 };
+    let mut systems = 0usize;
+    let mut unknown: Option<UnknownReason> = None;
+    for (dep_index, vector) in deps.vectors().iter().enumerate() {
+        // Cartesian product of per-entry alternatives (2^#NonZero).
+        let mut combos: Vec<Vec<LinIneq>> = vec![Vec::new()];
+        for (k, &e) in vector.elems().iter().enumerate() {
+            let alts = entry_alternatives(e);
+            if combos.len() * alts.len() > opts.max_branches {
+                return AffineReport::unknown(domain, UnknownReason::BranchBudget, systems);
+            }
+            let mut next = Vec::with_capacity(combos.len() * alts.len());
+            for base in &combos {
+                for alt in &alts {
+                    let mut rows = base.clone();
+                    for &(coeff, c) in alt {
+                        let mut v = vec![0i64; total_vars];
+                        v[k] = coeff;
+                        rows.push(lin(v, c));
+                    }
+                    next.push(rows);
+                }
+            }
+            combos = next;
+        }
+        if build.branches.len() * combos.len() > opts.max_branches {
+            return AffineReport::unknown(domain, UnknownReason::BranchBudget, systems);
+        }
+        for branch in &build.branches {
+            let pad = |row: &[i64]| -> Vec<i64> {
+                let mut v = row.to_vec();
+                v.resize(total_vars, 0);
+                v
+            };
+            let mut base: Vec<LinIneq> = branch
+                .cons
+                .iter()
+                .map(|(coeffs, c)| lin(pad(coeffs), *c))
+                .collect();
+            if let Some(b) = &bounds {
+                base.extend(b.iter().cloned());
+            }
+            for combo in &combos {
+                // Per level p: prefix rows vanish, level row orders the
+                // pair backwards (both ways for a pardo row).
+                let mut prefix: Vec<LinIneq> = base.clone();
+                prefix.extend(combo.iter().cloned());
+                for (p, row) in branch.rows.iter().enumerate() {
+                    let padded = pad(row);
+                    let sides: &[i64] = if build.par[p] { &[-1, 1] } else { &[-1] };
+                    for &side in sides {
+                        let mut sys = prefix.clone();
+                        sys.push(lin(padded.iter().map(|&c| c * side).collect(), -1));
+                        systems += 1;
+                        match rational_feasibility(&sys) {
+                            Feasibility::Empty => {}
+                            Feasibility::NonEmpty => {
+                                if build.exact {
+                                    return AffineReport {
+                                        verdict: OracleVerdict::Illegal,
+                                        domain,
+                                        unknown: None,
+                                        violation: Some(Violation {
+                                            dep_index,
+                                            level: p,
+                                            two_sided: build.par[p],
+                                        }),
+                                        systems,
+                                    };
+                                }
+                                return AffineReport::unknown(
+                                    domain,
+                                    UnknownReason::RelaxationWitness,
+                                    systems,
+                                );
+                            }
+                            Feasibility::Undecided => {
+                                unknown.get_or_insert(UnknownReason::Arithmetic);
+                            }
+                        }
+                    }
+                    // Prefix for the next level: this row pinned to 0.
+                    prefix.push(lin(padded.clone(), 0));
+                    prefix.push(lin(padded.iter().map(|&c| -c).collect(), 0));
+                }
+            }
+        }
+    }
+    match unknown {
+        Some(reason) => AffineReport::unknown(domain, reason, systems),
+        None => AffineReport {
+            verdict: OracleVerdict::Legal,
+            domain,
+            unknown: None,
+            violation: None,
+            systems,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irlt_dependence::DepVector;
+    use irlt_ir::parse_nest;
+    use irlt_unimodular::IntMatrix;
+
+    fn nest2() -> LoopNest {
+        parse_nest("do i = 1, 4\n do j = 1, 4\n  a(i, j) = 0\n enddo\nenddo").unwrap()
+    }
+
+    fn set(vectors: Vec<DepVector>) -> DepSet {
+        DepSet::from_vectors(vectors).unwrap()
+    }
+
+    #[test]
+    fn identity_matches_set_legality() {
+        let nest = nest2();
+        let seq = TransformSeq::new(2);
+        let legal = set(vec![DepVector::distances(&[1, -1])]);
+        let illegal = set(vec![DepVector::distances(&[-1, 1])]);
+        let opts = AffineOptions::default();
+        assert_eq!(
+            check_sequence(&nest, &legal, &seq, &opts).verdict,
+            OracleVerdict::Legal
+        );
+        let report = check_sequence(&nest, &illegal, &seq, &opts);
+        assert_eq!(report.verdict, OracleVerdict::Illegal);
+        assert_eq!(
+            report.violation,
+            Some(Violation {
+                dep_index: 0,
+                level: 0,
+                two_sided: false
+            })
+        );
+    }
+
+    #[test]
+    fn interchange_on_fig2_deps() {
+        // Fig. 2(b): interchanging (1,−1) is illegal; reversing j first
+        // (Fig. 2(c)) makes it legal.
+        let nest = nest2();
+        let deps = set(vec![DepVector::distances(&[1, -1])]);
+        let opts = AffineOptions::default();
+        let swap = TransformSeq::new(2)
+            .unimodular(IntMatrix::interchange(2, 0, 1))
+            .unwrap();
+        assert_eq!(
+            check_sequence(&nest, &deps, &swap, &opts).verdict,
+            OracleVerdict::Illegal
+        );
+        let rev_swap = TransformSeq::new(2)
+            .unimodular(IntMatrix::reversal(2, 1))
+            .unwrap()
+            .unimodular(IntMatrix::interchange(2, 0, 1))
+            .unwrap();
+        assert_eq!(
+            check_sequence(&nest, &deps, &rev_swap, &opts).verdict,
+            OracleVerdict::Legal
+        );
+    }
+
+    #[test]
+    fn skew_is_exact_where_table2_is_conservative() {
+        // Θ = reversal(1)·skew(x'₀ = x₀+x₁): rows (δ₁+δ₂, −δ₂). On
+        // d = (0⁺, 0⁺) Table 2 answers illegal; the polytope forces
+        // δ = 0 at level 0 equality, so nothing violates.
+        let nest = nest2();
+        let nonneg = DepElem::Dir(Dir::NonNeg);
+        let deps = set(vec![DepVector::new(vec![nonneg, nonneg])]);
+        let seq = TransformSeq::new(2)
+            .unimodular(IntMatrix::skew(2, 1, 0, 1))
+            .unwrap()
+            .unimodular(IntMatrix::reversal(2, 1))
+            .unwrap();
+        assert!(!seq.map_deps(&deps).is_legal());
+        let report = check_sequence(&nest, &deps, &seq, &AffineOptions::default());
+        assert_eq!(report.verdict, OracleVerdict::Legal);
+        assert_eq!(report.domain, CompareDomain::OneWay);
+    }
+
+    #[test]
+    fn parallelize_two_sided_test() {
+        let nest = nest2();
+        let opts = AffineOptions::default();
+        // A loop-carried forward distance is fine sequentially but
+        // violated under pardo — in the (+) direction.
+        let deps = set(vec![DepVector::distances(&[2, 0])]);
+        let seq_seq = TransformSeq::new(2);
+        assert_eq!(
+            check_sequence(&nest, &deps, &seq_seq, &opts).verdict,
+            OracleVerdict::Legal
+        );
+        let par = TransformSeq::new(2).parallelize(vec![true, false]).unwrap();
+        let report = check_sequence(&nest, &deps, &par, &opts);
+        assert_eq!(report.verdict, OracleVerdict::Illegal);
+        assert_eq!(
+            report.violation,
+            Some(Violation {
+                dep_index: 0,
+                level: 0,
+                two_sided: true
+            })
+        );
+        // Dependences not carried by the pardo loop are unaffected.
+        let inner = set(vec![DepVector::distances(&[0, 0])]);
+        assert_eq!(
+            check_sequence(&nest, &inner, &par, &opts).verdict,
+            OracleVerdict::Legal
+        );
+    }
+
+    #[test]
+    fn parallel_flags_travel_through_signed_permutations() {
+        let nest = nest2();
+        let opts = AffineOptions::default();
+        // pardo(i) then interchange: the flag must follow row i to
+        // position 1, where (0, 2) now carries the violated dependence.
+        let deps = set(vec![DepVector::distances(&[2, 0])]);
+        let seq = TransformSeq::new(2)
+            .parallelize(vec![true, false])
+            .unwrap()
+            .reverse_permute(vec![false, false], vec![1, 0])
+            .unwrap();
+        let report = check_sequence(&nest, &deps, &seq, &opts);
+        assert_eq!(report.verdict, OracleVerdict::Illegal);
+        assert_eq!(report.violation.unwrap().level, 1);
+        assert!(report.violation.unwrap().two_sided);
+        assert_eq!(report.domain, CompareDomain::Exact);
+    }
+
+    #[test]
+    fn parallel_flag_mixed_by_skew_sign_splits() {
+        let nest = nest2();
+        let opts = AffineOptions::default();
+        // pardo(j) then skew x'₀ = x₀ + x₁: the skew mixes the flagged
+        // row into row 0, so the engine must sign-split δ₂'s
+        // contribution. For d = (1, −1) the (+) branch has rows
+        // (δ₁+δ₂, δ₂) = (0, −1): carried backwards at level 1 →
+        // illegal (Table 2 agrees: parmap gives (1, 0̸), the skew hull
+        // gives (∗, 0̸), lex-negative-capable).
+        let deps = set(vec![DepVector::distances(&[1, -1])]);
+        let seq = TransformSeq::new(2)
+            .parallelize(vec![false, true])
+            .unwrap()
+            .unimodular(IntMatrix::skew(2, 1, 0, 1))
+            .unwrap();
+        let report = check_sequence(&nest, &deps, &seq, &opts);
+        assert_eq!(report.verdict, OracleVerdict::Illegal);
+    }
+
+    #[test]
+    fn block_relaxation_legal_and_unknown() {
+        let nest = nest2();
+        let opts = AffineOptions::default();
+        let block = |seq: TransformSeq| seq.block(0, 1, vec![Expr::int(2), Expr::int(2)]).unwrap();
+        // Zero-distance dependences survive any tiling: every system is
+        // empty even under the relaxation.
+        let zero = set(vec![DepVector::distances(&[0, 0])]);
+        let report = check_sequence(&nest, &zero, &block(TransformSeq::new(2)), &opts);
+        assert_eq!(report.verdict, OracleVerdict::Legal);
+        assert_eq!(report.domain, CompareDomain::Relaxed);
+        // A forward distance admits a relaxed violation witness (the
+        // block variables can order blocks backwards within the hull):
+        // the engine must refuse to call it either way.
+        let fwd = set(vec![DepVector::distances(&[0, 1])]);
+        let report = check_sequence(
+            &nest,
+            &fwd,
+            &block(
+                TransformSeq::new(2)
+                    .reverse_permute(vec![false, true], vec![0, 1])
+                    .unwrap(),
+            ),
+            &opts,
+        );
+        assert_eq!(report.verdict, OracleVerdict::Unknown);
+        assert_eq!(report.unknown, Some(UnknownReason::RelaxationWitness));
+    }
+
+    #[test]
+    fn block_size_one_stays_exact() {
+        let nest = nest2();
+        let opts = AffineOptions::default();
+        let seq = TransformSeq::new(2)
+            .block(0, 1, vec![Expr::int(1), Expr::int(1)])
+            .unwrap();
+        let legal = set(vec![DepVector::distances(&[1, -1])]);
+        assert_eq!(
+            check_sequence(&nest, &legal, &seq, &opts).verdict,
+            OracleVerdict::Legal
+        );
+        let illegal = set(vec![DepVector::distances(&[-1, 0])]);
+        assert_eq!(
+            check_sequence(&nest, &illegal, &seq, &opts).verdict,
+            OracleVerdict::Illegal
+        );
+    }
+
+    #[test]
+    fn symbolic_block_size_is_unknown() {
+        let nest = nest2();
+        let seq = TransformSeq::new(2)
+            .block(0, 1, vec![Expr::var("b1"), Expr::var("b2")])
+            .unwrap();
+        let deps = set(vec![DepVector::distances(&[1, 0])]);
+        let report = check_sequence(&nest, &deps, &seq, &AffineOptions::default());
+        assert_eq!(report.verdict, OracleVerdict::Unknown);
+        assert_eq!(report.unknown, Some(UnknownReason::SymbolicBlockSize));
+    }
+
+    #[test]
+    fn coalesce_and_interleave_are_opaque() {
+        let nest = nest2();
+        let deps = set(vec![DepVector::distances(&[1, 0])]);
+        let opts = AffineOptions::default();
+        let coalesce = TransformSeq::new(2).coalesce(0, 1).unwrap();
+        let report = check_sequence(&nest, &deps, &coalesce, &opts);
+        assert_eq!(report.verdict, OracleVerdict::Unknown);
+        assert_eq!(
+            report.unknown,
+            Some(UnknownReason::InexactTemplate("coalesce"))
+        );
+        assert_eq!(report.domain, CompareDomain::Opaque);
+    }
+
+    #[test]
+    fn within_bounds_can_prove_more_than_unbounded() {
+        // One-trip inner loop: do j = 1, 1. Interchanging (0⁺, −1)
+        // is illegal over ℤ² but the bounded space forces δ_j = 0,
+        // where the vector cannot even exist … use a dependence whose
+        // violation needs δ_j = −1: impossible in a one-trip loop.
+        let nest = parse_nest("do i = 1, 4\n do j = 1, 1\n  a(i, j) = 0\n enddo\nenddo").unwrap();
+        let deps = set(vec![DepVector::new(vec![
+            DepElem::Dir(Dir::NonNeg),
+            DepElem::Dist(-1),
+        ])]);
+        let swap = TransformSeq::new(2)
+            .unimodular(IntMatrix::interchange(2, 0, 1))
+            .unwrap();
+        let unbounded = check_sequence(&nest, &deps, &swap, &AffineOptions::default());
+        assert_eq!(unbounded.verdict, OracleVerdict::Illegal);
+        let within = AffineOptions {
+            bounds: BoundsMode::Within,
+            ..AffineOptions::default()
+        };
+        let bounded = check_sequence(&nest, &deps, &swap, &within);
+        assert_eq!(bounded.verdict, OracleVerdict::Legal);
+    }
+
+    #[test]
+    fn empty_dep_set_is_legal() {
+        let nest = nest2();
+        let seq = TransformSeq::new(2)
+            .unimodular(IntMatrix::interchange(2, 0, 1))
+            .unwrap();
+        let report = check_sequence(&nest, &DepSet::default(), &seq, &AffineOptions::default());
+        assert_eq!(report.verdict, OracleVerdict::Legal);
+        assert_eq!(report.systems, 0);
+    }
+}

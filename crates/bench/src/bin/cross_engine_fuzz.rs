@@ -1,0 +1,128 @@
+//! `cross_engine_fuzz` — standing fuzz battery for the cross-engine
+//! legality oracle (Table 2 vs `irlt-affine`).
+//!
+//! Runs [`irlt_harness::run_cross_engine`] in rounds until a wall-clock
+//! deadline expires *and* a minimum case count has been reached, so a
+//! CI job gets both a time box and a coverage floor:
+//!
+//! ```text
+//! cargo run --release -p irlt-bench --bin cross_engine_fuzz -- \
+//!     --seconds 60 --min-cases 200 --seed 42
+//! ```
+//!
+//! Every confirmed disagreement panics inside the property engine with
+//! a shrunk counterexample (persisted to `tests/corpus/cross_engine.seeds`
+//! when the corpus directory is writable), which exits this process
+//! nonzero — CI treats that as a hard failure. On success the merged
+//! [`irlt_harness::OracleReport`] is printed, and a telemetry artifact
+//! is written when `IRLT_TELEMETRY` is set.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use irlt_harness::{derive_seed, prop::corpus_dir_for, run_cross_engine, Config, OracleReport};
+use irlt_obs::Telemetry;
+use irlt_opt::CancelToken;
+
+struct Cli {
+    seconds: u64,
+    min_cases: usize,
+    seed: u64,
+    cases_per_round: u32,
+}
+
+const USAGE: &str =
+    "usage: cross_engine_fuzz [--seconds N] [--min-cases N] [--seed N] [--cases-per-round N]";
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        seconds: 60,
+        min_cases: 200,
+        seed: 0x1992_051e,
+        cases_per_round: 16,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--seconds" => cli.seconds = parse_num(value("--seconds")?)?,
+            "--min-cases" => cli.min_cases = parse_num(value("--min-cases")?)?,
+            "--seed" => cli.seed = parse_num(value("--seed")?)?,
+            "--cases-per-round" => {
+                cli.cases_per_round = parse_num(value("--cases-per-round")?)?;
+                if cli.cases_per_round == 0 {
+                    return Err("--cases-per-round must be positive".to_string());
+                }
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(cli)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid number: {s}"))
+}
+
+fn run(cli: &Cli) -> Result<(), String> {
+    let tel = Telemetry::from_env();
+    let token = CancelToken::with_deadline(Duration::from_secs(cli.seconds));
+    let corpus = corpus_dir_for(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let mut total = OracleReport::default();
+    let mut round: u64 = 0;
+    // Keep fuzzing until the deadline, but never stop below the case
+    // floor — a loaded CI machine still gets `--min-cases` coverage.
+    while !token.is_cancelled() || total.cases < cli.min_cases {
+        let cfg = Config {
+            cases: cli.cases_per_round,
+            seed: derive_seed(cli.seed, round),
+            max_shrink_steps: 400,
+            // Replay the persisted corpus once up front; later rounds
+            // are pure generation.
+            corpus_dir: if round == 0 { corpus.clone() } else { None },
+        };
+        let report = run_cross_engine(&cfg, &tel);
+        total.merge(&report);
+        round += 1;
+        if round.is_multiple_of(8) || token.is_cancelled() {
+            println!(
+                "round {round:>4}  {total}  (deadline {})",
+                if token.is_cancelled() { "hit" } else { "open" }
+            );
+        }
+    }
+    println!("cross_engine_fuzz finished after {round} rounds");
+    println!("{total}");
+    if total.agree == 0 {
+        return Err("oracle never reached an Agree verdict; generator is broken".to_string());
+    }
+    if let Some(path) = tel
+        .write_env_report()
+        .map_err(|e| format!("telemetry artifact: {e}"))?
+    {
+        println!("wrote telemetry to {}", path.display());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&cli) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

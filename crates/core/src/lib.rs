@@ -59,6 +59,7 @@ mod codegen;
 mod depmap;
 mod explain;
 mod incremental;
+pub mod oracle;
 mod precond;
 mod script;
 mod sequence;
@@ -69,6 +70,9 @@ pub use bounds::{BoundsMatrices, MatrixEntry};
 pub use codegen::ApplyError;
 pub use depmap::{blockmap, imap, mergedirs, parmap};
 pub use incremental::{ExtendError, LegalityCache, SeqState};
+pub use oracle::{
+    compare_domain, cross_check, record_outcome, CompareDomain, CrossCheckOutcome, OracleVerdict,
+};
 pub use precond::PrecondError;
 pub use script::ScriptError;
 pub use sequence::{

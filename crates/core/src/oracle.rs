@@ -1,0 +1,280 @@
+//! Cross-engine oracle protocol: verdict vocabulary, comparison domains,
+//! and the outcome table used to adjudicate the Table-2 mapping engine
+//! against the affine legality backend (`irlt-affine`).
+//!
+//! The two engines are *not* expected to agree verbatim everywhere.
+//! Table 2 abstracts each dependence entry independently (a per-row
+//! interval abstraction), which is **exact** for signed-permutation
+//! schedules but deliberately **conservative** for skewed unimodular
+//! schedules: `M = [[1,1],[0,−1]]` maps `d = (0⁺, 0⁺)` to `(0⁺, 0⁻)` and
+//! Table 2 must declare it illegal, while the exact polytope
+//! `δ₁ ≥ 0 ∧ δ₂ ≥ 0 ∧ δ₁+δ₂ = 0 ⟹ δ = 0` has no violating point. The
+//! [`CompareDomain`] lattice names what each sequence shape entitles the
+//! oracle to demand, and [`cross_check`] turns a verdict pair into an
+//! outcome: a [`CrossCheckOutcome::Mismatch`] is always a bug in one of
+//! the engines; a [`CrossCheckOutcome::Conservative`] is Table 2 being
+//! documented-safe rather than wrong.
+
+use crate::sequence::{Step, TransformSeq};
+use crate::template::Template;
+use irlt_obs::Telemetry;
+
+/// The verdict vocabulary shared by both legality engines.
+///
+/// The Table-2 engine only ever answers legal/illegal; the affine
+/// backend adds [`OracleVerdict::Unknown`] for the places where its
+/// rational relaxation loses exactness (blocking, symbolic block sizes,
+/// branch budgets, arithmetic guards).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OracleVerdict {
+    /// No dependence is violated under the transformed schedule.
+    Legal,
+    /// Some dependence admits a violating (rational) iteration pair.
+    Illegal,
+    /// The engine declined to decide; the documented envelope applies.
+    Unknown,
+}
+
+/// What a sequence's template mix entitles the oracle to demand, ordered
+/// from strictest to weakest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CompareDomain {
+    /// Signed-permutation schedules only (`ReversePermute`,
+    /// `Parallelize`, signed-permutation `Unimodular` matrices). Both
+    /// engines are exact here: verdicts must be **identical**, and the
+    /// affine backend must never answer `Unknown`.
+    Exact,
+    /// Adds general (skewing) unimodular matrices. One-way agreement:
+    /// affine-illegal ⟹ Table-2-illegal, but Table 2 may reject
+    /// sequences the exact polytope proves legal (see the module doc
+    /// counterexample).
+    OneWay,
+    /// Adds `Block`. The affine backend models tiling by a divisor-free
+    /// rational relaxation, so it answers `Legal` (still sound) or
+    /// `Unknown`, never `Illegal`.
+    Relaxed,
+    /// `Coalesce`, `Interleave`, or custom steps: the affine backend has
+    /// no schedule encoding, and the oracle skips the comparison.
+    Opaque,
+}
+
+impl CompareDomain {
+    /// Telemetry-friendly name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CompareDomain::Exact => "exact",
+            CompareDomain::OneWay => "one_way",
+            CompareDomain::Relaxed => "relaxed",
+            CompareDomain::Opaque => "opaque",
+        }
+    }
+}
+
+/// Classifies a sequence into the strictest [`CompareDomain`] its steps
+/// allow.
+pub fn compare_domain(seq: &TransformSeq) -> CompareDomain {
+    let mut domain = CompareDomain::Exact;
+    for step in seq.steps() {
+        let step_domain = match step {
+            Step::Custom(_) => CompareDomain::Opaque,
+            Step::Builtin(t) => match t {
+                Template::ReversePermute { .. } | Template::Parallelize { .. } => {
+                    CompareDomain::Exact
+                }
+                Template::Unimodular { matrix } => {
+                    if matrix.is_signed_permutation() {
+                        CompareDomain::Exact
+                    } else {
+                        CompareDomain::OneWay
+                    }
+                }
+                Template::Block { .. } => CompareDomain::Relaxed,
+                Template::Coalesce { .. } | Template::Interleave { .. } => CompareDomain::Opaque,
+            },
+        };
+        domain = domain.max(step_domain);
+    }
+    domain
+}
+
+/// The adjudicated result of one cross-engine comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrossCheckOutcome {
+    /// Both engines reached the same verdict.
+    Agree,
+    /// Table 2 said illegal where the affine polytope is provably empty
+    /// — the documented conservatism of the per-entry abstraction on
+    /// non-exact domains. Safe, counted, not a failure.
+    Conservative,
+    /// The domain (or an in-envelope `Unknown`) does not entitle the
+    /// oracle to compare; nothing is concluded.
+    Skipped,
+    /// A disagreement outside the documented envelope: a bug in one of
+    /// the two engines. Always a test failure.
+    Mismatch,
+}
+
+/// The outcome table: adjudicates a Table-2 verdict against an affine
+/// verdict given the sequence's [`CompareDomain`].
+///
+/// | affine \ Table-2 | legal | illegal |
+/// |------------------|-------|---------|
+/// | `Legal`          | Agree | Exact ⇒ Mismatch, else Conservative |
+/// | `Illegal`        | Mismatch | Agree |
+/// | `Unknown`        | Exact ⇒ Mismatch, else Skipped | idem |
+///
+/// `Opaque` domains are always [`CrossCheckOutcome::Skipped`]. The
+/// affine-`Illegal` + Table-2-legal cell is a mismatch in **every**
+/// non-opaque domain: soundness of Table 2 requires it to reject
+/// anything the exact polytope rejects.
+pub fn cross_check(
+    domain: CompareDomain,
+    t2_legal: bool,
+    affine: OracleVerdict,
+) -> CrossCheckOutcome {
+    if domain == CompareDomain::Opaque {
+        return CrossCheckOutcome::Skipped;
+    }
+    match affine {
+        OracleVerdict::Unknown => {
+            if domain == CompareDomain::Exact {
+                CrossCheckOutcome::Mismatch
+            } else {
+                CrossCheckOutcome::Skipped
+            }
+        }
+        OracleVerdict::Legal => {
+            if t2_legal {
+                CrossCheckOutcome::Agree
+            } else if domain == CompareDomain::Exact {
+                CrossCheckOutcome::Mismatch
+            } else {
+                CrossCheckOutcome::Conservative
+            }
+        }
+        OracleVerdict::Illegal => {
+            if t2_legal {
+                CrossCheckOutcome::Mismatch
+            } else {
+                CrossCheckOutcome::Agree
+            }
+        }
+    }
+}
+
+/// Records one comparison under the `legality/oracle/*` telemetry
+/// namespace: a total, one counter per outcome, one per domain, and an
+/// `affine_unknown` counter for envelope tracking. No-op when the handle
+/// is disabled.
+pub fn record_outcome(
+    tel: &Telemetry,
+    domain: CompareDomain,
+    outcome: CrossCheckOutcome,
+    affine: OracleVerdict,
+) {
+    if !tel.is_enabled() {
+        return;
+    }
+    tel.incr("legality/oracle/cases");
+    tel.incr(match outcome {
+        CrossCheckOutcome::Agree => "legality/oracle/agree",
+        CrossCheckOutcome::Conservative => "legality/oracle/conservative",
+        CrossCheckOutcome::Skipped => "legality/oracle/skipped",
+        CrossCheckOutcome::Mismatch => "legality/oracle/mismatch",
+    });
+    tel.count(&format!("legality/oracle/domain/{}", domain.name()), 1);
+    if affine == OracleVerdict::Unknown {
+        tel.incr("legality/oracle/affine_unknown");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irlt_unimodular::IntMatrix;
+
+    #[test]
+    fn domains_classify_by_step_mix() {
+        let exact = TransformSeq::new(2)
+            .reverse_permute(vec![true, false], vec![1, 0])
+            .unwrap()
+            .parallelize(vec![true, false])
+            .unwrap()
+            .unimodular(IntMatrix::interchange(2, 0, 1))
+            .unwrap();
+        assert_eq!(compare_domain(&exact), CompareDomain::Exact);
+
+        let one_way = exact
+            .clone()
+            .unimodular(IntMatrix::skew(2, 1, 0, 1))
+            .unwrap();
+        assert_eq!(compare_domain(&one_way), CompareDomain::OneWay);
+
+        let relaxed = one_way
+            .clone()
+            .block(0, 1, vec![irlt_ir::Expr::int(2), irlt_ir::Expr::int(2)])
+            .unwrap();
+        assert_eq!(compare_domain(&relaxed), CompareDomain::Relaxed);
+
+        let opaque = relaxed.coalesce(0, 1).unwrap();
+        assert_eq!(compare_domain(&opaque), CompareDomain::Opaque);
+
+        assert_eq!(compare_domain(&TransformSeq::new(3)), CompareDomain::Exact);
+    }
+
+    #[test]
+    fn outcome_table() {
+        use CompareDomain::*;
+        use CrossCheckOutcome::*;
+        use OracleVerdict::*;
+
+        // Agreement cells.
+        assert_eq!(cross_check(Exact, true, Legal), Agree);
+        assert_eq!(cross_check(OneWay, false, Illegal), Agree);
+        // Table-2 conservatism is a mismatch only on the exact domain.
+        assert_eq!(cross_check(Exact, false, Legal), Mismatch);
+        assert_eq!(cross_check(OneWay, false, Legal), Conservative);
+        assert_eq!(cross_check(Relaxed, false, Legal), Conservative);
+        // Affine-illegal against a Table-2 pass is a bug everywhere.
+        assert_eq!(cross_check(Exact, true, Illegal), Mismatch);
+        assert_eq!(cross_check(OneWay, true, Illegal), Mismatch);
+        assert_eq!(cross_check(Relaxed, true, Illegal), Mismatch);
+        // Unknown is out-of-envelope only where exactness is promised.
+        assert_eq!(cross_check(Exact, true, Unknown), Mismatch);
+        assert_eq!(cross_check(OneWay, true, Unknown), Skipped);
+        assert_eq!(cross_check(Relaxed, false, Unknown), Skipped);
+        // Opaque skips unconditionally.
+        assert_eq!(cross_check(Opaque, true, Illegal), Skipped);
+        assert_eq!(cross_check(Opaque, false, Legal), Skipped);
+    }
+
+    #[test]
+    fn outcomes_are_counted() {
+        let tel = Telemetry::enabled();
+        record_outcome(
+            &tel,
+            CompareDomain::Exact,
+            CrossCheckOutcome::Agree,
+            OracleVerdict::Legal,
+        );
+        record_outcome(
+            &tel,
+            CompareDomain::OneWay,
+            CrossCheckOutcome::Conservative,
+            OracleVerdict::Legal,
+        );
+        record_outcome(
+            &tel,
+            CompareDomain::Relaxed,
+            CrossCheckOutcome::Skipped,
+            OracleVerdict::Unknown,
+        );
+        let report = tel.report();
+        let rendered = report.render();
+        assert!(rendered.contains("legality/oracle/cases"));
+        assert!(rendered.contains("legality/oracle/agree"));
+        assert!(rendered.contains("legality/oracle/conservative"));
+        assert!(rendered.contains("legality/oracle/domain/exact"));
+        assert!(rendered.contains("legality/oracle/affine_unknown"));
+    }
+}

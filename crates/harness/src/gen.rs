@@ -11,6 +11,7 @@
 
 use crate::rng::Rng;
 use irlt_core::{Template, TransformSeq};
+use irlt_dependence::{DepElem, DepSet, DepVector, Dir};
 use irlt_ir::{Expr, Loop, LoopNest, Stmt, Symbol};
 use irlt_unimodular::IntMatrix;
 
@@ -154,6 +155,93 @@ pub fn gen_pair(rng: &mut Rng, depth: usize) -> (LoopNest, TransformSeq) {
     (gen_nest(rng, depth), gen_sequence(rng, depth))
 }
 
+/// One random dependence entry: small exact distances and every symbolic
+/// direction class.
+pub fn gen_dep_elem(rng: &mut Rng) -> DepElem {
+    if rng.gen_bool(0.5) {
+        DepElem::Dist(rng.gen_range(-2..=3i64))
+    } else {
+        DepElem::Dir(
+            *rng.choose(&[
+                Dir::Pos,
+                Dir::Neg,
+                Dir::NonNeg,
+                Dir::NonPos,
+                Dir::NonZero,
+                Dir::Any,
+            ])
+            .expect("nonempty"),
+        )
+    }
+}
+
+/// A random *valid* dependence vector of the given arity: like the output
+/// of dependence analysis on a sequential nest, it is never
+/// lexicographically-negative-capable. Rejection-samples random entries
+/// and falls back to the forward unit distance `(1, 0, …)`.
+pub fn gen_dep_vector(rng: &mut Rng, n: usize) -> DepVector {
+    for _ in 0..16 {
+        let v = DepVector::new((0..n).map(|_| gen_dep_elem(rng)).collect());
+        if !v.can_be_lex_negative() {
+            return v;
+        }
+    }
+    let mut fallback = vec![0i64; n];
+    fallback[0] = 1;
+    DepVector::distances(&fallback)
+}
+
+/// A random valid dependence set of 1–4 vectors, all of arity `n`.
+pub fn gen_dep_set(rng: &mut Rng, n: usize) -> DepSet {
+    let count = rng.gen_range(1..=4usize);
+    DepSet::from_vectors((0..count).map(|_| gen_dep_vector(rng, n)).collect())
+        .expect("uniform arity by construction")
+}
+
+/// A random signed permutation matrix: a permutation with each row
+/// independently negated. The subclass of unimodular matrices on which
+/// Table 2's per-entry mapping is exact (the oracle's `Exact` domain).
+pub fn gen_signed_permutation(rng: &mut Rng, n: usize) -> IntMatrix {
+    let mut m = IntMatrix::permutation(&rng.permutation(n));
+    for k in 0..n {
+        if rng.gen_bool(0.5) {
+            m = IntMatrix::reversal(n, k).mul(&m);
+        }
+    }
+    m
+}
+
+/// One random template from the oracle's exact domain: `ReversePermute`,
+/// `Parallelize`, or a signed-permutation `Unimodular`.
+pub fn gen_exact_template(rng: &mut Rng, n: usize) -> Template {
+    match rng.index(3) {
+        0 => {
+            let rev: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+            let perm = rng.permutation(n);
+            Template::reverse_permute(rev, perm).expect("valid by construction")
+        }
+        1 => Template::parallelize((0..n).map(|_| rng.gen_bool(0.5)).collect()),
+        _ => Template::unimodular(gen_signed_permutation(rng, n))
+            .expect("signed permutations are unimodular"),
+    }
+}
+
+/// A random 1–3 step sequence drawn entirely from the exact domain
+/// (size-preserving, so every step is on `n` loops).
+pub fn gen_exact_sequence(rng: &mut Rng, n: usize) -> TransformSeq {
+    let mut seq = TransformSeq::new(n);
+    let len = rng.gen_range(1..=3usize);
+    for k in 0..len {
+        if k > 0 && rng.gen_bool(0.5) {
+            break;
+        }
+        seq = seq
+            .push(gen_exact_template(rng, n))
+            .expect("exact templates preserve size");
+    }
+    seq
+}
+
 // ---------------------------------------------------------------------
 // Shrinkers
 // ---------------------------------------------------------------------
@@ -174,6 +262,46 @@ pub fn shrink_pair(pair: &(LoopNest, TransformSeq)) -> Vec<(LoopNest, TransformS
     }
     for simpler in simplify_nest(nest) {
         out.push((simpler, seq.clone()));
+    }
+    out
+}
+
+/// All one-step-removed variants of a sequence that still chain on
+/// sizes — the sequence half of the oracle-case shrinker.
+pub fn shrink_sequence(seq: &TransformSeq) -> Vec<TransformSeq> {
+    (0..seq.len())
+        .filter_map(|skip| remove_step(seq, skip))
+        .collect()
+}
+
+/// Structurally smaller dependence sets: one vector dropped (while at
+/// least one remains), and each non-zero entry weakened to `Dist(0)` one
+/// at a time. Both preserve arity and validity.
+pub fn shrink_dep_set(deps: &DepSet) -> Vec<DepSet> {
+    let vectors = deps.vectors();
+    let mut out = Vec::new();
+    if vectors.len() > 1 {
+        for skip in 0..vectors.len() {
+            let kept: Vec<DepVector> = vectors
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| k != skip)
+                .map(|(_, v)| v.clone())
+                .collect();
+            out.extend(DepSet::from_vectors(kept));
+        }
+    }
+    for (vi, v) in vectors.iter().enumerate() {
+        for (k, &e) in v.elems().iter().enumerate() {
+            if e == DepElem::ZERO {
+                continue;
+            }
+            let mut elems = v.elems().to_vec();
+            elems[k] = DepElem::ZERO;
+            let mut replaced = vectors.to_vec();
+            replaced[vi] = DepVector::new(elems);
+            out.extend(DepSet::from_vectors(replaced));
+        }
     }
     out
 }

@@ -8,7 +8,7 @@
 //! | [`rng`] | `rand` | SplitMix64 seed expansion + xoshiro256\*\* PRNG, range/bool/shuffle/choose helpers |
 //! | [`prop`] | `proptest` | property-check engine: per-case replay seeds, discard support, bounded greedy shrinking, persisted regression-seed corpus |
 //! | [`gen`] | inline strategies | random nests, subscripts, templates, transformation sequences, and their shrinkers |
-//! | [`diff`] | (new) | the differential equivalence fuzzer: legality → codegen → interpreter oracle on concrete memory |
+//! | [`diff`] | (new) | the differential equivalence fuzzer (legality → codegen → interpreter oracle on concrete memory) and the cross-engine legality oracle (Table 2 vs `irlt-affine`) |
 //! | [`timing`] | `criterion` | wall-clock bench runner with `cargo bench` measurement and `cargo test` smoke modes |
 //!
 //! # The oracle
@@ -43,5 +43,6 @@ pub mod prop;
 pub mod rng;
 pub mod timing;
 
+pub use diff::{cross_check_case, run_cross_engine, OracleCase, OracleReport};
 pub use prop::{CaseResult, Config};
 pub use rng::{derive_seed, Rng, SplitMix64};

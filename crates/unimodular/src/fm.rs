@@ -471,26 +471,163 @@ fn prune_dominated(cands: &mut Vec<Cand>, outer: &[&LinIneq], k: usize, is_lower
 }
 
 /// Eliminates variable `k` from the system by Fourier–Motzkin combination.
-/// Eliminates variable `k` from the system by Fourier–Motzkin combination.
+///
+/// Variable-free rows — whether already present or freshly derived by a
+/// combination — are **retained**, because they carry the system's
+/// feasibility: over the rationals, a system is empty exactly when
+/// exhaustive elimination derives a variable-free row whose constant is
+/// negative (`0 ≥ c` with `c > 0`). [`rational_feasibility`] builds its
+/// emptiness test on precisely this property. Exact duplicate rows are
+/// dropped.
 pub fn eliminate(system: &[LinIneq], k: usize) -> Vec<LinIneq> {
     let mut out: Vec<LinIneq> = Vec::new();
     let (pos, rest): (Vec<&LinIneq>, Vec<&LinIneq>) = system.iter().partition(|i| i.coeffs[k] > 0);
     let (neg, zero): (Vec<&LinIneq>, Vec<&LinIneq>) =
         rest.into_iter().partition(|i| i.coeffs[k] < 0);
     for i in zero {
-        if !i.is_variable_free() && !out.contains(i) {
+        if !out.contains(i) {
             out.push(i.clone());
         }
     }
     for p in &pos {
         for q in &neg {
             let c = LinIneq::combine(p, q, k);
-            if !c.is_variable_free() && !out.contains(&c) {
+            if !out.contains(&c) {
                 out.push(c);
             }
         }
     }
     out
+}
+
+/// Rational feasibility of a [`LinIneq`] system, as decided by
+/// [`rational_feasibility`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Feasibility {
+    /// No rational point satisfies the system: elimination derived a
+    /// variable-free row with a negative constant (a contradiction
+    /// `0 ≥ c`, `c > 0`).
+    Empty,
+    /// Some rational point satisfies the system. Fourier–Motzkin is
+    /// exact over ℚ, so eliminating every variable without deriving a
+    /// contradiction is a proof of satisfiability.
+    NonEmpty,
+    /// Not decided: a variable-free row's `rest` did not simplify to a
+    /// constant (free symbolic parameters), or the system outgrew the
+    /// size guards that keep the `i64` arithmetic exact.
+    Undecided,
+}
+
+/// Upper bound on coefficient / constant magnitude kept through
+/// [`rational_feasibility`]'s eliminations. Any two in-bound values can
+/// be cross-multiplied and summed in `i64` without overflow
+/// (`2·(2³⁰)² < 2⁶³`), so staying under the bound keeps every
+/// [`LinIneq::combine`] exact.
+const FEAS_MAX_MAG: i64 = 1 << 30;
+
+/// Row-count guard for [`rational_feasibility`]; a system that blows up
+/// past this during elimination is reported [`Feasibility::Undecided`]
+/// rather than ground through.
+const FEAS_MAX_ROWS: usize = 20_000;
+
+/// Decides whether `coeffs · x + rest ≥ 0` systems have a **rational**
+/// solution, by exhaustive Fourier–Motzkin elimination.
+///
+/// Each elimination round strips the variable-free rows that
+/// [`eliminate`] retains: a row with a provably negative constant is a
+/// contradiction (the system is [`Feasibility::Empty`]); a row whose
+/// `rest` does not simplify to a constant leaves the verdict
+/// [`Feasibility::Undecided`] unless a contradiction is found anyway.
+/// Rows are reduced by the GCD of their coefficients and constant, and
+/// the whole check bails out to `Undecided` (never a wrong answer) if
+/// magnitudes or row counts outgrow the exact-`i64` guards.
+///
+/// Over the rationals Fourier–Motzkin is complete, so for systems with
+/// constant `rest`s the answer is always `Empty` or `NonEmpty`. Note
+/// this is feasibility over ℚ: an integer-infeasible but
+/// rationally-feasible system reports `NonEmpty`.
+pub fn rational_feasibility(system: &[LinIneq]) -> Feasibility {
+    let nvars = system.first().map_or(0, |i| i.coeffs.len());
+    let mut undecided = false;
+    // Scans rows into `kept`, consuming variable-free rows: Some(true)
+    // when a contradiction is found.
+    let strip = |rows: Vec<LinIneq>, kept: &mut Vec<LinIneq>, undecided: &mut bool| -> bool {
+        for row in rows {
+            if row.is_variable_free() {
+                match row.rest.simplify().as_const() {
+                    Some(c) if c < 0 => return true,
+                    Some(_) => {}
+                    None => *undecided = true,
+                }
+            } else {
+                let simplified = LinIneq::new(row.coeffs, row.rest.simplify());
+                let reduced = reduce_row(simplified);
+                if !kept.contains(&reduced) {
+                    kept.push(reduced);
+                }
+            }
+        }
+        false
+    };
+
+    let mut sys: Vec<LinIneq> = Vec::with_capacity(system.len());
+    if strip(system.to_vec(), &mut sys, &mut undecided) {
+        return Feasibility::Empty;
+    }
+    for k in 0..nvars {
+        if sys.len() > FEAS_MAX_ROWS || !rows_in_bounds(&sys) {
+            return Feasibility::Undecided;
+        }
+        let eliminated = eliminate(&sys, k);
+        sys = Vec::with_capacity(eliminated.len());
+        if strip(eliminated, &mut sys, &mut undecided) {
+            return Feasibility::Empty;
+        }
+    }
+    debug_assert!(sys.is_empty(), "all variables eliminated");
+    if undecided {
+        Feasibility::Undecided
+    } else {
+        Feasibility::NonEmpty
+    }
+}
+
+/// Divides a row by the GCD of its coefficients and constant `rest`
+/// (when the rest is constant and the GCD divides it), keeping
+/// elimination products small. Exact over ℚ: `g > 0` scales an
+/// inequality without changing its solution set.
+fn reduce_row(row: LinIneq) -> LinIneq {
+    let mut g = 0i64;
+    for &c in &row.coeffs {
+        g = gcd(g, c);
+    }
+    if g <= 1 {
+        return row;
+    }
+    match row.rest.as_const() {
+        Some(c) if c % g == 0 => LinIneq::new(
+            row.coeffs.iter().map(|&x| x / g).collect(),
+            Expr::int(c / g),
+        ),
+        _ => row,
+    }
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// True when every coefficient and constant rest in the system is small
+/// enough for one more exact [`LinIneq::combine`].
+fn rows_in_bounds(sys: &[LinIneq]) -> bool {
+    sys.iter().all(|i| {
+        i.coeffs.iter().all(|c| c.abs() < FEAS_MAX_MAG)
+            && i.rest.as_const().is_none_or(|c| c.abs() < FEAS_MAX_MAG)
+    })
 }
 
 fn pos_of(names: &[Symbol], v: &Symbol) -> usize {
@@ -559,6 +696,92 @@ mod tests {
         // x bounds survive: x ≥ 1, x ≤ 5, plus combinations like x ≥ 0.
         assert!(reduced.iter().any(|i| i.coeffs[0] == 1));
         assert!(reduced.iter().any(|i| i.coeffs[0] == -1));
+    }
+
+    #[test]
+    fn eliminate_infeasible_system_yields_contradictory_constant_row() {
+        // x ≥ 3 and x ≤ 1: rationally empty. Eliminating the only
+        // variable must surface the contradiction as a retained
+        // variable-free row with negative constant (0 ≥ 2 ⇒ −2 ≥ 0).
+        let system = vec![
+            LinIneq::new(vec![1], Expr::int(-3)), // x − 3 ≥ 0
+            LinIneq::new(vec![-1], Expr::int(1)), // 1 − x ≥ 0
+        ];
+        let reduced = eliminate(&system, 0);
+        assert!(reduced
+            .iter()
+            .any(|i| i.is_variable_free() && i.rest.simplify().as_const().unwrap() < 0));
+        assert_eq!(rational_feasibility(&system), Feasibility::Empty);
+    }
+
+    #[test]
+    fn rational_feasibility_nonempty_box() {
+        // 1 ≤ x ≤ 5, 0 ≤ y ≤ x: plainly satisfiable.
+        let system = vec![
+            LinIneq::new(vec![1, 0], Expr::int(-1)),
+            LinIneq::new(vec![-1, 0], Expr::int(5)),
+            LinIneq::new(vec![0, 1], Expr::int(0)),
+            LinIneq::new(vec![1, -1], Expr::int(0)),
+        ];
+        assert_eq!(rational_feasibility(&system), Feasibility::NonEmpty);
+    }
+
+    #[test]
+    fn rational_feasibility_empty_triangular() {
+        // x + y ≥ 4, x ≤ 1, y ≤ 2: 4 ≤ x + y ≤ 3 is a contradiction
+        // only visible after pairing rows across both variables.
+        let system = vec![
+            LinIneq::new(vec![1, 1], Expr::int(-4)),
+            LinIneq::new(vec![-1, 0], Expr::int(1)),
+            LinIneq::new(vec![0, -1], Expr::int(2)),
+        ];
+        assert_eq!(rational_feasibility(&system), Feasibility::Empty);
+    }
+
+    #[test]
+    fn rational_feasibility_rational_point_counts() {
+        // 2x ≥ 1, 2x ≤ 1: only x = 1/2 works — nonempty over ℚ even
+        // though no integer satisfies it.
+        let system = vec![
+            LinIneq::new(vec![2], Expr::int(-1)),
+            LinIneq::new(vec![-2], Expr::int(1)),
+        ];
+        assert_eq!(rational_feasibility(&system), Feasibility::NonEmpty);
+    }
+
+    #[test]
+    fn rational_feasibility_symbolic_rest_undecided() {
+        // x ≥ 0, x ≤ n: feasibility depends on the free symbol n.
+        let system = vec![
+            LinIneq::new(vec![1], Expr::int(0)),
+            LinIneq::new(vec![-1], Expr::var("n")),
+        ];
+        assert_eq!(rational_feasibility(&system), Feasibility::Undecided);
+        // …but a contradiction among the constant rows still wins: the
+        // symbolic row cannot rescue x ≥ 3 ∧ x ≤ 1.
+        let system = vec![
+            LinIneq::new(vec![1], Expr::int(-3)),
+            LinIneq::new(vec![-1], Expr::int(1)),
+            LinIneq::new(vec![-1], Expr::var("n")),
+        ];
+        assert_eq!(rational_feasibility(&system), Feasibility::Empty);
+    }
+
+    #[test]
+    fn rational_feasibility_empty_system_is_nonempty() {
+        assert_eq!(rational_feasibility(&[]), Feasibility::NonEmpty);
+    }
+
+    #[test]
+    fn rational_feasibility_overflow_guard_undecided() {
+        // Coefficients at the guard boundary refuse to combine rather
+        // than risk wrapping in release mode.
+        let big = FEAS_MAX_MAG;
+        let system = vec![
+            LinIneq::new(vec![big, 1], Expr::int(0)),
+            LinIneq::new(vec![-big, -1], Expr::int(0)),
+        ];
+        assert_eq!(rational_feasibility(&system), Feasibility::Undecided);
     }
 
     #[test]

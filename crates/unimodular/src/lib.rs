@@ -40,6 +40,8 @@ mod matrix;
 mod transform;
 
 pub use depmap::{map_dep_set, map_dep_vector};
-pub use fm::{eliminate, FmError, IterSpace, LinIneq, NormalizedSpace};
+pub use fm::{
+    eliminate, rational_feasibility, Feasibility, FmError, IterSpace, LinIneq, NormalizedSpace,
+};
 pub use matrix::IntMatrix;
 pub use transform::{UnimodularError, UnimodularTransform};

@@ -245,6 +245,37 @@ impl IntMatrix {
         self.is_square() && matches!(self.det(), 1 | -1)
     }
 
+    /// True if this is a *signed permutation* matrix: square, with
+    /// exactly one nonzero entry per row and per column, each `±1`.
+    ///
+    /// Products of interchange and reversal generators are exactly the
+    /// signed permutations; skews are unimodular but not signed
+    /// permutations. On this subclass the paper's per-entry Table-2
+    /// dependence mapping is exact, which is what makes it the
+    /// "exact domain" of the cross-engine oracle.
+    pub fn is_signed_permutation(&self) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        let n = self.rows;
+        let mut col_used = vec![false; n];
+        for i in 0..n {
+            let mut hit = None;
+            for j in 0..n {
+                match self[(i, j)] {
+                    0 => {}
+                    1 | -1 if hit.is_none() => hit = Some(j),
+                    _ => return false,
+                }
+            }
+            match hit {
+                Some(j) if !col_used[j] => col_used[j] = true,
+                _ => return false,
+            }
+        }
+        true
+    }
+
     /// Exact inverse.
     ///
     /// Returns `None` if the matrix is singular **or** the inverse is not
@@ -447,6 +478,25 @@ mod tests {
     fn mul_vec_matches_mul() {
         let m = IntMatrix::from_rows(&[&[1, 1], &[0, 1]]);
         assert_eq!(m.mul_vec(&[2, 3]), vec![5, 3]);
+    }
+
+    #[test]
+    fn signed_permutation_classification() {
+        assert!(IntMatrix::identity(3).is_signed_permutation());
+        assert!(IntMatrix::interchange(3, 0, 2).is_signed_permutation());
+        assert!(IntMatrix::reversal(2, 1).is_signed_permutation());
+        assert!(IntMatrix::reversal(2, 0)
+            .mul(&IntMatrix::interchange(2, 0, 1))
+            .is_signed_permutation());
+        // Skews are unimodular but not signed permutations.
+        let skew = IntMatrix::skew(2, 1, 0, 1);
+        assert!(skew.is_unimodular());
+        assert!(!skew.is_signed_permutation());
+        // Entry magnitude 2, a row with two nonzeros, and a repeated
+        // column are each rejected.
+        assert!(!IntMatrix::from_rows(&[&[2, 0], &[0, 1]]).is_signed_permutation());
+        assert!(!IntMatrix::from_rows(&[&[1, 1], &[0, 1]]).is_signed_permutation());
+        assert!(!IntMatrix::from_rows(&[&[1, 0], &[1, 0]]).is_signed_permutation());
     }
 
     #[test]

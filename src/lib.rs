@@ -13,6 +13,7 @@
 //! | [`dependence`] | dependence vectors (`S(d_k)` semantics), `Tuples(D)` legality, ZIV/SIV/GCD/Banerjee analysis |
 //! | [`unimodular`] | exact integer matrices, Fourier–Motzkin scanning, the unimodular baseline framework |
 //! | [`core`] | the paper's contribution: Table 1 templates, Table 2 dependence rules, Tables 3–4 preconditions & codegen, sequences, fusion, [`core::catalog`] |
+//! | [`affine`] | the second legality engine: composed affine schedules, per-dependence violation polytopes, Fourier–Motzkin rational emptiness, the cross-engine `Unknown` envelope |
 //! | [`interp`] | loop-nest interpreter, differential equivalence checking, empirical dependences |
 //! | [`cachesim`] | set-associative LRU cache + array layouts for locality studies |
 //! | [`opt`] | goal-directed transformation search and empirical rule validation (the paper's "automatic transformation system" future work) |
@@ -46,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use irlt_affine as affine;
 pub use irlt_cachesim as cachesim;
 pub use irlt_core as core;
 pub use irlt_dependence as dependence;
@@ -58,12 +60,14 @@ pub use irlt_unimodular as unimodular;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
+    pub use irlt_affine::{check_sequence, AffineOptions, AffineReport};
     pub use irlt_cachesim::{
         simulate_nest, simulate_nest_observed, AddressMap, Cache, CacheConfig, Order,
     };
     pub use irlt_core::{
-        catalog, BoundsMatrices, ExtendError, KernelTemplate, KeyMode, LegalityCache,
-        LegalityReport, Permutation, SeqState, SharedLegalityCache, Template, TransformSeq,
+        catalog, compare_domain, cross_check, BoundsMatrices, CompareDomain, CrossCheckOutcome,
+        ExtendError, KernelTemplate, KeyMode, LegalityCache, LegalityReport, OracleVerdict,
+        Permutation, SeqState, SharedLegalityCache, Template, TransformSeq,
     };
     pub use irlt_dependence::{
         analyze_dependences, analyze_dependences_detailed, DepElem, DepSet, DepVector, Dir,

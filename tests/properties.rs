@@ -9,9 +9,12 @@
 //! replayed before any novel case on later runs.
 
 use irlt::prelude::*;
-use irlt_harness::gen::{gen_nest, gen_pair, gen_sequence, gen_unimodular, shrink_pair};
+use irlt_harness::diff::shrink_oracle_case;
+use irlt_harness::gen::{
+    gen_dep_set, gen_exact_sequence, gen_nest, gen_pair, gen_sequence, gen_unimodular, shrink_pair,
+};
 use irlt_harness::prop::{check, corpus_dir_for, CaseResult, Config};
-use irlt_harness::{diff, prop_assert, prop_assert_eq, prop_assume};
+use irlt_harness::{cross_check_case, diff, prop_assert, prop_assert_eq, prop_assume, OracleCase};
 
 /// A [`Config`] whose corpus directory is anchored to this crate's
 /// *compile-time* manifest path, so `tests/corpus/` seed replay works
@@ -813,6 +816,80 @@ fn coalesce_decode_bijection() {
             }
             prop_assert_eq!(seen.len() as i64, trip1 * trip2);
             CaseResult::Pass
+        },
+    );
+}
+
+/// Cross-engine agreement on the *exact* domain (satellite of the
+/// affine backend): for sequences built purely from signed
+/// permutations — `ReversePermute`, `Parallelize`, and unimodular
+/// steps whose matrix is a signed permutation — the affine engine must
+/// never answer `Unknown` and must agree with Table 2 verbatim, on
+/// both analyzed and synthetic dependence sets.
+#[test]
+fn cross_engine_exact_domain_agreement() {
+    let tel = Telemetry::disabled();
+    check(
+        "cross_engine_exact_domain",
+        &corpus_cfg(200),
+        |rng| {
+            let depth = rng.gen_range(1..=3usize);
+            let nest = gen_nest(rng, depth);
+            let deps = if rng.gen_bool(0.5) {
+                analyze_dependences(&nest)
+            } else {
+                gen_dep_set(rng, depth)
+            };
+            let seq = gen_exact_sequence(rng, depth);
+            OracleCase { nest, deps, seq }
+        },
+        shrink_oracle_case,
+        |case| {
+            prop_assert_eq!(compare_domain(&case.seq), CompareDomain::Exact);
+            match cross_check_case(case, &tel) {
+                Ok((outcome, verdict)) => {
+                    prop_assert!(
+                        verdict != OracleVerdict::Unknown,
+                        "affine engine answered Unknown on the exact domain"
+                    );
+                    prop_assert_eq!(outcome, CrossCheckOutcome::Agree);
+                }
+                Err(msg) => return CaseResult::Fail(msg),
+            }
+            CaseResult::Pass
+        },
+    );
+}
+
+/// Cross-engine protocol holds on *general* sequences too: whatever
+/// mix of templates the generator draws (blocking, coalescing,
+/// interleaving, skews included), the oracle must classify every case
+/// as Agree / Conservative / Skipped — a confirmed disagreement is a
+/// shrunk, persisted failure.
+#[test]
+fn cross_engine_general_sequences_never_mismatch() {
+    let tel = Telemetry::disabled();
+    check(
+        "cross_engine_general",
+        &corpus_cfg(100),
+        |rng| {
+            let depth = rng.gen_range(1..=4usize);
+            let nest = gen_nest(rng, depth);
+            let deps = if rng.gen_bool(0.5) {
+                analyze_dependences(&nest)
+            } else {
+                gen_dep_set(rng, depth)
+            };
+            let seq = gen_sequence(rng, depth);
+            OracleCase { nest, deps, seq }
+        },
+        shrink_oracle_case,
+        |case| match cross_check_case(case, &tel) {
+            Ok((outcome, _)) => {
+                prop_assert!(outcome != CrossCheckOutcome::Mismatch);
+                CaseResult::Pass
+            }
+            Err(msg) => CaseResult::Fail(msg),
         },
     );
 }

@@ -136,3 +136,66 @@ fn historical_cases_hold_across_seeds() {
         assert_contract(&nest, &seq, seed);
     }
 }
+
+/// Cross-engine oracle corpus replay: every seed persisted under
+/// `tests/corpus/cross_engine.seeds` is re-run ahead of a handful of
+/// novel cases, so any disagreement the standing fuzz battery ever
+/// finds stays covered forever.
+#[test]
+fn cross_engine_corpus_replays() {
+    use irlt_harness::prop::{corpus_dir_for, Config};
+    let cfg = Config {
+        corpus_dir: corpus_dir_for(env!("CARGO_MANIFEST_DIR")),
+        ..Config::with_cases(32)
+    };
+    let tel = Telemetry::disabled();
+    let report = irlt_harness::run_cross_engine(&cfg, &tel);
+    assert_eq!(
+        report.agree + report.conservative + report.skipped,
+        report.cases,
+        "unclassified oracle cases: {report}"
+    );
+}
+
+/// The documented one-way gap between the engines, pinned exactly:
+/// under Θ = reversal(1)·skew(x'₀ = x₀ + x₁) the mapped direction of
+/// d = (0⁺, 0⁺) is (0⁺, 0⁻), which Table 2's elementwise rules must
+/// reject — but the violation polytope {δ₁+δ₂ = 0, δ ≥ 0, δ ≠ 0} is
+/// empty, so the affine engine proves the sequence legal. The oracle
+/// classifies this as `Conservative`, never as a mismatch.
+#[test]
+fn table2_conservatism_on_skewed_unimodular_is_documented() {
+    let nest = LoopNest::new(
+        vec![
+            Loop::new("i", Expr::int(0), Expr::int(9)),
+            Loop::new("j", Expr::int(0), Expr::int(9)),
+        ],
+        vec![Stmt::array("A", vec![Expr::var("i")], Expr::var("j"))],
+    );
+    let deps = DepSet::from_vectors(vec![DepVector::new(vec![
+        DepElem::Dir(Dir::NonNeg),
+        DepElem::Dir(Dir::NonNeg),
+    ])])
+    .unwrap();
+    let seq = TransformSeq::new(2)
+        .unimodular(IntMatrix::skew(2, 1, 0, 1))
+        .unwrap()
+        .unimodular(IntMatrix::reversal(2, 1))
+        .unwrap();
+
+    // Table 2 is conservative here…
+    assert!(!seq.map_deps(&deps).is_legal());
+    // …the affine engine is exact and proves legality…
+    let report = check_sequence(&nest, &deps, &seq, &AffineOptions::default());
+    assert_eq!(report.verdict, OracleVerdict::Legal);
+    assert_eq!(report.domain, CompareDomain::OneWay);
+    // …and the oracle files the gap as Conservative, not Mismatch.
+    let outcome = cross_check(report.domain, false, report.verdict);
+    assert_eq!(outcome, CrossCheckOutcome::Conservative);
+    let tel = Telemetry::disabled();
+    let (outcome, verdict) =
+        irlt_harness::cross_check_case(&irlt_harness::OracleCase { nest, deps, seq }, &tel)
+            .expect("a documented one-way gap must not be a protocol violation");
+    assert_eq!(outcome, CrossCheckOutcome::Conservative);
+    assert_eq!(verdict, OracleVerdict::Legal);
+}
