@@ -21,6 +21,23 @@
 //!   (`KeyMode::Display`) measured in the same bench for an
 //!   apples-to-apples comparison.
 //!
+//! PR 8 adds two more effects:
+//!
+//! * **Lock striping** (`shard64/s1` vs `shard64/s16`) — the same serial
+//!   workload through a single-shard cache (the PR 5 layout: one map,
+//!   one lock) and a 16-shard cache. At one thread this isolates the
+//!   striping overhead itself: shard selection is one mask over the
+//!   probe fingerprint, so `s16` must not be slower than `s1`.
+//! * **Warm start** (`warmdeep64/cold` vs `warmdeep64/warm`) — the
+//!   identical deep-search batch started cold vs started from the
+//!   previous run's `irlt-cache/v1` snapshot (`BatchConfig::cache_load`).
+//!   The warm row pays the full load path — read, decode, re-intern,
+//!   insert — and then replays every legality subproblem from
+//!   snapshot-owned entries. The deep workload is where warm start
+//!   matters: at acceptance-search settings the first-encounter legality
+//!   work dominates, whereas the shallow corpus already amortizes it
+//!   across its 8x-repeated shapes.
+//!
 //! Results are bit-identical across all rows of a workload by the
 //! driver's determinism contract (`tests/driver.rs` and the key-mode
 //! properties pin this); only time may differ.
@@ -78,6 +95,50 @@ fn main() {
             black_box(run_batch(black_box(&deep), &cfg))
         });
     }
+    // Lock striping at one thread: pure overhead comparison.
+    for (name, shards) in [("s1", 1usize), ("s16", 16)] {
+        let cfg = BatchConfig {
+            threads: 1,
+            cache_shards: shards,
+            telemetry: telemetry.clone(),
+            ..BatchConfig::default()
+        };
+        r.bench(&format!("driver/shard64/{name}"), || {
+            black_box(run_batch(black_box(&jobs), &cfg))
+        });
+    }
+    // Cold vs warm start on the deep workload. One priming run records
+    // the snapshot; the warm row then pays read + decode + re-intern +
+    // load on every iteration, exactly like a second
+    // `irlt-batch --cache-load` process.
+    let snapshot = std::env::temp_dir().join(format!("irlt-bench-warm-{}.bin", std::process::id()));
+    run_batch(
+        &deep,
+        &BatchConfig {
+            threads: 1,
+            cache_save: Some(snapshot.clone()),
+            telemetry: telemetry.clone(),
+            ..BatchConfig::default()
+        },
+    );
+    let cold_cfg = BatchConfig {
+        threads: 1,
+        telemetry: telemetry.clone(),
+        ..BatchConfig::default()
+    };
+    r.bench("driver/warmdeep64/cold", || {
+        black_box(run_batch(black_box(&deep), &cold_cfg))
+    });
+    let warm_cfg = BatchConfig {
+        threads: 1,
+        cache_load: Some(snapshot.clone()),
+        telemetry: telemetry.clone(),
+        ..BatchConfig::default()
+    };
+    r.bench("driver/warmdeep64/warm", || {
+        black_box(run_batch(black_box(&deep), &warm_cfg))
+    });
+    let _ = std::fs::remove_file(&snapshot);
     r.finish();
     match telemetry.write_env_report() {
         Ok(Some(path)) => println!("telemetry written to {}", path.display()),

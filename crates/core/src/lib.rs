@@ -64,6 +64,7 @@ mod precond;
 mod script;
 mod sequence;
 mod shared;
+mod snapshot;
 mod template;
 
 pub use bounds::{BoundsMatrices, MatrixEntry};
@@ -79,5 +80,6 @@ pub use sequence::{
     init_prefix, IllegalReason, KernelTemplate, LegalityReport, SeqApplyError, SequenceError, Step,
     TransformSeq,
 };
-pub use shared::{KeyMode, SharedCacheStats, SharedLegalityCache};
+pub use shared::{KeyMode, ShardStats, SharedCacheStats, SharedLegalityCache};
+pub use snapshot::{SnapshotError, SnapshotLoadStats, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use template::{Permutation, Template, TemplateError};

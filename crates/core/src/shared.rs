@@ -36,18 +36,48 @@
 //! paths can be benchmarked against each other in the same binary
 //! (`BENCH_6.json` deep-search rows). It is not used by default.
 //!
+//! # Sharding
+//!
+//! The memo table is split into `N` lock-striped shards (`N` a power of
+//! two). A probe hashes its key through [`irlt_dependence::fp128`] and
+//! masks the low bits to pick a shard, so concurrent workers touching
+//! different keys contend on different mutexes; the fingerprint is used
+//! *only* for stripe selection (never persisted — see
+//! `irlt_dependence::fingerprint`), and within a shard the full key is
+//! still compared exactly, so sharding cannot change any verdict. Shard
+//! locks are taken `try_lock`-first: a failed `try_lock` increments the
+//! shard's `contended` counter before falling back to a blocking `lock`,
+//! which makes stripe contention directly observable
+//! (`legality/cache/shard.N/*` and `legality/cache/contended` in the
+//! batch telemetry). One probe touches exactly one shard, and shard
+//! selection allocates nothing, so the zero-allocation probe guarantee
+//! (pinned by the `alloc_probe` CI gate) holds at any shard count.
+//!
 //! # Degradation
 //!
-//! The cache is capacity-bounded. When an insert would exceed the bound
-//! the current generation is dropped wholesale (a "generational" sweep:
-//! no LRU bookkeeping on the hot path) and the eviction is counted.
-//! Because entries only ever *replay* what recomputation would produce,
-//! eviction is invisible to results — jobs fall back to scratch legality
-//! work and produce verdict-identical output. The interner pools are
-//! **not** swept: live [`SeqState`]s hold interned ids, and recycling an
-//! id could alias two distinct states; the pools grow with the number of
-//! *distinct* structures seen (lifecycle beyond that is ROADMAP item 1's
-//! sharded cache).
+//! The cache is capacity-bounded **per shard** (total capacity divided
+//! evenly). When an insert would overflow a shard, that shard's resident
+//! generation is dropped wholesale (a "generational" sweep: no LRU
+//! bookkeeping on the hot path) and the eviction is counted; other shards
+//! are untouched. Because entries only ever *replay* what recomputation
+//! would produce, eviction is invisible to results — jobs fall back to
+//! scratch legality work and produce verdict-identical output. The
+//! interner pools are **not** swept: live [`SeqState`]s hold interned
+//! ids, and recycling an id could alias two distinct states; the pools
+//! grow with the number of *distinct* structures seen.
+//!
+//! # Persistence
+//!
+//! A fingerprint-mode cache can be serialized to a versioned
+//! `irlt-cache/v1` artifact and re-loaded in a later process
+//! ([`SharedLegalityCache::save_snapshot`] /
+//! [`SharedLegalityCache::load_snapshot`], format spec in
+//! [`crate::snapshot`]): the snapshot stores structural *values* (pools +
+//! entries), never fingerprints or raw ids, and loading re-interns
+//! everything so a warm start is exact by the same argument as a cold
+//! one. Entries restored from a snapshot are owned by
+//! [`SharedLegalityCache::SNAPSHOT_OWNER`]; hits on them are counted
+//! separately (`snapshot_hits`) so cross-run amortization is observable.
 //!
 //! Only built-in templates are cached: a custom
 //! [`KernelTemplate`](crate::KernelTemplate)'s rendering need not
@@ -57,12 +87,12 @@
 
 use crate::sequence::IllegalReason;
 use crate::template::Template;
-use irlt_dependence::{DepSet, Interner, InternerStats};
+use irlt_dependence::{fp128, DepSet, Interner, InternerStats};
 use irlt_ir::LoopNest;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
 
 /// How the cache keys its entries. See the [module docs](self).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -110,7 +140,7 @@ pub(crate) enum TemplateKey {
 /// the PR 5 probe, which rebuilt the template `String` per lookup):
 /// fingerprint keys are `Copy` words, legacy keys are `Arc` bumps.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
-enum ProbeKey {
+pub(crate) enum ProbeKey {
     Fp {
         prune: bool,
         shape: u32,
@@ -121,7 +151,7 @@ enum ProbeKey {
 }
 
 impl ProbeKey {
-    fn new(state: &StateKey, template: &TemplateKey) -> ProbeKey {
+    pub(crate) fn new(state: &StateKey, template: &TemplateKey) -> ProbeKey {
         match (state, template) {
             (
                 &StateKey::Fp {
@@ -173,9 +203,9 @@ pub struct SharedCacheStats {
     pub misses: u64,
     /// Entries deposited.
     pub inserts: u64,
-    /// Entries dropped by generational eviction.
+    /// Entries dropped by (per-shard) generational eviction.
     pub evictions: u64,
-    /// Entries currently resident.
+    /// Entries currently resident, summed over shards.
     pub entries: u64,
     /// Map probes (`hits + misses`, tracked separately so the key-path
     /// cost is directly observable as `legality/key/probes`).
@@ -190,20 +220,35 @@ pub struct SharedCacheStats {
     /// Verifies that failed: two distinct values shared a 128-bit
     /// fingerprint. Expected to stay 0 in practice.
     pub interner_collisions: u64,
+    /// Number of lock-striped shards.
+    pub shards: u64,
+    /// Shard-lock probes whose `try_lock` failed (another worker held the
+    /// stripe) before the blocking fallback acquired it.
+    pub contended: u64,
+    /// Entries restored from a snapshot (`load_snapshot`).
+    pub snapshot_entries: u64,
+    /// Hits on snapshot-restored entries — the cross-*run* amortization
+    /// warm starts exist for.
+    pub snapshot_hits: u64,
 }
 
 impl fmt::Display for SharedCacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} hits ({} cross-job), {} misses, {} inserts, {} evictions, {} resident; \
+            "{} hits ({} cross-job, {} snapshot), {} misses, {} inserts, {} evictions, \
+             {} resident in {} shards ({} contended locks, {} snapshot-loaded); \
              {} probes, {} interned ({} pool hits, {} verifies, {} collisions)",
             self.hits,
             self.cross_hits,
+            self.snapshot_hits,
             self.misses,
             self.inserts,
             self.evictions,
             self.entries,
+            self.shards,
+            self.contended,
+            self.snapshot_entries,
             self.key_probes,
             self.interned_values,
             self.interner_hits,
@@ -213,12 +258,27 @@ impl fmt::Display for SharedCacheStats {
     }
 }
 
+/// Per-shard counter snapshot (see [`SharedLegalityCache::shard_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Lookups on this shard that found an entry.
+    pub hits: u64,
+    /// Lookups on this shard that found nothing.
+    pub misses: u64,
+    /// Entries this shard dropped by generational eviction.
+    pub evictions: u64,
+    /// `try_lock` failures on this shard's stripe.
+    pub contended: u64,
+    /// Entries currently resident in this shard.
+    pub entries: u64,
+}
+
 /// The three interner pools backing fingerprint-mode keys.
 #[derive(Default)]
-struct Pools {
-    shapes: Interner<LoopNest>,
-    deps: Interner<DepSet>,
-    templates: Interner<Template>,
+pub(crate) struct Pools {
+    pub(crate) shapes: Interner<LoopNest>,
+    pub(crate) deps: Interner<DepSet>,
+    pub(crate) templates: Interner<Template>,
 }
 
 impl Pools {
@@ -243,34 +303,81 @@ impl Pools {
     }
 }
 
-struct Inner {
+/// One lock stripe: a map segment plus its contention-visible counters.
+struct Shard {
     map: Mutex<HashMap<ProbeKey, Entry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    contended: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+        }
+    }
+
+    /// `try_lock` first so stripe contention is observable; a poisoned
+    /// lock only means another thread panicked mid-insert — the map is
+    /// still a valid (possibly partial) memo table, so keep serving.
+    fn lock(&self) -> MutexGuard<'_, HashMap<ProbeKey, Entry>> {
+        match self.map.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+                self.lock_uncounted()
+            }
+        }
+    }
+
+    /// Blocking lock for observability and maintenance paths (`stats`,
+    /// `len`, snapshot walks): those are not probe traffic, so they do
+    /// not count toward the contention telemetry.
+    fn lock_uncounted(&self) -> MutexGuard<'_, HashMap<ProbeKey, Entry>> {
+        self.map
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+struct Inner {
+    shards: Box<[Shard]>,
+    /// `shards.len() - 1`; shard index is `fp128(key) & mask`.
+    shard_mask: u128,
+    /// Per-shard entry bound (total capacity divided evenly, min 1).
+    shard_capacity: usize,
     pools: Mutex<Pools>,
     mode: KeyMode,
     capacity: usize,
-    hits: AtomicU64,
     cross_hits: AtomicU64,
-    misses: AtomicU64,
     inserts: AtomicU64,
-    evictions: AtomicU64,
     key_probes: AtomicU64,
+    snapshot_entries: AtomicU64,
+    snapshot_hits: AtomicU64,
 }
 
-struct Entry {
-    outcome: CachedOutcome,
+pub(crate) struct Entry {
+    pub(crate) outcome: CachedOutcome,
     /// The job that paid for this entry (see [`SeqState::with_shared`]'s
     /// owner tag); hits from any other owner count as cross-job.
     ///
     /// [`SeqState::with_shared`]: crate::SeqState::with_shared
-    owner: u64,
+    pub(crate) owner: u64,
 }
 
 /// A clone-shared, thread-safe memo table for [`SeqState`] extensions,
 /// shared across every job of a batch run.
 ///
 /// Cloning is cheap (an [`Arc`] bump); all clones observe one table and
-/// one set of counters. See the [module docs](self) for the key design
-/// and the exactness argument.
+/// one set of counters. See the [module docs](self) for the key design,
+/// the sharding layout, and the exactness argument.
 ///
 /// [`SeqState`]: crate::SeqState
 ///
@@ -307,6 +414,7 @@ impl fmt::Debug for SharedLegalityCache {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SharedLegalityCache")
             .field("capacity", &self.inner.capacity)
+            .field("shards", &self.inner.shards.len())
             .field("mode", &self.inner.mode)
             .field("stats", &self.stats())
             .finish()
@@ -319,9 +427,22 @@ impl Default for SharedLegalityCache {
     }
 }
 
+/// Shard count for `shards == 0`: `next_power_of_two(threads * 4)`,
+/// bounded so a huge host doesn't allocate thousands of near-empty
+/// stripes.
+fn auto_shards() -> usize {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    (threads * 4).next_power_of_two().clamp(1, 256)
+}
+
 impl SharedLegalityCache {
     /// Default entry capacity before a generational sweep.
     pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+    /// Owner tag for entries restored by
+    /// [`load_snapshot`](SharedLegalityCache::load_snapshot): never a real
+    /// job id, so every snapshot hit also counts as a cross-job hit.
+    pub const SNAPSHOT_OWNER: u64 = u64::MAX;
 
     /// A cache with the default capacity and fingerprint keys.
     pub fn new() -> SharedLegalityCache {
@@ -329,27 +450,50 @@ impl SharedLegalityCache {
     }
 
     /// A fingerprint-keyed cache holding at most `capacity` entries
-    /// (minimum 1); inserting past the bound drops the whole resident
-    /// generation first.
+    /// (minimum 1), striped over an automatic shard count
+    /// (`next_power_of_two(available_parallelism * 4)`). Inserting past a
+    /// shard's bound drops that shard's resident generation first.
     pub fn with_capacity(capacity: usize) -> SharedLegalityCache {
-        SharedLegalityCache::with_capacity_and_mode(capacity, KeyMode::default())
+        SharedLegalityCache::with_config(capacity, 0, KeyMode::default())
+    }
+
+    /// A fingerprint-keyed cache with an explicit shard count (`0` =
+    /// automatic; otherwise rounded up to the next power of two).
+    pub fn with_shards(capacity: usize, shards: usize) -> SharedLegalityCache {
+        SharedLegalityCache::with_config(capacity, shards, KeyMode::default())
     }
 
     /// A cache with an explicit [`KeyMode`] (legacy `Display` keys exist
-    /// for representation benchmarking; results are identical).
+    /// for representation benchmarking; results are identical) and an
+    /// automatic shard count.
     pub fn with_capacity_and_mode(capacity: usize, mode: KeyMode) -> SharedLegalityCache {
+        SharedLegalityCache::with_config(capacity, 0, mode)
+    }
+
+    /// The fully explicit constructor: capacity, shard count (`0` =
+    /// automatic, otherwise rounded up to a power of two and capped at
+    /// 4096), and key mode.
+    pub fn with_config(capacity: usize, shards: usize, mode: KeyMode) -> SharedLegalityCache {
+        let shards = if shards == 0 {
+            auto_shards()
+        } else {
+            shards.next_power_of_two().min(4096)
+        };
+        let capacity = capacity.max(1);
+        let shard_capacity = (capacity / shards).max(1);
         SharedLegalityCache {
             inner: Arc::new(Inner {
-                map: Mutex::new(HashMap::new()),
+                shards: (0..shards).map(|_| Shard::new()).collect(),
+                shard_mask: (shards - 1) as u128,
+                shard_capacity,
                 pools: Mutex::new(Pools::default()),
                 mode,
-                capacity: capacity.max(1),
-                hits: AtomicU64::new(0),
+                capacity,
                 cross_hits: AtomicU64::new(0),
-                misses: AtomicU64::new(0),
                 inserts: AtomicU64::new(0),
-                evictions: AtomicU64::new(0),
                 key_probes: AtomicU64::new(0),
+                snapshot_entries: AtomicU64::new(0),
+                snapshot_hits: AtomicU64::new(0),
             }),
         }
     }
@@ -359,23 +503,25 @@ impl SharedLegalityCache {
         self.inner.mode
     }
 
+    /// Number of lock-striped shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
     /// Renders the legacy exact state key for a `(prune, shape, mapped)`
     /// triple.
     pub(crate) fn state_key(prune: bool, shape: &LoopNest, mapped: &DepSet) -> Arc<str> {
         Arc::from(format!("p{}|{shape}|{mapped}", u8::from(prune)))
     }
 
-    /// A poisoned lock only means another thread panicked mid-insert; the
-    /// map itself is always a valid (possibly partial) memo table, so
-    /// keep serving rather than propagate the panic into every job.
-    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<ProbeKey, Entry>> {
-        self.inner
-            .map
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    /// The shard a probe key stripes to. The fingerprint is computed over
+    /// the full key and only the low bits select the stripe; it is never
+    /// stored, so stripe assignment is free to change across versions.
+    fn shard_for(&self, probe: &ProbeKey) -> &Shard {
+        &self.inner.shards[(fp128(probe) & self.inner.shard_mask) as usize]
     }
 
-    fn lock_pools(&self) -> std::sync::MutexGuard<'_, Pools> {
+    pub(crate) fn lock_pools(&self) -> MutexGuard<'_, Pools> {
         self.inner
             .pools
             .lock()
@@ -433,16 +579,19 @@ impl SharedLegalityCache {
     }
 
     /// Looks up `(state, template)`, counting a hit (and a cross-job hit
-    /// when the depositor differs from `owner`) or a miss.
+    /// when the depositor differs from `owner`) or a miss on the key's
+    /// shard.
     ///
     /// In fingerprint mode the probe key is a few `Copy` words and this
-    /// path performs **no allocation**; interned ids are exact, so no
-    /// per-hit re-verification is needed either, and a hit hands back the
-    /// interned `Arc`s (a refcount bump, shared storage). In `Display`
-    /// mode a hit *materializes* the stored shape and mapped set — a full
-    /// deep copy per hit, exactly what the PR 5 representation paid by
-    /// storing owned values in every entry — so the deep-search bench
-    /// rows compare the two representations' true replay costs.
+    /// path performs **no allocation** — including shard selection, which
+    /// is a streaming hash over those words. Interned ids are exact, so
+    /// no per-hit re-verification is needed either, and a hit hands back
+    /// the interned `Arc`s (a refcount bump, shared storage). In
+    /// `Display` mode a hit *materializes* the stored shape and mapped
+    /// set — a full deep copy per hit, exactly what the PR 5
+    /// representation paid by storing owned values in every entry — so
+    /// the deep-search bench rows compare the two representations' true
+    /// replay costs.
     pub(crate) fn lookup(
         &self,
         state: &StateKey,
@@ -451,12 +600,16 @@ impl SharedLegalityCache {
     ) -> Option<CachedOutcome> {
         self.inner.key_probes.fetch_add(1, Ordering::Relaxed);
         let probe = ProbeKey::new(state, template);
-        let map = self.lock();
+        let shard = self.shard_for(&probe);
+        let map = shard.lock();
         match map.get(&probe) {
             Some(entry) => {
-                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                shard.hits.fetch_add(1, Ordering::Relaxed);
                 if entry.owner != owner {
                     self.inner.cross_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                if entry.owner == SharedLegalityCache::SNAPSHOT_OWNER {
+                    self.inner.snapshot_hits.fetch_add(1, Ordering::Relaxed);
                 }
                 let outcome = match (self.inner.mode, &entry.outcome) {
                     (KeyMode::Display, CachedOutcome::Legal { shape, mapped, key }) => {
@@ -471,14 +624,14 @@ impl SharedLegalityCache {
                 Some(outcome)
             }
             None => {
-                self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                shard.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
-    /// Deposits the outcome of one extension, sweeping the resident
-    /// generation first if the table is full.
+    /// Deposits the outcome of one extension, sweeping the key's shard
+    /// first if that shard is full.
     pub(crate) fn insert(
         &self,
         state: StateKey,
@@ -487,9 +640,10 @@ impl SharedLegalityCache {
         owner: u64,
     ) {
         let key = ProbeKey::new(&state, &template);
-        let mut map = self.lock();
-        if map.len() >= self.inner.capacity {
-            self.inner
+        let shard = self.shard_for(&key);
+        let mut map = shard.lock();
+        if map.len() >= self.inner.shard_capacity {
+            shard
                 .evictions
                 .fetch_add(map.len() as u64, Ordering::Relaxed);
             map.clear();
@@ -498,35 +652,102 @@ impl SharedLegalityCache {
         self.inner.inserts.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Restores one snapshot entry under [`Self::SNAPSHOT_OWNER`].
+    /// Returns `false` (entry skipped) when the target shard is already
+    /// full — loading never evicts live entries — or when the slot is
+    /// already occupied.
+    pub(crate) fn load_entry(&self, probe: ProbeKey, outcome: CachedOutcome) -> bool {
+        let shard = self.shard_for(&probe);
+        let mut map = shard.lock();
+        if map.len() >= self.inner.shard_capacity || map.contains_key(&probe) {
+            return false;
+        }
+        map.insert(
+            probe,
+            Entry {
+                outcome,
+                owner: SharedLegalityCache::SNAPSHOT_OWNER,
+            },
+        );
+        self.inner.snapshot_entries.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Visits every resident entry (snapshot serialization walks the
+    /// shards in order; iteration order within a shard is unspecified).
+    pub(crate) fn for_each_entry(&self, mut f: impl FnMut(&ProbeKey, &Entry)) {
+        for shard in self.inner.shards.iter() {
+            let map = shard.lock_uncounted();
+            for (k, e) in map.iter() {
+                f(k, e);
+            }
+        }
+    }
+
     /// A consistent snapshot of the counters plus the resident entry
     /// count and interner-pool totals.
     pub fn stats(&self) -> SharedCacheStats {
-        let entries = self.lock().len() as u64;
+        let mut hits = 0;
+        let mut misses = 0;
+        let mut evictions = 0;
+        let mut contended = 0;
+        let mut entries = 0;
+        for shard in self.inner.shards.iter() {
+            hits += shard.hits.load(Ordering::Relaxed);
+            misses += shard.misses.load(Ordering::Relaxed);
+            evictions += shard.evictions.load(Ordering::Relaxed);
+            contended += shard.contended.load(Ordering::Relaxed);
+            entries += shard.lock_uncounted().len() as u64;
+        }
         let (interned_values, interner_hits, interner_verifies, interner_collisions) =
             self.lock_pools().stats();
         SharedCacheStats {
-            hits: self.inner.hits.load(Ordering::Relaxed),
+            hits,
             cross_hits: self.inner.cross_hits.load(Ordering::Relaxed),
-            misses: self.inner.misses.load(Ordering::Relaxed),
+            misses,
             inserts: self.inner.inserts.load(Ordering::Relaxed),
-            evictions: self.inner.evictions.load(Ordering::Relaxed),
+            evictions,
             entries,
             key_probes: self.inner.key_probes.load(Ordering::Relaxed),
             interned_values,
             interner_hits,
             interner_verifies,
             interner_collisions,
+            shards: self.inner.shards.len() as u64,
+            contended,
+            snapshot_entries: self.inner.snapshot_entries.load(Ordering::Relaxed),
+            snapshot_hits: self.inner.snapshot_hits.load(Ordering::Relaxed),
         }
     }
 
-    /// The configured capacity bound.
+    /// Per-shard counter snapshots, indexed by shard number — the source
+    /// of the `legality/cache/shard.N/*` telemetry rows.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.inner
+            .shards
+            .iter()
+            .map(|shard| ShardStats {
+                hits: shard.hits.load(Ordering::Relaxed),
+                misses: shard.misses.load(Ordering::Relaxed),
+                evictions: shard.evictions.load(Ordering::Relaxed),
+                contended: shard.contended.load(Ordering::Relaxed),
+                entries: shard.lock_uncounted().len() as u64,
+            })
+            .collect()
+    }
+
+    /// The configured total capacity bound.
     pub fn capacity(&self) -> usize {
         self.inner.capacity
     }
 
-    /// Number of resident entries.
+    /// Number of resident entries across all shards.
     pub fn len(&self) -> usize {
-        self.lock().len()
+        self.inner
+            .shards
+            .iter()
+            .map(|shard| shard.lock_uncounted().len())
+            .sum()
     }
 
     /// True when no entries are resident.
@@ -571,6 +792,7 @@ mod tests {
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.inserts, 1);
         assert_eq!(stats.key_probes, 2);
+        assert_eq!(stats.snapshot_hits, 0);
     }
 
     #[test]
@@ -636,7 +858,9 @@ mod tests {
     #[test]
     fn generational_eviction_counts_and_recovers() {
         let (nest, deps) = stencil();
-        let cache = SharedLegalityCache::with_capacity(1);
+        // A single shard pins the PR 5 semantics: capacity 1 total means
+        // the second insert must sweep the first entry.
+        let cache = SharedLegalityCache::with_shards(1, 1);
         let t1 = Template::unimodular(irlt_unimodular::IntMatrix::skew(2, 0, 1, 1)).unwrap();
         let t2 = Template::unimodular(irlt_unimodular::IntMatrix::interchange(2, 0, 1)).unwrap();
         let root = SeqState::root(&nest, &deps).with_shared(cache.clone(), 0);
@@ -653,6 +877,115 @@ mod tests {
         let plain = SeqState::root(&nest, &deps).extend(t1).unwrap();
         assert_eq!(again.mapped_deps(), plain.mapped_deps());
         assert_eq!(again.shape(), plain.shape());
+    }
+
+    #[test]
+    fn shard_counts_round_to_powers_of_two() {
+        assert_eq!(SharedLegalityCache::with_shards(64, 1).shard_count(), 1);
+        assert_eq!(SharedLegalityCache::with_shards(64, 3).shard_count(), 4);
+        assert_eq!(SharedLegalityCache::with_shards(64, 16).shard_count(), 16);
+        let auto = SharedLegalityCache::with_capacity(64).shard_count();
+        assert!(auto.is_power_of_two());
+        // Stats report the stripe count.
+        assert_eq!(SharedLegalityCache::with_shards(64, 8).stats().shards, 8u64);
+    }
+
+    #[test]
+    fn eviction_sweeps_only_the_full_shard() {
+        let (nest, deps) = stencil();
+        // 16 shards × shard_capacity 1: distinct templates stripe to
+        // distinct shards with overwhelming probability, so filling many
+        // shards and overflowing one must not clear the others.
+        let cache = SharedLegalityCache::with_shards(16, 16);
+        let root = SeqState::root(&nest, &deps).with_shared(cache.clone(), 0);
+        // 8 distinct skew templates → 8 deposits spread over shards.
+        for s in 1..=8 {
+            let t = Template::unimodular(irlt_unimodular::IntMatrix::skew(2, 0, 1, s)).unwrap();
+            root.extend(t).unwrap();
+        }
+        let before = cache.stats();
+        assert_eq!(before.inserts, 8);
+        // Unless several templates collided into one stripe, nothing has
+        // been evicted yet and most entries are still resident.
+        assert!(
+            before.entries >= 5,
+            "expected most of 8 entries resident, got {}",
+            before.entries
+        );
+        let per_shard: u64 = cache.shard_stats().iter().map(|s| s.entries).sum();
+        assert_eq!(per_shard, before.entries);
+    }
+
+    #[test]
+    fn contended_shard_locks_are_counted() {
+        let (nest, deps) = stencil();
+        let cache = SharedLegalityCache::with_shards(1 << 10, 4);
+        let t = Template::unimodular(irlt_unimodular::IntMatrix::skew(2, 0, 1, 1)).unwrap();
+        SeqState::root(&nest, &deps)
+            .with_shared(cache.clone(), 0)
+            .extend(t.clone())
+            .unwrap();
+        assert_eq!(cache.stats().contended, 0);
+        // Hold every shard's stripe, then probe from another thread: its
+        // try_lock must fail and be counted before the blocking fallback.
+        let guards: Vec<_> = cache.inner.shards.iter().map(|s| s.map.lock()).collect();
+        let worker = {
+            let cache = cache.clone();
+            let nest = nest.clone();
+            let deps = deps.clone();
+            std::thread::spawn(move || {
+                SeqState::root(&nest, &deps)
+                    .with_shared(cache, 1)
+                    .extend(t)
+                    .unwrap();
+            })
+        };
+        // The worker bumps `contended` *before* blocking on the stripe;
+        // read the counters directly (calling `stats()` here would block
+        // on the very locks this thread is holding).
+        let contended = |c: &SharedLegalityCache| -> u64 {
+            c.inner
+                .shards
+                .iter()
+                .map(|s| s.contended.load(Ordering::Relaxed))
+                .sum()
+        };
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while contended(&cache) == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "worker never contended"
+            );
+            std::thread::yield_now();
+        }
+        drop(guards);
+        worker.join().unwrap();
+        let stats = cache.stats();
+        assert!(stats.contended >= 1);
+        assert_eq!(stats.hits, 1, "contended probe still replays correctly");
+    }
+
+    #[test]
+    fn sharded_and_single_shard_caches_agree() {
+        let (nest, deps) = stencil();
+        let templates = vec![
+            Template::unimodular(irlt_unimodular::IntMatrix::skew(2, 0, 1, 1)).unwrap(),
+            Template::unimodular(irlt_unimodular::IntMatrix::interchange(2, 0, 1)).unwrap(),
+            Template::parallelize(vec![false, true]),
+        ];
+        let single = SharedLegalityCache::with_shards(1 << 12, 1);
+        let sharded = SharedLegalityCache::with_shards(1 << 12, 16);
+        let mut a = SeqState::root(&nest, &deps).with_shared(single.clone(), 0);
+        let mut b = SeqState::root(&nest, &deps).with_shared(sharded.clone(), 0);
+        for t in templates {
+            a = a.extend(t.clone()).unwrap();
+            b = b.extend(t).unwrap();
+            assert_eq!(a.mapped_deps(), b.mapped_deps());
+            assert_eq!(a.shape(), b.shape());
+        }
+        let (sa, sb) = (single.stats(), sharded.stats());
+        assert_eq!((sa.hits, sa.misses), (sb.hits, sb.misses));
+        assert_eq!((sa.shards, sb.shards), (1, 16));
     }
 
     #[test]
@@ -710,11 +1043,13 @@ mod tests {
 
     #[test]
     fn debug_and_display_render_stats() {
-        let cache = SharedLegalityCache::with_capacity(8);
+        let cache = SharedLegalityCache::with_shards(8, 2);
         assert!(format!("{cache:?}").contains("capacity: 8"));
+        assert!(format!("{cache:?}").contains("shards: 2"));
         assert!(cache.stats().to_string().contains("0 hits"));
         assert!(cache.is_empty());
         assert_eq!(cache.capacity(), 8);
         assert_eq!(cache.key_mode(), KeyMode::Fingerprint);
+        assert_eq!(cache.shard_stats().len(), 2);
     }
 }

@@ -2,11 +2,12 @@
 
 use crate::job::{Job, JobResult, JobStatus};
 use crate::pool::WorkQueues;
-use irlt_core::{KeyMode, SharedCacheStats, SharedLegalityCache};
+use irlt_core::{KeyMode, SharedCacheStats, SharedLegalityCache, SnapshotLoadStats};
 use irlt_dependence::analyze_dependences;
 use irlt_obs::{Json, Telemetry};
 use irlt_opt::{search, CancelToken, SearchConfig};
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -35,6 +36,19 @@ pub struct BatchConfig {
     /// Entry capacity of the shared cache before a generational sweep —
     /// the memory-pressure degradation knob.
     pub cache_capacity: usize,
+    /// Lock-striped shards of the shared cache: `0` (the default)
+    /// auto-sizes to `next_power_of_two(workers * 4)` so probes rarely
+    /// collide on a stripe. Results are bit-identical for every shard
+    /// count.
+    pub cache_shards: usize,
+    /// Warm-start: load this `irlt-cache/v1` snapshot into the shared
+    /// cache before the batch starts. A missing or rejected file
+    /// degrades to a clean cold start (warning on stderr,
+    /// `driver/cache/snapshot_rejected` counter) — never an error.
+    pub cache_load: Option<PathBuf>,
+    /// Save the shared cache as an `irlt-cache/v1` snapshot after the
+    /// batch, so the next run can `cache_load` it.
+    pub cache_save: Option<PathBuf>,
     /// Initial job distribution.
     pub sharding: Sharding,
     /// Per-job search engine selection (see
@@ -59,6 +73,9 @@ impl Default for BatchConfig {
             threads: 0,
             shared_cache: true,
             cache_capacity: SharedLegalityCache::DEFAULT_CAPACITY,
+            cache_shards: 0,
+            cache_load: None,
+            cache_save: None,
             sharding: Sharding::RoundRobin,
             incremental: true,
             prune: true,
@@ -79,6 +96,11 @@ pub struct BatchResult {
     pub steals: u64,
     /// Shared-cache counters, when the cache was enabled.
     pub cache: Option<SharedCacheStats>,
+    /// What the warm-start snapshot restored, when one loaded.
+    pub snapshot: Option<SnapshotLoadStats>,
+    /// Whether a requested warm-start snapshot was rejected (the batch
+    /// then ran cold).
+    pub snapshot_rejected: bool,
     /// Wall time of the whole batch.
     pub wall: Duration,
 }
@@ -108,6 +130,17 @@ impl BatchResult {
                 ("inserts".into(), Json::Int(s.inserts as i64)),
                 ("evictions".into(), Json::Int(s.evictions as i64)),
                 ("entries".into(), Json::Int(s.entries as i64)),
+                ("shards".into(), Json::Int(s.shards as i64)),
+                ("contended".into(), Json::Int(s.contended as i64)),
+                (
+                    "snapshot_entries".into(),
+                    Json::Int(s.snapshot_entries as i64),
+                ),
+                ("snapshot_hits".into(), Json::Int(s.snapshot_hits as i64)),
+                (
+                    "snapshot_rejected".into(),
+                    Json::Bool(self.snapshot_rejected),
+                ),
                 ("key_probes".into(), Json::Int(s.key_probes as i64)),
                 ("interned".into(), Json::Int(s.interned_values as i64)),
                 ("interner_hits".into(), Json::Int(s.interner_hits as i64)),
@@ -158,6 +191,11 @@ impl fmt::Display for BatchResult {
         if let Some(s) = &self.cache {
             write!(f, "; cache: {s}")?;
         }
+        if let Some(s) = &self.snapshot {
+            write!(f, "; warm start: {} snapshot entries", s.entries_loaded)?;
+        } else if self.snapshot_rejected {
+            write!(f, "; warm start rejected (ran cold)")?;
+        }
         Ok(())
     }
 }
@@ -182,8 +220,36 @@ pub fn run_batch(jobs: &[Job], config: &BatchConfig) -> BatchResult {
     // The shared cache only serves the incremental engine (it memoizes
     // SeqState extensions); the scratch engine ignores it.
     let cache = (config.shared_cache && config.incremental).then(|| {
-        SharedLegalityCache::with_capacity_and_mode(config.cache_capacity, config.key_mode)
+        let shards = if config.cache_shards == 0 {
+            (workers * 4).next_power_of_two()
+        } else {
+            config.cache_shards
+        };
+        SharedLegalityCache::with_config(config.cache_capacity, shards, config.key_mode)
     });
+    // Warm start. Any failure — unreadable file, bad magic/version,
+    // truncation, checksum mismatch, malformed payload — degrades to a
+    // cold start with the cache untouched.
+    let mut snapshot = None;
+    let mut snapshot_rejected = false;
+    if let (Some(cache), Some(path)) = (&cache, &config.cache_load) {
+        let loaded = std::fs::read(path)
+            .map_err(|e| e.to_string())
+            .and_then(|bytes| cache.load_snapshot(&bytes).map_err(|e| e.to_string()));
+        match loaded {
+            Ok(stats) => snapshot = Some(stats),
+            Err(why) => {
+                eprintln!(
+                    "warning: cache snapshot {} rejected ({why}); starting cold",
+                    path.display()
+                );
+                snapshot_rejected = true;
+                if tel.is_enabled() {
+                    tel.incr("driver/cache/snapshot_rejected");
+                }
+            }
+        }
+    }
     let queues = WorkQueues::new(workers);
     for (k, _) in jobs.iter().enumerate() {
         match config.sharding {
@@ -252,6 +318,19 @@ pub fn run_batch(jobs: &[Job], config: &BatchConfig) -> BatchResult {
             tel.count("driver/cache/misses", s.misses);
             tel.count("driver/cache/inserts", s.inserts);
             tel.count("driver/cache/evictions", s.evictions);
+            tel.count("legality/cache/contended", s.contended);
+            tel.count("driver/cache/snapshot_entries", s.snapshot_entries);
+            tel.count("driver/cache/snapshot_hits", s.snapshot_hits);
+            if let Some(cache) = &cache {
+                for (n, shard) in cache.shard_stats().iter().enumerate() {
+                    tel.count(&format!("legality/cache/shard.{n}/hits"), shard.hits);
+                    tel.count(&format!("legality/cache/shard.{n}/misses"), shard.misses);
+                    tel.count(
+                        &format!("legality/cache/shard.{n}/evictions"),
+                        shard.evictions,
+                    );
+                }
+            }
             // Key-representation counters (the `legality/key/probes`
             // counter itself is incremented per-probe by `SeqState`).
             tel.count("legality/key/verifies", s.interner_verifies);
@@ -261,11 +340,27 @@ pub fn run_batch(jobs: &[Job], config: &BatchConfig) -> BatchResult {
         }
         tel.record_span("driver/batch", wall);
     }
+    // Persist the warmed cache for the next run. A save failure is a
+    // warning, not a batch failure — the results are already computed.
+    if let (Some(cache), Some(path)) = (&cache, &config.cache_save) {
+        let saved = cache
+            .save_snapshot()
+            .map_err(|e| e.to_string())
+            .and_then(|bytes| std::fs::write(path, &bytes).map_err(|e| e.to_string()));
+        if let Err(why) = saved {
+            eprintln!(
+                "warning: cache snapshot {} not saved ({why})",
+                path.display()
+            );
+        }
+    }
     BatchResult {
         jobs: results,
         workers,
         steals,
         cache: cache_stats,
+        snapshot,
+        snapshot_rejected,
         wall,
     }
 }

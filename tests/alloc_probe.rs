@@ -62,6 +62,25 @@ fn warmed_probes_do_not_allocate_in_fingerprint_mode() {
     assert_eq!(outcome, Some(false), "reversal was never deposited");
     assert_eq!(allocs, 0, "cache miss allocated on the probe path");
 
+    // PR 8: shard selection is a streaming hash over `Copy` words, so
+    // the guarantee holds at any stripe count — pin the extremes
+    // explicitly (the default cache above auto-shards per host).
+    for shards in [1usize, 64] {
+        let striped = SharedLegalityCache::with_shards(1 << 16, shards);
+        let sstate = SeqState::root(&nest, &deps).with_shared(striped.clone(), 0);
+        let _ = sstate.extend(skew.clone()).unwrap();
+        assert_eq!(sstate.shared_probe(&skew), Some(true));
+        assert_eq!(sstate.shared_probe(&reversal), Some(false));
+
+        let (allocs, outcome) = count_allocations(|| sstate.shared_probe(&skew));
+        assert_eq!(outcome, Some(true));
+        assert_eq!(allocs, 0, "hit allocated at {shards} shard(s)");
+
+        let (allocs, outcome) = count_allocations(|| sstate.shared_probe(&reversal));
+        assert_eq!(outcome, Some(false));
+        assert_eq!(allocs, 0, "miss allocated at {shards} shard(s)");
+    }
+
     // Contrast (and proof the counter is live): the legacy Display
     // representation renders the template to a string per probe.
     let legacy = SharedLegalityCache::with_capacity_and_mode(1 << 16, KeyMode::Display);

@@ -261,3 +261,224 @@ fn batch_artifact_round_trips() {
         Some(0)
     );
 }
+
+/// PR 8 tentpole: lock-striping the shared cache is invisible to batch
+/// results — bit-identical per-job results across shard counts (1, 4,
+/// 16), worker counts, shuffled submission orders, and against the
+/// legacy single-map `Display`-keyed cache.
+#[test]
+fn sharded_batches_match_single_shard_across_threads_and_orders() {
+    let jobs = demo_corpus(32);
+    let single = run_batch(
+        &jobs,
+        &BatchConfig {
+            threads: 1,
+            cache_shards: 1,
+            ..BatchConfig::default()
+        },
+    );
+    assert_eq!(single.cache.expect("cache on by default").shards, 1);
+    let reference = sorted_fingerprints(&single.jobs);
+
+    for shards in [4, 16] {
+        for threads in [1, 4] {
+            let r = run_batch(
+                &jobs,
+                &BatchConfig {
+                    threads,
+                    cache_shards: shards,
+                    ..BatchConfig::default()
+                },
+            );
+            assert_eq!(r.cache.expect("cache on").shards, shards as u64);
+            assert_eq!(
+                sorted_fingerprints(&r.jobs),
+                reference,
+                "results diverged at {shards} shards / {threads} threads"
+            );
+        }
+    }
+
+    // Legacy single-map string-keyed cache (the PR 5 representation).
+    let legacy = run_batch(
+        &jobs,
+        &BatchConfig {
+            threads: 1,
+            cache_shards: 1,
+            key_mode: KeyMode::Display,
+            ..BatchConfig::default()
+        },
+    );
+    assert_eq!(sorted_fingerprints(&legacy.jobs), reference);
+
+    // Shuffled submission orders under the sharded cache.
+    for seed in [0x5a5a_5a5a_u64, 0x1992_0802] {
+        let mut shuffled = jobs.clone();
+        Rng::new(seed).shuffle(&mut shuffled);
+        let r = run_batch(
+            &shuffled,
+            &BatchConfig {
+                threads: 4,
+                cache_shards: 16,
+                ..BatchConfig::default()
+            },
+        );
+        assert_eq!(
+            sorted_fingerprints(&r.jobs),
+            reference,
+            "results diverged under submission order {seed:#x}"
+        );
+    }
+}
+
+/// PR 8 tentpole: a second batch run warm-started from the first run's
+/// snapshot produces bit-identical results, replays entirely from
+/// snapshot-owned entries (zero misses), and surfaces the cross-run
+/// reuse in the artifact (`cache.snapshot_hits`).
+#[test]
+fn warm_start_replays_cold_results_from_the_snapshot() {
+    let jobs = demo_corpus(16);
+    let path = std::env::temp_dir().join(format!("irlt-warm-{}.bin", std::process::id()));
+    let cold = run_batch(
+        &jobs,
+        &BatchConfig {
+            threads: 2,
+            cache_save: Some(path.clone()),
+            ..BatchConfig::default()
+        },
+    );
+    assert!(path.is_file(), "cache_save wrote no snapshot");
+
+    let tel = Telemetry::enabled();
+    let warm = run_batch(
+        &jobs,
+        &BatchConfig {
+            threads: 2,
+            cache_load: Some(path.clone()),
+            telemetry: tel.clone(),
+            ..BatchConfig::default()
+        },
+    );
+    let _ = std::fs::remove_file(&path);
+
+    assert_eq!(
+        sorted_fingerprints(&warm.jobs),
+        sorted_fingerprints(&cold.jobs)
+    );
+    let loaded = warm.snapshot.expect("snapshot accepted");
+    assert!(!warm.snapshot_rejected);
+    assert!(loaded.entries_loaded > 0, "{loaded:?}");
+    let stats = warm.cache.expect("cache on");
+    assert!(stats.snapshot_hits > 0, "no cross-run reuse: {stats}");
+    assert_eq!(
+        stats.misses, 0,
+        "a warm start over the same corpus must not recompute: {stats}"
+    );
+    assert_eq!(tel.report().counter("driver/cache/snapshot_rejected"), 0);
+    assert!(
+        tel.report().counter("driver/cache/snapshot_hits") > 0,
+        "telemetry missed the snapshot hits"
+    );
+
+    // The artifact carries the cross-run counters CI asserts on.
+    let j = warm.to_json();
+    assert!(
+        j.get_path(&["cache", "snapshot_hits"])
+            .and_then(irlt::obs::Json::as_i64)
+            .unwrap_or(0)
+            > 0
+    );
+    assert_eq!(
+        j.get_path(&["cache", "snapshot_rejected"]),
+        Some(&irlt::obs::Json::Bool(false))
+    );
+}
+
+/// Satellite 1: truncated, corrupted, wrong-version, or missing snapshot
+/// files are rejected with a clean cold-start fallback — results match a
+/// cold run, `snapshot_rejected` surfaces in the result and telemetry,
+/// and nothing panics.
+#[test]
+fn rejected_snapshots_fall_back_to_a_clean_cold_start() {
+    let jobs = demo_corpus(8);
+    let reference = sorted_fingerprints(&run_batch(&jobs, &config(1)).jobs);
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+
+    // A real snapshot to mutilate.
+    let good = dir.join(format!("irlt-snap-good-{pid}.bin"));
+    run_batch(
+        &jobs,
+        &BatchConfig {
+            threads: 1,
+            cache_save: Some(good.clone()),
+            ..BatchConfig::default()
+        },
+    );
+    let bytes = std::fs::read(&good).expect("snapshot saved");
+    let _ = std::fs::remove_file(&good);
+
+    let mut truncated = bytes.clone();
+    truncated.truncate(bytes.len() / 2);
+    let mut corrupt = bytes.clone();
+    let last = corrupt.len() - 1;
+    corrupt[last] ^= 0xff;
+    let mut wrong_version = bytes.clone();
+    wrong_version[10] = 0x7f;
+    let cases: Vec<(&str, Vec<u8>)> = vec![
+        ("garbage", b"definitely not an irlt-cache artifact".to_vec()),
+        ("truncated", truncated),
+        ("checksum-corrupt", corrupt),
+        ("wrong-version", wrong_version),
+    ];
+    for (name, contents) in cases {
+        let path = dir.join(format!("irlt-snap-{name}-{pid}.bin"));
+        std::fs::write(&path, &contents).unwrap();
+        let tel = Telemetry::enabled();
+        let r = run_batch(
+            &jobs,
+            &BatchConfig {
+                threads: 1,
+                cache_load: Some(path.clone()),
+                telemetry: tel.clone(),
+                ..BatchConfig::default()
+            },
+        );
+        let _ = std::fs::remove_file(&path);
+        assert!(r.snapshot_rejected, "{name}: rejection not surfaced");
+        assert!(r.snapshot.is_none(), "{name}");
+        assert_eq!(
+            sorted_fingerprints(&r.jobs),
+            reference,
+            "{name}: cold-start fallback changed results"
+        );
+        assert_eq!(
+            r.cache.expect("cache on").snapshot_entries,
+            0,
+            "{name}: a rejected snapshot must leave the cache untouched"
+        );
+        assert_eq!(
+            tel.report().counter("driver/cache/snapshot_rejected"),
+            1,
+            "{name}"
+        );
+        assert_eq!(
+            r.to_json().get_path(&["cache", "snapshot_rejected"]),
+            Some(&irlt::obs::Json::Bool(true)),
+            "{name}"
+        );
+    }
+
+    // A missing file is the same story.
+    let missing = dir.join(format!("irlt-snap-missing-{pid}.bin"));
+    let r = run_batch(
+        &jobs,
+        &BatchConfig {
+            threads: 1,
+            cache_load: Some(missing),
+            ..BatchConfig::default()
+        },
+    );
+    assert!(r.snapshot_rejected);
+    assert_eq!(sorted_fingerprints(&r.jobs), reference);
+}

@@ -893,3 +893,163 @@ fn cross_engine_general_sequences_never_mismatch() {
         },
     );
 }
+
+/// PR 8 tentpole: lock-striping is invisible to results. Chains extended
+/// through shared caches striped into 1, 4, and 16 shards and through
+/// the legacy single-map `Display`-keyed cache all agree step-for-step
+/// with a fresh uncached chain — same verdicts, identical mapped sets
+/// and shapes, byte-identical rejections. All four caches persist across
+/// the whole 200-case run, so later cases replay entries earlier cases
+/// deposited into *different* shard layouts.
+#[test]
+fn shard_counts_are_invisible_on_random_chains() {
+    let caches = [
+        SharedLegalityCache::with_shards(1 << 20, 1),
+        SharedLegalityCache::with_shards(1 << 20, 4),
+        SharedLegalityCache::with_shards(1 << 20, 16),
+        // The legacy PR 5 shape: one map, one lock, string keys.
+        SharedLegalityCache::with_config(1 << 20, 1, KeyMode::Display),
+    ];
+    let owner = std::cell::Cell::new(0u64);
+    check(
+        "shard_counts_are_invisible_on_random_chains",
+        &corpus_cfg(200),
+        |rng| {
+            let depth = rng.gen_range(1..=3usize);
+            gen_pair(rng, depth)
+        },
+        shrink_pair,
+        |(nest, seq)| {
+            owner.set(owner.get() + 1);
+            let deps = analyze_dependences(nest);
+            let mut fresh = SeqState::root(nest, &deps);
+            let mut chains: Vec<SeqState> = caches
+                .iter()
+                .map(|c| SeqState::root(nest, &deps).with_shared(c.clone(), owner.get()))
+                .collect();
+            for step in seq.steps() {
+                let irlt::core::Step::Builtin(t) = step else {
+                    unreachable!("generated sequences are builtin-only")
+                };
+                let verdicts: Vec<_> = chains.iter().map(|s| s.extend(t.clone())).collect();
+                match fresh.extend(t.clone()) {
+                    Ok(f) => {
+                        let mut next = Vec::with_capacity(verdicts.len());
+                        for (k, v) in verdicts.into_iter().enumerate() {
+                            let Ok(c) = v else {
+                                return CaseResult::Fail(format!(
+                                    "fresh chain accepted {t} but cache #{k} rejected it"
+                                ));
+                            };
+                            prop_assert_eq!(f.mapped_deps(), c.mapped_deps());
+                            prop_assert_eq!(f.shape(), c.shape());
+                            next.push(c);
+                        }
+                        fresh = f;
+                        chains = next;
+                    }
+                    Err(fe) => {
+                        for (k, v) in verdicts.into_iter().enumerate() {
+                            let Err(ce) = v else {
+                                return CaseResult::Fail(format!(
+                                    "fresh chain rejected {t} but cache #{k} accepted it"
+                                ));
+                            };
+                            prop_assert_eq!(fe.to_string(), ce.to_string());
+                        }
+                        break;
+                    }
+                }
+            }
+            CaseResult::Pass
+        },
+    );
+    for (cache, shards) in caches.iter().zip([1u64, 4, 16, 1]) {
+        let s = cache.stats();
+        assert_eq!(s.shards, shards, "{s}");
+        assert!(
+            s.hits > 0 && s.inserts > 0,
+            "the {shards}-shard cache never engaged — the property proved nothing: {s}"
+        );
+    }
+}
+
+/// PR 8 tentpole: snapshot persistence is invisible to results. A cache
+/// warmed from another cache's `irlt-cache/v1` snapshot replays random
+/// chains identically to a fresh uncached chain, serving them from
+/// snapshot-owned entries (`snapshot_hits`) without recomputing.
+#[test]
+fn snapshot_warmed_chains_match_fresh_chains() {
+    // Phase 1: populate a donor cache over 100 random cases.
+    let donor = SharedLegalityCache::with_shards(1 << 20, 4);
+    let owner = std::cell::Cell::new(0u64);
+    let replay: std::cell::RefCell<Vec<(LoopNest, TransformSeq)>> =
+        std::cell::RefCell::new(Vec::new());
+    check(
+        "snapshot_warmed_chains_match_fresh_chains",
+        &corpus_cfg(100),
+        |rng| {
+            let depth = rng.gen_range(1..=3usize);
+            gen_pair(rng, depth)
+        },
+        shrink_pair,
+        |(nest, seq)| {
+            owner.set(owner.get() + 1);
+            let deps = analyze_dependences(nest);
+            let mut s = SeqState::root(nest, &deps).with_shared(donor.clone(), owner.get());
+            for step in seq.steps() {
+                let irlt::core::Step::Builtin(t) = step else {
+                    unreachable!("generated sequences are builtin-only")
+                };
+                match s.extend(t.clone()) {
+                    Ok(next) => s = next,
+                    Err(_) => break,
+                }
+            }
+            replay.borrow_mut().push((nest.clone(), seq.clone()));
+            CaseResult::Pass
+        },
+    );
+    // Phase 2: snapshot → fresh cache, then replay every case against an
+    // uncached chain.
+    let bytes = donor.save_snapshot().expect("fingerprint caches snapshot");
+    let warm = SharedLegalityCache::with_shards(1 << 20, 16);
+    let loaded = warm.load_snapshot(&bytes).expect("own snapshot loads");
+    assert!(loaded.entries_loaded > 0, "{loaded:?}");
+    for (k, (nest, seq)) in replay.borrow().iter().enumerate() {
+        let deps = analyze_dependences(nest);
+        let mut fresh = SeqState::root(nest, &deps);
+        let mut cached = SeqState::root(nest, &deps).with_shared(warm.clone(), k as u64);
+        for step in seq.steps() {
+            let irlt::core::Step::Builtin(t) = step else {
+                unreachable!("generated sequences are builtin-only")
+            };
+            match (fresh.extend(t.clone()), cached.extend(t.clone())) {
+                (Ok(f), Ok(c)) => {
+                    assert_eq!(f.mapped_deps(), c.mapped_deps());
+                    assert_eq!(f.shape(), c.shape());
+                    fresh = f;
+                    cached = c;
+                }
+                (Err(fe), Err(ce)) => {
+                    assert_eq!(fe.to_string(), ce.to_string());
+                    break;
+                }
+                (f, c) => panic!(
+                    "warm-start verdicts diverged on case {k}: fresh {:?} vs warmed {:?}",
+                    f.is_ok(),
+                    c.is_ok()
+                ),
+            }
+        }
+    }
+    let stats = warm.stats();
+    assert!(
+        stats.snapshot_hits > 0,
+        "replay never touched a snapshot-owned entry: {stats}"
+    );
+    assert_eq!(
+        stats.misses, 0,
+        "a full warm start must replay without recomputing: {stats}"
+    );
+}
