@@ -76,13 +76,49 @@ fn parse_oneshot_lines(text: &str) -> Vec<OneShot> {
 
 /// Looks up the recorded median for a workload/engine in the baseline
 /// JSON (`workloads.<w>.<engine>_ms.median`).
-fn baseline_median_ms(baseline: &Json, workload: &str, engine: &str) -> Option<f64> {
-    baseline
-        .get("workloads")?
-        .get(workload)?
-        .get(&format!("{engine}_ms"))?
-        .get("median")?
-        .as_f64()
+///
+/// Distinguishes the two ways a lookup can come back empty:
+///
+/// * `Ok(None)` — the baseline simply does not record this
+///   workload/engine (older recordings cover fewer rows); the row is
+///   skipped, exactly as before.
+/// * `Err(..)` — the entry *exists* but is structurally malformed
+///   (a `<engine>_ms` stats object without a numeric `median`, or a
+///   baseline without a `workloads` object at all). That is a corrupt
+///   baseline, and silently skipping it would make the gate pass while
+///   checking nothing — the exact failure mode the nonzero-exit
+///   contract exists to prevent. The caller must exit 2.
+fn baseline_median_ms(
+    baseline: &Json,
+    workload: &str,
+    engine: &str,
+) -> Result<Option<f64>, String> {
+    let Some(workloads) = baseline.get("workloads") else {
+        return Err("baseline has no `workloads` object".into());
+    };
+    if workloads.as_object().is_none() {
+        return Err("baseline `workloads` is not an object".into());
+    }
+    let Some(entry) = workloads.get(workload) else {
+        return Ok(None); // workload not recorded: skip
+    };
+    let Some(stats) = entry.get(&format!("{engine}_ms")) else {
+        if entry.as_object().is_none() {
+            return Err(format!("baseline `workloads.{workload}` is not an object"));
+        }
+        return Ok(None); // engine not recorded: skip
+    };
+    let Some(median) = stats.get("median") else {
+        return Err(format!(
+            "baseline `workloads.{workload}.{engine}_ms` has no `median`"
+        ));
+    };
+    match median.as_f64() {
+        Some(v) => Ok(Some(v)),
+        None => Err(format!(
+            "baseline `workloads.{workload}.{engine}_ms.median` is not a number"
+        )),
+    }
 }
 
 /// The CPU count the baseline was recorded on (`host.cpus`), when the
@@ -115,14 +151,14 @@ fn check(
     baseline: &Json,
     tolerance: f64,
     host_cpus: u64,
-) -> (usize, Vec<String>, Vec<String>) {
+) -> Result<(usize, Vec<String>, Vec<String>), String> {
     let recorded_cpus = baseline_cpus(baseline).map_or(host_cpus, |c| c.max(1) as u64);
     let single_cpu = host_cpus.min(recorded_cpus) == 1;
     let mut checked = 0;
     let mut breaches = Vec::new();
     let mut informational = Vec::new();
     for shot in oneshots {
-        let Some(median) = baseline_median_ms(baseline, &shot.workload, &shot.engine) else {
+        let Some(median) = baseline_median_ms(baseline, &shot.workload, &shot.engine)? else {
             continue;
         };
         checked += 1;
@@ -143,7 +179,7 @@ fn check(
             }
         }
     }
-    (checked, breaches, informational)
+    Ok((checked, breaches, informational))
 }
 
 fn main() -> ExitCode {
@@ -195,7 +231,14 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get()) as u64;
-    let (checked, breaches, informational) = check(&oneshots, &baseline, tolerance, host_cpus);
+    let (checked, breaches, informational) = match check(&oneshots, &baseline, tolerance, host_cpus)
+    {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("bench_gate: {baseline_path} is corrupt: {e}");
+            return ExitCode::from(2);
+        }
+    };
     if checked == 0 {
         eprintln!("bench_gate: no one-shot matched a baseline entry in {baseline_path}");
         return ExitCode::from(2);
@@ -294,14 +337,14 @@ irlt-harness bench smoke: 9 benchmark(s) executed once, 0 filtered out\n";
             },
         ];
         // On a multi-core host the t4 breach is a real warning…
-        let (checked, breaches, info) = check(&shots, &baseline, 3.0, 8);
+        let (checked, breaches, info) = check(&shots, &baseline, 3.0, 8).unwrap();
         assert_eq!(checked, 2);
         assert_eq!(breaches.len(), 1, "{breaches:?}");
         assert!(breaches[0].contains("driver/corpus64/t4"), "{breaches:?}");
         assert!(info.is_empty(), "{info:?}");
         // …on a 1-CPU host the thread-scaling row downgrades to
         // informational; non-scaling rows would still warn.
-        let (checked, breaches, info) = check(&shots, &baseline, 3.0, 1);
+        let (checked, breaches, info) = check(&shots, &baseline, 3.0, 1).unwrap();
         assert_eq!(checked, 2);
         assert!(breaches.is_empty(), "{breaches:?}");
         assert_eq!(info.len(), 1, "{info:?}");
@@ -348,7 +391,7 @@ irlt-harness bench smoke: 9 benchmark(s) executed once, 0 filtered out\n";
             engine: "t1".into(),
             ms: 400.0,
         };
-        let (checked, breaches, info) = check(&[slow_t8, slow_t1], &baseline, 3.0, 16);
+        let (checked, breaches, info) = check(&[slow_t8, slow_t1], &baseline, 3.0, 16).unwrap();
         assert_eq!(checked, 2);
         // t8 downgrades via the recorded host.cpus; t1 is not a
         // thread-scaling row and stays a hard warning.
@@ -382,7 +425,7 @@ irlt-harness bench smoke: 9 benchmark(s) executed once, 0 filtered out\n";
                 ms: 1.0,
             },
         ];
-        let (checked, breaches, info) = check(&shots, &baseline, 3.0, 1);
+        let (checked, breaches, info) = check(&shots, &baseline, 3.0, 1).unwrap();
         assert_eq!(checked, 2);
         assert_eq!(breaches.len(), 1, "{breaches:?}");
         assert!(
@@ -395,10 +438,70 @@ irlt-harness bench smoke: 9 benchmark(s) executed once, 0 filtered out\n";
     }
 
     #[test]
-    fn missing_baseline_path_yields_none() {
+    fn missing_baseline_entries_skip_without_error() {
         let baseline = Json::parse(BASELINE).unwrap();
-        assert!(baseline_median_ms(&baseline, "matmul", "scratch").is_some());
-        assert!(baseline_median_ms(&baseline, "stencil", "scratch").is_none());
-        assert!(baseline_median_ms(&baseline, "matmul", "turbo").is_none());
+        assert_eq!(
+            baseline_median_ms(&baseline, "matmul", "scratch").unwrap(),
+            Some(79.33)
+        );
+        assert_eq!(
+            baseline_median_ms(&baseline, "stencil", "scratch").unwrap(),
+            None
+        );
+        assert_eq!(
+            baseline_median_ms(&baseline, "matmul", "turbo").unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn corrupt_bench_8_baseline_is_fatal_in_every_lookup_path() {
+        // A BENCH_8.json whose driver rows decayed structurally: the
+        // stats object lost its median, the median degenerated to a
+        // string, a workload collapsed to a scalar, and finally the
+        // whole `workloads` object vanished. Every shape must surface
+        // as an error (exit 2 in main), never as a silent skip.
+        let corrupt = Json::parse(
+            r#"{
+              "bench": "driver",
+              "host": { "cpus": 1 },
+              "workloads": {
+                "corpus64": { "t1_ms": { "min": 80.0 } },
+                "deep64": { "t1_ms": { "median": "oops" } },
+                "shard64": 17
+              }
+            }"#,
+        )
+        .unwrap();
+        let e = baseline_median_ms(&corrupt, "corpus64", "t1").unwrap_err();
+        assert!(e.contains("no `median`"), "{e}");
+        let e = baseline_median_ms(&corrupt, "deep64", "t1").unwrap_err();
+        assert!(e.contains("not a number"), "{e}");
+        let e = baseline_median_ms(&corrupt, "shard64", "t1").unwrap_err();
+        assert!(e.contains("not an object"), "{e}");
+
+        let no_workloads = Json::parse(r#"{ "bench": "driver" }"#).unwrap();
+        let e = baseline_median_ms(&no_workloads, "corpus64", "t1").unwrap_err();
+        assert!(e.contains("no `workloads`"), "{e}");
+
+        // And the corruption propagates out of check(): a one-shot that
+        // matches a corrupt row turns the whole run into an error…
+        let shot = OneShot {
+            group: "driver".into(),
+            workload: "deep64".into(),
+            engine: "t1".into(),
+            ms: 100.0,
+        };
+        assert!(check(&[shot], &corrupt, 3.0, 8).is_err());
+        // …while a one-shot that never touches a corrupt row still
+        // skips cleanly (missing workload, healthy `workloads` object).
+        let shot = OneShot {
+            group: "driver".into(),
+            workload: "absent".into(),
+            engine: "t1".into(),
+            ms: 100.0,
+        };
+        let (checked, breaches, info) = check(&[shot], &corrupt, 3.0, 8).unwrap();
+        assert_eq!((checked, breaches.len(), info.len()), (0, 0, 0));
     }
 }

@@ -114,6 +114,41 @@ pub enum CrossCheckOutcome {
     Mismatch,
 }
 
+impl CrossCheckOutcome {
+    /// Stable textual name, used by telemetry and the fuzz-corpus file
+    /// format (`outcome: Agree` headers in `tests/corpus/fuzz/`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CrossCheckOutcome::Agree => "Agree",
+            CrossCheckOutcome::Conservative => "Conservative",
+            CrossCheckOutcome::Skipped => "Skipped",
+            CrossCheckOutcome::Mismatch => "Mismatch",
+        }
+    }
+}
+
+impl std::fmt::Display for CrossCheckOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for CrossCheckOutcome {
+    type Err = String;
+
+    /// Parses the [`CrossCheckOutcome::name`] form back; the round trip
+    /// is exact for all four outcomes.
+    fn from_str(s: &str) -> Result<CrossCheckOutcome, String> {
+        match s.trim() {
+            "Agree" => Ok(CrossCheckOutcome::Agree),
+            "Conservative" => Ok(CrossCheckOutcome::Conservative),
+            "Skipped" => Ok(CrossCheckOutcome::Skipped),
+            "Mismatch" => Ok(CrossCheckOutcome::Mismatch),
+            other => Err(format!("unknown oracle outcome `{other}`")),
+        }
+    }
+}
+
 /// The outcome table: adjudicates a Table-2 verdict against an affine
 /// verdict given the sequence's [`CompareDomain`].
 ///
@@ -246,6 +281,19 @@ mod tests {
         // Opaque skips unconditionally.
         assert_eq!(cross_check(Opaque, true, Illegal), Skipped);
         assert_eq!(cross_check(Opaque, false, Legal), Skipped);
+    }
+
+    #[test]
+    fn outcome_names_round_trip() {
+        use CrossCheckOutcome::*;
+        for outcome in [Agree, Conservative, Skipped, Mismatch] {
+            assert_eq!(
+                outcome.to_string().parse::<CrossCheckOutcome>(),
+                Ok(outcome)
+            );
+        }
+        assert!(" Agree ".parse::<CrossCheckOutcome>().is_ok());
+        assert!("agree".parse::<CrossCheckOutcome>().is_err());
     }
 
     #[test]

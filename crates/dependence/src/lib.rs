@@ -41,4 +41,4 @@ pub use fingerprint::{fp128, Fingerprint128, Fp128Hasher};
 pub use intern::{Interned, Interner, InternerStats};
 pub use packed::PackedDepVector;
 pub use set::{ArityMismatch, DepSet};
-pub use vector::{DepElem, DepVector, Dir};
+pub use vector::{DepElem, DepParseError, DepVector, Dir};

@@ -571,6 +571,43 @@ impl<'a> IntoIterator for &'a DepSet {
     }
 }
 
+impl std::str::FromStr for DepSet {
+    type Err = crate::vector::DepParseError;
+
+    /// Parses the [`fmt::Display`] form of a set: `{(1, +), (0, *)}`
+    /// (braces optional). The parse∘print fixpoint
+    /// `d.to_string().parse() == d` holds for every set, including the
+    /// empty one (`{}`).
+    fn from_str(s: &str) -> Result<DepSet, Self::Err> {
+        use crate::vector::parse_err;
+        let t = s.trim();
+        let inner = match t.strip_prefix('{') {
+            Some(rest) => rest
+                .strip_suffix('}')
+                .ok_or_else(|| parse_err(format!("unterminated `{{` in `{t}`")))?,
+            None => t,
+        }
+        .trim();
+        let mut vectors = Vec::new();
+        let mut rest = inner;
+        while !rest.is_empty() {
+            let open = rest
+                .find('(')
+                .ok_or_else(|| parse_err(format!("expected `(` in `{rest}`")))?;
+            if !rest[..open].trim().trim_matches(',').trim().is_empty() {
+                return Err(parse_err(format!("stray text before `(` in `{rest}`")));
+            }
+            let close = rest[open..]
+                .find(')')
+                .map(|k| open + k)
+                .ok_or_else(|| parse_err(format!("unterminated `(` in `{rest}`")))?;
+            vectors.push(rest[open..=close].parse::<DepVector>()?);
+            rest = rest[close + 1..].trim().trim_start_matches(',').trim();
+        }
+        DepSet::from_vectors(vectors).map_err(|e| parse_err(e.to_string()))
+    }
+}
+
 /// Two dependence vectors of different arity were mixed in one set.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ArityMismatch {
@@ -595,6 +632,24 @@ impl std::error::Error for ArityMismatch {}
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn set_parse_is_the_inverse_of_display() {
+        let d = DepSet::from_vectors(vec![
+            "(1, 0, >=)".parse().unwrap(),
+            "(0, +, *)".parse().unwrap(),
+            "(-2, !=, <=)".parse().unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(d.to_string().parse::<DepSet>().unwrap(), d);
+        // Empty set round-trips too.
+        assert_eq!(DepSet::new().to_string(), "{}");
+        assert_eq!("{}".parse::<DepSet>().unwrap(), DepSet::new());
+        // Arity mixing and junk are rejected.
+        assert!("{(1), (1, 2)}".parse::<DepSet>().is_err());
+        assert!("{(1, 2) junk (3, 4)}".parse::<DepSet>().is_err());
+        assert!("{(1, 2)".parse::<DepSet>().is_err());
+    }
 
     #[test]
     fn duplicates_dropped() {

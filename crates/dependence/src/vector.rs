@@ -476,9 +476,106 @@ impl FromIterator<DepElem> for DepVector {
     }
 }
 
+/// A dependence entry / vector / set failed to parse from its
+/// [`fmt::Display`] form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DepParseError {
+    /// Explanation, quoting the offending token.
+    pub message: String,
+}
+
+impl fmt::Display for DepParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dependence parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DepParseError {}
+
+pub(crate) fn parse_err(message: impl Into<String>) -> DepParseError {
+    DepParseError {
+        message: message.into(),
+    }
+}
+
+impl std::str::FromStr for DepElem {
+    type Err = DepParseError;
+
+    /// Parses the [`fmt::Display`] form of an entry: an integer distance
+    /// or one of `+  -  >=  <=  !=  *`.
+    fn from_str(s: &str) -> Result<DepElem, DepParseError> {
+        match s.trim() {
+            "+" => Ok(DepElem::Dir(Dir::Pos)),
+            "-" => Ok(DepElem::Dir(Dir::Neg)),
+            ">=" => Ok(DepElem::Dir(Dir::NonNeg)),
+            "<=" => Ok(DepElem::Dir(Dir::NonPos)),
+            "!=" => Ok(DepElem::Dir(Dir::NonZero)),
+            "*" => Ok(DepElem::Dir(Dir::Any)),
+            t => t
+                .parse::<i64>()
+                .map(DepElem::Dist)
+                .map_err(|_| parse_err(format!("bad dependence entry `{t}`"))),
+        }
+    }
+}
+
+impl std::str::FromStr for DepVector {
+    type Err = DepParseError;
+
+    /// Parses the [`fmt::Display`] form of a vector: comma-separated
+    /// entries, with or without the surrounding parentheses —
+    /// `"(1, +, *)"` and `"1, +, *"` both parse. The parse∘print
+    /// fixpoint `v.to_string().parse() == v` holds for every vector.
+    fn from_str(s: &str) -> Result<DepVector, DepParseError> {
+        let t = s.trim();
+        let inner = match t.strip_prefix('(') {
+            Some(rest) => rest
+                .strip_suffix(')')
+                .ok_or_else(|| parse_err(format!("unterminated `(` in `{t}`")))?,
+            None => t,
+        };
+        let inner = inner.trim();
+        if inner.is_empty() {
+            return Err(parse_err("empty dependence vector"));
+        }
+        inner
+            .split(',')
+            .map(|tok| tok.parse::<DepElem>())
+            .collect::<Result<Vec<_>, _>>()
+            .map(DepVector::new)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parse_is_the_inverse_of_display() {
+        let v = DepVector::new(vec![
+            DepElem::Dist(-3),
+            DepElem::Dist(0),
+            DepElem::Dir(Dir::Pos),
+            DepElem::Dir(Dir::Neg),
+            DepElem::Dir(Dir::NonNeg),
+            DepElem::Dir(Dir::NonPos),
+            DepElem::Dir(Dir::NonZero),
+            DepElem::Dir(Dir::Any),
+        ]);
+        let text = v.to_string();
+        assert_eq!(text.parse::<DepVector>().unwrap(), v);
+        // Parens are optional, whitespace is forgiven.
+        assert_eq!(" 1 ,  + , * ".parse::<DepVector>().unwrap().len(), 3);
+        // Malformed inputs are rejected with the offending token named.
+        assert!("(1, %)"
+            .parse::<DepVector>()
+            .unwrap_err()
+            .message
+            .contains('%'));
+        assert!("(1, 2".parse::<DepVector>().is_err());
+        assert!("()".parse::<DepVector>().is_err());
+        assert!("q".parse::<DepElem>().is_err());
+    }
 
     #[test]
     fn membership_semantics() {

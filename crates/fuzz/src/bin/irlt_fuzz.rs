@@ -1,0 +1,167 @@
+//! `irlt-fuzz` — run a coverage-guided (or baseline random) fuzzing
+//! campaign from the command line.
+//!
+//! ```text
+//! irlt-fuzz [--mode guided|random] [--seed HEX|DEC] [--seconds S]
+//!           [--cases N] [--min-cases N] [--rounds R]
+//!           [--corpus DIR]... [--out DIR] [--report PATH] [--no-search]
+//! ```
+//!
+//! * With `--seconds`, each round runs under a cooperative deadline
+//!   (`CancelToken::with_deadline`) with a `--min-cases` floor so a
+//!   loaded machine still executes a meaningful batch.
+//! * `--rounds R` runs R campaigns with per-round derived seeds
+//!   (`derive_seed(seed, round)`) and merges the reports — the
+//!   nightly CI shape.
+//! * Exit status: `0` clean, `1` when any round surfaced a failure
+//!   (oracle mismatch, engine inconsistency, or panic — the shrunk
+//!   replayable input is printed), `2` on usage or I/O errors.
+
+use irlt_fuzz::engine::{run_campaign, CampaignConfig, CampaignReport, Mode};
+use irlt_harness::derive_seed;
+use irlt_opt::CancelToken;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Cli {
+    mode: Mode,
+    seed: u64,
+    seconds: Option<u64>,
+    cases: Option<usize>,
+    min_cases: usize,
+    rounds: u64,
+    corpus_in: Vec<PathBuf>,
+    corpus_out: Option<PathBuf>,
+    report_path: Option<PathBuf>,
+    search: bool,
+}
+
+const USAGE: &str = "usage: irlt-fuzz [--mode guided|random] [--seed N] [--seconds S] \
+[--cases N] [--min-cases N] [--rounds R] [--corpus DIR]... [--out DIR] \
+[--report PATH] [--no-search]";
+
+fn parse_u64(flag: &str, value: Option<String>) -> Result<u64, String> {
+    let v = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    let parsed = if let Some(hex) = v.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        v.parse()
+    };
+    parsed.map_err(|_| format!("{flag}: invalid number `{v}`"))
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        mode: Mode::Guided,
+        seed: 0x5a4b_1992,
+        seconds: None,
+        cases: None,
+        min_cases: 64,
+        rounds: 1,
+        corpus_in: Vec::new(),
+        corpus_out: None,
+        report_path: None,
+        search: true,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--mode" => {
+                let v = args.next().ok_or("--mode needs a value")?;
+                cli.mode = v.parse()?;
+            }
+            "--seed" => cli.seed = parse_u64("--seed", args.next())?,
+            "--seconds" => cli.seconds = Some(parse_u64("--seconds", args.next())?),
+            "--cases" => cli.cases = Some(parse_u64("--cases", args.next())? as usize),
+            "--min-cases" => cli.min_cases = parse_u64("--min-cases", args.next())? as usize,
+            "--rounds" => cli.rounds = parse_u64("--rounds", args.next())?.max(1),
+            "--corpus" => {
+                let v = args.next().ok_or("--corpus needs a value")?;
+                cli.corpus_in.push(PathBuf::from(v));
+            }
+            "--out" => {
+                let v = args.next().ok_or("--out needs a value")?;
+                cli.corpus_out = Some(PathBuf::from(v));
+            }
+            "--report" => {
+                let v = args.next().ok_or("--report needs a value")?;
+                cli.report_path = Some(PathBuf::from(v));
+            }
+            "--no-search" => cli.search = false,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    if cli.seconds.is_none() && cli.cases.is_none() {
+        // No budget at all would run forever; default to a small batch.
+        cli.cases = Some(512);
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("irlt-fuzz: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut merged: Option<CampaignReport> = None;
+    for round in 0..cli.rounds {
+        let cfg = CampaignConfig {
+            mode: cli.mode,
+            seed: derive_seed(cli.seed, round),
+            max_cases: cli.cases.unwrap_or(usize::MAX),
+            min_cases: cli.min_cases,
+            cancel: cli
+                .seconds
+                .map(|s| CancelToken::with_deadline(Duration::from_secs(s))),
+            corpus_in: cli.corpus_in.clone(),
+            corpus_out: cli.corpus_out.clone(),
+            search_coverage: cli.search,
+            max_shrink_steps: 64,
+        };
+        let report = match run_campaign(&cfg) {
+            Ok(report) => report,
+            Err(msg) => {
+                eprintln!("irlt-fuzz: {msg}");
+                return ExitCode::from(2);
+            }
+        };
+        println!("round {round}: {}", report.render());
+        match &mut merged {
+            Some(m) => m.merge(&report),
+            None => merged = Some(report),
+        }
+    }
+
+    let merged = merged.expect("rounds >= 1");
+    if cli.rounds > 1 {
+        println!("merged: {}", merged.render());
+    }
+    if let Some(path) = &cli.report_path {
+        if let Err(e) = std::fs::write(path, merged.to_json().to_string_pretty()) {
+            eprintln!("irlt-fuzz: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if merged.executed == 0 || (merged.oracle.agree == 0 && merged.failures.is_empty()) {
+        eprintln!("irlt-fuzz: campaign executed nothing meaningful (0 agreements)");
+        return ExitCode::from(2);
+    }
+    if merged.failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "irlt-fuzz: {} failure(s) — shrunk repro(s) printed above",
+            merged.failures.len()
+        );
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,374 @@
+//! Structure-preserving mutation operators over `(nest, deps, seq)`.
+//!
+//! Coverage-guided fuzzing evolves a corpus by *mutating* interesting
+//! inputs rather than sampling fresh ones; the operators here are the
+//! transformation-framework analogue of bit flips. Each operator
+//! preserves the three structural invariants the engines require —
+//!
+//! 1. `deps.arity() == nest.depth()` (vectors talk about the nest's
+//!    loops),
+//! 2. `seq.input_size() == nest.depth()` (the sequence chains off the
+//!    original iteration space),
+//! 3. no dependence vector is lex-negative-capable on its own (the
+//!    generators' well-formedness contract, see `gen_dep_vector`),
+//!
+//! — so a mutant is always an *executable* input; whether it is
+//! *interesting* is decided downstream by the coverage map. Sequence
+//! operators rebuild the chain step by step and silently drop steps
+//! whose arity no longer fits (splicing a `Block` in the middle
+//! changes every later step's expected input size), which is itself a
+//! productive mutation: it explores neighboring chains the pure
+//! generators never visit, such as sequences longer than the
+//! generator's 3-step cap.
+//!
+//! Growth is bounded ([`MAX_SEQ_LEN`], [`MAX_DEPS`],
+//! [`MAX_OUTPUT_SIZE`]) so a lucky lineage of `Block` splices cannot
+//! snowball per-case cost across a long campaign.
+
+use irlt_core::{Step, Template, TransformSeq};
+use irlt_dependence::{analyze_dependences, DepSet, DepVector};
+use irlt_harness::gen::{gen_dep_elem, gen_dep_vector, gen_exact_template, gen_template};
+use irlt_harness::{OracleCase, Rng};
+use irlt_ir::{Expr, LoopNest};
+
+/// Longest sequence a mutant may carry (the generator caps at 3; the
+/// mutator may grow past it, but not without bound).
+pub const MAX_SEQ_LEN: usize = 6;
+/// Most dependence vectors a mutant may carry.
+pub const MAX_DEPS: usize = 6;
+/// Output-space cap: once a chain's output size reaches this, growth
+/// steps switch to size-preserving templates.
+pub const MAX_OUTPUT_SIZE: usize = 10;
+
+/// The mutation operators, in the order [`mutate`] samples them.
+pub const OPERATORS: &[&str] = &[
+    "perturb_bound",
+    "splice_step",
+    "swap_steps",
+    "duplicate_step",
+    "drop_step",
+    "extend_seq",
+    "truncate_seq",
+    "edit_dep_elem",
+    "add_dep_vector",
+    "drop_dep_vector",
+    "reanalyze_deps",
+];
+
+fn builtin_steps(seq: &TransformSeq) -> Vec<Template> {
+    seq.steps()
+        .iter()
+        .filter_map(|s| match s {
+            Step::Builtin(t) => Some(t.clone()),
+            Step::Custom(_) => None,
+        })
+        .collect()
+}
+
+/// Chains `steps` onto a fresh `n`-input sequence, dropping any step
+/// whose input arity no longer matches the evolving output size.
+fn rebuild(n: usize, steps: Vec<Template>) -> TransformSeq {
+    let mut seq = TransformSeq::new(n);
+    for t in steps {
+        if t.input_size() == seq.output_size() {
+            if let Ok(next) = seq.clone().push(t) {
+                seq = next;
+            }
+        }
+    }
+    seq
+}
+
+fn with_seq(case: &OracleCase, seq: TransformSeq) -> Option<OracleCase> {
+    if builtin_steps(&seq) == builtin_steps(&case.seq) {
+        // The rebuild dropped everything that changed; not a mutation.
+        return None;
+    }
+    Some(OracleCase {
+        nest: case.nest.clone(),
+        deps: case.deps.clone(),
+        seq,
+    })
+}
+
+fn with_deps(case: &OracleCase, deps: DepSet) -> Option<OracleCase> {
+    if deps == case.deps {
+        return None;
+    }
+    Some(OracleCase {
+        nest: case.nest.clone(),
+        deps,
+        seq: case.seq.clone(),
+    })
+}
+
+/// Nudges one constant loop bound by ±1/±2, clamped to `0..=9`.
+/// Coverage bucket *names* do not depend on bound values, so this
+/// operator rarely lights new buckets by itself — but it moves inputs
+/// across precondition boundaries (empty/singleton iteration spaces)
+/// whose *rejections* do.
+fn perturb_bound(rng: &mut Rng, case: &OracleCase) -> Option<OracleCase> {
+    if !case.nest.inits().is_empty() {
+        return None; // skew inits pin bounds to outer vars; leave them
+    }
+    let mut loops = case.nest.loops().to_vec();
+    let k = rng.index(loops.len());
+    let upper = rng.gen_bool(0.5);
+    let bound = if upper {
+        &mut loops[k].upper
+    } else {
+        &mut loops[k].lower
+    };
+    let v = match bound {
+        Expr::Const(v) => *v,
+        _ => return None,
+    };
+    let delta = *rng.choose(&[-2i64, -1, 1, 2]).unwrap();
+    let moved = (v + delta).clamp(0, 9);
+    if moved == v {
+        return None;
+    }
+    *bound = Expr::Const(moved);
+    let nest = LoopNest::new(loops, case.nest.body().to_vec());
+    nest.validate().ok()?;
+    Some(OracleCase {
+        nest,
+        deps: case.deps.clone(),
+        seq: case.seq.clone(),
+    })
+}
+
+/// Inserts a freshly generated template at a random position,
+/// re-chaining the suffix around it.
+fn splice_step(rng: &mut Rng, case: &OracleCase) -> Option<OracleCase> {
+    let mut steps = builtin_steps(&case.seq);
+    if steps.len() >= MAX_SEQ_LEN {
+        return None;
+    }
+    let at = rng.index(steps.len() + 1);
+    let size_at = rebuild(case.seq.input_size(), steps[..at].to_vec()).output_size();
+    let t = if size_at >= MAX_OUTPUT_SIZE {
+        gen_exact_template(rng, size_at)
+    } else {
+        gen_template(rng, size_at)
+    };
+    steps.insert(at, t);
+    with_seq(case, rebuild(case.seq.input_size(), steps))
+}
+
+/// Swaps two adjacent steps (arity mismatches drop the loser).
+fn swap_steps(rng: &mut Rng, case: &OracleCase) -> Option<OracleCase> {
+    let mut steps = builtin_steps(&case.seq);
+    if steps.len() < 2 {
+        return None;
+    }
+    let k = rng.index(steps.len() - 1);
+    steps.swap(k, k + 1);
+    with_seq(case, rebuild(case.seq.input_size(), steps))
+}
+
+/// Duplicates one step in place (only chains if size-compatible).
+fn duplicate_step(rng: &mut Rng, case: &OracleCase) -> Option<OracleCase> {
+    let mut steps = builtin_steps(&case.seq);
+    if steps.is_empty() || steps.len() >= MAX_SEQ_LEN {
+        return None;
+    }
+    let k = rng.index(steps.len());
+    let copy = steps[k].clone();
+    steps.insert(k + 1, copy);
+    with_seq(case, rebuild(case.seq.input_size(), steps))
+}
+
+/// Removes one interior or trailing step.
+fn drop_step(rng: &mut Rng, case: &OracleCase) -> Option<OracleCase> {
+    let mut steps = builtin_steps(&case.seq);
+    if steps.is_empty() {
+        return None;
+    }
+    steps.remove(rng.index(steps.len()));
+    with_seq(case, rebuild(case.seq.input_size(), steps))
+}
+
+/// Appends a freshly generated template at the end of the chain — the
+/// operator that grows sequences past the generator's 3-step cap.
+fn extend_seq(rng: &mut Rng, case: &OracleCase) -> Option<OracleCase> {
+    let steps = builtin_steps(&case.seq);
+    if steps.len() >= MAX_SEQ_LEN {
+        return None;
+    }
+    let size = case.seq.output_size();
+    let t = if size >= MAX_OUTPUT_SIZE {
+        gen_exact_template(rng, size)
+    } else {
+        gen_template(rng, size)
+    };
+    case.seq
+        .clone()
+        .push(t)
+        .ok()
+        .and_then(|s| with_seq(case, s))
+}
+
+/// Drops the trailing step (sequence truncation).
+fn truncate_seq(_rng: &mut Rng, case: &OracleCase) -> Option<OracleCase> {
+    let mut steps = builtin_steps(&case.seq);
+    if steps.is_empty() {
+        return None;
+    }
+    steps.pop();
+    with_seq(case, rebuild(case.seq.input_size(), steps))
+}
+
+/// Rewrites one entry of one dependence vector, rejection-sampling the
+/// generators' no-lex-negative contract.
+fn edit_dep_elem(rng: &mut Rng, case: &OracleCase) -> Option<OracleCase> {
+    let vectors = case.deps.vectors();
+    if vectors.is_empty() {
+        return None;
+    }
+    let vi = rng.index(vectors.len());
+    let k = rng.index(vectors[vi].len());
+    for _ in 0..8 {
+        let mut elems = vectors[vi].elems().to_vec();
+        elems[k] = gen_dep_elem(rng);
+        let candidate = DepVector::new(elems);
+        if candidate == vectors[vi] || candidate.can_be_lex_negative() {
+            continue;
+        }
+        let mut out = vectors.to_vec();
+        out[vi] = candidate;
+        return with_deps(case, DepSet::from_vectors(out).ok()?);
+    }
+    None
+}
+
+/// Adds a freshly generated dependence vector.
+fn add_dep_vector(rng: &mut Rng, case: &OracleCase) -> Option<OracleCase> {
+    if case.deps.len() >= MAX_DEPS {
+        return None;
+    }
+    let v = gen_dep_vector(rng, case.nest.depth());
+    let mut out = case.deps.vectors().to_vec();
+    out.push(v);
+    with_deps(case, DepSet::from_vectors(out).ok()?)
+}
+
+/// Removes one dependence vector (never the last — empty sets make
+/// everything legal and teach the map nothing).
+fn drop_dep_vector(rng: &mut Rng, case: &OracleCase) -> Option<OracleCase> {
+    if case.deps.len() < 2 {
+        return None;
+    }
+    let mut out = case.deps.vectors().to_vec();
+    out.remove(rng.index(out.len()));
+    with_deps(case, DepSet::from_vectors(out).ok()?)
+}
+
+/// Replaces a synthetic dependence set with the analyzed one — pulls a
+/// mutated lineage back toward dependences its nest actually has, so
+/// the affine backend's exact domain stays reachable.
+fn reanalyze_deps(_rng: &mut Rng, case: &OracleCase) -> Option<OracleCase> {
+    with_deps(case, analyze_dependences(&case.nest))
+}
+
+/// Applies one randomly chosen operator; retries across operators until
+/// one produces a structural change (up to 16 attempts, after which the
+/// input is returned unchanged — effectively a corpus re-execution).
+/// Returns the mutant and the operator name for campaign statistics.
+pub fn mutate(rng: &mut Rng, case: &OracleCase) -> (OracleCase, &'static str) {
+    for _ in 0..16 {
+        let op = OPERATORS[rng.index(OPERATORS.len())];
+        let out = match op {
+            "perturb_bound" => perturb_bound(rng, case),
+            "splice_step" => splice_step(rng, case),
+            "swap_steps" => swap_steps(rng, case),
+            "duplicate_step" => duplicate_step(rng, case),
+            "drop_step" => drop_step(rng, case),
+            "extend_seq" => extend_seq(rng, case),
+            "truncate_seq" => truncate_seq(rng, case),
+            "edit_dep_elem" => edit_dep_elem(rng, case),
+            "add_dep_vector" => add_dep_vector(rng, case),
+            "drop_dep_vector" => drop_dep_vector(rng, case),
+            "reanalyze_deps" => reanalyze_deps(rng, case),
+            _ => unreachable!("operator table is exhaustive"),
+        };
+        if let Some(mutant) = out {
+            debug_assert!(
+                invariants_hold(&mutant),
+                "operator {op} broke an invariant:\nparent {case:?}\nmutant {mutant:?}"
+            );
+            return (mutant, op);
+        }
+    }
+    (case.clone(), "noop")
+}
+
+/// The three structural invariants every mutant must satisfy.
+pub fn invariants_hold(case: &OracleCase) -> bool {
+    case.deps.arity().is_none_or(|a| a == case.nest.depth())
+        && case.seq.input_size() == case.nest.depth()
+        && case.deps.iter().all(|v| !v.can_be_lex_negative())
+        && case.nest.validate().is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irlt_harness::gen::{gen_dep_set, gen_nest, gen_sequence};
+
+    fn random_case(rng: &mut Rng) -> OracleCase {
+        let depth = rng.gen_range(1..=4usize);
+        let nest = gen_nest(rng, depth);
+        let deps = if rng.gen_bool(0.5) {
+            analyze_dependences(&nest)
+        } else {
+            gen_dep_set(rng, depth)
+        };
+        let seq = gen_sequence(rng, depth);
+        OracleCase { nest, deps, seq }
+    }
+
+    #[test]
+    fn mutants_preserve_structural_invariants() {
+        let mut rng = Rng::new(0x1992_f022);
+        let mut changed = 0;
+        for _ in 0..300 {
+            let case = random_case(&mut rng);
+            assert!(invariants_hold(&case));
+            let (mutant, op) = mutate(&mut rng, &case);
+            assert!(invariants_hold(&mutant), "operator {op} broke an invariant");
+            if op != "noop" {
+                changed += 1;
+            }
+            assert!(mutant.seq.len() <= MAX_SEQ_LEN);
+        }
+        assert!(changed > 250, "mutator mostly no-ops: {changed}/300");
+    }
+
+    #[test]
+    fn extend_can_grow_past_the_generator_cap() {
+        let mut rng = Rng::new(7);
+        let mut case = random_case(&mut rng);
+        let mut grown = false;
+        for _ in 0..400 {
+            let (mutant, _) = mutate(&mut rng, &case);
+            if mutant.seq.len() > 3 {
+                grown = true;
+                break;
+            }
+            case = mutant;
+        }
+        assert!(grown, "mutation lineage never exceeded 3 steps");
+    }
+
+    #[test]
+    fn mutation_is_deterministic_for_a_fixed_seed() {
+        let mk = || {
+            let mut rng = Rng::new(42);
+            let case = random_case(&mut rng);
+            let (m, op) = mutate(&mut rng, &case);
+            (format!("{m:?}"), op)
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -44,5 +44,5 @@ pub mod rng;
 pub mod timing;
 
 pub use diff::{cross_check_case, run_cross_engine, OracleCase, OracleReport};
-pub use prop::{CaseResult, Config};
+pub use prop::{shrink_with, CaseResult, Config};
 pub use rng::{derive_seed, Rng, SplitMix64};

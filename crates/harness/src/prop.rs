@@ -267,36 +267,87 @@ where
     }
 }
 
-/// Greedy bounded shrink: repeatedly move to the first candidate that
-/// still fails, until no candidate fails or the step budget runs out.
+/// Greedy bounded shrink descent over an arbitrary "still interesting"
+/// predicate: repeatedly move to the first shrink candidate the
+/// predicate accepts, until no candidate is accepted or the step budget
+/// runs out. Each predicate call counts one step.
+///
+/// This is the same engine [`check`] applies to failing cases (predicate
+/// = "the property still fails"), exposed so external harnesses can
+/// shrink against other notions of interesting — the `irlt-fuzz`
+/// campaign minimizes inputs against "still lights the same new coverage
+/// buckets" and "still reproduces the oracle failure".
+///
+/// # Examples
+///
+/// ```
+/// use irlt_harness::prop::shrink_with;
+///
+/// // Minimal x ≥ 57 reachable by halving/decrementing from 1000.
+/// let min = shrink_with(
+///     1000i64,
+///     |&x| vec![x / 2, x - 1].into_iter().filter(|&y| y >= 0).collect(),
+///     |&x| x >= 57,
+///     1000,
+/// );
+/// assert_eq!(min, 57);
+/// ```
+pub fn shrink_with<T, S, P>(mut value: T, shrink: S, still_interesting: P, max_steps: u32) -> T
+where
+    T: Clone,
+    S: Fn(&T) -> Vec<T>,
+    P: Fn(&T) -> bool,
+{
+    let mut steps = 0;
+    'descend: while steps < max_steps {
+        for candidate in shrink(&value) {
+            steps += 1;
+            if still_interesting(&candidate) {
+                value = candidate;
+                continue 'descend;
+            }
+            if steps >= max_steps {
+                break;
+            }
+        }
+        break;
+    }
+    value
+}
+
+/// Greedy bounded shrink for a failing property case: descends through
+/// [`shrink_with`] with "still fails" as the predicate, carrying the
+/// failure message of the minimal value along.
 fn shrink_failure<T, S, P>(
     cfg: &Config,
     shrink: &S,
     property: &P,
-    mut value: T,
-    mut msg: String,
+    value: T,
+    msg: String,
 ) -> (T, String)
 where
     T: Clone + Debug,
     S: Fn(&T) -> Vec<T>,
     P: Fn(&T) -> CaseResult,
 {
-    let mut steps = 0;
-    'descend: while steps < cfg.max_shrink_steps {
-        for candidate in shrink(&value) {
-            steps += 1;
-            if let CaseResult::Fail(m) = property(&candidate) {
-                value = candidate;
-                msg = m;
-                continue 'descend;
+    use std::cell::RefCell;
+    // The predicate sees every candidate (including the final minimum)
+    // last, so capturing the message on each accepted step keeps the
+    // returned message in sync with the returned value.
+    let last_msg = RefCell::new(msg);
+    let min = shrink_with(
+        value,
+        shrink,
+        |candidate| match property(candidate) {
+            CaseResult::Fail(m) => {
+                *last_msg.borrow_mut() = m;
+                true
             }
-            if steps >= cfg.max_shrink_steps {
-                break;
-            }
-        }
-        break;
-    }
-    (value, msg)
+            _ => false,
+        },
+        cfg.max_shrink_steps,
+    );
+    (min, last_msg.into_inner())
 }
 
 /// Reads `<corpus_dir>/<name>.seeds`: one seed per line (decimal or

@@ -108,6 +108,30 @@ impl Report {
             .sum()
     }
 
+    /// Enumerates the report as stable *coverage bucket ids*: one id per
+    /// counter name, plus one per `(histogram, observed value)` pair in
+    /// the `name[value]` form — e.g. `depmap/fanout/Block[4]` for "a
+    /// Block mapping produced a 4-image fan-out at least once".
+    ///
+    /// This is the enumeration the coverage-guided fuzzer (`irlt-fuzz`)
+    /// snapshots into its coverage map: counters and exact histogram
+    /// buckets are deterministic functions of the work performed, while
+    /// `stats` and `spans` aggregate wall-clock and score values and are
+    /// deliberately **excluded** (they would make coverage
+    /// timing-dependent and non-replayable).
+    ///
+    /// Ids are returned in `BTreeMap` order, so the same report always
+    /// enumerates identically.
+    pub fn coverage_keys(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.counters.keys().cloned().collect();
+        for (name, hist) in &self.histograms {
+            for value in hist.keys() {
+                out.push(format!("{name}[{value}]"));
+            }
+        }
+        out
+    }
+
     /// Serializes to the JSON artifact layout.
     pub fn to_json(&self) -> Json {
         let counters = self
@@ -398,6 +422,37 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn coverage_keys_enumerate_counters_and_histogram_buckets() {
+        let keys = sample().coverage_keys();
+        // Every counter name appears verbatim…
+        assert!(
+            keys.contains(&"legality/cache/hits".to_string()),
+            "{keys:?}"
+        );
+        assert!(
+            keys.contains(&"search/depth.1/legal".to_string()),
+            "{keys:?}"
+        );
+        // …every histogram bucket appears as name[value]…
+        for bucket in [
+            "depmap/fanout/Block[1]",
+            "depmap/fanout/Block[2]",
+            "depmap/fanout/Block[4]",
+        ] {
+            assert!(
+                keys.contains(&bucket.to_string()),
+                "missing {bucket}: {keys:?}"
+            );
+        }
+        // …and timing-dependent sections are excluded.
+        assert!(!keys.iter().any(|k| k.contains("score")), "{keys:?}");
+        assert!(!keys.iter().any(|k| k.contains("expand")), "{keys:?}");
+        // Deterministic enumeration order.
+        assert_eq!(keys, sample().coverage_keys());
+        assert!(Report::default().coverage_keys().is_empty());
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub use irlt_cachesim as cachesim;
 pub use irlt_core as core;
 pub use irlt_dependence as dependence;
 pub use irlt_driver as driver;
+pub use irlt_fuzz as fuzz;
 pub use irlt_interp as interp;
 pub use irlt_ir as ir;
 pub use irlt_obs as obs;
@@ -73,6 +74,7 @@ pub mod prelude {
         analyze_dependences, analyze_dependences_detailed, DepElem, DepSet, DepVector, Dir,
     };
     pub use irlt_driver::{run_batch, BatchConfig, BatchResult, Job, JobResult, JobStatus};
+    pub use irlt_fuzz::{run_campaign, CampaignConfig, CampaignReport, CoverageMap};
     pub use irlt_interp::{
         check_equivalence, empirical_dependences, Executor, Memory, PardoOrder, TraceLevel,
     };
