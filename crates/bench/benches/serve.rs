@@ -1,0 +1,84 @@
+//! Serving overhead: the 64-nest demo corpus through a live
+//! `irlt-serve` Unix-socket server versus the in-process batch driver
+//! it wraps.
+//!
+//! Three rows isolate the service tax:
+//!
+//! * **`batch64/t4`** — `run_batch` at 4 threads, the in-process
+//!   baseline. Each iteration starts with a cold shared cache.
+//! * **`socket64/c1` / `socket64/c4`** — the same 64 jobs submitted to
+//!   one long-lived 4-worker server through 1 or 4 concurrent client
+//!   connections: protocol encode/decode, socket hops, admission, and
+//!   the per-request event stream all included. The server (like a real
+//!   deployment) stays warm across iterations, so these rows also show
+//!   the steady-state benefit of the shared legality cache surviving
+//!   between "processes" — the reason `irlt-serve` exists.
+//! * **`ping`** — one connect + ping/pong round trip: the protocol
+//!   floor with zero optimization work.
+//!
+//! Results are bit-identical between the batch and served rows by the
+//! soak battery's oracle (`tests/serve.rs`); only time may differ.
+
+use irlt_driver::{demo_corpus, run_batch, BatchConfig, Job};
+use irlt_harness::timing::{black_box, Runner};
+use irlt_obs::Telemetry;
+use irlt_serve::client::{self, ClientOptions};
+use irlt_serve::{ServeConfig, Server};
+
+fn main() {
+    let mut r = Runner::default();
+    let telemetry = Telemetry::from_env();
+    let jobs = demo_corpus(64);
+
+    let cfg = BatchConfig {
+        threads: 4,
+        telemetry: telemetry.clone(),
+        ..BatchConfig::default()
+    };
+    r.bench("serve/batch64/t4", || {
+        black_box(run_batch(black_box(&jobs), &cfg))
+    });
+
+    let socket = std::env::temp_dir().join(format!("irlt-bench-serve-{}.sock", std::process::id()));
+    let server = Server::spawn(
+        ServeConfig {
+            workers: 4,
+            telemetry: telemetry.clone(),
+            ..ServeConfig::default()
+        },
+        &socket,
+    )
+    .expect("bind bench socket");
+
+    r.bench("serve/socket64/c1", || {
+        black_box(client::run_jobs(&socket, &jobs, &ClientOptions::default()).expect("served"))
+    });
+
+    let chunks: Vec<Vec<Job>> = jobs.chunks(16).map(<[Job]>::to_vec).collect();
+    r.bench("serve/socket64/c4", || {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                let chunk = chunk.clone();
+                let socket = socket.clone();
+                std::thread::spawn(move || {
+                    client::run_jobs(&socket, &chunk, &ClientOptions::default()).expect("served")
+                })
+            })
+            .collect();
+        for h in handles {
+            black_box(h.join().expect("client thread"));
+        }
+    });
+
+    r.bench("serve/ping", || client::ping(&socket).expect("pong"));
+
+    client::shutdown(&socket).expect("drain");
+    server.join();
+    r.finish();
+    match telemetry.write_env_report() {
+        Ok(Some(path)) => println!("telemetry written to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("telemetry write failed: {e}"),
+    }
+}

@@ -81,5 +81,8 @@ pub use sequence::{
     TransformSeq,
 };
 pub use shared::{KeyMode, ShardStats, SharedCacheStats, SharedLegalityCache};
-pub use snapshot::{SnapshotError, SnapshotLoadStats, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use snapshot::{
+    generation_path, SnapshotError, SnapshotLoadStats, SnapshotSaveError, SnapshotWriteStats,
+    SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
 pub use template::{Permutation, Template, TemplateError};

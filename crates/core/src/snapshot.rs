@@ -78,6 +78,7 @@ use irlt_ir::{
 };
 use irlt_unimodular::{FmError, IntMatrix, UnimodularError};
 use std::fmt;
+use std::path::Path;
 use std::sync::Arc;
 
 /// `b"irlt-cache"` — the artifact family.
@@ -1133,23 +1134,17 @@ impl SharedLegalityCache {
         if self.key_mode() != KeyMode::Fingerprint {
             return Err(SnapshotError::UnsupportedKeyMode);
         }
-        // Copy the pools out (cheap Arc bumps) so no lock is held while
-        // encoding.
-        let (shapes, deps, templates) = {
-            let pools = self.lock_pools();
-            let shapes: Vec<Arc<LoopNest>> = (0..pools.shapes.len() as u32)
-                .map(|i| pools.shapes.get(i).clone())
-                .collect();
-            let deps: Vec<Arc<DepSet>> = (0..pools.deps.len() as u32)
-                .map(|i| pools.deps.get(i).clone())
-                .collect();
-            let templates: Vec<Arc<Template>> = (0..pools.templates.len() as u32)
-                .map(|i| pools.templates.get(i).clone())
-                .collect();
-            (shapes, deps, templates)
-        };
         // Collect entries as plain id tuples, then sort for determinism
-        // (shard iteration order is unspecified).
+        // (shard iteration order is unspecified). Entries MUST be
+        // collected before the pools are copied: pools are append-only,
+        // so every id an already-inserted entry references exists in any
+        // later pool copy — whereas copying the pools first would let an
+        // insert racing the save deposit an entry whose ids point past
+        // the copied pools, producing a snapshot that fails validation
+        // on load (the tear `tests/rotation.rs` races for). Pool values
+        // interned after the entry sweep ride along unused; the loader
+        // re-interns them in id order, so save→load→save stays a byte
+        // fixpoint.
         let mut entries: Vec<(bool, u32, u32, u32, DecodedOutcome)> = Vec::new();
         self.for_each_entry(|key, entry| {
             let &ProbeKey::Fp {
@@ -1182,6 +1177,22 @@ impl SharedLegalityCache {
         });
         entries
             .sort_by_key(|&(prune, shape, mapped, template, _)| (prune, shape, mapped, template));
+
+        // Copy the pools out (cheap Arc bumps) so no lock is held while
+        // encoding.
+        let (shapes, deps, templates) = {
+            let pools = self.lock_pools();
+            let shapes: Vec<Arc<LoopNest>> = (0..pools.shapes.len() as u32)
+                .map(|i| pools.shapes.get(i).clone())
+                .collect();
+            let deps: Vec<Arc<DepSet>> = (0..pools.deps.len() as u32)
+                .map(|i| pools.deps.get(i).clone())
+                .collect();
+            let templates: Vec<Arc<Template>> = (0..pools.templates.len() as u32)
+                .map(|i| pools.templates.get(i).clone())
+                .collect();
+            (shapes, deps, templates)
+        };
 
         let mut w = Writer::new();
         w.len(shapes.len())?;
@@ -1344,7 +1355,105 @@ impl SharedLegalityCache {
         }
         Ok(stats)
     }
+
+    /// Atomically persists the cache to `path`, rotating previous
+    /// generations — the snapshot hook long-lived services use between
+    /// requests (one-shot batches can keep writing the file directly).
+    ///
+    /// The write is **tear-free**: bytes go to a sibling temporary file
+    /// (`<path>.new`), are fsynced, and only then renamed over `path`
+    /// (`rename(2)` is atomic within a filesystem). A reader — including
+    /// a process that crashed mid-save and restarted — therefore only
+    /// ever observes either the previous complete snapshot or the new
+    /// complete snapshot, never a prefix.
+    ///
+    /// Before the rename, up to `keep_generations` prior snapshots are
+    /// shifted to `<path>.1` (newest) … `<path>.N` (oldest), each by the
+    /// same atomic rename; the oldest falls off the end. `0` keeps no
+    /// history — `path` is simply replaced. Concurrent savers in one
+    /// process should serialize (the serve loop holds a rotation lock);
+    /// cross-process savers are last-writer-wins but still never tear.
+    pub fn save_snapshot_to(
+        &self,
+        path: &Path,
+        keep_generations: usize,
+    ) -> Result<SnapshotWriteStats, SnapshotSaveError> {
+        let bytes = self.save_snapshot().map_err(SnapshotSaveError::Encode)?;
+        let io = |p: &Path| {
+            let p = p.to_path_buf();
+            move |e: std::io::Error| SnapshotSaveError::Io(p, e)
+        };
+        let tmp = generation_path(path, 0).with_extension("new");
+        {
+            let mut f = std::fs::File::create(&tmp).map_err(io(&tmp))?;
+            use std::io::Write as _;
+            f.write_all(&bytes).map_err(io(&tmp))?;
+            // Flush to stable storage before any rename makes the file
+            // visible under its final name.
+            f.sync_all().map_err(io(&tmp))?;
+        }
+        let mut rotated = 0;
+        for k in (1..=keep_generations).rev() {
+            let from = generation_path(path, k - 1);
+            let to = generation_path(path, k);
+            match std::fs::rename(&from, &to) {
+                Ok(()) => rotated += 1,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(SnapshotSaveError::Io(from, e)),
+            }
+        }
+        std::fs::rename(&tmp, path).map_err(io(&tmp))?;
+        Ok(SnapshotWriteStats {
+            bytes: bytes.len() as u64,
+            entries: self.len() as u64,
+            generations_rotated: rotated,
+        })
+    }
 }
+
+/// The on-disk name of generation `k` of a snapshot at `path`:
+/// generation `0` is `path` itself, generation `k > 0` is `path.k`.
+pub fn generation_path(path: &Path, k: usize) -> std::path::PathBuf {
+    if k == 0 {
+        path.to_path_buf()
+    } else {
+        let mut name = path.as_os_str().to_os_string();
+        name.push(format!(".{k}"));
+        std::path::PathBuf::from(name)
+    }
+}
+
+/// What [`SharedLegalityCache::save_snapshot_to`] wrote.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotWriteStats {
+    /// Size of the snapshot artifact in bytes.
+    pub bytes: u64,
+    /// Cache entries resident when the snapshot was encoded.
+    pub entries: u64,
+    /// Prior generations shifted during rotation.
+    pub generations_rotated: usize,
+}
+
+/// Why an atomic snapshot save failed. Either way nothing was renamed
+/// over a previous snapshot — on-disk generations are intact.
+#[derive(Debug)]
+pub enum SnapshotSaveError {
+    /// The cache could not be encoded (e.g. `Display` key mode).
+    Encode(SnapshotError),
+    /// A filesystem operation failed at the given path.
+    Io(std::path::PathBuf, std::io::Error),
+}
+
+impl fmt::Display for SnapshotSaveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotSaveError::Encode(e) => write!(f, "encoding snapshot: {e}"),
+            SnapshotSaveError::Io(p, e) => write!(f, "{}: {e}", p.display()),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotSaveError {}
 
 #[cfg(test)]
 mod tests {
@@ -1448,6 +1557,73 @@ mod tests {
         let c = SharedLegalityCache::with_shards(1 << 12, 2);
         c.load_snapshot(&ba).unwrap();
         assert_eq!(c.save_snapshot().unwrap(), ba);
+    }
+
+    #[test]
+    fn save_snapshot_to_rotates_generations_atomically() {
+        let dir = std::env::temp_dir().join(format!("irlt-snap-rotate-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("cache.bin");
+
+        let cache = SharedLegalityCache::with_shards(1 << 12, 4);
+        warm_cache(&cache);
+        let first = cache.save_snapshot_to(&base, 2).unwrap();
+        assert!(first.bytes > 0);
+        assert_eq!(first.entries as usize, cache.len());
+        assert_eq!(first.generations_rotated, 0, "nothing to rotate yet");
+        assert_eq!(generation_path(&base, 0), base);
+        assert_eq!(
+            generation_path(&base, 1),
+            dir.join("cache.bin.1"),
+            "generation suffix appends, never replaces the extension"
+        );
+        let gen0 = std::fs::read(&base).unwrap();
+        assert_eq!(gen0, cache.save_snapshot().unwrap());
+
+        // Second save: previous snapshot shifts to .1.
+        let second = cache.save_snapshot_to(&base, 2).unwrap();
+        assert_eq!(second.generations_rotated, 1);
+        assert_eq!(std::fs::read(generation_path(&base, 1)).unwrap(), gen0);
+
+        // Third and fourth: .1 -> .2, and the cap holds (no .3 ever).
+        cache.save_snapshot_to(&base, 2).unwrap();
+        cache.save_snapshot_to(&base, 2).unwrap();
+        assert!(generation_path(&base, 1).is_file());
+        assert!(generation_path(&base, 2).is_file());
+        assert!(!generation_path(&base, 3).exists(), "cap exceeded");
+        // No temporary file survives a completed save.
+        assert!(!base.with_extension("new").exists());
+
+        // Every retained generation is a complete, loadable snapshot.
+        for k in 0..=2 {
+            let bytes = std::fs::read(generation_path(&base, k)).unwrap();
+            let fresh = SharedLegalityCache::new();
+            let loaded = fresh.load_snapshot(&bytes).unwrap();
+            assert!(loaded.entries_loaded > 0, "generation {k} torn");
+        }
+
+        // keep_generations = 0 replaces in place without history shift.
+        let lone = dir.join("lone.bin");
+        cache.save_snapshot_to(&lone, 0).unwrap();
+        cache.save_snapshot_to(&lone, 0).unwrap();
+        assert!(lone.is_file());
+        assert!(!generation_path(&lone, 1).exists());
+
+        // Display-mode caches fail with the typed encode error.
+        let display = SharedLegalityCache::with_capacity_and_mode(1 << 12, KeyMode::Display);
+        let err = display.save_snapshot_to(&base, 2).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SnapshotSaveError::Encode(SnapshotError::UnsupportedKeyMode)
+            ),
+            "{err}"
+        );
+        // A failed save never disturbs the generations on disk.
+        assert_eq!(std::fs::read(&base).unwrap(), gen0);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -269,12 +269,18 @@ pub fn run_batch(jobs: &[Job], config: &BatchConfig) -> BatchResult {
             let cache = cache.clone();
             scope.spawn(move || {
                 gate.wait();
+                let opts = ExecOptions {
+                    incremental: config.incremental,
+                    prune: config.prune,
+                    telemetry: config.telemetry.clone(),
+                    cancel: None,
+                };
                 while let Some(popped) = queues.pop(w) {
                     if tel.is_enabled() {
                         tel.observe("driver/queue_depth", queues.remaining() as f64);
                     }
                     let job = &jobs[popped.job];
-                    let result = run_job(job, popped.job as u64, w, cache.as_ref(), config);
+                    let result = execute_job(job, popped.job as u64, w, cache.as_ref(), &opts);
                     *slots[popped.job]
                         .lock()
                         .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(result);
@@ -365,27 +371,72 @@ pub fn run_batch(jobs: &[Job], config: &BatchConfig) -> BatchResult {
     }
 }
 
-/// Runs one job: analyze dependences, arm the deadline, search serially
-/// (parallelism in the driver is *across* jobs, not within one).
-fn run_job(
+/// Engine settings for executing one job outside a batch — the
+/// *request adapter* long-lived services (`irlt-serve`) share with
+/// [`run_batch`]. Everything that affects results is here; everything
+/// that affects scheduling (threads, sharding, queues) is the caller's
+/// business.
+#[derive(Clone, Debug)]
+pub struct ExecOptions {
+    /// Use the incremental legality engine (see
+    /// [`SearchConfig::incremental`]).
+    pub incremental: bool,
+    /// Subsumption pruning of cached dependence sets.
+    pub prune: bool,
+    /// Telemetry sink; disabled by default and bit-identical either way.
+    pub telemetry: Telemetry,
+    /// Cancellation override. When set, this token governs the search
+    /// instead of a fresh [`CancelToken::with_deadline`] built from
+    /// [`Job::deadline`] — a service arms the token at *admission* so
+    /// the SLO covers queueing, not just compute, and can also fire it
+    /// on client disconnect or drain.
+    pub cancel: Option<CancelToken>,
+}
+
+impl Default for ExecOptions {
+    fn default() -> ExecOptions {
+        ExecOptions {
+            incremental: true,
+            prune: true,
+            telemetry: Telemetry::disabled(),
+            cancel: None,
+        }
+    }
+}
+
+/// Executes one job: analyze dependences, arm the deadline, search
+/// serially (parallelism across jobs is the scheduler's job, not the
+/// engine's).
+///
+/// The result's deterministic fields are a pure function of the
+/// [`Job`] and the engine flags — independent of `owner`, `worker`,
+/// cache contents, and telemetry. A fired cancellation (deadline or
+/// [`ExecOptions::cancel`]) returns the best *legal* candidate found
+/// so far (at worst the identity) as [`JobStatus::TimedOut`]; it never
+/// panics or hangs.
+pub fn execute_job(
     job: &Job,
     owner: u64,
     worker: usize,
     cache: Option<&SharedLegalityCache>,
-    config: &BatchConfig,
+    opts: &ExecOptions,
 ) -> JobResult {
     let deps = analyze_dependences(&job.nest);
+    let cancel = opts
+        .cancel
+        .clone()
+        .or_else(|| job.deadline.map(CancelToken::with_deadline));
     let cfg = SearchConfig {
         catalog: job.catalog.clone(),
         max_steps: job.max_steps,
         beam_width: job.beam_width,
         threads: 1,
-        incremental: config.incremental,
-        prune: config.prune,
-        telemetry: config.telemetry.clone(),
+        incremental: opts.incremental,
+        prune: opts.prune,
+        telemetry: opts.telemetry.clone(),
         shared: cache.cloned(),
         owner,
-        cancel: job.deadline.map(CancelToken::with_deadline),
+        cancel,
     };
     let start = Instant::now();
     let r = search(&job.nest, &deps, &job.goal, &cfg);

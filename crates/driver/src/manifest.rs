@@ -20,10 +20,22 @@ use std::path::{Path, PathBuf};
 /// Why a corpus failed to load.
 #[derive(Debug)]
 pub enum ManifestError {
-    /// A filesystem read failed.
+    /// A filesystem read failed (missing file, permission, a directory
+    /// where a file was expected, or non-UTF-8 contents).
     Io(PathBuf, std::io::Error),
     /// A `.nest` source failed to parse.
     Parse(PathBuf, ParseError),
+    /// A manifest line is not a usable `.nest` reference (wrong
+    /// extension, embedded NUL, …). Carries the manifest path, the
+    /// 1-based line number, and the reason.
+    BadLine {
+        /// The manifest file containing the offending line.
+        manifest: PathBuf,
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
     /// The manifest or directory yielded no jobs at all.
     Empty(PathBuf),
 }
@@ -33,6 +45,11 @@ impl fmt::Display for ManifestError {
         match self {
             ManifestError::Io(p, e) => write!(f, "{}: {e}", p.display()),
             ManifestError::Parse(p, e) => write!(f, "{}: {e}", p.display()),
+            ManifestError::BadLine {
+                manifest,
+                line,
+                reason,
+            } => write!(f, "{} line {line}: {reason}", manifest.display()),
             ManifestError::Empty(p) => write!(f, "{}: no .nest sources found", p.display()),
         }
     }
@@ -41,6 +58,9 @@ impl fmt::Display for ManifestError {
 impl std::error::Error for ManifestError {}
 
 fn job_from_file(path: &Path, goal: &Goal) -> Result<Job, ManifestError> {
+    // `read_to_string` turns every filesystem misfortune — missing
+    // file, directory-as-file, permissions, invalid UTF-8 — into a
+    // typed `Io` error; nothing on this path panics.
     let src =
         std::fs::read_to_string(path).map_err(|e| ManifestError::Io(path.to_path_buf(), e))?;
     let nest = parse_nest(&src).map_err(|e| ManifestError::Parse(path.to_path_buf(), e))?;
@@ -49,6 +69,25 @@ fn job_from_file(path: &Path, goal: &Goal) -> Result<Job, ManifestError> {
         |s| s.to_string_lossy().into_owned(),
     );
     Ok(Job::new(name, nest, goal.clone()))
+}
+
+/// Validates one non-comment manifest line before touching the
+/// filesystem: it must name a `.nest` file and be a well-formed path.
+fn check_manifest_line(manifest: &Path, number: usize, line: &str) -> Result<(), ManifestError> {
+    let bad = |reason: String| ManifestError::BadLine {
+        manifest: manifest.to_path_buf(),
+        line: number,
+        reason,
+    };
+    if line.contains('\0') {
+        return Err(bad("path contains a NUL byte".into()));
+    }
+    if Path::new(line).extension().is_none_or(|x| x != "nest") {
+        return Err(bad(format!(
+            "`{line}` does not name a .nest file (manifests list one .nest path per line)"
+        )));
+    }
+    Ok(())
 }
 
 /// Loads a corpus of jobs from `path` (directory, `.nest` file, or
@@ -75,11 +114,12 @@ pub fn load_manifest(path: &Path, goal: &Goal) -> Result<Vec<Job>, ManifestError
         let text =
             std::fs::read_to_string(path).map_err(|e| ManifestError::Io(path.to_path_buf(), e))?;
         let base = path.parent().unwrap_or_else(|| Path::new("."));
-        for line in text.lines() {
+        for (k, line) in text.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
+            check_manifest_line(path, k + 1, line)?;
             jobs.push(job_from_file(&base.join(line), goal)?);
         }
     }
@@ -126,6 +166,65 @@ mod tests {
         let jobs = load_manifest(&dir.join("corpus.txt"), &Goal::InnerParallel).unwrap();
         assert_eq!(jobs.len(), 1);
         assert_eq!(jobs[0].name, "k");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite sweep: every malformed manifest/`.nest` shape comes
+    /// back as a *typed* [`ManifestError`] — never a panic.
+    #[test]
+    fn malformed_manifest_lines_are_typed_errors() {
+        let dir = scratch_dir("badline");
+        std::fs::write(dir.join("ok.nest"), "do i = 1, n\n a(i) = 0\nenddo").unwrap();
+
+        // A line naming a non-.nest file.
+        std::fs::write(dir.join("m1.txt"), "ok.nest\nnotes.txt\n").unwrap();
+        let e = load_manifest(&dir.join("m1.txt"), &Goal::OuterParallel).unwrap_err();
+        assert!(matches!(e, ManifestError::BadLine { line: 2, .. }), "{e:?}");
+        assert!(e.to_string().contains("line 2"), "{e}");
+
+        // A line with no extension at all.
+        std::fs::write(dir.join("m2.txt"), "kernels\n").unwrap();
+        let e = load_manifest(&dir.join("m2.txt"), &Goal::OuterParallel).unwrap_err();
+        assert!(matches!(e, ManifestError::BadLine { line: 1, .. }), "{e}");
+
+        // A line with an embedded NUL byte.
+        std::fs::write(dir.join("m3.txt"), "bad\0path.nest\n").unwrap();
+        let e = load_manifest(&dir.join("m3.txt"), &Goal::OuterParallel).unwrap_err();
+        assert!(matches!(e, ManifestError::BadLine { .. }), "{e}");
+        assert!(e.to_string().contains("NUL"), "{e}");
+
+        // Comment and blank lines never trip the check.
+        std::fs::write(dir.join("m4.txt"), "# header\n\nok.nest\n").unwrap();
+        let jobs = load_manifest(&dir.join("m4.txt"), &Goal::OuterParallel).unwrap();
+        assert_eq!(jobs.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unreadable_nest_sources_are_typed_errors() {
+        let dir = scratch_dir("unreadable");
+
+        // A directory named like a .nest file: loaded directly it is
+        // treated as a (here: empty) directory corpus — the documented
+        // disambiguation-by-inspection — while a manifest line naming
+        // it tries to *read* it and gets a typed Io error.
+        std::fs::create_dir_all(dir.join("dir.nest")).unwrap();
+        let e = load_manifest(&dir.join("dir.nest"), &Goal::OuterParallel).unwrap_err();
+        assert!(matches!(e, ManifestError::Empty(_)), "{e}");
+        std::fs::write(dir.join("m.txt"), "dir.nest\n").unwrap();
+        let e = load_manifest(&dir.join("m.txt"), &Goal::OuterParallel).unwrap_err();
+        assert!(matches!(e, ManifestError::Io(_, _)), "{e}");
+
+        // Non-UTF-8 bytes in a .nest source.
+        std::fs::write(dir.join("bin.nest"), [0xff, 0xfe, 0x00, 0x80]).unwrap();
+        let e = load_manifest(&dir.join("bin.nest"), &Goal::OuterParallel).unwrap_err();
+        assert!(matches!(e, ManifestError::Io(_, _)), "{e}");
+
+        // A manifest line pointing at a missing file.
+        std::fs::write(dir.join("m2.txt"), "absent.nest\n").unwrap();
+        let e = load_manifest(&dir.join("m2.txt"), &Goal::OuterParallel).unwrap_err();
+        assert!(matches!(e, ManifestError::Io(_, _)), "{e}");
+        assert!(e.to_string().contains("absent.nest"), "{e}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -5,7 +5,13 @@
 //! irlt-fuzz [--mode guided|random] [--seed HEX|DEC] [--seconds S]
 //!           [--cases N] [--min-cases N] [--rounds R]
 //!           [--corpus DIR]... [--out DIR] [--report PATH] [--no-search]
+//! irlt-fuzz --distill --corpus DIR [--corpus DIR]... [--no-search]
 //! ```
+//!
+//! `--distill` replays each corpus directory and deletes entries whose
+//! coverage buckets are wholly subsumed by earlier entries (greedy set
+//! cover in file-name order); total bucket coverage is unchanged by
+//! construction. No campaign runs in this mode.
 //!
 //! * With `--seconds`, each round runs under a cooperative deadline
 //!   (`CancelToken::with_deadline`) with a `--min-cases` floor so a
@@ -35,11 +41,12 @@ struct Cli {
     corpus_out: Option<PathBuf>,
     report_path: Option<PathBuf>,
     search: bool,
+    distill: bool,
 }
 
 const USAGE: &str = "usage: irlt-fuzz [--mode guided|random] [--seed N] [--seconds S] \
 [--cases N] [--min-cases N] [--rounds R] [--corpus DIR]... [--out DIR] \
-[--report PATH] [--no-search]";
+[--report PATH] [--no-search] | irlt-fuzz --distill --corpus DIR...";
 
 fn parse_u64(flag: &str, value: Option<String>) -> Result<u64, String> {
     let v = value.ok_or_else(|| format!("{flag} needs a value"))?;
@@ -63,6 +70,7 @@ fn parse_cli() -> Result<Cli, String> {
         corpus_out: None,
         report_path: None,
         search: true,
+        distill: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -89,12 +97,18 @@ fn parse_cli() -> Result<Cli, String> {
                 cli.report_path = Some(PathBuf::from(v));
             }
             "--no-search" => cli.search = false,
+            "--distill" => cli.distill = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
+    }
+    if cli.distill && cli.corpus_in.is_empty() {
+        return Err(format!(
+            "--distill needs at least one --corpus DIR\n{USAGE}"
+        ));
     }
     if cli.seconds.is_none() && cli.cases.is_none() {
         // No budget at all would run forever; default to a small batch.
@@ -111,6 +125,25 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if cli.distill {
+        for dir in &cli.corpus_in {
+            match irlt_fuzz::distill_dir(dir, cli.search) {
+                Ok(report) => println!(
+                    "{}: kept {} of {} case(s), {} coverage bucket(s) preserved",
+                    dir.display(),
+                    report.kept.len(),
+                    report.total(),
+                    report.buckets
+                ),
+                Err(msg) => {
+                    eprintln!("irlt-fuzz: {msg}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
 
     let mut merged: Option<CampaignReport> = None;
     for round in 0..cli.rounds {

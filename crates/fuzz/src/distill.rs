@@ -1,0 +1,194 @@
+//! Corpus distillation: drop entries whose coverage is subsumed.
+//!
+//! A long campaign accretes corpus entries that were interesting when
+//! discovered but whose coverage buckets are now wholly covered by
+//! earlier entries. Distillation replays every entry through the same
+//! deterministic executor the campaign uses ([`execute_case`]) and
+//! keeps an entry only if it contributes at least one bucket no kept
+//! entry before it produced — a greedy set cover in stable file-name
+//! order, so the result is deterministic for a given corpus.
+//!
+//! The defining invariant (pinned by the tests here): **total bucket
+//! coverage is unchanged** — every bucket any entry exhibits is
+//! exhibited by some kept entry, because the first entry (in order) to
+//! exhibit a bucket is always kept.
+
+use crate::corpus::FuzzCase;
+use crate::coverage::CoverageMap;
+use crate::engine::execute_case;
+use std::path::{Path, PathBuf};
+
+/// What a distillation pass decided.
+#[derive(Clone, Debug, Default)]
+pub struct DistillReport {
+    /// Entries kept, in replay order.
+    pub kept: Vec<PathBuf>,
+    /// Entries dropped (coverage fully subsumed by kept entries).
+    pub dropped: Vec<PathBuf>,
+    /// Distinct coverage buckets over the kept set — equal, by
+    /// construction, to the bucket union of the whole input corpus.
+    pub buckets: usize,
+}
+
+impl DistillReport {
+    /// Entries examined.
+    pub fn total(&self) -> usize {
+        self.kept.len() + self.dropped.len()
+    }
+}
+
+/// Greedy set-cover distillation over already-loaded entries (see the
+/// module docs). `search_coverage` must match how the corpus was
+/// collected, since the `search/*` buckets only light up with it on.
+pub fn distill_cases(entries: &[(PathBuf, FuzzCase)], search_coverage: bool) -> DistillReport {
+    let mut covered = CoverageMap::new();
+    let mut report = DistillReport::default();
+    for (path, entry) in entries {
+        let (case_report, _outcome) = execute_case(&entry.case, search_coverage);
+        let fresh = covered.absorb(&case_report);
+        if fresh.is_empty() {
+            report.dropped.push(path.clone());
+        } else {
+            report.kept.push(path.clone());
+        }
+    }
+    report.buckets = covered.covered();
+    report
+}
+
+/// Distills the corpus directory in place: replays every `*.case`
+/// entry, deletes the subsumed ones, reports what happened. A missing
+/// directory is an empty corpus, not an error.
+pub fn distill_dir(dir: &Path, search_coverage: bool) -> Result<DistillReport, String> {
+    let entries = crate::corpus::load_dir(dir)?;
+    let report = distill_cases(&entries, search_coverage);
+    for path in &report.dropped {
+        std::fs::remove_file(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::save_case;
+    use irlt_core::{Template, TransformSeq};
+    use irlt_dependence::analyze_dependences;
+    use irlt_harness::OracleCase;
+    use irlt_ir::parse_nest;
+
+    fn case(src: &str, steps: &[Template]) -> FuzzCase {
+        let nest = parse_nest(src).unwrap();
+        let deps = analyze_dependences(&nest);
+        let mut seq = TransformSeq::new(nest.depth());
+        for t in steps {
+            seq = seq.push(t.clone()).unwrap();
+        }
+        FuzzCase {
+            case: OracleCase { nest, deps, seq },
+            outcome: None,
+        }
+    }
+
+    fn corpus() -> Vec<FuzzCase> {
+        vec![
+            // Two structurally equivalent 1-deep nests: identical
+            // telemetry buckets, so exactly one survives.
+            case("do i = 1, n\n a(i) = a(i) + 1\nenddo", &[]),
+            case("do j = 1, m\n b(j) = b(j) + 1\nenddo", &[]),
+            // A 2-deep nest with a real transformation: new buckets.
+            case(
+                "do i = 1, n\n  do j = 1, n\n    a(i, j) = a(i - 1, j) + 1\n  enddo\nenddo",
+                &[Template::Parallelize {
+                    parflag: vec![false, true],
+                }],
+            ),
+        ]
+    }
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("irlt-distill-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// The satellite's contract: distillation shrinks the corpus but
+    /// the union of coverage buckets is exactly preserved.
+    #[test]
+    fn distillation_preserves_total_bucket_coverage() {
+        let entries: Vec<(PathBuf, FuzzCase)> = corpus()
+            .into_iter()
+            .enumerate()
+            .map(|(k, c)| (PathBuf::from(format!("{k}.case")), c))
+            .collect();
+
+        // Union over the whole corpus, replayed independently.
+        let mut all = CoverageMap::new();
+        for (_, entry) in &entries {
+            let (report, _) = execute_case(&entry.case, false);
+            all.absorb(&report);
+        }
+
+        let report = distill_cases(&entries, false);
+        assert!(!report.dropped.is_empty(), "near-duplicates must drop");
+        assert!(!report.kept.is_empty());
+        assert_eq!(report.total(), entries.len());
+
+        // Union over only the kept entries.
+        let kept: std::collections::HashSet<_> = report.kept.iter().collect();
+        let mut kept_union = CoverageMap::new();
+        for (path, entry) in &entries {
+            if kept.contains(path) {
+                let (r, _) = execute_case(&entry.case, false);
+                kept_union.absorb(&r);
+            }
+        }
+        assert_eq!(kept_union.covered(), all.covered());
+        assert_eq!(report.buckets, all.covered());
+        let mut a = all.buckets();
+        let mut b = kept_union.buckets();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "every bucket must survive distillation");
+    }
+
+    #[test]
+    fn distillation_is_deterministic_and_order_greedy() {
+        let entries: Vec<(PathBuf, FuzzCase)> = corpus()
+            .into_iter()
+            .enumerate()
+            .map(|(k, c)| (PathBuf::from(format!("{k}.case")), c))
+            .collect();
+        let r1 = distill_cases(&entries, false);
+        let r2 = distill_cases(&entries, false);
+        assert_eq!(r1.kept, r2.kept);
+        assert_eq!(r1.dropped, r2.dropped);
+        // Greedy in order: the *first* of the two equivalent entries
+        // is the one kept.
+        assert!(r1.kept.contains(&PathBuf::from("0.case")), "{r1:?}");
+        assert!(r1.dropped.contains(&PathBuf::from("1.case")), "{r1:?}");
+    }
+
+    #[test]
+    fn distill_dir_deletes_subsumed_entries() {
+        let dir = scratch("dir");
+        for entry in corpus() {
+            save_case(&dir, &entry).unwrap();
+        }
+        let before = crate::corpus::load_dir(&dir).unwrap().len();
+        assert_eq!(before, 3);
+        let report = distill_dir(&dir, false).unwrap();
+        let after = crate::corpus::load_dir(&dir).unwrap().len();
+        assert_eq!(after, report.kept.len());
+        assert!(after < before, "{report:?}");
+        // Idempotent: a second pass drops nothing.
+        let again = distill_dir(&dir, false).unwrap();
+        assert_eq!(again.dropped.len(), 0);
+        assert_eq!(again.kept.len(), after);
+        assert_eq!(again.buckets, report.buckets);
+        // Missing directory: empty, not an error.
+        let _ = std::fs::remove_dir_all(&dir);
+        let empty = distill_dir(&dir, false).unwrap();
+        assert_eq!(empty.total(), 0);
+    }
+}

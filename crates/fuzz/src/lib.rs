@@ -51,6 +51,7 @@
 
 pub mod corpus;
 pub mod coverage;
+pub mod distill;
 pub mod engine;
 pub mod mutate;
 
@@ -58,5 +59,6 @@ pub use corpus::{
     case_file_name, load_dir, parse_case, print_case, save_case, CorpusError, FuzzCase,
 };
 pub use coverage::{coverage_buckets, is_coverage_bucket, CoverageMap};
+pub use distill::{distill_cases, distill_dir, DistillReport};
 pub use engine::{execute_case, run_campaign, CampaignConfig, CampaignReport, Failure, Mode};
 pub use mutate::{invariants_hold, mutate, OPERATORS};

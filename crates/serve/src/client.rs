@@ -1,0 +1,459 @@
+//! The client harness: submits a corpus of [`Job`]s to a running
+//! server and collects per-request results.
+//!
+//! [`run_jobs`] pipelines submissions through a bounded in-flight
+//! window, retries `backpressure` rejections after the server's
+//! `retry_after_ms` hint, and returns results **in submission order**
+//! — the same contract as [`irlt_driver::run_batch`], which is what
+//! makes the soak battery's bit-identity comparison a one-liner.
+//! [`ClientReport::check_against_batch`] performs exactly that
+//! comparison against an `irlt-batch` artifact, and is what the CI
+//! `serve-smoke` job runs.
+
+use crate::protocol::{Event, GoalSpec, OptimizeRequest, RejectReason, Request};
+use irlt_driver::Job;
+use irlt_obs::Json;
+use irlt_opt::Goal;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+/// Client-side knobs.
+#[derive(Clone, Debug)]
+pub struct ClientOptions {
+    /// Per-request deadline to attach (`None`: run to completion).
+    pub deadline_ms: Option<u64>,
+    /// Requests kept in flight at once.
+    pub window: usize,
+    /// Backpressure retries per request before giving up.
+    pub max_retries: u32,
+}
+
+impl Default for ClientOptions {
+    fn default() -> ClientOptions {
+        ClientOptions {
+            deadline_ms: None,
+            window: 16,
+            max_retries: 1000,
+        }
+    }
+}
+
+/// What the client harness can fail on (protocol-level rejections of
+/// individual requests are *results*, not errors).
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting, reading, or writing the socket failed.
+    Io(std::io::Error),
+    /// The server sent something outside the protocol, or gave up on a
+    /// request the harness could not retire.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket: {e}"),
+            ClientError::Protocol(why) => write!(f, "protocol: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// The terminal outcome of one submitted job.
+#[derive(Clone, Debug)]
+pub struct ClientResult {
+    /// Request id (the job name).
+    pub id: String,
+    /// `completed`, `timed_out`, `failed`, or `rejected:<reason>`.
+    pub status: String,
+    /// Winning sequence (empty for rejected/failed requests).
+    pub seq: String,
+    /// Its score.
+    pub score: Option<f64>,
+    /// Transformed shape.
+    pub shape: String,
+    /// Candidates legality-tested.
+    pub explored: u64,
+    /// Candidates that passed.
+    pub legal: u64,
+    /// Server-side wall time (nondeterministic).
+    pub wall_ms: f64,
+    /// Worker that ran it (nondeterministic).
+    pub worker: u64,
+    /// Rejection/failure detail, when any.
+    pub detail: String,
+    /// Backpressure retries this request needed.
+    pub retries: u32,
+}
+
+/// All results of one [`run_jobs`] call, in submission order.
+#[derive(Clone, Debug, Default)]
+pub struct ClientReport {
+    /// Per-job outcomes, in submission order.
+    pub results: Vec<ClientResult>,
+    /// Total backpressure retries across the run.
+    pub retries: u64,
+}
+
+impl ClientReport {
+    /// Jobs that reached `completed`.
+    pub fn completed(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| r.status == "completed")
+            .count()
+    }
+
+    /// Jobs that reached `timed_out`.
+    pub fn timed_out(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| r.status == "timed_out")
+            .count()
+    }
+
+    /// The client artifact: per-job deterministic fields under the
+    /// same names as the `irlt-batch` artifact's `jobs` array.
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("schema".into(), Json::Str("irlt-serve-client/v1".into())),
+            ("retries".into(), Json::Int(self.retries as i64)),
+            (
+                "summary".into(),
+                Json::Object(vec![
+                    ("jobs".into(), Json::Int(self.results.len() as i64)),
+                    ("completed".into(), Json::Int(self.completed() as i64)),
+                    ("timed_out".into(), Json::Int(self.timed_out() as i64)),
+                ]),
+            ),
+            (
+                "jobs".into(),
+                Json::Array(
+                    self.results
+                        .iter()
+                        .map(|r| {
+                            Json::Object(vec![
+                                ("name".into(), Json::Str(r.id.clone())),
+                                ("status".into(), Json::Str(r.status.clone())),
+                                ("seq".into(), Json::Str(r.seq.clone())),
+                                ("score".into(), r.score.map_or(Json::Null, Json::Float)),
+                                ("explored".into(), Json::Int(r.explored as i64)),
+                                ("legal".into(), Json::Int(r.legal as i64)),
+                                ("wall_ms".into(), Json::Float(r.wall_ms)),
+                                ("worker".into(), Json::Int(r.worker as i64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Checks this report against an `irlt-batch/v1` artifact run over
+    /// the same corpus: same jobs in the same order, and bit-identical
+    /// deterministic fields (`status`, `seq`, `score`, `explored`,
+    /// `legal`). This is the served-equals-batched oracle the soak
+    /// battery and the CI smoke job both assert.
+    pub fn check_against_batch(&self, batch: &Json) -> Result<(), String> {
+        let jobs = batch
+            .get("jobs")
+            .and_then(Json::as_array)
+            .ok_or("batch artifact has no `jobs` array")?;
+        if jobs.len() != self.results.len() {
+            return Err(format!(
+                "job count mismatch: batch {} vs served {}",
+                jobs.len(),
+                self.results.len()
+            ));
+        }
+        for (expected, got) in jobs.iter().zip(&self.results) {
+            let name = expected
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("batch job has no name")?;
+            if name != got.id {
+                return Err(format!(
+                    "job order mismatch: batch `{name}` vs served `{}`",
+                    got.id
+                ));
+            }
+            let field = |k: &str| expected.get(k).cloned().unwrap_or(Json::Null);
+            if field("status").as_str() != Some(got.status.as_str()) {
+                return Err(format!(
+                    "{name}: status mismatch: batch {:?} vs served {:?}",
+                    field("status"),
+                    got.status
+                ));
+            }
+            if field("seq").as_str() != Some(got.seq.as_str()) {
+                return Err(format!(
+                    "{name}: seq mismatch: batch {:?} vs served {:?}",
+                    field("seq"),
+                    got.seq
+                ));
+            }
+            let batch_bits = field("score").as_f64().map(f64::to_bits);
+            let got_bits = got.score.map(f64::to_bits);
+            if batch_bits != got_bits {
+                return Err(format!(
+                    "{name}: score mismatch: batch {batch_bits:?} vs served {got_bits:?}"
+                ));
+            }
+            if field("explored").as_i64() != Some(got.explored as i64) {
+                return Err(format!("{name}: explored mismatch"));
+            }
+            if field("legal").as_i64() != Some(got.legal as i64) {
+                return Err(format!("{name}: legal mismatch"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn goal_spec(goal: &Goal) -> GoalSpec {
+    match goal {
+        Goal::InnerParallel => GoalSpec::Inner,
+        // Locality goals are not in the v1 wire grammar; the closest
+        // served goal is outer parallelism.
+        _ => GoalSpec::Outer,
+    }
+}
+
+fn request_for(job: &Job, opts: &ClientOptions) -> Request {
+    Request::Optimize(Box::new(OptimizeRequest {
+        id: job.name.clone(),
+        nest: job.nest.to_string(),
+        goal: goal_spec(&job.goal),
+        max_steps: Some(job.max_steps),
+        beam_width: Some(job.beam_width),
+        deadline_ms: opts
+            .deadline_ms
+            .or_else(|| job.deadline.map(|d| d.as_millis() as u64)),
+    }))
+}
+
+struct Connection {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Connection {
+    fn open(socket: &Path) -> Result<Connection, ClientError> {
+        let writer = UnixStream::connect(socket)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Connection { reader, writer })
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        let mut line = req.to_line();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Event, ClientError> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(ClientError::Protocol(
+                    "server closed the connection mid-session".into(),
+                ));
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Event::parse(line.trim()).map_err(ClientError::Protocol);
+        }
+    }
+}
+
+/// Submits every job and waits for every terminal event. Individual
+/// rejections/failures come back as typed [`ClientResult`]s; only
+/// transport or protocol breakage is an `Err`.
+pub fn run_jobs(
+    socket: &Path,
+    jobs: &[Job],
+    opts: &ClientOptions,
+) -> Result<ClientReport, ClientError> {
+    let mut conn = Connection::open(socket)?;
+    let mut slots: Vec<Option<ClientResult>> = vec![None; jobs.len()];
+    let index: HashMap<&str, usize> = jobs
+        .iter()
+        .enumerate()
+        .map(|(k, j)| (j.name.as_str(), k))
+        .collect();
+    if index.len() != jobs.len() {
+        return Err(ClientError::Protocol(
+            "job names must be unique (they are the request ids)".into(),
+        ));
+    }
+    let mut retries_by_job: Vec<u32> = vec![0; jobs.len()];
+    let mut total_retries = 0u64;
+    let mut next = 0usize; // next job to submit
+    let mut in_flight = 0usize;
+    let mut resolved = 0usize;
+    let window = opts.window.max(1);
+    while resolved < jobs.len() {
+        while next < jobs.len() && in_flight < window {
+            conn.send(&request_for(&jobs[next], opts))?;
+            next += 1;
+            in_flight += 1;
+        }
+        let event = conn.recv()?;
+        match event {
+            Event::Accepted { .. } | Event::Started { .. } => {}
+            Event::Done {
+                id,
+                status,
+                seq,
+                score,
+                shape,
+                explored,
+                legal,
+                wall_ms,
+                worker,
+            } => {
+                let k = *index
+                    .get(id.as_str())
+                    .ok_or_else(|| ClientError::Protocol(format!("done for unknown id `{id}`")))?;
+                slots[k] = Some(ClientResult {
+                    id,
+                    status,
+                    seq,
+                    score,
+                    shape,
+                    explored,
+                    legal,
+                    wall_ms,
+                    worker,
+                    detail: String::new(),
+                    retries: retries_by_job[k],
+                });
+                in_flight -= 1;
+                resolved += 1;
+            }
+            Event::Failed { id, detail } => {
+                let k = *index.get(id.as_str()).ok_or_else(|| {
+                    ClientError::Protocol(format!("failed for unknown id `{id}`"))
+                })?;
+                slots[k] = Some(ClientResult {
+                    id,
+                    status: "failed".into(),
+                    seq: String::new(),
+                    score: None,
+                    shape: String::new(),
+                    explored: 0,
+                    legal: 0,
+                    wall_ms: 0.0,
+                    worker: 0,
+                    detail,
+                    retries: retries_by_job[k],
+                });
+                in_flight -= 1;
+                resolved += 1;
+            }
+            Event::Rejected {
+                id,
+                reason,
+                retry_after_ms,
+                detail,
+            } => {
+                let id = id.ok_or_else(|| {
+                    ClientError::Protocol(format!("anonymous rejection: {detail}"))
+                })?;
+                let k = *index.get(id.as_str()).ok_or_else(|| {
+                    ClientError::Protocol(format!("rejection for unknown id `{id}`"))
+                })?;
+                if reason == RejectReason::Backpressure && retries_by_job[k] < opts.max_retries {
+                    // The server said "not now": wait its hint out and
+                    // resubmit the same request. Accepted-then-lost can
+                    // never happen — this branch only runs for requests
+                    // that were *refused* admission.
+                    retries_by_job[k] += 1;
+                    total_retries += 1;
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.unwrap_or(1).max(1)));
+                    conn.send(&request_for(&jobs[k], opts))?;
+                } else {
+                    slots[k] = Some(ClientResult {
+                        id,
+                        status: format!("rejected:{reason}"),
+                        seq: String::new(),
+                        score: None,
+                        shape: String::new(),
+                        explored: 0,
+                        legal: 0,
+                        wall_ms: 0.0,
+                        worker: 0,
+                        detail,
+                        retries: retries_by_job[k],
+                    });
+                    in_flight -= 1;
+                    resolved += 1;
+                }
+            }
+            Event::Pong | Event::Stats(_) | Event::Draining { .. } | Event::Bye { .. } => {}
+        }
+    }
+    Ok(ClientReport {
+        results: slots
+            .into_iter()
+            .map(|s| s.expect("every job resolved"))
+            .collect(),
+        retries: total_retries,
+    })
+}
+
+/// Liveness probe: sends `ping`, waits for `pong`.
+pub fn ping(socket: &Path) -> Result<(), ClientError> {
+    let mut conn = Connection::open(socket)?;
+    conn.send(&Request::Ping)?;
+    match conn.recv()? {
+        Event::Pong => Ok(()),
+        other => Err(ClientError::Protocol(format!(
+            "expected pong, got {other:?}"
+        ))),
+    }
+}
+
+/// Fetches the server's `stats` payload.
+pub fn stats(socket: &Path) -> Result<Json, ClientError> {
+    let mut conn = Connection::open(socket)?;
+    conn.send(&Request::Stats)?;
+    match conn.recv()? {
+        Event::Stats(payload) => Ok(payload),
+        other => Err(ClientError::Protocol(format!(
+            "expected stats, got {other:?}"
+        ))),
+    }
+}
+
+/// Initiates a graceful drain and waits for `bye`; returns the
+/// server's total served count.
+pub fn shutdown(socket: &Path) -> Result<u64, ClientError> {
+    let mut conn = Connection::open(socket)?;
+    conn.send(&Request::Shutdown)?;
+    loop {
+        match conn.recv()? {
+            Event::Bye { served } => return Ok(served),
+            Event::Draining { .. } => {}
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected draining/bye, got {other:?}"
+                )))
+            }
+        }
+    }
+}

@@ -1,0 +1,603 @@
+//! The `irlt-serve/v1` wire protocol.
+//!
+//! Newline-delimited JSON, one value per line, over any byte stream
+//! (Unix domain socket or a stdio pair). The client sends
+//! [`Request`] lines; the server answers with [`Event`] lines. Events
+//! for one request always arrive in order (`accepted` → `started` →
+//! `done`/`failed`), but events for *different* requests interleave
+//! freely — every event carries the request `id` so clients can
+//! demultiplex.
+//!
+//! Both directions are implemented here (parse *and* print), so the
+//! client harness, the server, and the tests all speak through the
+//! same single grammar — a malformed line can only mean a genuinely
+//! malformed peer, never a second, subtly different encoder.
+
+use irlt_obs::Json;
+use std::fmt;
+
+/// Protocol schema identifier, carried on every event.
+pub const SCHEMA: &str = "irlt-serve/v1";
+
+/// One `optimize` request: a nest source, a goal, search settings, and
+/// an optional per-request deadline (the SLO — measured from
+/// *admission*, so it covers queueing as well as compute).
+#[derive(Clone, Debug, PartialEq)]
+pub struct OptimizeRequest {
+    /// Client-chosen request id; all events for this request echo it.
+    pub id: String,
+    /// The loop nest, in `.nest` source form.
+    pub nest: String,
+    /// `"outer"` (coarse parallelism) or `"inner"` (vectorization).
+    pub goal: GoalSpec,
+    /// Maximum sequence length (server default when `None`).
+    pub max_steps: Option<usize>,
+    /// Beam width (server default when `None`).
+    pub beam_width: Option<usize>,
+    /// Wall-clock SLO in milliseconds, armed at admission. An expired
+    /// request still returns its best-so-far *legal* candidate as
+    /// `timed_out` — never an error, never a hang.
+    pub deadline_ms: Option<u64>,
+}
+
+/// The optimization goal, as spelled on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GoalSpec {
+    /// Prefer a `pardo` as far out as possible.
+    Outer,
+    /// Prefer a `pardo` innermost.
+    Inner,
+}
+
+impl GoalSpec {
+    /// Wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GoalSpec::Outer => "outer",
+            GoalSpec::Inner => "inner",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn parse(s: &str) -> Option<GoalSpec> {
+        match s {
+            "outer" => Some(GoalSpec::Outer),
+            "inner" => Some(GoalSpec::Inner),
+            _ => None,
+        }
+    }
+
+    /// The engine-side goal this spelling denotes.
+    pub fn to_goal(self) -> irlt_opt::Goal {
+        match self {
+            GoalSpec::Outer => irlt_opt::Goal::OuterParallel,
+            GoalSpec::Inner => irlt_opt::Goal::InnerParallel,
+        }
+    }
+}
+
+/// One client → server line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Submit a nest for optimization.
+    Optimize(Box<OptimizeRequest>),
+    /// Ask for server counters and cache statistics.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Begin a graceful drain: in-flight and queued requests finish,
+    /// new work is rejected, the server exits once idle.
+    Shutdown,
+}
+
+/// Why a request was rejected (the typed half of a `rejected` event;
+/// `detail` carries the human-readable half).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The line did not parse, named an unknown op, or the nest/goal
+    /// was malformed. Not retryable as-is.
+    BadRequest,
+    /// The admission queue is above its high-water mark. Retryable
+    /// after `retry_after_ms`.
+    Backpressure,
+    /// The server is draining (or was killed); no new work is
+    /// admitted. Retry against a fresh server.
+    Draining,
+}
+
+impl RejectReason {
+    /// Wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RejectReason::BadRequest => "bad_request",
+            RejectReason::Backpressure => "backpressure",
+            RejectReason::Draining => "draining",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn parse(s: &str) -> Option<RejectReason> {
+        match s {
+            "bad_request" => Some(RejectReason::BadRequest),
+            "backpressure" => Some(RejectReason::Backpressure),
+            "draining" => Some(RejectReason::Draining),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One server → client line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// The request passed admission and is queued. Guaranteed to
+    /// precede this request's `started`.
+    Accepted {
+        /// Echoed request id.
+        id: String,
+        /// Queue depth right after admission (includes this request).
+        queue_depth: u64,
+    },
+    /// The request was refused. Terminal for this submission.
+    Rejected {
+        /// Echoed request id, when one could be recovered from the line.
+        id: Option<String>,
+        /// Typed reason.
+        reason: RejectReason,
+        /// For `backpressure`: how long to wait before resubmitting.
+        retry_after_ms: Option<u64>,
+        /// Human-readable diagnosis.
+        detail: String,
+    },
+    /// A worker picked the request up.
+    Started {
+        /// Echoed request id.
+        id: String,
+        /// Worker index (nondeterministic; informational).
+        worker: u64,
+        /// Time spent queued, in microseconds (nondeterministic).
+        queued_us: u64,
+    },
+    /// The request finished. Terminal. The deterministic fields
+    /// (`status`, `seq`, `score`, `shape`, `explored`, `legal`) are a
+    /// pure function of the request — bit-identical to `irlt-batch` on
+    /// the same input.
+    Done {
+        /// Echoed request id.
+        id: String,
+        /// `"completed"` or `"timed_out"` (a timed-out result is still
+        /// the best *legal* candidate found in budget).
+        status: String,
+        /// The winning transformation sequence.
+        seq: String,
+        /// Its score (absent when non-finite).
+        score: Option<f64>,
+        /// The transformed nest shape it produces.
+        shape: String,
+        /// Candidates legality-tested.
+        explored: u64,
+        /// Candidates that passed the legality test.
+        legal: u64,
+        /// Wall time in milliseconds (nondeterministic).
+        wall_ms: f64,
+        /// Worker index (nondeterministic).
+        worker: u64,
+    },
+    /// The request's worker panicked. Terminal; the server survives.
+    Failed {
+        /// Echoed request id.
+        id: String,
+        /// Panic payload.
+        detail: String,
+    },
+    /// Answer to a `stats` request; `payload` is the counters object.
+    Stats(Json),
+    /// Answer to `ping`.
+    Pong,
+    /// Acknowledges `shutdown`: drain has begun.
+    Draining {
+        /// Requests still queued or in flight at drain start.
+        pending: u64,
+    },
+    /// Drain complete; the server is exiting.
+    Bye {
+        /// Requests served (completed + timed out + failed) in total.
+        served: u64,
+    },
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn get_str(v: &Json, key: &str) -> Option<String> {
+    v.get(key).and_then(Json::as_str).map(str::to_string)
+}
+
+fn get_u64(v: &Json, key: &str) -> Option<u64> {
+    v.get(key)
+        .and_then(Json::as_i64)
+        .and_then(|n| n.try_into().ok())
+}
+
+impl Request {
+    /// Renders the request as one JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let v = match self {
+            Request::Optimize(r) => {
+                let mut fields = vec![
+                    ("schema", Json::Str(SCHEMA.into())),
+                    ("op", Json::Str("optimize".into())),
+                    ("id", Json::Str(r.id.clone())),
+                    ("nest", Json::Str(r.nest.clone())),
+                    ("goal", Json::Str(r.goal.as_str().into())),
+                ];
+                if let Some(n) = r.max_steps {
+                    fields.push(("max_steps", Json::Int(n as i64)));
+                }
+                if let Some(n) = r.beam_width {
+                    fields.push(("beam_width", Json::Int(n as i64)));
+                }
+                if let Some(n) = r.deadline_ms {
+                    fields.push(("deadline_ms", Json::Int(n as i64)));
+                }
+                obj(fields)
+            }
+            Request::Stats => obj(vec![("op", Json::Str("stats".into()))]),
+            Request::Ping => obj(vec![("op", Json::Str("ping".into()))]),
+            Request::Shutdown => obj(vec![("op", Json::Str("shutdown".into()))]),
+        };
+        v.to_string()
+    }
+
+    /// Parses one request line. The error is `(recovered id, detail)` —
+    /// the id (when the line was at least JSON with an `id` field) lets
+    /// the server address its `rejected` event.
+    pub fn parse(line: &str) -> Result<Request, (Option<String>, String)> {
+        let v = Json::parse(line).map_err(|e| (None, format!("not valid JSON: {e}")))?;
+        let id = get_str(&v, "id");
+        if let Some(schema) = get_str(&v, "schema") {
+            if schema != SCHEMA {
+                return Err((id, format!("unsupported schema `{schema}` (want {SCHEMA})")));
+            }
+        }
+        let op = get_str(&v, "op").ok_or_else(|| (id.clone(), "missing `op` field".to_string()))?;
+        match op.as_str() {
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            "optimize" => {
+                let id = id.ok_or((None, "optimize: missing `id`".to_string()))?;
+                let err = |d: String| (Some(id.clone()), d);
+                let nest =
+                    get_str(&v, "nest").ok_or_else(|| err("optimize: missing `nest`".into()))?;
+                let goal = match get_str(&v, "goal") {
+                    None => GoalSpec::Outer,
+                    Some(g) => GoalSpec::parse(&g).ok_or_else(|| {
+                        err(format!("optimize: unknown goal `{g}` (want outer|inner)"))
+                    })?,
+                };
+                Ok(Request::Optimize(Box::new(OptimizeRequest {
+                    id,
+                    nest,
+                    goal,
+                    max_steps: get_u64(&v, "max_steps").map(|n| n as usize),
+                    beam_width: get_u64(&v, "beam_width").map(|n| n as usize),
+                    deadline_ms: get_u64(&v, "deadline_ms"),
+                })))
+            }
+            other => Err((id, format!("unknown op `{other}`"))),
+        }
+    }
+}
+
+impl Event {
+    /// Renders the event as JSON.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![("schema", Json::Str(SCHEMA.into()))];
+        match self {
+            Event::Accepted { id, queue_depth } => {
+                fields.push(("event", Json::Str("accepted".into())));
+                fields.push(("id", Json::Str(id.clone())));
+                fields.push(("queue_depth", Json::Int(*queue_depth as i64)));
+            }
+            Event::Rejected {
+                id,
+                reason,
+                retry_after_ms,
+                detail,
+            } => {
+                fields.push(("event", Json::Str("rejected".into())));
+                if let Some(id) = id {
+                    fields.push(("id", Json::Str(id.clone())));
+                }
+                fields.push(("reason", Json::Str(reason.as_str().into())));
+                if let Some(ms) = retry_after_ms {
+                    fields.push(("retry_after_ms", Json::Int(*ms as i64)));
+                }
+                fields.push(("detail", Json::Str(detail.clone())));
+            }
+            Event::Started {
+                id,
+                worker,
+                queued_us,
+            } => {
+                fields.push(("event", Json::Str("started".into())));
+                fields.push(("id", Json::Str(id.clone())));
+                fields.push(("worker", Json::Int(*worker as i64)));
+                fields.push(("queued_us", Json::Int(*queued_us as i64)));
+            }
+            Event::Done {
+                id,
+                status,
+                seq,
+                score,
+                shape,
+                explored,
+                legal,
+                wall_ms,
+                worker,
+            } => {
+                fields.push(("event", Json::Str("done".into())));
+                fields.push(("id", Json::Str(id.clone())));
+                fields.push(("status", Json::Str(status.clone())));
+                fields.push(("seq", Json::Str(seq.clone())));
+                fields.push(("score", score.map_or(Json::Null, Json::Float)));
+                fields.push(("shape", Json::Str(shape.clone())));
+                fields.push(("explored", Json::Int(*explored as i64)));
+                fields.push(("legal", Json::Int(*legal as i64)));
+                fields.push(("wall_ms", Json::Float(*wall_ms)));
+                fields.push(("worker", Json::Int(*worker as i64)));
+            }
+            Event::Failed { id, detail } => {
+                fields.push(("event", Json::Str("failed".into())));
+                fields.push(("id", Json::Str(id.clone())));
+                fields.push(("detail", Json::Str(detail.clone())));
+            }
+            Event::Stats(payload) => {
+                fields.push(("event", Json::Str("stats".into())));
+                fields.push(("payload", payload.clone()));
+            }
+            Event::Pong => fields.push(("event", Json::Str("pong".into()))),
+            Event::Draining { pending } => {
+                fields.push(("event", Json::Str("draining".into())));
+                fields.push(("pending", Json::Int(*pending as i64)));
+            }
+            Event::Bye { served } => {
+                fields.push(("event", Json::Str("bye".into())));
+                fields.push(("served", Json::Int(*served as i64)));
+            }
+        }
+        obj(fields)
+    }
+
+    /// Renders the event as one JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// The `done` event for a finished job.
+    pub fn done(result: &irlt_driver::JobResult) -> Event {
+        Event::Done {
+            id: result.name.clone(),
+            status: result.status.to_string(),
+            seq: result.best.seq.to_string(),
+            score: result.best.score.is_finite().then_some(result.best.score),
+            shape: result.best.shape.to_string(),
+            explored: result.explored as u64,
+            legal: result.legal as u64,
+            wall_ms: result.wall.as_secs_f64() * 1e3,
+            worker: result.worker as u64,
+        }
+    }
+
+    /// Parses one event line (the client half).
+    pub fn parse(line: &str) -> Result<Event, String> {
+        let v = Json::parse(line).map_err(|e| format!("not valid JSON: {e}"))?;
+        let kind = get_str(&v, "event").ok_or("missing `event` field")?;
+        let need_id = || get_str(&v, "id").ok_or(format!("{kind}: missing `id`"));
+        match kind.as_str() {
+            "accepted" => Ok(Event::Accepted {
+                id: need_id()?,
+                queue_depth: get_u64(&v, "queue_depth").unwrap_or(0),
+            }),
+            "rejected" => {
+                let reason = get_str(&v, "reason")
+                    .and_then(|r| RejectReason::parse(&r))
+                    .ok_or("rejected: missing or unknown `reason`")?;
+                Ok(Event::Rejected {
+                    id: get_str(&v, "id"),
+                    reason,
+                    retry_after_ms: get_u64(&v, "retry_after_ms"),
+                    detail: get_str(&v, "detail").unwrap_or_default(),
+                })
+            }
+            "started" => Ok(Event::Started {
+                id: need_id()?,
+                worker: get_u64(&v, "worker").unwrap_or(0),
+                queued_us: get_u64(&v, "queued_us").unwrap_or(0),
+            }),
+            "done" => Ok(Event::Done {
+                id: need_id()?,
+                status: get_str(&v, "status").ok_or("done: missing `status`")?,
+                seq: get_str(&v, "seq").unwrap_or_default(),
+                score: v.get("score").and_then(Json::as_f64),
+                shape: get_str(&v, "shape").unwrap_or_default(),
+                explored: get_u64(&v, "explored").unwrap_or(0),
+                legal: get_u64(&v, "legal").unwrap_or(0),
+                wall_ms: v.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0),
+                worker: get_u64(&v, "worker").unwrap_or(0),
+            }),
+            "failed" => Ok(Event::Failed {
+                id: need_id()?,
+                detail: get_str(&v, "detail").unwrap_or_default(),
+            }),
+            "stats" => Ok(Event::Stats(
+                v.get("payload").cloned().unwrap_or(Json::Null),
+            )),
+            "pong" => Ok(Event::Pong),
+            "draining" => Ok(Event::Draining {
+                pending: get_u64(&v, "pending").unwrap_or(0),
+            }),
+            "bye" => Ok(Event::Bye {
+                served: get_u64(&v, "served").unwrap_or(0),
+            }),
+            other => Err(format!("unknown event `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Optimize(Box::new(OptimizeRequest {
+                id: "r1".into(),
+                nest: "do i = 1, n\n a(i) = 0\nenddo".into(),
+                goal: GoalSpec::Inner,
+                max_steps: Some(3),
+                beam_width: Some(8),
+                deadline_ms: Some(250),
+            })),
+            Request::Optimize(Box::new(OptimizeRequest {
+                id: "r2".into(),
+                nest: "do i = 1, n\n a(i) = 0\nenddo".into(),
+                goal: GoalSpec::Outer,
+                max_steps: None,
+                beam_width: None,
+                deadline_ms: None,
+            })),
+            Request::Stats,
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for r in reqs {
+            let line = r.to_line();
+            assert!(!line.contains('\n'), "one line per request: {line}");
+            assert_eq!(Request::parse(&line).unwrap(), r, "{line}");
+        }
+    }
+
+    #[test]
+    fn events_round_trip() {
+        let events = [
+            Event::Accepted {
+                id: "a".into(),
+                queue_depth: 3,
+            },
+            Event::Rejected {
+                id: Some("b".into()),
+                reason: RejectReason::Backpressure,
+                retry_after_ms: Some(10),
+                detail: "queue above high-water mark".into(),
+            },
+            Event::Rejected {
+                id: None,
+                reason: RejectReason::BadRequest,
+                retry_after_ms: None,
+                detail: "not valid JSON".into(),
+            },
+            Event::Started {
+                id: "a".into(),
+                worker: 2,
+                queued_us: 117,
+            },
+            Event::Done {
+                id: "a".into(),
+                status: "completed".into(),
+                seq: "interchange(0,1)".into(),
+                score: Some(12.5),
+                shape: "do j\n do i\nenddo\nenddo".into(),
+                explored: 40,
+                legal: 17,
+                wall_ms: 1.25,
+                worker: 2,
+            },
+            Event::Done {
+                id: "c".into(),
+                status: "timed_out".into(),
+                seq: "identity".into(),
+                score: None,
+                shape: String::new(),
+                explored: 1,
+                legal: 1,
+                wall_ms: 0.5,
+                worker: 0,
+            },
+            Event::Failed {
+                id: "d".into(),
+                detail: "panic: boom".into(),
+            },
+            Event::Stats(Json::Object(vec![("accepted".into(), Json::Int(4))])),
+            Event::Pong,
+            Event::Draining { pending: 2 },
+            Event::Bye { served: 64 },
+        ];
+        for e in events {
+            let line = e.to_line();
+            assert!(!line.contains('\n'), "one line per event: {line}");
+            assert_eq!(Event::parse(&line).unwrap(), e, "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_recover_the_id_when_present() {
+        let (id, why) = Request::parse("not json at all").unwrap_err();
+        assert_eq!(id, None);
+        assert!(why.contains("JSON"), "{why}");
+
+        let (id, why) = Request::parse(r#"{"op":"frobnicate","id":"x"}"#).unwrap_err();
+        assert_eq!(id.as_deref(), Some("x"));
+        assert!(why.contains("frobnicate"), "{why}");
+
+        let (id, why) =
+            Request::parse(r#"{"op":"optimize","id":"y","nest":"do","goal":"sideways"}"#)
+                .unwrap_err();
+        assert_eq!(id.as_deref(), Some("y"));
+        assert!(why.contains("sideways"), "{why}");
+
+        let (id, why) = Request::parse(r#"{"op":"optimize","nest":"do"}"#).unwrap_err();
+        assert_eq!(id, None);
+        assert!(why.contains("id"), "{why}");
+
+        let (_, why) = Request::parse(r#"{"schema":"irlt-serve/v0","op":"ping"}"#).unwrap_err();
+        assert!(why.contains("schema"), "{why}");
+    }
+
+    #[test]
+    fn score_float_survives_the_wire_bit_for_bit() {
+        // Rust's float formatting is shortest-round-trip, so a score
+        // printed by the server parses back to the identical bits —
+        // this is what makes the soak battery's bit-identity check fair.
+        for score in [12.5, 1.0 / 3.0, f64::MIN_POSITIVE, -7.25e-200] {
+            let e = Event::Done {
+                id: "s".into(),
+                status: "completed".into(),
+                seq: "identity".into(),
+                score: Some(score),
+                shape: String::new(),
+                explored: 0,
+                legal: 0,
+                wall_ms: 0.0,
+                worker: 0,
+            };
+            let Event::Done { score: parsed, .. } = Event::parse(&e.to_line()).unwrap() else {
+                panic!("not done");
+            };
+            assert_eq!(parsed.unwrap().to_bits(), score.to_bits());
+        }
+    }
+}

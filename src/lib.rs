@@ -18,6 +18,7 @@
 //! | [`cachesim`] | set-associative LRU cache + array layouts for locality studies |
 //! | [`opt`] | goal-directed transformation search and empirical rule validation (the paper's "automatic transformation system" future work) |
 //! | [`driver`] | batched multi-nest optimization: work-stealing pool, per-job deadlines with cooperative cancellation, cross-nest shared legality caching, the `irlt-batch` CLI |
+//! | [`serve`] | the long-lived optimization service: `irlt-serve/v1` NDJSON protocol over Unix sockets, bounded admission with backpressure, per-request SLOs, snapshot rotation, graceful drain |
 //! | [`obs`] | zero-dependency structured telemetry: counters, histograms, spans, JSON artifacts (`IRLT_TELEMETRY=path.json`) |
 //!
 //! # Quickstart
@@ -57,6 +58,7 @@ pub use irlt_interp as interp;
 pub use irlt_ir as ir;
 pub use irlt_obs as obs;
 pub use irlt_opt as opt;
+pub use irlt_serve as serve;
 pub use irlt_unimodular as unimodular;
 
 /// The most commonly used items, for glob import.
@@ -87,5 +89,6 @@ pub mod prelude {
         default_test_nests, search, validate_template, Goal, LocalityGoal, MoveCatalog,
         SearchConfig,
     };
+    pub use irlt_serve::{ServeConfig, ServeSummary, Server, ServerHandle, SnapshotPolicy};
     pub use irlt_unimodular::{IntMatrix, UnimodularTransform};
 }
